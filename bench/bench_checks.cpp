@@ -1,0 +1,79 @@
+//===-- bench/bench_checks.cpp - Ch. 1/5/8 check-count tables --*- C++ -*-===//
+///
+/// \file
+/// Reproduces the static-debugging evaluations:
+///
+///  - the sum.ss session of figs. 1.1/5.1 (annotated program + CHECKS
+///    summary),
+///  - §8.1 (web server), §8.2 (gunzip/inflate) and §8.4 (HHL) in their
+///    buggy and repaired variants,
+///  - §8.3 (the extended-direct-semantics interpreter tower) with its
+///    per-file summary.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench_util.h"
+
+#include "corpus/corpus.h"
+#include "debugger/checks.h"
+#include "debugger/markup.h"
+
+using namespace spidey;
+using namespace spidey::bench;
+
+namespace {
+
+DebugReport analyzeAndCheck(const Program &P, Analysis &A) {
+  A = analyzeProgram(P);
+  return runChecks(P, A.Maps, *A.System);
+}
+
+void sumSession() {
+  std::printf("== sum.ss (figs. 1.1/5.1) ==\n");
+  Program P = parseOrDie(corpusProgram("sum").Source, "sum.ss");
+  Analysis A;
+  DebugReport Rep = analyzeAndCheck(P, A);
+  std::printf("%s\n", annotateComponent(P, 0, Rep).c_str());
+}
+
+void caseStudy(const char *Title, const char *BuggyName,
+               const char *FixedName) {
+  std::printf("== %s ==\n", Title);
+  {
+    Program P = parseOrDie(corpusProgram(BuggyName).Source,
+                           std::string(BuggyName) + ".ss");
+    Analysis A;
+    DebugReport Rep = analyzeAndCheck(P, A);
+    std::printf("before the fixes:\n%s", Rep.summary(P).c_str());
+  }
+  {
+    Program P = parseOrDie(corpusProgram(FixedName).Source,
+                           std::string(FixedName) + ".ss");
+    Analysis A;
+    DebugReport Rep = analyzeAndCheck(P, A);
+    std::printf("after the fixes:\n%s\n", Rep.summary(P).c_str());
+  }
+}
+
+void interpreterTower() {
+  std::printf("== Extended direct semantics interpreter (§8.3) ==\n");
+  Program P = parseOrDie(interpreterTowerFiles());
+  Analysis A;
+  DebugReport Rep = analyzeAndCheck(P, A);
+  std::printf("%s\n", Rep.perFileSummary(P).c_str());
+}
+
+} // namespace
+
+int main() {
+  sumSession();
+  caseStudy("Verifying a web server (§8.1)", "webserver-buggy", "webserver");
+  caseStudy("Verifying gunzip (§8.2)", "inflate-buggy", "inflate");
+  caseStudy("Statically debugging HHL (§8.4)", "hhl-buggy", "hhl");
+  interpreterTower();
+  std::printf("(paper's shape: each case study's bug-class checks vanish "
+              "after the repairs;\n the web server reaches TOTAL CHECKS: 0, "
+              "gunzip reaches 0, HHL retains a few\n analysis-limitation "
+              "checks, as in §8.4)\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+//===-- bench/bench_closure.cpp - Θ-closure scaling (E7) -------*- C++ -*-===//
+///
+/// \file
+/// Micro-benchmarks for the constraint engine: the super-linear growth of
+/// whole-program analysis with program size (§1.3.1's O(n³) worst case and
+/// the motivation of chapter 6), and the core closure operations.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench_util.h"
+
+#include "corpus/corpus.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace spidey;
+using namespace spidey::bench;
+
+namespace {
+
+void BM_WholeProgramAnalysis(benchmark::State &State) {
+  GeneratorConfig Config;
+  Config.Seed = 9;
+  Config.NumComponents = 4;
+  Config.TargetLines = static_cast<unsigned>(State.range(0));
+  Config.PolyReusePercent = 30;
+  std::vector<SourceFile> Files = generateProgram(Config);
+  Program P = parseOrDie(Files);
+  size_t Constraints = 0;
+  for (auto _ : State) {
+    Analysis A = analyzeProgram(P);
+    Constraints = A.System->size();
+    benchmark::DoNotOptimize(Constraints);
+  }
+  State.counters["constraints"] = static_cast<double>(Constraints);
+  State.counters["lines"] = static_cast<double>(lineCount(Files));
+}
+BENCHMARK(BM_WholeProgramAnalysis)->Arg(250)->Arg(500)->Arg(1000)->Arg(2000);
+
+void BM_ClosureTransitiveChain(benchmark::State &State) {
+  const int N = static_cast<int>(State.range(0));
+  for (auto _ : State) {
+    ConstraintContext Ctx;
+    ConstraintSystem S(Ctx);
+    std::vector<SetVar> Vars;
+    for (int I = 0; I < N; ++I)
+      Vars.push_back(Ctx.freshVar());
+    for (int I = 0; I + 1 < N; ++I)
+      S.addVarUpperRaw(Vars[I], Vars[I + 1]);
+    for (int I = 0; I < 8; ++I)
+      S.addConstLowerRaw(Vars[0], Ctx.Constants.basic(
+                                      static_cast<ConstKind>(I)));
+    S.close();
+    benchmark::DoNotOptimize(S.size());
+  }
+  State.SetComplexityN(N);
+}
+BENCHMARK(BM_ClosureTransitiveChain)
+    ->RangeMultiplier(4)
+    ->Range(64, 4096)
+    ->Complexity();
+
+void BM_ClosureCallGraph(benchmark::State &State) {
+  // A dense call pattern: K functions, each applied at K sites.
+  const int K = static_cast<int>(State.range(0));
+  for (auto _ : State) {
+    ConstraintContext Ctx;
+    ConstraintSystem S(Ctx);
+    std::vector<SetVar> Fns;
+    for (int I = 0; I < K; ++I) {
+      SetVar F = Ctx.freshVar(), X = Ctx.freshVar();
+      Constant T = Ctx.Constants.makeTag(ConstKind::FnTag, 1, {});
+      S.addConstLower(F, T);
+      S.addSelLower(F, Ctx.dom(0), X);
+      S.addSelLower(F, Ctx.Rng, X);
+      Fns.push_back(F);
+    }
+    SetVar Merge = Ctx.freshVar();
+    for (SetVar F : Fns)
+      S.addVarUpper(F, Merge);
+    for (int I = 0; I < K; ++I) {
+      SetVar Arg = Ctx.freshVar(), Res = Ctx.freshVar();
+      S.addConstLower(Arg, Ctx.Constants.basic(ConstKind::Num));
+      S.addSelUpper(Merge, Ctx.dom(0), Arg);
+      S.addSelUpper(Merge, Ctx.Rng, Res);
+    }
+    benchmark::DoNotOptimize(S.size());
+  }
+  State.SetComplexityN(K);
+}
+BENCHMARK(BM_ClosureCallGraph)
+    ->RangeMultiplier(2)
+    ->Range(8, 128)
+    ->Complexity();
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+//===-- bench/bench_entailment.cpp - Entailment cost (E8) ------*- C++ -*-===//
+///
+/// \file
+/// Micro-benchmarks for the observable-equivalence decision procedure of
+/// §6.3.4 (fig. 6.3). The problem is PSPACE-hard; these curves show the
+/// exponential growth that makes the complete algorithm impractical for
+/// minimization, motivating the heuristic algorithms of §6.4.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench_util.h"
+
+#include "rtg/entail.h"
+#include "simplify/simplify.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace spidey;
+using namespace spidey::bench;
+
+namespace {
+
+/// Builds the analysis of a K-function program and its ε-simplified form;
+/// decides observable equivalence between them.
+void BM_ObservableEquivalence(benchmark::State &State) {
+  const int K = static_cast<int>(State.range(0));
+  std::string Source;
+  for (int I = 0; I < K; ++I) {
+    Source += "(define (f" + std::to_string(I) + " x) (cons x " +
+              std::to_string(I) + "))";
+    Source += "(define d" + std::to_string(I) + " (f" + std::to_string(I) +
+              " 'a))";
+  }
+  Program P = parseOrDie(Source);
+  Analysis A = analyzeProgram(P);
+  std::vector<SetVar> E = topLevelExternals(P, A.Maps);
+  ConstraintSystem Simplified = simplifyConstraints(
+      *A.System, E, SimplifyAlgorithm::EpsilonRemoval);
+  Simplified.close();
+  Decision D = Decision::Unknown;
+  for (auto _ : State) {
+    D = observablyEquivalent(*A.System, Simplified, E);
+    benchmark::DoNotOptimize(D);
+  }
+  State.counters["decision"] = D == Decision::Yes    ? 1
+                               : D == Decision::No ? 0
+                                                     : -1;
+  State.counters["constraints"] = static_cast<double>(A.System->size());
+  State.SetComplexityN(K);
+}
+BENCHMARK(BM_ObservableEquivalence)->DenseRange(1, 6)->Complexity();
+
+void BM_EntailmentSelfCheck(benchmark::State &State) {
+  // S |= S on a recursive system of growing depth.
+  const int N = static_cast<int>(State.range(0));
+  ConstraintContext Ctx;
+  ConstraintSystem S(Ctx);
+  std::vector<SetVar> E;
+  SetVar Prev = Ctx.freshVar();
+  E.push_back(Prev);
+  S.addConstLower(Prev, Ctx.Constants.basic(ConstKind::Num));
+  for (int I = 0; I < N; ++I) {
+    SetVar Next = Ctx.freshVar();
+    S.addSelLower(Next, Ctx.Rng, Prev); // prev ≤ rng(next)
+    Prev = Next;
+  }
+  S.addSelLower(Prev, Ctx.Rng, Prev); // recursive knot
+  E.push_back(Prev);
+  for (auto _ : State) {
+    Decision D = entails(S, S, E);
+    benchmark::DoNotOptimize(D);
+  }
+  State.SetComplexityN(N);
+}
+BENCHMARK(BM_EntailmentSelfCheck)->RangeMultiplier(2)->Range(2, 32);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+//===-- bench/bench_polymorphic.cpp - Fig. 7.6 reproduction ----*- C++ -*-===//
+///
+/// \file
+/// Reproduces fig. 7.6 ("times for the smart polymorphic analyses"): for
+/// each benchmark, the `copy` polymorphic analysis (duplicate the raw
+/// constraint system at every polymorphic reference) is the baseline;
+/// the four smart analyses simplify each definition's system once with
+/// empty / unreachable / ε-removal / Hopcroft before duplicating; the
+/// monomorphic analysis closes the table.
+///
+/// Benchmarks are generated analogues calibrated to the paper's line
+/// counts and reuse degrees. Shape target: smart analyses consistently
+/// faster than copy (factors 1.2x-4x where reuse is heavy), monomorphic
+/// cheapest but least precise.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench_util.h"
+
+#include "componential/componential.h"
+#include "corpus/corpus.h"
+
+using namespace spidey;
+using namespace spidey::bench;
+
+namespace {
+
+double analyzeWith(const std::vector<SourceFile> &Files,
+                   const AnalysisOptions &Opts, size_t &Constraints,
+                   uint64_t &Copied) {
+  Program P = parseOrDie(Files);
+  double Ms = 0;
+  Analysis A;
+  Ms = timeMs([&] { A = analyzeProgram(P, Opts); });
+  Constraints = A.System->size();
+  Copied = A.Stats.InstantiatedConstraints;
+  return Ms;
+}
+
+} // namespace
+
+int main() {
+  std::printf("== Figure 7.6: times for the smart polymorphic analyses "
+              "(relative to copy) ==\n\n");
+  std::printf("%-13s %6s %9s |%8s %8s %8s %8s |%8s\n", "program", "lines",
+              "copy(ms)", "empty", "unreach", "e-rem", "hopcroft", "mono");
+
+  const char *Names[] = {"lattice", "browse", "splay",  "check",
+                         "graphs",  "boyer",  "matrix", "maze",
+                         "nbody",   "nucleic-poly"};
+  for (const char *Name : Names) {
+    GeneratorConfig Config = benchmarkConfig(Name);
+    std::vector<SourceFile> Files = generateProgram(Config);
+
+    size_t Constraints;
+    uint64_t Copied;
+    double CopyMs = analyzeWith(
+        Files, polyAnalysisOptions(PolyMode::Copy, SimplifyAlgorithm::None),
+        Constraints, Copied);
+
+    std::printf("%-13s %6zu %9.1f |", Name, lineCount(Files), CopyMs);
+    for (SimplifyAlgorithm Alg :
+         {SimplifyAlgorithm::Empty, SimplifyAlgorithm::Unreachable,
+          SimplifyAlgorithm::EpsilonRemoval, SimplifyAlgorithm::Hopcroft}) {
+      AnalysisOptions SmartOpts = polyAnalysisOptions(PolyMode::Smart, Alg);
+      // The fig. 7.6 experiment measures pure analysis time: definitions
+      // simplify down to their data-flow interfaces.
+      SmartOpts.PreciseSchemaChecks = false;
+      double Ms = analyzeWith(Files, SmartOpts, Constraints, Copied);
+      std::printf(" %6.0f%%", CopyMs > 0 ? 100.0 * Ms / CopyMs : 0.0);
+    }
+    {
+      AnalysisOptions Mono;
+      double Ms = analyzeWith(Files, Mono, Constraints, Copied);
+      std::printf(" | %6.0f%%", CopyMs > 0 ? 100.0 * Ms / CopyMs : 0.0);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n(paper's shape: smart analyses at 14%%-87%% of copy; "
+              "e-removal the best trade-off;\n mono comparable to the "
+              "smart analyses but context-insensitive)\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+//===-- bench/bench_simplify.cpp - Fig. 6.4 & 6.6 reproduction -*- C++ -*-===//
+///
+/// \file
+/// Reproduces the simplification experiments of chapter 6:
+///
+///  - the worked example of figs. 6.2/6.4 (the constraint system of
+///    P = (λy.((λz.1) y)) shrinking under empty / unreachable / ε-removal),
+///  - fig. 6.6: for each benchmark component, the closed constraint-system
+///    size and the reduction factor + time of the four simplification
+///    algorithms (empty, unreachable, ε-removal, Hopcroft), each level
+///    including its predecessors.
+///
+/// Absolute sizes/times differ from the 1997 MzScheme implementation; the
+/// reproduction target is the shape: order-of-magnitude reductions, each
+/// algorithm at least as strong as its predecessor, modest costs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench_util.h"
+
+#include "corpus/corpus.h"
+#include "simplify/simplify.h"
+
+using namespace spidey;
+using namespace spidey::bench;
+
+namespace {
+
+const SimplifyAlgorithm Algs[] = {
+    SimplifyAlgorithm::Empty, SimplifyAlgorithm::Unreachable,
+    SimplifyAlgorithm::EpsilonRemoval, SimplifyAlgorithm::Hopcroft};
+
+void workedExample() {
+  std::printf("== Worked example (figs. 6.2/6.4): P = (lambda (y) ((lambda "
+              "(z) 1) y)) ==\n");
+  Program P = parseOrDie("(lambda (y) ((lambda (z) 1) y))");
+  Analysis A = analyzeProgram(P);
+  ExprId Root = P.Components[0].Forms.back().Body;
+  std::vector<SetVar> E{A.Maps.exprVar(Root)};
+  std::printf("  closed system: %zu constraints, E = {alpha_P}\n",
+              A.System->size());
+  for (SimplifyAlgorithm Alg : Algs) {
+    ConstraintSystem S = simplifyConstraints(*A.System, E, Alg);
+    std::printf("  %-12s -> %3zu constraints\n", simplifyAlgorithmName(Alg),
+                S.size());
+  }
+  std::printf("  (paper: 14 closed constraints -> 8 non-empty -> 5 "
+              "reachable -> 3 after e-removal)\n\n");
+}
+
+void figure66() {
+  std::printf("== Figure 6.6: behavior of the constraint simplification "
+              "algorithms ==\n");
+  std::printf("%-12s %6s %8s |", "definition", "lines", "size");
+  for (SimplifyAlgorithm Alg : Algs)
+    std::printf(" %11s factor time(ms) |", simplifyAlgorithmName(Alg));
+  std::printf("\n");
+
+  const char *Names[] = {"map",  "reverse", "substring",   "qsort",  "unify",
+                         "hopcroft", "check", "escher-fish", "scanner"};
+  for (const char *Name : Names) {
+    const CorpusEntry &Entry = corpusProgram(Name);
+    std::string Source = Entry.Source;
+    size_t Lines = 0;
+    for (char C : Source)
+      Lines += C == '\n';
+    Program P = parseOrDie(Source, std::string(Name) + ".ss");
+    Analysis A = analyzeProgram(P);
+    // The component's interface: its final (demo/export) definition, as
+    // for a module exporting one value — the paper simplifies each
+    // component with respect to its external interface only.
+    std::vector<SetVar> AllDefs = topLevelExternals(P, A.Maps);
+    std::vector<SetVar> E;
+    if (!AllDefs.empty())
+      E.push_back(AllDefs.back());
+    size_t Orig = A.System->size();
+    std::printf("%-12s %6zu %8zu |", Name, Lines, Orig);
+    for (SimplifyAlgorithm Alg : Algs) {
+      size_t After = 0;
+      double Ms = timeMs([&] {
+        ConstraintSystem S = simplifyConstraints(*A.System, E, Alg);
+        After = S.size();
+      });
+      double Factor = After == 0 ? 0 : double(Orig) / double(After);
+      std::printf(" %11s %6.1f %8.2f |", "", Factor, Ms);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n(paper's shape: factors grow monotonically across the "
+              "algorithms,\n typically 3x-680x, at millisecond costs per "
+              "component)\n");
+}
+
+} // namespace
+
+int main() {
+  workedExample();
+  figure66();
+  return 0;
+}

@@ -1,0 +1,62 @@
+//===-- bench/bench_util.h - Shared benchmark helpers ----------*- C++ -*-===//
+
+#ifndef SPIDEY_BENCH_BENCH_UTIL_H
+#define SPIDEY_BENCH_BENCH_UTIL_H
+
+#include "analysis/analysis.h"
+#include "lang/parser.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace spidey::bench {
+
+/// Wall-clock milliseconds of a callable.
+template <typename Fn> double timeMs(Fn &&F) {
+  auto Start = std::chrono::steady_clock::now();
+  F();
+  auto End = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(End - Start).count();
+}
+
+inline Program parseOrDie(const std::vector<SourceFile> &Files) {
+  Program P;
+  DiagnosticEngine Diags;
+  if (!parseProgram(P, Diags, Files)) {
+    std::fprintf(stderr, "benchmark program failed to parse:\n%s\n",
+                 Diags.str().c_str());
+    std::exit(1);
+  }
+  return P;
+}
+
+inline Program parseOrDie(const std::string &Source,
+                          const std::string &Name = "bench.ss") {
+  return parseOrDie(std::vector<SourceFile>{{Name, Source}});
+}
+
+inline size_t lineCount(const std::vector<SourceFile> &Files) {
+  size_t Lines = 0;
+  for (const SourceFile &F : Files)
+    for (char C : F.Text)
+      Lines += C == '\n';
+  return Lines;
+}
+
+/// The set variables of all top-level defines (the usual external set).
+inline std::vector<SetVar> topLevelExternals(const Program &P,
+                                             const AnalysisMaps &Maps) {
+  std::vector<SetVar> E;
+  for (const Component &C : P.Components)
+    for (const TopForm &F : C.Forms)
+      if (F.DefVar != NoVar && Maps.VarVar[F.DefVar] != NoSetVar)
+        E.push_back(Maps.VarVar[F.DefVar]);
+  return E;
+}
+
+} // namespace spidey::bench
+
+#endif // SPIDEY_BENCH_BENCH_UTIL_H

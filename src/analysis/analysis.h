@@ -1,0 +1,206 @@
+//===-- analysis/analysis.h - Constraint derivation ------------*- C++ -*-===//
+///
+/// \file
+/// The specification phase of set-based analysis: syntax-directed
+/// constraint derivation (fig. 2.2 and the extension rules of figs.
+/// 3.2–3.7), with let-polymorphism via constraint schemas (rules let/inst)
+/// and the "smart" simplify-before-copy polymorphic variants of §7.4.
+///
+/// Every expression is a labeled expression: ExprVar maps each ExprId to
+/// its set variable, and sba(P)(l) is that variable's constant set in the
+/// closed system (Theorem 2.6.5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIDEY_ANALYSIS_ANALYSIS_H
+#define SPIDEY_ANALYSIS_ANALYSIS_H
+
+#include "constraints/constraint_system.h"
+#include "lang/ast.h"
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace spidey {
+
+/// One value that a check site inspects, with the constants it accepts.
+struct CheckScrutinee {
+  SetVar V = NoSetVar;
+  KindMask Accept = AnyKindMask;
+  uint32_t Arity = 0;      ///< required FnTag arity when CheckArity
+  bool CheckArity = false; ///< application sites check arity (App. E.3)
+  uint8_t ArgIndex = 0;    ///< which operand this is (for messages)
+  /// For structure accessors (App. D.5.4): the exact struct tag that is
+  /// acceptable; other StructTag constants are inappropriate.
+  Constant RequiredTag = 0;
+  bool HasRequiredTag = false;
+};
+
+/// A program operation that may raise a run-time error (§4.3): an
+/// application, a checked primitive, or a unit/class operation.
+struct CheckSite {
+  ExprId Site = NoExpr;
+  std::string What; ///< e.g. "car", "application", "invoke"
+  std::vector<CheckScrutinee> Scrutinees;
+};
+
+/// Side tables produced by derivation.
+struct AnalysisMaps {
+  std::vector<SetVar> ExprVar; ///< ExprId -> label set variable
+  std::vector<SetVar> VarVar;  ///< VarId -> set variable
+  std::vector<CheckSite> Checks;
+  std::unordered_set<ExprId> CheckedSites; ///< dedup across derivations
+  std::unordered_map<Constant, ExprId> TagSite;  ///< tag -> defining expr
+  std::unordered_map<ExprId, Constant> SiteTags; ///< defining expr -> tag
+  std::vector<Constant> StructTagOf; ///< StructId -> tag constant
+
+  SetVar exprVar(ExprId E) const { return ExprVar[E]; }
+  SetVar varVar(VarId V) const { return VarVar[V]; }
+};
+
+/// Polymorphism handling for let-bound values and (unassigned) top-level
+/// define-bound values (§7.2/§7.4).
+enum class PolyMode : uint8_t {
+  Mono,  ///< context-insensitive
+  Copy,  ///< duplicate the raw constraint system per reference
+  Smart, ///< simplify the system once, duplicate the simplified system
+};
+
+/// Hook that simplifies a schema's system with respect to its external
+/// variables; wired to a concrete §6.4 algorithm by the caller. Must
+/// return a system over the same context.
+using SchemaSimplifier = std::function<ConstraintSystem(
+    const ConstraintSystem &, const std::vector<SetVar> &)>;
+
+struct AnalysisOptions {
+  PolyMode Poly = PolyMode::Mono;
+  /// Narrow immutable variables through predicate tests, e.g. in
+  /// (if (pair? x) M N) references to x in M see only pair values. This is
+  /// MrSpidey's primitive-filter behavior (App. E.5); the formal system of
+  /// ch. 2 corresponds to IfSplitting = false.
+  bool IfSplitting = true;
+  /// Treat unassigned top-level defines of syntactic values polymorphically
+  /// (only meaningful when Poly != Mono).
+  bool PolyTopLevel = true;
+  /// Required when Poly == Smart.
+  SchemaSimplifier Simplify;
+  /// Keep check-site scrutinees and labels of schema bodies observable
+  /// through simplification (the static debugger needs them). Disable to
+  /// reproduce the pure timing experiments of fig. 7.6, where the smart
+  /// analyses simplify each definition down to its data-flow interface.
+  bool PreciseSchemaChecks = true;
+};
+
+/// Statistics of one derivation run.
+struct DeriveStats {
+  uint64_t SchemasCreated = 0;
+  uint64_t Instantiations = 0;
+  uint64_t InstantiatedConstraints = 0;
+};
+
+/// Derives constraints for programs. One Deriver may process several
+/// components (sharing its schema table); all constraints for a component
+/// go into the caller-supplied system.
+class Deriver {
+public:
+  Deriver(const Program &P, ConstraintContext &Ctx, AnalysisMaps &Maps,
+          AnalysisOptions Opts);
+
+  /// Derives one component's top-level forms into \p S (the componential
+  /// step-1 building block, §7.1).
+  void deriveComponent(uint32_t CompIdx, ConstraintSystem &S);
+
+  /// Derives the whole program into \p S.
+  void deriveAll(ConstraintSystem &S);
+
+  /// Derives a single expression; returns its set variable. Exposed for
+  /// tests.
+  SetVar deriveExpr(ExprId E, ConstraintSystem &S);
+
+  const DeriveStats &stats() const { return Stats; }
+
+private:
+  struct Schema {
+    SetVar Result = NoSetVar;
+    std::unique_ptr<ConstraintSystem> System;
+    std::vector<SetVar> Quantified;
+    /// Scrutinee variables of check sites inside the schema body; each
+    /// instantiation links its copy back so that the (shared) check sees
+    /// the union over all instances.
+    std::vector<SetVar> CheckVars;
+    /// Label variables (expression and program-variable variables) used in
+    /// the schema body. The paper's (let) rule does not generalize labels;
+    /// since we conflate each expression's result variable with its label,
+    /// instantiation adds ψ(l) ≤ l sink edges instead, so sba(P)(l) is the
+    /// union over all instances (soundness at labels, Thm 2.6.4).
+    std::vector<SetVar> LabelVars;
+  };
+
+  SetVar varOfExpr(ExprId E);
+  SetVar varOfVar(VarId V);
+  Constant fnTag(ExprId E, uint32_t Arity, Symbol Label);
+  Constant siteTag(ConstKind K, ExprId E, Symbol Label = InvalidSymbol);
+  Constant structTag(uint32_t StructId);
+  SetVar deriveStructApp(ExprId E, ConstraintSystem &S);
+
+  void addResultMask(ConstraintSystem &S, SetVar A, KindMask Mask);
+  void splitTest(ExprId Test, VarId &OutVar, KindMask &ThenMask) const;
+  void addPrimChecks(ExprId E, const std::vector<SetVar> &Args);
+  SetVar derivePrim(ExprId E, ConstraintSystem &S);
+  SetVar deriveVarRef(ExprId E, ConstraintSystem &S);
+
+  /// Derives a polymorphic binding's schema; returns null if the binding
+  /// does not qualify (not a syntactic value, assigned, poly disabled).
+  std::shared_ptr<Schema> maybeMakeSchema(VarId Var, ExprId Init,
+                                          ConstraintSystem &MainS);
+  /// Copies a schema's system into \p S with fresh quantified variables;
+  /// returns the instantiated result variable.
+  SetVar instantiate(const Schema &Sch, ConstraintSystem &S);
+
+  /// Collects variables of \p S that were allocated at or after
+  /// \p Watermark (the generalizable ones).
+  std::vector<SetVar> quantifiedSince(const ConstraintSystem &S,
+                                      SetVar Watermark) const;
+
+  bool isSyntacticValue(ExprId E) const;
+  bool isAssigned(VarId V) const { return AssignedVars.count(V) != 0; }
+
+  const Program &P;
+  ConstraintContext &Ctx;
+  AnalysisMaps &Maps;
+  AnalysisOptions Opts;
+  DeriveStats Stats;
+
+  std::unordered_map<VarId, std::shared_ptr<Schema>> Schemas;
+  std::unordered_map<VarId, uint32_t> SchemaComponent;
+  std::unordered_set<VarId> AssignedVars;
+  uint32_t CurrentComponent = 0;
+  /// Non-null while deriving a schema body; collects check scrutinees.
+  Schema *ActiveSchema = nullptr;
+  /// Predicate refinements in scope: variable -> stack of narrowed set
+  /// variables (innermost last).
+  std::unordered_map<VarId, std::vector<SetVar>> Refined;
+};
+
+/// A complete whole-program analysis: context, closed system, maps.
+struct Analysis {
+  std::unique_ptr<ConstraintContext> Ctx;
+  std::unique_ptr<ConstraintSystem> System;
+  AnalysisMaps Maps;
+  const Program *Prog = nullptr;
+  DeriveStats Stats;
+
+  /// sba(P)(l): the abstract constants the analysis predicts for label l.
+  std::vector<Constant> sba(ExprId L) const {
+    return System->constantsOf(Maps.exprVar(L));
+  }
+};
+
+/// Runs standard (whole-program) set-based analysis.
+Analysis analyzeProgram(const Program &P, const AnalysisOptions &Opts = {});
+
+} // namespace spidey
+
+#endif // SPIDEY_ANALYSIS_ANALYSIS_H

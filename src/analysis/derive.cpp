@@ -1,0 +1,835 @@
+//===-- analysis/derive.cpp - Constraint derivation rules -----*- C++ -*-===//
+
+#include "analysis/analysis.h"
+
+#include <cassert>
+
+using namespace spidey;
+
+namespace {
+
+constexpr KindMask FnLikeMask =
+    kindBit(ConstKind::FnTag) | kindBit(ConstKind::ContTag);
+
+} // namespace
+
+Deriver::Deriver(const Program &P, ConstraintContext &Ctx, AnalysisMaps &Maps,
+                 AnalysisOptions Opts)
+    : P(P), Ctx(Ctx), Maps(Maps), Opts(std::move(Opts)) {
+  Maps.ExprVar.resize(P.numExprs(), NoSetVar);
+  Maps.VarVar.resize(P.numVars(), NoSetVar);
+  // Precompute which variables are targets of set! anywhere; those may not
+  // be treated polymorphically.
+  for (const Expr &E : P.Exprs)
+    if (E.K == ExprKind::Set)
+      AssignedVars.insert(E.Var);
+  // Pre-allocate all top-level variables so forward references inside
+  // schema bodies never allocate them above a schema's watermark (they
+  // must stay free, not generalized).
+  for (VarId V = 0; V < P.numVars(); ++V)
+    if (P.var(V).TopLevel)
+      varOfVar(V);
+}
+
+SetVar Deriver::varOfExpr(ExprId E) {
+  SetVar &V = Maps.ExprVar[E];
+  if (V == NoSetVar)
+    V = Ctx.freshVar();
+  if (ActiveSchema)
+    ActiveSchema->LabelVars.push_back(V);
+  return V;
+}
+
+SetVar Deriver::varOfVar(VarId V) {
+  SetVar &SV = Maps.VarVar[V];
+  if (SV == NoSetVar)
+    SV = Ctx.freshVar();
+  if (ActiveSchema)
+    ActiveSchema->LabelVars.push_back(SV);
+  return SV;
+}
+
+Constant Deriver::siteTag(ConstKind K, ExprId E, Symbol Label) {
+  auto It = Maps.SiteTags.find(E);
+  if (It != Maps.SiteTags.end())
+    return It->second;
+  uint32_t Arity = 0;
+  if (K == ConstKind::FnTag)
+    Arity = static_cast<uint32_t>(P.expr(E).Params.size());
+  Constant Tag = Ctx.Constants.makeTag(K, Arity, P.expr(E).Loc, Label);
+  Maps.SiteTags.emplace(E, Tag);
+  Maps.TagSite.emplace(Tag, E);
+  return Tag;
+}
+
+void Deriver::addResultMask(ConstraintSystem &S, SetVar A, KindMask Mask) {
+  for (unsigned K = 0; K <= static_cast<unsigned>(ConstKind::VecTag); ++K)
+    if (Mask & kindBit(static_cast<ConstKind>(K)))
+      S.addConstLower(A, Ctx.Constants.basic(static_cast<ConstKind>(K)));
+}
+
+void Deriver::addPrimChecks(ExprId E, const std::vector<SetVar> &Args) {
+  const Expr &Node = P.expr(E);
+  Prim Op = Node.PrimOp;
+  if (!primIsChecked(Op))
+    return;
+  if (!Maps.CheckedSites.insert(E).second) {
+    // Re-derivation of a component: the site is already recorded.
+    if (ActiveSchema)
+      for (unsigned I = 0; I < Args.size(); ++I)
+        if (primArgMask(Op, I) != AnyKindMask)
+          ActiveSchema->CheckVars.push_back(Args[I]);
+    return;
+  }
+  CheckSite Check;
+  Check.Site = E;
+  Check.What = primSpec(Op).Name;
+  for (unsigned I = 0; I < Args.size(); ++I) {
+    KindMask Mask = primArgMask(Op, I);
+    if (Mask == AnyKindMask)
+      continue;
+    CheckScrutinee Scr;
+    Scr.V = Args[I];
+    Scr.Accept = Mask;
+    Scr.ArgIndex = static_cast<uint8_t>(I);
+    Check.Scrutinees.push_back(Scr);
+    if (ActiveSchema)
+      ActiveSchema->CheckVars.push_back(Args[I]);
+  }
+  Maps.Checks.push_back(std::move(Check));
+}
+
+/// Records a non-primitive check site with a single scrutinee.
+static void recordCheck(AnalysisMaps &Maps, std::vector<SetVar> *SchemaVars,
+                        ExprId Site, std::string What, CheckScrutinee Scr) {
+  if (SchemaVars)
+    SchemaVars->push_back(Scr.V);
+  if (!Maps.CheckedSites.insert(Site).second)
+    return;
+  CheckSite Check;
+  Check.Site = Site;
+  Check.What = std::move(What);
+  Check.Scrutinees.push_back(Scr);
+  Maps.Checks.push_back(std::move(Check));
+}
+
+/// Recognizes predicate tests that support narrowing: (pred x) for an
+/// immutable variable x, and (not (pred x)) with the branches swapped.
+void Deriver::splitTest(ExprId Test, VarId &OutVar,
+                        KindMask &ThenMask) const {
+  const Expr &T = P.expr(Test);
+  if (T.K == ExprKind::StructApp &&
+      static_cast<StructOpKind>(T.StructOp) == StructOpKind::Pred) {
+    // (name? x): narrow to the structure kind (identity is re-checked at
+    // the accessors themselves).
+    const Expr &Arg = P.expr(T.Kids[0]);
+    if (Arg.K == ExprKind::Var && !P.var(Arg.Var).Assignable) {
+      OutVar = Arg.Var;
+      ThenMask = kindBit(ConstKind::StructTag);
+    }
+    return;
+  }
+  if (T.K != ExprKind::PrimApp || T.Kids.size() != 1)
+    return;
+  if (T.PrimOp == Prim::Not) {
+    VarId Inner = NoVar;
+    KindMask InnerMask = 0;
+    splitTest(T.Kids[0], Inner, InnerMask);
+    if (Inner != NoVar) {
+      OutVar = Inner;
+      ThenMask = ValidKindMask & ~InnerMask;
+    }
+    return;
+  }
+  KindMask Mask;
+  switch (T.PrimOp) {
+  case Prim::IsNumber:
+    Mask = kindBit(ConstKind::Num);
+    break;
+  case Prim::IsPair:
+    Mask = kindBit(ConstKind::Pair);
+    break;
+  case Prim::IsNull:
+    Mask = kindBit(ConstKind::Nil);
+    break;
+  case Prim::IsString:
+    Mask = kindBit(ConstKind::Str);
+    break;
+  case Prim::IsSymbol:
+    Mask = kindBit(ConstKind::Sym);
+    break;
+  case Prim::IsBoolean:
+    Mask = kindBit(ConstKind::True) | kindBit(ConstKind::False);
+    break;
+  case Prim::IsChar:
+    Mask = kindBit(ConstKind::Char);
+    break;
+  case Prim::IsProcedure:
+    Mask = kindBit(ConstKind::FnTag) | kindBit(ConstKind::ContTag);
+    break;
+  case Prim::IsEof:
+    Mask = kindBit(ConstKind::Eof);
+    break;
+  case Prim::IsBox:
+    Mask = kindBit(ConstKind::BoxTag);
+    break;
+  case Prim::IsVector:
+    Mask = kindBit(ConstKind::VecTag);
+    break;
+  default:
+    return;
+  }
+  const Expr &Arg = P.expr(T.Kids[0]);
+  if (Arg.K != ExprKind::Var || P.var(Arg.Var).Assignable)
+    return;
+  OutVar = Arg.Var;
+  ThenMask = Mask;
+}
+
+Constant Deriver::structTag(uint32_t StructId) {
+  if (Maps.StructTagOf.size() <= StructId)
+    Maps.StructTagOf.resize(P.Structs.size(), 0);
+  Constant &Tag = Maps.StructTagOf[StructId];
+  if (Tag == 0) {
+    const StructDecl &D = P.Structs[StructId];
+    Tag = Ctx.Constants.makeTag(ConstKind::StructTag, 0, D.Loc, D.Name);
+  }
+  return Tag;
+}
+
+/// Derivation for declared-constructor operations (App. D.5.4): the
+/// structure behaves like a record of split boxes, one per field, under
+/// its own tag and field selectors.
+SetVar Deriver::deriveStructApp(ExprId E, ConstraintSystem &S) {
+  const Expr &Node = P.expr(E);
+  SetVar A = varOfExpr(E);
+  const StructDecl &D = P.Structs[Node.StructId];
+  std::vector<SetVar> Args;
+  for (ExprId Kid : Node.Kids)
+    Args.push_back(deriveExpr(Kid, S));
+  auto FieldSel = [&](uint32_t F, bool Plus) {
+    std::string Name = std::string(Plus ? "sfld+" : "sfld-") +
+                       P.Syms.name(D.Name) + "." +
+                       P.Syms.name(D.Fields[F]);
+    return Ctx.Selectors.intern(
+        Name, Plus ? Polarity::Monotone : Polarity::AntiMonotone,
+        kindBit(ConstKind::StructTag));
+  };
+  std::vector<SetVar> *SchemaVars =
+      ActiveSchema ? &ActiveSchema->CheckVars : nullptr;
+  auto StructCheck = [&](const char *What) {
+    CheckScrutinee Scr;
+    Scr.V = Args[0];
+    Scr.Accept = kindBit(ConstKind::StructTag);
+    Scr.RequiredTag = structTag(Node.StructId);
+    Scr.HasRequiredTag = true;
+    recordCheck(Maps, SchemaVars, E, What, Scr);
+  };
+  switch (static_cast<StructOpKind>(Node.StructOp)) {
+  case StructOpKind::Make: {
+    S.addConstLower(A, structTag(Node.StructId));
+    for (uint32_t F = 0; F < D.Fields.size(); ++F) {
+      SetVar Delta = Ctx.freshVar();
+      S.addVarUpper(Args[F], Delta);
+      S.addSelLower(A, FieldSel(F, false), Delta);
+      S.addSelLower(A, FieldSel(F, true), Delta);
+    }
+    return A;
+  }
+  case StructOpKind::Pred:
+    addResultMask(S, A,
+                  kindBit(ConstKind::True) | kindBit(ConstKind::False));
+    return A;
+  case StructOpKind::Get:
+    S.addSelUpper(Args[0], FieldSel(Node.FieldIndex, true), A);
+    StructCheck((P.Syms.name(D.Name) + "-" +
+                 P.Syms.name(D.Fields[Node.FieldIndex]))
+                    .c_str());
+    return A;
+  case StructOpKind::Set:
+    S.addSelUpper(Args[0], FieldSel(Node.FieldIndex, false), Args[1]);
+    S.addVarUpper(Args[1], A);
+    StructCheck(("set-" + P.Syms.name(D.Name) + "-" +
+                 P.Syms.name(D.Fields[Node.FieldIndex]) + "!")
+                    .c_str());
+    return A;
+  }
+  return A;
+}
+
+bool Deriver::isSyntacticValue(ExprId E) const {
+  switch (P.expr(E).K) {
+  case ExprKind::Lambda:
+  case ExprKind::Num:
+  case ExprKind::Bool:
+  case ExprKind::Str:
+  case ExprKind::Char:
+  case ExprKind::Nil:
+  case ExprKind::Quote:
+  case ExprKind::Void:
+    return true;
+  default:
+    return false;
+  }
+}
+
+std::vector<SetVar>
+Deriver::quantifiedSince(const ConstraintSystem &S, SetVar Watermark) const {
+  std::vector<SetVar> Result;
+  for (SetVar V : S.variables())
+    if (V >= Watermark)
+      Result.push_back(V);
+  return Result;
+}
+
+std::shared_ptr<Deriver::Schema>
+Deriver::maybeMakeSchema(VarId Var, ExprId Init, ConstraintSystem &MainS) {
+  (void)MainS;
+  if (Opts.Poly == PolyMode::Mono)
+    return nullptr;
+  if (P.var(Var).TopLevel && !Opts.PolyTopLevel)
+    return nullptr;
+  if (isAssigned(Var))
+    return nullptr;
+  if (!isSyntacticValue(Init))
+    return nullptr;
+
+  SetVar Watermark = Ctx.numVars();
+  auto Sch = std::make_shared<Schema>();
+  Sch->System = std::make_unique<ConstraintSystem>(Ctx);
+
+  Schema *SavedActive = ActiveSchema;
+  ActiveSchema = Sch.get();
+  SetVar Result = deriveExpr(Init, *Sch->System);
+  ActiveSchema = SavedActive;
+
+  // Recursion knot for top-level defines: recursive references inside the
+  // body go through the (monomorphic) variable; every instance also feeds
+  // it so the recursive data flow is complete.
+  if (P.var(Var).TopLevel)
+    Sch->System->addVarUpper(Result, varOfVar(Var));
+  Sch->Result = Result;
+
+  if (Opts.Poly == PolyMode::Smart && Opts.Simplify) {
+    std::vector<SetVar> Externals;
+    Externals.push_back(Result);
+    for (SetVar V : Sch->System->variables())
+      if (V < Watermark)
+        Externals.push_back(V);
+    if (Opts.PreciseSchemaChecks)
+      for (SetVar V : Sch->CheckVars)
+        Externals.push_back(V);
+    ConstraintSystem Simplified = Opts.Simplify(*Sch->System, Externals);
+    *Sch->System = std::move(Simplified);
+  }
+  Sch->Quantified = quantifiedSince(*Sch->System, Watermark);
+  ++Stats.SchemasCreated;
+  return Sch;
+}
+
+SetVar Deriver::instantiate(const Schema &Sch, ConstraintSystem &S) {
+  std::unordered_map<SetVar, SetVar> Subst;
+  Subst.reserve(Sch.Quantified.size());
+  for (SetVar Q : Sch.Quantified)
+    Subst.emplace(Q, Ctx.freshVar());
+  auto M = [&](SetVar V) {
+    auto It = Subst.find(V);
+    return It == Subst.end() ? V : It->second;
+  };
+  for (SetVar A : Sch.System->variables()) {
+    SetVar MA = M(A);
+    for (const LowerBound &L : Sch.System->lowerBounds(A)) {
+      if (L.K == LowerBound::Kind::ConstLB)
+        S.addConstLower(MA, L.C);
+      else
+        S.addSelLower(MA, L.Sel, M(L.Other));
+    }
+    for (const UpperBound &U : Sch.System->upperBounds(A)) {
+      if (U.K == UpperBound::Kind::VarUB)
+        S.addVarUpper(MA, M(U.Other));
+      else if (U.K == UpperBound::Kind::FilterUB)
+        S.addFilterUpper(MA, U.Sel, M(U.Other));
+      else
+        S.addSelUpper(MA, U.Sel, M(U.Other));
+    }
+  }
+  // Feed each label's and check scrutinee's copy back into the shared
+  // variable (the paper's ungeneralized labels).
+  for (SetVar V : Sch.LabelVars)
+    if (SetVar MV = M(V); MV != V)
+      S.addVarUpper(MV, V);
+  for (SetVar V : Sch.CheckVars)
+    if (SetVar MV = M(V); MV != V)
+      S.addVarUpper(MV, V);
+  ++Stats.Instantiations;
+  Stats.InstantiatedConstraints += Sch.System->size();
+  return M(Sch.Result);
+}
+
+void Deriver::deriveComponent(uint32_t CompIdx, ConstraintSystem &S) {
+  CurrentComponent = CompIdx;
+  const Component &C = P.Components[CompIdx];
+  for (const TopForm &F : C.Forms) {
+    if (F.DefVar == NoVar) {
+      deriveExpr(F.Body, S);
+      continue;
+    }
+    if (auto Sch = maybeMakeSchema(F.DefVar, F.Body, S)) {
+      Schemas[F.DefVar] = Sch;
+      SchemaComponent[F.DefVar] = CompIdx;
+      // One default instance so monomorphic fallbacks, re-exports and the
+      // recursion knot have a concrete inhabitant.
+      SetVar Inst = instantiate(*Sch, S);
+      S.addVarUpper(Inst, varOfVar(F.DefVar));
+      continue;
+    }
+    SetVar B = deriveExpr(F.Body, S);
+    S.addVarUpper(B, varOfVar(F.DefVar));
+  }
+}
+
+void Deriver::deriveAll(ConstraintSystem &S) {
+  for (uint32_t I = 0; I < P.Components.size(); ++I)
+    deriveComponent(I, S);
+}
+
+SetVar Deriver::deriveVarRef(ExprId E, ConstraintSystem &S) {
+  const Expr &Node = P.expr(E);
+  SetVar A = varOfExpr(E);
+  // Predicate-narrowed variables read through their refinement.
+  if (auto RIt = Refined.find(Node.Var);
+      RIt != Refined.end() && !RIt->second.empty()) {
+    S.addVarUpper(RIt->second.back(), A);
+    return A;
+  }
+  auto It = Schemas.find(Node.Var);
+  bool UseSchema = It != Schemas.end();
+  if (UseSchema && P.var(Node.Var).TopLevel &&
+      SchemaComponent[Node.Var] != CurrentComponent) {
+    // Cross-component references are monomorphic so that a component's
+    // constraint file does not embed copies of other components (§7.1).
+    UseSchema = false;
+  }
+  if (UseSchema) {
+    SetVar Inst = instantiate(*It->second, S);
+    S.addVarUpper(Inst, A);
+  } else {
+    S.addVarUpper(varOfVar(Node.Var), A);
+  }
+  return A;
+}
+
+SetVar Deriver::derivePrim(ExprId E, ConstraintSystem &S) {
+  const Expr &Node = P.expr(E);
+  SetVar A = varOfExpr(E);
+  std::vector<SetVar> Args;
+  Args.reserve(Node.Kids.size());
+  for (ExprId Kid : Node.Kids)
+    Args.push_back(deriveExpr(Kid, S));
+  addPrimChecks(E, Args);
+
+  const PrimSpec &Spec = primSpec(Node.PrimOp);
+  switch (Spec.Shape) {
+  case PrimShape::Generic:
+    addResultMask(S, A, Spec.ResultMask);
+    break;
+  case PrimShape::ConsShape:
+    // (cons M1 M2): pair ≤ α, α1 ≤ car(α), α2 ≤ cdr(α)  (fig. 3.2)
+    S.addConstLower(A, Ctx.Constants.basic(ConstKind::Pair));
+    S.addSelLower(A, Ctx.Car, Args[0]);
+    S.addSelLower(A, Ctx.Cdr, Args[1]);
+    break;
+  case PrimShape::CarShape:
+    S.addSelUpper(Args[0], Ctx.Car, A);
+    break;
+  case PrimShape::CdrShape:
+    S.addSelUpper(Args[0], Ctx.Cdr, A);
+    break;
+  case PrimShape::BoxShape: {
+    // Split boxes (fig. 3.5): α0 ≤ δ, box⁻(α) ≤ δ, δ ≤ box⁺(α).
+    SetVar Delta = Ctx.freshVar();
+    S.addConstLower(A, Ctx.Constants.basic(ConstKind::BoxTag));
+    S.addVarUpper(Args[0], Delta);
+    S.addSelLower(A, Ctx.BoxMinus, Delta);
+    S.addSelLower(A, Ctx.BoxPlus, Delta);
+    break;
+  }
+  case PrimShape::UnboxShape:
+    S.addSelUpper(Args[0], Ctx.BoxPlus, A);
+    break;
+  case PrimShape::SetBoxShape:
+    S.addSelUpper(Args[0], Ctx.BoxMinus, Args[1]);
+    S.addVarUpper(Args[1], A);
+    break;
+  case PrimShape::VectorShape: {
+    // Vectors analyzed like boxes with one element component.
+    SetVar Delta = Ctx.freshVar();
+    S.addConstLower(A, Ctx.Constants.basic(ConstKind::VecTag));
+    if (Node.PrimOp == Prim::MakeVector) {
+      if (Args.size() > 1)
+        S.addVarUpper(Args[1], Delta);
+      else
+        S.addConstLower(Delta, Ctx.Constants.basic(ConstKind::Num));
+    } else {
+      for (SetVar Arg : Args)
+        S.addVarUpper(Arg, Delta);
+    }
+    S.addSelLower(A, Ctx.VecMinus, Delta);
+    S.addSelLower(A, Ctx.VecPlus, Delta);
+    break;
+  }
+  case PrimShape::VecRefShape:
+    S.addSelUpper(Args[0], Ctx.VecPlus, A);
+    break;
+  case PrimShape::VecSetShape:
+    S.addSelUpper(Args[0], Ctx.VecMinus, Args[2]);
+    S.addConstLower(A, Ctx.Constants.basic(ConstKind::Void));
+    break;
+  case PrimShape::ListShape:
+    // A proper list: nil plus a self-referential pair spine.
+    S.addConstLower(A, Ctx.Constants.basic(ConstKind::Nil));
+    if (!Args.empty()) {
+      S.addConstLower(A, Ctx.Constants.basic(ConstKind::Pair));
+      for (SetVar Arg : Args)
+        S.addSelLower(A, Ctx.Car, Arg);
+      S.addSelLower(A, Ctx.Cdr, A);
+    }
+    break;
+  case PrimShape::BottomShape:
+    // (error ...) never returns; α stays empty (least solution ⊥).
+    break;
+  }
+  return A;
+}
+
+SetVar Deriver::deriveExpr(ExprId E, ConstraintSystem &S) {
+  const Expr &Node = P.expr(E);
+  SetVar A = varOfExpr(E);
+  std::vector<SetVar> *SchemaVars =
+      ActiveSchema ? &ActiveSchema->CheckVars : nullptr;
+
+  switch (Node.K) {
+  case ExprKind::Var:
+    return deriveVarRef(E, S);
+  case ExprKind::Num:
+    S.addConstLower(A, Ctx.Constants.basic(ConstKind::Num));
+    return A;
+  case ExprKind::Bool:
+    S.addConstLower(A, Ctx.Constants.basic(Node.BoolVal ? ConstKind::True
+                                                        : ConstKind::False));
+    return A;
+  case ExprKind::Str:
+    S.addConstLower(A, Ctx.Constants.basic(ConstKind::Str));
+    return A;
+  case ExprKind::Char:
+    S.addConstLower(A, Ctx.Constants.basic(ConstKind::Char));
+    return A;
+  case ExprKind::Nil:
+    S.addConstLower(A, Ctx.Constants.basic(ConstKind::Nil));
+    return A;
+  case ExprKind::Quote:
+    S.addConstLower(A, Ctx.Constants.basic(ConstKind::Sym));
+    return A;
+  case ExprKind::Void:
+    S.addConstLower(A, Ctx.Constants.basic(ConstKind::Void));
+    return A;
+  case ExprKind::Lambda: {
+    // (abs): t ≤ α, dom_i(α) ≤ α_xi, α_body ≤ rng(α).
+    Constant Tag = siteTag(ConstKind::FnTag, E);
+    S.addConstLower(A, Tag);
+    for (size_t I = 0; I < Node.Params.size(); ++I)
+      S.addSelLower(A, Ctx.dom(static_cast<unsigned>(I)),
+                    varOfVar(Node.Params[I]));
+    SetVar Body = deriveExpr(Node.Kids[0], S);
+    S.addSelLower(A, Ctx.Rng, Body);
+    return A;
+  }
+  case ExprKind::App: {
+    // (app): β_i ≤ dom_i(β_f), rng(β_f) ≤ α.
+    SetVar Fn = deriveExpr(Node.Kids[0], S);
+    for (size_t I = 1; I < Node.Kids.size(); ++I) {
+      SetVar Arg = deriveExpr(Node.Kids[I], S);
+      S.addSelUpper(Fn, Ctx.dom(static_cast<unsigned>(I - 1)), Arg);
+    }
+    S.addSelUpper(Fn, Ctx.Rng, A);
+    CheckScrutinee Scr;
+    Scr.V = Fn;
+    Scr.Accept = FnLikeMask;
+    Scr.Arity = static_cast<uint32_t>(Node.Kids.size() - 1);
+    Scr.CheckArity = true;
+    recordCheck(Maps, SchemaVars, E, "application", Scr);
+    return A;
+  }
+  case ExprKind::PrimApp:
+    return derivePrim(E, S);
+  case ExprKind::StructApp:
+    return deriveStructApp(E, S);
+  case ExprKind::Let: {
+    for (const Binding &B : Node.Bindings) {
+      if (auto Sch = maybeMakeSchema(B.Var, B.Init, S)) {
+        Schemas[B.Var] = Sch;
+        SchemaComponent[B.Var] = CurrentComponent;
+        continue;
+      }
+      SetVar Init = deriveExpr(B.Init, S);
+      S.addVarUpper(Init, varOfVar(B.Var));
+    }
+    SetVar Body = deriveExpr(Node.Kids[0], S);
+    S.addVarUpper(Body, A);
+    return A;
+  }
+  case ExprKind::Letrec: {
+    // (letrec): β_i ≤ α_zi for each definition (fig. 3.4).
+    for (const Binding &B : Node.Bindings) {
+      SetVar Init = deriveExpr(B.Init, S);
+      S.addVarUpper(Init, varOfVar(B.Var));
+    }
+    SetVar Body = deriveExpr(Node.Kids[0], S);
+    S.addVarUpper(Body, A);
+    return A;
+  }
+  case ExprKind::Set: {
+    // (set!): the assigned value flows into the variable and is the
+    // expression's result (fig. 3.4).
+    SetVar Rhs = deriveExpr(Node.Kids[0], S);
+    S.addVarUpper(Rhs, varOfVar(Node.Var));
+    S.addVarUpper(Rhs, A);
+    return A;
+  }
+  case ExprKind::If: {
+    deriveExpr(Node.Kids[0], S);
+    // Predicate-based narrowing (MrSpidey's filters): for a test
+    // (pred x) on an immutable variable, references to x in the branches
+    // see only the matching (resp. non-matching) kinds.
+    VarId TestVar = NoVar;
+    KindMask ThenMask = 0;
+    if (Opts.IfSplitting)
+      splitTest(Node.Kids[0], TestVar, ThenMask);
+    if (TestVar != NoVar) {
+      SetVar Base;
+      if (auto RIt = Refined.find(TestVar);
+          RIt != Refined.end() && !RIt->second.empty())
+        Base = RIt->second.back();
+      else
+        Base = varOfVar(TestVar);
+      SetVar ThenV = Ctx.freshVar(), ElseV = Ctx.freshVar();
+      S.addFilterUpper(Base, ThenMask, ThenV);
+      S.addFilterUpper(Base, ValidKindMask & ~ThenMask, ElseV);
+      Refined[TestVar].push_back(ThenV);
+      SetVar Then = deriveExpr(Node.Kids[1], S);
+      Refined[TestVar].back() = ElseV;
+      SetVar Else = deriveExpr(Node.Kids[2], S);
+      Refined[TestVar].pop_back();
+      S.addVarUpper(Then, A);
+      S.addVarUpper(Else, A);
+      return A;
+    }
+    SetVar Then = deriveExpr(Node.Kids[1], S);
+    SetVar Else = deriveExpr(Node.Kids[2], S);
+    S.addVarUpper(Then, A);
+    S.addVarUpper(Else, A);
+    return A;
+  }
+  case ExprKind::Begin: {
+    SetVar Last = NoSetVar;
+    for (ExprId Kid : Node.Kids)
+      Last = deriveExpr(Kid, S);
+    S.addVarUpper(Last, A);
+    return A;
+  }
+  case ExprKind::Callcc: {
+    // (callcc), fig. 3.3: t ≤ δ, δ ≤ dom(β), rng(β) ≤ α, dom(δ) ≤ α,
+    // γ ≤ rng(δ).
+    SetVar Fn = deriveExpr(Node.Kids[0], S);
+    SetVar Delta = Ctx.freshVar();
+    Constant Tag = siteTag(ConstKind::ContTag, E);
+    S.addConstLower(Delta, Tag);
+    S.addSelUpper(Fn, Ctx.dom(0), Delta);
+    S.addSelUpper(Fn, Ctx.Rng, A);
+    S.addSelLower(Delta, Ctx.dom(0), A);
+    SetVar Gamma = Ctx.freshVar();
+    S.addSelLower(Delta, Ctx.Rng, Gamma);
+    CheckScrutinee Scr;
+    Scr.V = Fn;
+    Scr.Accept = FnLikeMask;
+    Scr.Arity = 1;
+    Scr.CheckArity = true;
+    recordCheck(Maps, SchemaVars, E, "call/cc", Scr);
+    return A;
+  }
+  case ExprKind::Abort:
+    // (abort): the expression never returns normally; α stays free.
+    deriveExpr(Node.Kids[0], S);
+    return A;
+  case ExprKind::Unit: {
+    // (unit), fig. 3.6.
+    Constant Tag = siteTag(ConstKind::UnitTag, E);
+    S.addConstLower(A, Tag);
+    SetVar ImportV = varOfVar(Node.Params[0]);
+    SetVar ExportV = varOfVar(Node.Params[1]);
+    S.addSelLower(A, Ctx.Ui, ImportV);  // ui(α) ≤ γ1
+    S.addSelLower(A, Ctx.Ue, ExportV);  // γ2 ≤ ue(α)
+    for (const Binding &B : Node.Bindings) {
+      SetVar Init = deriveExpr(B.Init, S);
+      S.addVarUpper(Init, varOfVar(B.Var));
+    }
+    deriveExpr(Node.Kids[0], S);
+    return A;
+  }
+  case ExprKind::Link: {
+    // (link), fig. 3.6, with intermediate variables to stay within the
+    // simple constraint language:
+    //   ui(α) ≤ ι ≤ ui(β1), ue(β1) ≤ ε1 ≤ ui(β2), ue(β2) ≤ ε2 ≤ ue(α).
+    SetVar B1 = deriveExpr(Node.Kids[0], S);
+    SetVar B2 = deriveExpr(Node.Kids[1], S);
+    Constant Tag = siteTag(ConstKind::UnitTag, E);
+    S.addConstLower(A, Tag);
+    SetVar Iota = Ctx.freshVar();
+    S.addSelLower(A, Ctx.Ui, Iota);   // ui(α) ≤ ι
+    S.addSelUpper(B1, Ctx.Ui, Iota);  // ι ≤ ui(β1)
+    SetVar Eps1 = Ctx.freshVar();
+    S.addSelUpper(B1, Ctx.Ue, Eps1);  // ue(β1) ≤ ε1
+    S.addSelUpper(B2, Ctx.Ui, Eps1);  // ε1 ≤ ui(β2)
+    SetVar Eps2 = Ctx.freshVar();
+    S.addSelUpper(B2, Ctx.Ue, Eps2);  // ue(β2) ≤ ε2
+    S.addSelLower(A, Ctx.Ue, Eps2);   // ε2 ≤ ue(α)
+    CheckScrutinee S1;
+    S1.V = B1;
+    S1.Accept = kindBit(ConstKind::UnitTag);
+    CheckScrutinee S2;
+    S2.V = B2;
+    S2.Accept = kindBit(ConstKind::UnitTag);
+    S2.ArgIndex = 1;
+    if (SchemaVars) {
+      SchemaVars->push_back(B1);
+      SchemaVars->push_back(B2);
+    }
+    if (Maps.CheckedSites.insert(E).second) {
+      CheckSite Check;
+      Check.Site = E;
+      Check.What = "link";
+      Check.Scrutinees = {S1, S2};
+      Maps.Checks.push_back(std::move(Check));
+    }
+    return A;
+  }
+  case ExprKind::Invoke: {
+    // (invoke), fig. 3.6: Γ(z) ≤ ui(β), ue(β) ≤ α.
+    SetVar B = deriveExpr(Node.Kids[0], S);
+    S.addSelUpper(B, Ctx.Ui, varOfVar(Node.Var));
+    S.addSelUpper(B, Ctx.Ue, A);
+    CheckScrutinee Scr;
+    Scr.V = B;
+    Scr.Accept = kindBit(ConstKind::UnitTag);
+    recordCheck(Maps, SchemaVars, E, "invoke", Scr);
+    return A;
+  }
+  case ExprKind::TypeAssert: {
+    // (: e T), App. D.5.1: the asserted kinds are checked against e's
+    // value set, and the assertion's result is narrowed to them (the
+    // programmer's promise is usable downstream, like a filter).
+    SetVar B = deriveExpr(Node.Kids[0], S);
+    S.addFilterUpper(B, Node.Mask, A);
+    CheckScrutinee Scr;
+    Scr.V = B;
+    Scr.Accept = Node.Mask;
+    recordCheck(Maps, SchemaVars, E, "type-assertion", Scr);
+    return A;
+  }
+  case ExprKind::Class: {
+    if (Node.Kids.empty()) {
+      // object%: a class with no instance variables.
+      Constant Tag = siteTag(ConstKind::ClassTag, E);
+      S.addConstLower(A, Tag);
+      SetVar Obj = Ctx.freshVar();
+      Constant ObjTag = Ctx.Constants.makeTag(ConstKind::ObjTag, 0, Node.Loc);
+      Maps.TagSite.emplace(ObjTag, E);
+      S.addConstLower(Obj, ObjTag);
+      S.addSelLower(A, Ctx.ClObj, Obj);
+      return A;
+    }
+    // (class), fig. 3.7.
+    SetVar Super = deriveExpr(Node.Kids[0], S);
+    Constant Tag = siteTag(ConstKind::ClassTag, E);
+    S.addConstLower(A, Tag);
+    SetVar Obj = Ctx.freshVar(); // α_o: objects of the new class
+    Constant ObjTag =
+        Ctx.Constants.makeTag(ConstKind::ObjTag, 0, Node.Loc);
+    Maps.TagSite.emplace(ObjTag, E);
+    S.addConstLower(Obj, ObjTag);
+    S.addSelUpper(Super, Ctx.ClObj, Obj); // cl-obj(α_s) ≤ α_o
+    S.addSelLower(A, Ctx.ClObj, Obj);     // α_o ≤ cl-obj(α)
+    auto ConnectIvar = [&](VarId Z) {
+      Symbol Name = P.var(Z).Name;
+      SetVar BZ = varOfVar(Z);
+      // ivar⁻_z(α_o) ≤ β_z : assignments to z flow into the scope variable;
+      // β_z ≤ ivar⁺_z(α_o) : the scope variable feeds reads of z;
+      // ivar⁺_z(α_o) ≤ β_z : inherited/previous values of z are visible to
+      //                      the initializers that mention z (fig. 3.7:
+      //                      "the values in β reflect the values from α_o").
+      S.addSelLower(Obj, Ctx.ivarMinus(Name, P.Syms), BZ);
+      S.addSelLower(Obj, Ctx.ivarPlus(Name, P.Syms), BZ);
+      S.addSelUpper(Obj, Ctx.ivarPlus(Name, P.Syms), BZ);
+    };
+    for (VarId Z : Node.Params)
+      ConnectIvar(Z);
+    for (const Binding &B : Node.Bindings)
+      ConnectIvar(B.Var);
+    for (const Binding &B : Node.Bindings) {
+      SetVar Init = deriveExpr(B.Init, S);
+      S.addVarUpper(Init, varOfVar(B.Var)); // γ ≤ β_z
+    }
+    CheckScrutinee Scr;
+    Scr.V = Super;
+    Scr.Accept = kindBit(ConstKind::ClassTag);
+    recordCheck(Maps, SchemaVars, E, "class", Scr);
+    return A;
+  }
+  case ExprKind::MakeObj: {
+    // (make-obj): cl-obj(β) ≤ α.
+    SetVar B = deriveExpr(Node.Kids[0], S);
+    S.addSelUpper(B, Ctx.ClObj, A);
+    CheckScrutinee Scr;
+    Scr.V = B;
+    Scr.Accept = kindBit(ConstKind::ClassTag);
+    recordCheck(Maps, SchemaVars, E, "make-obj", Scr);
+    return A;
+  }
+  case ExprKind::IvarRef: {
+    // (ivar): ivar⁺_z(β) ≤ α.
+    SetVar B = deriveExpr(Node.Kids[0], S);
+    S.addSelUpper(B, Ctx.ivarPlus(Node.Name, P.Syms), A);
+    CheckScrutinee Scr;
+    Scr.V = B;
+    Scr.Accept = kindBit(ConstKind::ObjTag);
+    recordCheck(Maps, SchemaVars, E, "ivar", Scr);
+    return A;
+  }
+  case ExprKind::IvarSet: {
+    SetVar B = deriveExpr(Node.Kids[0], S);
+    SetVar Val = deriveExpr(Node.Kids[1], S);
+    // γ ≤ ivar⁻_z(β); the assigned value is the result.
+    S.addSelUpper(B, Ctx.ivarMinus(Node.Name, P.Syms), Val);
+    S.addVarUpper(Val, A);
+    CheckScrutinee Scr;
+    Scr.V = B;
+    Scr.Accept = kindBit(ConstKind::ObjTag);
+    recordCheck(Maps, SchemaVars, E, "set-ivar!", Scr);
+    return A;
+  }
+  }
+  assert(false && "unknown expression kind");
+  return A;
+}
+
+Analysis spidey::analyzeProgram(const Program &P,
+                                const AnalysisOptions &Opts) {
+  Analysis Result;
+  Result.Ctx = std::make_unique<ConstraintContext>();
+  Result.System = std::make_unique<ConstraintSystem>(*Result.Ctx);
+  Result.Prog = &P;
+  Deriver D(P, *Result.Ctx, Result.Maps, Opts);
+  D.deriveAll(*Result.System);
+  Result.Stats = D.stats();
+  return Result;
+}

@@ -1,0 +1,205 @@
+//===-- componential/componential.cpp -------------------------*- C++ -*-===//
+
+#include "componential/componential.h"
+
+#include "constraints/serialize.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <unordered_set>
+
+using namespace spidey;
+
+ComponentialAnalyzer::ComponentialAnalyzer(const Program &P,
+                                           ComponentialOptions Opts)
+    : P(P), Opts(std::move(Opts)) {
+  Ctx = std::make_unique<ConstraintContext>();
+  Combined = std::make_unique<ConstraintSystem>(*Ctx);
+  D = std::make_unique<Deriver>(P, *Ctx, Maps, this->Opts.Derive);
+  Stats.resize(P.Components.size());
+}
+
+void ComponentialAnalyzer::computeCrossReferences() {
+  // A top-level variable is part of a component's interface only if some
+  // *other* component references it (§6.1: the externals are the
+  // variables through which the component interacts with the rest of the
+  // program). References are collected in one pass.
+  for (uint32_t C = 0; C < P.Components.size(); ++C) {
+    std::function<void(ExprId)> Walk = [&](ExprId Id) {
+      const Expr &E = P.expr(Id);
+      auto Note = [&](VarId V) {
+        if (V == NoVar || !P.var(V).TopLevel)
+          return;
+        ReferencedBy[C].insert(V);
+        if (P.var(V).Component != C)
+          CrossReferenced.insert(V);
+      };
+      if (E.K == ExprKind::Var)
+        Note(E.Var);
+      if (E.K == ExprKind::Set || E.K == ExprKind::Invoke)
+        Note(E.Var);
+      for (ExprId Kid : E.Kids)
+        Walk(Kid);
+      for (const Binding &B : E.Bindings)
+        Walk(B.Init);
+    };
+    for (const TopForm &F : P.Components[C].Forms)
+      Walk(F.Body);
+  }
+}
+
+std::vector<SetVar> ComponentialAnalyzer::externalsOf(uint32_t CompIdx) {
+  if (ReferencedBy.empty() && !P.Components.empty())
+    computeCrossReferences();
+  std::unordered_set<VarId> Tops;
+  const Component &C = P.Components[CompIdx];
+  // Defines of this component that some other component references.
+  for (const TopForm &F : C.Forms)
+    if (F.DefVar != NoVar && CrossReferenced.count(F.DefVar))
+      Tops.insert(F.DefVar);
+  // Foreign top-level variables this component references.
+  for (VarId V : ReferencedBy[CompIdx])
+    if (P.var(V).Component != CompIdx)
+      Tops.insert(V);
+
+  std::vector<SetVar> E;
+  E.reserve(Tops.size());
+  for (VarId V : Tops) {
+    // The deriver allocates set variables lazily; mirror that here.
+    if (Maps.VarVar[V] == NoSetVar)
+      Maps.VarVar[V] = Ctx->freshVar();
+    E.push_back(Maps.VarVar[V]);
+  }
+  return E;
+}
+
+std::string ComponentialAnalyzer::cachePathFor(const Component &C) const {
+  std::string Name;
+  for (char Ch : C.Name)
+    Name.push_back(std::isalnum(static_cast<unsigned char>(Ch)) ? Ch : '_');
+  return Opts.CacheDir + "/" + Name + ".scf";
+}
+
+bool ComponentialAnalyzer::tryLoadComponent(uint32_t CompIdx,
+                                            ConstraintSystem &Target,
+                                            ComponentRunStats &CS) {
+  if (Opts.CacheDir.empty())
+    return false;
+  const Component &C = P.Components[CompIdx];
+  std::ifstream In(cachePathFor(C));
+  if (!In)
+    return false;
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  std::string Text = Buffer.str();
+
+  ConstraintSystem Loaded(*Ctx);
+  LoadedConstraints Info;
+  std::string Error;
+  // The loader interns into the program's symbol table; Program is shared
+  // state of the analysis, so the const_cast is confined here.
+  SymbolTable &Syms = const_cast<Program &>(P).Syms;
+  if (!deserializeConstraints(Text, Syms, Loaded, Info, Error))
+    return false;
+  if (Info.SourceHash != hashSource(C.SourceText))
+    return false;
+
+  // Re-link the file's external variables with this run's top-level
+  // variables (two ε-constraints identify them).
+  for (const auto &[Key, FileVar] : Info.Externals) {
+    Symbol Name = Syms.lookup(Key);
+    if (Name == InvalidSymbol)
+      return false;
+    SetVar Global = NoSetVar;
+    for (VarId V = 0; V < P.numVars(); ++V)
+      if (P.var(V).TopLevel && P.var(V).Name == Name) {
+        if (Maps.VarVar[V] == NoSetVar)
+          Maps.VarVar[V] = Ctx->freshVar();
+        Global = Maps.VarVar[V];
+        break;
+      }
+    if (Global == NoSetVar)
+      return false;
+    Loaded.addVarUpperRaw(FileVar, Global);
+    Loaded.addVarUpperRaw(Global, FileVar);
+  }
+  Target.absorbRaw(Loaded);
+  CS.ReusedFile = true;
+  CS.SimplifiedConstraints = Loaded.size();
+  CS.FileBytes = Text.size();
+  return true;
+}
+
+void ComponentialAnalyzer::run() {
+  for (uint32_t I = 0; I < P.Components.size(); ++I) {
+    ComponentRunStats &CS = Stats[I];
+    if (tryLoadComponent(I, *Combined, CS))
+      continue;
+
+    // Step 1: derive and close the component system, then simplify it
+    // with respect to the component's externals.
+    ConstraintSystem Local(*Ctx);
+    D->deriveComponent(I, Local);
+    CS.RawConstraints = Local.size();
+    MaxConstraints = std::max(MaxConstraints, Local.size());
+    std::vector<SetVar> E = externalsOf(I);
+    ConstraintSystem Simplified =
+        Opts.Simplify == SimplifyAlgorithm::None
+            ? std::move(Local)
+            : simplifyConstraints(Local, E, Opts.Simplify);
+    CS.SimplifiedConstraints = Simplified.size();
+
+    // Save the constraint file for later runs.
+    if (!Opts.CacheDir.empty()) {
+      std::vector<std::pair<std::string, SetVar>> Externals;
+      std::unordered_set<SetVar> Seen;
+      for (VarId V = 0; V < P.numVars(); ++V) {
+        if (!P.var(V).TopLevel || Maps.VarVar[V] == NoSetVar)
+          continue;
+        SetVar SV = Maps.VarVar[V];
+        if (std::find(E.begin(), E.end(), SV) == E.end())
+          continue;
+        if (Seen.insert(SV).second)
+          Externals.emplace_back(P.Syms.name(P.var(V).Name), SV);
+      }
+      std::filesystem::create_directories(Opts.CacheDir);
+      std::ofstream Out(cachePathFor(P.Components[I]));
+      std::string Text = serializeConstraints(
+          Simplified, Externals, P.Syms,
+          hashSource(P.Components[I].SourceText));
+      Out << Text;
+      CS.FileBytes = Text.size();
+    }
+
+    Combined->absorbRaw(Simplified);
+  }
+  // Step 2: close the combined system.
+  Combined->close();
+  MaxConstraints = std::max(MaxConstraints, Combined->size());
+}
+
+std::unique_ptr<ConstraintSystem>
+ComponentialAnalyzer::reconstruct(uint32_t CompIdx) {
+  auto Full = std::make_unique<ConstraintSystem>(*Ctx);
+  Full->absorbRaw(*Combined);
+  Full->close();
+  D->deriveComponent(CompIdx, *Full);
+  MaxConstraints = std::max(MaxConstraints, Full->size());
+  return Full;
+}
+
+AnalysisOptions spidey::polyAnalysisOptions(PolyMode Mode,
+                                            SimplifyAlgorithm Alg) {
+  AnalysisOptions Opts;
+  Opts.Poly = Mode;
+  if (Mode == PolyMode::Smart)
+    Opts.Simplify = [Alg](const ConstraintSystem &S,
+                          const std::vector<SetVar> &E) {
+      return simplifyConstraints(S, E, Alg);
+    };
+  return Opts;
+}

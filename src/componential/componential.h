@@ -1,0 +1,110 @@
+//===-- componential/componential.h - Componential SBA ---------*- C++ -*-===//
+///
+/// \file
+/// Componential set-based analysis (§7.1). Programs are processed in three
+/// steps:
+///
+///  1. For each component, derive its constraint system and simplify it
+///     with respect to the component's external variables (its top-level
+///     definitions plus the foreign top-level variables it references),
+///     excluding expression labels. The simplified system is saved to a
+///     constraint file keyed by the component's source hash; unchanged
+///     components are loaded from their files instead of re-derived.
+///  2. Combine the simplified systems and close the union under Θ,
+///     propagating data flow between components.
+///  3. On demand, reconstruct full precision for the component the
+///     programmer is focusing on by re-deriving it in full against the
+///     combined system.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIDEY_COMPONENTIAL_COMPONENTIAL_H
+#define SPIDEY_COMPONENTIAL_COMPONENTIAL_H
+
+#include "analysis/analysis.h"
+#include "simplify/simplify.h"
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <string>
+#include <vector>
+
+namespace spidey {
+
+struct ComponentialOptions {
+  /// Simplification algorithm for step 1 (None reproduces the "standard"
+  /// whole-program analysis cost profile while keeping the flow).
+  SimplifyAlgorithm Simplify = SimplifyAlgorithm::EpsilonRemoval;
+  /// Directory for constraint files; empty disables the file cache.
+  std::string CacheDir;
+  /// Derivation options (polymorphism mode etc.).
+  AnalysisOptions Derive;
+};
+
+/// Per-component bookkeeping for the experiments of §7.2.
+struct ComponentRunStats {
+  bool ReusedFile = false;
+  size_t RawConstraints = 0;        ///< closed, before simplification
+  size_t SimplifiedConstraints = 0; ///< saved to the constraint file
+  size_t FileBytes = 0;
+};
+
+/// Drives the three-step componential analysis over one parsed program.
+class ComponentialAnalyzer {
+public:
+  ComponentialAnalyzer(const Program &P, ComponentialOptions Opts);
+
+  /// Steps 1 and 2.
+  void run();
+
+  /// The combined, closed constraint system (valid after run()).
+  const ConstraintSystem &combined() const { return *Combined; }
+  ConstraintContext &context() { return *Ctx; }
+
+  /// Step 3: full-precision system for one component: the combined system
+  /// plus the component's complete derivation, closed. Label variables for
+  /// the component's expressions are valid in the result via maps().
+  std::unique_ptr<ConstraintSystem> reconstruct(uint32_t CompIdx);
+
+  const AnalysisMaps &maps() const { return Maps; }
+  const std::vector<ComponentRunStats> &componentStats() const {
+    return Stats;
+  }
+
+  /// The largest constraint system materialized during the run (the
+  /// "maximum size" column of fig. 7.1).
+  size_t maxConstraints() const { return MaxConstraints; }
+
+  /// The external set variables of a component: its own top-level defines
+  /// plus every foreign top-level variable it references.
+  std::vector<SetVar> externalsOf(uint32_t CompIdx);
+
+private:
+  void computeCrossReferences();
+  std::string cachePathFor(const Component &C) const;
+  /// Attempts to load a component's constraint file; returns true and adds
+  /// the (re-linked) constraints into \p Target on success.
+  bool tryLoadComponent(uint32_t CompIdx, ConstraintSystem &Target,
+                        ComponentRunStats &CS);
+
+  const Program &P;
+  ComponentialOptions Opts;
+  std::unique_ptr<ConstraintContext> Ctx;
+  std::unique_ptr<ConstraintSystem> Combined;
+  AnalysisMaps Maps;
+  std::unique_ptr<Deriver> D;
+  std::vector<ComponentRunStats> Stats;
+  size_t MaxConstraints = 0;
+  std::unordered_map<uint32_t, std::unordered_set<VarId>> ReferencedBy;
+  std::unordered_set<VarId> CrossReferenced;
+};
+
+/// Builds AnalysisOptions for the polymorphic analyses of §7.4/fig. 7.6:
+/// "copy" duplicates raw schemas, the "smart" variants simplify the schema
+/// once with the given algorithm before duplicating.
+AnalysisOptions polyAnalysisOptions(PolyMode Mode, SimplifyAlgorithm Alg);
+
+} // namespace spidey
+
+#endif // SPIDEY_COMPONENTIAL_COMPONENTIAL_H

@@ -1,0 +1,48 @@
+//===-- componential/signature.h - Signature checking (§10.4) --*- C++ -*-===//
+///
+/// \file
+/// The (approx) rule of §10.4: a programmer-provided *signature* — a
+/// constraint system describing a component's interface — may replace the
+/// component's derived constraints in the rest of the analysis, provided
+/// the signature entails the derived system with respect to the
+/// component's external variables:
+///
+///       Γ ⊢ M : α, S₁        S₂ ⊨E S₁
+///       ------------------------------ (approx)
+///             Γ ⊢ M : α, S₂
+///
+/// Since every solution of S₂ is then a solution of S₁, and S₁'s solutions
+/// soundly describe M (Thm 2.6.4), analysis results computed from S₂
+/// conservatively approximate M. This allows a component to be statically
+/// debugged against its signature without access to its source.
+///
+/// The entailment premise is decided by the complete procedure of §6.3.4.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIDEY_COMPONENTIAL_SIGNATURE_H
+#define SPIDEY_COMPONENTIAL_SIGNATURE_H
+
+#include "rtg/entail.h"
+
+namespace spidey {
+
+/// Result of checking a signature against a component.
+struct SignatureCheck {
+  Decision Entails = Decision::Unknown;
+  bool ok() const { return Entails == Decision::Yes; }
+};
+
+/// Verifies that \p Signature may stand in for \p Derived on the external
+/// variables \p E (both systems must be closed under Θ and share one
+/// context). Yes means the substitution is sound.
+inline SignatureCheck verifySignature(const ConstraintSystem &Signature,
+                                      const ConstraintSystem &Derived,
+                                      const std::vector<SetVar> &E,
+                                      EntailOptions Opts = {}) {
+  return SignatureCheck{entails(Signature, Derived, E, Opts)};
+}
+
+} // namespace spidey
+
+#endif // SPIDEY_COMPONENTIAL_SIGNATURE_H

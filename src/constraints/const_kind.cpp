@@ -1,0 +1,49 @@
+//===-- constraints/const_kind.cpp ----------------------------*- C++ -*-===//
+
+#include "constraints/const_kind.h"
+
+using namespace spidey;
+
+const char *spidey::constKindName(ConstKind K) {
+  switch (K) {
+  case ConstKind::Num:
+    return "num";
+  case ConstKind::True:
+    return "true";
+  case ConstKind::False:
+    return "false";
+  case ConstKind::Nil:
+    return "nil";
+  case ConstKind::Str:
+    return "str";
+  case ConstKind::Char:
+    return "char";
+  case ConstKind::Sym:
+    return "sym";
+  case ConstKind::Void:
+    return "void";
+  case ConstKind::Eof:
+    return "eof";
+  case ConstKind::Pair:
+    return "pair";
+  case ConstKind::BoxTag:
+    return "box";
+  case ConstKind::VecTag:
+    return "vec";
+  case ConstKind::FnTag:
+    return "fn";
+  case ConstKind::ContTag:
+    return "cont";
+  case ConstKind::UnitTag:
+    return "unit";
+  case ConstKind::ClassTag:
+    return "class";
+  case ConstKind::ObjTag:
+    return "obj";
+  case ConstKind::StructTag:
+    return "struct";
+  case ConstKind::NumConstKinds:
+    break;
+  }
+  return "?";
+}

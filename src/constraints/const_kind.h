@@ -1,0 +1,66 @@
+//===-- constraints/const_kind.h - Abstract constant kinds ----*- C++ -*-===//
+///
+/// \file
+/// The kinds of abstract constants in the constraint language (§2.2,
+/// extended in ch. 3). Basic constants are collapsed per kind (all numbers
+/// become `num`, as in MrSpidey's type display); constructed values carry
+/// per-site tags so the debugger can point back at the constructing
+/// expression (the paper's function/continuation/unit tags).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIDEY_CONSTRAINTS_CONST_KIND_H
+#define SPIDEY_CONSTRAINTS_CONST_KIND_H
+
+#include <cstdint>
+
+namespace spidey {
+
+enum class ConstKind : uint8_t {
+  // Basic constants; one interned constant per kind.
+  Num,
+  True,
+  False,
+  Nil,
+  Str,
+  Char,
+  Sym,
+  Void,
+  Eof,
+  // Data-structure tags; one interned constant per kind (§3.2 `pair`).
+  Pair,
+  BoxTag,
+  VecTag,
+  // Per-site tags; one interned constant per syntactic site.
+  FnTag,     ///< per lambda; carries arity (App. E.3)
+  ContTag,   ///< per callcc (§3.3)
+  UnitTag,   ///< per unit/link (§3.6)
+  ClassTag,  ///< per class expression (§3.7)
+  ObjTag,    ///< objects of a class (§3.7)
+  StructTag, ///< per declared constructor (App. D.5.4)
+
+  NumConstKinds
+};
+
+/// Bitmask over ConstKind, used for primitive argument-domain checks
+/// (App. E.5) and result descriptions.
+using KindMask = uint32_t;
+
+constexpr KindMask kindBit(ConstKind K) {
+  return KindMask(1) << static_cast<unsigned>(K);
+}
+
+inline constexpr KindMask AnyKindMask = ~KindMask(0);
+inline constexpr KindMask NoKindMask = 0;
+/// Exactly the bits of the defined kinds; complements of kind masks should
+/// be taken within this universe.
+inline constexpr KindMask ValidKindMask =
+    (KindMask(1) << static_cast<unsigned>(ConstKind::NumConstKinds)) - 1;
+
+/// Short printable name of a kind (matches MrSpidey's type display where
+/// one exists, e.g. `num`, `nil`, `pair`).
+const char *constKindName(ConstKind K);
+
+} // namespace spidey
+
+#endif // SPIDEY_CONSTRAINTS_CONST_KIND_H

@@ -1,0 +1,189 @@
+//===-- constraints/constraint_system.cpp ---------------------*- C++ -*-===//
+
+#include "constraints/constraint_system.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace spidey;
+
+bool ConstraintSystem::insertLowerRaw(SetVar A, const LowerBound &L) {
+  VarBounds &B = bounds(A);
+  if (!B.LowKeys.insert(lowKey(L)).second)
+    return false;
+  B.Lows.push_back(L);
+  ++NumBounds;
+  return true;
+}
+
+bool ConstraintSystem::insertUpperRaw(SetVar A, const UpperBound &U) {
+  VarBounds &B = bounds(A);
+  if (!B.UpKeys.insert(upKey(U)).second)
+    return false;
+  B.Ups.push_back(U);
+  ++NumBounds;
+  return true;
+}
+
+bool ConstraintSystem::insertLower(SetVar A, const LowerBound &L) {
+  if (!insertLowerRaw(A, L))
+    return false;
+  VarBounds &B = bounds(A);
+  Worklist.push_back({A, static_cast<uint32_t>(B.Lows.size() - 1), true});
+  return true;
+}
+
+bool ConstraintSystem::insertUpper(SetVar A, const UpperBound &U) {
+  if (!insertUpperRaw(A, U))
+    return false;
+  VarBounds &B = bounds(A);
+  Worklist.push_back({A, static_cast<uint32_t>(B.Ups.size() - 1), false});
+  return true;
+}
+
+void ConstraintSystem::combine(const LowerBound &L, const UpperBound &U) {
+  if (U.K == UpperBound::Kind::VarUB) {
+    // Rules s1, s2, s3: propagate the lower bound forward along α ≤ γ.
+    insertLower(U.Other, L);
+    return;
+  }
+  if (U.K == UpperBound::Kind::FilterUB) {
+    // Conditional propagation along α ≤_M γ: constants pass when their
+    // kind is in M; components pass when some owner kind of their
+    // selector is in M (a pair's car passes a pair? filter, etc.).
+    KindMask M = U.Sel;
+    if (L.K == LowerBound::Kind::ConstLB) {
+      if (M & kindBit(Ctx->Constants.kind(L.C)))
+        insertLower(U.Other, L);
+    } else if (M & Ctx->Selectors.ownerKinds(L.Sel)) {
+      insertLower(U.Other, L);
+    }
+    return;
+  }
+  // U = SelUB{s, γ}; only combines with a SelLB of the same selector.
+  if (L.K != LowerBound::Kind::SelLB || L.Sel != U.Sel)
+    return;
+  if (Ctx->Selectors.isMonotone(L.Sel)) {
+    // Rule s4: β ≤ s⁺(α) and s⁺(α) ≤ γ imply β ≤ γ.
+    insertUpper(L.Other, UpperBound::var(U.Other));
+  } else {
+    // Rule s5: s⁻(α) ≤ β and γ ≤ s⁻(α) imply γ ≤ β.
+    insertUpper(U.Other, UpperBound::var(L.Other));
+  }
+}
+
+void ConstraintSystem::drain() {
+  while (!Worklist.empty()) {
+    Task T = Worklist.back();
+    Worklist.pop_back();
+    // Copy the partner bound out before combining: combine may grow the
+    // bound vectors and invalidate references.
+    if (T.IsLower) {
+      LowerBound L = bounds(T.Var).Lows[T.Index];
+      for (size_t I = 0; I < bounds(T.Var).Ups.size(); ++I) {
+        UpperBound U = bounds(T.Var).Ups[I];
+        combine(L, U);
+      }
+    } else {
+      UpperBound U = bounds(T.Var).Ups[T.Index];
+      for (size_t I = 0; I < bounds(T.Var).Lows.size(); ++I) {
+        LowerBound L = bounds(T.Var).Lows[I];
+        combine(L, U);
+      }
+    }
+  }
+}
+
+void ConstraintSystem::close() {
+  // Schedule every stored bound once; draining reaches the fixed point.
+  for (auto &[Var, Slot] : Slots) {
+    VarBounds &B = Storage[Slot];
+    for (uint32_t I = 0; I < B.Lows.size(); ++I)
+      Worklist.push_back({Var, I, true});
+    // Scheduling only lower bounds suffices to consider every (L, U) pair
+    // that existed before closing; bounds added during draining schedule
+    // themselves.
+    (void)B;
+  }
+  drain();
+}
+
+std::vector<SetVar> ConstraintSystem::variables() const {
+  std::unordered_set<SetVar> Seen;
+  for (auto &[Var, Slot] : Slots) {
+    Seen.insert(Var);
+    const VarBounds &B = Storage[Slot];
+    for (const LowerBound &L : B.Lows)
+      if (L.K == LowerBound::Kind::SelLB)
+        Seen.insert(L.Other);
+    for (const UpperBound &U : B.Ups)
+      Seen.insert(U.Other);
+  }
+  std::vector<SetVar> Result(Seen.begin(), Seen.end());
+  std::sort(Result.begin(), Result.end());
+  return Result;
+}
+
+bool ConstraintSystem::hasConstLower(SetVar A, Constant C) const {
+  auto It = Slots.find(A);
+  if (It == Slots.end())
+    return false;
+  const VarBounds &B = Storage[It->second];
+  return B.LowKeys.count(lowKey(LowerBound::constant(C))) != 0;
+}
+
+std::vector<Constant> ConstraintSystem::constantsOf(SetVar A) const {
+  std::vector<Constant> Result;
+  for (const LowerBound &L : lowerBounds(A))
+    if (L.K == LowerBound::Kind::ConstLB)
+      Result.push_back(L.C);
+  std::sort(Result.begin(), Result.end());
+  return Result;
+}
+
+void ConstraintSystem::absorbRaw(const ConstraintSystem &Other) {
+  for (auto &[Var, Slot] : Other.Slots) {
+    const VarBounds &B = Other.Storage[Slot];
+    for (const LowerBound &L : B.Lows)
+      insertLowerRaw(Var, L);
+    for (const UpperBound &U : B.Ups)
+      insertUpperRaw(Var, U);
+  }
+}
+
+std::string ConstraintSystem::str() const {
+  std::ostringstream OS;
+  std::vector<SetVar> Vars;
+  for (auto &[Var, Slot] : Slots) {
+    (void)Slot;
+    Vars.push_back(Var);
+  }
+  std::sort(Vars.begin(), Vars.end());
+  const SelectorTable &Sels = Ctx->Selectors;
+  for (SetVar A : Vars) {
+    for (const LowerBound &L : lowerBounds(A)) {
+      if (L.K == LowerBound::Kind::ConstLB) {
+        OS << "c" << L.C << " <= a" << A << "\n";
+      } else if (Sels.isMonotone(L.Sel)) {
+        OS << "a" << L.Other << " <= " << Sels.name(L.Sel) << "(a" << A
+           << ")\n";
+      } else {
+        OS << Sels.name(L.Sel) << "(a" << A << ") <= a" << L.Other << "\n";
+      }
+    }
+    for (const UpperBound &U : upperBounds(A)) {
+      if (U.K == UpperBound::Kind::VarUB) {
+        OS << "a" << A << " <= a" << U.Other << "\n";
+      } else if (U.K == UpperBound::Kind::FilterUB) {
+        OS << "a" << A << " <=[" << std::hex << U.Sel << std::dec << "] a"
+           << U.Other << "\n";
+      } else if (Sels.isMonotone(U.Sel)) {
+        OS << Sels.name(U.Sel) << "(a" << A << ") <= a" << U.Other << "\n";
+      } else {
+        OS << "a" << U.Other << " <= " << Sels.name(U.Sel) << "(a" << A
+           << ")\n";
+      }
+    }
+  }
+  return OS.str();
+}

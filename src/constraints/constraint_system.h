@@ -1,0 +1,247 @@
+//===-- constraints/constraint_system.h - Simple systems + Θ --*- C++ -*-===//
+///
+/// \file
+/// Simple constraint systems (§2.2/§2.7) and their closure under the rules
+/// Θ = {s1..s5} (fig. 2.3, generalized to arbitrary selectors per
+/// fig. 3.1).
+///
+/// Following §2.7.1, a system is represented as per-variable lower and
+/// upper bound lists:
+///
+///   lower bounds of α:  c ≤ α            (ConstLB)
+///                       β ≤ s⁺(α)        (SelLB, monotone s)
+///                       s⁻(α) ≤ β        (SelLB, anti-monotone s)
+///   upper bounds of α:  α ≤ β            (VarUB, the ε-constraints)
+///                       s⁺(α) ≤ β        (SelUB, monotone s)
+///                       β ≤ s⁻(α)        (SelUB, anti-monotone s)
+///
+/// The closure rules combine a lower and an upper bound of the same
+/// variable (the paper's `combine!`):
+///
+///   (s1–s3)  L,  α ≤ γ              ⟹  L becomes a lower bound of γ
+///   (s4)     β ≤ s⁺(α), s⁺(α) ≤ γ   ⟹  β ≤ γ
+///   (s5)     s⁻(α) ≤ γ, β ≤ s⁻(α)   ⟹  β ≤ γ
+///
+/// The system is kept closed incrementally: every public add re-closes via
+/// an explicit worklist (the paper's add-lower-bound+close!).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIDEY_CONSTRAINTS_CONSTRAINT_SYSTEM_H
+#define SPIDEY_CONSTRAINTS_CONSTRAINT_SYSTEM_H
+
+#include "constraints/core.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace spidey {
+
+/// A lower bound of some variable α.
+struct LowerBound {
+  enum class Kind : uint8_t { ConstLB, SelLB };
+  Kind K;
+  Constant C = 0;          ///< ConstLB
+  Selector Sel = 0;        ///< SelLB
+  SetVar Other = NoSetVar; ///< SelLB: the β above
+
+  static LowerBound constant(Constant C) {
+    return {Kind::ConstLB, C, 0, NoSetVar};
+  }
+  static LowerBound selector(Selector S, SetVar B) {
+    return {Kind::SelLB, 0, S, B};
+  }
+  friend bool operator==(const LowerBound &A, const LowerBound &B) {
+    return A.K == B.K && A.C == B.C && A.Sel == B.Sel && A.Other == B.Other;
+  }
+};
+
+/// An upper bound of some variable α.
+struct UpperBound {
+  enum class Kind : uint8_t {
+    VarUB,
+    SelUB,
+    /// FilterUB: a *conditional* ε-constraint α ≤_M β that passes only the
+    /// values whose constant kinds are in the mask M (stored in Sel).
+    /// Produced by the analysis for predicate-guarded branches
+    /// ((if (pair? x) ...)) — MrSpidey's primitive filters (App. E.5,
+    /// §5.4's filter facility).
+    FilterUB,
+  };
+  Kind K;
+  Selector Sel = 0;        ///< SelUB: selector; FilterUB: the KindMask
+  SetVar Other = NoSetVar; ///< all kinds: the β/γ above
+
+  static UpperBound var(SetVar B) { return {Kind::VarUB, 0, B}; }
+  static UpperBound selector(Selector S, SetVar B) {
+    return {Kind::SelUB, S, B};
+  }
+  static UpperBound filter(KindMask M, SetVar B) {
+    return {Kind::FilterUB, M & ValidKindMask, B};
+  }
+  friend bool operator==(const UpperBound &A, const UpperBound &B) {
+    return A.K == B.K && A.Sel == B.Sel && A.Other == B.Other;
+  }
+};
+
+/// A simple constraint system, kept closed under Θ.
+///
+/// Set variables are owned by the shared ConstraintContext; a system only
+/// stores bounds for the variables it mentions. Multiple systems over the
+/// same context can coexist (per-component systems, simplified copies).
+class ConstraintSystem {
+public:
+  explicit ConstraintSystem(ConstraintContext &Ctx) : Ctx(&Ctx) {}
+
+  ConstraintContext &context() const { return *Ctx; }
+
+  //===------------------------------------------------------------------===
+  // Closing adders (the paper's add-*-bound+close!).
+  //===------------------------------------------------------------------===
+
+  /// Adds c ≤ α.
+  void addConstLower(SetVar A, Constant C) {
+    if (insertLower(A, LowerBound::constant(C)))
+      drain();
+  }
+  /// Adds β ≤ s(α) for monotone s, or s(α) ≤ β for anti-monotone s.
+  void addSelLower(SetVar A, Selector S, SetVar B) {
+    if (insertLower(A, LowerBound::selector(S, B)))
+      drain();
+  }
+  /// Adds the ε-constraint α ≤ β.
+  void addVarUpper(SetVar A, SetVar B) {
+    if (insertUpper(A, UpperBound::var(B)))
+      drain();
+  }
+  /// Adds s(α) ≤ β for monotone s, or β ≤ s(α) for anti-monotone s.
+  void addSelUpper(SetVar A, Selector S, SetVar B) {
+    if (insertUpper(A, UpperBound::selector(S, B)))
+      drain();
+  }
+  /// Adds the conditional constraint α ≤_M β.
+  void addFilterUpper(SetVar A, KindMask M, SetVar B) {
+    if (insertUpper(A, UpperBound::filter(M, B)))
+      drain();
+  }
+
+  //===------------------------------------------------------------------===
+  // Raw adders: insert without closing (for building systems to be closed
+  // later, e.g. deserialized constraint files or simplified systems).
+  //===------------------------------------------------------------------===
+
+  void addConstLowerRaw(SetVar A, Constant C) {
+    insertLowerRaw(A, LowerBound::constant(C));
+  }
+  void addSelLowerRaw(SetVar A, Selector S, SetVar B) {
+    insertLowerRaw(A, LowerBound::selector(S, B));
+  }
+  void addVarUpperRaw(SetVar A, SetVar B) {
+    insertUpperRaw(A, UpperBound::var(B));
+  }
+  void addSelUpperRaw(SetVar A, Selector S, SetVar B) {
+    insertUpperRaw(A, UpperBound::selector(S, B));
+  }
+  void addFilterUpperRaw(SetVar A, KindMask M, SetVar B) {
+    insertUpperRaw(A, UpperBound::filter(M, B));
+  }
+
+  /// Closes the system under Θ (needed only after raw adds).
+  void close();
+
+  //===------------------------------------------------------------------===
+  // Queries.
+  //===------------------------------------------------------------------===
+
+  /// All variables this system mentions (has any bound for, or appearing
+  /// on the far side of a bound).
+  std::vector<SetVar> variables() const;
+
+  const std::vector<LowerBound> &lowerBounds(SetVar A) const {
+    static const std::vector<LowerBound> Empty;
+    auto It = Slots.find(A);
+    return It == Slots.end() ? Empty : Storage[It->second].Lows;
+  }
+  const std::vector<UpperBound> &upperBounds(SetVar A) const {
+    static const std::vector<UpperBound> Empty;
+    auto It = Slots.find(A);
+    return It == Slots.end() ? Empty : Storage[It->second].Ups;
+  }
+
+  /// True if c ≤ α is in the (closed) system, i.e. S ⊢Θ c ≤ α.
+  bool hasConstLower(SetVar A, Constant C) const;
+
+  /// The constants of α in the closed system: {c | S ⊢Θ c ≤ α}. This is
+  /// const(LeastSoln(S)(α)) by Theorem 2.6.5.
+  std::vector<Constant> constantsOf(SetVar A) const;
+
+  /// Total number of stored constraints (each bound counted once).
+  size_t size() const { return NumBounds; }
+
+  /// Number of variables with at least one bound list.
+  size_t numTouchedVars() const { return Storage.size(); }
+
+  /// Copies every constraint of \p Other into this system (raw); call
+  /// close() afterwards. Used by the componential combiner (§7.1 step 2).
+  void absorbRaw(const ConstraintSystem &Other);
+
+  /// Renders the system for debugging/tests, one constraint per line.
+  std::string str() const;
+
+private:
+  struct VarBounds {
+    std::vector<LowerBound> Lows;
+    std::vector<UpperBound> Ups;
+    std::unordered_set<uint64_t> LowKeys;
+    std::unordered_set<uint64_t> UpKeys;
+  };
+
+  struct Task {
+    SetVar Var;
+    uint32_t Index; ///< index into Lows or Ups
+    bool IsLower;
+  };
+
+  VarBounds &bounds(SetVar A) {
+    auto It = Slots.find(A);
+    if (It != Slots.end())
+      return Storage[It->second];
+    Slots.emplace(A, static_cast<uint32_t>(Storage.size()));
+    Storage.emplace_back();
+    return Storage.back();
+  }
+
+  static uint64_t lowKey(const LowerBound &L) {
+    return (uint64_t(L.K == LowerBound::Kind::ConstLB ? 0u : 1u) << 62) |
+           (uint64_t(L.K == LowerBound::Kind::ConstLB ? L.C : L.Sel) << 32) |
+           (L.K == LowerBound::Kind::ConstLB ? 0u : L.Other);
+  }
+  static uint64_t upKey(const UpperBound &U) {
+    return (uint64_t(static_cast<uint8_t>(U.K)) << 62) |
+           (uint64_t(U.Sel) << 32) | U.Other;
+  }
+
+  /// Returns true if newly inserted (and schedules the combination task).
+  bool insertLower(SetVar A, const LowerBound &L);
+  bool insertUpper(SetVar A, const UpperBound &U);
+  bool insertLowerRaw(SetVar A, const LowerBound &L);
+  bool insertUpperRaw(SetVar A, const UpperBound &U);
+
+  /// Applies the Θ rule for the pair (L, U) on the same variable.
+  void combine(const LowerBound &L, const UpperBound &U);
+
+  /// Processes pending combination tasks to a fixed point.
+  void drain();
+
+  ConstraintContext *Ctx;
+  std::unordered_map<SetVar, uint32_t> Slots;
+  std::vector<VarBounds> Storage;
+  std::vector<Task> Worklist;
+  size_t NumBounds = 0;
+};
+
+} // namespace spidey
+
+#endif // SPIDEY_CONSTRAINTS_CONSTRAINT_SYSTEM_H

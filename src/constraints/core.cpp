@@ -1,0 +1,22 @@
+//===-- constraints/core.cpp ----------------------------------*- C++ -*-===//
+
+#include "constraints/core.h"
+
+#include <sstream>
+
+using namespace spidey;
+
+std::string ConstantTable::str(Constant C, const SymbolTable &Syms) const {
+  const ConstantInfo &I = info(C);
+  if (I.K <= ConstKind::VecTag)
+    return constKindName(I.K);
+  std::ostringstream OS;
+  OS << constKindName(I.K);
+  if (I.Label != InvalidSymbol)
+    OS << ":" << Syms.name(I.Label);
+  if (I.K == ConstKind::FnTag)
+    OS << "/" << I.Arity;
+  if (I.Loc.isValid())
+    OS << "@" << I.Loc.Line << ":" << I.Loc.Col;
+  return OS.str();
+}

@@ -1,0 +1,260 @@
+//===-- constraints/serialize.cpp -----------------------------*- C++ -*-===//
+
+#include "constraints/serialize.h"
+
+#include <cstdlib>
+#include <sstream>
+#include <unordered_map>
+
+using namespace spidey;
+
+std::string spidey::hashSource(std::string_view Text) {
+  uint64_t H = 14695981039346656037ull;
+  for (unsigned char C : Text) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  std::ostringstream OS;
+  OS << std::hex << H;
+  return OS.str();
+}
+
+std::string spidey::serializeConstraints(
+    const ConstraintSystem &S,
+    const std::vector<std::pair<std::string, SetVar>> &Externals,
+    const SymbolTable &Syms, std::string_view SourceHash) {
+  const ConstraintContext &Ctx = S.context();
+  std::ostringstream OS;
+  OS << "spidey-constraint-file 1\n";
+  OS << "hash " << SourceHash << "\n";
+
+  // Local variable numbering.
+  std::unordered_map<SetVar, uint32_t> Local;
+  auto LocalOf = [&](SetVar V) {
+    auto [It, New] = Local.emplace(V, static_cast<uint32_t>(Local.size()));
+    (void)New;
+    return It->second;
+  };
+  std::vector<SetVar> Vars = S.variables();
+  for (SetVar V : Vars)
+    LocalOf(V);
+  for (const auto &[Key, Var] : Externals)
+    LocalOf(Var); // externals may be untouched by any constraint
+
+  OS << "vars " << Local.size() << "\n";
+
+  OS << "externals " << Externals.size() << "\n";
+  for (const auto &[Key, Var] : Externals)
+    OS << "  " << Key << " " << LocalOf(Var) << "\n";
+
+  // Selectors used, re-internable by name.
+  std::unordered_map<Selector, uint32_t> SelLocal;
+  std::vector<Selector> SelList;
+  auto SelOf = [&](Selector Sel) {
+    auto [It, New] = SelLocal.emplace(Sel, SelList.size());
+    if (New)
+      SelList.push_back(Sel);
+    return It->second;
+  };
+  // Constants used.
+  std::unordered_map<Constant, uint32_t> ConstLocal;
+  std::vector<Constant> ConstList;
+  auto ConstOf = [&](Constant C) {
+    auto [It, New] = ConstLocal.emplace(C, ConstList.size());
+    if (New)
+      ConstList.push_back(C);
+    return It->second;
+  };
+
+  // First pass over constraints to populate tables; collect lines.
+  std::ostringstream Body;
+  size_t NumConstraints = 0;
+  for (SetVar A : Vars) {
+    for (const LowerBound &L : S.lowerBounds(A)) {
+      if (L.K == LowerBound::Kind::ConstLB)
+        Body << "cl " << LocalOf(A) << " " << ConstOf(L.C) << "\n";
+      else
+        Body << "sl " << LocalOf(A) << " " << SelOf(L.Sel) << " "
+             << LocalOf(L.Other) << "\n";
+      ++NumConstraints;
+    }
+    for (const UpperBound &U : S.upperBounds(A)) {
+      if (U.K == UpperBound::Kind::VarUB)
+        Body << "vu " << LocalOf(A) << " " << LocalOf(U.Other) << "\n";
+      else if (U.K == UpperBound::Kind::FilterUB)
+        Body << "fu " << LocalOf(A) << " " << U.Sel << " "
+             << LocalOf(U.Other) << "\n";
+      else
+        Body << "su " << LocalOf(A) << " " << SelOf(U.Sel) << " "
+             << LocalOf(U.Other) << "\n";
+      ++NumConstraints;
+    }
+  }
+
+  OS << "selectors " << SelList.size() << "\n";
+  for (Selector Sel : SelList)
+    OS << "  " << Ctx.Selectors.name(Sel) << " "
+       << (Ctx.Selectors.isMonotone(Sel) ? "+" : "-") << "\n";
+
+  OS << "constants " << ConstList.size() << "\n";
+  for (Constant C : ConstList) {
+    const ConstantInfo &I = Ctx.Constants.info(C);
+    OS << "  " << static_cast<unsigned>(I.K) << " " << I.Arity << " "
+       << I.Loc.File << " " << I.Loc.Line << " " << I.Loc.Col << " ";
+    if (I.Label != InvalidSymbol)
+      OS << Syms.name(I.Label);
+    else
+      OS << "-";
+    OS << "\n";
+  }
+
+  OS << "constraints " << NumConstraints << "\n";
+  OS << Body.str();
+  return OS.str();
+}
+
+namespace {
+
+/// Minimal whitespace-token scanner over the file text.
+class TokenStream {
+public:
+  explicit TokenStream(std::string_view Text) : In(std::string(Text)) {}
+
+  bool word(std::string &Out) { return static_cast<bool>(In >> Out); }
+
+  bool number(uint64_t &Out) {
+    std::string W;
+    if (!word(W))
+      return false;
+    char *End = nullptr;
+    Out = std::strtoull(W.c_str(), &End, 10);
+    return End && *End == '\0';
+  }
+
+  bool expect(const char *Expected) {
+    std::string W;
+    return word(W) && W == Expected;
+  }
+
+private:
+  std::istringstream In;
+};
+
+} // namespace
+
+bool spidey::deserializeConstraints(std::string_view Text, SymbolTable &Syms,
+                                    ConstraintSystem &Out,
+                                    LoadedConstraints &Info,
+                                    std::string &Error) {
+  ConstraintContext &Ctx = Out.context();
+  TokenStream TS(Text);
+  auto Fail = [&](const char *Message) {
+    Error = Message;
+    return false;
+  };
+
+  if (!TS.expect("spidey-constraint-file"))
+    return Fail("bad magic");
+  uint64_t Version;
+  if (!TS.number(Version) || Version != 1)
+    return Fail("unsupported version");
+  if (!TS.expect("hash"))
+    return Fail("missing hash");
+  if (!TS.word(Info.SourceHash))
+    return Fail("missing hash value");
+
+  uint64_t NumVars;
+  if (!TS.expect("vars") || !TS.number(NumVars))
+    return Fail("missing vars");
+  std::vector<SetVar> VarMap(NumVars);
+  for (uint64_t I = 0; I < NumVars; ++I)
+    VarMap[I] = Ctx.freshVar();
+
+  uint64_t NumExternals;
+  if (!TS.expect("externals") || !TS.number(NumExternals))
+    return Fail("missing externals");
+  for (uint64_t I = 0; I < NumExternals; ++I) {
+    std::string Key;
+    uint64_t Local;
+    if (!TS.word(Key) || !TS.number(Local) || Local >= NumVars)
+      return Fail("malformed external");
+    Info.Externals.emplace_back(Key, VarMap[Local]);
+  }
+
+  uint64_t NumSelectors;
+  if (!TS.expect("selectors") || !TS.number(NumSelectors))
+    return Fail("missing selectors");
+  std::vector<Selector> SelMap(NumSelectors);
+  for (uint64_t I = 0; I < NumSelectors; ++I) {
+    std::string Name, Pol;
+    if (!TS.word(Name) || !TS.word(Pol) || (Pol != "+" && Pol != "-"))
+      return Fail("malformed selector");
+    SelMap[I] = Ctx.Selectors.intern(
+        Name, Pol == "+" ? Polarity::Monotone : Polarity::AntiMonotone);
+  }
+
+  uint64_t NumConstants;
+  if (!TS.expect("constants") || !TS.number(NumConstants))
+    return Fail("missing constants");
+  std::vector<Constant> ConstMap(NumConstants);
+  for (uint64_t I = 0; I < NumConstants; ++I) {
+    uint64_t Kind, Arity, File, Line, Col;
+    std::string Label;
+    if (!TS.number(Kind) || !TS.number(Arity) || !TS.number(File) ||
+        !TS.number(Line) || !TS.number(Col) || !TS.word(Label))
+      return Fail("malformed constant");
+    if (Kind >= static_cast<uint64_t>(ConstKind::NumConstKinds))
+      return Fail("bad constant kind");
+    ConstKind K = static_cast<ConstKind>(Kind);
+    if (K <= ConstKind::VecTag) {
+      ConstMap[I] = Ctx.Constants.basic(K);
+    } else {
+      SourceLoc Loc{static_cast<uint32_t>(File), static_cast<uint32_t>(Line),
+                    static_cast<uint32_t>(Col)};
+      Symbol LabelSym =
+          Label == "-" ? InvalidSymbol : Syms.intern(Label);
+      ConstMap[I] = Ctx.Constants.makeTag(K, static_cast<uint32_t>(Arity),
+                                          Loc, LabelSym);
+    }
+  }
+
+  uint64_t NumConstraints;
+  if (!TS.expect("constraints") || !TS.number(NumConstraints))
+    return Fail("missing constraints");
+  for (uint64_t I = 0; I < NumConstraints; ++I) {
+    std::string Op;
+    if (!TS.word(Op))
+      return Fail("truncated constraints");
+    uint64_t A, B, Sel;
+    if (Op == "cl") {
+      if (!TS.number(A) || !TS.number(B) || A >= NumVars ||
+          B >= NumConstants)
+        return Fail("malformed cl");
+      Out.addConstLowerRaw(VarMap[A], ConstMap[B]);
+    } else if (Op == "sl") {
+      if (!TS.number(A) || !TS.number(Sel) || !TS.number(B) || A >= NumVars ||
+          B >= NumVars || Sel >= NumSelectors)
+        return Fail("malformed sl");
+      Out.addSelLowerRaw(VarMap[A], SelMap[Sel], VarMap[B]);
+    } else if (Op == "vu") {
+      if (!TS.number(A) || !TS.number(B) || A >= NumVars || B >= NumVars)
+        return Fail("malformed vu");
+      Out.addVarUpperRaw(VarMap[A], VarMap[B]);
+    } else if (Op == "fu") {
+      uint64_t Mask;
+      if (!TS.number(A) || !TS.number(Mask) || !TS.number(B) ||
+          A >= NumVars || B >= NumVars)
+        return Fail("malformed fu");
+      Out.addFilterUpperRaw(VarMap[A], static_cast<KindMask>(Mask),
+                            VarMap[B]);
+    } else if (Op == "su") {
+      if (!TS.number(A) || !TS.number(Sel) || !TS.number(B) || A >= NumVars ||
+          B >= NumVars || Sel >= NumSelectors)
+        return Fail("malformed su");
+      Out.addSelUpperRaw(VarMap[A], SelMap[Sel], VarMap[B]);
+    } else {
+      return Fail("unknown constraint op");
+    }
+  }
+  return true;
+}

@@ -1,0 +1,57 @@
+//===-- constraints/serialize.h - Constraint files -------------*- C++ -*-===//
+///
+/// \file
+/// Constraint files (§7.1): the simplified constraint system of a program
+/// component, saved for reuse in later runs of the analysis. A file
+/// records the component's source hash (to detect changes and skip
+/// re-derivation), its external variables keyed by stable string names,
+/// and the constraints themselves.
+///
+/// The paper uses "a straight-forward, text-based representation" whose
+/// size is "typically within a factor of two or three of the corresponding
+/// source file" (§7.2); we use the same approach.
+///
+/// Loading reallocates all variables fresh in the target context (a
+/// component's internal variables must not collide across runs); external
+/// variables are reported to the caller for re-linking.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIDEY_CONSTRAINTS_SERIALIZE_H
+#define SPIDEY_CONSTRAINTS_SERIALIZE_H
+
+#include "constraints/constraint_system.h"
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace spidey {
+
+/// Stable FNV-1a content hash used to detect component changes.
+std::string hashSource(std::string_view Text);
+
+/// Serializes \p S with its \p Externals (stable key -> variable) into the
+/// constraint-file text format.
+std::string serializeConstraints(
+    const ConstraintSystem &S,
+    const std::vector<std::pair<std::string, SetVar>> &Externals,
+    const SymbolTable &Syms, std::string_view SourceHash);
+
+/// Result of loading a constraint file.
+struct LoadedConstraints {
+  std::string SourceHash;
+  std::vector<std::pair<std::string, SetVar>> Externals;
+};
+
+/// Parses \p Text, adding all constraints (raw, unclosed) into \p Out,
+/// which must use the target context. Returns false with \p Error set on
+/// malformed input.
+bool deserializeConstraints(std::string_view Text, SymbolTable &Syms,
+                            ConstraintSystem &Out, LoadedConstraints &Info,
+                            std::string &Error);
+
+} // namespace spidey
+
+#endif // SPIDEY_CONSTRAINTS_SERIALIZE_H

@@ -1,0 +1,74 @@
+//===-- corpus/corpus.h - Benchmark programs and generator -----*- C++ -*-===//
+///
+/// \file
+/// The benchmark corpus. Two sources:
+///
+///  - Hand-written dialect programs standing in for the paper's benchmark
+///    components (fig. 6.6: map, reverse, substring, qsort, unify,
+///    hopcroft, check, escher-fish, scanner) and the chapter-8 case
+///    studies (web server, gunzip/inflate, the extended-direct-semantics
+///    interpreter tower, the HHL prover). The original Scheme sources are
+///    not archived; these are real programs implementing the same
+///    algorithms in our dialect (see DESIGN.md, substitutions).
+///
+///  - A seeded, deterministic multi-file program generator calibrated to
+///    the line/file counts and reuse patterns of the large benchmarks of
+///    figs. 7.1 and 7.6 (scanner, zodiac, nucleic, sba, mod-poly;
+///    lattice ... nucleic).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIDEY_CORPUS_CORPUS_H
+#define SPIDEY_CORPUS_CORPUS_H
+
+#include "lang/parser.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spidey {
+
+/// A named single-file corpus program.
+struct CorpusEntry {
+  const char *Name;
+  const char *Source;
+};
+
+/// All hand-written single-file programs.
+const std::vector<CorpusEntry> &corpusPrograms();
+
+/// Looks a program up by name; aborts if missing (programmer error).
+const CorpusEntry &corpusProgram(std::string_view Name);
+
+/// The multi-file extended-direct-semantics interpreter tower (§8.3):
+/// base/arith/cbv/control/store interpreters as units in separate files.
+std::vector<SourceFile> interpreterTowerFiles();
+
+/// Configuration for the synthetic program generator.
+struct GeneratorConfig {
+  unsigned Seed = 1;
+  unsigned NumComponents = 1;
+  unsigned TargetLines = 200; ///< total, split across components
+  /// Fraction (0-100) of call sites that target generic "library"
+  /// functions reused at several element types — the polymorphism knob of
+  /// fig. 7.6.
+  unsigned PolyReusePercent = 30;
+  /// Fraction (0-100) of calls that cross component boundaries.
+  unsigned CrossComponentPercent = 25;
+};
+
+/// Generates a deterministic multi-file program. The result always
+/// parses, analyzes, and runs without faults (its top-level `main-result`
+/// define evaluates successfully).
+std::vector<SourceFile> generateProgram(const GeneratorConfig &Config);
+
+/// Calibrated configurations named after the paper's benchmarks
+/// ("scanner", "zodiac", "nucleic", "sba", "mod-poly" for fig. 7.1;
+/// "lattice", "browse", "splay", "check", "graphs", "boyer", "matrix",
+/// "maze", "nbody", "nucleic-poly" for fig. 7.6).
+GeneratorConfig benchmarkConfig(std::string_view Name);
+
+} // namespace spidey
+
+#endif // SPIDEY_CORPUS_CORPUS_H

@@ -1,0 +1,325 @@
+//===-- corpus/corpus_casestudies.cpp - Chapter 8 case studies -*- C++ -*-===//
+///
+/// \file
+/// Dialect analogues of the chapter-8 evaluation programs, each in a
+/// "buggy" variant exhibiting the bug classes the dissertation reports
+/// finding, and a repaired variant that the static debugger verifies
+/// (0 unsafe checks). Sizes are scaled-down but the data/control patterns
+/// match the paper's descriptions.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/corpus.h"
+
+#include <string>
+
+namespace spidey::detail {
+
+// --- §8.1: the backup web server -----------------------------------------
+// Buggy: read-line's result (string ∪ eof) flows straight into
+// string-length and string=? — the exact unsafe operation the paper found.
+const char *WebServerBuggySrc = R"scm(
+; backup-server.ss (buggy): serves a static page to every request.
+(define response-body
+  "The Rice University computer science department's Web server has been disconnected temporarily.")
+(define (response-headers)
+  (string-append
+   "HTTP/1.0 200 OK\nContent-Type: text/html\nContent-Length: "
+   (string-append (number->string (string-length response-body)) "\n\n")))
+(define (skip-request-headers count)
+  (let ([line (read-line)])
+    ; BUG: line may be the end-of-file object.
+    (if (= (string-length line) 0)
+        count
+        (skip-request-headers (+ count 1)))))
+(define (serve-one)
+  (let ([n (skip-request-headers 0)])
+    (begin
+      (display (response-headers))
+      (display response-body)
+      n)))
+(define served (serve-one))
+)scm";
+
+// Repaired per §8.1: test for eof before using the line ("after
+// simplifying two lines of code ... TOTAL CHECKS: 0").
+const char *WebServerSrc = R"scm(
+; backup-server.ss: serves a static page to every request.
+(define response-body
+  "The Rice University computer science department's Web server has been disconnected temporarily.")
+(define (response-headers)
+  (string-append
+   "HTTP/1.0 200 OK\nContent-Type: text/html\nContent-Length: "
+   (string-append (number->string (string-length response-body)) "\n\n")))
+(define (skip-request-headers count)
+  (let ([line (read-line)])
+    (if (eof-object? line)
+        count
+        (if (= (string-length line) 0)
+            count
+            (skip-request-headers (+ count 1))))))
+(define (serve-one)
+  (let ([n (skip-request-headers 0)])
+    (begin
+      (display (response-headers))
+      (display response-body)
+      n)))
+(define served (serve-one))
+)scm";
+
+// --- §8.2: gunzip / inflate ----------------------------------------------
+// A bit-stream decoder in the style of inflate.ss. The buggy variant
+// reproduces the paper's bug classes: a table field holding a number in
+// some situations and a vector in others; a table stack initialized with
+// zeros instead of vectors; nil passed where an empty vector is expected;
+// and a missing end-of-file test.
+
+static const char *InflateCommon = R"scm(
+; Bit reader over the simulated input stream. State in boxes.
+(define bit-buf (box 0))
+(define bit-count (box 0))
+(define (refill!)
+  (let ([c (read-char)])
+    (if (eof-object? c)
+        #f
+        (begin
+          (set-box! bit-buf
+                    (bitwise-ior (unbox bit-buf)
+                                 (arithmetic-shift (char->integer c)
+                                                   (unbox bit-count))))
+          (set-box! bit-count (+ (unbox bit-count) 8))
+          #t))))
+(define (read-bits n)
+  (if (< (unbox bit-count) n)
+      (if (refill!)
+          (read-bits n)
+          -1)
+      (let ([v (bitwise-and (unbox bit-buf)
+                            (- (arithmetic-shift 1 n) 1))])
+        (begin
+          (set-box! bit-buf (arithmetic-shift (unbox bit-buf) (- 0 n)))
+          (set-box! bit-count (- (unbox bit-count) n))
+          v))))
+)scm";
+
+const char *InflateBuggyTail = R"scm(
+; Code-table entries: (cons bits extra) where extra is — BUG — sometimes a
+; base value (number) and sometimes a sub-table (vector), as in the huft
+; structure's overloaded third field.
+(define (entry bits extra) (cons bits extra))
+(define (entry-bits e) (car e))
+(define (entry-extra e) (cdr e))
+
+(define (make-table)
+  (let ([t (make-vector 8 0)])   ; BUG: zeros instead of entry vectors
+    (begin
+      (vector-set! t 0 (entry 1 16))
+      (vector-set! t 1 (entry 2 32))
+      (vector-set! t 2 (entry 2 (make-vector 2 (entry 3 48))))
+      (vector-set! t 3 (entry 3 64))
+      t)))
+
+; BUG: the table stack starts as a vector of zeros; the decoder does
+; vector-ref on whatever it finds there.
+(define table-stack (make-vector 4 0))
+(define (push-table! i t) (vector-set! table-stack i t))
+(define (current-table i) (vector-ref table-stack i))
+
+(define (decode-one table code)
+  (let ([e (vector-ref table (modulo code 4))])
+    (let ([extra (entry-extra e)])
+      ; BUG: extra may be a number; vector-ref then faults.
+      (+ (entry-bits e) (entry-bits (vector-ref extra 0))))))
+
+(define (inflate-loop table n acc)
+  (if (zero? n)
+      acc
+      (let ([code (read-bits 3)])
+        (inflate-loop table (- n 1) (+ acc (decode-one table code))))))
+
+(define (huft-build starting)
+  ; BUG: callers pass '() instead of an empty vector for `starting`.
+  (if (> (vector-length starting) 0)
+      (make-table)
+      (make-table)))
+
+(define main-table (huft-build '()))
+(define inflated (inflate-loop main-table 4 0))
+)scm";
+
+const char *InflateTail = R"scm(
+; Repaired per §8.2: the entry's base value and sub-table live in separate
+; fields; tables and the stack are initialized with vectors; empty vectors
+; are passed instead of nil.
+(define (entry bits base sub) (cons bits (cons base sub)))
+(define (entry-bits e) (car e))
+(define (entry-base e) (car (cdr e)))
+(define (entry-sub e) (cdr (cdr e)))
+
+(define empty-sub (vector))
+(define (leaf bits base) (entry bits base empty-sub))
+
+(define (make-table)
+  (let ([t (make-vector 8 (leaf 0 0))])
+    (begin
+      (vector-set! t 0 (leaf 1 16))
+      (vector-set! t 1 (leaf 2 32))
+      (vector-set! t 2 (entry 2 0 (make-vector 2 (leaf 3 48))))
+      (vector-set! t 3 (leaf 3 64))
+      t)))
+
+(define table-stack (make-vector 4 (make-vector 1 (leaf 0 0))))
+(define (push-table! i t) (vector-set! table-stack i t))
+(define (current-table i) (vector-ref table-stack i))
+
+(define (decode-one table code)
+  (let ([e (vector-ref table (modulo code 4))])
+    (if (> (vector-length (entry-sub e)) 0)
+        (+ (entry-bits e)
+           (entry-bits (vector-ref (entry-sub e) 0)))
+        (+ (entry-bits e) (entry-base e)))))
+
+(define (inflate-loop table n acc)
+  (if (zero? n)
+      acc
+      (let ([code (read-bits 3)])
+        (if (< code 0)
+            (error "inflate: unexpected end of input file")
+            (inflate-loop table (- n 1)
+                          (+ acc (decode-one table code)))))))
+
+(define (huft-build starting)
+  (if (> (vector-length starting) 0)
+      (make-table)
+      (make-table)))
+
+(define main-table (huft-build (vector)))
+(define inflated (inflate-loop main-table 4 0))
+)scm";
+
+// --- §8.4: the HHL hardware verifier -------------------------------------
+// A sequent prover over a small heterogeneous logic. The buggy variant
+// reproduces the paper's findings: a variable initialized with void and
+// later used as a string; a two-argument function applied to one
+// argument; car applied to a parser result that need not be a pair; and
+// string operations applied to read-line's result.
+
+static const char *HhlCommon = R"scm(
+; Formulas: (cons 'atom sym) | (cons 'and (cons f g)) | (cons 'imp (cons f g)).
+(define (atom s) (cons 'atom s))
+(define (conj f g) (cons 'and (cons f g)))
+(define (impl f g) (cons 'imp (cons f g)))
+(define (tag f) (car f))
+(define (left f) (car (cdr f)))
+(define (right f) (cdr (cdr f)))
+
+(define (member? x l)
+  (if (null? l)
+      #f
+      (if (eq? (car l) x) #t (member? x (cdr l)))))
+
+; Sequent prover: hypotheses |- goal, by decomposition.
+(define (prove hyps goal depth)
+  (if (> depth 20)
+      #f
+      (cond
+       [(eq? (tag goal) 'atom) (member? (cdr goal) hyps)]
+       [(eq? (tag goal) 'and)
+        (and (prove hyps (left goal) (+ depth 1))
+             (prove hyps (right goal) (+ depth 1)))]
+       [(eq? (tag goal) 'imp)
+        (prove (cons (hyp-name (left goal)) hyps)
+               (right goal) (+ depth 1))]
+       [else #f])))
+(define (hyp-name f)
+  (if (eq? (tag f) 'atom) (cdr f) 'compound))
+)scm";
+
+const char *HhlBuggyTail = R"scm(
+; Parse goals of the form "a&b" / "a>b" / "a" from the input stream.
+(define (parse-goal line)
+  (if (< (string-length line) 1)  ; BUG: line may be eof
+      'bad-goal
+      (if (>= (string-length line) 3)
+          (let ([op (string-ref line 1)])
+            (cond
+             [(eq? op #\&)
+              (conj (atom (string->symbol (substring line 0 1)))
+                    (atom (string->symbol (substring line 2 3))))]
+             [(eq? op #\>)
+              (impl (atom (string->symbol (substring line 0 1)))
+                    (atom (string->symbol (substring line 2 3))))]
+             [else 'bad-goal]))
+          (atom (string->symbol (substring line 0 1))))))
+
+; BUG: report-header is initialized with void and appended to below.
+(define report-header (void))
+(define (report verdict)
+  (string-append report-header (if verdict "proved" "failed")))
+
+(define (check-goal axioms)
+  (let ([goal (parse-goal (read-line))])
+    ; BUG: goal may be the symbol 'bad-goal; car then faults.
+    (prove axioms (cons (car goal) (cdr goal)) 0)))
+
+; BUG: two-argument helper applied to a single argument.
+(define (conj-both a b) (conj a b))
+(define tried (conj-both (atom 'p)))
+
+(define verdict (check-goal (list 'a 'b)))
+(define summary (report verdict))
+)scm";
+
+const char *HhlTail = R"scm(
+(define (parse-goal line)
+  (if (eof-object? line)
+      'bad-goal
+      (if (< (string-length line) 1)
+          'bad-goal
+          (if (>= (string-length line) 3)
+              (let ([op (string-ref line 1)])
+                (cond
+                 [(eq? op #\&)
+                  (conj (atom (string->symbol (substring line 0 1)))
+                        (atom (string->symbol (substring line 2 3))))]
+                 [(eq? op #\>)
+                  (impl (atom (string->symbol (substring line 0 1)))
+                        (atom (string->symbol (substring line 2 3))))]
+                 [else 'bad-goal]))
+              (atom (string->symbol (substring line 0 1)))))))
+
+(define report-header "hhl: ")
+(define (report verdict)
+  (string-append report-header (if verdict "proved" "failed")))
+
+(define (check-goal axioms)
+  (let ([goal (parse-goal (read-line))])
+    (if (symbol? goal)
+        #f
+        (prove axioms goal 0))))
+
+(define (conj-both a b) (conj a b))
+(define tried (conj-both (atom 'p) (atom 'q)))
+
+(define verdict (check-goal (list 'a 'b)))
+(define summary (report verdict))
+)scm";
+
+const char *inflateSrc() {
+  static const std::string S = std::string(InflateCommon) + InflateTail;
+  return S.c_str();
+}
+const char *inflateBuggySrc() {
+  static const std::string S = std::string(InflateCommon) + InflateBuggyTail;
+  return S.c_str();
+}
+const char *hhlSrc() {
+  static const std::string S = std::string(HhlCommon) + HhlTail;
+  return S.c_str();
+}
+const char *hhlBuggySrc() {
+  static const std::string S = std::string(HhlCommon) + HhlBuggyTail;
+  return S.c_str();
+}
+
+} // namespace spidey::detail

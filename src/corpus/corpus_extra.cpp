@@ -1,0 +1,152 @@
+//===-- corpus/corpus_extra.cpp - Additional corpus programs ---*- C++ -*-===//
+///
+/// \file
+/// Two further realistic programs for the corpus: a meta-circular
+/// evaluator for a Scheme subset (the classic stress test for value-flow
+/// analyses: closures in data, environments as association lists), and a
+/// small matrix library over vectors (the fig. 7.6 "matrix" flavor:
+/// index-heavy numeric code).
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/corpus.h"
+
+namespace spidey::detail {
+
+const char *MetaEvalSrc = R"scm(
+; meta-eval: a meta-circular evaluator for a Scheme subset.
+; Programs are built with tagged pairs; closures are host closures.
+(define (tag e) (car e))
+(define (mk-lit n) (cons 'lit n))
+(define (mk-ref x) (cons 'ref x))
+(define (mk-lam x body) (cons 'lam (cons x body)))
+(define (mk-call f a) (cons 'call (cons f a)))
+(define (mk-prim op a b) (cons 'prim (cons op (cons a b))))
+(define (mk-ifz c t e) (cons 'ifz (cons c (cons t e))))
+
+(define (env-lookup env x)
+  (if (null? env)
+      (error "meta-eval: unbound variable")
+      (if (eq? (car (car env)) x)
+          (cdr (car env))
+          (env-lookup (cdr env) x))))
+(define (env-bind env x v) (cons (cons x v) env))
+
+(define (apply-prim op a b)
+  (cond
+   [(eq? op 'add) (+ a b)]
+   [(eq? op 'sub) (- a b)]
+   [(eq? op 'mul) (* a b)]
+   [else (error "meta-eval: unknown primitive")]))
+
+(define (meta-eval e env)
+  (let ([t (tag e)])
+    (cond
+     [(eq? t 'lit) (cdr e)]
+     [(eq? t 'ref) (env-lookup env (cdr e))]
+     [(eq? t 'lam)
+      (let ([x (car (cdr e))]
+            [body (cdr (cdr e))])
+        (lambda (v) (meta-eval body (env-bind env x v))))]
+     [(eq? t 'call)
+      ((meta-eval (car (cdr e)) env)
+       (meta-eval (cdr (cdr e)) env))]
+     [(eq? t 'prim)
+      (apply-prim (car (cdr e))
+                  (meta-eval (car (cdr (cdr e))) env)
+                  (meta-eval (cdr (cdr (cdr e))) env))]
+     [(eq? t 'ifz)
+      (if (zero? (meta-eval (car (cdr e)) env))
+          (meta-eval (car (cdr (cdr e))) env)
+          (meta-eval (cdr (cdr (cdr e))) env))]
+     [else (error "meta-eval: bad expression")])))
+
+; (((λx. λy. x*x + y) 6) 5) = 41
+(define prog
+  (mk-call
+   (mk-call (mk-lam 'x (mk-lam 'y (mk-prim 'add
+                                           (mk-prim 'mul (mk-ref 'x)
+                                                    (mk-ref 'x))
+                                           (mk-ref 'y))))
+            (mk-lit 6))
+   (mk-lit 5)))
+(define meta-demo (meta-eval prog '()))
+
+; A Church-numeral exercise through the interpreted language:
+; church 3 applied to add1 and 0.
+(define church3
+  (mk-lam 'f (mk-lam 'z
+    (mk-call (mk-ref 'f)
+             (mk-call (mk-ref 'f)
+                      (mk-call (mk-ref 'f) (mk-ref 'z)))))))
+(define church-demo
+  (meta-eval (mk-call (mk-call church3
+                               (mk-lam 'n (mk-prim 'add (mk-ref 'n)
+                                                   (mk-lit 1))))
+                      (mk-lit 0))
+             '()))
+)scm";
+
+const char *MatrixSrc = R"scm(
+; matrix: a small dense-matrix library over vectors of vectors.
+(define (make-matrix rows cols fill)
+  (let ([m (make-vector rows (vector))])
+    (let loop ([r 0])
+      (if (= r rows)
+          m
+          (begin
+            (vector-set! m r (make-vector cols fill))
+            (loop (+ r 1)))))))
+(define (mat-rows m) (vector-length m))
+(define (mat-cols m) (vector-length (vector-ref m 0)))
+(define (mat-ref m r c) (vector-ref (vector-ref m r) c))
+(define (mat-set! m r c v) (vector-set! (vector-ref m r) c v))
+
+(define (identity n)
+  (let ([m (make-matrix n n 0)])
+    (let loop ([i 0])
+      (if (= i n)
+          m
+          (begin (mat-set! m i i 1) (loop (+ i 1)))))))
+
+(define (mat-mul a b)
+  (let ([n (mat-rows a)] [p (mat-cols b)] [k (mat-cols a)])
+    (let ([out (make-matrix n p 0)])
+      (let rows ([i 0])
+        (if (= i n)
+            out
+            (begin
+              (let cols ([j 0])
+                (if (= j p)
+                    (void)
+                    (begin
+                      (let dot ([x 0] [acc 0])
+                        (if (= x k)
+                            (mat-set! out i j acc)
+                            (dot (+ x 1)
+                                 (+ acc (* (mat-ref a i x)
+                                           (mat-ref b x j))))))
+                      (cols (+ j 1)))))
+              (rows (+ i 1))))))))
+
+(define (mat-trace m)
+  (let loop ([i 0] [acc 0])
+    (if (= i (mat-rows m))
+        acc
+        (loop (+ i 1) (+ acc (mat-ref m i i))))))
+
+; Fibonacci via matrix power: [[1 1][1 0]]^n.
+(define fib-mat
+  (let ([m (make-matrix 2 2 0)])
+    (begin (mat-set! m 0 0 1) (mat-set! m 0 1 1)
+           (mat-set! m 1 0 1) (mat-set! m 1 1 0)
+           m)))
+(define (mat-pow m n)
+  (if (zero? n)
+      (identity 2)
+      (mat-mul m (mat-pow m (sub1 n)))))
+(define matrix-demo (mat-ref (mat-pow fib-mat 10) 0 1)) ; fib(10) = 55
+(define trace-demo (mat-trace (identity 5)))
+)scm";
+
+} // namespace spidey::detail

@@ -1,0 +1,484 @@
+//===-- corpus/corpus_programs.cpp - Fig. 6.6 benchmark set ----*- C++ -*-===//
+///
+/// \file
+/// Hand-written dialect programs standing in for the program components of
+/// fig. 6.6 (simplification benchmarks), plus the sum.ss running example.
+/// Each implements the algorithm its paper counterpart is named after.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/corpus.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace spidey;
+
+namespace {
+
+const char *MapSrc = R"scm(
+; map: apply f to every element of a list.
+(define (map f l)
+  (if (null? l)
+      '()
+      (cons (f (car l)) (map f (cdr l)))))
+(define map-demo (map (lambda (x) (* x x)) (list 1 2 3 4)))
+)scm";
+
+const char *ReverseSrc = R"scm(
+; reverse: accumulate the list back to front.
+(define (rev-onto l acc)
+  (if (null? l)
+      acc
+      (rev-onto (cdr l) (cons (car l) acc))))
+(define (reverse l) (rev-onto l '()))
+(define reverse-demo (reverse (list 1 2 3)))
+)scm";
+
+const char *SubstringSrc = R"scm(
+; substring utilities: index-of, split, trim.
+(define (char-at s i) (string-ref s i))
+(define (index-of-from s c i)
+  (if (>= i (string-length s))
+      -1
+      (if (eq? (char-at s i) c)
+          i
+          (index-of-from s c (+ i 1)))))
+(define (index-of s c) (index-of-from s c 0))
+(define (split-first s c)
+  (let ([i (index-of s c)])
+    (if (< i 0)
+        (cons s "")
+        (cons (substring s 0 i)
+              (substring s (+ i 1) (string-length s))))))
+(define (split s c)
+  (let ([parts (split-first s c)])
+    (if (string=? (cdr parts) "")
+        (cons (car parts) '())
+        (cons (car parts) (split (cdr parts) c)))))
+(define (starts-with? s prefix)
+  (if (> (string-length prefix) (string-length s))
+      #f
+      (string=? (substring s 0 (string-length prefix)) prefix)))
+(define substring-demo (split "a,b,c" #\,))
+)scm";
+
+const char *QsortSrc = R"scm(
+; qsort: quicksort over lists of numbers.
+(define (filter keep? l)
+  (if (null? l)
+      '()
+      (if (keep? (car l))
+          (cons (car l) (filter keep? (cdr l)))
+          (filter keep? (cdr l)))))
+(define (append2 a b)
+  (if (null? a)
+      b
+      (cons (car a) (append2 (cdr a) b))))
+(define (qsort l)
+  (if (null? l)
+      '()
+      (let ([pivot (car l)]
+            [rest (cdr l)])
+        (append2
+         (qsort (filter (lambda (x) (< x pivot)) rest))
+         (cons pivot
+               (qsort (filter (lambda (x) (>= x pivot)) rest)))))))
+(define (sorted? l)
+  (if (null? l)
+      #t
+      (if (null? (cdr l))
+          #t
+          (and (<= (car l) (car (cdr l))) (sorted? (cdr l))))))
+(define qsort-demo (qsort (list 3 1 4 1 5 9 2 6 5 3 5)))
+(define qsort-ok (sorted? qsort-demo))
+)scm";
+
+const char *UnifySrc = R"scm(
+; unify: first-order unification.
+; Terms: (cons 'var name) | (cons 'const name) | (cons 'app (cons f args)),
+; where args is a list of terms. Substitutions are assoc lists.
+(define (var? t) (eq? (car t) 'var))
+(define (const? t) (eq? (car t) 'const))
+(define (app? t) (eq? (car t) 'app))
+(define (var-name t) (cdr t))
+(define (app-head t) (car (cdr t)))
+(define (app-args t) (cdr (cdr t)))
+(define (mk-var n) (cons 'var n))
+(define (mk-const n) (cons 'const n))
+(define (mk-app f args) (cons 'app (cons f args)))
+
+(define (lookup-subst s n)
+  (if (null? s)
+      #f
+      (if (eq? (car (car s)) n)
+          (cdr (car s))
+          (lookup-subst (cdr s) n))))
+
+(define (walk t s)
+  (if (var? t)
+      (let ([bound (lookup-subst s (var-name t))])
+        (if bound (walk bound s) t))
+      t))
+
+(define (occurs? n t s)
+  (let ([t2 (walk t s)])
+    (cond
+     [(var? t2) (eq? (var-name t2) n)]
+     [(app? t2) (occurs-any? n (app-args t2) s)]
+     [else #f])))
+(define (occurs-any? n ts s)
+  (if (null? ts)
+      #f
+      (or (occurs? n (car ts) s) (occurs-any? n (cdr ts) s))))
+
+(define (unify t1 t2 s)
+  (if (eq? s 'fail)
+      'fail
+      (let ([a (walk t1 s)]
+            [b (walk t2 s)])
+        (cond
+         [(and (var? a) (var? b) (eq? (var-name a) (var-name b))) s]
+         [(var? a) (if (occurs? (var-name a) b s)
+                       'fail
+                       (cons (cons (var-name a) b) s))]
+         [(var? b) (unify b a s)]
+         [(and (const? a) (const? b))
+          (if (eq? (cdr a) (cdr b)) s 'fail)]
+         [(and (app? a) (app? b))
+          (if (eq? (app-head a) (app-head b))
+              (unify-all (app-args a) (app-args b) s)
+              'fail)]
+         [else 'fail]))))
+(define (unify-all as bs s)
+  (cond
+   [(eq? s 'fail) 'fail]
+   [(and (null? as) (null? bs)) s]
+   [(null? as) 'fail]
+   [(null? bs) 'fail]
+   [else (unify-all (cdr as) (cdr bs)
+                    (unify (car as) (car bs) s))]))
+
+(define unify-demo
+  (unify (mk-app 'f (list (mk-var 'x) (mk-const 'b)))
+         (mk-app 'f (list (mk-const 'a) (mk-var 'y)))
+         '()))
+)scm";
+
+const char *HopcroftSrc = R"scm(
+; hopcroft: DFA minimization by iterated partition refinement (Moore).
+; A DFA over a binary alphabet: transitions in two vectors, accepting
+; states in a vector of booleans.
+(define (build-range n f)
+  (let loop ([i 0] [acc '()])
+    (if (= i n)
+        (rev acc)
+        (loop (+ i 1) (cons (f i) acc)))))
+(define (rev l)
+  (let loop ([l l] [acc '()])
+    (if (null? l) acc (loop (cdr l) (cons (car l) acc)))))
+(define (vec-of-list l)
+  (let ([v (make-vector (len l) 0)])
+    (let loop ([l l] [i 0])
+      (if (null? l)
+          v
+          (begin (vector-set! v i (car l)) (loop (cdr l) (+ i 1)))))))
+(define (len l) (if (null? l) 0 (+ 1 (len (cdr l)))))
+
+; Signature of a state: (class, class-of-succ0, class-of-succ1).
+(define (signature cls t0 t1 q)
+  (list (vector-ref cls q)
+        (vector-ref cls (vector-ref t0 q))
+        (vector-ref cls (vector-ref t1 q))))
+(define (sig=? a b)
+  (and (= (car a) (car b))
+       (= (car (cdr a)) (car (cdr b)))
+       (= (car (cdr (cdr a))) (car (cdr (cdr b))))))
+
+; Assign new class numbers: states with equal signatures share a class.
+(define (assign-classes n cls t0 t1)
+  (let ([new (make-vector n -1)])
+    (let loop ([q 0] [reps '()] [next 0])
+      (if (= q n)
+          new
+          (let ([sig (signature cls t0 t1 q)])
+            (let ([found (find-rep reps sig)])
+              (if (< found 0)
+                  (begin
+                    (vector-set! new q next)
+                    (loop (+ q 1) (cons (cons sig next) reps) (+ next 1)))
+                  (begin
+                    (vector-set! new q found)
+                    (loop (+ q 1) reps next)))))))))
+(define (find-rep reps sig)
+  (if (null? reps)
+      -1
+      (if (sig=? (car (car reps)) sig)
+          (cdr (car reps))
+          (find-rep (cdr reps) sig))))
+
+(define (classes=? n a b)
+  (let loop ([q 0])
+    (if (= q n)
+        #t
+        (and (= (vector-ref a q) (vector-ref b q)) (loop (+ q 1))))))
+
+(define (minimize n t0 t1 accepting)
+  (let ([cls0 (make-vector n 0)])
+    (begin
+      ; Initial partition: accepting vs non-accepting.
+      (let loop ([q 0])
+        (if (= q n)
+            (void)
+            (begin
+              (vector-set! cls0 q (if (vector-ref accepting q) 1 0))
+              (loop (+ q 1)))))
+      (let refine ([cls cls0])
+        (let ([next (assign-classes n cls t0 t1)])
+          (if (classes=? n cls next)
+              cls
+              (refine next)))))))
+
+(define (count-classes n cls)
+  (let loop ([q 0] [m -1])
+    (if (= q n)
+        (+ m 1)
+        (loop (+ q 1) (max m (vector-ref cls q))))))
+
+; A 6-state DFA with two equivalent states.
+(define t0 (vec-of-list (list 1 2 3 4 5 0)))
+(define t1 (vec-of-list (list 2 3 4 5 0 1)))
+(define acc (vec-of-list (list #f #f #t #f #f #t)))
+(define hopcroft-demo (count-classes 6 (minimize 6 t0 t1 acc)))
+)scm";
+
+const char *CheckSrc = R"scm(
+; check: a type checker for the simply typed lambda calculus.
+; Terms:  (cons 'var x) | (cons 'lam (cons x (cons ty body)))
+;       | (cons 'ap (cons f a)) | (cons 'lit n)
+; Types:  'int | (cons 'arrow (cons t1 t2))
+(define (ty-arrow a b) (cons 'arrow (cons a b)))
+(define (ty-arrow? t) (if (pair? t) (eq? (car t) 'arrow) #f))
+(define (arrow-from t) (car (cdr t)))
+(define (arrow-to t) (cdr (cdr t)))
+(define (ty=? a b)
+  (if (eq? a 'int)
+      (eq? b 'int)
+      (if (ty-arrow? a)
+          (and (ty-arrow? b)
+               (ty=? (arrow-from a) (arrow-from b))
+               (ty=? (arrow-to a) (arrow-to b)))
+          #f)))
+
+(define (env-lookup env x)
+  (if (null? env)
+      'unbound
+      (if (eq? (car (car env)) x)
+          (cdr (car env))
+          (env-lookup (cdr env) x))))
+
+(define (typecheck term env)
+  (let ([tag (car term)])
+    (cond
+     [(eq? tag 'lit) 'int]
+     [(eq? tag 'var)
+      (let ([t (env-lookup env (cdr term))])
+        (if (eq? t 'unbound) (error "unbound variable") t))]
+     [(eq? tag 'lam)
+      (let ([x (car (cdr term))]
+            [ty (car (cdr (cdr term)))]
+            [body (cdr (cdr (cdr term)))])
+        (ty-arrow ty (typecheck body (cons (cons x ty) env))))]
+     [(eq? tag 'ap)
+      (let ([fty (typecheck (car (cdr term)) env)]
+            [aty (typecheck (cdr (cdr term)) env)])
+        (if (ty-arrow? fty)
+            (if (ty=? (arrow-from fty) aty)
+                (arrow-to fty)
+                (error "argument type mismatch"))
+            (error "applying a non-function")))]
+     [else (error "bad term")])))
+
+(define (mk-lam x ty body) (cons 'lam (cons x (cons ty body))))
+(define (mk-ap f a) (cons 'ap (cons f a)))
+(define (mk-var x) (cons 'var x))
+(define (mk-lit n) (cons 'lit n))
+
+; (λ (f : int → int) (λ (x : int) (f (f x)))) applied to id and 1.
+(define twice
+  (mk-lam 'f (ty-arrow 'int 'int)
+          (mk-lam 'x 'int
+                  (mk-ap (mk-var 'f) (mk-ap (mk-var 'f) (mk-var 'x))))))
+(define check-demo (typecheck twice '()))
+)scm";
+
+const char *EscherFishSrc = R"scm(
+; escher-fish: Henderson's picture combinators. A picture is a function
+; from a frame (cons width height) to a list of segments; segments are
+; pairs of points; points are pairs of numbers.
+(define (pt x y) (cons x y))
+(define (seg a b) (cons a b))
+(define (blank) (lambda (frame) '()))
+(define (poly pts)
+  (lambda (frame)
+    (let ([w (car frame)] [h (cdr frame)])
+      (let loop ([ps pts] [acc '()])
+        (if (null? (cdr ps))
+            acc
+            (loop (cdr ps)
+                  (cons (seg (scale-pt (car ps) w h)
+                             (scale-pt (car (cdr ps)) w h))
+                        acc)))))))
+(define (scale-pt p w h) (pt (* (car p) w) (* (cdr p) h)))
+(define (append-segs a b)
+  (if (null? a) b (cons (car a) (append-segs (cdr a) b))))
+(define (over p q)
+  (lambda (frame) (append-segs (p frame) (q frame))))
+(define (beside p q)
+  (lambda (frame)
+    (let ([w (car frame)] [h (cdr frame)])
+      (append-segs (shift-segs (p (cons (quotient w 2) h)) 0 0)
+                   (shift-segs (q (cons (quotient w 2) h))
+                               (quotient w 2) 0)))))
+(define (above p q)
+  (lambda (frame)
+    (let ([w (car frame)] [h (cdr frame)])
+      (append-segs (shift-segs (p (cons w (quotient h 2))) 0 0)
+                   (shift-segs (q (cons w (quotient h 2)))
+                               0 (quotient h 2))))))
+(define (shift-segs segs dx dy)
+  (if (null? segs)
+      '()
+      (let ([s (car segs)])
+        (cons (seg (pt (+ (car (car s)) dx) (+ (cdr (car s)) dy))
+                   (pt (+ (car (cdr s)) dx) (+ (cdr (cdr s)) dy)))
+              (shift-segs (cdr segs) dx dy)))))
+(define (quartet a b c d) (above (beside a b) (beside c d)))
+(define fish
+  (poly (list (pt 0 0) (pt 1 1) (pt 0 1) (pt 1 0) (pt 0 0))))
+(define fish2 (quartet fish (blank) (blank) fish))
+(define fish4 (quartet fish2 fish2 fish2 fish2))
+(define (count-segs segs)
+  (if (null? segs) 0 (+ 1 (count-segs (cdr segs)))))
+(define escher-demo (count-segs (fish4 (cons 64 64))))
+)scm";
+
+const char *ScannerSrc = R"scm(
+; scanner: a lexer producing a token list from a source string.
+; Tokens: (cons 'ident name) | (cons 'number n) | (cons 'punct ch)
+;       | (cons 'keyword name)
+(define (alpha? c)
+  (let ([n (char->integer c)])
+    (or (and (>= n 97) (<= n 122)) (and (>= n 65) (<= n 90)))))
+(define (digit? c)
+  (let ([n (char->integer c)])
+    (and (>= n 48) (<= n 57))))
+(define (space? c)
+  (or (eq? c #\space) (or (eq? c #\newline) (eq? c #\tab))))
+
+(define (keyword? s)
+  (or (string=? s "define")
+      (or (string=? s "lambda")
+          (or (string=? s "if") (string=? s "let")))))
+
+(define (scan-ident src i end)
+  (if (and (< i end)
+           (or (alpha? (string-ref src i)) (digit? (string-ref src i))))
+      (scan-ident src (+ i 1) end)
+      i))
+(define (scan-number src i end)
+  (if (and (< i end) (digit? (string-ref src i)))
+      (scan-number src (+ i 1) end)
+      i))
+
+(define (scan src)
+  (let ([end (string-length src)])
+    (let loop ([i 0] [toks '()])
+      (if (>= i end)
+          (rev-toks toks '())
+          (let ([c (string-ref src i)])
+            (cond
+             [(space? c) (loop (+ i 1) toks)]
+             [(alpha? c)
+              (let ([j (scan-ident src i end)])
+                (let ([text (substring src i j)])
+                  (loop j (cons (if (keyword? text)
+                                    (cons 'keyword text)
+                                    (cons 'ident text))
+                                toks))))]
+             [(digit? c)
+              (let ([j (scan-number src i end)])
+                (loop j (cons (cons 'number
+                                    (string->number (substring src i j)))
+                              toks)))]
+             [else (loop (+ i 1) (cons (cons 'punct c) toks))]))))))
+(define (rev-toks l acc)
+  (if (null? l) acc (rev-toks (cdr l) (cons (car l) acc))))
+
+(define (count-kind toks kind)
+  (if (null? toks)
+      0
+      (+ (if (eq? (car (car toks)) kind) 1 0)
+         (count-kind (cdr toks) kind))))
+
+(define scan-demo (scan "(define (f x) (if (< x 10) x 99))"))
+(define scanner-idents (count-kind scan-demo 'ident))
+(define scanner-numbers (count-kind scan-demo 'number))
+)scm";
+
+const char *SumSrc = R"scm(
+; Sums leaves in a binary tree (the dissertation's running example).
+(define (sum tree)
+  (if (number? tree)
+      tree
+      (+ (sum (car tree))
+         (sum (cdr tree)))))
+(define sum-demo (sum (cons (cons '() 1) 2)))
+)scm";
+
+} // namespace
+
+// Defined in corpus_casestudies.cpp.
+namespace spidey::detail {
+extern const char *WebServerSrc;
+extern const char *WebServerBuggySrc;
+extern const char *MetaEvalSrc;
+extern const char *MatrixSrc;
+const char *inflateSrc();
+const char *inflateBuggySrc();
+const char *hhlSrc();
+const char *hhlBuggySrc();
+} // namespace spidey::detail
+
+const std::vector<CorpusEntry> &spidey::corpusPrograms() {
+  static const std::vector<CorpusEntry> Programs = {
+      {"map", MapSrc},
+      {"reverse", ReverseSrc},
+      {"substring", SubstringSrc},
+      {"qsort", QsortSrc},
+      {"unify", UnifySrc},
+      {"hopcroft", HopcroftSrc},
+      {"check", CheckSrc},
+      {"escher-fish", EscherFishSrc},
+      {"scanner", ScannerSrc},
+      {"sum", SumSrc},
+      {"webserver", detail::WebServerSrc},
+      {"webserver-buggy", detail::WebServerBuggySrc},
+      {"inflate", detail::inflateSrc()},
+      {"inflate-buggy", detail::inflateBuggySrc()},
+      {"hhl", detail::hhlSrc()},
+      {"hhl-buggy", detail::hhlBuggySrc()},
+      {"meta-eval", detail::MetaEvalSrc},
+      {"matrix", detail::MatrixSrc},
+  };
+  return Programs;
+}
+
+const CorpusEntry &spidey::corpusProgram(std::string_view Name) {
+  for (const CorpusEntry &E : corpusPrograms())
+    if (Name == E.Name)
+      return E;
+  std::fprintf(stderr, "unknown corpus program '%.*s'\n",
+               static_cast<int>(Name.size()), Name.data());
+  std::abort();
+}

@@ -1,0 +1,160 @@
+//===-- corpus/corpus_tower.cpp - §8.3 interpreter tower -------*- C++ -*-===//
+///
+/// \file
+/// The extended-direct-semantics interpreter tower of §8.3: a basic
+/// interpreter extended by orthogonal interpreter units for arithmetic,
+/// call-by-value functions, control operations (catch/throw via call/cc)
+/// and assignments (ref/deref/setref via boxes). Each interpreter lives in
+/// its own file as a unit taking the previous interpreter generator as its
+/// import; main.ss links the tower, ties the recursive knot, and runs the
+/// test suite.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/corpus.h"
+
+using namespace spidey;
+
+std::vector<SourceFile> spidey::interpreterTowerFiles() {
+  std::vector<SourceFile> Files;
+
+  Files.push_back({"global.ss", R"scm(
+; Shared helpers: expressions are tagged pairs, environments are assoc
+; lists mapping symbols to values.
+(define (tag-of e) (car e))
+(define (payload e) (cdr e))
+(define (env-empty) '())
+(define (env-extend env name val) (cons (cons name val) env))
+(define (env-lookup env name)
+  (if (null? env)
+      (error "unbound interpreted variable")
+      (if (eq? (car (car env)) name)
+          (cdr (car env))
+          (env-lookup (cdr env) name))))
+; Constructors for interpreted programs.
+(define (mk-num n) (cons 'num n))
+(define (mk-add1 e) (cons 'add1 e))
+(define (mk-sub1 e) (cons 'sub1 e))
+(define (mk-var x) (cons 'var x))
+(define (mk-lam x body) (cons 'lam (cons x body)))
+(define (mk-app f a) (cons 'app (cons f a)))
+(define (mk-catch k body) (cons 'catch (cons k body)))
+(define (mk-throw k e) (cons 'throw (cons k e)))
+(define (mk-ref e) (cons 'ref e))
+(define (mk-deref e) (cons 'deref e))
+(define (mk-setref e v) (cons 'setref (cons e v)))
+)scm"});
+
+  Files.push_back({"baseM.ss", R"scm(
+; The basic interpreter: numeric literals only; everything else goes to
+; the imported (seed) generator.
+(define base-layer
+  (unit (import prev-gen) (export gen)
+    (define gen
+      (lambda (top)
+        (lambda (exp env)
+          (if (eq? (tag-of exp) 'num)
+              (payload exp)
+              (((unbox prev-gen) top) exp env)))))))
+)scm"});
+
+  Files.push_back({"arithM.ss", R"scm(
+; Arithmetic: add1 and sub1.
+(define arith-layer
+  (unit (import prev-gen2) (export gen2)
+    (define gen2
+      (lambda (top)
+        (lambda (exp env)
+          (let ([t (tag-of exp)])
+            (cond
+             [(eq? t 'add1) (+ (top (payload exp) env) 1)]
+             [(eq? t 'sub1) (- (top (payload exp) env) 1)]
+             [else ((prev-gen2 top) exp env)])))))))
+)scm"});
+
+  Files.push_back({"cbvM.ss", R"scm(
+; Call-by-value functions: variables, lambdas and applications.
+(define cbv-layer
+  (unit (import prev-gen3) (export gen3)
+    (define gen3
+      (lambda (top)
+        (lambda (exp env)
+          (let ([t (tag-of exp)])
+            (cond
+             [(eq? t 'var) (env-lookup env (payload exp))]
+             [(eq? t 'lam)
+              (let ([x (car (payload exp))]
+                    [body (cdr (payload exp))])
+                (lambda (v) (top body (env-extend env x v))))]
+             [(eq? t 'app)
+              (let ([f (top (car (payload exp)) env)]
+                    [a (top (cdr (payload exp)) env)])
+                (f a))]
+             [else ((prev-gen3 top) exp env)])))))))
+)scm"});
+
+  Files.push_back({"controlM.ss", R"scm(
+; Control operations: catch captures the continuation, throw invokes it.
+(define control-layer
+  (unit (import prev-gen4) (export gen4)
+    (define gen4
+      (lambda (top)
+        (lambda (exp env)
+          (let ([t (tag-of exp)])
+            (cond
+             [(eq? t 'catch)
+              (call/cc
+               (lambda (k)
+                 (top (cdr (payload exp))
+                      (env-extend env (car (payload exp)) k))))]
+             [(eq? t 'throw)
+              ((env-lookup env (car (payload exp)))
+               (top (cdr (payload exp)) env))]
+             [else ((prev-gen4 top) exp env)])))))))
+)scm"});
+
+  Files.push_back({"storeM.ss", R"scm(
+; Assignments: ref allocates a cell, deref reads it, setref writes it.
+(define store-layer
+  (unit (import prev-gen5) (export gen5)
+    (define gen5
+      (lambda (top)
+        (lambda (exp env)
+          (let ([t (tag-of exp)])
+            (cond
+             [(eq? t 'ref) (box (top (payload exp) env))]
+             [(eq? t 'deref) (unbox (top (payload exp) env))]
+             [(eq? t 'setref)
+              (set-box! (top (car (payload exp)) env)
+                        (top (cdr (payload exp)) env))]
+             [else ((prev-gen5 top) exp env)])))))))
+)scm"});
+
+  Files.push_back({"main.ss", R"scm(
+; Link the tower, tie the recursive knot, and run the test programs.
+(define seed-gen
+  (box (lambda (top)
+         (lambda (exp env) (error "unknown expression form")))))
+(define tower
+  (link (link (link (link base-layer arith-layer) cbv-layer)
+              control-layer)
+        store-layer))
+(define top-gen (invoke tower seed-gen))
+(define (interp exp env)
+  ((top-gen interp) exp env))
+(define (run exp) (interp exp (env-empty)))
+
+; ((λx. add1 x) 41) => 42
+(define test-app
+  (run (mk-app (mk-lam 'x (mk-add1 (mk-var 'x))) (mk-num 41))))
+; catch k in (add1 (throw k 10)) => 10
+(define test-catch
+  (run (mk-catch 'k (mk-add1 (mk-throw 'k (mk-num 10))))))
+; deref (setref-target) => 7
+(define test-store
+  (run (mk-deref (mk-ref (mk-num 7)))))
+(define tower-results (list test-app test-catch test-store))
+)scm"});
+
+  return Files;
+}

@@ -1,0 +1,298 @@
+//===-- corpus/generator.cpp - Synthetic workload generator ----*- C++ -*-===//
+///
+/// \file
+/// Deterministic multi-file program generator calibrated to the large
+/// benchmarks of figs. 7.1 and 7.6. Generated programs run without
+/// faults by construction; under the monomorphic analysis the generic
+/// mappers merge unrelated element types (the paper's motivation for
+/// polymorphic analysis), which the Copy/Smart modes resolve. Knobs: total lines, component count, degree of
+/// polymorphic reuse of generic library functions, and cross-component
+/// call density.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/corpus.h"
+
+#include <cassert>
+#include <random>
+#include <sstream>
+
+using namespace spidey;
+
+namespace {
+
+/// What a generated definition produces/consumes.
+enum class DefKind {
+  NumFn2,       ///< (f num num) -> num
+  ListBuilder,  ///< (f num) -> list-of-num
+  ListConsumer, ///< (f list-of-num) -> num
+  LenConsumer,  ///< (f list-of-any) -> num
+  Mapper,       ///< generic (f l) -> list      — polymorphic library
+  FilterFn,     ///< generic (p l) -> list      — polymorphic library
+  FoldFn,       ///< generic (f acc l) -> any   — polymorphic library
+  NumData,      ///< a number
+};
+
+struct DefInfo {
+  std::string Name;
+  DefKind Kind;
+  unsigned Component;
+};
+
+class Generator {
+public:
+  explicit Generator(const GeneratorConfig &Config)
+      : Config(Config), Rng(Config.Seed) {}
+
+  std::vector<SourceFile> run() {
+    std::vector<SourceFile> Files;
+    unsigned LinesPerComponent =
+        std::max(10u, Config.TargetLines / std::max(1u, Config.NumComponents));
+    for (unsigned C = 0; C < Config.NumComponents; ++C) {
+      CurComponent = C;
+      std::ostringstream OS;
+      OS << "; generated component " << C << " (seed " << Config.Seed
+         << ")\n";
+      unsigned Lines = 1;
+      // Every component gets a generic library suite early so polymorphic
+      // reuse has local targets too.
+      Lines += emitLibrary(OS);
+      while (Lines < LinesPerComponent)
+        Lines += emitDefinition(OS);
+      Files.push_back({"gen" + std::to_string(C) + ".ss", OS.str()});
+    }
+    // Final main component aggregates data so everything is live.
+    std::ostringstream OS;
+    OS << "; generated main\n(define main-result\n  (+ 0";
+    unsigned Uses = 0;
+    for (const DefInfo &D : Defs)
+      if (D.Kind == DefKind::NumData && Uses++ < 24)
+        OS << " " << D.Name;
+    OS << "))\n";
+    Files.push_back({"genmain.ss", OS.str()});
+    return Files;
+  }
+
+private:
+  unsigned pct() { return Rng() % 100; }
+
+  std::string freshName(const char *Stem) {
+    return std::string(Stem) + std::to_string(CurComponent) + "x" +
+           std::to_string(Counter++);
+  }
+
+  /// Picks an existing definition of the given kind, preferring the
+  /// current component unless a cross-component call is rolled.
+  const DefInfo *pick(DefKind Kind) {
+    bool Cross = pct() < Config.CrossComponentPercent;
+    const DefInfo *Local = nullptr, *Foreign = nullptr;
+    // Scan backwards for recency (deterministic).
+    for (auto It = Defs.rbegin(); It != Defs.rend(); ++It) {
+      if (It->Kind != Kind)
+        continue;
+      if (It->Component == CurComponent) {
+        if (!Local)
+          Local = &*It;
+      } else if (!Foreign) {
+        Foreign = &*It;
+      }
+      if (Local && Foreign)
+        break;
+    }
+    if (Cross && Foreign)
+      return Foreign;
+    return Local ? Local : Foreign;
+  }
+
+  /// A realistically sized generic library: map (with an accumulating
+  /// helper and reversal), filter, and fold. These are the functions the
+  /// polymorphic analyses duplicate per reference (§7.4).
+  unsigned emitLibrary(std::ostringstream &OS) {
+    std::string MapName = freshName("xform");
+    OS << "(define (" << MapName << " g l)\n"
+       << "  (letrec ([step (lambda (l acc)\n"
+       << "                   (if (pair? l)\n"
+       << "                       (step (cdr l) (cons (g (car l)) acc))\n"
+       << "                       acc))]\n"
+       << "           [rev (lambda (l acc)\n"
+       << "                  (if (pair? l)\n"
+       << "                      (rev (cdr l) (cons (car l) acc))\n"
+       << "                      acc))])\n"
+       << "    (rev (step l '()) '())))\n";
+    Defs.push_back({MapName, DefKind::Mapper, CurComponent});
+    std::string FilterName = freshName("keep");
+    OS << "(define (" << FilterName << " p l)\n"
+       << "  (if (pair? l)\n"
+       << "      (if (p (car l))\n"
+       << "          (cons (car l) (" << FilterName << " p (cdr l)))\n"
+       << "          (" << FilterName << " p (cdr l)))\n"
+       << "      '()))\n";
+    Defs.push_back({FilterName, DefKind::FilterFn, CurComponent});
+    std::string FoldName = freshName("crunch");
+    OS << "(define (" << FoldName << " f acc l)\n"
+       << "  (if (pair? l)\n"
+       << "      (" << FoldName << " f (f acc (car l)) (cdr l))\n"
+       << "      acc))\n";
+    Defs.push_back({FoldName, DefKind::FoldFn, CurComponent});
+    return 19;
+  }
+
+  unsigned emitDefinition(std::ostringstream &OS) {
+    switch (Rng() % 10) {
+    case 8:
+    case 9:
+      return emitData(OS);
+    case 0:
+      return emitData(OS);
+    case 1:
+    case 2: {
+      // NumFn2, possibly composing an earlier one.
+      std::string Name = freshName("calc");
+      const DefInfo *Callee = pick(DefKind::NumFn2);
+      OS << "(define (" << Name << " a b)\n";
+      if (Callee && pct() < 70)
+        OS << "  (+ (" << Callee->Name << " a b) (* a " << (1 + Rng() % 9)
+           << ")))\n";
+      else
+        OS << "  (+ (* a " << (1 + Rng() % 9) << ") (- b "
+           << (Rng() % 5) << ")))\n";
+      Defs.push_back({Name, DefKind::NumFn2, CurComponent});
+      return 2;
+    }
+    case 3: {
+      std::string Name = freshName("build");
+      OS << "(define (" << Name << " n)\n"
+         << "  (if (zero? n)\n"
+         << "      '()\n"
+         << "      (cons n (" << Name << " (sub1 n)))))\n";
+      Defs.push_back({Name, DefKind::ListBuilder, CurComponent});
+      return 4;
+    }
+    case 4: {
+      std::string Name = freshName("total");
+      OS << "(define (" << Name << " l)\n"
+         << "  (if (pair? l)\n"
+         << "      (+ (car l) (" << Name << " (cdr l)))\n"
+         << "      0))\n";
+      Defs.push_back({Name, DefKind::ListConsumer, CurComponent});
+      return 4;
+    }
+    case 5: {
+      std::string Name = freshName("count");
+      OS << "(define (" << Name << " l)\n"
+         << "  (if (pair? l)\n"
+         << "      (+ 1 (" << Name << " (cdr l)))\n"
+         << "      0))\n";
+      Defs.push_back({Name, DefKind::LenConsumer, CurComponent});
+      return 4;
+    }
+    default:
+      return emitData(OS);
+    }
+  }
+
+  /// A data definition exercising the pipeline; this is where polymorphic
+  /// reuse happens.
+  unsigned emitData(std::ostringstream &OS) {
+    {
+      std::string Name = freshName("data");
+      const DefInfo *Builder = pick(DefKind::ListBuilder);
+      if (!Builder) {
+        OS << "(define " << Name << " " << (Rng() % 100) << ")\n";
+        Defs.push_back({Name, DefKind::NumData, CurComponent});
+        return 1;
+      }
+      std::string List =
+          "(" + Builder->Name + " " + std::to_string(3 + Rng() % 9) + ")";
+      const DefInfo *Mapper = pick(DefKind::Mapper);
+      bool UsePoly = Mapper && pct() < Config.PolyReusePercent;
+      if (UsePoly) {
+        // Chain the generic library at one of several element types; each
+        // use site instantiates two or three schemas.
+        const DefInfo *Filter = pick(DefKind::FilterFn);
+        const DefInfo *Fold = pick(DefKind::FoldFn);
+        if (pct() < 50 && Fold && Filter) {
+          // num pipeline: map square, filter, fold with +.
+          OS << "(define " << Name << "\n  (" << Fold->Name
+             << " (lambda (a b) (+ a b)) 0\n   (" << Filter->Name
+             << " (lambda (x) (> x " << (Rng() % 5) << "))\n    ("
+             << Mapper->Name << " (lambda (x) (* x x)) " << List
+             << "))))\n";
+          Defs.push_back({Name, DefKind::NumData, CurComponent});
+          return 4;
+        }
+        // pair pipeline: map to pairs, count.
+        const DefInfo *Counter = pick(DefKind::LenConsumer);
+        if (Counter) {
+          OS << "(define " << Name << "\n  (" << Counter->Name << " ("
+             << Mapper->Name << " (lambda (x) (cons x 'tag)) " << List
+             << ")))\n";
+          Defs.push_back({Name, DefKind::NumData, CurComponent});
+          return 2;
+        }
+        OS << "(define " << Name << " 0)\n";
+        Defs.push_back({Name, DefKind::NumData, CurComponent});
+        return 1;
+      }
+      {
+        const DefInfo *Consumer = pick(DefKind::ListConsumer);
+        if (Consumer)
+          OS << "(define " << Name << " (" << Consumer->Name << " " << List
+             << "))\n";
+        else
+          OS << "(define " << Name << " 0)\n";
+      }
+      Defs.push_back({Name, DefKind::NumData, CurComponent});
+      return 2;
+    }
+  }
+
+  GeneratorConfig Config;
+  std::mt19937 Rng;
+  std::vector<DefInfo> Defs;
+  unsigned CurComponent = 0;
+  unsigned Counter = 0;
+};
+
+} // namespace
+
+std::vector<SourceFile> spidey::generateProgram(const GeneratorConfig &Config) {
+  return Generator(Config).run();
+}
+
+GeneratorConfig spidey::benchmarkConfig(std::string_view Name) {
+  // Fig. 7.1 multi-file benchmarks (line counts from the paper).
+  if (Name == "scanner")
+    return {101, 8, 1253, 30, 25};
+  if (Name == "zodiac")
+    return {102, 15, 3419, 30, 25};
+  if (Name == "nucleic")
+    return {103, 12, 3432, 30, 25};
+  if (Name == "sba")
+    return {104, 30, 11560, 35, 25};
+  if (Name == "mod-poly")
+    return {105, 40, 17661, 55, 25};
+  // Fig. 7.6 polymorphism benchmarks (single file).
+  if (Name == "lattice")
+    return {201, 1, 215, 60, 0};
+  if (Name == "browse")
+    return {202, 1, 233, 15, 0};
+  if (Name == "splay")
+    return {203, 1, 265, 15, 0};
+  if (Name == "check")
+    return {204, 1, 281, 60, 0};
+  if (Name == "graphs")
+    return {205, 1, 621, 15, 0};
+  if (Name == "boyer")
+    return {206, 1, 624, 50, 0};
+  if (Name == "matrix")
+    return {207, 1, 744, 55, 0};
+  if (Name == "maze")
+    return {208, 1, 857, 50, 0};
+  if (Name == "nbody")
+    return {209, 1, 880, 60, 0};
+  if (Name == "nucleic-poly")
+    return {210, 1, 3335, 50, 0};
+  assert(false && "unknown benchmark configuration");
+  return {};
+}

@@ -1,0 +1,130 @@
+//===-- debugger/flow.cpp -------------------------------------*- C++ -*-===//
+
+#include "debugger/flow.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+using namespace spidey;
+
+FlowGraph::FlowGraph(const ConstraintSystem &S) : S(S) {
+  for (SetVar A : S.variables())
+    for (const UpperBound &U : S.upperBounds(A))
+      if (U.K == UpperBound::Kind::VarUB ||
+          U.K == UpperBound::Kind::FilterUB)
+        Incoming[U.Other].push_back(A);
+  for (auto &[V, Ins] : Incoming) {
+    std::sort(Ins.begin(), Ins.end());
+    Ins.erase(std::unique(Ins.begin(), Ins.end()), Ins.end());
+  }
+}
+
+std::vector<SetVar> FlowGraph::parents(SetVar A) const {
+  auto It = Incoming.find(A);
+  return It == Incoming.end() ? std::vector<SetVar>() : It->second;
+}
+
+std::vector<SetVar> FlowGraph::children(SetVar A) const {
+  std::vector<SetVar> Out;
+  for (const UpperBound &U : S.upperBounds(A))
+    if (U.K == UpperBound::Kind::VarUB ||
+        U.K == UpperBound::Kind::FilterUB)
+      Out.push_back(U.Other);
+  std::sort(Out.begin(), Out.end());
+  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  return Out;
+}
+
+namespace {
+
+template <typename NextFn>
+std::vector<SetVar> transitive(SetVar A, NextFn &&Next) {
+  std::vector<SetVar> Result;
+  std::unordered_set<SetVar> Seen{A};
+  std::vector<SetVar> Work{A};
+  while (!Work.empty()) {
+    SetVar V = Work.back();
+    Work.pop_back();
+    for (SetVar N : Next(V))
+      if (Seen.insert(N).second) {
+        Result.push_back(N);
+        Work.push_back(N);
+      }
+  }
+  std::sort(Result.begin(), Result.end());
+  return Result;
+}
+
+} // namespace
+
+std::vector<SetVar> FlowGraph::ancestors(SetVar A) const {
+  return transitive(A, [&](SetVar V) { return parents(V); });
+}
+
+std::vector<SetVar> FlowGraph::descendants(SetVar A) const {
+  return transitive(A, [&](SetVar V) { return children(V); });
+}
+
+bool FlowGraph::carries(SetVar V, Constant C) const {
+  return S.hasConstLower(V, C);
+}
+
+std::vector<SetVar> FlowGraph::parentsCarrying(SetVar A,
+                                               Constant Filter) const {
+  std::vector<SetVar> Out;
+  if (!carries(A, Filter))
+    return Out;
+  for (SetVar Parent : parents(A))
+    if (carries(Parent, Filter))
+      Out.push_back(Parent);
+  return Out;
+}
+
+std::vector<std::pair<SetVar, SetVar>>
+FlowGraph::ancestorEdgesCarrying(SetVar A, Constant Filter) const {
+  std::vector<std::pair<SetVar, SetVar>> Edges;
+  std::unordered_set<SetVar> Seen{A};
+  std::vector<SetVar> Work{A};
+  while (!Work.empty()) {
+    SetVar V = Work.back();
+    Work.pop_back();
+    for (SetVar Parent : parentsCarrying(V, Filter)) {
+      Edges.emplace_back(Parent, V);
+      if (Seen.insert(Parent).second)
+        Work.push_back(Parent);
+    }
+  }
+  return Edges;
+}
+
+std::optional<std::vector<SetVar>>
+FlowGraph::pathToSource(SetVar Target, Constant C) const {
+  if (!carries(Target, C))
+    return std::nullopt;
+  // BFS backwards over carrying edges until a variable that introduces C
+  // directly (in the derivation, c ≤ α was added at the construction
+  // site; in the closed system, a source is a variable with no carrying
+  // parent).
+  std::unordered_map<SetVar, SetVar> From;
+  std::deque<SetVar> Queue{Target};
+  From[Target] = Target;
+  while (!Queue.empty()) {
+    SetVar V = Queue.front();
+    Queue.pop_front();
+    std::vector<SetVar> Parents = parentsCarrying(V, C);
+    if (Parents.empty()) {
+      // V introduces C: walk the path forward.
+      std::vector<SetVar> Path{V};
+      while (Path.back() != Target)
+        Path.push_back(From[Path.back()]);
+      return Path;
+    }
+    for (SetVar Parent : Parents)
+      if (!From.count(Parent)) {
+        From[Parent] = V;
+        Queue.push_back(Parent);
+      }
+  }
+  return std::nullopt;
+}

@@ -1,0 +1,61 @@
+//===-- debugger/flow.h - The value-flow browser ---------------*- C++ -*-===//
+///
+/// \file
+/// The value flow browser of §5.4: the ε-constraints [α ≤ β] of the closed
+/// system form a graph over set variables whose edges explain how values
+/// reach each program point. This module provides the browser operations:
+/// Parents, Children, Ancestors, Descendants, the constructor *filter*
+/// (restrict edges to those along which a given abstract constant flows),
+/// and Path-to-Source (a shortest flow path from a construction site of a
+/// value to the point where it causes trouble — the arrows of figs.
+/// 1.3/5.4/5.7).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIDEY_DEBUGGER_FLOW_H
+#define SPIDEY_DEBUGGER_FLOW_H
+
+#include "analysis/analysis.h"
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace spidey {
+
+class FlowGraph {
+public:
+  /// Builds the flow graph from the ε-edges of \p S (closed under Θ).
+  explicit FlowGraph(const ConstraintSystem &S);
+
+  /// Direct sources: {β | [β ≤ α] ∈ S}.
+  std::vector<SetVar> parents(SetVar A) const;
+  /// Direct sinks: {β | [α ≤ β] ∈ S}.
+  std::vector<SetVar> children(SetVar A) const;
+  /// Transitive sources/sinks.
+  std::vector<SetVar> ancestors(SetVar A) const;
+  std::vector<SetVar> descendants(SetVar A) const;
+
+  /// Like parents/ancestors, but keeping only edges along which the
+  /// constant \p Filter flows (it reaches both endpoints) — the filter
+  /// facility of §5.4.
+  std::vector<SetVar> parentsCarrying(SetVar A, Constant Filter) const;
+  std::vector<std::pair<SetVar, SetVar>>
+  ancestorEdgesCarrying(SetVar A, Constant Filter) const;
+
+  /// A shortest flow path ending at \p Target and starting at a variable
+  /// where \p C is introduced directly (a constraint [c ≤ α] of the
+  /// derivation); nullopt if C does not reach Target.
+  std::optional<std::vector<SetVar>> pathToSource(SetVar Target,
+                                                  Constant C) const;
+
+private:
+  bool carries(SetVar V, Constant C) const;
+
+  const ConstraintSystem &S;
+  std::unordered_map<SetVar, std::vector<SetVar>> Incoming;
+};
+
+} // namespace spidey
+
+#endif // SPIDEY_DEBUGGER_FLOW_H

@@ -1,0 +1,101 @@
+//===-- debugger/markup.cpp -----------------------------------*- C++ -*-===//
+
+#include "debugger/markup.h"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+using namespace spidey;
+
+std::string spidey::annotateComponent(const Program &P, uint32_t CompIdx,
+                                      const DebugReport &Report) {
+  const Component &C = P.Components[CompIdx];
+  // Split source into lines.
+  std::vector<std::string> Lines;
+  {
+    std::string Cur;
+    for (char Ch : C.SourceText) {
+      if (Ch == '\n') {
+        Lines.push_back(Cur);
+        Cur.clear();
+      } else {
+        Cur.push_back(Ch);
+      }
+    }
+    Lines.push_back(Cur);
+  }
+  // Collect unsafe marks: line -> columns (1-based) with widths.
+  std::map<uint32_t, std::vector<std::pair<uint32_t, std::string>>> Marks;
+  for (const CheckResult &R : Report.Results) {
+    if (R.Safe || R.Loc.File != CompIdx || !R.Loc.isValid())
+      continue;
+    Marks[R.Loc.Line].emplace_back(R.Loc.Col, R.What);
+  }
+  std::ostringstream OS;
+  OS << ";; " << C.Name << " — unsafe operations underlined\n";
+  for (size_t I = 0; I < Lines.size(); ++I) {
+    OS << Lines[I] << "\n";
+    auto It = Marks.find(static_cast<uint32_t>(I + 1));
+    if (It == Marks.end())
+      continue;
+    std::string Underline(Lines[I].size() + 2, ' ');
+    for (auto &[Col, What] : It->second) {
+      size_t Start = Col > 0 ? Col - 1 : 0;
+      size_t Len = std::max<size_t>(What.size() + 1, 2);
+      for (size_t J = Start; J < Start + Len && J < Underline.size(); ++J)
+        Underline[J] = '~';
+    }
+    // Trim trailing spaces.
+    size_t End = Underline.find_last_not_of(' ');
+    OS << Underline.substr(0, End == std::string::npos ? 0 : End + 1)
+       << "\n";
+  }
+  OS << "\n" << Report.summary(P);
+  return OS.str();
+}
+
+SiteIndex::SiteIndex(const Program &P, const AnalysisMaps &Maps) : P(P) {
+  for (ExprId E = 0; E < Maps.ExprVar.size(); ++E)
+    if (Maps.ExprVar[E] != NoSetVar)
+      ExprAt.emplace(Maps.ExprVar[E], E);
+  for (VarId V = 0; V < Maps.VarVar.size(); ++V)
+    if (Maps.VarVar[V] != NoSetVar)
+      VarAt.emplace(Maps.VarVar[V], V);
+}
+
+std::optional<ExprId> SiteIndex::exprOf(SetVar V) const {
+  auto It = ExprAt.find(V);
+  if (It == ExprAt.end())
+    return std::nullopt;
+  return It->second;
+}
+
+std::optional<VarId> SiteIndex::varOf(SetVar V) const {
+  auto It = VarAt.find(V);
+  if (It == VarAt.end())
+    return std::nullopt;
+  return It->second;
+}
+
+std::string SiteIndex::describe(SetVar V) const {
+  auto Where = [&](SourceLoc Loc) {
+    if (!Loc.isValid())
+      return std::string();
+    std::string File = Loc.File < P.Components.size()
+                           ? P.Components[Loc.File].Name
+                           : "?";
+    return " (" + File + ":" + std::to_string(Loc.Line) + ":" +
+           std::to_string(Loc.Col) + ")";
+  };
+  if (auto VId = varOf(V))
+    return "variable " + P.Syms.name(P.var(*VId).Name) +
+           Where(P.var(*VId).Loc);
+  if (auto EId = exprOf(V)) {
+    std::string Text = P.exprToString(*EId);
+    if (Text.size() > 40)
+      Text = Text.substr(0, 37) + "...";
+    return Text + Where(P.expr(*EId).Loc);
+  }
+  return "a" + std::to_string(V);
+}

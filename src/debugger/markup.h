@@ -1,0 +1,47 @@
+//===-- debugger/markup.h - Console program mark-ups -----------*- C++ -*-===//
+///
+/// \file
+/// Console rendition of MrSpidey's program mark-ups (ch. 5): the annotated
+/// program text with unsafe operations underlined, and the mapping from
+/// set variables back to program points used when printing flow arrows and
+/// invariants ("the GUI, minus the GUI").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIDEY_DEBUGGER_MARKUP_H
+#define SPIDEY_DEBUGGER_MARKUP_H
+
+#include "debugger/checks.h"
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace spidey {
+
+/// Renders a component's source with '~' underlines beneath every unsafe
+/// operation (fig. 5.1's red highlights) followed by the CHECKS summary.
+std::string annotateComponent(const Program &P, uint32_t CompIdx,
+                              const DebugReport &Report);
+
+/// Maps set variables back to the expressions/variables they name, for
+/// printing flow-browser output.
+class SiteIndex {
+public:
+  SiteIndex(const Program &P, const AnalysisMaps &Maps);
+
+  std::optional<ExprId> exprOf(SetVar V) const;
+  std::optional<VarId> varOf(SetVar V) const;
+
+  /// "variable tree (sum.ss:3:14)" / "(car tree) (sum.ss:8:12)" / "a42".
+  std::string describe(SetVar V) const;
+
+private:
+  const Program &P;
+  std::unordered_map<SetVar, ExprId> ExprAt;
+  std::unordered_map<SetVar, VarId> VarAt;
+};
+
+} // namespace spidey
+
+#endif // SPIDEY_DEBUGGER_MARKUP_H

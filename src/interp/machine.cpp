@@ -1,0 +1,758 @@
+//===-- interp/machine.cpp ------------------------------------*- C++ -*-===//
+
+#include "interp/machine.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace spidey;
+
+//===----------------------------------------------------------------------===
+// Equality.
+//===----------------------------------------------------------------------===
+
+bool spidey::valuesEq(const Value &A, const Value &B) {
+  if (A.K != B.K)
+    return false;
+  switch (A.K) {
+  case Value::Kind::Num:
+    return A.Num == B.Num;
+  case Value::Kind::Bool:
+    return A.B == B.B;
+  case Value::Kind::Char:
+    return A.Ch == B.Ch;
+  case Value::Kind::Sym:
+    return A.Sym == B.Sym;
+  case Value::Kind::Nil:
+  case Value::Kind::Void:
+  case Value::Kind::Eof:
+    return true;
+  case Value::Kind::Str:
+    return A.Str == B.Str;
+  case Value::Kind::Pair:
+    return A.Pair == B.Pair;
+  case Value::Kind::Closure:
+    return A.Clo == B.Clo;
+  case Value::Kind::Cont:
+    return A.Cont == B.Cont;
+  case Value::Kind::Box:
+    return A.BoxCell == B.BoxCell;
+  case Value::Kind::Vector:
+    return A.Vec == B.Vec;
+  case Value::Kind::Unit:
+    return A.Unit == B.Unit;
+  case Value::Kind::Class:
+    return A.Cls == B.Cls;
+  case Value::Kind::Object:
+    return A.Obj == B.Obj;
+  case Value::Kind::Struct:
+    return A.Strct == B.Strct;
+  }
+  return false;
+}
+
+bool spidey::valuesEqual(const Value &A, const Value &B) {
+  if (A.K != B.K)
+    return false;
+  switch (A.K) {
+  case Value::Kind::Str:
+    return *A.Str == *B.Str;
+  case Value::Kind::Pair:
+    return valuesEqual(A.Pair->Car, B.Pair->Car) &&
+           valuesEqual(A.Pair->Cdr, B.Pair->Cdr);
+  case Value::Kind::Vector: {
+    if (A.Vec->size() != B.Vec->size())
+      return false;
+    for (size_t I = 0; I < A.Vec->size(); ++I)
+      if (!valuesEqual((*A.Vec)[I], (*B.Vec)[I]))
+        return false;
+    return true;
+  }
+  default:
+    return valuesEq(A, B);
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Program driver.
+//===----------------------------------------------------------------------===
+
+RunResult Machine::runProgram() {
+  if (!TopEnvBuilt) {
+    for (const Component &C : P.Components)
+      for (const TopForm &F : C.Forms)
+        if (F.DefVar != NoVar)
+          TopEnv = extendEnv(TopEnv, F.DefVar,
+                             std::make_shared<Value>(Value::voidValue()));
+    TopEnvBuilt = true;
+  }
+  RunResult Last;
+  for (const Component &C : P.Components) {
+    for (const TopForm &F : C.Forms) {
+      Last = run(F.Body, TopEnv);
+      if (Last.St != RunResult::Status::Ok)
+        return Last;
+      if (F.DefVar != NoVar) {
+        const Cell *Slot = lookupEnv(TopEnv, F.DefVar);
+        assert(Slot && "top-level define cell missing");
+        **Slot = Last.Result;
+      }
+      if (Aborted)
+        return Last;
+    }
+  }
+  return Last;
+}
+
+RunResult Machine::evalTop(ExprId E) {
+  if (!TopEnvBuilt) {
+    RunResult R = runProgram();
+    if (R.St != RunResult::Status::Ok)
+      return R;
+  }
+  return run(E, TopEnv);
+}
+
+RunResult Machine::run(ExprId Start, EnvPtr Env) {
+  Stack.clear();
+  Final = RunResult{};
+  Mode = Evaluating;
+  CurExpr = Start;
+  CurEnv = std::move(Env);
+  for (;;) {
+    if (Fuel-- == 0)
+      return RunResult{RunResult::Status::OutOfFuel, Value(),
+                       "step budget exhausted", NoExpr};
+    bool Continue = Mode == Evaluating ? stepEval() : stepReturn();
+    if (!Continue)
+      return Final;
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Evaluation step.
+//===----------------------------------------------------------------------===
+
+bool Machine::stepEval() {
+  ExprId Id = CurExpr;
+  const Expr &E = P.expr(Id);
+  switch (E.K) {
+  case ExprKind::Var: {
+    const Cell *Slot = lookupEnv(CurEnv, E.Var);
+    if (!Slot)
+      return fault(Id, "internal: unbound variable at run time");
+    produce(Id, **Slot);
+    return true;
+  }
+  case ExprKind::Num:
+    produce(Id, Value::number(E.Num));
+    return true;
+  case ExprKind::Bool:
+    produce(Id, Value::boolean(E.BoolVal));
+    return true;
+  case ExprKind::Str:
+    produce(Id, Value::string(E.Str));
+    return true;
+  case ExprKind::Char:
+    produce(Id, Value::character(E.CharVal));
+    return true;
+  case ExprKind::Nil:
+    produce(Id, Value::nil());
+    return true;
+  case ExprKind::Quote:
+    produce(Id, Value::symbol(E.Name));
+    return true;
+  case ExprKind::Void:
+    produce(Id, Value::voidValue());
+    return true;
+  case ExprKind::Lambda: {
+    Value V;
+    V.K = Value::Kind::Closure;
+    V.Clo = std::make_shared<const ClosureRep>(ClosureRep{Id, CurEnv});
+    produce(Id, V);
+    return true;
+  }
+  case ExprKind::App: {
+    Frame F;
+    F.K = FrameKind::AppCollect;
+    F.Site = Id;
+    F.Env = CurEnv;
+    Stack.push_back(std::move(F));
+    evalNext(E.Kids[0], CurEnv);
+    return true;
+  }
+  case ExprKind::PrimApp: {
+    if (E.Kids.empty())
+      return applyPrim(E.PrimOp, {}, Id);
+    Frame F;
+    F.K = FrameKind::PrimCollect;
+    F.Site = Id;
+    F.Env = CurEnv;
+    Stack.push_back(std::move(F));
+    evalNext(E.Kids[0], CurEnv);
+    return true;
+  }
+  case ExprKind::Let: {
+    if (E.Bindings.empty()) {
+      evalNext(E.Kids[0], CurEnv);
+      return true;
+    }
+    Frame F;
+    F.K = FrameKind::LetInit;
+    F.Site = Id;
+    F.Env = CurEnv;
+    Stack.push_back(std::move(F));
+    evalNext(E.Bindings[0].Init, CurEnv);
+    return true;
+  }
+  case ExprKind::Letrec: {
+    EnvPtr Env = CurEnv;
+    for (const Binding &B : E.Bindings)
+      Env = extendEnv(Env, B.Var, std::make_shared<Value>(Value::voidValue()));
+    if (E.Bindings.empty()) {
+      evalNext(E.Kids[0], Env);
+      return true;
+    }
+    Frame F;
+    F.K = FrameKind::LetrecInit;
+    F.Site = Id;
+    F.Env = Env;
+    F.Idx = 0;
+    Stack.push_back(F);
+    evalNext(E.Bindings[0].Init, Env);
+    return true;
+  }
+  case ExprKind::Set: {
+    const Cell *Slot = lookupEnv(CurEnv, E.Var);
+    if (!Slot)
+      return fault(Id, "internal: set! of unbound variable");
+    Frame F;
+    F.K = FrameKind::SetCell;
+    F.Site = Id;
+    F.Target = *Slot;
+    Stack.push_back(std::move(F));
+    evalNext(E.Kids[0], CurEnv);
+    return true;
+  }
+  case ExprKind::If: {
+    Frame F;
+    F.K = FrameKind::If;
+    F.Site = Id;
+    F.Env = CurEnv;
+    Stack.push_back(std::move(F));
+    evalNext(E.Kids[0], CurEnv);
+    return true;
+  }
+  case ExprKind::Begin: {
+    Frame F;
+    F.K = FrameKind::Begin;
+    F.Site = Id;
+    F.Env = CurEnv;
+    F.Idx = 1; // next kid to evaluate after kids[0] returns
+    Stack.push_back(std::move(F));
+    evalNext(E.Kids[0], CurEnv);
+    return true;
+  }
+  case ExprKind::Callcc: {
+    Frame F;
+    F.K = FrameKind::CallccWait;
+    F.Site = Id;
+    Stack.push_back(std::move(F));
+    evalNext(E.Kids[0], CurEnv);
+    return true;
+  }
+  case ExprKind::Abort: {
+    // (abort M) discards the current evaluation context (§3.3) and makes
+    // M's value the result of the entire computation.
+    Stack.clear();
+    Aborted = true;
+    evalNext(E.Kids[0], CurEnv);
+    return true;
+  }
+  case ExprKind::Unit: {
+    UnitSegment Seg;
+    Seg.Env = CurEnv;
+    Seg.Import = E.Params[0];
+    Seg.Defines = E.Bindings;
+    Seg.Body = E.Kids[0];
+    Seg.Export = E.Params[1];
+    auto Rep = std::make_shared<UnitRep>();
+    Rep->Segments.push_back(std::move(Seg));
+    Value V;
+    V.K = Value::Kind::Unit;
+    V.Unit = std::move(Rep);
+    produce(Id, V);
+    return true;
+  }
+  case ExprKind::Link: {
+    Frame F;
+    F.K = FrameKind::LinkCollect;
+    F.Site = Id;
+    F.Env = CurEnv;
+    Stack.push_back(std::move(F));
+    evalNext(E.Kids[0], CurEnv);
+    return true;
+  }
+  case ExprKind::Invoke: {
+    const Cell *Slot = lookupEnv(CurEnv, E.Var);
+    if (!Slot)
+      return fault(Id, "internal: invoke with unbound variable");
+    Frame F;
+    F.K = FrameKind::InvokePrep;
+    F.Site = Id;
+    F.Target = *Slot;
+    Stack.push_back(std::move(F));
+    evalNext(E.Kids[0], CurEnv);
+    return true;
+  }
+  case ExprKind::StructApp: {
+    if (E.Kids.empty())
+      return applyStruct(Id, {});
+    Frame F;
+    F.K = FrameKind::StructCollect;
+    F.Site = Id;
+    F.Env = CurEnv;
+    Stack.push_back(std::move(F));
+    evalNext(E.Kids[0], CurEnv);
+    return true;
+  }
+  case ExprKind::TypeAssert: {
+    Frame F;
+    F.K = FrameKind::TypeCheck;
+    F.Site = Id;
+    F.Idx = E.Mask;
+    Stack.push_back(std::move(F));
+    evalNext(E.Kids[0], CurEnv);
+    return true;
+  }
+  case ExprKind::Class: {
+    if (E.Kids.empty()) {
+      // object%: the root class.
+      Value V;
+      V.K = Value::Kind::Class;
+      V.Cls = std::make_shared<const ClassRep>();
+      produce(Id, V);
+      return true;
+    }
+    Frame F;
+    F.K = FrameKind::ClassBuild;
+    F.Site = Id;
+    F.Env = CurEnv;
+    Stack.push_back(std::move(F));
+    evalNext(E.Kids[0], CurEnv);
+    return true;
+  }
+  case ExprKind::MakeObj: {
+    Frame F;
+    F.K = FrameKind::ObjPrep;
+    F.Site = Id;
+    Stack.push_back(std::move(F));
+    evalNext(E.Kids[0], CurEnv);
+    return true;
+  }
+  case ExprKind::IvarRef: {
+    Frame F;
+    F.K = FrameKind::IvarGet;
+    F.Site = Id;
+    F.Name = E.Name;
+    Stack.push_back(std::move(F));
+    evalNext(E.Kids[0], CurEnv);
+    return true;
+  }
+  case ExprKind::IvarSet: {
+    Frame F;
+    F.K = FrameKind::IvarSetObj;
+    F.Site = Id;
+    F.Name = E.Name;
+    F.Env = CurEnv;
+    Stack.push_back(std::move(F));
+    evalNext(E.Kids[0], CurEnv);
+    return true;
+  }
+  }
+  return fault(Id, "internal: unknown expression kind");
+}
+
+//===----------------------------------------------------------------------===
+// Return step.
+//===----------------------------------------------------------------------===
+
+bool Machine::stepReturn() {
+  if (Stack.empty()) {
+    Final = RunResult{RunResult::Status::Ok, CurValue, "", NoExpr};
+    return false;
+  }
+  Value V = std::move(CurValue);
+  Frame &F = Stack.back();
+  switch (F.K) {
+  case FrameKind::If: {
+    const Expr &E = P.expr(F.Site);
+    ExprId Branch = V.isTruthy() ? E.Kids[1] : E.Kids[2];
+    EnvPtr Env = F.Env;
+    Stack.pop_back();
+    evalNext(Branch, std::move(Env));
+    return true;
+  }
+  case FrameKind::AppCollect: {
+    F.Done.push_back(std::move(V));
+    const Expr &E = P.expr(F.Site);
+    if (F.Done.size() < E.Kids.size()) {
+      evalNext(E.Kids[F.Done.size()], F.Env);
+      return true;
+    }
+    std::vector<Value> Done = std::move(F.Done);
+    ExprId Site = F.Site;
+    Stack.pop_back();
+    Value Fn = std::move(Done.front());
+    Done.erase(Done.begin());
+    return applyValue(Fn, std::move(Done), Site);
+  }
+  case FrameKind::PrimCollect: {
+    F.Done.push_back(std::move(V));
+    const Expr &E = P.expr(F.Site);
+    if (F.Done.size() < E.Kids.size()) {
+      evalNext(E.Kids[F.Done.size()], F.Env);
+      return true;
+    }
+    std::vector<Value> Done = std::move(F.Done);
+    ExprId Site = F.Site;
+    Prim Op = E.PrimOp;
+    Stack.pop_back();
+    return applyPrim(Op, Done, Site);
+  }
+  case FrameKind::LetInit: {
+    F.Done.push_back(std::move(V));
+    const Expr &E = P.expr(F.Site);
+    if (F.Done.size() < E.Bindings.size()) {
+      evalNext(E.Bindings[F.Done.size()].Init, F.Env);
+      return true;
+    }
+    EnvPtr Env = F.Env;
+    for (size_t I = 0; I < E.Bindings.size(); ++I)
+      Env = extendEnv(Env, E.Bindings[I].Var,
+                      std::make_shared<Value>(std::move(F.Done[I])));
+    ExprId Body = E.Kids[0];
+    Stack.pop_back();
+    evalNext(Body, std::move(Env));
+    return true;
+  }
+  case FrameKind::LetrecInit: {
+    const Expr &E = P.expr(F.Site);
+    const Cell *Slot = lookupEnv(F.Env, E.Bindings[F.Idx].Var);
+    assert(Slot && "letrec cell missing");
+    **Slot = std::move(V);
+    ++F.Idx;
+    if (F.Idx < E.Bindings.size()) {
+      evalNext(E.Bindings[F.Idx].Init, F.Env);
+      return true;
+    }
+    EnvPtr Env = F.Env;
+    ExprId Body = E.Kids[0];
+    Stack.pop_back();
+    evalNext(Body, std::move(Env));
+    return true;
+  }
+  case FrameKind::SetCell: {
+    *F.Target = V;
+    ExprId Site = F.Site;
+    Stack.pop_back();
+    // Assignment returns the assigned value (§3.4).
+    produce(Site, std::move(V));
+    return true;
+  }
+  case FrameKind::Begin: {
+    const Expr &E = P.expr(F.Site);
+    // Discard V; move on.
+    if (F.Idx + 1 < E.Kids.size()) {
+      evalNext(E.Kids[F.Idx++], F.Env);
+      return true;
+    }
+    ExprId Last = E.Kids[F.Idx];
+    EnvPtr Env = F.Env;
+    Stack.pop_back();
+    evalNext(Last, std::move(Env));
+    return true;
+  }
+  case FrameKind::CallccWait: {
+    ExprId Site = F.Site;
+    Stack.pop_back();
+    // Capture the continuation surrounding the callcc expression.
+    Value K;
+    K.K = Value::Kind::Cont;
+    K.Cont = std::make_shared<const ContRep>(ContRep{Stack});
+    std::vector<Value> Args;
+    Args.push_back(std::move(K));
+    return applyValue(V, std::move(Args), Site);
+  }
+  case FrameKind::LinkCollect: {
+    F.Done.push_back(std::move(V));
+    const Expr &E = P.expr(F.Site);
+    if (F.Done.size() < 2) {
+      evalNext(E.Kids[1], F.Env);
+      return true;
+    }
+    ExprId Site = F.Site;
+    std::vector<Value> Done = std::move(F.Done);
+    Stack.pop_back();
+    if (Done[0].K != Value::Kind::Unit || Done[1].K != Value::Kind::Unit)
+      return fault(Site, "link applied to a non-unit value");
+    auto Rep = std::make_shared<UnitRep>();
+    Rep->Segments = Done[0].Unit->Segments;
+    Rep->Segments.insert(Rep->Segments.end(),
+                         Done[1].Unit->Segments.begin(),
+                         Done[1].Unit->Segments.end());
+    Value U;
+    U.K = Value::Kind::Unit;
+    U.Unit = std::move(Rep);
+    produce(Site, std::move(U));
+    return true;
+  }
+  case FrameKind::InvokePrep: {
+    Frame Prep = std::move(Stack.back());
+    Stack.pop_back();
+    if (V.K != Value::Kind::Unit)
+      return fault(Prep.Site, "invoke applied to a non-unit value");
+    return finishInvoke(V, Prep);
+  }
+  case FrameKind::InvokeRun:
+  case FrameKind::ObjInit: {
+    const Frame::PendingInit &Entry = (*F.Pending)[F.Idx];
+    if (Entry.Slot)
+      *Entry.Slot = std::move(V);
+    ++F.Idx;
+    if (F.Idx < F.Pending->size()) {
+      const Frame::PendingInit &Next = (*F.Pending)[F.Idx];
+      evalNext(Next.Expr, Next.Env);
+      return true;
+    }
+    ExprId Site = F.Site;
+    Value Result =
+        F.K == FrameKind::InvokeRun ? *F.ExportCell : std::move(F.Keep);
+    Stack.pop_back();
+    produce(Site, std::move(Result));
+    return true;
+  }
+  case FrameKind::ClassBuild: {
+    ExprId Site = F.Site;
+    EnvPtr Env = F.Env;
+    Stack.pop_back();
+    if (V.K != Value::Kind::Class)
+      return fault(Site, "class with a non-class superclass");
+    const Expr &E = P.expr(Site);
+    auto Rep = std::make_shared<ClassRep>();
+    Rep->Super = V.Cls;
+    Rep->Env = Env;
+    Rep->IvarParams = E.Params;
+    for (const Binding &B : E.Bindings)
+      Rep->IvarParams.push_back(B.Var);
+    Rep->NewIvars = E.Bindings;
+    Rep->Site = Site;
+    Value C;
+    C.K = Value::Kind::Class;
+    C.Cls = std::move(Rep);
+    produce(Site, std::move(C));
+    return true;
+  }
+  case FrameKind::ObjPrep: {
+    ExprId Site = F.Site;
+    Stack.pop_back();
+    if (V.K != Value::Kind::Class)
+      return fault(Site, "make-obj applied to a non-class value");
+    return finishMakeObj(V, Site);
+  }
+  case FrameKind::IvarGet: {
+    ExprId Site = F.Site;
+    Symbol Name = F.Name;
+    Stack.pop_back();
+    if (V.K != Value::Kind::Object)
+      return fault(Site, "ivar access on a non-object value");
+    auto It = V.Obj->Ivars.find(Name);
+    if (It == V.Obj->Ivars.end())
+      return fault(Site, "object has no such instance variable");
+    produce(Site, *It->second);
+    return true;
+  }
+  case FrameKind::StructCollect: {
+    F.Done.push_back(std::move(V));
+    const Expr &E = P.expr(F.Site);
+    if (F.Done.size() < E.Kids.size()) {
+      evalNext(E.Kids[F.Done.size()], F.Env);
+      return true;
+    }
+    std::vector<Value> Done = std::move(F.Done);
+    ExprId Site = F.Site;
+    Stack.pop_back();
+    return applyStruct(Site, Done);
+  }
+  case FrameKind::TypeCheck: {
+    ExprId Site = F.Site;
+    KindMask Mask = static_cast<KindMask>(F.Idx);
+    Stack.pop_back();
+    if (!(Mask & kindBit(valueAbstractKind(V))))
+      return fault(Site, "value does not satisfy the type assertion");
+    produce(Site, std::move(V));
+    return true;
+  }
+  case FrameKind::IvarSetObj: {
+    Frame Self = std::move(Stack.back());
+    Stack.pop_back();
+    if (V.K != Value::Kind::Object)
+      return fault(Self.Site, "set-ivar! on a non-object value");
+    auto It = V.Obj->Ivars.find(Self.Name);
+    if (It == V.Obj->Ivars.end())
+      return fault(Self.Site, "object has no such instance variable");
+    Frame Store;
+    Store.K = FrameKind::SetCell;
+    Store.Site = Self.Site;
+    Store.Target = It->second;
+    Stack.push_back(std::move(Store));
+    evalNext(P.expr(Self.Site).Kids[1], Self.Env);
+    return true;
+  }
+  }
+  return fault(NoExpr, "internal: unknown frame kind");
+}
+
+bool Machine::applyStruct(ExprId Site, const std::vector<Value> &Args) {
+  const Expr &E = P.expr(Site);
+  const StructDecl &D = P.Structs[E.StructId];
+  auto Expect = [&](const char *What) {
+    return fault(Site, std::string(What) + " applied to a value that is "
+                                           "not a " +
+                           P.Syms.name(D.Name) + " structure");
+  };
+  switch (static_cast<StructOpKind>(E.StructOp)) {
+  case StructOpKind::Make: {
+    auto Rep = std::make_shared<StructRep>();
+    Rep->Decl = E.StructId;
+    for (const Value &A : Args)
+      Rep->Fields.push_back(std::make_shared<Value>(A));
+    Value V;
+    V.K = Value::Kind::Struct;
+    V.Strct = std::move(Rep);
+    produce(Site, std::move(V));
+    return true;
+  }
+  case StructOpKind::Pred:
+    produce(Site, Value::boolean(Args[0].K == Value::Kind::Struct &&
+                                 Args[0].Strct->Decl == E.StructId));
+    return true;
+  case StructOpKind::Get: {
+    if (Args[0].K != Value::Kind::Struct ||
+        Args[0].Strct->Decl != E.StructId)
+      return Expect("structure accessor");
+    produce(Site, *Args[0].Strct->Fields[E.FieldIndex]);
+    return true;
+  }
+  case StructOpKind::Set: {
+    if (Args[0].K != Value::Kind::Struct ||
+        Args[0].Strct->Decl != E.StructId)
+      return Expect("structure mutator");
+    *Args[0].Strct->Fields[E.FieldIndex] = Args[1];
+    produce(Site, Args[1]);
+    return true;
+  }
+  }
+  return fault(Site, "internal: unknown structure operation");
+}
+
+bool Machine::applyValue(const Value &Fn, std::vector<Value> Args,
+                         ExprId Site) {
+  if (Fn.K == Value::Kind::Closure) {
+    const Expr &Lam = P.expr(Fn.Clo->Lambda);
+    if (Lam.Params.size() != Args.size())
+      return fault(Site, "procedure applied to the wrong number of "
+                         "arguments");
+    EnvPtr Env = Fn.Clo->Env;
+    for (size_t I = 0; I < Args.size(); ++I)
+      Env = extendEnv(Env, Lam.Params[I],
+                      std::make_shared<Value>(std::move(Args[I])));
+    evalNext(Lam.Kids[0], std::move(Env));
+    return true;
+  }
+  if (Fn.K == Value::Kind::Cont) {
+    if (Args.size() != 1)
+      return fault(Site, "continuation applied to the wrong number of "
+                         "arguments");
+    Stack = Fn.Cont->Stack;
+    returnValue(std::move(Args[0]));
+    return true;
+  }
+  return fault(Site, "application of a non-procedure value");
+}
+
+bool Machine::finishInvoke(const Value &UnitVal, const Frame &Prep) {
+  auto Pending = std::make_shared<std::vector<Frame::PendingInit>>();
+  std::vector<Frame::PendingInit> Bodies;
+  Cell PrevExport = Prep.Target;
+  for (const UnitSegment &Seg : UnitVal.Unit->Segments) {
+    EnvPtr Env = extendEnv(Seg.Env, Seg.Import, PrevExport);
+    for (const Binding &D : Seg.Defines)
+      Env = extendEnv(Env, D.Var,
+                      std::make_shared<Value>(Value::voidValue()));
+    for (const Binding &D : Seg.Defines) {
+      const Cell *Slot = lookupEnv(Env, D.Var);
+      assert(Slot);
+      Pending->push_back({Env, D.Init, *Slot});
+    }
+    Bodies.push_back({Env, Seg.Body, nullptr});
+    const Cell *ExportSlot = lookupEnv(Env, Seg.Export);
+    if (!ExportSlot)
+      return fault(Prep.Site, "internal: unit export unbound");
+    PrevExport = *ExportSlot;
+  }
+  Pending->insert(Pending->end(), Bodies.begin(), Bodies.end());
+  if (Pending->empty()) {
+    produce(Prep.Site, *PrevExport);
+    return true;
+  }
+  Frame Run;
+  Run.K = FrameKind::InvokeRun;
+  Run.Site = Prep.Site;
+  Run.Pending = Pending;
+  Run.ExportCell = PrevExport;
+  Run.Idx = 0;
+  Stack.push_back(std::move(Run));
+  evalNext((*Pending)[0].Expr, (*Pending)[0].Env);
+  return true;
+}
+
+bool Machine::finishMakeObj(const Value &ClassVal, ExprId Site) {
+  // Collect the class chain from root to leaf.
+  std::vector<const ClassRep *> Chain;
+  for (const ClassRep *C = ClassVal.Cls.get(); C; C = C->Super.get())
+    Chain.push_back(C);
+  std::reverse(Chain.begin(), Chain.end());
+
+  auto Obj = std::make_shared<ObjectRep>();
+  Obj->Class = ClassVal.Cls;
+  auto Pending = std::make_shared<std::vector<Frame::PendingInit>>();
+  for (const ClassRep *Level : Chain) {
+    EnvPtr Env = Level->Env;
+    for (VarId Z : Level->IvarParams) {
+      Symbol Name = P.var(Z).Name;
+      Cell &Slot = Obj->Ivars[Name];
+      if (!Slot)
+        Slot = std::make_shared<Value>(Value::voidValue());
+      Env = extendEnv(Env, Z, Slot);
+    }
+    for (const Binding &B : Level->NewIvars)
+      Pending->push_back({Env, B.Init, Obj->Ivars[P.var(B.Var).Name]});
+  }
+  Value V;
+  V.K = Value::Kind::Object;
+  V.Obj = std::move(Obj);
+  if (Pending->empty()) {
+    produce(Site, std::move(V));
+    return true;
+  }
+  Frame Run;
+  Run.K = FrameKind::ObjInit;
+  Run.Site = Site;
+  Run.Pending = Pending;
+  Run.Keep = std::move(V);
+  Run.Idx = 0;
+  Stack.push_back(std::move(Run));
+  evalNext((*Pending)[0].Expr, (*Pending)[0].Env);
+  return true;
+}

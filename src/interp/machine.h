@@ -1,0 +1,180 @@
+//===-- interp/machine.h - CEK evaluator -----------------------*- C++ -*-===//
+///
+/// \file
+/// A CEK-style abstract machine implementing the reduction semantics of
+/// §2.1.2 and the extensions of chapter 3: pairs, first-class
+/// continuations (stack capture), assignable variables, boxes, vectors,
+/// units and classes.
+///
+/// The machine is the repository's executable ground truth: soundness
+/// tests run programs under a tracing hook and assert that every observed
+/// (label, value) pair is predicted by the analysis (Theorem 2.6.4), and
+/// that every run-time fault is flagged as an unsafe check site.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIDEY_INTERP_MACHINE_H
+#define SPIDEY_INTERP_MACHINE_H
+
+#include "interp/value.h"
+
+#include <functional>
+#include <optional>
+#include <string>
+
+namespace spidey {
+
+enum class FrameKind : uint8_t {
+  If,
+  AppCollect,
+  PrimCollect,
+  LetInit,
+  LetrecInit,
+  SetCell,
+  Begin,
+  CallccWait,
+  LinkCollect,
+  InvokePrep,
+  InvokeRun,
+  ClassBuild,
+  ObjPrep,
+  ObjInit,
+  IvarGet,
+  IvarSetObj,
+  TypeCheck,
+  StructCollect,
+};
+
+/// One pending computation on the machine stack. A single fat struct keeps
+/// continuation capture a plain vector copy.
+struct Frame {
+  FrameKind K;
+  ExprId Site = NoExpr; ///< the expression this frame is completing
+  EnvPtr Env;
+  std::vector<Value> Done;
+  size_t Idx = 0;
+  Symbol Name = InvalidSymbol;
+  Cell Target;
+
+  // Unit invocation state (shared so that captured continuations stay
+  // cheap to copy).
+  struct PendingInit {
+    EnvPtr Env;
+    ExprId Expr;
+    Cell Slot; ///< null for body expressions (results discarded)
+  };
+  std::shared_ptr<std::vector<PendingInit>> Pending;
+  Cell ExportCell;
+  Value Keep; ///< object being initialized / misc stashed value
+};
+
+/// The outcome of a run.
+struct RunResult {
+  enum class Status {
+    Ok,        ///< normal completion
+    Fault,     ///< a run-time check failed (misapplied operation, §1.1)
+    UserError, ///< the program called (error ...)
+    OutOfFuel, ///< step budget exhausted
+  };
+
+  Status St = Status::Ok;
+  Value Result;
+  std::string Message;
+  ExprId FaultSite = NoExpr; ///< for Fault: the unsafe operation's site
+};
+
+/// The evaluator.
+class Machine {
+public:
+  explicit Machine(const Program &P) : P(P) {}
+
+  /// Called with (label, value) whenever an expression directly produces a
+  /// value; used by the soundness tests.
+  std::function<void(ExprId, const Value &)> Trace;
+
+  /// Simulated standard input for read-line/read-char.
+  void setInput(std::string Text) {
+    Input = std::move(Text);
+    InputPos = 0;
+  }
+  /// Everything written by display/newline.
+  const std::string &output() const { return Output; }
+
+  void setFuel(uint64_t Steps) { Fuel = Steps; }
+
+  /// Evaluates the whole program: allocates the top-level letrec cells,
+  /// then runs every component's forms in order. The result is the value
+  /// of the last top-level form.
+  RunResult runProgram();
+
+  /// Evaluates a single expression in the top-level environment
+  /// (runProgram must have succeeded, or evalTop used standalone for
+  /// programs without defines).
+  RunResult evalTop(ExprId E);
+
+private:
+  RunResult run(ExprId Start, EnvPtr Env);
+
+  // Stepping helpers; each returns true to continue, false when Final has
+  // been set.
+  bool stepEval();
+  bool stepReturn();
+  bool applyValue(const Value &Fn, std::vector<Value> Args, ExprId Site);
+  bool applyPrim(Prim Op, const std::vector<Value> &Args, ExprId Site);
+  bool applyStruct(ExprId Site, const std::vector<Value> &Args);
+  bool finishInvoke(const Value &UnitVal, const Frame &F);
+  bool finishMakeObj(const Value &ClassVal, ExprId Site);
+
+  void evalNext(ExprId E, EnvPtr Env) {
+    Mode = Evaluating;
+    CurExpr = E;
+    CurEnv = std::move(Env);
+  }
+  void returnValue(Value V) {
+    Mode = Returning;
+    CurValue = std::move(V);
+  }
+  /// returnValue + trace hook: for expressions that directly yield values.
+  void produce(ExprId Site, Value V) {
+    if (Trace)
+      Trace(Site, V);
+    returnValue(std::move(V));
+  }
+  bool fault(ExprId Site, std::string Message) {
+    Final = RunResult{RunResult::Status::Fault, Value(), std::move(Message),
+                      Site};
+    return false;
+  }
+  bool userError(std::string Message) {
+    Final = RunResult{RunResult::Status::UserError, Value(),
+                      std::move(Message), NoExpr};
+    return false;
+  }
+
+  const Program &P;
+  EnvPtr TopEnv;
+  bool TopEnvBuilt = false;
+  bool Aborted = false;
+
+  enum { Evaluating, Returning } Mode = Evaluating;
+  ExprId CurExpr = NoExpr;
+  EnvPtr CurEnv;
+  Value CurValue;
+  std::vector<Frame> Stack;
+  RunResult Final;
+
+  uint64_t Fuel = 50'000'000;
+  uint64_t RandomState = 88172645463325252ull;
+  std::string Input;
+  size_t InputPos = 0;
+  std::string Output;
+};
+
+/// Structural equality (the equal? primitive); exposed for tests.
+bool valuesEqual(const Value &A, const Value &B);
+/// Identity equality (the eq? primitive); exposed for tests.
+bool valuesEq(const Value &A, const Value &B);
+
+} // namespace spidey
+
+#endif // SPIDEY_INTERP_MACHINE_H

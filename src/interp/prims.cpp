@@ -1,0 +1,418 @@
+//===-- interp/prims.cpp - Primitive evaluation ----------------*- C++ -*-===//
+///
+/// \file
+/// Run-time behavior of the primitives. Faults here are exactly the
+/// argument-domain violations that the static debugger's check sites
+/// cover; other failures the paper's analysis does not model (division by
+/// zero, index out of range, §10.2) are reported as user errors instead.
+///
+//===----------------------------------------------------------------------===//
+
+#include "interp/machine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+using namespace spidey;
+
+namespace {
+
+long long asInt(double D) { return static_cast<long long>(D); }
+
+} // namespace
+
+bool Machine::applyPrim(Prim Op, const std::vector<Value> &Args,
+                        ExprId Site) {
+  using K = Value::Kind;
+  const PrimSpec &Spec = primSpec(Op);
+
+  auto Give = [&](Value V) {
+    produce(Site, std::move(V));
+    return true;
+  };
+  auto Fault = [&](const char *What) {
+    return fault(Site, std::string(Spec.Name) + " applied to a non-" + What +
+                           " value");
+  };
+  auto WantNums = [&]() {
+    for (const Value &A : Args)
+      if (A.K != K::Num)
+        return false;
+    return true;
+  };
+  auto FoldNums = [&](double Init, auto Fn, bool UseFirst) {
+    double Acc = UseFirst ? Args[0].Num : Init;
+    for (size_t I = UseFirst ? 1 : 0; I < Args.size(); ++I)
+      Acc = Fn(Acc, Args[I].Num);
+    return Acc;
+  };
+  auto CompareChain = [&](auto Rel) {
+    for (size_t I = 0; I + 1 < Args.size(); ++I)
+      if (!Rel(Args[I].Num, Args[I + 1].Num))
+        return false;
+    return true;
+  };
+
+  switch (Op) {
+  // --- Pairs ---
+  case Prim::Cons:
+    return Give(Value::pair(Args[0], Args[1]));
+  case Prim::Car:
+    if (Args[0].K != K::Pair)
+      return Fault("pair");
+    return Give(Args[0].Pair->Car);
+  case Prim::Cdr:
+    if (Args[0].K != K::Pair)
+      return Fault("pair");
+    return Give(Args[0].Pair->Cdr);
+  case Prim::IsPair:
+    return Give(Value::boolean(Args[0].K == K::Pair));
+  case Prim::IsNull:
+    return Give(Value::boolean(Args[0].K == K::Nil));
+  case Prim::ListOf: {
+    Value Acc = Value::nil();
+    for (size_t I = Args.size(); I-- > 0;)
+      Acc = Value::pair(Args[I], std::move(Acc));
+    return Give(std::move(Acc));
+  }
+
+  // --- Boxes ---
+  case Prim::BoxNew:
+    return Give(Value::box(Args[0]));
+  case Prim::Unbox:
+    if (Args[0].K != K::Box)
+      return Fault("box");
+    return Give(*Args[0].BoxCell);
+  case Prim::SetBox:
+    if (Args[0].K != K::Box)
+      return Fault("box");
+    *Args[0].BoxCell = Args[1];
+    // set-box! returns the stored value (cf. the (set-box!) rule, §3.5).
+    return Give(Args[1]);
+  case Prim::IsBox:
+    return Give(Value::boolean(Args[0].K == K::Box));
+
+  // --- Vectors ---
+  case Prim::MakeVector: {
+    if (Args[0].K != K::Num)
+      return Fault("number");
+    long long N = asInt(Args[0].Num);
+    if (N < 0)
+      return userError("make-vector: negative length");
+    Value Fill = Args.size() > 1 ? Args[1] : Value::number(0);
+    return Give(Value::vector(std::vector<Value>(N, Fill)));
+  }
+  case Prim::VectorLit:
+    return Give(Value::vector(Args));
+  case Prim::VectorRef: {
+    if (Args[0].K != K::Vector)
+      return Fault("vector");
+    if (Args[1].K != K::Num)
+      return Fault("number");
+    long long I = asInt(Args[1].Num);
+    if (I < 0 || I >= static_cast<long long>(Args[0].Vec->size()))
+      return userError("vector-ref: index out of range");
+    return Give((*Args[0].Vec)[I]);
+  }
+  case Prim::VectorSet: {
+    if (Args[0].K != K::Vector)
+      return Fault("vector");
+    if (Args[1].K != K::Num)
+      return Fault("number");
+    long long I = asInt(Args[1].Num);
+    if (I < 0 || I >= static_cast<long long>(Args[0].Vec->size()))
+      return userError("vector-set!: index out of range");
+    (*Args[0].Vec)[I] = Args[2];
+    return Give(Value::voidValue());
+  }
+  case Prim::VectorLength:
+    if (Args[0].K != K::Vector)
+      return Fault("vector");
+    return Give(Value::number(static_cast<double>(Args[0].Vec->size())));
+  case Prim::IsVector:
+    return Give(Value::boolean(Args[0].K == K::Vector));
+
+  // --- Arithmetic ---
+  case Prim::Add:
+  case Prim::Mul:
+  case Prim::Sub:
+  case Prim::Div:
+  case Prim::Min:
+  case Prim::Max: {
+    if (!WantNums())
+      return Fault("number");
+    switch (Op) {
+    case Prim::Add:
+      return Give(Value::number(
+          FoldNums(0, [](double A, double B) { return A + B; }, true)));
+    case Prim::Mul:
+      return Give(Value::number(
+          FoldNums(1, [](double A, double B) { return A * B; }, true)));
+    case Prim::Sub:
+      if (Args.size() == 1)
+        return Give(Value::number(-Args[0].Num));
+      return Give(Value::number(
+          FoldNums(0, [](double A, double B) { return A - B; }, true)));
+    case Prim::Div:
+      for (size_t I = 1; I < Args.size(); ++I)
+        if (Args[I].Num == 0)
+          return userError("division by zero");
+      return Give(Value::number(
+          FoldNums(1, [](double A, double B) { return A / B; }, true)));
+    case Prim::Min:
+      return Give(Value::number(FoldNums(
+          0, [](double A, double B) { return std::min(A, B); }, true)));
+    case Prim::Max:
+      return Give(Value::number(FoldNums(
+          0, [](double A, double B) { return std::max(A, B); }, true)));
+    default:
+      break;
+    }
+    return userError("internal: unreachable arithmetic");
+  }
+  case Prim::Quotient:
+  case Prim::Remainder:
+  case Prim::Modulo: {
+    if (!WantNums())
+      return Fault("number");
+    long long A = asInt(Args[0].Num), B = asInt(Args[1].Num);
+    if (B == 0)
+      return userError("division by zero");
+    if (Op == Prim::Quotient)
+      return Give(Value::number(static_cast<double>(A / B)));
+    long long R = A % B;
+    if (Op == Prim::Modulo && R != 0 && ((R < 0) != (B < 0)))
+      R += B;
+    return Give(Value::number(static_cast<double>(R)));
+  }
+  case Prim::Abs:
+    if (!WantNums())
+      return Fault("number");
+    return Give(Value::number(std::fabs(Args[0].Num)));
+  case Prim::Floor:
+    if (!WantNums())
+      return Fault("number");
+    return Give(Value::number(std::floor(Args[0].Num)));
+  case Prim::Add1:
+    if (!WantNums())
+      return Fault("number");
+    return Give(Value::number(Args[0].Num + 1));
+  case Prim::Sub1:
+    if (!WantNums())
+      return Fault("number");
+    return Give(Value::number(Args[0].Num - 1));
+  case Prim::IsZero:
+    if (!WantNums())
+      return Fault("number");
+    return Give(Value::boolean(Args[0].Num == 0));
+  case Prim::Lt:
+  case Prim::Gt:
+  case Prim::Le:
+  case Prim::Ge:
+  case Prim::NumEq: {
+    if (!WantNums())
+      return Fault("number");
+    bool R = false;
+    switch (Op) {
+    case Prim::Lt:
+      R = CompareChain([](double A, double B) { return A < B; });
+      break;
+    case Prim::Gt:
+      R = CompareChain([](double A, double B) { return A > B; });
+      break;
+    case Prim::Le:
+      R = CompareChain([](double A, double B) { return A <= B; });
+      break;
+    case Prim::Ge:
+      R = CompareChain([](double A, double B) { return A >= B; });
+      break;
+    default:
+      R = CompareChain([](double A, double B) { return A == B; });
+      break;
+    }
+    return Give(Value::boolean(R));
+  }
+  case Prim::IsNumber:
+    return Give(Value::boolean(Args[0].K == K::Num));
+  case Prim::BitAnd:
+  case Prim::BitOr:
+  case Prim::BitXor: {
+    if (!WantNums())
+      return Fault("number");
+    long long Acc = asInt(Args[0].Num);
+    for (size_t I = 1; I < Args.size(); ++I) {
+      long long B = asInt(Args[I].Num);
+      Acc = Op == Prim::BitAnd ? (Acc & B)
+            : Op == Prim::BitOr ? (Acc | B)
+                                : (Acc ^ B);
+    }
+    return Give(Value::number(static_cast<double>(Acc)));
+  }
+  case Prim::ArithShift: {
+    if (!WantNums())
+      return Fault("number");
+    long long A = asInt(Args[0].Num), S = asInt(Args[1].Num);
+    long long R = S >= 0 ? (A << (S & 63)) : (A >> ((-S) & 63));
+    return Give(Value::number(static_cast<double>(R)));
+  }
+  case Prim::Random: {
+    if (!WantNums())
+      return Fault("number");
+    long long N = asInt(Args[0].Num);
+    if (N <= 0)
+      return userError("random: bound must be positive");
+    // Deterministic xorshift so test runs are reproducible.
+    RandomState ^= RandomState << 13;
+    RandomState ^= RandomState >> 7;
+    RandomState ^= RandomState << 17;
+    return Give(Value::number(static_cast<double>(RandomState % N)));
+  }
+
+  // --- Predicates / equality ---
+  case Prim::Not:
+    return Give(Value::boolean(!Args[0].isTruthy()));
+  case Prim::IsBoolean:
+    return Give(Value::boolean(Args[0].K == K::Bool));
+  case Prim::IsSymbol:
+    return Give(Value::boolean(Args[0].K == K::Sym));
+  case Prim::IsString:
+    return Give(Value::boolean(Args[0].K == K::Str));
+  case Prim::IsChar:
+    return Give(Value::boolean(Args[0].K == K::Char));
+  case Prim::IsProcedure:
+    return Give(
+        Value::boolean(Args[0].K == K::Closure || Args[0].K == K::Cont));
+  case Prim::IsEof:
+    return Give(Value::boolean(Args[0].K == K::Eof));
+  case Prim::Eq:
+    return Give(Value::boolean(valuesEq(Args[0], Args[1])));
+  case Prim::Equal:
+    return Give(Value::boolean(valuesEqual(Args[0], Args[1])));
+
+  // --- Strings and characters ---
+  case Prim::StringLength:
+    if (Args[0].K != K::Str)
+      return Fault("string");
+    return Give(Value::number(static_cast<double>(Args[0].Str->size())));
+  case Prim::StringAppend: {
+    std::string R;
+    for (const Value &A : Args) {
+      if (A.K != K::Str)
+        return Fault("string");
+      R += *A.Str;
+    }
+    return Give(Value::string(std::move(R)));
+  }
+  case Prim::Substring: {
+    if (Args[0].K != K::Str)
+      return Fault("string");
+    if (Args[1].K != K::Num || Args[2].K != K::Num)
+      return Fault("number");
+    long long From = asInt(Args[1].Num), To = asInt(Args[2].Num);
+    long long Size = static_cast<long long>(Args[0].Str->size());
+    if (From < 0 || To < From || To > Size)
+      return userError("substring: index out of range");
+    return Give(Value::string(Args[0].Str->substr(From, To - From)));
+  }
+  case Prim::StringRef: {
+    if (Args[0].K != K::Str)
+      return Fault("string");
+    if (Args[1].K != K::Num)
+      return Fault("number");
+    long long I = asInt(Args[1].Num);
+    if (I < 0 || I >= static_cast<long long>(Args[0].Str->size()))
+      return userError("string-ref: index out of range");
+    return Give(Value::character((*Args[0].Str)[I]));
+  }
+  case Prim::StringEqual:
+    if (Args[0].K != K::Str || Args[1].K != K::Str)
+      return Fault("string");
+    return Give(Value::boolean(*Args[0].Str == *Args[1].Str));
+  case Prim::NumberToString: {
+    if (Args[0].K != K::Num)
+      return Fault("number");
+    return Give(Value::string(Value::number(Args[0].Num).str(P.Syms)));
+  }
+  case Prim::StringToNumber: {
+    if (Args[0].K != K::Str)
+      return Fault("string");
+    const std::string &S = *Args[0].Str;
+    char *End = nullptr;
+    double D = std::strtod(S.c_str(), &End);
+    if (End == S.c_str() || (End && *End != '\0'))
+      return Give(Value::boolean(false));
+    return Give(Value::number(D));
+  }
+  case Prim::SymbolToString: {
+    if (Args[0].K != K::Sym)
+      return Fault("symbol");
+    return Give(Value::string(P.Syms.name(Args[0].Sym)));
+  }
+  case Prim::StringToSymbol: {
+    if (Args[0].K != K::Str)
+      return Fault("string");
+    // Interning into a const SymbolTable would break sharing; the machine
+    // holds a non-const program reference only through Syms access, so we
+    // cast deliberately here (the symbol table is append-only).
+    return Give(Value::symbol(
+        const_cast<SymbolTable &>(P.Syms).intern(*Args[0].Str)));
+  }
+  case Prim::CharToInteger:
+    if (Args[0].K != K::Char)
+      return Fault("char");
+    return Give(
+        Value::number(static_cast<double>(static_cast<unsigned char>(
+            Args[0].Ch))));
+  case Prim::IntegerToChar:
+    if (Args[0].K != K::Num)
+      return Fault("number");
+    return Give(Value::character(static_cast<char>(asInt(Args[0].Num))));
+
+  // --- Simulated I/O ---
+  case Prim::Display:
+    if (Args[0].K == K::Str)
+      Output += *Args[0].Str;
+    else
+      Output += Args[0].str(P.Syms);
+    return Give(Value::voidValue());
+  case Prim::Newline:
+    Output += '\n';
+    return Give(Value::voidValue());
+  case Prim::ReadLine: {
+    if (InputPos >= Input.size())
+      return Give(Value::eof());
+    size_t End = Input.find('\n', InputPos);
+    std::string Line = End == std::string::npos
+                           ? Input.substr(InputPos)
+                           : Input.substr(InputPos, End - InputPos);
+    InputPos = End == std::string::npos ? Input.size() : End + 1;
+    return Give(Value::string(std::move(Line)));
+  }
+  case Prim::ReadChar: {
+    if (InputPos >= Input.size())
+      return Give(Value::eof());
+    return Give(Value::character(Input[InputPos++]));
+  }
+  case Prim::PeekChar: {
+    if (InputPos >= Input.size())
+      return Give(Value::eof());
+    return Give(Value::character(Input[InputPos]));
+  }
+
+  // --- Errors ---
+  case Prim::ErrorPrim: {
+    std::string Message;
+    for (const Value &A : Args) {
+      if (!Message.empty())
+        Message += ' ';
+      Message += A.K == K::Str ? *A.Str : A.str(P.Syms);
+    }
+    return userError(Message);
+  }
+
+  case Prim::NumPrims:
+    break;
+  }
+  return userError("internal: unimplemented primitive");
+}

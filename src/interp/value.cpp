@@ -1,0 +1,150 @@
+//===-- interp/value.cpp --------------------------------------*- C++ -*-===//
+
+#include "interp/value.h"
+
+#include <sstream>
+
+using namespace spidey;
+
+namespace {
+
+void printValue(const Value &V, const SymbolTable &Syms,
+                std::ostringstream &OS, int Depth) {
+  if (Depth > 32) {
+    OS << "...";
+    return;
+  }
+  switch (V.K) {
+  case Value::Kind::Num:
+    if (V.Num == static_cast<long long>(V.Num))
+      OS << static_cast<long long>(V.Num);
+    else
+      OS << V.Num;
+    return;
+  case Value::Kind::Bool:
+    OS << (V.B ? "#t" : "#f");
+    return;
+  case Value::Kind::Str:
+    OS << '"' << *V.Str << '"';
+    return;
+  case Value::Kind::Char:
+    OS << "#\\" << V.Ch;
+    return;
+  case Value::Kind::Nil:
+    OS << "()";
+    return;
+  case Value::Kind::Sym:
+    OS << Syms.name(V.Sym);
+    return;
+  case Value::Kind::Void:
+    OS << "#<void>";
+    return;
+  case Value::Kind::Eof:
+    OS << "#<eof>";
+    return;
+  case Value::Kind::Pair: {
+    OS << '(';
+    printValue(V.Pair->Car, Syms, OS, Depth + 1);
+    const Value *Rest = &V.Pair->Cdr;
+    while (Rest->K == Value::Kind::Pair) {
+      OS << ' ';
+      printValue(Rest->Pair->Car, Syms, OS, Depth + 1);
+      Rest = &Rest->Pair->Cdr;
+    }
+    if (Rest->K != Value::Kind::Nil) {
+      OS << " . ";
+      printValue(*Rest, Syms, OS, Depth + 1);
+    }
+    OS << ')';
+    return;
+  }
+  case Value::Kind::Closure:
+    OS << "#<procedure>";
+    return;
+  case Value::Kind::Cont:
+    OS << "#<continuation>";
+    return;
+  case Value::Kind::Box:
+    OS << "#&";
+    printValue(*V.BoxCell, Syms, OS, Depth + 1);
+    return;
+  case Value::Kind::Vector: {
+    OS << "#(";
+    bool First = true;
+    for (const Value &E : *V.Vec) {
+      if (!First)
+        OS << ' ';
+      First = false;
+      printValue(E, Syms, OS, Depth + 1);
+    }
+    OS << ')';
+    return;
+  }
+  case Value::Kind::Unit:
+    OS << "#<unit>";
+    return;
+  case Value::Kind::Class:
+    OS << "#<class>";
+    return;
+  case Value::Kind::Object:
+    OS << "#<object>";
+    return;
+  case Value::Kind::Struct: {
+    OS << "#(struct";
+    for (const Cell &F : V.Strct->Fields) {
+      OS << ' ';
+      printValue(*F, Syms, OS, Depth + 1);
+    }
+    OS << ')';
+    return;
+  }
+  }
+}
+
+} // namespace
+
+std::string Value::str(const SymbolTable &Syms) const {
+  std::ostringstream OS;
+  printValue(*this, Syms, OS, 0);
+  return OS.str();
+}
+
+ConstKind spidey::valueAbstractKind(const Value &V) {
+  switch (V.K) {
+  case Value::Kind::Num:
+    return ConstKind::Num;
+  case Value::Kind::Bool:
+    return V.B ? ConstKind::True : ConstKind::False;
+  case Value::Kind::Str:
+    return ConstKind::Str;
+  case Value::Kind::Char:
+    return ConstKind::Char;
+  case Value::Kind::Nil:
+    return ConstKind::Nil;
+  case Value::Kind::Sym:
+    return ConstKind::Sym;
+  case Value::Kind::Void:
+    return ConstKind::Void;
+  case Value::Kind::Eof:
+    return ConstKind::Eof;
+  case Value::Kind::Pair:
+    return ConstKind::Pair;
+  case Value::Kind::Closure:
+    return ConstKind::FnTag;
+  case Value::Kind::Cont:
+    return ConstKind::ContTag;
+  case Value::Kind::Box:
+    return ConstKind::BoxTag;
+  case Value::Kind::Vector:
+    return ConstKind::VecTag;
+  case Value::Kind::Unit:
+    return ConstKind::UnitTag;
+  case Value::Kind::Class:
+    return ConstKind::ClassTag;
+  case Value::Kind::Object:
+    return ConstKind::ObjTag;
+  case Value::Kind::Struct:
+    return ConstKind::StructTag;
+  }
+  return ConstKind::Void;
+}

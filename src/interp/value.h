@@ -1,0 +1,228 @@
+//===-- interp/value.h - Runtime values ------------------------*- C++ -*-===//
+///
+/// \file
+/// Runtime values of the evaluator (§2.1.2 and the extensions of ch. 3).
+/// Mutation (assignable variables, boxes, vectors, instance variables) is
+/// modeled with shared mutable cells rather than an explicit heap: a cell
+/// is a shared_ptr<Value>, environments bind variables to cells, and
+/// captured continuations share cells with the program — which gives
+/// exactly the (letrec (H) E[...]) store semantics of §3.4/§3.5.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIDEY_INTERP_VALUE_H
+#define SPIDEY_INTERP_VALUE_H
+
+#include "constraints/const_kind.h"
+#include "lang/ast.h"
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace spidey {
+
+struct Value;
+struct Frame;
+
+using Cell = std::shared_ptr<Value>;
+
+/// Immutable environments: a persistent linked list of (variable, cell)
+/// bindings.
+struct EnvNode {
+  VarId Var;
+  Cell Slot;
+  std::shared_ptr<const EnvNode> Parent;
+};
+using EnvPtr = std::shared_ptr<const EnvNode>;
+
+/// Looks \p V up in \p Env; null if unbound (a bug — the parser resolves
+/// all variables).
+inline const Cell *lookupEnv(const EnvPtr &Env, VarId V) {
+  for (const EnvNode *N = Env.get(); N; N = N->Parent.get())
+    if (N->Var == V)
+      return &N->Slot;
+  return nullptr;
+}
+
+inline EnvPtr extendEnv(EnvPtr Env, VarId V, Cell Slot) {
+  return std::make_shared<EnvNode>(EnvNode{V, std::move(Slot), std::move(Env)});
+}
+
+struct PairCell;
+struct ClosureRep;
+struct ContRep;
+struct UnitRep;
+struct ClassRep;
+struct ObjectRep;
+struct StructRep;
+
+/// A runtime value. Small immutable payloads are stored inline; compound
+/// values are shared.
+struct Value {
+  enum class Kind : uint8_t {
+    Num,
+    Bool,
+    Str,
+    Char,
+    Nil,
+    Sym,
+    Void,
+    Eof,
+    Pair,
+    Closure,
+    Cont,
+    Box,
+    Vector,
+    Unit,
+    Class,
+    Object,
+    Struct,
+  };
+
+  Kind K = Kind::Void;
+  double Num = 0;
+  bool B = false;
+  char Ch = 0;
+  Symbol Sym = InvalidSymbol;
+  std::shared_ptr<const std::string> Str;
+  std::shared_ptr<const PairCell> Pair;
+  std::shared_ptr<const ClosureRep> Clo;
+  std::shared_ptr<const ContRep> Cont;
+  Cell BoxCell;
+  std::shared_ptr<std::vector<Value>> Vec;
+  std::shared_ptr<const UnitRep> Unit;
+  std::shared_ptr<const ClassRep> Cls;
+  std::shared_ptr<const ObjectRep> Obj;
+  std::shared_ptr<const StructRep> Strct;
+
+  /// Everything except #f is true in conditionals.
+  bool isTruthy() const { return !(K == Kind::Bool && !B); }
+
+  static Value number(double N) {
+    Value V;
+    V.K = Kind::Num;
+    V.Num = N;
+    return V;
+  }
+  static Value boolean(bool B) {
+    Value V;
+    V.K = Kind::Bool;
+    V.B = B;
+    return V;
+  }
+  static Value character(char C) {
+    Value V;
+    V.K = Kind::Char;
+    V.Ch = C;
+    return V;
+  }
+  static Value string(std::string S) {
+    Value V;
+    V.K = Kind::Str;
+    V.Str = std::make_shared<const std::string>(std::move(S));
+    return V;
+  }
+  static Value symbol(Symbol S) {
+    Value V;
+    V.K = Kind::Sym;
+    V.Sym = S;
+    return V;
+  }
+  static Value nil() {
+    Value V;
+    V.K = Kind::Nil;
+    return V;
+  }
+  static Value voidValue() { return Value(); }
+  static Value eof() {
+    Value V;
+    V.K = Kind::Eof;
+    return V;
+  }
+  static Value pair(Value Car, Value Cdr);
+  static Value box(Value Contents) {
+    Value V;
+    V.K = Kind::Box;
+    V.BoxCell = std::make_shared<Value>(std::move(Contents));
+    return V;
+  }
+  static Value vector(std::vector<Value> Elems) {
+    Value V;
+    V.K = Kind::Vector;
+    V.Vec = std::make_shared<std::vector<Value>>(std::move(Elems));
+    return V;
+  }
+
+  /// Renders the value for test assertions and `display`.
+  std::string str(const SymbolTable &Syms) const;
+};
+
+struct PairCell {
+  Value Car, Cdr;
+};
+
+inline Value Value::pair(Value Car, Value Cdr) {
+  Value V;
+  V.K = Kind::Pair;
+  V.Pair =
+      std::make_shared<const PairCell>(PairCell{std::move(Car), std::move(Cdr)});
+  return V;
+}
+
+struct ClosureRep {
+  ExprId Lambda = NoExpr;
+  EnvPtr Env;
+};
+
+/// A captured continuation: a copy of the machine's frame stack (§3.3).
+struct ContRep {
+  std::vector<Frame> Stack;
+};
+
+/// One textual unit in a (possibly linked) unit value (§3.6). Linking
+/// concatenates segments; invoking runs defines of all segments in order,
+/// then bodies in order (the β-link rule).
+struct UnitSegment {
+  EnvPtr Env; ///< closure environment of the unit expression
+  VarId Import = NoVar;
+  std::vector<Binding> Defines;
+  ExprId Body = NoExpr;
+  VarId Export = NoVar;
+};
+
+struct UnitRep {
+  std::vector<UnitSegment> Segments;
+};
+
+/// One level of a class chain (§3.7): the instance variables this class
+/// declares or inherits, with initializers for the new ones.
+struct ClassRep {
+  std::shared_ptr<const ClassRep> Super; ///< null for the root class
+  EnvPtr Env;                            ///< closure env of the class expr
+  std::vector<VarId> IvarParams;         ///< all ivars in scope (fig. 3.7)
+  std::vector<Binding> NewIvars;         ///< suffix of IvarParams with inits
+  ExprId Site = NoExpr;                  ///< the class expression
+};
+
+struct ObjectRep {
+  std::shared_ptr<const ClassRep> Class;
+  std::unordered_map<Symbol, Cell> Ivars;
+};
+
+/// An instance of a declared constructor (App. D.5.4): its declaration
+/// index and one mutable cell per field.
+struct StructRep {
+  uint32_t Decl = 0;
+  std::vector<Cell> Fields;
+};
+
+/// The abstract constant kind of a runtime value (the abstraction function
+/// relating the machine to the analysis, used by type assertions and the
+/// soundness tests).
+ConstKind valueAbstractKind(const Value &V);
+
+} // namespace spidey
+
+#endif // SPIDEY_INTERP_VALUE_H

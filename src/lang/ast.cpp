@@ -1,0 +1,229 @@
+//===-- lang/ast.cpp ------------------------------------------*- C++ -*-===//
+
+#include "lang/ast.h"
+
+#include <sstream>
+
+using namespace spidey;
+
+namespace {
+
+void printExpr(const Program &P, ExprId Id, std::ostringstream &OS) {
+  const Expr &E = P.expr(Id);
+  auto PrintVar = [&](VarId V) { OS << P.Syms.name(P.var(V).Name); };
+  auto PrintKids = [&](size_t From = 0) {
+    for (size_t I = From; I < E.Kids.size(); ++I) {
+      OS << ' ';
+      printExpr(P, E.Kids[I], OS);
+    }
+  };
+  auto PrintBindings = [&] {
+    OS << " (";
+    bool First = true;
+    for (const Binding &B : E.Bindings) {
+      if (!First)
+        OS << ' ';
+      First = false;
+      OS << '[';
+      PrintVar(B.Var);
+      OS << ' ';
+      printExpr(P, B.Init, OS);
+      OS << ']';
+    }
+    OS << ')';
+  };
+
+  switch (E.K) {
+  case ExprKind::Var:
+    PrintVar(E.Var);
+    return;
+  case ExprKind::Num:
+    if (E.Num == static_cast<long long>(E.Num))
+      OS << static_cast<long long>(E.Num);
+    else
+      OS << E.Num;
+    return;
+  case ExprKind::Bool:
+    OS << (E.BoolVal ? "#t" : "#f");
+    return;
+  case ExprKind::Str:
+    OS << '"' << E.Str << '"';
+    return;
+  case ExprKind::Char:
+    OS << "#\\" << E.CharVal;
+    return;
+  case ExprKind::Nil:
+    OS << "'()";
+    return;
+  case ExprKind::Quote:
+    OS << '\'' << P.Syms.name(E.Name);
+    return;
+  case ExprKind::Void:
+    OS << "(void)";
+    return;
+  case ExprKind::Lambda: {
+    OS << "(lambda (";
+    bool First = true;
+    for (VarId V : E.Params) {
+      if (!First)
+        OS << ' ';
+      First = false;
+      PrintVar(V);
+    }
+    OS << ')';
+    PrintKids();
+    OS << ')';
+    return;
+  }
+  case ExprKind::App:
+    OS << '(';
+    printExpr(P, E.Kids[0], OS);
+    PrintKids(1);
+    OS << ')';
+    return;
+  case ExprKind::PrimApp:
+    OS << '(' << primSpec(E.PrimOp).Name;
+    PrintKids();
+    OS << ')';
+    return;
+  case ExprKind::Let:
+    OS << "(let";
+    PrintBindings();
+    PrintKids();
+    OS << ')';
+    return;
+  case ExprKind::Letrec:
+    OS << "(letrec";
+    PrintBindings();
+    PrintKids();
+    OS << ')';
+    return;
+  case ExprKind::If:
+    OS << "(if";
+    PrintKids();
+    OS << ')';
+    return;
+  case ExprKind::Begin:
+    OS << "(begin";
+    PrintKids();
+    OS << ')';
+    return;
+  case ExprKind::Set:
+    OS << "(set! ";
+    PrintVar(E.Var);
+    PrintKids();
+    OS << ')';
+    return;
+  case ExprKind::Callcc:
+    OS << "(call/cc";
+    PrintKids();
+    OS << ')';
+    return;
+  case ExprKind::Abort:
+    OS << "(abort";
+    PrintKids();
+    OS << ')';
+    return;
+  case ExprKind::Unit:
+    OS << "(unit (import ";
+    PrintVar(E.Params[0]);
+    OS << ") (export ";
+    PrintVar(E.Params[1]);
+    OS << ')';
+    PrintBindings();
+    PrintKids();
+    OS << ')';
+    return;
+  case ExprKind::Link:
+    OS << "(link";
+    PrintKids();
+    OS << ')';
+    return;
+  case ExprKind::Invoke:
+    OS << "(invoke";
+    PrintKids();
+    OS << ' ';
+    PrintVar(E.Var);
+    OS << ')';
+    return;
+  case ExprKind::Class: {
+    if (E.Kids.empty()) {
+      OS << "object%";
+      return;
+    }
+    OS << "(class ";
+    printExpr(P, E.Kids[0], OS);
+    OS << " (";
+    bool First = true;
+    for (VarId V : E.Params) {
+      if (!First)
+        OS << ' ';
+      First = false;
+      PrintVar(V);
+    }
+    OS << ')';
+    for (const Binding &B : E.Bindings) {
+      OS << " [";
+      PrintVar(B.Var);
+      OS << ' ';
+      printExpr(P, B.Init, OS);
+      OS << ']';
+    }
+    OS << ')';
+    return;
+  }
+  case ExprKind::TypeAssert: {
+    OS << "(: ";
+    printExpr(P, E.Kids[0], OS);
+    OS << " #x" << std::hex << E.Mask << std::dec << ')';
+    return;
+  }
+  case ExprKind::StructApp: {
+    const StructDecl &D = P.Structs[E.StructId];
+    const std::string &N = P.Syms.name(D.Name);
+    switch (static_cast<StructOpKind>(E.StructOp)) {
+    case StructOpKind::Make:
+      OS << "(make-" << N;
+      break;
+    case StructOpKind::Pred:
+      OS << '(' << N << '?';
+      break;
+    case StructOpKind::Get:
+      OS << '(' << N << '-' << P.Syms.name(D.Fields[E.FieldIndex]);
+      break;
+    case StructOpKind::Set:
+      OS << "(set-" << N << '-' << P.Syms.name(D.Fields[E.FieldIndex])
+         << '!';
+      break;
+    }
+    PrintKids();
+    OS << ')';
+    return;
+  }
+  case ExprKind::MakeObj:
+    OS << "(make-obj";
+    PrintKids();
+    OS << ')';
+    return;
+  case ExprKind::IvarRef:
+    OS << "(ivar";
+    PrintKids();
+    OS << ' ' << P.Syms.name(E.Name) << ')';
+    return;
+  case ExprKind::IvarSet:
+    OS << "(set-ivar! ";
+    printExpr(P, E.Kids[0], OS);
+    OS << ' ' << P.Syms.name(E.Name) << ' ';
+    printExpr(P, E.Kids[1], OS);
+    OS << ')';
+    return;
+  }
+}
+
+} // namespace
+
+std::string Program::exprToString(ExprId Id) const {
+  std::ostringstream OS;
+  printExpr(*this, Id, OS);
+  return OS.str();
+}

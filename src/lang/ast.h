@@ -1,0 +1,206 @@
+//===-- lang/ast.h - Abstract syntax for the analyzed language -*- C++ -*-===//
+///
+/// \file
+/// The analyzed language: the idealized lambda calculus Λ of chapter 2 of
+/// the dissertation, extended per chapter 3 with pairs, first-class
+/// continuations, assignable variables, boxes, vectors, units and classes,
+/// plus the practical primitives of appendix E.5.
+///
+/// Expressions live in a flat arena (Program::Exprs) and reference each
+/// other by ExprId; variables are resolved by the parser to dense VarIds.
+/// Every expression doubles as a *labeled* expression in the paper's sense:
+/// the analysis assigns each ExprId a set variable, and `sba(P)(l)` is the
+/// constant set of that variable in the closed constraint system.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIDEY_LANG_AST_H
+#define SPIDEY_LANG_AST_H
+
+#include "lang/prim.h"
+#include "support/source.h"
+#include "support/symbol.h"
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace spidey {
+
+using ExprId = uint32_t;
+using VarId = uint32_t;
+
+inline constexpr ExprId NoExpr = std::numeric_limits<ExprId>::max();
+inline constexpr VarId NoVar = std::numeric_limits<VarId>::max();
+
+/// Expression forms. See the file comment for the paper sections each form
+/// comes from.
+enum class ExprKind : uint8_t {
+  // --- Λ core (§2.1) ---
+  Var,    ///< variable reference (immutable or assignable; §3.4 rule ref)
+  Num,    ///< numeric constant
+  Bool,   ///< #t / #f
+  Str,    ///< string literal
+  Char,   ///< character literal
+  Nil,    ///< '() — the empty list
+  Quote,  ///< quoted symbol literal
+  Void,   ///< the void value (result of set! targets etc.)
+  Lambda, ///< (lambda (x ...) body) with an identifying function tag
+  App,    ///< application of a non-primitive function
+  Let,    ///< (let ([x V] ...) body); polymorphic when V is syntactic value
+  If,     ///< (if c t e)
+  Begin,  ///< (begin e ...)
+
+  // --- primitives (§3.2, §3.5, App. E.5) ---
+  PrimApp, ///< fully applied primitive operation
+
+  // --- continuations (§3.3) ---
+  Callcc, ///< (call/cc e) with an identifying continuation tag
+  Abort,  ///< (abort e)
+
+  // --- assignable variables (§3.4) ---
+  Letrec, ///< (letrec ([z V] ...) body)
+  Set,    ///< (set! z e)
+
+  // --- units (§3.6) ---
+  Unit,   ///< (unit (import w) (export z) (define z V)... body)
+  Link,   ///< (link e1 e2)
+  Invoke, ///< (invoke e z)
+
+  // --- type assertions (App. D.5.1) ---
+  TypeAssert, ///< (: e T): programmer-asserted kind set, checked + narrowed
+
+  // --- declared constructors (App. D.5.4) ---
+  StructApp, ///< make-S / S? / S-f / set-S-f! application
+
+  // --- classes (§3.7) ---
+  Class,   ///< (class N (z1 ... zk) [zk+1 V] ...)
+  MakeObj, ///< (make-obj e)
+  IvarRef, ///< (ivar e z)
+  IvarSet, ///< (set-ivar! e z v)
+};
+
+/// A binding of a variable to an initializer expression (let/letrec/unit
+/// defines/class instance-variable initializers).
+struct Binding {
+  VarId Var = NoVar;
+  ExprId Init = NoExpr;
+};
+
+/// One expression node. Field usage by kind:
+///  - Var/Set:      Var (Set also Kids[0] = rhs)
+///  - Num/Bool/...: the literal payload fields
+///  - Quote:        Name = the quoted symbol
+///  - Lambda:       Params, Kids[0] = body
+///  - App:          Kids[0] = function, Kids[1..] = arguments
+///  - PrimApp:      PrimOp, Kids = arguments
+///  - Let/Letrec:   Bindings, Kids[0] = body
+///  - If:           Kids[0..2]
+///  - Begin:        Kids = sequence
+///  - Callcc/Abort/MakeObj: Kids[0]
+///  - Unit:         Params[0] = import var (or NoVar), Params[1] = export
+///                  var, Bindings = defines, Kids[0] = body
+///  - Link:         Kids[0..1]
+///  - Invoke:       Kids[0] = unit expr, Var = the assignable variable fed
+///                  to the unit's import
+///  - Class:        Kids[0] = super expr, Params = inherited ivar VarIds,
+///                  Bindings = new ivars with initializers
+///  - TypeAssert:   Kids[0] = asserted expression, Mask = accepted kinds
+///  - IvarRef:      Kids[0] = object expr, Name = instance-variable name
+///  - IvarSet:      Kids[0] = object expr, Kids[1] = value, Name = ivar name
+struct Expr {
+  ExprKind K = ExprKind::Void;
+  SourceLoc Loc;
+
+  VarId Var = NoVar;
+  Symbol Name = InvalidSymbol;
+  Prim PrimOp = Prim::NumPrims;
+  KindMask Mask = 0; ///< TypeAssert: the asserted constant kinds
+  uint32_t StructId = 0;   ///< StructApp: index into Program::Structs
+  uint8_t StructOp = 0;    ///< StructApp: a StructOpKind
+  uint32_t FieldIndex = 0; ///< StructApp: field for Get/Set
+  double Num = 0;
+  bool BoolVal = false;
+  char CharVal = 0;
+  std::string Str;
+
+  std::vector<VarId> Params;
+  std::vector<Binding> Bindings;
+  std::vector<ExprId> Kids;
+};
+
+/// The operation a StructApp performs.
+enum class StructOpKind : uint8_t { Make, Pred, Get, Set };
+
+/// A declared constructor (define-struct name (field ...)), App. D.5.4:
+/// each declaration introduces its own abstract-constant tag and split
+/// field selectors, so structure accesses are checked precisely instead of
+/// through pair encodings.
+struct StructDecl {
+  Symbol Name = InvalidSymbol;
+  std::vector<Symbol> Fields;
+  SourceLoc Loc;
+};
+
+/// Per-variable metadata.
+struct VarInfo {
+  Symbol Name = InvalidSymbol;
+  SourceLoc Loc;
+  bool Assignable = false; ///< letrec/define/unit/class-bound (§3.4)
+  bool TopLevel = false;   ///< bound by a top-level (define ...)
+  uint32_t Component = 0;  ///< component index of the binding occurrence
+};
+
+/// A top-level form in a component: either a definition or an expression
+/// statement.
+struct TopForm {
+  VarId DefVar = NoVar; ///< NoVar for expression statements
+  ExprId Body = NoExpr;
+};
+
+/// One program component (file/module) in the sense of chapter 7.
+struct Component {
+  std::string Name;
+  std::string SourceText; ///< retained for hashing (§7.1) and markup
+  std::vector<TopForm> Forms;
+};
+
+/// A whole (possibly multi-component) program.
+///
+/// Top-level `define`s share a single program-wide letrec scope, so
+/// components may reference each other's definitions freely; the
+/// componential analysis treats cross-component references as the external
+/// variables of each component.
+class Program {
+public:
+  SymbolTable Syms;
+  std::vector<Expr> Exprs;
+  std::vector<VarInfo> Vars;
+  std::vector<Component> Components;
+  std::vector<StructDecl> Structs;
+
+  ExprId addExpr(Expr E) {
+    Exprs.push_back(std::move(E));
+    return static_cast<ExprId>(Exprs.size() - 1);
+  }
+
+  VarId addVar(VarInfo V) {
+    Vars.push_back(V);
+    return static_cast<VarId>(Vars.size() - 1);
+  }
+
+  const Expr &expr(ExprId Id) const { return Exprs[Id]; }
+  Expr &expr(ExprId Id) { return Exprs[Id]; }
+  const VarInfo &var(VarId Id) const { return Vars[Id]; }
+
+  size_t numExprs() const { return Exprs.size(); }
+  size_t numVars() const { return Vars.size(); }
+
+  /// Renders an expression back to source-like syntax (tests, reports).
+  std::string exprToString(ExprId Id) const;
+};
+
+} // namespace spidey
+
+#endif // SPIDEY_LANG_AST_H

@@ -1,0 +1,1246 @@
+//===-- lang/parser.cpp ---------------------------------------*- C++ -*-===//
+
+#include "lang/parser.h"
+
+#include "support/sexpr.h"
+
+#include <cassert>
+#include <unordered_map>
+
+using namespace spidey;
+
+namespace {
+
+/// Keywords of the language; these may not be rebound.
+enum class Keyword {
+  NotAKeyword,
+  Lambda,
+  Let,
+  LetStar,
+  Letrec,
+  Define,
+  Set,
+  If,
+  Cond,
+  Else,
+  Begin,
+  And,
+  Or,
+  When,
+  Unless,
+  Quote,
+  Callcc,
+  Abort,
+  VoidForm,
+  Unit,
+  Import,
+  Export,
+  Link,
+  Invoke,
+  Class,
+  MakeObj,
+  Ivar,
+  SetIvar,
+  BaseClass,
+  TypeAssert,
+  DefineStruct,
+};
+
+class ParserImpl {
+public:
+  ParserImpl(Program &P, DiagnosticEngine &Diags) : P(P), Diags(Diags) {
+    registerKeywords();
+  }
+
+  bool run(const std::vector<SourceFile> &Files) {
+    // Read all files first.
+    std::vector<std::vector<SExpr>> FileForms;
+    for (size_t I = 0; I < Files.size(); ++I) {
+      Component C;
+      C.Name = Files[I].Name;
+      C.SourceText = Files[I].Text;
+      P.Components.push_back(std::move(C));
+      FileForms.push_back(readSExprs(Files[I].Text,
+                                     static_cast<uint32_t>(I), P.Syms, Diags));
+    }
+    if (Diags.hasErrors())
+      return false;
+
+    // Pass 1: register all top-level defines in the global scope (the
+    // program-wide letrec of §3.4) and all structure declarations
+    // (App. D.5.4).
+    for (size_t I = 0; I < FileForms.size(); ++I) {
+      CurrentComponent = static_cast<uint32_t>(I);
+      for (const SExpr &Form : FileForms[I]) {
+        if (isDefineForm(Form))
+          registerTopDefine(Form);
+        else if (isDefineStructForm(Form))
+          registerStructDecl(Form);
+      }
+    }
+    if (Diags.hasErrors())
+      return false;
+
+    // Pass 2: parse all forms.
+    for (size_t I = 0; I < FileForms.size(); ++I) {
+      CurrentComponent = static_cast<uint32_t>(I);
+      for (const SExpr &Form : FileForms[I]) {
+        if (isDefineStructForm(Form))
+          continue; // fully handled in pass 1
+        TopForm TF;
+        if (isDefineForm(Form)) {
+          auto [Var, Body] = parseTopDefine(Form);
+          TF.DefVar = Var;
+          TF.Body = Body;
+        } else {
+          TF.Body = parseExpr(Form);
+        }
+        P.Components[I].Forms.push_back(TF);
+      }
+    }
+    return !Diags.hasErrors();
+  }
+
+private:
+  //===--------------------------------------------------------------------===
+  // Keyword machinery.
+  //===--------------------------------------------------------------------===
+
+  void registerKeywords() {
+    auto Add = [&](const char *Name, Keyword K) {
+      Keywords[P.Syms.intern(Name)] = K;
+    };
+    Add("lambda", Keyword::Lambda);
+    Add("let", Keyword::Let);
+    Add("let*", Keyword::LetStar);
+    Add("letrec", Keyword::Letrec);
+    Add("define", Keyword::Define);
+    Add("set!", Keyword::Set);
+    Add("if", Keyword::If);
+    Add("cond", Keyword::Cond);
+    Add("else", Keyword::Else);
+    Add("begin", Keyword::Begin);
+    Add("and", Keyword::And);
+    Add("or", Keyword::Or);
+    Add("when", Keyword::When);
+    Add("unless", Keyword::Unless);
+    Add("quote", Keyword::Quote);
+    Add("call/cc", Keyword::Callcc);
+    Add("call-with-current-continuation", Keyword::Callcc);
+    Add("abort", Keyword::Abort);
+    Add("void", Keyword::VoidForm);
+    Add("unit", Keyword::Unit);
+    Add("import", Keyword::Import);
+    Add("export", Keyword::Export);
+    Add("link", Keyword::Link);
+    Add("invoke", Keyword::Invoke);
+    Add("class", Keyword::Class);
+    Add("make-obj", Keyword::MakeObj);
+    Add("ivar", Keyword::Ivar);
+    Add("set-ivar!", Keyword::SetIvar);
+    Add("object%", Keyword::BaseClass);
+    Add(":", Keyword::TypeAssert);
+    Add("define-struct", Keyword::DefineStruct);
+  }
+
+  Keyword keywordOf(Symbol S) const {
+    auto It = Keywords.find(S);
+    return It == Keywords.end() ? Keyword::NotAKeyword : It->second;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Scopes.
+  //===--------------------------------------------------------------------===
+
+  struct Scope {
+    std::unordered_map<Symbol, VarId> Bindings;
+  };
+
+  VarId lookupVar(Symbol S) const {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto Found = It->Bindings.find(S);
+      if (Found != It->Bindings.end())
+        return Found->second;
+    }
+    auto Found = Globals.find(S);
+    if (Found != Globals.end())
+      return Found->second;
+    return NoVar;
+  }
+
+  VarId bindVar(Symbol S, SourceLoc Loc, bool Assignable) {
+    if (keywordOf(S) != Keyword::NotAKeyword) {
+      Diags.error(Loc, "cannot bind keyword '" + P.Syms.name(S) + "'");
+      return NoVar;
+    }
+    VarInfo Info;
+    Info.Name = S;
+    Info.Loc = Loc;
+    Info.Assignable = Assignable;
+    Info.Component = CurrentComponent;
+    VarId Id = P.addVar(Info);
+    assert(!Scopes.empty() && "bindVar outside a scope");
+    Scopes.back().Bindings[S] = Id;
+    return Id;
+  }
+
+  class ScopeGuard {
+  public:
+    explicit ScopeGuard(ParserImpl &Parser) : Parser(Parser) {
+      Parser.Scopes.emplace_back();
+    }
+    ~ScopeGuard() { Parser.Scopes.pop_back(); }
+
+  private:
+    ParserImpl &Parser;
+  };
+
+  //===--------------------------------------------------------------------===
+  // Top-level defines.
+  //===--------------------------------------------------------------------===
+
+  bool isDefineForm(const SExpr &Form) const {
+    return Form.isList() && !Form.Elems.empty() && Form.Elems[0].isSymbol() &&
+           keywordOf(Form.Elems[0].Sym) == Keyword::Define;
+  }
+
+  bool isDefineStructForm(const SExpr &Form) const {
+    return Form.isList() && !Form.Elems.empty() && Form.Elems[0].isSymbol() &&
+           keywordOf(Form.Elems[0].Sym) == Keyword::DefineStruct;
+  }
+
+  /// Registers (define-struct name (field ...)) and its derived operation
+  /// names: make-name, name?, name-field, set-name-field!.
+  void registerStructDecl(const SExpr &Form) {
+    if (Form.Elems.size() != 3 || !Form.Elems[1].isSymbol() ||
+        !Form.Elems[2].isList()) {
+      Diags.error(Form.Loc, "malformed define-struct");
+      return;
+    }
+    StructDecl Decl;
+    Decl.Name = Form.Elems[1].Sym;
+    Decl.Loc = Form.Loc;
+    for (const SExpr &F : Form.Elems[2].Elems) {
+      if (!F.isSymbol()) {
+        Diags.error(F.Loc, "structure field must be an identifier");
+        return;
+      }
+      Decl.Fields.push_back(F.Sym);
+    }
+    uint32_t Id = static_cast<uint32_t>(P.Structs.size());
+    const std::string &N = P.Syms.name(Decl.Name);
+    auto AddOp = [&](const std::string &OpName, StructOpKind Op,
+                     uint32_t Field) {
+      Symbol Sym = P.Syms.intern(OpName);
+      if (StructOps.count(Sym) || Globals.count(Sym)) {
+        Diags.error(Form.Loc, "duplicate definition of '" + OpName + "'");
+        return;
+      }
+      StructOps[Sym] = {Id, Op, Field};
+    };
+    AddOp("make-" + N, StructOpKind::Make, 0);
+    AddOp(N + "?", StructOpKind::Pred, 0);
+    for (uint32_t F = 0; F < Decl.Fields.size(); ++F) {
+      const std::string &FN = P.Syms.name(Decl.Fields[F]);
+      AddOp(N + "-" + FN, StructOpKind::Get, F);
+      AddOp("set-" + N + "-" + FN + "!", StructOpKind::Set, F);
+    }
+    P.Structs.push_back(std::move(Decl));
+  }
+
+  struct StructOpInfo {
+    uint32_t StructId;
+    StructOpKind Op;
+    uint32_t Field;
+  };
+
+  unsigned structOpArity(const StructOpInfo &Info) const {
+    switch (Info.Op) {
+    case StructOpKind::Make:
+      return static_cast<unsigned>(P.Structs[Info.StructId].Fields.size());
+    case StructOpKind::Pred:
+    case StructOpKind::Get:
+      return 1;
+    case StructOpKind::Set:
+      return 2;
+    }
+    return 0;
+  }
+
+  /// Extracts the defined name of a (define x ...) or (define (f ...) ...)
+  /// form; InvalidSymbol on malformed input.
+  Symbol definedName(const SExpr &Form) const {
+    if (Form.Elems.size() < 2)
+      return InvalidSymbol;
+    const SExpr &Head = Form.Elems[1];
+    if (Head.isSymbol())
+      return Head.Sym;
+    if (Head.isList() && !Head.Elems.empty() && Head.Elems[0].isSymbol())
+      return Head.Elems[0].Sym;
+    return InvalidSymbol;
+  }
+
+  void registerTopDefine(const SExpr &Form) {
+    Symbol Name = definedName(Form);
+    if (Name == InvalidSymbol) {
+      Diags.error(Form.Loc, "malformed define");
+      return;
+    }
+    if (keywordOf(Name) != Keyword::NotAKeyword) {
+      Diags.error(Form.Loc,
+                  "cannot define keyword '" + P.Syms.name(Name) + "'");
+      return;
+    }
+    if (Globals.count(Name) || StructOps.count(Name)) {
+      Diags.error(Form.Loc,
+                  "duplicate top-level definition of '" + P.Syms.name(Name) +
+                      "'");
+      return;
+    }
+    VarInfo Info;
+    Info.Name = Name;
+    Info.Loc = Form.Loc;
+    Info.Assignable = true;
+    Info.TopLevel = true;
+    Info.Component = CurrentComponent;
+    Globals[Name] = P.addVar(Info);
+  }
+
+  std::pair<VarId, ExprId> parseTopDefine(const SExpr &Form) {
+    Symbol Name = definedName(Form);
+    if (Name == InvalidSymbol)
+      return {NoVar, addVoid(Form.Loc)};
+    VarId Var = Globals.at(Name);
+    ExprId Body;
+    const SExpr &Head = Form.Elems[1];
+    if (Head.isSymbol()) {
+      if (Form.Elems.size() != 3) {
+        Diags.error(Form.Loc, "define expects exactly one body expression");
+        return {Var, addVoid(Form.Loc)};
+      }
+      Body = parseExpr(Form.Elems[2]);
+    } else {
+      // (define (f x ...) body...) => (define f (lambda (x ...) body...))
+      Body = parseLambdaTail(Head, Form, 2, Form.Loc);
+    }
+    return {Var, Body};
+  }
+
+  //===--------------------------------------------------------------------===
+  // Expressions.
+  //===--------------------------------------------------------------------===
+
+  ExprId addVoid(SourceLoc Loc) {
+    Expr E;
+    E.K = ExprKind::Void;
+    E.Loc = Loc;
+    return P.addExpr(std::move(E));
+  }
+
+  ExprId errorExpr(SourceLoc Loc, const std::string &Message) {
+    Diags.error(Loc, Message);
+    return addVoid(Loc);
+  }
+
+  ExprId parseExpr(const SExpr &S) {
+    switch (S.K) {
+    case SExpr::Kind::Number: {
+      Expr E;
+      E.K = ExprKind::Num;
+      E.Loc = S.Loc;
+      E.Num = S.Num;
+      return P.addExpr(std::move(E));
+    }
+    case SExpr::Kind::Boolean: {
+      Expr E;
+      E.K = ExprKind::Bool;
+      E.Loc = S.Loc;
+      E.BoolVal = S.Bool;
+      return P.addExpr(std::move(E));
+    }
+    case SExpr::Kind::String: {
+      Expr E;
+      E.K = ExprKind::Str;
+      E.Loc = S.Loc;
+      E.Str = S.Str;
+      return P.addExpr(std::move(E));
+    }
+    case SExpr::Kind::Char: {
+      Expr E;
+      E.K = ExprKind::Char;
+      E.Loc = S.Loc;
+      E.CharVal = S.Ch;
+      return P.addExpr(std::move(E));
+    }
+    case SExpr::Kind::Symbol:
+      return parseIdentifier(S);
+    case SExpr::Kind::List:
+      return parseList(S);
+    }
+    return addVoid(S.Loc);
+  }
+
+  ExprId parseIdentifier(const SExpr &S) {
+    Keyword K = keywordOf(S.Sym);
+    if (K == Keyword::BaseClass)
+      return makeBaseClass(S.Loc);
+    if (K != Keyword::NotAKeyword)
+      return errorExpr(S.Loc, "keyword '" + P.Syms.name(S.Sym) +
+                                  "' used as an expression");
+    VarId V = lookupVar(S.Sym);
+    if (V != NoVar) {
+      Expr E;
+      E.K = ExprKind::Var;
+      E.Loc = S.Loc;
+      E.Var = V;
+      return P.addExpr(std::move(E));
+    }
+    Prim Pr = lookupPrim(P.Syms.name(S.Sym));
+    if (Pr != Prim::NumPrims)
+      return etaExpandPrim(Pr, S.Loc);
+    if (auto It = StructOps.find(S.Sym); It != StructOps.end())
+      return etaExpandStructOp(It->second, S.Loc);
+    return errorExpr(S.Loc, "unbound variable '" + P.Syms.name(S.Sym) + "'");
+  }
+
+  ExprId etaExpandStructOp(const StructOpInfo &Info, SourceLoc Loc) {
+    ScopeGuard Guard(*this);
+    Expr Lam;
+    Lam.K = ExprKind::Lambda;
+    Lam.Loc = Loc;
+    Expr Call;
+    Call.K = ExprKind::StructApp;
+    Call.Loc = Loc;
+    Call.StructId = Info.StructId;
+    Call.StructOp = static_cast<uint8_t>(Info.Op);
+    Call.FieldIndex = Info.Field;
+    for (unsigned I = 0; I < structOpArity(Info); ++I) {
+      VarId V = bindVar(P.Syms.fresh("eta"), Loc, false);
+      Lam.Params.push_back(V);
+      Expr Ref;
+      Ref.K = ExprKind::Var;
+      Ref.Loc = Loc;
+      Ref.Var = V;
+      Call.Kids.push_back(P.addExpr(std::move(Ref)));
+    }
+    Lam.Kids.push_back(P.addExpr(std::move(Call)));
+    return P.addExpr(std::move(Lam));
+  }
+
+  /// Wraps a first-class use of a primitive in a lambda, e.g. car becomes
+  /// (lambda (x) (car x)). Variadic primitives are expanded at MinArgs.
+  ExprId etaExpandPrim(Prim Pr, SourceLoc Loc) {
+    const PrimSpec &Spec = primSpec(Pr);
+    unsigned Arity = static_cast<unsigned>(
+        Spec.MinArgs > 0 ? Spec.MinArgs
+                         : (Spec.MaxArgs > 0 ? Spec.MaxArgs : 0));
+    // Binary default for variadic arithmetic-style primitives.
+    if (Spec.MaxArgs < 0 && Spec.MinArgs <= 1)
+      Arity = std::max(Arity, 1u);
+    ScopeGuard Guard(*this);
+    Expr Lam;
+    Lam.K = ExprKind::Lambda;
+    Lam.Loc = Loc;
+    Expr Call;
+    Call.K = ExprKind::PrimApp;
+    Call.Loc = Loc;
+    Call.PrimOp = Pr;
+    for (unsigned I = 0; I < Arity; ++I) {
+      Symbol Arg = P.Syms.fresh("eta");
+      VarId V = bindVar(Arg, Loc, /*Assignable=*/false);
+      Lam.Params.push_back(V);
+      Expr Ref;
+      Ref.K = ExprKind::Var;
+      Ref.Loc = Loc;
+      Ref.Var = V;
+      Call.Kids.push_back(P.addExpr(std::move(Ref)));
+    }
+    Lam.Kids.push_back(P.addExpr(std::move(Call)));
+    return P.addExpr(std::move(Lam));
+  }
+
+  ExprId parseList(const SExpr &S) {
+    if (S.Elems.empty())
+      return errorExpr(S.Loc, "empty application ()");
+    const SExpr &Head = S.Elems[0];
+    if (Head.isSymbol()) {
+      // A lexically bound name shadows nothing keyword-wise (keywords are
+      // reserved), but a top-level define may not shadow primitives?
+      // Resolution order: keywords, then variables, then primitives.
+      switch (keywordOf(Head.Sym)) {
+      case Keyword::NotAKeyword:
+        break;
+      case Keyword::Lambda:
+        return parseLambda(S);
+      case Keyword::Let:
+        return parseLet(S);
+      case Keyword::LetStar:
+        return parseLetStar(S);
+      case Keyword::Letrec:
+        return parseLetrec(S);
+      case Keyword::Define:
+        return errorExpr(S.Loc, "define is only allowed at top level");
+      case Keyword::Set:
+        return parseSet(S);
+      case Keyword::If:
+        return parseIf(S);
+      case Keyword::Cond:
+        return parseCond(S);
+      case Keyword::Else:
+        return errorExpr(S.Loc, "else outside cond");
+      case Keyword::Begin:
+        return parseBody(S, 1, S.Loc);
+      case Keyword::And:
+        return parseAnd(S, 1);
+      case Keyword::Or:
+        return parseOr(S, 1);
+      case Keyword::When:
+        return parseWhenUnless(S, /*Negate=*/false);
+      case Keyword::Unless:
+        return parseWhenUnless(S, /*Negate=*/true);
+      case Keyword::Quote:
+        return parseQuote(S);
+      case Keyword::Callcc:
+        return parseUnary(S, ExprKind::Callcc, "call/cc");
+      case Keyword::Abort:
+        return parseUnary(S, ExprKind::Abort, "abort");
+      case Keyword::VoidForm:
+        if (S.Elems.size() != 1)
+          return errorExpr(S.Loc, "(void) takes no arguments");
+        return addVoid(S.Loc);
+      case Keyword::Unit:
+        return parseUnit(S);
+      case Keyword::Import:
+      case Keyword::Export:
+        return errorExpr(S.Loc, "import/export clause outside unit");
+      case Keyword::Link:
+        return parseLink(S);
+      case Keyword::Invoke:
+        return parseInvoke(S);
+      case Keyword::Class:
+        return parseClass(S);
+      case Keyword::MakeObj:
+        return parseUnary(S, ExprKind::MakeObj, "make-obj");
+      case Keyword::Ivar:
+        return parseIvarRef(S);
+      case Keyword::SetIvar:
+        return parseIvarSet(S);
+      case Keyword::BaseClass:
+        return errorExpr(S.Loc, "object% cannot be applied");
+      case Keyword::TypeAssert:
+        return parseTypeAssert(S);
+      case Keyword::DefineStruct:
+        return errorExpr(S.Loc,
+                         "define-struct is only allowed at top level");
+      }
+      // Primitive or structure operation in head position (unless
+      // shadowed by a variable).
+      if (lookupVar(Head.Sym) == NoVar) {
+        Prim Pr = lookupPrim(P.Syms.name(Head.Sym));
+        if (Pr != Prim::NumPrims)
+          return parsePrimApp(S, Pr);
+        if (auto It = StructOps.find(Head.Sym); It != StructOps.end())
+          return parseStructApp(S, It->second);
+      }
+    }
+    // General application.
+    Expr App;
+    App.K = ExprKind::App;
+    App.Loc = S.Loc;
+    for (const SExpr &E : S.Elems)
+      App.Kids.push_back(parseExpr(E));
+    return P.addExpr(std::move(App));
+  }
+
+  ExprId parsePrimApp(const SExpr &S, Prim Pr) {
+    const PrimSpec &Spec = primSpec(Pr);
+    int NumArgs = static_cast<int>(S.Elems.size()) - 1;
+    if (NumArgs < Spec.MinArgs ||
+        (Spec.MaxArgs >= 0 && NumArgs > Spec.MaxArgs))
+      return errorExpr(S.Loc, std::string("wrong number of arguments to ") +
+                                  Spec.Name);
+    Expr E;
+    E.K = ExprKind::PrimApp;
+    E.Loc = S.Loc;
+    E.PrimOp = Pr;
+    for (size_t I = 1; I < S.Elems.size(); ++I)
+      E.Kids.push_back(parseExpr(S.Elems[I]));
+    return P.addExpr(std::move(E));
+  }
+
+  /// Parses body forms S.Elems[From..] into a single expression (wrapping
+  /// in Begin if needed).
+  ExprId parseStructApp(const SExpr &S, const StructOpInfo &Info) {
+    if (S.Elems.size() - 1 != structOpArity(Info))
+      return errorExpr(S.Loc, "wrong number of arguments to structure "
+                              "operation");
+    Expr E;
+    E.K = ExprKind::StructApp;
+    E.Loc = S.Loc;
+    E.StructId = Info.StructId;
+    E.StructOp = static_cast<uint8_t>(Info.Op);
+    E.FieldIndex = Info.Field;
+    for (size_t I = 1; I < S.Elems.size(); ++I)
+      E.Kids.push_back(parseExpr(S.Elems[I]));
+    return P.addExpr(std::move(E));
+  }
+
+  ExprId parseBody(const SExpr &S, size_t From, SourceLoc Loc) {
+    if (S.Elems.size() <= From)
+      return errorExpr(Loc, "empty body");
+    if (S.Elems.size() == From + 1)
+      return parseExpr(S.Elems[From]);
+    Expr Seq;
+    Seq.K = ExprKind::Begin;
+    Seq.Loc = Loc;
+    for (size_t I = From; I < S.Elems.size(); ++I)
+      Seq.Kids.push_back(parseExpr(S.Elems[I]));
+    return P.addExpr(std::move(Seq));
+  }
+
+  /// Parses (lambda <ParamsList> body...) where ParamsList = S.Elems[1] and
+  /// body starts at index 2. Also used for define-with-header.
+  ExprId parseLambdaTail(const SExpr &ParamsList, const SExpr &S,
+                         size_t BodyFrom, SourceLoc Loc) {
+    ScopeGuard Guard(*this);
+    Expr Lam;
+    Lam.K = ExprKind::Lambda;
+    Lam.Loc = Loc;
+    size_t Start = isDefineHeader(ParamsList, S) ? 1 : 0;
+    for (size_t I = Start; I < ParamsList.Elems.size(); ++I) {
+      const SExpr &Param = ParamsList.Elems[I];
+      if (!Param.isSymbol()) {
+        Diags.error(Param.Loc, "parameter must be an identifier");
+        continue;
+      }
+      Lam.Params.push_back(bindVar(Param.Sym, Param.Loc, false));
+    }
+    Lam.Kids.push_back(parseBody(S, BodyFrom, Loc));
+    return P.addExpr(std::move(Lam));
+  }
+
+  bool isDefineHeader(const SExpr &ParamsList, const SExpr &S) const {
+    // In (define (f x ...) ...), the first element of the header is the
+    // function name, not a parameter.
+    return isDefineForm(S) && &ParamsList == &S.Elems[1];
+  }
+
+  ExprId parseLambda(const SExpr &S) {
+    if (S.Elems.size() < 3 || !S.Elems[1].isList())
+      return errorExpr(S.Loc, "malformed lambda");
+    return parseLambdaTail(S.Elems[1], S, 2, S.Loc);
+  }
+
+  /// Parses the [x e] binding pairs of a let/letrec clause list.
+  bool parseBindingPairs(const SExpr &Clauses,
+                         std::vector<std::pair<Symbol, const SExpr *>> &Out) {
+    if (!Clauses.isList()) {
+      Diags.error(Clauses.Loc, "expected binding list");
+      return false;
+    }
+    for (const SExpr &Pair : Clauses.Elems) {
+      if (!Pair.isList() || Pair.Elems.size() != 2 ||
+          !Pair.Elems[0].isSymbol()) {
+        Diags.error(Pair.Loc, "expected [name expr] binding");
+        return false;
+      }
+      Out.emplace_back(Pair.Elems[0].Sym, &Pair.Elems[1]);
+    }
+    return true;
+  }
+
+  ExprId parseLet(const SExpr &S) {
+    if (S.Elems.size() >= 3 && S.Elems[1].isSymbol())
+      return parseNamedLet(S);
+    if (S.Elems.size() < 3)
+      return errorExpr(S.Loc, "malformed let");
+    std::vector<std::pair<Symbol, const SExpr *>> Pairs;
+    if (!parseBindingPairs(S.Elems[1], Pairs))
+      return addVoid(S.Loc);
+    // Initializers are parsed in the outer scope.
+    std::vector<ExprId> Inits;
+    Inits.reserve(Pairs.size());
+    for (auto &[Name, Init] : Pairs)
+      Inits.push_back(parseExpr(*Init));
+    ScopeGuard Guard(*this);
+    Expr Let;
+    Let.K = ExprKind::Let;
+    Let.Loc = S.Loc;
+    for (size_t I = 0; I < Pairs.size(); ++I) {
+      VarId V = bindVar(Pairs[I].first, S.Elems[1].Elems[I].Loc, false);
+      Let.Bindings.push_back({V, Inits[I]});
+    }
+    Let.Kids.push_back(parseBody(S, 2, S.Loc));
+    return P.addExpr(std::move(Let));
+  }
+
+  /// (let loop ([x e] ...) body) =>
+  /// (letrec ([loop (lambda (x ...) body)]) (loop e ...))
+  ExprId parseNamedLet(const SExpr &S) {
+    if (S.Elems.size() < 4 || !S.Elems[2].isList())
+      return errorExpr(S.Loc, "malformed named let");
+    std::vector<std::pair<Symbol, const SExpr *>> Pairs;
+    if (!parseBindingPairs(S.Elems[2], Pairs))
+      return addVoid(S.Loc);
+    std::vector<ExprId> Inits;
+    for (auto &[Name, Init] : Pairs)
+      Inits.push_back(parseExpr(*Init));
+
+    ScopeGuard Outer(*this);
+    VarId LoopVar = bindVar(S.Elems[1].Sym, S.Elems[1].Loc,
+                            /*Assignable=*/true);
+    // The lambda.
+    ExprId LamId;
+    {
+      ScopeGuard Inner(*this);
+      Expr Lam;
+      Lam.K = ExprKind::Lambda;
+      Lam.Loc = S.Loc;
+      for (auto &[Name, Init] : Pairs) {
+        (void)Init;
+        Lam.Params.push_back(bindVar(Name, S.Loc, false));
+      }
+      Lam.Kids.push_back(parseBody(S, 3, S.Loc));
+      LamId = P.addExpr(std::move(Lam));
+    }
+    // The initial call.
+    Expr Call;
+    Call.K = ExprKind::App;
+    Call.Loc = S.Loc;
+    {
+      Expr Ref;
+      Ref.K = ExprKind::Var;
+      Ref.Loc = S.Loc;
+      Ref.Var = LoopVar;
+      Call.Kids.push_back(P.addExpr(std::move(Ref)));
+    }
+    for (ExprId Init : Inits)
+      Call.Kids.push_back(Init);
+    ExprId CallId = P.addExpr(std::move(Call));
+
+    Expr Rec;
+    Rec.K = ExprKind::Letrec;
+    Rec.Loc = S.Loc;
+    Rec.Bindings.push_back({LoopVar, LamId});
+    Rec.Kids.push_back(CallId);
+    return P.addExpr(std::move(Rec));
+  }
+
+  ExprId parseLetStar(const SExpr &S) {
+    if (S.Elems.size() < 3)
+      return errorExpr(S.Loc, "malformed let*");
+    std::vector<std::pair<Symbol, const SExpr *>> Pairs;
+    if (!parseBindingPairs(S.Elems[1], Pairs))
+      return addVoid(S.Loc);
+    return parseLetStarChain(Pairs, 0, S);
+  }
+
+  ExprId
+  parseLetStarChain(const std::vector<std::pair<Symbol, const SExpr *>> &Pairs,
+                    size_t Index, const SExpr &S) {
+    if (Index == Pairs.size())
+      return parseBody(S, 2, S.Loc);
+    ExprId Init = parseExpr(*Pairs[Index].second);
+    ScopeGuard Guard(*this);
+    Expr Let;
+    Let.K = ExprKind::Let;
+    Let.Loc = S.Loc;
+    VarId V = bindVar(Pairs[Index].first, S.Loc, false);
+    Let.Bindings.push_back({V, Init});
+    Let.Kids.push_back(parseLetStarChain(Pairs, Index + 1, S));
+    return P.addExpr(std::move(Let));
+  }
+
+  ExprId parseLetrec(const SExpr &S) {
+    if (S.Elems.size() < 3)
+      return errorExpr(S.Loc, "malformed letrec");
+    std::vector<std::pair<Symbol, const SExpr *>> Pairs;
+    if (!parseBindingPairs(S.Elems[1], Pairs))
+      return addVoid(S.Loc);
+    ScopeGuard Guard(*this);
+    Expr Rec;
+    Rec.K = ExprKind::Letrec;
+    Rec.Loc = S.Loc;
+    std::vector<VarId> Vars;
+    for (auto &[Name, Init] : Pairs) {
+      (void)Init;
+      Vars.push_back(bindVar(Name, S.Loc, /*Assignable=*/true));
+    }
+    for (size_t I = 0; I < Pairs.size(); ++I)
+      Rec.Bindings.push_back({Vars[I], parseExpr(*Pairs[I].second)});
+    Rec.Kids.push_back(parseBody(S, 2, S.Loc));
+    return P.addExpr(std::move(Rec));
+  }
+
+  ExprId parseSet(const SExpr &S) {
+    if (S.Elems.size() != 3 || !S.Elems[1].isSymbol())
+      return errorExpr(S.Loc, "malformed set!");
+    VarId V = lookupVar(S.Elems[1].Sym);
+    if (V == NoVar)
+      return errorExpr(S.Loc, "set! of unbound variable '" +
+                                  P.Syms.name(S.Elems[1].Sym) + "'");
+    if (!P.var(V).Assignable)
+      return errorExpr(S.Loc, "set! of immutable variable '" +
+                                  P.Syms.name(S.Elems[1].Sym) + "'");
+    Expr E;
+    E.K = ExprKind::Set;
+    E.Loc = S.Loc;
+    E.Var = V;
+    E.Kids.push_back(parseExpr(S.Elems[2]));
+    return P.addExpr(std::move(E));
+  }
+
+  ExprId parseIf(const SExpr &S) {
+    if (S.Elems.size() != 3 && S.Elems.size() != 4)
+      return errorExpr(S.Loc, "malformed if");
+    Expr E;
+    E.K = ExprKind::If;
+    E.Loc = S.Loc;
+    E.Kids.push_back(parseExpr(S.Elems[1]));
+    E.Kids.push_back(parseExpr(S.Elems[2]));
+    E.Kids.push_back(S.Elems.size() == 4 ? parseExpr(S.Elems[3])
+                                         : addVoid(S.Loc));
+    return P.addExpr(std::move(E));
+  }
+
+  ExprId parseCond(const SExpr &S) { return parseCondClauses(S, 1); }
+
+  ExprId parseCondClauses(const SExpr &S, size_t Index) {
+    if (Index >= S.Elems.size())
+      return addVoid(S.Loc);
+    const SExpr &Clause = S.Elems[Index];
+    if (!Clause.isList() || Clause.Elems.empty())
+      return errorExpr(Clause.Loc, "malformed cond clause");
+    bool IsElse = Clause.Elems[0].isSymbol() &&
+                  keywordOf(Clause.Elems[0].Sym) == Keyword::Else;
+    if (IsElse) {
+      if (Index + 1 != S.Elems.size())
+        return errorExpr(Clause.Loc, "else clause must be last");
+      return parseBody(Clause, 1, Clause.Loc);
+    }
+    if (Clause.Elems.size() < 2)
+      return errorExpr(Clause.Loc, "cond clause needs a body");
+    Expr E;
+    E.K = ExprKind::If;
+    E.Loc = Clause.Loc;
+    E.Kids.push_back(parseExpr(Clause.Elems[0]));
+    E.Kids.push_back(parseBody(Clause, 1, Clause.Loc));
+    E.Kids.push_back(parseCondClauses(S, Index + 1));
+    return P.addExpr(std::move(E));
+  }
+
+  ExprId parseAnd(const SExpr &S, size_t Index) {
+    if (Index >= S.Elems.size()) {
+      Expr E;
+      E.K = ExprKind::Bool;
+      E.Loc = S.Loc;
+      E.BoolVal = true;
+      return P.addExpr(std::move(E));
+    }
+    if (Index + 1 == S.Elems.size())
+      return parseExpr(S.Elems[Index]);
+    Expr E;
+    E.K = ExprKind::If;
+    E.Loc = S.Loc;
+    E.Kids.push_back(parseExpr(S.Elems[Index]));
+    E.Kids.push_back(parseAnd(S, Index + 1));
+    Expr F;
+    F.K = ExprKind::Bool;
+    F.Loc = S.Loc;
+    F.BoolVal = false;
+    E.Kids.push_back(P.addExpr(std::move(F)));
+    return P.addExpr(std::move(E));
+  }
+
+  /// (or a b ...) => (let ([t a]) (if t t (or b ...)))
+  ExprId parseOr(const SExpr &S, size_t Index) {
+    if (Index >= S.Elems.size()) {
+      Expr E;
+      E.K = ExprKind::Bool;
+      E.Loc = S.Loc;
+      E.BoolVal = false;
+      return P.addExpr(std::move(E));
+    }
+    if (Index + 1 == S.Elems.size())
+      return parseExpr(S.Elems[Index]);
+    ExprId First = parseExpr(S.Elems[Index]);
+    ScopeGuard Guard(*this);
+    VarId Tmp = bindVar(P.Syms.fresh("or"), S.Loc, false);
+    Expr Test;
+    Test.K = ExprKind::Var;
+    Test.Loc = S.Loc;
+    Test.Var = Tmp;
+    ExprId TestId = P.addExpr(Test);
+    ExprId TestId2 = P.addExpr(Test);
+    Expr If;
+    If.K = ExprKind::If;
+    If.Loc = S.Loc;
+    If.Kids = {TestId, TestId2, parseOr(S, Index + 1)};
+    ExprId IfId = P.addExpr(std::move(If));
+    Expr Let;
+    Let.K = ExprKind::Let;
+    Let.Loc = S.Loc;
+    Let.Bindings.push_back({Tmp, First});
+    Let.Kids.push_back(IfId);
+    return P.addExpr(std::move(Let));
+  }
+
+  ExprId parseWhenUnless(const SExpr &S, bool Negate) {
+    if (S.Elems.size() < 3)
+      return errorExpr(S.Loc, "malformed when/unless");
+    Expr E;
+    E.K = ExprKind::If;
+    E.Loc = S.Loc;
+    ExprId Test = parseExpr(S.Elems[1]);
+    ExprId Body = parseBody(S, 2, S.Loc);
+    ExprId Nothing = addVoid(S.Loc);
+    if (Negate)
+      E.Kids = {Test, Nothing, Body};
+    else
+      E.Kids = {Test, Body, Nothing};
+    return P.addExpr(std::move(E));
+  }
+
+  ExprId parseUnary(const SExpr &S, ExprKind K, const char *Name) {
+    if (S.Elems.size() != 2)
+      return errorExpr(S.Loc, std::string("malformed ") + Name);
+    Expr E;
+    E.K = K;
+    E.Loc = S.Loc;
+    E.Kids.push_back(parseExpr(S.Elems[1]));
+    return P.addExpr(std::move(E));
+  }
+
+  /// Quoted data becomes constructor expressions: symbols become Quote
+  /// nodes, lists become nested cons applications, and self-evaluating
+  /// atoms become their literal forms.
+  ExprId parseQuote(const SExpr &S) {
+    if (S.Elems.size() != 2)
+      return errorExpr(S.Loc, "malformed quote");
+    return quoteDatum(S.Elems[1]);
+  }
+
+  ExprId quoteDatum(const SExpr &Datum) {
+    switch (Datum.K) {
+    case SExpr::Kind::Symbol: {
+      Expr E;
+      E.K = ExprKind::Quote;
+      E.Loc = Datum.Loc;
+      E.Name = Datum.Sym;
+      return P.addExpr(std::move(E));
+    }
+    case SExpr::Kind::List: {
+      if (Datum.Elems.empty()) {
+        Expr E;
+        E.K = ExprKind::Nil;
+        E.Loc = Datum.Loc;
+        return P.addExpr(std::move(E));
+      }
+      // Build (cons head (quote rest)) right to left.
+      Expr Nil;
+      Nil.K = ExprKind::Nil;
+      Nil.Loc = Datum.Loc;
+      ExprId Acc = P.addExpr(std::move(Nil));
+      for (size_t I = Datum.Elems.size(); I-- > 0;) {
+        Expr Cons;
+        Cons.K = ExprKind::PrimApp;
+        Cons.PrimOp = Prim::Cons;
+        Cons.Loc = Datum.Loc;
+        Cons.Kids = {quoteDatum(Datum.Elems[I]), Acc};
+        Acc = P.addExpr(std::move(Cons));
+      }
+      return Acc;
+    }
+    default:
+      return parseExpr(Datum);
+    }
+  }
+
+  //===--------------------------------------------------------------------===
+  // Units (§3.6).
+  //===--------------------------------------------------------------------===
+
+  /// (unit (import w?) (export z) (define ...) ... body...)
+  ExprId parseUnit(const SExpr &S) {
+    ScopeGuard Guard(*this);
+    Expr U;
+    U.K = ExprKind::Unit;
+    U.Loc = S.Loc;
+
+    size_t Index = 1;
+    VarId ImportVar = NoVar;
+    Symbol ExportName = InvalidSymbol;
+    SourceLoc ExportLoc = S.Loc;
+
+    // Import clause.
+    if (Index < S.Elems.size() && S.Elems[Index].isList() &&
+        !S.Elems[Index].Elems.empty() && S.Elems[Index].Elems[0].isSymbol() &&
+        keywordOf(S.Elems[Index].Elems[0].Sym) == Keyword::Import) {
+      const SExpr &Imp = S.Elems[Index];
+      if (Imp.Elems.size() == 2 && Imp.Elems[1].isSymbol()) {
+        ImportVar = bindVar(Imp.Elems[1].Sym, Imp.Loc, /*Assignable=*/true);
+      } else if (Imp.Elems.size() != 1) {
+        return errorExpr(Imp.Loc, "malformed import clause");
+      }
+      ++Index;
+    }
+    if (ImportVar == NoVar)
+      ImportVar = bindVar(P.Syms.fresh("import"), S.Loc, true);
+
+    // Export clause.
+    if (Index < S.Elems.size() && S.Elems[Index].isList() &&
+        !S.Elems[Index].Elems.empty() && S.Elems[Index].Elems[0].isSymbol() &&
+        keywordOf(S.Elems[Index].Elems[0].Sym) == Keyword::Export) {
+      const SExpr &Exp = S.Elems[Index];
+      if (Exp.Elems.size() != 2 || !Exp.Elems[1].isSymbol())
+        return errorExpr(Exp.Loc, "malformed export clause");
+      ExportName = Exp.Elems[1].Sym;
+      ExportLoc = Exp.Loc;
+      ++Index;
+    }
+
+    // Defines: bind all names first (letrec scope).
+    std::vector<const SExpr *> Defines;
+    std::vector<const SExpr *> Bodies;
+    for (; Index < S.Elems.size(); ++Index) {
+      const SExpr &Form = S.Elems[Index];
+      if (isDefineForm(Form))
+        Defines.push_back(&Form);
+      else
+        Bodies.push_back(&Form);
+    }
+    std::vector<VarId> DefVars;
+    for (const SExpr *D : Defines) {
+      Symbol Name = definedName(*D);
+      if (Name == InvalidSymbol)
+        return errorExpr(D->Loc, "malformed define in unit");
+      DefVars.push_back(bindVar(Name, D->Loc, /*Assignable=*/true));
+    }
+    for (size_t I = 0; I < Defines.size(); ++I) {
+      const SExpr &D = *Defines[I];
+      ExprId Init;
+      if (D.Elems[1].isSymbol()) {
+        if (D.Elems.size() != 3)
+          return errorExpr(D.Loc, "define expects one body expression");
+        Init = parseExpr(D.Elems[2]);
+      } else {
+        Init = parseLambdaTail(D.Elems[1], D, 2, D.Loc);
+      }
+      U.Bindings.push_back({DefVars[I], Init});
+    }
+
+    // Export must name the import or a define.
+    VarId ExportVar = NoVar;
+    if (ExportName != InvalidSymbol) {
+      ExportVar = lookupVar(ExportName);
+      if (ExportVar == NoVar)
+        return errorExpr(ExportLoc, "export of unbound unit variable");
+    } else {
+      ExportVar = bindVar(P.Syms.fresh("export"), S.Loc, true);
+    }
+
+    // Body.
+    ExprId Body;
+    if (Bodies.empty()) {
+      Body = addVoid(S.Loc);
+    } else if (Bodies.size() == 1) {
+      Body = parseExpr(*Bodies[0]);
+    } else {
+      Expr Seq;
+      Seq.K = ExprKind::Begin;
+      Seq.Loc = S.Loc;
+      for (const SExpr *B : Bodies)
+        Seq.Kids.push_back(parseExpr(*B));
+      Body = P.addExpr(std::move(Seq));
+    }
+
+    U.Params = {ImportVar, ExportVar};
+    U.Kids.push_back(Body);
+    return P.addExpr(std::move(U));
+  }
+
+  ExprId parseLink(const SExpr &S) {
+    if (S.Elems.size() != 3)
+      return errorExpr(S.Loc, "malformed link");
+    Expr E;
+    E.K = ExprKind::Link;
+    E.Loc = S.Loc;
+    E.Kids = {parseExpr(S.Elems[1]), parseExpr(S.Elems[2])};
+    return P.addExpr(std::move(E));
+  }
+
+  ExprId parseInvoke(const SExpr &S) {
+    if (S.Elems.size() != 3 || !S.Elems[2].isSymbol())
+      return errorExpr(S.Loc, "malformed invoke");
+    VarId V = lookupVar(S.Elems[2].Sym);
+    if (V == NoVar)
+      return errorExpr(S.Loc, "invoke with unbound variable '" +
+                                  P.Syms.name(S.Elems[2].Sym) + "'");
+    if (!P.var(V).Assignable)
+      return errorExpr(S.Loc, "invoke requires an assignable variable");
+    Expr E;
+    E.K = ExprKind::Invoke;
+    E.Loc = S.Loc;
+    E.Var = V;
+    E.Kids.push_back(parseExpr(S.Elems[1]));
+    return P.addExpr(std::move(E));
+  }
+
+  //===--------------------------------------------------------------------===
+  // Classes (§3.7).
+  //===--------------------------------------------------------------------===
+
+  ExprId makeBaseClass(SourceLoc Loc) {
+    Expr E;
+    E.K = ExprKind::Class;
+    E.Loc = Loc;
+    // No super (Kids empty), no instance variables: the root class.
+    return P.addExpr(std::move(E));
+  }
+
+  /// (class N (z1 ... zk) [zk+1 V] ...)
+  ExprId parseClass(const SExpr &S) {
+    if (S.Elems.size() < 3 || !S.Elems[2].isList())
+      return errorExpr(S.Loc, "malformed class");
+    ExprId Super = parseExpr(S.Elems[1]);
+    ScopeGuard Guard(*this);
+    Expr C;
+    C.K = ExprKind::Class;
+    C.Loc = S.Loc;
+    C.Kids.push_back(Super);
+    // Inherited instance variables.
+    for (const SExpr &Z : S.Elems[2].Elems) {
+      if (!Z.isSymbol())
+        return errorExpr(Z.Loc, "instance variable must be an identifier");
+      C.Params.push_back(bindVar(Z.Sym, Z.Loc, /*Assignable=*/true));
+    }
+    // New instance variables: bind all names first, then initializers
+    // (all instance variables are in scope in every initializer, fig 3.7).
+    std::vector<VarId> NewVars;
+    for (size_t I = 3; I < S.Elems.size(); ++I) {
+      const SExpr &Pair = S.Elems[I];
+      if (!Pair.isList() || Pair.Elems.size() != 2 ||
+          !Pair.Elems[0].isSymbol())
+        return errorExpr(Pair.Loc, "expected [ivar init] clause");
+      NewVars.push_back(
+          bindVar(Pair.Elems[0].Sym, Pair.Elems[0].Loc, /*Assignable=*/true));
+    }
+    for (size_t I = 3; I < S.Elems.size(); ++I) {
+      const SExpr &Pair = S.Elems[I];
+      C.Bindings.push_back({NewVars[I - 3], parseExpr(Pair.Elems[1])});
+    }
+    return P.addExpr(std::move(C));
+  }
+
+  /// (: e T) — a type assertion (App. D.5.1). T is the kind-level
+  /// fragment of the type language: a kind name or (union T ...).
+  ExprId parseTypeAssert(const SExpr &S) {
+    if (S.Elems.size() != 3)
+      return errorExpr(S.Loc, "malformed type assertion (: e T)");
+    KindMask Mask = 0;
+    if (!parseTypeSyntax(S.Elems[2], Mask))
+      return errorExpr(S.Elems[2].Loc, "unknown type in assertion");
+    Expr E;
+    E.K = ExprKind::TypeAssert;
+    E.Loc = S.Loc;
+    E.Mask = Mask;
+    E.Kids.push_back(parseExpr(S.Elems[1]));
+    return P.addExpr(std::move(E));
+  }
+
+  bool parseTypeSyntax(const SExpr &T, KindMask &Mask) {
+    if (T.isSymbol()) {
+      const std::string &Name = P.Syms.name(T.Sym);
+      if (Name == "num")
+        Mask |= kindBit(ConstKind::Num);
+      else if (Name == "str")
+        Mask |= kindBit(ConstKind::Str);
+      else if (Name == "sym")
+        Mask |= kindBit(ConstKind::Sym);
+      else if (Name == "char")
+        Mask |= kindBit(ConstKind::Char);
+      else if (Name == "bool")
+        Mask |= kindBit(ConstKind::True) | kindBit(ConstKind::False);
+      else if (Name == "nil")
+        Mask |= kindBit(ConstKind::Nil);
+      else if (Name == "void")
+        Mask |= kindBit(ConstKind::Void);
+      else if (Name == "eof")
+        Mask |= kindBit(ConstKind::Eof);
+      else if (Name == "pair")
+        Mask |= kindBit(ConstKind::Pair);
+      else if (Name == "box")
+        Mask |= kindBit(ConstKind::BoxTag);
+      else if (Name == "vec")
+        Mask |= kindBit(ConstKind::VecTag);
+      else if (Name == "fn")
+        Mask |= kindBit(ConstKind::FnTag) | kindBit(ConstKind::ContTag);
+      else if (Name == "unit")
+        Mask |= kindBit(ConstKind::UnitTag);
+      else if (Name == "class")
+        Mask |= kindBit(ConstKind::ClassTag);
+      else if (Name == "obj")
+        Mask |= kindBit(ConstKind::ObjTag);
+      else if (Name == "struct")
+        Mask |= kindBit(ConstKind::StructTag);
+      else if (Name == "any")
+        Mask |= ValidKindMask;
+      else
+        return false;
+      return true;
+    }
+    if (T.isList() && !T.Elems.empty() && T.Elems[0].isSymbol() &&
+        P.Syms.name(T.Elems[0].Sym) == "union") {
+      for (size_t I = 1; I < T.Elems.size(); ++I)
+        if (!parseTypeSyntax(T.Elems[I], Mask))
+          return false;
+      return true;
+    }
+    return false;
+  }
+
+  ExprId parseIvarRef(const SExpr &S) {
+    if (S.Elems.size() != 3 || !S.Elems[2].isSymbol())
+      return errorExpr(S.Loc, "malformed ivar");
+    Expr E;
+    E.K = ExprKind::IvarRef;
+    E.Loc = S.Loc;
+    E.Name = S.Elems[2].Sym;
+    E.Kids.push_back(parseExpr(S.Elems[1]));
+    return P.addExpr(std::move(E));
+  }
+
+  ExprId parseIvarSet(const SExpr &S) {
+    if (S.Elems.size() != 4 || !S.Elems[2].isSymbol())
+      return errorExpr(S.Loc, "malformed set-ivar!");
+    Expr E;
+    E.K = ExprKind::IvarSet;
+    E.Loc = S.Loc;
+    E.Name = S.Elems[2].Sym;
+    E.Kids = {parseExpr(S.Elems[1]), parseExpr(S.Elems[3])};
+    return P.addExpr(std::move(E));
+  }
+
+  Program &P;
+  DiagnosticEngine &Diags;
+  std::unordered_map<Symbol, Keyword> Keywords;
+  std::unordered_map<Symbol, VarId> Globals;
+  std::unordered_map<Symbol, StructOpInfo> StructOps;
+  std::vector<Scope> Scopes;
+  uint32_t CurrentComponent = 0;
+};
+
+} // namespace
+
+bool spidey::parseProgram(Program &P, DiagnosticEngine &Diags,
+                          const std::vector<SourceFile> &Files) {
+  assert(P.Components.empty() && "program must be empty");
+  return ParserImpl(P, Diags).run(Files);
+}
+
+bool spidey::parseSource(Program &P, DiagnosticEngine &Diags,
+                         std::string_view Source, std::string Name) {
+  std::vector<SourceFile> Files;
+  Files.push_back({std::move(Name), std::string(Source)});
+  return parseProgram(P, Diags, Files);
+}

@@ -1,0 +1,42 @@
+//===-- lang/parser.h - Surface syntax to AST ------------------*- C++ -*-===//
+///
+/// \file
+/// Parses the Scheme-subset surface syntax into the AST of ast.h. Handles
+/// binder resolution (lexical scopes over a program-wide top-level letrec
+/// scope, cf. §3.4), the sugar forms (cond, and/or, when/unless, let*,
+/// named let, define-with-header, quoted data), and eta-expansion of
+/// primitives referenced in non-application position.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIDEY_LANG_PARSER_H
+#define SPIDEY_LANG_PARSER_H
+
+#include "lang/ast.h"
+#include "support/diagnostic.h"
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace spidey {
+
+/// A named source file to parse as one program component.
+struct SourceFile {
+  std::string Name;
+  std::string Text;
+};
+
+/// Parses \p Files into \p P (which must be empty). Returns false and
+/// reports to \p Diags on any syntax or scoping error.
+bool parseProgram(Program &P, DiagnosticEngine &Diags,
+                  const std::vector<SourceFile> &Files);
+
+/// Convenience wrapper for single-file programs.
+bool parseSource(Program &P, DiagnosticEngine &Diags, std::string_view Source,
+                 std::string Name = "main.ss");
+
+} // namespace spidey
+
+#endif // SPIDEY_LANG_PARSER_H

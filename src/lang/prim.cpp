@@ -1,0 +1,142 @@
+//===-- lang/prim.cpp -----------------------------------------*- C++ -*-===//
+
+#include "lang/prim.h"
+
+#include <cassert>
+#include <string>
+#include <unordered_map>
+
+using namespace spidey;
+
+namespace {
+
+constexpr KindMask Any = AnyKindMask;
+constexpr KindMask NumM = kindBit(ConstKind::Num);
+constexpr KindMask StrM = kindBit(ConstKind::Str);
+constexpr KindMask CharM = kindBit(ConstKind::Char);
+constexpr KindMask SymM = kindBit(ConstKind::Sym);
+constexpr KindMask PairM = kindBit(ConstKind::Pair);
+constexpr KindMask BoxM = kindBit(ConstKind::BoxTag);
+constexpr KindMask VecM = kindBit(ConstKind::VecTag);
+constexpr KindMask BoolM = kindBit(ConstKind::True) | kindBit(ConstKind::False);
+constexpr KindMask NilM = kindBit(ConstKind::Nil);
+constexpr KindMask VoidM = kindBit(ConstKind::Void);
+constexpr KindMask EofM = kindBit(ConstKind::Eof);
+
+/// The primitive table, indexed by Prim. Order must match the enum.
+const PrimSpec Specs[] = {
+    // Pairs.
+    {"cons", 2, 2, {Any}, 1, PairM, PrimShape::ConsShape},
+    {"car", 1, 1, {PairM}, 1, NoKindMask, PrimShape::CarShape},
+    {"cdr", 1, 1, {PairM}, 1, NoKindMask, PrimShape::CdrShape},
+    {"pair?", 1, 1, {Any}, 1, BoolM, PrimShape::Generic},
+    {"null?", 1, 1, {Any}, 1, BoolM, PrimShape::Generic},
+    {"list", 0, -1, {Any}, 1, NilM | PairM, PrimShape::ListShape},
+    // Boxes.
+    {"box", 1, 1, {Any}, 1, BoxM, PrimShape::BoxShape},
+    {"unbox", 1, 1, {BoxM}, 1, NoKindMask, PrimShape::UnboxShape},
+    {"set-box!", 2, 2, {BoxM, Any}, 2, NoKindMask, PrimShape::SetBoxShape},
+    {"box?", 1, 1, {Any}, 1, BoolM, PrimShape::Generic},
+    // Vectors.
+    {"make-vector", 1, 2, {NumM, Any}, 2, VecM, PrimShape::VectorShape},
+    {"vector", 0, -1, {Any}, 1, VecM, PrimShape::VectorShape},
+    {"vector-ref", 2, 2, {VecM, NumM}, 2, NoKindMask, PrimShape::VecRefShape},
+    {"vector-set!", 3, 3, {VecM, NumM, Any}, 3, VoidM,
+     PrimShape::VecSetShape},
+    {"vector-length", 1, 1, {VecM}, 1, NumM, PrimShape::Generic},
+    {"vector?", 1, 1, {Any}, 1, BoolM, PrimShape::Generic},
+    // Arithmetic.
+    {"+", 1, -1, {NumM}, 1, NumM, PrimShape::Generic},
+    {"-", 1, -1, {NumM}, 1, NumM, PrimShape::Generic},
+    {"*", 1, -1, {NumM}, 1, NumM, PrimShape::Generic},
+    {"/", 2, -1, {NumM}, 1, NumM, PrimShape::Generic},
+    {"quotient", 2, 2, {NumM}, 1, NumM, PrimShape::Generic},
+    {"remainder", 2, 2, {NumM}, 1, NumM, PrimShape::Generic},
+    {"modulo", 2, 2, {NumM}, 1, NumM, PrimShape::Generic},
+    {"min", 1, -1, {NumM}, 1, NumM, PrimShape::Generic},
+    {"max", 1, -1, {NumM}, 1, NumM, PrimShape::Generic},
+    {"abs", 1, 1, {NumM}, 1, NumM, PrimShape::Generic},
+    {"floor", 1, 1, {NumM}, 1, NumM, PrimShape::Generic},
+    {"add1", 1, 1, {NumM}, 1, NumM, PrimShape::Generic},
+    {"sub1", 1, 1, {NumM}, 1, NumM, PrimShape::Generic},
+    {"zero?", 1, 1, {NumM}, 1, BoolM, PrimShape::Generic},
+    {"<", 2, -1, {NumM}, 1, BoolM, PrimShape::Generic},
+    {">", 2, -1, {NumM}, 1, BoolM, PrimShape::Generic},
+    {"<=", 2, -1, {NumM}, 1, BoolM, PrimShape::Generic},
+    {">=", 2, -1, {NumM}, 1, BoolM, PrimShape::Generic},
+    {"=", 2, -1, {NumM}, 1, BoolM, PrimShape::Generic},
+    {"number?", 1, 1, {Any}, 1, BoolM, PrimShape::Generic},
+    {"bitwise-and", 2, -1, {NumM}, 1, NumM, PrimShape::Generic},
+    {"bitwise-ior", 2, -1, {NumM}, 1, NumM, PrimShape::Generic},
+    {"bitwise-xor", 2, -1, {NumM}, 1, NumM, PrimShape::Generic},
+    {"arithmetic-shift", 2, 2, {NumM}, 1, NumM, PrimShape::Generic},
+    {"random", 1, 1, {NumM}, 1, NumM, PrimShape::Generic},
+    // General predicates and equality.
+    {"not", 1, 1, {Any}, 1, BoolM, PrimShape::Generic},
+    {"boolean?", 1, 1, {Any}, 1, BoolM, PrimShape::Generic},
+    {"symbol?", 1, 1, {Any}, 1, BoolM, PrimShape::Generic},
+    {"string?", 1, 1, {Any}, 1, BoolM, PrimShape::Generic},
+    {"char?", 1, 1, {Any}, 1, BoolM, PrimShape::Generic},
+    {"procedure?", 1, 1, {Any}, 1, BoolM, PrimShape::Generic},
+    {"eof-object?", 1, 1, {Any}, 1, BoolM, PrimShape::Generic},
+    {"eq?", 2, 2, {Any}, 1, BoolM, PrimShape::Generic},
+    {"equal?", 2, 2, {Any}, 1, BoolM, PrimShape::Generic},
+    // Strings and characters.
+    {"string-length", 1, 1, {StrM}, 1, NumM, PrimShape::Generic},
+    {"string-append", 0, -1, {StrM}, 1, StrM, PrimShape::Generic},
+    {"substring", 3, 3, {StrM, NumM, NumM}, 3, StrM, PrimShape::Generic},
+    {"string-ref", 2, 2, {StrM, NumM}, 2, CharM, PrimShape::Generic},
+    {"string=?", 2, 2, {StrM, StrM}, 2, BoolM, PrimShape::Generic},
+    {"number->string", 1, 1, {NumM}, 1, StrM, PrimShape::Generic},
+    {"string->number", 1, 1, {StrM}, 1, NumM | kindBit(ConstKind::False),
+     PrimShape::Generic},
+    {"symbol->string", 1, 1, {SymM}, 1, StrM, PrimShape::Generic},
+    {"string->symbol", 1, 1, {StrM}, 1, SymM, PrimShape::Generic},
+    {"char->integer", 1, 1, {CharM}, 1, NumM, PrimShape::Generic},
+    {"integer->char", 1, 1, {NumM}, 1, CharM, PrimShape::Generic},
+    // Simulated I/O.
+    {"display", 1, 1, {Any}, 1, VoidM, PrimShape::Generic},
+    {"newline", 0, 0, {Any}, 1, VoidM, PrimShape::Generic},
+    {"read-line", 0, 0, {Any}, 1, StrM | EofM, PrimShape::Generic},
+    {"read-char", 0, 0, {Any}, 1, CharM | EofM, PrimShape::Generic},
+    {"peek-char", 0, 0, {Any}, 1, CharM | EofM, PrimShape::Generic},
+    // Errors.
+    {"error", 1, -1, {Any}, 1, NoKindMask, PrimShape::BottomShape},
+};
+
+static_assert(sizeof(Specs) / sizeof(Specs[0]) ==
+                  static_cast<size_t>(Prim::NumPrims),
+              "primitive table out of sync with Prim enum");
+
+} // namespace
+
+const PrimSpec &spidey::primSpec(Prim P) {
+  assert(P < Prim::NumPrims && "invalid primitive");
+  return Specs[static_cast<size_t>(P)];
+}
+
+KindMask spidey::primArgMask(Prim P, unsigned Index) {
+  const PrimSpec &S = primSpec(P);
+  assert(S.NumArgMasks >= 1);
+  unsigned I = Index < S.NumArgMasks ? Index : S.NumArgMasks - 1;
+  return S.ArgMasks[I];
+}
+
+bool spidey::primIsChecked(Prim P) {
+  const PrimSpec &S = primSpec(P);
+  for (unsigned I = 0; I < S.NumArgMasks; ++I)
+    if (S.ArgMasks[I] != AnyKindMask)
+      return true;
+  return false;
+}
+
+Prim spidey::lookupPrim(std::string_view Name) {
+  static const std::unordered_map<std::string, Prim> Table = [] {
+    std::unordered_map<std::string, Prim> M;
+    for (unsigned I = 0; I < numPrims(); ++I)
+      M.emplace(Specs[I].Name, static_cast<Prim>(I));
+    return M;
+  }();
+  auto It = Table.find(std::string(Name));
+  return It == Table.end() ? Prim::NumPrims : It->second;
+}

@@ -1,0 +1,156 @@
+//===-- lang/prim.h - Primitive operations ---------------------*- C++ -*-===//
+///
+/// \file
+/// The table of primitive operations (App. E.5 "Checking Scheme
+/// Primitives"). Each primitive carries:
+///   - arity bounds,
+///   - per-argument domain masks (which abstract constants are acceptable;
+///     the basis for MrSpidey's check sites, §4.3),
+///   - a result mask (basic constants the result may contain), and
+///   - an analysis "shape" for the primitives whose behavior needs
+///     selectors (pairs §3.2, boxes §3.5, vectors by analogy with boxes).
+///
+/// The parser eta-expands primitives used in non-application position, so
+/// PrimApp nodes are always fully applied.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIDEY_LANG_PRIM_H
+#define SPIDEY_LANG_PRIM_H
+
+#include "constraints/const_kind.h"
+
+#include <cstdint>
+#include <string_view>
+
+namespace spidey {
+
+enum class Prim : uint16_t {
+  // Pairs (§3.2).
+  Cons,
+  Car,
+  Cdr,
+  IsPair,
+  IsNull,
+  ListOf,
+  // Boxes (§3.5).
+  BoxNew,
+  Unbox,
+  SetBox,
+  IsBox,
+  // Vectors (mutable arrays; analyzed like boxes with vec+/vec-).
+  MakeVector,
+  VectorLit,
+  VectorRef,
+  VectorSet,
+  VectorLength,
+  IsVector,
+  // Arithmetic.
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Quotient,
+  Remainder,
+  Modulo,
+  Min,
+  Max,
+  Abs,
+  Floor,
+  Add1,
+  Sub1,
+  IsZero,
+  Lt,
+  Gt,
+  Le,
+  Ge,
+  NumEq,
+  IsNumber,
+  BitAnd,
+  BitOr,
+  BitXor,
+  ArithShift,
+  Random,
+  // General predicates and equality.
+  Not,
+  IsBoolean,
+  IsSymbol,
+  IsString,
+  IsChar,
+  IsProcedure,
+  IsEof,
+  Eq,
+  Equal,
+  // Strings and characters.
+  StringLength,
+  StringAppend,
+  Substring,
+  StringRef,
+  StringEqual,
+  NumberToString,
+  StringToNumber,
+  SymbolToString,
+  StringToSymbol,
+  CharToInteger,
+  IntegerToChar,
+  // Simulated I/O.
+  Display,
+  Newline,
+  ReadLine,
+  ReadChar,
+  PeekChar,
+  // Errors.
+  ErrorPrim,
+
+  NumPrims
+};
+
+/// How the analysis derives constraints for a primitive application.
+enum class PrimShape : uint8_t {
+  Generic,      ///< args checked against masks; result from ResultMask
+  ConsShape,    ///< pair tag + car/cdr lower bounds (fig. 3.2)
+  CarShape,     ///< car(arg) <= result
+  CdrShape,     ///< cdr(arg) <= result
+  BoxShape,     ///< split-box construction (fig. 3.5)
+  UnboxShape,   ///< box+(arg) <= result
+  SetBoxShape,  ///< val <= box-(arg); result = val
+  VectorShape,  ///< vec tag + split element var (make-vector / vector)
+  VecRefShape,  ///< vec+(arg0) <= result
+  VecSetShape,  ///< val <= vec-(arg0); result = void
+  ListShape,    ///< builds a proper list: recursive pairs
+  BottomShape,  ///< never returns (error)
+};
+
+/// Static description of one primitive.
+struct PrimSpec {
+  const char *Name;
+  int8_t MinArgs;
+  int8_t MaxArgs; ///< -1 for variadic
+  /// Acceptance mask per argument position; positions beyond the last
+  /// entry (and all positions of variadic primitives beyond MinArgs)
+  /// reuse the last mask.
+  KindMask ArgMasks[3];
+  uint8_t NumArgMasks;
+  KindMask ResultMask;
+  PrimShape Shape;
+};
+
+/// Returns the spec for \p P.
+const PrimSpec &primSpec(Prim P);
+
+/// The acceptance mask for argument \p Index of \p P.
+KindMask primArgMask(Prim P, unsigned Index);
+
+/// True if this primitive has a run-time check (some argument's domain is
+/// restricted), i.e. it is a "possible check" site in MrSpidey's summary.
+bool primIsChecked(Prim P);
+
+/// Name lookup; returns Prim::NumPrims if \p Name is not a primitive.
+Prim lookupPrim(std::string_view Name);
+
+/// The number of defined primitives.
+constexpr unsigned numPrims() { return static_cast<unsigned>(Prim::NumPrims); }
+
+} // namespace spidey
+
+#endif // SPIDEY_LANG_PRIM_H

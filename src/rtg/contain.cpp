@@ -1,0 +1,163 @@
+//===-- rtg/contain.cpp ---------------------------------------*- C++ -*-===//
+
+#include "rtg/contain.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace spidey;
+
+Lang Lang::ofNT(const Grammar &G, NT X) {
+  Lang L;
+  for (const Prod &P : G.prods(X))
+    L.Forms.push_back({&G, P});
+  return L;
+}
+
+Lang Lang::ofForm(const Grammar &G, Prod P) {
+  Lang L;
+  L.Forms.push_back({&G, P});
+  return L;
+}
+
+namespace {
+
+/// Canonical encoding of a form set, for memoization.
+using Key = std::vector<uint64_t>;
+
+uint64_t formKey(const Lang::Form &F) {
+  uint64_t GBits = reinterpret_cast<uintptr_t>(F.G) & 0xffff;
+  if (F.P.K == Prod::Kind::Term)
+    return (uint64_t(1) << 63) | (GBits << 40) | F.P.TermVar;
+  return (GBits << 40) | (uint64_t(F.P.S) << 34) | F.P.Target.key();
+}
+
+Key keyOf(const Lang &L) {
+  Key K;
+  K.reserve(L.Forms.size());
+  for (const Lang::Form &F : L.Forms)
+    K.push_back(formKey(F));
+  std::sort(K.begin(), K.end());
+  K.erase(std::unique(K.begin(), K.end()), K.end());
+  return K;
+}
+
+/// The terminal variables directly accepted by \p L.
+std::set<SetVar> termsOf(const Lang &L) {
+  std::set<SetVar> T;
+  for (const Lang::Form &F : L.Forms)
+    if (F.P.K == Prod::Kind::Term)
+      T.insert(F.P.TermVar);
+  return T;
+}
+
+/// The selectors on which \p L can step.
+std::set<Selector> selsOf(const Lang &L) {
+  std::set<Selector> S;
+  for (const Lang::Form &F : L.Forms)
+    if (F.P.K == Prod::Kind::Sel)
+      S.insert(F.P.S);
+  return S;
+}
+
+/// Steps \p L on selector \p S: the union of the target non-terminals'
+/// productions.
+Lang stepLang(const Lang &L, Selector S) {
+  Lang Next;
+  std::set<uint64_t> Seen;
+  for (const Lang::Form &F : L.Forms) {
+    if (F.P.K != Prod::Kind::Sel || F.P.S != S)
+      continue;
+    for (const Prod &P : F.G->prods(F.P.Target)) {
+      Lang::Form NF{F.G, P};
+      if (Seen.insert(formKey(NF)).second)
+        Next.Forms.push_back(NF);
+    }
+  }
+  return Next;
+}
+
+bool containedRec(const Lang &A, const Lang &B,
+                  std::set<std::pair<Key, Key>> &Visited) {
+  auto State = std::make_pair(keyOf(A), keyOf(B));
+  if (!Visited.insert(State).second)
+    return true; // coinductive: revisit means no new counterexamples
+  for (SetVar V : termsOf(A)) {
+    std::set<SetVar> BT = termsOf(B);
+    if (!BT.count(V))
+      return false;
+  }
+  for (Selector S : selsOf(A))
+    if (!containedRec(stepLang(A, S), stepLang(B, S), Visited))
+      return false;
+  return true;
+}
+
+} // namespace
+
+bool spidey::langContained(const Lang &A, const Lang &B) {
+  std::set<std::pair<Key, Key>> Visited;
+  return containedRec(A, B, Visited);
+}
+
+namespace {
+
+struct ProductChecker {
+  const std::vector<std::pair<Lang, Lang>> &Rhs;
+  const Lang &B1;
+  std::set<std::pair<Key, std::vector<Key>>> Visited;
+  std::map<std::vector<int>, bool> SecondMemo;
+
+  /// B1 ⊆ ⋃_{i∈T} Bi, memoized by T.
+  bool checkSecond(const std::vector<int> &T) {
+    auto It = SecondMemo.find(T);
+    if (It != SecondMemo.end())
+      return It->second;
+    Lang Union;
+    for (int I : T)
+      Union.append(Rhs[I].second);
+    bool R = langContained(B1, Union);
+    SecondMemo.emplace(T, R);
+    return R;
+  }
+
+  bool run(const Lang &A1, std::vector<Lang> As) {
+    std::vector<Key> AKeys;
+    for (const Lang &A : As)
+      AKeys.push_back(keyOf(A));
+    auto State = std::make_pair(keyOf(A1), AKeys);
+    if (!Visited.insert(State).second)
+      return true;
+    // Word endings of the first coordinate.
+    for (SetVar V : termsOf(A1)) {
+      std::vector<int> T;
+      for (size_t I = 0; I < As.size(); ++I)
+        if (termsOf(As[I]).count(V))
+          T.push_back(static_cast<int>(I));
+      if (!checkSecond(T))
+        return false;
+    }
+    for (Selector S : selsOf(A1)) {
+      std::vector<Lang> NextAs;
+      NextAs.reserve(As.size());
+      for (const Lang &A : As)
+        NextAs.push_back(stepLang(A, S));
+      if (!run(stepLang(A1, S), std::move(NextAs)))
+        return false;
+    }
+    return true;
+  }
+};
+
+} // namespace
+
+bool spidey::productContained(const Lang &A1, const Lang &B1,
+                              const std::vector<std::pair<Lang, Lang>> &Rhs) {
+  ProductChecker PC{Rhs, B1, {}, {}};
+  std::vector<Lang> As;
+  As.reserve(Rhs.size());
+  for (const auto &[A, B] : Rhs)
+    As.push_back(A);
+  return PC.run(A1, std::move(As));
+}

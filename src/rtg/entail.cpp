@@ -1,0 +1,203 @@
+//===-- rtg/entail.cpp ----------------------------------------*- C++ -*-===//
+
+#include "rtg/entail.h"
+
+#include "rtg/contain.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace spidey;
+
+namespace {
+
+/// A candidate pair (lower-side NT, upper-side NT) from G2.
+struct Pair {
+  NT L, U;
+  friend bool operator<(const Pair &A, const Pair &B) {
+    return std::make_pair(A.L.key(), A.U.key()) <
+           std::make_pair(B.L.key(), B.U.key());
+  }
+  friend bool operator==(const Pair &A, const Pair &B) {
+    return A.L == B.L && A.U == B.U;
+  }
+};
+
+using PairSet = std::vector<Pair>; // sorted, unique
+
+PairSet canonical(PairSet P) {
+  std::sort(P.begin(), P.end());
+  P.erase(std::unique(P.begin(), P.end()), P.end());
+  return P;
+}
+
+/// The state of one R[αL, βU, C, D] query (C is global and omitted).
+struct RKey {
+  uint64_t LKey, UKey;
+  PairSet D;
+  friend bool operator<(const RKey &A, const RKey &B) {
+    if (A.LKey != B.LKey)
+      return A.LKey < B.LKey;
+    if (A.UKey != B.UKey)
+      return A.UKey < B.UKey;
+    return A.D < B.D;
+  }
+};
+
+class Entailer {
+public:
+  Entailer(const Grammar &G1, const Grammar &G2, EntailOptions Opts)
+      : G1(G1), G2(G2), Sels(G1.context().Selectors), Opts(Opts) {
+    for (SetVar V : G2.rootVars())
+      C.push_back({NT{V, false}, NT{V, true}});
+    C = canonical(std::move(C));
+  }
+
+  Decision run() {
+    // Condition 2: constant constraints of G1 must be covered by G2's.
+    for (const auto &[Const, Var] : G1.rootConsts()) {
+      Lang Rhs;
+      for (const auto &[C2, V2] : G2.rootConsts())
+        if (C2 == Const)
+          Rhs.append(Lang::ofNT(G2, NT{V2, true}));
+      if (!langContained(Lang::ofNT(G1, NT{Var, true}), Rhs))
+        return Decision::No;
+    }
+    // Condition 1: the coinductive relation holds for every root pair,
+    // computed as a greatest fixed point: retry while new falsities are
+    // discovered (cycle hypotheses may have been too optimistic).
+    for (;;) {
+      FalsifiedGrew = false;
+      bool AllHold = true;
+      for (SetVar V : G1.rootVars()) {
+        std::set<RKey> InProgress;
+        if (!rel(NT{V, false}, NT{V, true}, {}, InProgress)) {
+          AllHold = false;
+          if (!FalsifiedGrew)
+            return Decision::No;
+          break;
+        }
+        if (Exhausted)
+          return Decision::Unknown;
+      }
+      if (Exhausted)
+        return Decision::Unknown;
+      if (AllHold && !FalsifiedGrew)
+        return Decision::Yes;
+      if (AllHold)
+        continue; // re-verify with the enlarged false set
+    }
+  }
+
+private:
+  /// R[αL, βU, C, D]: true unless falsified.
+  bool rel(NT AL, NT BU, PairSet D, std::set<RKey> &InProgress) {
+    D = canonical(std::move(D));
+    RKey Key{AL.key(), BU.key(), D};
+    if (False.count(Key))
+      return false;
+    if (InProgress.count(Key))
+      return true; // coinductive hypothesis
+    if (++Nodes > Opts.NodeBudget) {
+      Exhausted = true;
+      return true;
+    }
+    InProgress.insert(Key);
+    bool Result = compute(AL, BU, D, InProgress);
+    InProgress.erase(Key);
+    if (!Result) {
+      False.insert(Key);
+      FalsifiedGrew = true;
+    }
+    return Result;
+  }
+
+  bool compute(NT AL, NT BU, const PairSet &D, std::set<RKey> &InProgress) {
+    // C ∪ D as languages for case 1.
+    std::vector<std::pair<Lang, Lang>> Candidates;
+    auto AddPairs = [&](const PairSet &Ps) {
+      for (const Pair &P : Ps)
+        Candidates.emplace_back(Lang::ofNT(G2, P.L), Lang::ofNT(G2, P.U));
+    };
+    AddPairs(C);
+    AddPairs(D);
+
+    for (const Prod &X : G1.prods(AL)) {
+      for (const Prod &Y : G1.prods(BU)) {
+        // Case 1: product containment in the candidate union.
+        if (productContained(Lang::ofForm(G1, X), Lang::ofForm(G1, Y),
+                             Candidates))
+          continue;
+        // Cases 2/3: peel a shared selector.
+        if (X.K == Prod::Kind::Sel && Y.K == Prod::Kind::Sel && X.S == Y.S) {
+          Selector S = X.S;
+          PairSet DPrime;
+          auto Extend = [&](const PairSet &Ps) {
+            for (const Pair &P : Ps) {
+              for (const Prod &PL : G2.prods(P.L)) {
+                if (PL.K != Prod::Kind::Sel || PL.S != S)
+                  continue;
+                for (const Prod &PU : G2.prods(P.U)) {
+                  if (PU.K != Prod::Kind::Sel || PU.S != S)
+                    continue;
+                  if (Sels.isMonotone(S))
+                    DPrime.push_back({PL.Target, PU.Target});
+                  else
+                    DPrime.push_back({PU.Target, PL.Target});
+                }
+              }
+            }
+          };
+          Extend(C);
+          Extend(D);
+          bool Sub;
+          if (Sels.isMonotone(S)) {
+            // [s(κ1) ≤ s(κ2)] needs [κ1 ≤ κ2].
+            Sub = rel(X.Target, Y.Target, std::move(DPrime), InProgress);
+          } else {
+            // [s(κ1) ≤ s(κ2)] needs [κ2 ≤ κ1]: sides swap.
+            Sub = rel(Y.Target, X.Target, std::move(DPrime), InProgress);
+          }
+          if (Sub)
+            continue;
+        }
+        return false;
+      }
+    }
+    return true;
+  }
+
+  const Grammar &G1, &G2;
+  const SelectorTable &Sels;
+  EntailOptions Opts;
+  PairSet C;
+  std::set<RKey> False;
+  uint64_t Nodes = 0;
+  bool Exhausted = false;
+  bool FalsifiedGrew = false;
+};
+
+} // namespace
+
+Decision spidey::entails(const ConstraintSystem &S2,
+                         const ConstraintSystem &S1,
+                         const std::vector<SetVar> &E, EntailOptions Opts) {
+  Grammar G1(S1, E), G2(S2, E);
+  return Entailer(G1, G2, Opts).run();
+}
+
+Decision spidey::observablyEquivalent(const ConstraintSystem &S1,
+                                      const ConstraintSystem &S2,
+                                      const std::vector<SetVar> &E,
+                                      EntailOptions Opts) {
+  Decision A = entails(S2, S1, E, Opts);
+  if (A == Decision::No)
+    return Decision::No;
+  Decision B = entails(S1, S2, E, Opts);
+  if (B == Decision::No)
+    return Decision::No;
+  if (A == Decision::Unknown || B == Decision::Unknown)
+    return Decision::Unknown;
+  return Decision::Yes;
+}

@@ -1,0 +1,46 @@
+//===-- rtg/entail.h - Deciding restricted entailment ----------*- C++ -*-===//
+///
+/// \file
+/// The entailment algorithm of §6.3.4 (fig. 6.3): decides the restricted
+/// entailment S2 ⊢E S1 (every solution of S2 restricted to E is a solution
+/// of S1), and, by running it in both directions, the observable
+/// equivalence S1 ≅E S2 (§6.2, Theorem 6.3.6).
+///
+/// Both systems must be over the same ConstraintContext and closed under
+/// Θ. The algorithm is complete but takes exponential time (the problem is
+/// PSPACE-hard, §6.3.4); a node budget guards against blow-ups, reporting
+/// Unknown when exhausted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIDEY_RTG_ENTAIL_H
+#define SPIDEY_RTG_ENTAIL_H
+
+#include "rtg/grammar.h"
+
+#include <vector>
+
+namespace spidey {
+
+enum class Decision : uint8_t { Yes, No, Unknown };
+
+struct EntailOptions {
+  /// Maximum number of relation nodes explored before giving up.
+  uint64_t NodeBudget = 2'000'000;
+};
+
+/// Decides whether S2 entails S1 with respect to E, i.e. whether
+/// Ψ(Θ(S2))|E ⊇ Π(Θ(S1))|E (Definition 6.2.5 via Lemma 6.3.5). Both
+/// systems must be closed under Θ.
+Decision entails(const ConstraintSystem &S2, const ConstraintSystem &S1,
+                 const std::vector<SetVar> &E, EntailOptions Opts = {});
+
+/// Decides S1 ≅E S2 by two-way entailment.
+Decision observablyEquivalent(const ConstraintSystem &S1,
+                              const ConstraintSystem &S2,
+                              const std::vector<SetVar> &E,
+                              EntailOptions Opts = {});
+
+} // namespace spidey
+
+#endif // SPIDEY_RTG_ENTAIL_H

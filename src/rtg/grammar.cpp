@@ -1,0 +1,135 @@
+//===-- rtg/grammar.cpp ---------------------------------------*- C++ -*-===//
+
+#include "rtg/grammar.h"
+
+#include <algorithm>
+
+using namespace spidey;
+
+Grammar::Grammar(const ConstraintSystem &S, const std::vector<SetVar> &E)
+    : Ctx(&S.context()) {
+  External.insert(E.begin(), E.end());
+  Vars = S.variables();
+  // External variables may be untouched by any constraint; they still have
+  // the (reflex) productions and root pairs.
+  for (SetVar V : E)
+    if (std::find(Vars.begin(), Vars.end(), V) == Vars.end())
+      Vars.push_back(V);
+
+  const SelectorTable &Sels = Ctx->Selectors;
+  for (SetVar V : Vars) {
+    NT L{V, false}, U{V, true};
+    if (External.count(V)) {
+      addProd(L, Prod{Prod::Kind::Term, V, 0, {}});
+      addProd(U, Prod{Prod::Kind::Term, V, 0, {}});
+    }
+    for (const UpperBound &UB : S.upperBounds(V)) {
+      if (UB.K == UpperBound::Kind::FilterUB) {
+        // Conditional edges are approximated as an uninterpreted monotone
+        // pseudo-selector (conservative for both simplification keeping
+        // and entailment).
+        Selector F = const_cast<ConstraintContext *>(Ctx)->Selectors.intern(
+            "%filter" + std::to_string(UB.Sel), Polarity::Monotone);
+        addProd(NT{UB.Other, false},
+                Prod{Prod::Kind::Sel, NoSetVar, F, NT{V, false}});
+        continue;
+      }
+      if (UB.K == UpperBound::Kind::VarUB) {
+        // [α ≤ β]: αU → βU and βL → αL.
+        addEps(U, NT{UB.Other, true});
+        addEps(NT{UB.Other, false}, L);
+      } else if (Sels.isMonotone(UB.Sel)) {
+        // [s(α) ≤ β] (monotone): βL → s(αL).
+        addProd(NT{UB.Other, false}, Prod{Prod::Kind::Sel, NoSetVar, UB.Sel,
+                                          NT{V, false}});
+      } else {
+        // [β ≤ s(α)] (anti-monotone): βU → s(αL)? No — this is an upper
+        // bound β ≤ s⁻(α) on α, i.e. the constraint [β ≤ s(α)], giving
+        // βU → s(αL) by the anti-monotone rule with (α, β) swapped:
+        // the bounded variable is UB.Other (the β).
+        addProd(NT{UB.Other, true},
+                Prod{Prod::Kind::Sel, NoSetVar, UB.Sel, NT{V, false}});
+      }
+    }
+    for (const LowerBound &LB : S.lowerBounds(V)) {
+      if (LB.K == LowerBound::Kind::ConstLB) {
+        RootConsts.emplace_back(LB.C, V);
+      } else if (Sels.isMonotone(LB.Sel)) {
+        // [β ≤ s(α)] (monotone): βU → s(αU).
+        addProd(NT{LB.Other, true},
+                Prod{Prod::Kind::Sel, NoSetVar, LB.Sel, NT{V, true}});
+      } else {
+        // [s(α) ≤ β] (anti-monotone): βL → s(αU).
+        addProd(NT{LB.Other, false},
+                Prod{Prod::Kind::Sel, NoSetVar, LB.Sel, NT{V, true}});
+      }
+    }
+  }
+  RootVars = Vars;
+  eliminateEpsilon();
+  computeNonempty();
+}
+
+void Grammar::addProd(NT From, Prod P) { Prods[From.key()].push_back(P); }
+
+void Grammar::addEps(NT From, NT To) { Eps[From.key()].push_back(To); }
+
+void Grammar::eliminateEpsilon() {
+  // For each non-terminal, add the productions of every ε-reachable
+  // non-terminal, then drop the ε edges.
+  std::unordered_map<uint64_t, std::vector<Prod>> Closed;
+  for (SetVar V : Vars) {
+    for (bool Upper : {false, true}) {
+      NT X{V, Upper};
+      std::vector<uint64_t> Stack{X.key()};
+      std::unordered_set<uint64_t> Seen{X.key()};
+      std::vector<Prod> Merged;
+      std::unordered_set<uint64_t> ProdKeys;
+      auto Push = [&](const Prod &P) {
+        uint64_t Key = P.K == Prod::Kind::Term
+                           ? (uint64_t(1) << 63) | P.TermVar
+                           : (uint64_t(P.S) << 34) | P.Target.key();
+        if (ProdKeys.insert(Key).second)
+          Merged.push_back(P);
+      };
+      while (!Stack.empty()) {
+        uint64_t Cur = Stack.back();
+        Stack.pop_back();
+        auto PIt = Prods.find(Cur);
+        if (PIt != Prods.end())
+          for (const Prod &P : PIt->second)
+            Push(P);
+        auto EIt = Eps.find(Cur);
+        if (EIt != Eps.end())
+          for (NT Next : EIt->second)
+            if (Seen.insert(Next.key()).second)
+              Stack.push_back(Next.key());
+      }
+      if (!Merged.empty())
+        Closed[X.key()] = std::move(Merged);
+    }
+  }
+  Prods = std::move(Closed);
+  // Eps is retained for reachability queries (§6.4.2).
+}
+
+void Grammar::computeNonempty() {
+  // Fixpoint: X nonempty if it has a Term production or a Sel production
+  // into a nonempty target.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (auto &[Key, Ps] : Prods) {
+      if (Nonempty.count(Key))
+        continue;
+      for (const Prod &P : Ps) {
+        if (P.K == Prod::Kind::Term ||
+            (P.K == Prod::Kind::Sel && Nonempty.count(P.Target.key()))) {
+          Nonempty.insert(Key);
+          Changed = true;
+          break;
+        }
+      }
+    }
+  }
+}

@@ -1,0 +1,117 @@
+//===-- rtg/grammar.h - Regular (tree) grammars ----------------*- C++ -*-===//
+///
+/// \file
+/// The regular grammar Gr(S,E) of Definition 6.3.1 and its regular-tree
+/// extension Gt(S,E) of Definition 6.3.3, generalized over the selector
+/// signature.
+///
+/// For each set variable α the grammar has non-terminals αL and αU
+/// generating the non-constant lower and upper bounds of α in Π(S)|E:
+///
+///   αU → α, αL → α                            for α ∈ E
+///   αU → βU,        βL → αL                   for [α ≤ β] ∈ S
+///   αU → s(βU)      for [α ≤ s(β)] ∈ S        (monotone s)
+///   βL → s(αL)      for [s(α) ≤ β] ∈ S        (monotone s)
+///   αU → s(βL)      for [α ≤ s(β)] ∈ S        (anti-monotone s)
+///   βL → s(αU)      for [s(α) ≤ β] ∈ S        (anti-monotone s)
+///
+/// The tree extension adds the root productions
+///   R → [αL ≤ αU]   for every α in S, and
+///   R → [c ≤ αU]    for every [c ≤ α] ∈ S.
+///
+/// A "word" of a non-terminal is a selector string followed by an external
+/// variable: s1(s2(...(α))). The grammar is also the NFA over the alphabet
+/// Selectors ∪ E used by the containment and entailment algorithms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIDEY_RTG_GRAMMAR_H
+#define SPIDEY_RTG_GRAMMAR_H
+
+#include "constraints/constraint_system.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace spidey {
+
+/// A non-terminal: a set variable tagged with its side.
+struct NT {
+  SetVar Var = NoSetVar;
+  bool Upper = false;
+
+  friend bool operator==(NT A, NT B) {
+    return A.Var == B.Var && A.Upper == B.Upper;
+  }
+  uint64_t key() const { return (uint64_t(Var) << 1) | (Upper ? 1 : 0); }
+};
+
+/// A production right-hand side after ε-removal: either a terminal
+/// external variable, or a selector applied to a non-terminal.
+struct Prod {
+  enum class Kind : uint8_t { Term, Sel };
+  Kind K = Kind::Term;
+  SetVar TermVar = NoSetVar; ///< Kind::Term
+  Selector S = 0;            ///< Kind::Sel
+  NT Target;                 ///< Kind::Sel
+};
+
+/// Gr(S,E) / Gt(S,E) with ε-productions removed.
+class Grammar {
+public:
+  /// Builds the grammar from a (closed) simple constraint system and the
+  /// external variable set E.
+  Grammar(const ConstraintSystem &S, const std::vector<SetVar> &E);
+
+  const ConstraintContext &context() const { return *Ctx; }
+
+  /// ε-free productions of a non-terminal.
+  const std::vector<Prod> &prods(NT X) const {
+    static const std::vector<Prod> Empty;
+    auto It = Prods.find(X.key());
+    return It == Prods.end() ? Empty : It->second;
+  }
+
+  /// Root productions R → [γL ≤ γU] (one per variable of S).
+  const std::vector<SetVar> &rootVars() const { return RootVars; }
+  /// Root productions R → [c ≤ ωU].
+  const std::vector<std::pair<Constant, SetVar>> &rootConsts() const {
+    return RootConsts;
+  }
+
+  /// True if L(X) is non-empty.
+  bool nonempty(NT X) const { return Nonempty.count(X.key()) != 0; }
+
+  /// Unit (ε) production targets of X from the pre-elimination grammar,
+  /// needed for faithful reachability computations (§6.4.2).
+  const std::vector<NT> &epsTargets(NT X) const {
+    static const std::vector<NT> Empty;
+    auto It = Eps.find(X.key());
+    return It == Eps.end() ? Empty : It->second;
+  }
+
+  /// All variables mentioned by the underlying system.
+  const std::vector<SetVar> &variables() const { return Vars; }
+
+  bool isExternal(SetVar V) const { return External.count(V) != 0; }
+
+private:
+  void addProd(NT From, Prod P);
+  void addEps(NT From, NT To);
+  void eliminateEpsilon();
+  void computeNonempty();
+
+  const ConstraintContext *Ctx;
+  std::unordered_map<uint64_t, std::vector<Prod>> Prods;
+  std::unordered_map<uint64_t, std::vector<NT>> Eps;
+  std::unordered_set<uint64_t> Nonempty;
+  std::unordered_set<SetVar> External;
+  std::vector<SetVar> Vars;
+  std::vector<SetVar> RootVars;
+  std::vector<std::pair<Constant, SetVar>> RootConsts;
+};
+
+} // namespace spidey
+
+#endif // SPIDEY_RTG_GRAMMAR_H

@@ -1,0 +1,459 @@
+//===-- simplify/simplify.cpp ---------------------------------*- C++ -*-===//
+
+#include "simplify/simplify.h"
+
+#include "rtg/grammar.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+#include <tuple>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace spidey;
+
+namespace {
+
+/// A mutable, flat view of a constraint system, convenient for the
+/// rewriting the simplification algorithms perform.
+struct FlatConstraint {
+  enum class Kind : uint8_t { ConstLB, SelLB, VarUB, SelUB, FilterUB };
+  Kind K;
+  SetVar A = NoSetVar; ///< the bounded variable
+  Constant C = 0;
+  Selector S = 0;
+  SetVar B = NoSetVar;
+
+  auto key() const {
+    return std::make_tuple(static_cast<uint8_t>(K), A, S,
+                           K == Kind::ConstLB ? C : B);
+  }
+};
+
+using ConstraintKey = std::tuple<uint8_t, SetVar, Selector, uint32_t>;
+
+std::vector<FlatConstraint> flatten(const ConstraintSystem &S) {
+  std::vector<FlatConstraint> Out;
+  for (SetVar A : S.variables()) {
+    for (const LowerBound &L : S.lowerBounds(A)) {
+      if (L.K == LowerBound::Kind::ConstLB)
+        Out.push_back({FlatConstraint::Kind::ConstLB, A, L.C, 0, NoSetVar});
+      else
+        Out.push_back({FlatConstraint::Kind::SelLB, A, 0, L.Sel, L.Other});
+    }
+    for (const UpperBound &U : S.upperBounds(A)) {
+      if (U.K == UpperBound::Kind::VarUB)
+        Out.push_back({FlatConstraint::Kind::VarUB, A, 0, 0, U.Other});
+      else if (U.K == UpperBound::Kind::FilterUB)
+        Out.push_back({FlatConstraint::Kind::FilterUB, A, 0, U.Sel, U.Other});
+      else
+        Out.push_back({FlatConstraint::Kind::SelUB, A, 0, U.Sel, U.Other});
+    }
+  }
+  return Out;
+}
+
+ConstraintSystem unflatten(ConstraintContext &Ctx,
+                           const std::vector<FlatConstraint> &Cs) {
+  ConstraintSystem S(Ctx);
+  for (const FlatConstraint &C : Cs) {
+    switch (C.K) {
+    case FlatConstraint::Kind::ConstLB:
+      S.addConstLowerRaw(C.A, C.C);
+      break;
+    case FlatConstraint::Kind::SelLB:
+      S.addSelLowerRaw(C.A, C.S, C.B);
+      break;
+    case FlatConstraint::Kind::VarUB:
+      S.addVarUpperRaw(C.A, C.B);
+      break;
+    case FlatConstraint::Kind::SelUB:
+      S.addSelUpperRaw(C.A, C.S, C.B);
+      break;
+    case FlatConstraint::Kind::FilterUB:
+      S.addFilterUpperRaw(C.A, C.S, C.B);
+      break;
+    }
+  }
+  return S;
+}
+
+//===----------------------------------------------------------------------===
+// Empty-constraint simplification (§6.4.1).
+//===----------------------------------------------------------------------===
+
+/// A constraint is kept iff at least one of its induced grammar
+/// productions mentions only non-empty non-terminals.
+bool keepNonEmpty(const FlatConstraint &C, const Grammar &G) {
+  NT AL{C.A, false}, AU{C.A, true};
+  switch (C.K) {
+  case FlatConstraint::Kind::ConstLB:
+    // R → [c ≤ αU].
+    return G.nonempty(AU);
+  case FlatConstraint::Kind::VarUB:
+    // αU → βU and βL → αL.
+    return G.nonempty(NT{C.B, true}) || G.nonempty(AL);
+  case FlatConstraint::Kind::SelLB:
+    // monotone [β ≤ s(α)]: βU → s(αU); anti [s(α) ≤ β]: βL → s(αU).
+    return G.nonempty(AU);
+  case FlatConstraint::Kind::SelUB:
+    // monotone [s(α) ≤ β]: βL → s(αL); anti [β ≤ s(α)]: βU → s(αL).
+    return G.nonempty(AL);
+  case FlatConstraint::Kind::FilterUB:
+    // βL → %filter(αL).
+    return G.nonempty(AL);
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===
+// Unreachable-constraint simplification (§6.4.2).
+//===----------------------------------------------------------------------===
+
+std::unordered_set<uint64_t> computeReachable(const Grammar &G) {
+  std::unordered_set<uint64_t> Reachable;
+  std::vector<NT> Work;
+  auto Mark = [&](NT X) {
+    if (Reachable.insert(X.key()).second)
+      Work.push_back(X);
+  };
+  // Seeds: R → [γL ≤ γU] contributes each side when the partner side can
+  // produce a word; R → [c ≤ ωU] contributes ωU unconditionally.
+  for (SetVar V : G.rootVars()) {
+    NT L{V, false}, U{V, true};
+    if (G.nonempty(L))
+      Mark(U);
+    if (G.nonempty(U))
+      Mark(L);
+  }
+  for (const auto &[C, V] : G.rootConsts()) {
+    (void)C;
+    Mark(NT{V, true});
+  }
+  while (!Work.empty()) {
+    NT X = Work.back();
+    Work.pop_back();
+    for (const Prod &P : G.prods(X))
+      if (P.K == Prod::Kind::Sel)
+        Mark(P.Target);
+    for (NT T : G.epsTargets(X))
+      Mark(T);
+  }
+  return Reachable;
+}
+
+bool keepReachable(const FlatConstraint &C, const Grammar &G,
+                   const std::unordered_set<uint64_t> &Reachable) {
+  auto R = [&](NT X) { return Reachable.count(X.key()) != 0; };
+  NT AL{C.A, false}, AU{C.A, true};
+  switch (C.K) {
+  case FlatConstraint::Kind::ConstLB:
+    return R(AU);
+  case FlatConstraint::Kind::VarUB:
+    // αU → βU is useful if αU is reachable and βU productive; dually for
+    // βL → αL.
+    return (R(AU) && G.nonempty(NT{C.B, true})) ||
+           (R(NT{C.B, false}) && G.nonempty(AL));
+  case FlatConstraint::Kind::SelLB:
+    // Productions βU → s(αU) (mono) / βL → s(αU) (anti): LHS is the B
+    // side.
+    return G.context().Selectors.isMonotone(C.S)
+               ? (R(NT{C.B, true}) && G.nonempty(AU))
+               : (R(NT{C.B, false}) && G.nonempty(AU));
+  case FlatConstraint::Kind::SelUB:
+    // βL → s(αL) (mono) / βU → s(αL) (anti).
+    return G.context().Selectors.isMonotone(C.S)
+               ? (R(NT{C.B, false}) && G.nonempty(AL))
+               : (R(NT{C.B, true}) && G.nonempty(AL));
+  case FlatConstraint::Kind::FilterUB:
+    return R(NT{C.B, false}) && G.nonempty(AL);
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===
+// ε-removal (§6.4.3).
+//===----------------------------------------------------------------------===
+
+/// Applies the two ε-merging rules of §6.4.3 to a fixed point.
+///
+/// Rule 1: if α ∉ E and the ε-constraint [α ≤ β] is α's only "outflow"
+/// (no other α ≤ τ, s⁺(α) ≤ γ, or γ ≤ s⁻(α)), replace α by β.
+/// Rule 2 (dual): if β ∉ E and [α ≤ β] is β's only "inflow" (no other
+/// c ≤ β, τ ≤ β), replace β by α.
+///
+/// Candidates are applied in non-overlapping batches per pass.
+std::vector<FlatConstraint>
+removeEpsilon(std::vector<FlatConstraint> Cs, const SelectorTable &Sels,
+              const std::unordered_set<SetVar> &External) {
+  for (;;) {
+    std::unordered_map<SetVar, uint32_t> OutflowCount, InflowCount;
+    for (const FlatConstraint &C : Cs) {
+      switch (C.K) {
+      case FlatConstraint::Kind::ConstLB:
+        ++InflowCount[C.A];
+        break;
+      case FlatConstraint::Kind::VarUB:
+        ++OutflowCount[C.A];
+        ++InflowCount[C.B];
+        break;
+      case FlatConstraint::Kind::SelLB:
+        // mono: [β ≤ s(α)] is an outflow of β (β ≤ τ form);
+        // anti: [s(α) ≤ β] is an inflow of β (τ ≤ β form).
+        if (Sels.isMonotone(C.S))
+          ++OutflowCount[C.B];
+        else
+          ++InflowCount[C.B];
+        break;
+      case FlatConstraint::Kind::SelUB:
+        // mono: [s(α) ≤ β]: outflow of α, inflow of β;
+        // anti: [β ≤ s(α)]: outflow of α and of β.
+        ++OutflowCount[C.A];
+        if (Sels.isMonotone(C.S))
+          ++InflowCount[C.B];
+        else
+          ++OutflowCount[C.B];
+        break;
+      case FlatConstraint::Kind::FilterUB:
+        // A conditional α ≤_M β: outflow of α, inflow of β.
+        ++OutflowCount[C.A];
+        ++InflowCount[C.B];
+        break;
+      }
+    }
+
+    // Gather a batch of non-overlapping merges.
+    std::unordered_map<SetVar, SetVar> Subst;
+    std::unordered_set<SetVar> Involved;
+    for (const FlatConstraint &C : Cs) {
+      if (C.K != FlatConstraint::Kind::VarUB || C.A == C.B)
+        continue;
+      if (Involved.count(C.A) || Involved.count(C.B))
+        continue;
+      if (!External.count(C.A) && OutflowCount[C.A] == 1) {
+        Subst[C.A] = C.B; // α := β
+        Involved.insert(C.A);
+        Involved.insert(C.B);
+        continue;
+      }
+      if (!External.count(C.B) && InflowCount[C.B] == 1) {
+        Subst[C.B] = C.A; // β := α
+        Involved.insert(C.A);
+        Involved.insert(C.B);
+      }
+    }
+    if (Subst.empty())
+      return Cs;
+
+    std::vector<FlatConstraint> Next;
+    std::set<ConstraintKey> Seen;
+    auto Sub = [&](SetVar V) {
+      auto It = Subst.find(V);
+      return It == Subst.end() ? V : It->second;
+    };
+    for (FlatConstraint C : Cs) {
+      C.A = Sub(C.A);
+      if (C.K != FlatConstraint::Kind::ConstLB)
+        C.B = Sub(C.B);
+      if (C.K == FlatConstraint::Kind::VarUB && C.A == C.B)
+        continue;
+      if (Seen.insert(C.key()).second)
+        Next.push_back(C);
+    }
+    Cs = std::move(Next);
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Hopcroft-style partition merging (§6.4.4, fig. 6.5).
+//===----------------------------------------------------------------------===
+
+std::vector<FlatConstraint>
+hopcroftMerge(std::vector<FlatConstraint> Cs, const SelectorTable &Sels,
+              const std::unordered_set<SetVar> &External) {
+  std::set<SetVar> VarSet;
+  for (const FlatConstraint &C : Cs) {
+    VarSet.insert(C.A);
+    if (C.K != FlatConstraint::Kind::ConstLB)
+      VarSet.insert(C.B);
+  }
+  std::vector<SetVar> Vars(VarSet.begin(), VarSet.end());
+
+  // External variables must keep their identity, and variables touching
+  // anti-monotone selector constraints are pinned to singleton classes:
+  // this enforces the ∀-conditions of fig. 6.5 for anti-monotone
+  // selectors strictly (sound, if conservative).
+  std::unordered_set<SetVar> Pinned(External.begin(), External.end());
+  for (const FlatConstraint &C : Cs) {
+    if ((C.K == FlatConstraint::Kind::SelLB ||
+         C.K == FlatConstraint::Kind::SelUB) &&
+        !Sels.isMonotone(C.S)) {
+      Pinned.insert(C.A);
+      Pinned.insert(C.B);
+    }
+    if (C.K == FlatConstraint::Kind::FilterUB) {
+      Pinned.insert(C.A);
+      Pinned.insert(C.B);
+    }
+  }
+
+  // Initial partition: pinned variables are singletons; the rest are
+  // grouped by their constant lower-bound sets.
+  std::unordered_map<SetVar, uint32_t> ClassOf;
+  uint32_t NextClass = 0;
+  {
+    std::unordered_map<SetVar, std::vector<Constant>> Consts;
+    for (const FlatConstraint &C : Cs)
+      if (C.K == FlatConstraint::Kind::ConstLB)
+        Consts[C.A].push_back(C.C);
+    std::map<std::vector<Constant>, uint32_t> ByConsts;
+    for (SetVar V : Vars) {
+      if (Pinned.count(V)) {
+        ClassOf[V] = NextClass++;
+        continue;
+      }
+      std::vector<Constant> Key = Consts[V];
+      std::sort(Key.begin(), Key.end());
+      auto [It, New] = ByConsts.emplace(std::move(Key), NextClass);
+      if (New)
+        ++NextClass;
+      ClassOf[V] = It->second;
+    }
+  }
+
+  // Moore refinement: split classes whose members carry different
+  // class-level constraint signatures (the ∃-conditions of fig. 6.5,
+  // applied symmetrically).
+  for (;;) {
+    std::unordered_map<SetVar, std::vector<uint64_t>> Sig;
+    auto Tok = [&](uint64_t Kind, uint64_t Sel, uint32_t Cls) {
+      return (Kind << 56) | (Sel << 32) | Cls;
+    };
+    for (const FlatConstraint &C : Cs) {
+      switch (C.K) {
+      case FlatConstraint::Kind::ConstLB:
+        break; // encoded in the initial partition
+      case FlatConstraint::Kind::VarUB:
+        Sig[C.A].push_back(Tok(1, 0, ClassOf[C.B]));
+        Sig[C.B].push_back(Tok(2, 0, ClassOf[C.A]));
+        break;
+      case FlatConstraint::Kind::SelLB:
+        Sig[C.A].push_back(Tok(3, C.S, ClassOf[C.B]));
+        Sig[C.B].push_back(Tok(4, C.S, ClassOf[C.A]));
+        break;
+      case FlatConstraint::Kind::SelUB:
+        Sig[C.A].push_back(Tok(5, C.S, ClassOf[C.B]));
+        Sig[C.B].push_back(Tok(6, C.S, ClassOf[C.A]));
+        break;
+      case FlatConstraint::Kind::FilterUB:
+        Sig[C.A].push_back(Tok(7, C.S, ClassOf[C.B]));
+        Sig[C.B].push_back(Tok(8, C.S, ClassOf[C.A]));
+        break;
+      }
+    }
+    std::map<std::pair<uint32_t, std::vector<uint64_t>>, uint32_t> Regroup;
+    std::unordered_map<SetVar, uint32_t> NewClassOf;
+    uint32_t NewNext = 0;
+    for (SetVar V : Vars) {
+      std::vector<uint64_t> &S = Sig[V];
+      std::sort(S.begin(), S.end());
+      S.erase(std::unique(S.begin(), S.end()), S.end());
+      auto [It, New] =
+          Regroup.emplace(std::make_pair(ClassOf[V], std::move(S)), NewNext);
+      if (New)
+        ++NewNext;
+      NewClassOf[V] = It->second;
+    }
+    bool Changed = NewNext != NextClass;
+    ClassOf = std::move(NewClassOf);
+    NextClass = NewNext;
+    if (!Changed)
+      break;
+  }
+
+  // Representative per class (deterministic: smallest variable).
+  std::unordered_map<uint32_t, SetVar> Rep;
+  for (SetVar V : Vars) {
+    auto [It, New] = Rep.emplace(ClassOf[V], V);
+    if (!New && V < It->second)
+      It->second = V;
+  }
+  auto RepOf = [&](SetVar V) { return Rep.at(ClassOf.at(V)); };
+
+  std::vector<FlatConstraint> Next;
+  std::set<ConstraintKey> Seen;
+  for (FlatConstraint C : Cs) {
+    C.A = RepOf(C.A);
+    if (C.K != FlatConstraint::Kind::ConstLB)
+      C.B = RepOf(C.B);
+    if (C.K == FlatConstraint::Kind::VarUB && C.A == C.B)
+      continue;
+    if (Seen.insert(C.key()).second)
+      Next.push_back(C);
+  }
+  return Next;
+}
+
+} // namespace
+
+const char *spidey::simplifyAlgorithmName(SimplifyAlgorithm Alg) {
+  switch (Alg) {
+  case SimplifyAlgorithm::None:
+    return "none";
+  case SimplifyAlgorithm::Empty:
+    return "empty";
+  case SimplifyAlgorithm::Unreachable:
+    return "unreachable";
+  case SimplifyAlgorithm::EpsilonRemoval:
+    return "e-removal";
+  case SimplifyAlgorithm::Hopcroft:
+    return "hopcroft";
+  }
+  return "?";
+}
+
+ConstraintSystem spidey::simplifyConstraints(const ConstraintSystem &S,
+                                             const std::vector<SetVar> &E,
+                                             SimplifyAlgorithm Alg) {
+  ConstraintContext &Ctx = S.context();
+  std::vector<FlatConstraint> Cs = flatten(S);
+  if (Alg == SimplifyAlgorithm::None)
+    return unflatten(Ctx, Cs);
+
+  std::unordered_set<SetVar> External(E.begin(), E.end());
+  Grammar G(S, E);
+
+  // Level 1: empty.
+  {
+    std::vector<FlatConstraint> Kept;
+    for (const FlatConstraint &C : Cs)
+      if (keepNonEmpty(C, G))
+        Kept.push_back(C);
+    Cs = std::move(Kept);
+  }
+  if (Alg == SimplifyAlgorithm::Empty)
+    return unflatten(Ctx, Cs);
+
+  // Level 2: unreachable.
+  {
+    auto Reachable = computeReachable(G);
+    std::vector<FlatConstraint> Kept;
+    for (const FlatConstraint &C : Cs)
+      if (keepReachable(C, G, Reachable))
+        Kept.push_back(C);
+    Cs = std::move(Kept);
+  }
+  if (Alg == SimplifyAlgorithm::Unreachable)
+    return unflatten(Ctx, Cs);
+
+  // Level 3: ε-removal.
+  Cs = removeEpsilon(std::move(Cs), Ctx.Selectors, External);
+  if (Alg == SimplifyAlgorithm::EpsilonRemoval)
+    return unflatten(Ctx, Cs);
+
+  // Level 4: Hopcroft.
+  Cs = hopcroftMerge(std::move(Cs), Ctx.Selectors, External);
+  return unflatten(Ctx, Cs);
+}

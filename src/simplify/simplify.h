@@ -1,0 +1,51 @@
+//===-- simplify/simplify.h - Constraint simplification --------*- C++ -*-===//
+///
+/// \file
+/// The practical constraint-simplification algorithms of §6.4. Given a
+/// constraint system S (closed under Θ) and its external variables E, each
+/// algorithm produces a smaller system observably equivalent to S with
+/// respect to E (S ≅E simplify(S)):
+///
+///   - Empty (§6.4.1): drops constraints all of whose induced grammar
+///     productions mention empty non-terminals.
+///   - Unreachable (§6.4.2): additionally drops constraints whose induced
+///     productions cannot occur in any constraint of Π(S)|E.
+///   - EpsilonRemoval (§6.4.3): additionally merges variables linked by an
+///     ε-constraint that is the sole outflow (dually: sole inflow).
+///   - Hopcroft (§6.4.4): additionally merges variables in the equivalence
+///     classes of a Moore/Hopcroft-style partition refinement satisfying
+///     the conditions of fig. 6.5.
+///
+/// Each level includes all previous levels, as in the paper's benchmarks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIDEY_SIMPLIFY_SIMPLIFY_H
+#define SPIDEY_SIMPLIFY_SIMPLIFY_H
+
+#include "constraints/constraint_system.h"
+
+#include <vector>
+
+namespace spidey {
+
+enum class SimplifyAlgorithm : uint8_t {
+  None,
+  Empty,
+  Unreachable,
+  EpsilonRemoval,
+  Hopcroft,
+};
+
+const char *simplifyAlgorithmName(SimplifyAlgorithm Alg);
+
+/// Simplifies \p S (which must be closed under Θ) with respect to the
+/// external variables \p E. The result is *not* closed; it is the compact
+/// form suitable for constraint files and schema duplication.
+ConstraintSystem simplifyConstraints(const ConstraintSystem &S,
+                                     const std::vector<SetVar> &E,
+                                     SimplifyAlgorithm Alg);
+
+} // namespace spidey
+
+#endif // SPIDEY_SIMPLIFY_SIMPLIFY_H

@@ -1,0 +1,28 @@
+//===-- support/diagnostic.cpp --------------------------------*- C++ -*-===//
+
+#include "support/diagnostic.h"
+
+#include <sstream>
+
+using namespace spidey;
+
+std::string DiagnosticEngine::str() const {
+  std::ostringstream OS;
+  for (const Diagnostic &D : Diags) {
+    switch (D.Sev) {
+    case Diagnostic::Severity::Error:
+      OS << "error";
+      break;
+    case Diagnostic::Severity::Warning:
+      OS << "warning";
+      break;
+    case Diagnostic::Severity::Note:
+      OS << "note";
+      break;
+    }
+    if (D.Loc.isValid())
+      OS << " at " << D.Loc.Line << ":" << D.Loc.Col;
+    OS << ": " << D.Message << "\n";
+  }
+  return OS.str();
+}

@@ -1,0 +1,61 @@
+//===-- support/diagnostic.h - Diagnostics ---------------------*- C++ -*-===//
+///
+/// \file
+/// Diagnostics collected during reading, parsing and analysis. The library
+/// never throws; fallible phases report here and callers test hasErrors().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIDEY_SUPPORT_DIAGNOSTIC_H
+#define SPIDEY_SUPPORT_DIAGNOSTIC_H
+
+#include "support/source.h"
+
+#include <string>
+#include <vector>
+
+namespace spidey {
+
+/// A single diagnostic message.
+struct Diagnostic {
+  enum class Severity { Note, Warning, Error };
+
+  Severity Sev = Severity::Error;
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Accumulates diagnostics for one front-end run.
+class DiagnosticEngine {
+public:
+  void error(SourceLoc Loc, std::string Message) {
+    Diags.push_back({Diagnostic::Severity::Error, Loc, std::move(Message)});
+    ++NumErrors;
+  }
+  void warning(SourceLoc Loc, std::string Message) {
+    Diags.push_back({Diagnostic::Severity::Warning, Loc, std::move(Message)});
+  }
+  void note(SourceLoc Loc, std::string Message) {
+    Diags.push_back({Diagnostic::Severity::Note, Loc, std::move(Message)});
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders all diagnostics, one per line, for test assertions and CLI
+  /// output.
+  std::string str() const;
+
+  void clear() {
+    Diags.clear();
+    NumErrors = 0;
+  }
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace spidey
+
+#endif // SPIDEY_SUPPORT_DIAGNOSTIC_H

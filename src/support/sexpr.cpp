@@ -1,0 +1,326 @@
+//===-- support/sexpr.cpp -------------------------------------*- C++ -*-===//
+
+#include "support/sexpr.h"
+
+#include <cassert>
+#include <cctype>
+#include <sstream>
+
+using namespace spidey;
+
+namespace {
+
+/// Recursive-descent reader over a character buffer with line/column
+/// tracking.
+class Reader {
+public:
+  Reader(std::string_view Text, uint32_t FileIndex, SymbolTable &Syms,
+         DiagnosticEngine &Diags)
+      : Text(Text), File(FileIndex), Syms(Syms), Diags(Diags) {}
+
+  std::vector<SExpr> readAll() {
+    std::vector<SExpr> Forms;
+    for (;;) {
+      skipSpace();
+      if (atEnd())
+        break;
+      if (peek() == ')' || peek() == ']') {
+        Diags.error(loc(), "unexpected closing delimiter");
+        get();
+        continue;
+      }
+      Forms.push_back(readExpr());
+      if (Diags.hasErrors())
+        break;
+    }
+    return Forms;
+  }
+
+private:
+  bool atEnd() const { return Pos >= Text.size(); }
+  char peek() const { return Text[Pos]; }
+
+  char get() {
+    char C = Text[Pos++];
+    if (C == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    return C;
+  }
+
+  SourceLoc loc() const { return {File, Line, Col}; }
+
+  void skipSpace() {
+    while (!atEnd()) {
+      char C = peek();
+      if (C == ';') {
+        while (!atEnd() && peek() != '\n')
+          get();
+        continue;
+      }
+      if (!std::isspace(static_cast<unsigned char>(C)))
+        return;
+      get();
+    }
+  }
+
+  static bool isDelimiter(char C) {
+    return std::isspace(static_cast<unsigned char>(C)) || C == '(' ||
+           C == ')' || C == '[' || C == ']' || C == '"' || C == ';';
+  }
+
+  SExpr readExpr() {
+    skipSpace();
+    SourceLoc Start = loc();
+    if (atEnd()) {
+      Diags.error(Start, "unexpected end of input");
+      return makeSymbol(Start, "<error>");
+    }
+    char C = peek();
+    if (C == '(' || C == '[')
+      return readList(C == '(' ? ')' : ']');
+    if (C == '\'') {
+      get();
+      SExpr Quoted = readExpr();
+      SExpr List;
+      List.K = SExpr::Kind::List;
+      List.Loc = Start;
+      List.Elems.push_back(makeSymbol(Start, "quote"));
+      List.Elems.push_back(std::move(Quoted));
+      return List;
+    }
+    if (C == '"')
+      return readString();
+    if (C == '#')
+      return readHash();
+    if (std::isdigit(static_cast<unsigned char>(C)) || C == '-' || C == '+' ||
+        C == '.') {
+      // Could be a number or a symbol like '-' or '...'; try number first.
+      SExpr Num;
+      if (tryReadNumber(Num))
+        return Num;
+    }
+    return readSymbol();
+  }
+
+  SExpr readList(char Close) {
+    SourceLoc Start = loc();
+    get(); // consume open
+    SExpr List;
+    List.K = SExpr::Kind::List;
+    List.Loc = Start;
+    for (;;) {
+      skipSpace();
+      if (atEnd()) {
+        Diags.error(Start, "unterminated list");
+        return List;
+      }
+      char C = peek();
+      if (C == ')' || C == ']') {
+        if (C != Close)
+          Diags.error(loc(), "mismatched closing delimiter");
+        get();
+        return List;
+      }
+      List.Elems.push_back(readExpr());
+      if (Diags.hasErrors())
+        return List;
+    }
+  }
+
+  SExpr readString() {
+    SourceLoc Start = loc();
+    get(); // consume opening quote
+    std::string Value;
+    for (;;) {
+      if (atEnd()) {
+        Diags.error(Start, "unterminated string literal");
+        break;
+      }
+      char C = get();
+      if (C == '"')
+        break;
+      if (C == '\\') {
+        if (atEnd()) {
+          Diags.error(Start, "unterminated escape in string literal");
+          break;
+        }
+        char E = get();
+        switch (E) {
+        case 'n':
+          Value.push_back('\n');
+          break;
+        case 't':
+          Value.push_back('\t');
+          break;
+        case '\\':
+          Value.push_back('\\');
+          break;
+        case '"':
+          Value.push_back('"');
+          break;
+        default:
+          Diags.error(Start, std::string("unknown string escape \\") + E);
+          break;
+        }
+        continue;
+      }
+      Value.push_back(C);
+    }
+    SExpr S;
+    S.K = SExpr::Kind::String;
+    S.Loc = Start;
+    S.Str = std::move(Value);
+    return S;
+  }
+
+  SExpr readHash() {
+    SourceLoc Start = loc();
+    get(); // consume '#'
+    if (atEnd()) {
+      Diags.error(Start, "dangling '#'");
+      return makeSymbol(Start, "<error>");
+    }
+    char C = get();
+    if (C == 't' || C == 'f') {
+      SExpr S;
+      S.K = SExpr::Kind::Boolean;
+      S.Loc = Start;
+      S.Bool = (C == 't');
+      return S;
+    }
+    if (C == '\\') {
+      std::string Name;
+      while (!atEnd() && !isDelimiter(peek()))
+        Name.push_back(get());
+      SExpr S;
+      S.K = SExpr::Kind::Char;
+      S.Loc = Start;
+      if (Name.size() == 1) {
+        S.Ch = Name[0];
+      } else if (Name == "space") {
+        S.Ch = ' ';
+      } else if (Name == "newline") {
+        S.Ch = '\n';
+      } else if (Name == "tab") {
+        S.Ch = '\t';
+      } else if (Name == "nul") {
+        S.Ch = '\0';
+      } else {
+        Diags.error(Start, "unknown character literal #\\" + Name);
+      }
+      return S;
+    }
+    Diags.error(Start, std::string("unknown '#' syntax: #") + C);
+    return makeSymbol(Start, "<error>");
+  }
+
+  bool tryReadNumber(SExpr &Out) {
+    size_t SavedPos = Pos;
+    uint32_t SavedLine = Line, SavedCol = Col;
+    SourceLoc Start = loc();
+    std::string Token;
+    while (!atEnd() && !isDelimiter(peek()))
+      Token.push_back(get());
+    // A number token: optional sign, then digits with at most one '.'.
+    size_t I = 0;
+    if (I < Token.size() && (Token[I] == '-' || Token[I] == '+'))
+      ++I;
+    bool SawDigit = false, SawDot = false, Valid = I < Token.size();
+    for (; I < Token.size() && Valid; ++I) {
+      if (std::isdigit(static_cast<unsigned char>(Token[I])))
+        SawDigit = true;
+      else if (Token[I] == '.' && !SawDot)
+        SawDot = true;
+      else
+        Valid = false;
+    }
+    if (!Valid || !SawDigit) {
+      Pos = SavedPos;
+      Line = SavedLine;
+      Col = SavedCol;
+      return false;
+    }
+    Out.K = SExpr::Kind::Number;
+    Out.Loc = Start;
+    Out.Num = std::stod(Token);
+    return true;
+  }
+
+  SExpr readSymbol() {
+    SourceLoc Start = loc();
+    std::string Name;
+    while (!atEnd() && !isDelimiter(peek()) && peek() != '\'')
+      Name.push_back(get());
+    if (Name.empty()) {
+      Diags.error(Start, "expected expression");
+      get();
+      return makeSymbol(Start, "<error>");
+    }
+    return makeSymbol(Start, Name);
+  }
+
+  SExpr makeSymbol(SourceLoc Loc, std::string_view Name) {
+    SExpr S;
+    S.K = SExpr::Kind::Symbol;
+    S.Loc = Loc;
+    S.Sym = Syms.intern(Name);
+    return S;
+  }
+
+  std::string_view Text;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+  uint32_t File;
+  SymbolTable &Syms;
+  DiagnosticEngine &Diags;
+};
+
+} // namespace
+
+std::vector<SExpr> spidey::readSExprs(std::string_view Text,
+                                      uint32_t FileIndex, SymbolTable &Syms,
+                                      DiagnosticEngine &Diags) {
+  return Reader(Text, FileIndex, Syms, Diags).readAll();
+}
+
+std::string SExpr::str(const SymbolTable &Syms) const {
+  std::ostringstream OS;
+  switch (K) {
+  case Kind::Symbol:
+    OS << Syms.name(Sym);
+    break;
+  case Kind::Number:
+    if (Num == static_cast<long long>(Num))
+      OS << static_cast<long long>(Num);
+    else
+      OS << Num;
+    break;
+  case Kind::String:
+    OS << '"' << Str << '"';
+    break;
+  case Kind::Boolean:
+    OS << (Bool ? "#t" : "#f");
+    break;
+  case Kind::Char:
+    OS << "#\\" << Ch;
+    break;
+  case Kind::List: {
+    OS << '(';
+    bool First = true;
+    for (const SExpr &E : Elems) {
+      if (!First)
+        OS << ' ';
+      First = false;
+      OS << E.str(Syms);
+    }
+    OS << ')';
+    break;
+  }
+  }
+  return OS.str();
+}

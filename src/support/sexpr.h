@@ -1,0 +1,63 @@
+//===-- support/sexpr.h - S-expression reader ------------------*- C++ -*-===//
+///
+/// \file
+/// Concrete syntax for the analyzed language: a small Scheme-style
+/// s-expression reader producing location-annotated trees. The language
+/// parser (src/lang) consumes these.
+///
+/// Supported lexemes: lists with ( ) or [ ]; exact integers and decimal
+/// numbers; booleans #t/#f; characters #\x, #\space, #\newline, #\tab,
+/// #\nul; strings with \\ \" \n \t escapes; ' as (quote ...); line comments
+/// starting with ';'.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIDEY_SUPPORT_SEXPR_H
+#define SPIDEY_SUPPORT_SEXPR_H
+
+#include "support/diagnostic.h"
+#include "support/source.h"
+#include "support/symbol.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spidey {
+
+/// One node of the concrete syntax tree.
+struct SExpr {
+  enum class Kind { Symbol, Number, String, Boolean, Char, List };
+
+  Kind K = Kind::List;
+  SourceLoc Loc;
+
+  Symbol Sym = InvalidSymbol; ///< Kind::Symbol
+  double Num = 0;             ///< Kind::Number
+  std::string Str;            ///< Kind::String
+  bool Bool = false;          ///< Kind::Boolean
+  char Ch = 0;                ///< Kind::Char
+  std::vector<SExpr> Elems;   ///< Kind::List
+
+  bool isList() const { return K == Kind::List; }
+  bool isSymbol() const { return K == Kind::Symbol; }
+
+  /// True if this is a list whose head is the symbol \p Head.
+  bool isForm(Symbol Head) const {
+    return isList() && !Elems.empty() && Elems[0].isSymbol() &&
+           Elems[0].Sym == Head;
+  }
+
+  /// Renders the expression back to (nearly) its source syntax; used in
+  /// reports and tests.
+  std::string str(const SymbolTable &Syms) const;
+};
+
+/// Reads all top-level forms from \p Text. Reports syntax errors to
+/// \p Diags; on error the returned vector holds the forms read so far.
+std::vector<SExpr> readSExprs(std::string_view Text, uint32_t FileIndex,
+                              SymbolTable &Syms, DiagnosticEngine &Diags);
+
+} // namespace spidey
+
+#endif // SPIDEY_SUPPORT_SEXPR_H

@@ -1,0 +1,44 @@
+//===-- support/source.h - Source locations -------------------*- C++ -*-===//
+///
+/// \file
+/// Lightweight source locations: a file name index plus 1-based line and
+/// column. Locations flow from the s-expression reader through the AST into
+/// diagnostics, checks, and flow-graph edges, so that the static debugger
+/// can point back at program text (the paper's hyper-links and arrows).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIDEY_SUPPORT_SOURCE_H
+#define SPIDEY_SUPPORT_SOURCE_H
+
+#include <cstdint>
+#include <string>
+
+namespace spidey {
+
+/// A position in some source file. File is an index assigned by the client
+/// (typically the component index in a multi-file program); 0 is valid.
+struct SourceLoc {
+  uint32_t File = 0;
+  uint32_t Line = 0; ///< 1-based; 0 means "unknown".
+  uint32_t Col = 0;  ///< 1-based; 0 means "unknown".
+
+  bool isValid() const { return Line != 0; }
+
+  friend bool operator==(const SourceLoc &A, const SourceLoc &B) {
+    return A.File == B.File && A.Line == B.Line && A.Col == B.Col;
+  }
+};
+
+/// Renders "file:line:col" given a file-name resolver.
+template <typename NameFn>
+std::string formatLoc(const SourceLoc &Loc, NameFn &&FileName) {
+  if (!Loc.isValid())
+    return "<unknown>";
+  return std::string(FileName(Loc.File)) + ":" + std::to_string(Loc.Line) +
+         ":" + std::to_string(Loc.Col);
+}
+
+} // namespace spidey
+
+#endif // SPIDEY_SUPPORT_SOURCE_H

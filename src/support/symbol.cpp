@@ -1,0 +1,41 @@
+//===-- support/symbol.cpp ------------------------------------*- C++ -*-===//
+
+#include "support/symbol.h"
+
+#include <cassert>
+
+using namespace spidey;
+
+SymbolTable::SymbolTable() {
+  // Reserve slot 0 for InvalidSymbol.
+  Names.emplace_back("<invalid>");
+}
+
+Symbol SymbolTable::intern(std::string_view Name) {
+  auto It = Index.find(std::string(Name));
+  if (It != Index.end())
+    return It->second;
+  Symbol S = static_cast<Symbol>(Names.size());
+  Names.emplace_back(Name);
+  Index.emplace(std::string(Name), S);
+  return S;
+}
+
+const std::string &SymbolTable::name(Symbol S) const {
+  assert(S < Names.size() && "symbol out of range");
+  return Names[S];
+}
+
+Symbol SymbolTable::lookup(std::string_view Name) const {
+  auto It = Index.find(std::string(Name));
+  return It == Index.end() ? InvalidSymbol : It->second;
+}
+
+Symbol SymbolTable::fresh(std::string_view Prefix) {
+  for (;;) {
+    std::string Candidate =
+        std::string(Prefix) + "%" + std::to_string(FreshCounter++);
+    if (lookup(Candidate) == InvalidSymbol)
+      return intern(Candidate);
+  }
+}

@@ -1,0 +1,62 @@
+//===-- support/symbol.h - Interned identifiers ---------------*- C++ -*-===//
+//
+// Part of spidey, a reproduction of "Componential Set-Based Analysis"
+// (Flanagan, PLDI 1997 / Rice dissertation 1997).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interned strings. Symbols are small integer handles into a SymbolTable;
+/// comparing two symbols from the same table is an integer comparison.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIDEY_SUPPORT_SYMBOL_H
+#define SPIDEY_SUPPORT_SYMBOL_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace spidey {
+
+/// A handle to an interned string. Value 0 is reserved as the invalid
+/// symbol; SymbolTable never hands it out.
+using Symbol = uint32_t;
+
+inline constexpr Symbol InvalidSymbol = 0;
+
+/// Owns interned strings and maps them to dense Symbol handles.
+class SymbolTable {
+public:
+  SymbolTable();
+
+  /// Returns the unique handle for \p Name, interning it if new.
+  Symbol intern(std::string_view Name);
+
+  /// Returns the spelling of \p S. \p S must have been produced by this
+  /// table.
+  const std::string &name(Symbol S) const;
+
+  /// Returns the handle for \p Name if already interned, InvalidSymbol
+  /// otherwise.
+  Symbol lookup(std::string_view Name) const;
+
+  /// Number of interned symbols (excluding the reserved invalid slot).
+  size_t size() const { return Names.size() - 1; }
+
+  /// Produces a symbol guaranteed to be distinct from all previously
+  /// interned symbols, based on \p Prefix (used for alpha-renaming).
+  Symbol fresh(std::string_view Prefix);
+
+private:
+  std::vector<std::string> Names;
+  std::unordered_map<std::string, Symbol> Index;
+  uint64_t FreshCounter = 0;
+};
+
+} // namespace spidey
+
+#endif // SPIDEY_SUPPORT_SYMBOL_H

@@ -1,0 +1,554 @@
+//===-- types/mktype.cpp - MkType and type reductions ----------*- C++ -*-===//
+///
+/// \file
+/// Implements MkType/MkType' of §4.2. For a closed system S and variable
+/// α, the open type of α is the union of:
+///   - its basic constants {b | S ⊢Θ b ≤ α},
+///   - a constructed type per tag family present (functions, pairs, boxes,
+///     vectors, units, classes, objects), whose components are:
+///       * for a monotone selector s:  {β | [β ≤ s(α)] ∈ S}
+///       * for an anti-monotone s:     {β | S ⊢Θ α ≤* δ, [β ≤ s(δ)] ∈ S}
+///     (the asymmetry mirrors Θ, which propagates monotone components
+///     forward but leaves anti-monotone bounds at the use sites).
+/// The open types are then tied into one rec-type and reduced: ⊥ members
+/// dropped, duplicate union members merged, non-recursive bindings
+/// inlined, unused bindings removed (§4.2 step 3).
+///
+//===----------------------------------------------------------------------===//
+
+#include "types/type.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace spidey;
+
+TypePtr Type::bottom() {
+  static const TypePtr B = std::make_shared<Type>();
+  return B;
+}
+
+TypePtr Type::basic(ConstKind K) {
+  auto T = std::make_shared<Type>();
+  T->K = Kind::Basic;
+  T->Basic = K;
+  return T;
+}
+
+TypePtr Type::var(SetVar V) {
+  auto T = std::make_shared<Type>();
+  T->K = Kind::Var;
+  T->Var = V;
+  return T;
+}
+
+namespace {
+
+/// Groups tag kinds into constructed-type families.
+ConstKind familyOf(ConstKind K) {
+  switch (K) {
+  case ConstKind::FnTag:
+  case ConstKind::ContTag:
+    return ConstKind::FnTag;
+  default:
+    return K;
+  }
+}
+
+class Builder {
+public:
+  Builder(const ConstraintSystem &S, const SymbolTable &Syms)
+      : S(S), Syms(Syms), Ctx(S.context()) {}
+
+  TypePtr build(SetVar Root) {
+    // Phase 1: build open types for all variables reachable from Root
+    // through type components.
+    std::vector<SetVar> Work{Root};
+    while (!Work.empty()) {
+      SetVar A = Work.back();
+      Work.pop_back();
+      if (Open.count(A))
+        continue;
+      TypePtr T = openTypeOf(A);
+      Open.emplace(A, T);
+      for (SetVar Dep : DepsOf[A])
+        if (!Open.count(Dep))
+          Work.push_back(Dep);
+    }
+
+    // Phase 2: find variables on reference cycles; they stay as rec
+    // bindings, everything else is inlined.
+    computeRecursive();
+
+    // Phase 3: produce the closed type.
+    std::unordered_map<SetVar, TypePtr> Memo;
+    TypePtr Body = inlineVars(Open.at(Root), Root, Memo);
+    // Collect rec-bound variables actually referenced.
+    std::set<SetVar> Used;
+    collectVars(Body, Used);
+    std::vector<std::pair<SetVar, TypePtr>> Bindings;
+    std::set<SetVar> Done;
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (SetVar V : Used) {
+        if (Done.count(V))
+          continue;
+        Done.insert(V);
+        Changed = true;
+        TypePtr Def = inlineVars(Open.at(V), V, Memo);
+        Bindings.emplace_back(V, Def);
+        collectVars(Def, Used);
+      }
+    }
+    if (Bindings.empty())
+      return Body;
+    auto Rec = std::make_shared<Type>();
+    Rec->K = Type::Kind::Rec;
+    std::sort(Bindings.begin(), Bindings.end(),
+              [](auto &A, auto &B) { return A.first < B.first; });
+    Rec->Bindings = std::move(Bindings);
+    Rec->Body = Body;
+    return Rec;
+  }
+
+private:
+  /// ε-reachability: all δ with S ⊢ α ≤* δ.
+  std::vector<SetVar> epsReachable(SetVar A) const {
+    std::vector<SetVar> Result{A};
+    std::unordered_set<SetVar> Seen{A};
+    for (size_t I = 0; I < Result.size(); ++I)
+      for (const UpperBound &U : S.upperBounds(Result[I]))
+        if (U.K == UpperBound::Kind::VarUB && Seen.insert(U.Other).second)
+          Result.push_back(U.Other);
+    return Result;
+  }
+
+  /// The component variables of α under selector \p Sel.
+  std::vector<SetVar> componentOf(SetVar A, Selector Sel) const {
+    std::set<SetVar> Members;
+    if (Ctx.Selectors.isMonotone(Sel)) {
+      for (const LowerBound &L : S.lowerBounds(A))
+        if (L.K == LowerBound::Kind::SelLB && L.Sel == Sel)
+          Members.insert(L.Other);
+    } else {
+      // Anti-monotone components read two sources: the binder-side lower
+      // bounds s(a) <= b (e.g. the parameter variables, which rule s3
+      // propagates to every alias of the function), and the use-site upper
+      // bounds b <= s(d) on eps-reachable d (the actual arguments).
+      for (const LowerBound &L : S.lowerBounds(A))
+        if (L.K == LowerBound::Kind::SelLB && L.Sel == Sel)
+          Members.insert(L.Other);
+      for (SetVar D : epsReachable(A))
+        for (const UpperBound &U : S.upperBounds(D))
+          if (U.K == UpperBound::Kind::SelUB && U.Sel == Sel)
+            Members.insert(U.Other);
+    }
+    return std::vector<SetVar>(Members.begin(), Members.end());
+  }
+
+  TypePtr unionOfVars(const std::vector<SetVar> &Vars, SetVar Self) {
+    std::vector<TypePtr> Members;
+    for (SetVar V : Vars) {
+      DepsOf[Self].push_back(V);
+      Members.push_back(Type::var(V));
+    }
+    return makeUnion(std::move(Members));
+  }
+
+  TypePtr openTypeOf(SetVar A) {
+    std::vector<TypePtr> Members;
+    // Basic constants and tag grouping.
+    std::map<ConstKind, std::vector<Constant>> Families;
+    for (Constant C : S.constantsOf(A)) {
+      ConstKind K = Ctx.Constants.kind(C);
+      if (K <= ConstKind::Eof)
+        Members.push_back(Type::basic(K));
+      else
+        Families[familyOf(K)].push_back(C);
+    }
+    for (auto &[Family, Tags] : Families) {
+      auto T = std::make_shared<Type>();
+      T->K = Type::Kind::Ctor;
+      T->CtorKind = Family;
+      T->Tags = Tags;
+      auto AddField = [&](Selector Sel) {
+        T->Fields.emplace_back(Sel, unionOfVars(componentOf(A, Sel), A));
+      };
+      switch (Family) {
+      case ConstKind::FnTag: {
+        uint32_t MaxArity = 0;
+        bool HasCont = false;
+        for (Constant C : Tags) {
+          const ConstantInfo &I = Ctx.Constants.info(C);
+          if (I.K == ConstKind::ContTag)
+            HasCont = true;
+          else
+            MaxArity = std::max(MaxArity, I.Arity);
+        }
+        if (HasCont)
+          MaxArity = std::max(MaxArity, 1u);
+        for (uint32_t I = 0; I < MaxArity; ++I)
+          AddField(Ctx.dom(I));
+        AddField(Ctx.Rng);
+        break;
+      }
+      case ConstKind::Pair:
+        AddField(Ctx.Car);
+        AddField(Ctx.Cdr);
+        break;
+      case ConstKind::BoxTag:
+        AddField(Ctx.BoxPlus);
+        break;
+      case ConstKind::VecTag:
+        AddField(Ctx.VecPlus);
+        break;
+      case ConstKind::UnitTag:
+        AddField(Ctx.Ui);
+        AddField(Ctx.Ue);
+        break;
+      case ConstKind::ClassTag:
+        AddField(Ctx.ClObj);
+        break;
+      case ConstKind::ObjTag: {
+        // Every ivar⁺ selector with a component on this variable.
+        std::set<Selector> Sels;
+        for (const LowerBound &L : S.lowerBounds(A))
+          if (L.K == LowerBound::Kind::SelLB &&
+              Ctx.Selectors.name(L.Sel).rfind("ivar+", 0) == 0)
+            Sels.insert(L.Sel);
+        for (Selector Sel : Sels)
+          AddField(Sel);
+        break;
+      }
+      case ConstKind::StructTag: {
+        std::set<Selector> Sels;
+        for (const LowerBound &L : S.lowerBounds(A))
+          if (L.K == LowerBound::Kind::SelLB &&
+              Ctx.Selectors.name(L.Sel).rfind("sfld+", 0) == 0)
+            Sels.insert(L.Sel);
+        for (Selector Sel : Sels)
+          AddField(Sel);
+        break;
+      }
+      default:
+        break;
+      }
+      Members.push_back(T);
+    }
+    return makeUnion(std::move(Members));
+  }
+
+  TypePtr makeUnion(std::vector<TypePtr> Members) {
+    // Flatten, drop ⊥, dedupe structurally (by rendered key).
+    std::vector<TypePtr> Flat;
+    std::set<std::string> Seen;
+    std::function<void(const TypePtr &)> Add = [&](const TypePtr &T) {
+      if (T->K == Type::Kind::Bottom)
+        return;
+      if (T->K == Type::Kind::Union) {
+        for (const TypePtr &M : T->Members)
+          Add(M);
+        return;
+      }
+      std::string Key = render(T);
+      if (Seen.insert(std::move(Key)).second)
+        Flat.push_back(T);
+    };
+    for (const TypePtr &M : Members)
+      Add(M);
+    if (Flat.empty())
+      return Type::bottom();
+    if (Flat.size() == 1)
+      return Flat[0];
+    auto U = std::make_shared<Type>();
+    U->K = Type::Kind::Union;
+    // Deterministic member order.
+    std::sort(Flat.begin(), Flat.end(),
+              [&](const TypePtr &A, const TypePtr &B) {
+                return render(A) < render(B);
+              });
+    U->Members = std::move(Flat);
+    return U;
+  }
+
+  void computeRecursive() {
+    // A variable is recursive if it can reach itself in the dependency
+    // graph. Simple DFS per variable (systems after reduction are small).
+    for (auto &[V, Deps] : DepsOf) {
+      (void)Deps;
+      std::unordered_set<SetVar> Seen;
+      std::vector<SetVar> Work(DepsOf[V].begin(), DepsOf[V].end());
+      bool Found = false;
+      while (!Work.empty() && !Found) {
+        SetVar X = Work.back();
+        Work.pop_back();
+        if (X == V) {
+          Found = true;
+          break;
+        }
+        if (!Seen.insert(X).second)
+          continue;
+        auto It = DepsOf.find(X);
+        if (It != DepsOf.end())
+          Work.insert(Work.end(), It->second.begin(), It->second.end());
+      }
+      if (Found)
+        Recursive.insert(V);
+    }
+  }
+
+  /// Replaces non-recursive Var leaves by their (recursively inlined)
+  /// definitions; recursive variables stay symbolic.
+  TypePtr inlineVars(const TypePtr &T, SetVar Self,
+                     std::unordered_map<SetVar, TypePtr> &Memo) {
+    switch (T->K) {
+    case Type::Kind::Bottom:
+    case Type::Kind::Basic:
+      return T;
+    case Type::Kind::Var: {
+      SetVar V = T->Var;
+      if (V == Self || Recursive.count(V))
+        return T;
+      auto It = Memo.find(V);
+      if (It != Memo.end())
+        return It->second;
+      // Guard against indirect revisits during construction.
+      Memo.emplace(V, T);
+      TypePtr R = inlineVars(Open.at(V), V, Memo);
+      Memo[V] = R;
+      return R;
+    }
+    case Type::Kind::Ctor: {
+      auto R = std::make_shared<Type>(*T);
+      for (auto &[Sel, Field] : R->Fields)
+        Field = inlineVars(Field, Self, Memo);
+      return R;
+    }
+    case Type::Kind::Union: {
+      std::vector<TypePtr> Members;
+      for (const TypePtr &M : T->Members)
+        Members.push_back(inlineVars(M, Self, Memo));
+      return makeUnion(std::move(Members));
+    }
+    case Type::Kind::Rec:
+      return T; // not produced before phase 3
+    }
+    return T;
+  }
+
+  void collectVars(const TypePtr &T, std::set<SetVar> &Out) const {
+    switch (T->K) {
+    case Type::Kind::Var:
+      Out.insert(T->Var);
+      return;
+    case Type::Kind::Ctor:
+      for (auto &[Sel, Field] : T->Fields)
+        collectVars(Field, Out);
+      return;
+    case Type::Kind::Union:
+      for (const TypePtr &M : T->Members)
+        collectVars(M, Out);
+      return;
+    case Type::Kind::Rec:
+      for (auto &[V, Def] : T->Bindings)
+        collectVars(Def, Out);
+      collectVars(T->Body, Out);
+      return;
+    default:
+      return;
+    }
+  }
+
+public:
+  std::string render(const TypePtr &T) const {
+    std::ostringstream OS;
+    renderTo(T, OS);
+    return OS.str();
+  }
+
+  std::string render(const TypePtr &T, const TypeDisplayOptions &Opts) const {
+    std::ostringstream OS;
+    renderTo(T, OS, &Opts, 0);
+    return OS.str();
+  }
+
+private:
+  void renderTo(const TypePtr &T, std::ostringstream &OS,
+                const TypeDisplayOptions *Opts = nullptr,
+                unsigned Depth = 0) const {
+    if (Opts && Depth > Opts->MaxDepth) {
+      OS << "...";
+      return;
+    }
+    switch (T->K) {
+    case Type::Kind::Bottom:
+      OS << "empty";
+      return;
+    case Type::Kind::Basic:
+      OS << constKindName(T->Basic);
+      return;
+    case Type::Kind::Var:
+      OS << "a" << T->Var;
+      return;
+    case Type::Kind::Union: {
+      OS << "(union";
+      for (const TypePtr &M : T->Members) {
+        OS << ' ';
+        renderTo(M, OS, Opts, Depth);
+      }
+      OS << ')';
+      return;
+    }
+    case Type::Kind::Rec: {
+      OS << "(rec (";
+      bool First = true;
+      for (auto &[V, Def] : T->Bindings) {
+        if (!First)
+          OS << ' ';
+        First = false;
+        OS << "[a" << V << ' ';
+        renderTo(Def, OS, Opts, Depth);
+        OS << ']';
+      }
+      OS << ") ";
+      renderTo(T->Body, OS, Opts, Depth);
+      OS << ')';
+      return;
+    }
+    case Type::Kind::Ctor:
+      renderCtor(T, OS, Opts, Depth);
+      return;
+    }
+  }
+
+  void renderCtor(const TypePtr &T, std::ostringstream &OS,
+                  const TypeDisplayOptions *Opts, unsigned Depth) const {
+    auto Field = [&](size_t I) { return T->Fields[I].second; };
+    auto Sub = [&](const TypePtr &F) { renderTo(F, OS, Opts, Depth + 1); };
+    switch (T->CtorKind) {
+    case ConstKind::FnTag: {
+      OS << "(";
+      for (size_t I = 0; I + 1 < T->Fields.size(); ++I) {
+        Sub(Field(I));
+        OS << ' ';
+      }
+      OS << "-> ";
+      Sub(T->Fields.back().second);
+      OS << ')';
+      return;
+    }
+    case ConstKind::Pair:
+      OS << "(cons ";
+      Sub(Field(0));
+      OS << ' ';
+      Sub(Field(1));
+      OS << ')';
+      return;
+    case ConstKind::BoxTag:
+      OS << "(box ";
+      Sub(Field(0));
+      OS << ')';
+      return;
+    case ConstKind::VecTag:
+      OS << "(vec ";
+      Sub(Field(0));
+      OS << ')';
+      return;
+    case ConstKind::UnitTag:
+      if (Opts && !Opts->ShowUnitInterior) {
+        OS << "(unit ...)";
+        return;
+      }
+      OS << "(unit ";
+      Sub(Field(0));
+      OS << ' ';
+      Sub(Field(1));
+      OS << ')';
+      return;
+    case ConstKind::ClassTag:
+      OS << "(class ";
+      Sub(Field(0));
+      OS << ')';
+      return;
+    case ConstKind::StructTag: {
+      OS << "(struct";
+      if (!T->Tags.empty()) {
+        Symbol Label = Ctx.Constants.info(T->Tags[0]).Label;
+        if (Label != InvalidSymbol)
+          OS << ':' << Syms.name(Label);
+      }
+      if (Opts && !Opts->ShowObjectFields) {
+        OS << " ...)";
+        return;
+      }
+      const SelectorTable &Sels = Ctx.Selectors;
+      for (auto &[Sel, F] : T->Fields) {
+        const std::string &SelName = Sels.name(Sel);
+        size_t Dot = SelName.find('.');
+        OS << " [" << SelName.substr(Dot + 1) << ' ';
+        Sub(F);
+        OS << ']';
+      }
+      OS << ')';
+      return;
+    }
+    case ConstKind::ObjTag: {
+      if (Opts && !Opts->ShowObjectFields) {
+        OS << "(obj ...)";
+        return;
+      }
+      OS << "(obj";
+      const SelectorTable &Sels = Ctx.Selectors;
+      for (auto &[Sel, F] : T->Fields) {
+        OS << " [" << Sels.name(Sel).substr(5) << ' ';
+        Sub(F);
+        OS << ']';
+      }
+      OS << ')';
+      return;
+    }
+    default:
+      OS << "(?ctor)";
+      return;
+    }
+  }
+
+  const ConstraintSystem &S;
+  const SymbolTable &Syms;
+  ConstraintContext &Ctx;
+  std::unordered_map<SetVar, TypePtr> Open;
+  std::unordered_map<SetVar, std::vector<SetVar>> DepsOf;
+  std::unordered_set<SetVar> Recursive;
+};
+
+} // namespace
+
+TypePtr TypeBuilder::typeOf(SetVar A) const { return Builder(S, Syms).build(A); }
+
+std::string TypeBuilder::typeString(SetVar A) const {
+  Builder B(S, Syms);
+  TypePtr T = B.build(A);
+  return B.render(T);
+}
+
+std::string TypeBuilder::str(const TypePtr &T) const {
+  return Builder(S, Syms).render(T);
+}
+
+std::string TypeBuilder::typeString(SetVar A,
+                                    const TypeDisplayOptions &Opts) const {
+  Builder B(S, Syms);
+  TypePtr T = B.build(A);
+  return B.render(T, Opts);
+}
+
+std::string TypeBuilder::str(const TypePtr &T,
+                             const TypeDisplayOptions &Opts) const {
+  return Builder(S, Syms).render(T, Opts);
+}

@@ -1,0 +1,88 @@
+//===-- types/type.h - The type language -----------------------*- C++ -*-===//
+///
+/// \file
+/// The type language of §4.1 (fig. 4.1), generalized over the selector
+/// signature of chapter 3: constants, set variables, ⊥, constructed types
+/// (functions, pairs, boxes, vectors, units, classes, objects), unions,
+/// and recursive rec-types. MkType (§4.2) converts a solved constraint
+/// system into a compact closed type for presentation to the programmer,
+/// followed by the meaning-preserving reductions of §4.2 step 3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIDEY_TYPES_TYPE_H
+#define SPIDEY_TYPES_TYPE_H
+
+#include "constraints/constraint_system.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace spidey {
+
+struct Type;
+using TypePtr = std::shared_ptr<const Type>;
+
+/// A (possibly open) type. Immutable and shared.
+struct Type {
+  enum class Kind : uint8_t {
+    Bottom, ///< ⊥ — the empty value set
+    Basic,  ///< a basic-constant kind (num, nil, true, ...)
+    Var,    ///< a set-variable reference (inside rec)
+    Ctor,   ///< a constructed type: tags + selector components
+    Union,  ///< ω1 ∪ ω2 ∪ ...
+    Rec,    ///< (rec ([α ω] ...) ω)
+  };
+
+  Kind K = Kind::Bottom;
+  ConstKind Basic = ConstKind::Num;                 ///< Kind::Basic
+  SetVar Var = NoSetVar;                            ///< Kind::Var
+  ConstKind CtorKind = ConstKind::FnTag;            ///< Kind::Ctor family
+  std::vector<Constant> Tags;                       ///< Kind::Ctor
+  std::vector<std::pair<Selector, TypePtr>> Fields; ///< Kind::Ctor
+  std::vector<TypePtr> Members;                     ///< Kind::Union
+  std::vector<std::pair<SetVar, TypePtr>> Bindings; ///< Kind::Rec
+  TypePtr Body;                                     ///< Kind::Rec
+
+  static TypePtr bottom();
+  static TypePtr basic(ConstKind K);
+  static TypePtr var(SetVar V);
+};
+
+/// Type-display preferences (App. D.2.2): MrSpidey lets the programmer
+/// suppress structure/object field types and bound the displayed depth to
+/// keep invariants readable (§10.1).
+struct TypeDisplayOptions {
+  unsigned MaxDepth = 64;       ///< deeper structure renders as "..."
+  bool ShowObjectFields = true; ///< render (obj ...) without fields if off
+  bool ShowUnitInterior = true; ///< render (unit ...) without io if off
+};
+
+/// Computes compact types from a closed constraint system (MkType, §4.2).
+class TypeBuilder {
+public:
+  /// \p S must be closed under Θ.
+  TypeBuilder(const ConstraintSystem &S, const SymbolTable &Syms)
+      : S(S), Syms(Syms) {}
+
+  /// The reduced closed type describing LeastSoln(S)(A).
+  TypePtr typeOf(SetVar A) const;
+
+  /// Renders typeOf(A) in MrSpidey-style concrete syntax, e.g.
+  /// "(union (cons nil num) nil)".
+  std::string typeString(SetVar A) const;
+  std::string typeString(SetVar A, const TypeDisplayOptions &Opts) const;
+
+  /// Renders an arbitrary type.
+  std::string str(const TypePtr &T) const;
+  std::string str(const TypePtr &T, const TypeDisplayOptions &Opts) const;
+
+private:
+  const ConstraintSystem &S;
+  const SymbolTable &Syms;
+};
+
+} // namespace spidey
+
+#endif // SPIDEY_TYPES_TYPE_H

@@ -1,0 +1,298 @@
+//===-- tests/analysis_test.cpp - Derivation & sba tests -------*- C++ -*-===//
+
+#include "test_util.h"
+
+using namespace spidey;
+using namespace spidey::test;
+
+namespace {
+
+/// Analyzes a program and returns the predicted constant-kind names for
+/// the last top-level expression.
+std::vector<std::string> sbaKinds(const std::string &Source,
+                                  AnalysisOptions Opts = {}) {
+  Parsed R = parseOk(Source);
+  if (!R.Ok)
+    return {"<parse error>"};
+  Analysis A = analyzeProgram(*R.Prog, Opts);
+  return kindsOf(A, lastTopExpr(*R.Prog));
+}
+
+std::vector<std::string> Kinds(std::initializer_list<const char *> Names) {
+  std::vector<std::string> V(Names.begin(), Names.end());
+  std::sort(V.begin(), V.end());
+  return V;
+}
+
+} // namespace
+
+TEST(Analysis, Literals) {
+  EXPECT_EQ(sbaKinds("42"), Kinds({"num"}));
+  EXPECT_EQ(sbaKinds("#t"), Kinds({"true"}));
+  EXPECT_EQ(sbaKinds("#f"), Kinds({"false"}));
+  EXPECT_EQ(sbaKinds("\"s\""), Kinds({"str"}));
+  EXPECT_EQ(sbaKinds("'x"), Kinds({"sym"}));
+  EXPECT_EQ(sbaKinds("'()"), Kinds({"nil"}));
+  EXPECT_EQ(sbaKinds("#\\a"), Kinds({"char"}));
+}
+
+TEST(Analysis, LambdaGetsFunctionTag) {
+  EXPECT_EQ(sbaKinds("(lambda (x) x)"), Kinds({"fn"}));
+}
+
+TEST(Analysis, ApplicationFlowsResult) {
+  EXPECT_EQ(sbaKinds("((lambda (x) x) 1)"), Kinds({"num"}));
+  EXPECT_EQ(sbaKinds("((lambda (x) 'sym) 1)"), Kinds({"sym"}));
+}
+
+TEST(Analysis, ArgumentFlowsToParameter) {
+  // The identity applied to #t: parameter x may be #t.
+  Parsed R = parseOk("(define (id x) x) (id #t)");
+  Analysis A = analyzeProgram(*R.Prog);
+  // Find the lambda body expression (the Var node for x).
+  const Expr &Lam = R.Prog->expr(R.Prog->Components[0].Forms[0].Body);
+  ASSERT_EQ(Lam.K, ExprKind::Lambda);
+  EXPECT_EQ(kindsOf(A, Lam.Kids[0]), Kinds({"true"}));
+}
+
+TEST(Analysis, IfMergesBranches) {
+  EXPECT_EQ(sbaKinds("(if #t 1 'a)"), Kinds({"num", "sym"}));
+}
+
+TEST(Analysis, PairsCarCdr) {
+  EXPECT_EQ(sbaKinds("(cons 1 2)"), Kinds({"pair"}));
+  EXPECT_EQ(sbaKinds("(car (cons 1 'a))"), Kinds({"num"}));
+  EXPECT_EQ(sbaKinds("(cdr (cons 1 'a))"), Kinds({"sym"}));
+}
+
+TEST(Analysis, GenericPrimResults) {
+  EXPECT_EQ(sbaKinds("(+ 1 2)"), Kinds({"num"}));
+  EXPECT_EQ(sbaKinds("(pair? 5)"), Kinds({"false", "true"}));
+  EXPECT_EQ(sbaKinds("(read-line)"), Kinds({"eof", "str"}));
+  EXPECT_EQ(sbaKinds("(string->number \"1\")"), Kinds({"false", "num"}));
+}
+
+TEST(Analysis, ListShape) {
+  EXPECT_EQ(sbaKinds("(list 1 2)"), Kinds({"nil", "pair"}));
+  EXPECT_EQ(sbaKinds("(car (list 1 2))"), Kinds({"num"}));
+  // cdr of a list includes the list itself (spine) — so pair and nil.
+  EXPECT_EQ(sbaKinds("(cdr (list 1 2))"), Kinds({"nil", "pair"}));
+}
+
+TEST(Analysis, BoxFlow) {
+  EXPECT_EQ(sbaKinds("(box 1)"), Kinds({"box"}));
+  EXPECT_EQ(sbaKinds("(unbox (box 1))"), Kinds({"num"}));
+  // Assigned values flow backward into all aliases of the box (§3.5).
+  EXPECT_EQ(sbaKinds("(let ([b (box 1)])"
+                     "  (begin (set-box! b 'sym) (unbox b)))"),
+            Kinds({"num", "sym"}));
+}
+
+TEST(Analysis, SplitBoxesAreDirectional) {
+  // Two distinct boxes that never meet do not exchange contents.
+  EXPECT_EQ(sbaKinds("(let ([a (box 1)] [b (box 'x)]) (unbox a))"),
+            Kinds({"num"}));
+}
+
+TEST(Analysis, VectorFlow) {
+  EXPECT_EQ(sbaKinds("(vector 1 'a)"), Kinds({"vec"}));
+  EXPECT_EQ(sbaKinds("(vector-ref (vector 1 'a) 0)"), Kinds({"num", "sym"}));
+  EXPECT_EQ(sbaKinds("(let ([v (make-vector 3 0)])"
+                     "  (begin (vector-set! v 0 \"s\") (vector-ref v 1)))"),
+            Kinds({"num", "str"}));
+}
+
+TEST(Analysis, AssignableVariables) {
+  EXPECT_EQ(sbaKinds("(define x 1) (set! x 'a) x"), Kinds({"num", "sym"}));
+}
+
+TEST(Analysis, LetrecFunctionFlow) {
+  EXPECT_EQ(sbaKinds("(letrec ([f (lambda (n) (if (zero? n) 'done"
+                     "                            (f (sub1 n))))])"
+                     "  (f 3))"),
+            Kinds({"sym"}));
+}
+
+TEST(Analysis, CallccResultIncludesBothPaths) {
+  // Normal return and continuation invocation both flow into the result.
+  EXPECT_EQ(sbaKinds("(call/cc (lambda (k) (if #t (k 1) 'x)))"),
+            Kinds({"num", "sym"}));
+}
+
+TEST(Analysis, ContinuationIsFnLike) {
+  // The captured continuation flows into the parameter k.
+  Parsed R = parseOk("(call/cc (lambda (k) (k 1)))");
+  Analysis A = analyzeProgram(*R.Prog);
+  const Expr &CC = R.Prog->expr(lastTopExpr(*R.Prog));
+  const Expr &Lam = R.Prog->expr(CC.Kids[0]);
+  SetVar KVar = A.Maps.varVar(Lam.Params[0]);
+  auto Consts = A.System->constantsOf(KVar);
+  ASSERT_EQ(Consts.size(), 1u);
+  EXPECT_EQ(A.Ctx->Constants.kind(Consts[0]), ConstKind::ContTag);
+}
+
+TEST(Analysis, AbortHasEmptyResult) {
+  EXPECT_EQ(sbaKinds("(+ 1 (abort 'x))"), Kinds({"num"}));
+  Parsed R = parseOk("(abort 5)");
+  Analysis A = analyzeProgram(*R.Prog);
+  EXPECT_TRUE(A.sba(lastTopExpr(*R.Prog)).empty());
+}
+
+TEST(Analysis, ErrorPrimHasEmptyResult) {
+  Parsed R = parseOk("(error \"x\")");
+  Analysis A = analyzeProgram(*R.Prog);
+  EXPECT_TRUE(A.sba(lastTopExpr(*R.Prog)).empty());
+}
+
+TEST(Analysis, UnitsFlowThroughInvoke) {
+  EXPECT_EQ(sbaKinds("(define z 10)"
+                     "(invoke (unit (import w) (export v)"
+                     "              (define v (cons w w)))"
+                     "        z)"),
+            Kinds({"pair"}));
+}
+
+TEST(Analysis, UnitsImportFlows) {
+  // The invoked variable's values flow into the unit's import.
+  EXPECT_EQ(sbaKinds("(define z 'sym)"
+                     "(invoke (unit (import w) (export v)"
+                     "              (define v w))"
+                     "        z)"),
+            Kinds({"sym"}));
+}
+
+TEST(Analysis, LinkedUnitsCompose) {
+  EXPECT_EQ(sbaKinds(
+                "(define z 1)"
+                "(invoke"
+                "  (link (unit (import a) (export x) (define x (cons a a)))"
+                "        (unit (import b) (export y) (define y b)))"
+                "  z)"),
+            Kinds({"pair"}));
+}
+
+TEST(Analysis, ClassIvarFlow) {
+  EXPECT_EQ(sbaKinds("(ivar (make-obj (class object% () [x 1])) x)"),
+            Kinds({"num"}));
+}
+
+TEST(Analysis, ClassInheritanceFlow) {
+  EXPECT_EQ(sbaKinds("(define c1 (class object% () [x 'a]))"
+                     "(define c2 (class c1 (x) [y x]))"
+                     "(ivar (make-obj c2) y)"),
+            Kinds({"sym"}));
+}
+
+TEST(Analysis, SetIvarFlowsBack) {
+  EXPECT_EQ(sbaKinds("(define o (make-obj (class object% () [x 1])))"
+                     "(begin (set-ivar! o x 'a) (ivar o x))"),
+            Kinds({"num", "sym"}));
+}
+
+TEST(Analysis, MultiArityFunctionsKeepPositions) {
+  EXPECT_EQ(sbaKinds("((lambda (a b) a) 1 'x)"), Kinds({"num"}));
+  EXPECT_EQ(sbaKinds("((lambda (a b) b) 1 'x)"), Kinds({"sym"}));
+}
+
+TEST(Analysis, HigherOrderFlow) {
+  EXPECT_EQ(sbaKinds("(define (apply-to-5 f) (f 5))"
+                     "(apply-to-5 (lambda (n) (cons n n)))"),
+            Kinds({"pair"}));
+}
+
+TEST(Analysis, ChecksRecorded) {
+  Parsed R = parseOk("(car (cons 1 2)) ((lambda (x) x) 1) (+ 1 2)");
+  Analysis A = analyzeProgram(*R.Prog);
+  // car, application, and + are check sites; cons and literals are not.
+  EXPECT_EQ(A.Maps.Checks.size(), 3u);
+}
+
+TEST(Analysis, MonoMergesCallSites) {
+  // Monomorphic analysis merges the two calls of id.
+  EXPECT_EQ(sbaKinds("(define (id x) x) (id 'a) (id 1)"),
+            Kinds({"num", "sym"}));
+}
+
+TEST(Analysis, CopyPolymorphismSeparatesCallSites) {
+  AnalysisOptions Opts;
+  Opts.Poly = PolyMode::Copy;
+  EXPECT_EQ(sbaKinds("(define (id x) x) (id 'a) (id 1)", Opts),
+            Kinds({"num"}));
+}
+
+TEST(Analysis, LetPolymorphism) {
+  AnalysisOptions Opts;
+  Opts.Poly = PolyMode::Copy;
+  EXPECT_EQ(sbaKinds("(let ([id (lambda (x) x)])"
+                     "  (begin (id 'a) (id 1)))",
+                     Opts),
+            Kinds({"num"}));
+}
+
+TEST(Analysis, PolyRecursionStillSound) {
+  AnalysisOptions Opts;
+  Opts.Poly = PolyMode::Copy;
+  EXPECT_EQ(sbaKinds("(define (len l)"
+                     "  (if (null? l) 0 (+ 1 (len (cdr l)))))"
+                     "(len (list 1 2 3))",
+                     Opts),
+            Kinds({"num"}));
+}
+
+TEST(Analysis, PolyChecksStillVisible) {
+  // A check inside a polymorphic function still sees instance data.
+  AnalysisOptions Opts;
+  Opts.Poly = PolyMode::Copy;
+  Parsed R = parseOk("(define (first p) (car p)) (first 5)");
+  Analysis A = analyzeProgram(*R.Prog, Opts);
+  // Find the car check and confirm its scrutinee includes num.
+  bool Found = false;
+  for (const CheckSite &C : A.Maps.Checks) {
+    if (C.What != "car")
+      continue;
+    Found = true;
+    auto Consts = A.System->constantsOf(C.Scrutinees[0].V);
+    bool HasNum = false;
+    for (Constant K : Consts)
+      HasNum |= A.Ctx->Constants.kind(K) == ConstKind::Num;
+    EXPECT_TRUE(HasNum);
+  }
+  EXPECT_TRUE(Found);
+}
+
+TEST(Analysis, SumSsInvariant) {
+  // The running example of chapters 1 and 5: the argument `tree` of sum
+  // may be nil (from the ill-formed input tree), so car is unsafe.
+  Parsed R = parseOk("(define (sum tree)"
+                     "  (if (number? tree)"
+                     "      tree"
+                     "      (+ (sum (car tree)) (sum (cdr tree)))))"
+                     "(sum (cons (cons '() 1) 2))");
+  Analysis A = analyzeProgram(*R.Prog);
+  const Expr &Sum = R.Prog->expr(R.Prog->Components[0].Forms[0].Body);
+  ASSERT_EQ(Sum.K, ExprKind::Lambda);
+  SetVar Tree = A.Maps.varVar(Sum.Params[0]);
+  std::vector<std::string> Names;
+  for (Constant C : A.System->constantsOf(Tree))
+    Names.push_back(constKindName(A.Ctx->Constants.kind(C)));
+  std::sort(Names.begin(), Names.end());
+  Names.erase(std::unique(Names.begin(), Names.end()), Names.end());
+  // tree : (union (cons ...) nil num) — pair, nil and num reach it.
+  EXPECT_EQ(Names, Kinds({"nil", "num", "pair"}));
+}
+
+TEST(Analysis, StableAcrossRederivation) {
+  // Deriving a component twice (componential step 3) into a fresh system
+  // yields the same label variables and predictions.
+  Parsed R = parseOk("(define (f x) (cons x x)) (f 1)");
+  auto Ctx = std::make_unique<ConstraintContext>();
+  AnalysisMaps Maps;
+  Deriver D(*R.Prog, *Ctx, Maps, {});
+  ConstraintSystem S1{*Ctx};
+  D.deriveComponent(0, S1);
+  ConstraintSystem S2{*Ctx};
+  D.deriveComponent(0, S2);
+  ExprId Last = lastTopExpr(*R.Prog);
+  EXPECT_EQ(S1.constantsOf(Maps.exprVar(Last)),
+            S2.constantsOf(Maps.exprVar(Last)));
+}

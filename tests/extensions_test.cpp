@@ -1,0 +1,214 @@
+//===-- tests/extensions_test.cpp - App. D / §10.4 features ----*- C++ -*-===//
+///
+/// Tests for the appendix/future-work features: type assertions (D.5.1),
+/// signature verification via the (approx) rule (§10.4), and the type
+/// display preferences (D.2.2).
+///
+//===----------------------------------------------------------------------===//
+
+#include "componential/signature.h"
+#include "debugger/checks.h"
+#include "test_util.h"
+#include "types/type.h"
+
+using namespace spidey;
+using namespace spidey::test;
+
+namespace {
+
+DebugReport checksOf(const Parsed &R, const Analysis &A) {
+  return runChecks(*R.Prog, A.Maps, *A.System);
+}
+
+size_t assertionUnsafe(const DebugReport &Rep) {
+  size_t N = 0;
+  for (const CheckResult &C : Rep.Results)
+    if (!C.Safe && C.What == "type-assertion")
+      ++N;
+  return N;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===
+// Type assertions (App. D.5.1).
+//===----------------------------------------------------------------------===
+
+TEST(TypeAssert, VerifiedAssertionIsSafe) {
+  Parsed R = parseOk("(: (+ 1 2) num)");
+  Analysis A = analyzeProgram(*R.Prog);
+  EXPECT_EQ(assertionUnsafe(checksOf(R, A)), 0u);
+  EXPECT_EQ(kindsOf(A, lastTopExpr(*R.Prog)),
+            std::vector<std::string>{"num"});
+}
+
+TEST(TypeAssert, ViolatedAssertionIsFlagged) {
+  Parsed R = parseOk("(: \"not a number\" num)");
+  Analysis A = analyzeProgram(*R.Prog);
+  EXPECT_EQ(assertionUnsafe(checksOf(R, A)), 1u);
+}
+
+TEST(TypeAssert, UnionTypes) {
+  Parsed R = parseOk("(: (read-line) (union str eof))");
+  Analysis A = analyzeProgram(*R.Prog);
+  EXPECT_EQ(assertionUnsafe(checksOf(R, A)), 0u);
+  Parsed R2 = parseOk("(: (read-line) str)");
+  Analysis A2 = analyzeProgram(*R2.Prog);
+  EXPECT_EQ(assertionUnsafe(checksOf(R2, A2)), 1u);
+}
+
+TEST(TypeAssert, NarrowsDownstream) {
+  // The assertion is the programmer's promise: downstream sees only the
+  // asserted kinds, so string-length on an asserted string is safe.
+  Parsed R = parseOk("(string-length (: (read-line) str))");
+  Analysis A = analyzeProgram(*R.Prog);
+  DebugReport Rep = checksOf(R, A);
+  for (const CheckResult &C : Rep.Results)
+    if (C.What == "string-length") {
+      EXPECT_TRUE(C.Safe);
+    }
+  // The assertion itself remains flagged (read-line may give eof).
+  EXPECT_EQ(assertionUnsafe(Rep), 1u);
+}
+
+TEST(TypeAssert, RuntimeCheckFaults) {
+  // The machine enforces assertions, and the fault site is the flagged
+  // check (soundness of the debugger for assertions).
+  RunResult Out = runSource("(: (cons 1 2) num)");
+  EXPECT_EQ(Out.St, RunResult::Status::Fault);
+  EXPECT_EQ(evalToString("(: 7 num)"), "7");
+  EXPECT_EQ(evalToString("(: 7 (union num str))"), "7");
+  EXPECT_EQ(evalToString("(+ 1 (: (string-length \"ab\") num))"), "3");
+}
+
+TEST(TypeAssert, AnyAcceptsEverything) {
+  EXPECT_EQ(evalToString("(: (vector 1) any)"), "#(1)");
+  Parsed R = parseOk("(: (vector 1) any)");
+  Analysis A = analyzeProgram(*R.Prog);
+  EXPECT_EQ(assertionUnsafe(checksOf(R, A)), 0u);
+}
+
+TEST(TypeAssert, MalformedAssertionsRejected) {
+  EXPECT_FALSE(parse("(: 1)").Ok);
+  EXPECT_FALSE(parse("(: 1 nope)").Ok);
+  EXPECT_FALSE(parse("(: 1 (list num))").Ok);
+}
+
+TEST(TypeAssert, FnAndStructureKinds) {
+  Parsed R = parseOk("(define (f x) x)"
+                     "(: f fn) (: (box 1) box) (: (vector) vec)"
+                     "(: (unit (import a) (export a) (void)) unit)"
+                     "(: object% class) (: (make-obj object%) obj)");
+  Analysis A = analyzeProgram(*R.Prog);
+  EXPECT_EQ(assertionUnsafe(checksOf(R, A)), 0u);
+}
+
+//===----------------------------------------------------------------------===
+// Signatures and the (approx) rule (§10.4).
+//===----------------------------------------------------------------------===
+
+TEST(Signature, CorrectSignatureVerifies) {
+  // Component: inc : num -> num. Signature: the same interface, written
+  // directly as constraints.
+  Parsed R = parseOk("(define (inc x) (+ x 1))");
+  Analysis A = analyzeProgram(*R.Prog);
+  SetVar IncVar = A.Maps.varVar(R.Prog->Components[0].Forms[0].DefVar);
+  std::vector<SetVar> E{IncVar};
+
+  ConstraintContext &Ctx = *A.Ctx;
+  ConstraintSystem Sig(Ctx);
+  // fn-tag ≤ inc, num ≤ rng(inc). Constants are atoms of the semantic
+  // domain D, so a signature must name the component's function tag (it
+  // would come from the component's constraint file in practice).
+  Constant Tag = A.System->constantsOf(IncVar).front();
+  ASSERT_EQ(Ctx.Constants.kind(Tag), ConstKind::FnTag);
+  Sig.addConstLower(IncVar, Tag);
+  SetVar Rng = Ctx.freshVar();
+  Sig.addSelLower(IncVar, Ctx.Rng, Rng);
+  Sig.addConstLower(Rng, Ctx.Constants.basic(ConstKind::Num));
+
+  // The signature must entail the derived system on E. The derived system
+  // contains the same shape (tag, num result), so a signature carrying at
+  // least that information verifies.
+  SignatureCheck Check = verifySignature(Sig, *A.System, E);
+  EXPECT_EQ(Check.Entails, Decision::Yes);
+}
+
+TEST(Signature, MissingBehaviorIsRejected) {
+  // A signature claiming inc returns nothing does not entail the derived
+  // system (which proves num ≤ rng(inc) flows at uses)? The derived
+  // system's observable at E includes [fn-tag ≤ inc]; an empty signature
+  // proves nothing, so entailment fails.
+  Parsed R = parseOk("(define (inc x) (+ x 1))");
+  Analysis A = analyzeProgram(*R.Prog);
+  SetVar IncVar = A.Maps.varVar(R.Prog->Components[0].Forms[0].DefVar);
+  std::vector<SetVar> E{IncVar};
+  ConstraintSystem Empty(*A.Ctx);
+  SignatureCheck Check = verifySignature(Empty, *A.System, E);
+  EXPECT_EQ(Check.Entails, Decision::No);
+}
+
+TEST(Signature, SignatureUsableDownstream) {
+  // Using the verified signature instead of the derived system gives the
+  // same (or coarser, never smaller) answers at call sites.
+  Parsed R = parseOk("(define (inc x) (+ x 1))");
+  Analysis A = analyzeProgram(*R.Prog);
+  SetVar IncVar = A.Maps.varVar(R.Prog->Components[0].Forms[0].DefVar);
+  ConstraintContext &Ctx = *A.Ctx;
+
+  ConstraintSystem Sig(Ctx);
+  Constant Tag = A.System->constantsOf(IncVar).front();
+  Sig.addConstLower(IncVar, Tag);
+  SetVar Rng = Ctx.freshVar();
+  Sig.addSelLower(IncVar, Ctx.Rng, Rng);
+  Sig.addConstLower(Rng, Ctx.Constants.basic(ConstKind::Num));
+
+  // "Client" component: apply inc to a number through the signature only.
+  ConstraintSystem Client(Ctx);
+  Client.absorbRaw(Sig);
+  Client.close();
+  SetVar Arg = Ctx.freshVar(), Res = Ctx.freshVar();
+  Client.addSelUpper(IncVar, Ctx.dom(0), Arg);
+  Client.addSelUpper(IncVar, Ctx.Rng, Res);
+  Client.addConstLower(Arg, Ctx.Constants.basic(ConstKind::Num));
+  EXPECT_TRUE(Client.hasConstLower(Res, Ctx.Constants.basic(ConstKind::Num)));
+}
+
+//===----------------------------------------------------------------------===
+// Type display preferences (App. D.2.2).
+//===----------------------------------------------------------------------===
+
+TEST(TypeDisplay, ObjectFieldsSuppressed) {
+  Parsed R = parseOk("(make-obj (class object% () [x 1] [y 'a]))");
+  Analysis A = analyzeProgram(*R.Prog);
+  TypeBuilder TB(*A.System, R.Prog->Syms);
+  SetVar V = A.Maps.exprVar(lastTopExpr(*R.Prog));
+  EXPECT_NE(TB.typeString(V).find("[x num]"), std::string::npos);
+  TypeDisplayOptions Opts;
+  Opts.ShowObjectFields = false;
+  EXPECT_EQ(TB.typeString(V, Opts), "(obj ...)");
+}
+
+TEST(TypeDisplay, DepthBound) {
+  Parsed R = parseOk("(cons 1 (cons 2 (cons 3 '())))");
+  Analysis A = analyzeProgram(*R.Prog);
+  TypeBuilder TB(*A.System, R.Prog->Syms);
+  SetVar V = A.Maps.exprVar(lastTopExpr(*R.Prog));
+  TypeDisplayOptions Opts;
+  Opts.MaxDepth = 1;
+  std::string T = TB.typeString(V, Opts);
+  EXPECT_NE(T.find("..."), std::string::npos) << T;
+  EXPECT_EQ(T.find("(cons 3"), std::string::npos) << T;
+  Opts.MaxDepth = 64;
+  EXPECT_EQ(TB.typeString(V, Opts), TB.typeString(V));
+}
+
+TEST(TypeDisplay, UnitInteriorSuppressed) {
+  Parsed R = parseOk("(unit (import w) (export v) (define v 42))");
+  Analysis A = analyzeProgram(*R.Prog);
+  TypeBuilder TB(*A.System, R.Prog->Syms);
+  SetVar V = A.Maps.exprVar(lastTopExpr(*R.Prog));
+  TypeDisplayOptions Opts;
+  Opts.ShowUnitInterior = false;
+  EXPECT_EQ(TB.typeString(V, Opts), "(unit ...)");
+}

@@ -1,0 +1,364 @@
+//===-- tests/interp_test.cpp - Evaluator tests ----------------*- C++ -*-===//
+
+#include "test_util.h"
+
+using namespace spidey;
+using namespace spidey::test;
+
+TEST(Interp, Literals) {
+  EXPECT_EQ(evalToString("42"), "42");
+  EXPECT_EQ(evalToString("#t"), "#t");
+  EXPECT_EQ(evalToString("\"hi\""), "\"hi\"");
+  EXPECT_EQ(evalToString("#\\a"), "#\\a");
+  EXPECT_EQ(evalToString("'sym"), "sym");
+  EXPECT_EQ(evalToString("'()"), "()");
+}
+
+TEST(Interp, Arithmetic) {
+  EXPECT_EQ(evalToString("(+ 1 2 3)"), "6");
+  EXPECT_EQ(evalToString("(- 10 2 3)"), "5");
+  EXPECT_EQ(evalToString("(- 5)"), "-5");
+  EXPECT_EQ(evalToString("(* 2 3 4)"), "24");
+  EXPECT_EQ(evalToString("(quotient 7 2)"), "3");
+  EXPECT_EQ(evalToString("(remainder 7 2)"), "1");
+  EXPECT_EQ(evalToString("(modulo -7 3)"), "2");
+  EXPECT_EQ(evalToString("(min 3 1 2)"), "1");
+  EXPECT_EQ(evalToString("(max 3 1 2)"), "3");
+  EXPECT_EQ(evalToString("(abs -4)"), "4");
+  EXPECT_EQ(evalToString("(add1 (sub1 5))"), "5");
+  EXPECT_EQ(evalToString("(< 1 2 3)"), "#t");
+  EXPECT_EQ(evalToString("(< 1 3 2)"), "#f");
+  EXPECT_EQ(evalToString("(= 2 2)"), "#t");
+  EXPECT_EQ(evalToString("(zero? 0)"), "#t");
+}
+
+TEST(Interp, Bitwise) {
+  EXPECT_EQ(evalToString("(bitwise-and 12 10)"), "8");
+  EXPECT_EQ(evalToString("(bitwise-ior 12 10)"), "14");
+  EXPECT_EQ(evalToString("(bitwise-xor 12 10)"), "6");
+  EXPECT_EQ(evalToString("(arithmetic-shift 1 4)"), "16");
+  EXPECT_EQ(evalToString("(arithmetic-shift 16 -4)"), "1");
+}
+
+TEST(Interp, LambdaApplication) {
+  EXPECT_EQ(evalToString("((lambda (x y) (+ x y)) 3 4)"), "7");
+  EXPECT_EQ(evalToString("(((lambda (x) (lambda (y) (+ x y))) 1) 2)"), "3");
+}
+
+TEST(Interp, LexicalScope) {
+  EXPECT_EQ(evalToString("(let ([x 1]) (let ([f (lambda () x)])"
+                         "  (let ([x 2]) (f))))"),
+            "1");
+}
+
+TEST(Interp, Pairs) {
+  EXPECT_EQ(evalToString("(car (cons 1 2))"), "1");
+  EXPECT_EQ(evalToString("(cdr (cons 1 2))"), "2");
+  EXPECT_EQ(evalToString("(list 1 2 3)"), "(1 2 3)");
+  EXPECT_EQ(evalToString("(pair? (cons 1 2))"), "#t");
+  EXPECT_EQ(evalToString("(pair? '())"), "#f");
+  EXPECT_EQ(evalToString("(null? '())"), "#t");
+}
+
+TEST(Interp, Conditionals) {
+  EXPECT_EQ(evalToString("(if #f 1 2)"), "2");
+  EXPECT_EQ(evalToString("(if 0 1 2)"), "1"); // only #f is false
+  EXPECT_EQ(evalToString("(cond [(= 1 2) 'a] [(= 1 1) 'b] [else 'c])"), "b");
+  EXPECT_EQ(evalToString("(and 1 2 3)"), "3");
+  EXPECT_EQ(evalToString("(and 1 #f 3)"), "#f");
+  EXPECT_EQ(evalToString("(or #f 2)"), "2");
+  EXPECT_EQ(evalToString("(not #f)"), "#t");
+}
+
+TEST(Interp, LetrecRecursion) {
+  EXPECT_EQ(evalToString("(letrec ([fact (lambda (n)"
+                         "  (if (zero? n) 1 (* n (fact (sub1 n)))))])"
+                         " (fact 10))"),
+            "3628800");
+}
+
+TEST(Interp, NamedLetLoop) {
+  EXPECT_EQ(evalToString("(let loop ([i 0] [acc 0])"
+                         "  (if (= i 5) acc (loop (+ i 1) (+ acc i))))"),
+            "10");
+}
+
+TEST(Interp, TopLevelDefines) {
+  EXPECT_EQ(evalToString("(define (fib n)"
+                         "  (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))"
+                         "(fib 15)"),
+            "610");
+}
+
+TEST(Interp, MutualRecursionAcrossDefines) {
+  EXPECT_EQ(evalToString("(define (even? n) (if (zero? n) #t (odd? (sub1 n))))"
+                         "(define (odd? n) (if (zero? n) #f (even? (sub1 n))))"
+                         "(even? 40)"),
+            "#t");
+}
+
+TEST(Interp, SetBang) {
+  EXPECT_EQ(evalToString("(define x 1) (set! x (+ x 1)) x"), "2");
+  EXPECT_EQ(evalToString("(letrec ([c 0]"
+                         "         [bump (lambda () (set! c (+ c 1)))])"
+                         "  (bump) (bump) c)"),
+            "2");
+}
+
+TEST(Interp, SetReturnsValue) {
+  EXPECT_EQ(evalToString("(define x 0) (set! x 7)"), "7");
+}
+
+TEST(Interp, Boxes) {
+  EXPECT_EQ(evalToString("(unbox (box 5))"), "5");
+  EXPECT_EQ(evalToString("(let ([b (box 1)]) (set-box! b 9) (unbox b))"),
+            "9");
+  EXPECT_EQ(evalToString("(box? (box 1))"), "#t");
+  // Boxes are shared (aliasing).
+  EXPECT_EQ(evalToString("(let ([b (box 1)]) (let ([c b])"
+                         "  (set-box! c 42) (unbox b)))"),
+            "42");
+}
+
+TEST(Interp, Vectors) {
+  EXPECT_EQ(evalToString("(vector-ref (vector 1 2 3) 1)"), "2");
+  EXPECT_EQ(evalToString("(vector-length (make-vector 7 0))"), "7");
+  EXPECT_EQ(evalToString("(let ([v (make-vector 3 0)])"
+                         "  (vector-set! v 1 9) (vector-ref v 1))"),
+            "9");
+  EXPECT_EQ(evalToString("(vector? (vector))"), "#t");
+}
+
+TEST(Interp, Strings) {
+  EXPECT_EQ(evalToString("(string-length \"hello\")"), "5");
+  EXPECT_EQ(evalToString("(string-append \"a\" \"b\" \"c\")"), "\"abc\"");
+  EXPECT_EQ(evalToString("(substring \"hello\" 1 3)"), "\"el\"");
+  EXPECT_EQ(evalToString("(string-ref \"abc\" 1)"), "#\\b");
+  EXPECT_EQ(evalToString("(string=? \"x\" \"x\")"), "#t");
+  EXPECT_EQ(evalToString("(number->string 42)"), "\"42\"");
+  EXPECT_EQ(evalToString("(string->number \"42\")"), "42");
+  EXPECT_EQ(evalToString("(string->number \"nope\")"), "#f");
+  EXPECT_EQ(evalToString("(symbol->string 'abc)"), "\"abc\"");
+  EXPECT_EQ(evalToString("(eq? (string->symbol \"abc\") 'abc)"), "#t");
+  EXPECT_EQ(evalToString("(char->integer #\\a)"), "97");
+  EXPECT_EQ(evalToString("(integer->char 98)"), "#\\b");
+}
+
+TEST(Interp, Equality) {
+  EXPECT_EQ(evalToString("(eq? 'a 'a)"), "#t");
+  EXPECT_EQ(evalToString("(eq? (cons 1 2) (cons 1 2))"), "#f");
+  EXPECT_EQ(evalToString("(equal? (list 1 2) (list 1 2))"), "#t");
+  EXPECT_EQ(evalToString("(let ([p (cons 1 2)]) (eq? p p))"), "#t");
+}
+
+TEST(Interp, DisplayOutput) {
+  Parsed R = parseOk("(display \"hi \") (display 42) (newline)");
+  Machine M(*R.Prog);
+  ASSERT_EQ(M.runProgram().St, RunResult::Status::Ok);
+  EXPECT_EQ(M.output(), "hi 42\n");
+}
+
+TEST(Interp, ReadLineAndEof) {
+  EXPECT_EQ(evalToString("(read-line)", "hello\nworld\n"), "\"hello\"");
+  EXPECT_EQ(evalToString("(begin (read-line) (read-line))", "a\nb"),
+            "\"b\"");
+  EXPECT_EQ(evalToString("(eof-object? (read-line))", ""), "#t");
+  EXPECT_EQ(evalToString("(read-char)", "xy"), "#\\x");
+  EXPECT_EQ(evalToString("(begin (peek-char) (read-char))", "xy"), "#\\x");
+}
+
+TEST(Interp, CallccEscape) {
+  EXPECT_EQ(evalToString("(+ 1 (call/cc (lambda (k) (k 10) 999)))"), "11");
+}
+
+TEST(Interp, CallccNoInvoke) {
+  EXPECT_EQ(evalToString("(call/cc (lambda (k) 5))"), "5");
+}
+
+TEST(Interp, CallccReusableContinuation) {
+  // Store the continuation in a box and re-enter it repeatedly. (As in
+  // MzScheme, continuations are delimited by the top-level form.)
+  EXPECT_EQ(evalToString(
+                "(define saved (box #f))"
+                "(define count (box 0))"
+                "(let ([r (+ 1 (call/cc (lambda (k)"
+                "                         (set-box! saved k) 0)))])"
+                "  (if (< (unbox count) 3)"
+                "      (begin (set-box! count (+ (unbox count) 1))"
+                "             ((unbox saved) (unbox count)))"
+                "      r))"),
+            "4");
+}
+
+TEST(Interp, Abort) {
+  EXPECT_EQ(evalToString("(+ 1 (abort 42))"), "42");
+}
+
+TEST(Interp, AbortStopsProgram) {
+  EXPECT_EQ(evalToString("(define x (abort 'stopped)) (+ 1 2)"), "stopped");
+}
+
+TEST(Interp, UnitsBasic) {
+  EXPECT_EQ(evalToString(
+                "(define z 10)"
+                "(invoke (unit (import w) (export f)"
+                "              (define f (lambda () (+ w 1))))"
+                "        z)"),
+            "#<procedure>");
+  EXPECT_EQ(evalToString(
+                "(define z 10)"
+                "((invoke (unit (import w) (export f)"
+                "               (define f (lambda () (+ w 1))))"
+                "         z))"),
+            "11");
+}
+
+TEST(Interp, UnitsLink) {
+  // First unit exports 5+import; second adds 100.
+  EXPECT_EQ(evalToString(
+                "(define z 1)"
+                "(invoke"
+                "  (link (unit (import a) (export x) (define x (+ a 5)))"
+                "        (unit (import b) (export y) (define y (+ b 100))))"
+                "  z)"),
+            "106");
+}
+
+TEST(Interp, UnitBodyRunsAfterDefines) {
+  EXPECT_EQ(evalToString(
+                "(define z 0)"
+                "(define out (box 0))"
+                "(invoke (unit (import w) (export s)"
+                "              (define s (box 5))"
+                "              (set-box! out (unbox s)))"
+                "        z)"
+                "(unbox out)"),
+            "5");
+}
+
+TEST(Interp, ClassesBasic) {
+  EXPECT_EQ(evalToString("(ivar (make-obj (class object% () [x 41]"
+                         "                                  [y (+ x 1)])) y)"),
+            "42");
+}
+
+TEST(Interp, ClassesInheritance) {
+  EXPECT_EQ(evalToString(
+                "(define c1 (class object% () [x 10]))"
+                "(define c2 (class c1 (x) [y (+ x 1)]))"
+                "(ivar (make-obj c2) y)"),
+            "11");
+}
+
+TEST(Interp, ClassesSetIvar) {
+  EXPECT_EQ(evalToString(
+                "(define o (make-obj (class object% () [x 1])))"
+                "(set-ivar! o x 99)"
+                "(ivar o x)"),
+            "99");
+}
+
+TEST(Interp, ObjectsHaveIndependentState) {
+  EXPECT_EQ(evalToString(
+                "(define c (class object% () [x 0]))"
+                "(define a (make-obj c))"
+                "(define b (make-obj c))"
+                "(set-ivar! a x 5)"
+                "(ivar b x)"),
+            "0");
+}
+
+// --- Faults: the run-time errors the static debugger must predict. ---
+
+TEST(InterpFaults, CarOfNonPair) {
+  RunResult R = runSource("(car 5)");
+  EXPECT_EQ(R.St, RunResult::Status::Fault);
+  EXPECT_NE(R.FaultSite, NoExpr);
+}
+
+TEST(InterpFaults, CdrOfNil) {
+  EXPECT_EQ(runSource("(cdr '())").St, RunResult::Status::Fault);
+}
+
+TEST(InterpFaults, AddOfString) {
+  EXPECT_EQ(runSource("(+ 1 \"two\")").St, RunResult::Status::Fault);
+}
+
+TEST(InterpFaults, ApplyNonFunction) {
+  EXPECT_EQ(runSource("(1 2)").St, RunResult::Status::Fault);
+}
+
+TEST(InterpFaults, ArityMismatch) {
+  EXPECT_EQ(runSource("((lambda (x y) x) 1)").St, RunResult::Status::Fault);
+}
+
+TEST(InterpFaults, UnboxNonBox) {
+  EXPECT_EQ(runSource("(unbox 5)").St, RunResult::Status::Fault);
+}
+
+TEST(InterpFaults, VectorRefNonVector) {
+  EXPECT_EQ(runSource("(vector-ref 5 0)").St, RunResult::Status::Fault);
+}
+
+TEST(InterpFaults, StringLengthOfEof) {
+  EXPECT_EQ(runSource("(string-length (read-line))", "").St,
+            RunResult::Status::Fault);
+}
+
+TEST(InterpFaults, IvarOfNonObject) {
+  EXPECT_EQ(runSource("(ivar 5 x)").St, RunResult::Status::Fault);
+}
+
+TEST(InterpFaults, InvokeNonUnit) {
+  EXPECT_EQ(runSource("(define z 0) (invoke 5 z)").St,
+            RunResult::Status::Fault);
+}
+
+TEST(InterpFaults, LinkNonUnit) {
+  EXPECT_EQ(runSource("(link 1 2)").St, RunResult::Status::Fault);
+}
+
+TEST(InterpFaults, ClassOfNonClass) {
+  EXPECT_EQ(runSource("(class 5 () [x 1])").St, RunResult::Status::Fault);
+}
+
+TEST(InterpFaults, MakeObjOfNonClass) {
+  EXPECT_EQ(runSource("(make-obj 5)").St, RunResult::Status::Fault);
+}
+
+// --- User errors are distinct from faults (§10.2: not check sites). ---
+
+TEST(InterpErrors, DivisionByZero) {
+  EXPECT_EQ(runSource("(/ 1 0)").St, RunResult::Status::UserError);
+}
+
+TEST(InterpErrors, VectorIndexOutOfRange) {
+  EXPECT_EQ(runSource("(vector-ref (vector 1) 5)").St,
+            RunResult::Status::UserError);
+}
+
+TEST(InterpErrors, ErrorPrimitive) {
+  RunResult R = runSource("(error \"boom\" 42)");
+  EXPECT_EQ(R.St, RunResult::Status::UserError);
+  EXPECT_EQ(R.Message, "boom 42");
+}
+
+TEST(InterpErrors, OutOfFuel) {
+  Parsed R = parseOk("(letrec ([f (lambda () (f))]) (f))");
+  Machine M(*R.Prog);
+  M.setFuel(10000);
+  EXPECT_EQ(M.runProgram().St, RunResult::Status::OutOfFuel);
+}
+
+TEST(Interp, TraceHookObservesValues) {
+  Parsed R = parseOk("(+ 1 2)");
+  Machine M(*R.Prog);
+  std::vector<std::pair<ExprId, std::string>> Seen;
+  M.Trace = [&](ExprId E, const Value &V) {
+    Seen.emplace_back(E, V.str(R.Prog->Syms));
+  };
+  ASSERT_EQ(M.runProgram().St, RunResult::Status::Ok);
+  // Literals 1 and 2 plus the PrimApp result 3.
+  ASSERT_GE(Seen.size(), 3u);
+  EXPECT_EQ(Seen.back().second, "3");
+}

@@ -1,0 +1,197 @@
+//===-- tests/machine_edge_test.cpp - Evaluator edge cases -----*- C++ -*-===//
+///
+/// Edge-case coverage of the CEK machine: evaluation order, deep
+/// recursion, continuation interactions with mutation/units/classes,
+/// shadowing, unit composition corner cases, and class hierarchies.
+///
+//===----------------------------------------------------------------------===//
+
+#include "test_util.h"
+
+using namespace spidey;
+using namespace spidey::test;
+
+TEST(MachineEdge, LeftToRightEvaluationOrder) {
+  EXPECT_EQ(evalToString("(define trace (box '()))"
+                         "(define (note! x)"
+                         "  (begin (set-box! trace (cons x (unbox trace)))"
+                         "         x))"
+                         "((lambda (a b c) (void)) (note! 1) (note! 2)"
+                         "                         (note! 3))"
+                         "(unbox trace)"),
+            "(3 2 1)");
+}
+
+TEST(MachineEdge, LetEvaluatesInitsInOuterScope) {
+  EXPECT_EQ(evalToString("(define x 10)"
+                         "(let ([x 1] [y x]) y)"),
+            "10");
+}
+
+TEST(MachineEdge, LetrecInitsSeeEachOtherSequentially) {
+  EXPECT_EQ(evalToString("(letrec ([a 1] [b (+ a 1)]) (+ a b))"), "3");
+}
+
+TEST(MachineEdge, DeepRecursionViaCEK) {
+  // 100k-deep non-tail recursion: the explicit frame stack handles it.
+  EXPECT_EQ(evalToString("(define (count n)"
+                         "  (if (zero? n) 0 (+ 1 (count (sub1 n)))))"
+                         "(count 100000)"),
+            "100000");
+}
+
+TEST(MachineEdge, TailLoopRunsMillionsOfSteps) {
+  Parsed R = parseOk("(let loop ([i 0]) (if (= i 300000) i (loop (+ i 1))))");
+  Machine M(*R.Prog);
+  RunResult Out = M.runProgram();
+  ASSERT_EQ(Out.St, RunResult::Status::Ok);
+  EXPECT_EQ(Out.Result.str(R.Prog->Syms), "300000");
+}
+
+TEST(MachineEdge, ShadowingAcrossForms) {
+  EXPECT_EQ(evalToString("(define (f car) (car 5))"
+                         "(f (lambda (x) (* x 2)))"),
+            "10");
+}
+
+TEST(MachineEdge, ContinuationCapturesMutableState) {
+  // Invoking a continuation does not roll back mutations (store passes
+  // through capture, §3.3 + §3.4 semantics).
+  EXPECT_EQ(evalToString(
+                "(define n (box 0))"
+                "(let ([r (call/cc (lambda (k)"
+                "                    (begin (set-box! n 1) (k 'jumped))))])"
+                "  (cons r (unbox n)))"),
+            "(jumped . 1)");
+}
+
+TEST(MachineEdge, NestedCallcc) {
+  EXPECT_EQ(evalToString(
+                "(call/cc (lambda (outer)"
+                "  (+ 100 (call/cc (lambda (inner) (inner 1))))))"),
+            "101");
+  EXPECT_EQ(evalToString(
+                "(call/cc (lambda (outer)"
+                "  (+ 100 (call/cc (lambda (inner) (outer 1))))))"),
+            "1");
+}
+
+TEST(MachineEdge, ContinuationAsFirstClassArgument) {
+  EXPECT_EQ(evalToString("(define (apply-to f v) (f v))"
+                         "(+ 1 (call/cc (lambda (k) (apply-to k 41) 999)))"),
+            "42");
+}
+
+TEST(MachineEdge, AbortInsideDeepContext) {
+  EXPECT_EQ(evalToString("(car (cons (abort 'escaped) 1))"), "escaped");
+}
+
+TEST(MachineEdge, UnitExportIsImport) {
+  // A pass-through unit: export the import variable itself.
+  EXPECT_EQ(evalToString("(define z 5)"
+                         "(invoke (unit (import w) (export w) (void)) z)"),
+            "5");
+}
+
+TEST(MachineEdge, UnitWithNoDefines) {
+  EXPECT_EQ(evalToString("(define z 1)"
+                         "(invoke (unit (import w) (export w)"
+                         "              (display \"side\"))"
+                         "        z)"),
+            "1");
+}
+
+TEST(MachineEdge, ThreeWayLink) {
+  EXPECT_EQ(evalToString(
+                "(define z 1)"
+                "(invoke"
+                "  (link (link (unit (import a) (export x) (define x (+ a 1)))"
+                "              (unit (import b) (export y) (define y (* b 2))))"
+                "        (unit (import c) (export w) (define w (+ c 10))))"
+                "  z)"),
+            "14"); // ((1+1)*2)+10
+}
+
+TEST(MachineEdge, UnitValuesAreFirstClass) {
+  EXPECT_EQ(evalToString(
+                "(define z 3)"
+                "(define (twice u) (link u u))"
+                "(invoke (twice (unit (import a) (export b)"
+                "                     (define b (* a a))))"
+                "        z)"),
+            "81");
+}
+
+TEST(MachineEdge, ClassThreeLevels) {
+  EXPECT_EQ(evalToString(
+                "(define a% (class object% () [x 1]))"
+                "(define b% (class a% (x) [y (* x 10)]))"
+                "(define c% (class b% (x y) [z (+ x y)]))"
+                "(ivar (make-obj c%) z)"),
+            "11");
+}
+
+TEST(MachineEdge, SubclassInitializerSeesSuperValue) {
+  EXPECT_EQ(evalToString(
+                "(define base (class object% () [v 7]))"
+                "(define derived (class base (v) [w (+ v 1)]))"
+                "(ivar (make-obj derived) w)"),
+            "8");
+}
+
+TEST(MachineEdge, ClassValuesAreFirstClass) {
+  EXPECT_EQ(evalToString(
+                "(define (extend c) (class c () [extra 'added]))"
+                "(ivar (make-obj (extend (class object% () [base 1])))"
+                "      extra)"),
+            "added");
+}
+
+TEST(MachineEdge, ObjectsInDataStructures) {
+  EXPECT_EQ(evalToString(
+                "(define objs"
+                "  (list (make-obj (class object% () [n 1]))"
+                "        (make-obj (class object% () [n 2]))))"
+                "(+ (ivar (car objs) n) (ivar (car (cdr objs)) n))"),
+            "3");
+}
+
+TEST(MachineEdge, SetReturnsAndChains) {
+  EXPECT_EQ(evalToString("(define a 0) (define b 0)"
+                         "(set! a (set! b 5))"
+                         "(+ a b)"),
+            "10");
+}
+
+TEST(MachineEdge, BeginSequencingWithEffects) {
+  EXPECT_EQ(evalToString("(define b (box 0))"
+                         "(begin (set-box! b 1) (set-box! b 2)"
+                         "       (unbox b))"),
+            "2");
+}
+
+TEST(MachineEdge, VectorAliasing) {
+  EXPECT_EQ(evalToString("(define v (vector 1 2))"
+                         "(define w v)"
+                         "(vector-set! w 0 9)"
+                         "(vector-ref v 0)"),
+            "9");
+}
+
+TEST(MachineEdge, EvalTopReusesTopEnvironment) {
+  Parsed R = parseOk("(define x 41) (define y (+ x 1))");
+  Machine M(*R.Prog);
+  ASSERT_EQ(M.runProgram().St, RunResult::Status::Ok);
+  // Re-evaluate the second define's body in the final environment.
+  RunResult Out = M.evalTop(R.Prog->Components[0].Forms[1].Body);
+  ASSERT_EQ(Out.St, RunResult::Status::Ok);
+  EXPECT_EQ(Out.Result.str(R.Prog->Syms), "42");
+}
+
+TEST(MachineEdge, FreshMachinesAreIndependent) {
+  Parsed R = parseOk("(define b (box 0)) (set-box! b (+ (unbox b) 1))"
+                     "(unbox b)");
+  Machine M1(*R.Prog), M2(*R.Prog);
+  EXPECT_EQ(M1.runProgram().Result.str(R.Prog->Syms), "1");
+  EXPECT_EQ(M2.runProgram().Result.str(R.Prog->Syms), "1");
+}

@@ -1,0 +1,197 @@
+//===-- tests/parser_test.cpp - Parser and AST tests -----------*- C++ -*-===//
+
+#include "test_util.h"
+
+using namespace spidey;
+using namespace spidey::test;
+
+namespace {
+
+/// Parses a single expression and renders it back.
+std::string roundTrip(const std::string &Source) {
+  Parsed R = parse(Source);
+  if (!R.Ok)
+    return "<error>";
+  return R.Prog->exprToString(lastTopExpr(*R.Prog));
+}
+
+} // namespace
+
+TEST(Parser, Literals) {
+  EXPECT_EQ(roundTrip("42"), "42");
+  EXPECT_EQ(roundTrip("#t"), "#t");
+  EXPECT_EQ(roundTrip("\"hi\""), "\"hi\"");
+  EXPECT_EQ(roundTrip("'()"), "'()");
+  EXPECT_EQ(roundTrip("'foo"), "'foo");
+  EXPECT_EQ(roundTrip("(void)"), "(void)");
+}
+
+TEST(Parser, LambdaAndApplication) {
+  EXPECT_EQ(roundTrip("((lambda (x) x) 1)"), "((lambda (x) x) 1)");
+}
+
+TEST(Parser, PrimitiveApplication) {
+  Parsed R = parseOk("(+ 1 2)");
+  const Expr &E = R.Prog->expr(lastTopExpr(*R.Prog));
+  EXPECT_EQ(E.K, ExprKind::PrimApp);
+  EXPECT_EQ(E.PrimOp, Prim::Add);
+}
+
+TEST(Parser, PrimitiveEtaExpansion) {
+  // car in argument position becomes (lambda (x) (car x)).
+  Parsed R = parseOk("((lambda (f) (f (cons 1 2))) car)");
+  EXPECT_TRUE(R.Ok);
+}
+
+TEST(Parser, ShadowingPrimitiveName) {
+  // A lambda-bound `car` shadows the primitive.
+  Parsed R = parseOk("((lambda (car) (car 5)) (lambda (x) x))");
+  EXPECT_TRUE(R.Ok);
+}
+
+TEST(Parser, LetAndBody) {
+  EXPECT_EQ(roundTrip("(let ([x 1] [y 2]) (+ x y))"),
+            "(let ([x 1] [y 2]) (+ x y))");
+}
+
+TEST(Parser, LetStarDesugarsToNestedLets) {
+  EXPECT_EQ(roundTrip("(let* ([x 1] [y x]) y)"),
+            "(let ([x 1]) (let ([y x]) y))");
+}
+
+TEST(Parser, NamedLetDesugarsToLetrec) {
+  std::string S = roundTrip("(let loop ([i 0]) (if (< i 3) (loop (+ i 1)) i))");
+  EXPECT_NE(S.find("letrec"), std::string::npos) << S;
+  EXPECT_NE(S.find("(loop 0)"), std::string::npos) << S;
+}
+
+TEST(Parser, CondDesugarsToIf) {
+  EXPECT_EQ(roundTrip("(cond [(< 1 2) 'a] [else 'b])"),
+            "(if (< 1 2) 'a 'b)");
+}
+
+TEST(Parser, AndOrDesugar) {
+  EXPECT_EQ(roundTrip("(and 1 2)"), "(if 1 2 #f)");
+  std::string S = roundTrip("(or 1 2)");
+  EXPECT_NE(S.find("(let ([or%"), std::string::npos) << S;
+}
+
+TEST(Parser, WhenUnless) {
+  EXPECT_EQ(roundTrip("(when #t 1)"), "(if #t 1 (void))");
+  EXPECT_EQ(roundTrip("(unless #t 1)"), "(if #t (void) 1)");
+}
+
+TEST(Parser, QuotedListBecomesConses) {
+  EXPECT_EQ(roundTrip("'(1 2)"), "(cons 1 (cons 2 '()))");
+}
+
+TEST(Parser, DefineFunctionSugar) {
+  Parsed R = parseOk("(define (f x y) (+ x y)) (f 1 2)");
+  const Component &C = R.Prog->Components[0];
+  ASSERT_EQ(C.Forms.size(), 2u);
+  EXPECT_NE(C.Forms[0].DefVar, NoVar);
+  EXPECT_EQ(R.Prog->expr(C.Forms[0].Body).K, ExprKind::Lambda);
+}
+
+TEST(Parser, TopLevelDefinesAreAssignable) {
+  Parsed R = parseOk("(define x 1) (set! x 2) x");
+  EXPECT_TRUE(R.Ok);
+}
+
+TEST(Parser, SetOfImmutableVariableFails) {
+  Parsed R = parse("(let ([x 1]) (set! x 2))");
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(Parser, SetOfUnboundFails) {
+  EXPECT_FALSE(parse("(set! nope 1)").Ok);
+}
+
+TEST(Parser, UnboundVariableFails) { EXPECT_FALSE(parse("nope").Ok); }
+
+TEST(Parser, DuplicateTopLevelDefineFails) {
+  EXPECT_FALSE(parse("(define x 1) (define x 2)").Ok);
+}
+
+TEST(Parser, KeywordCannotBeBound) {
+  EXPECT_FALSE(parse("(lambda (if) if)").Ok);
+  EXPECT_FALSE(parse("(define if 1)").Ok);
+}
+
+TEST(Parser, DefineOnlyAtTopLevel) {
+  EXPECT_FALSE(parse("(let ([x 1]) (define y 2) y)").Ok);
+}
+
+TEST(Parser, ForwardReferenceAcrossDefines) {
+  // Top-level defines share one letrec scope.
+  EXPECT_TRUE(parse("(define (f) (g)) (define (g) 1)").Ok);
+}
+
+TEST(Parser, CrossComponentReference) {
+  Parsed R = parseFiles({{"a.ss", "(define (f x) (+ x 1))"},
+                         {"b.ss", "(f 41)"}});
+  EXPECT_TRUE(R.Ok) << R.Diags.str();
+  EXPECT_EQ(R.Prog->Components.size(), 2u);
+}
+
+TEST(Parser, CallccForms) {
+  Parsed R = parseOk("(call/cc (lambda (k) (k 1)))");
+  EXPECT_EQ(R.Prog->expr(lastTopExpr(*R.Prog)).K, ExprKind::Callcc);
+}
+
+TEST(Parser, UnitForm) {
+  Parsed R = parseOk("(unit (import in) (export out)"
+                     " (define out (lambda (x) x)) (void))");
+  const Expr &E = R.Prog->expr(lastTopExpr(*R.Prog));
+  ASSERT_EQ(E.K, ExprKind::Unit);
+  EXPECT_EQ(E.Bindings.size(), 1u);
+  EXPECT_EQ(R.Prog->var(E.Params[0]).Name, R.Prog->Syms.lookup("in"));
+}
+
+TEST(Parser, UnitExportMustBeBound) {
+  EXPECT_FALSE(parse("(unit (import in) (export nope) (void))").Ok);
+}
+
+TEST(Parser, LinkInvokeForms) {
+  Parsed R = parseOk("(define z 1)"
+                     "(invoke (link (unit (import a) (export a) (void))"
+                     "              (unit (import b) (export b) (void))) z)");
+  EXPECT_TRUE(R.Ok);
+}
+
+TEST(Parser, ClassForms) {
+  Parsed R = parseOk("(let ([c (class object% () [x 1] [y (+ x 1)])])"
+                     "  (ivar (make-obj c) y))");
+  EXPECT_TRUE(R.Ok);
+}
+
+TEST(Parser, ClassInheritedIvarsInScope) {
+  Parsed R = parseOk("(let* ([c1 (class object% () [x 1])]"
+                     "       [c2 (class c1 (x) [y (+ x 1)])])"
+                     "  (ivar (make-obj c2) y))");
+  EXPECT_TRUE(R.Ok);
+}
+
+TEST(Parser, SetIvarForm) {
+  Parsed R = parseOk("(define o (make-obj (class object% () [x 1])))"
+                     "(set-ivar! o x 5)");
+  EXPECT_EQ(R.Prog->expr(lastTopExpr(*R.Prog)).K, ExprKind::IvarSet);
+}
+
+TEST(Parser, WrongPrimArityIsError) {
+  EXPECT_FALSE(parse("(car)").Ok);
+  EXPECT_FALSE(parse("(cons 1)").Ok);
+  EXPECT_FALSE(parse("(vector-ref (vector 1) 0 2)").Ok);
+}
+
+TEST(Parser, EmptyApplicationIsError) { EXPECT_FALSE(parse("()").Ok); }
+
+TEST(Parser, BeginSequence) {
+  EXPECT_EQ(roundTrip("(begin 1 2 3)"), "(begin 1 2 3)");
+}
+
+TEST(Parser, LocationsSurviveParsing) {
+  Parsed R = parseOk("(define x\n  (cons 1\n        2))");
+  const Expr &Init = R.Prog->expr(R.Prog->Components[0].Forms[0].Body);
+  EXPECT_EQ(Init.Loc.Line, 2u);
+}

@@ -1,0 +1,182 @@
+//===-- tests/prims_test.cpp - Primitive table coverage --------*- C++ -*-===//
+///
+/// Table-driven coverage of every primitive (App. E.5): each entry runs a
+/// sample application, checks the produced value, and asserts the
+/// analysis's prediction for the call covers the runtime result — i.e.
+/// each PrimSpec's result mask and shape are consistent with the
+/// evaluator.
+///
+//===----------------------------------------------------------------------===//
+
+#include "debugger/checks.h"
+#include "test_util.h"
+
+using namespace spidey;
+using namespace spidey::test;
+
+namespace {
+
+struct PrimCase {
+  const char *Source;
+  const char *Expected;
+  const char *Input = "";
+};
+
+class PrimTableTest : public ::testing::TestWithParam<PrimCase> {};
+
+} // namespace
+
+TEST_P(PrimTableTest, RunsAndIsPredicted) {
+  const PrimCase &Case = GetParam();
+  Parsed R = parseOk(Case.Source);
+  ASSERT_TRUE(R.Ok);
+  Analysis A = analyzeProgram(*R.Prog);
+
+  Machine M(*R.Prog);
+  M.setInput(Case.Input);
+  RunResult Out = M.runProgram();
+  ASSERT_EQ(Out.St, RunResult::Status::Ok)
+      << Case.Source << ": " << Out.Message;
+  EXPECT_EQ(Out.Result.str(R.Prog->Syms), Case.Expected) << Case.Source;
+
+  // The analysis must predict the result's kind at the top expression.
+  ConstKind Want = valueAbstractKind(Out.Result);
+  bool Covered = false;
+  for (Constant C : A.sba(lastTopExpr(*R.Prog)))
+    Covered |= A.Ctx->Constants.kind(C) == Want;
+  EXPECT_TRUE(Covered) << Case.Source << " result kind "
+                       << constKindName(Want) << " not predicted";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPrims, PrimTableTest,
+    ::testing::Values(
+        // Pairs.
+        PrimCase{"(cons 1 2)", "(1 . 2)"},
+        PrimCase{"(car (cons 1 2))", "1"},
+        PrimCase{"(cdr (cons 1 2))", "2"},
+        PrimCase{"(pair? (cons 1 2))", "#t"},
+        PrimCase{"(null? '())", "#t"},
+        PrimCase{"(list 1 'a \"s\")", "(1 a \"s\")"},
+        // Boxes.
+        PrimCase{"(box 1)", "#&1"},
+        PrimCase{"(unbox (box 'x))", "x"},
+        PrimCase{"(let ([b (box 0)]) (set-box! b 9))", "9"},
+        PrimCase{"(box? 5)", "#f"},
+        // Vectors.
+        PrimCase{"(make-vector 2 'z)", "#(z z)"},
+        PrimCase{"(vector 1 2)", "#(1 2)"},
+        PrimCase{"(vector-ref (vector 7 8) 1)", "8"},
+        PrimCase{"(let ([v (vector 0)]) (vector-set! v 0 5))", "#<void>"},
+        PrimCase{"(vector-length (vector 1 2 3))", "3"},
+        PrimCase{"(vector? (vector))", "#t"},
+        // Arithmetic.
+        PrimCase{"(+ 1 2 3)", "6"},
+        PrimCase{"(- 9 4)", "5"},
+        PrimCase{"(* 3 4)", "12"},
+        PrimCase{"(/ 8 2)", "4"},
+        PrimCase{"(quotient 9 2)", "4"},
+        PrimCase{"(remainder 9 2)", "1"},
+        PrimCase{"(modulo -9 2)", "1"},
+        PrimCase{"(min 4 2 8)", "2"},
+        PrimCase{"(max 4 2 8)", "8"},
+        PrimCase{"(abs -3)", "3"},
+        PrimCase{"(floor 3.7)", "3"},
+        PrimCase{"(add1 1)", "2"},
+        PrimCase{"(sub1 1)", "0"},
+        PrimCase{"(zero? 0)", "#t"},
+        PrimCase{"(< 1 2)", "#t"},
+        PrimCase{"(> 1 2)", "#f"},
+        PrimCase{"(<= 2 2)", "#t"},
+        PrimCase{"(>= 1 2)", "#f"},
+        PrimCase{"(= 3 3)", "#t"},
+        PrimCase{"(number? 'a)", "#f"},
+        PrimCase{"(bitwise-and 6 3)", "2"},
+        PrimCase{"(bitwise-ior 6 3)", "7"},
+        PrimCase{"(bitwise-xor 6 3)", "5"},
+        PrimCase{"(arithmetic-shift 3 2)", "12"},
+        PrimCase{"(< (random 10) 10)", "#t"},
+        // Predicates / equality.
+        PrimCase{"(not #f)", "#t"},
+        PrimCase{"(boolean? #t)", "#t"},
+        PrimCase{"(symbol? 'a)", "#t"},
+        PrimCase{"(string? \"s\")", "#t"},
+        PrimCase{"(char? #\\a)", "#t"},
+        PrimCase{"(procedure? (lambda (x) x))", "#t"},
+        PrimCase{"(procedure? (call/cc (lambda (k) k)))", "#t"},
+        PrimCase{"(eof-object? (read-char))", "#t"},
+        PrimCase{"(eq? 'a 'a)", "#t"},
+        PrimCase{"(equal? (list 1) (list 1))", "#t"},
+        // Strings / chars.
+        PrimCase{"(string-length \"abc\")", "3"},
+        PrimCase{"(string-append \"a\" \"b\")", "\"ab\""},
+        PrimCase{"(substring \"hello\" 1 4)", "\"ell\""},
+        PrimCase{"(string-ref \"xy\" 0)", "#\\x"},
+        PrimCase{"(string=? \"a\" \"b\")", "#f"},
+        PrimCase{"(number->string 12)", "\"12\""},
+        PrimCase{"(string->number \"3.5\")", "3.5"},
+        PrimCase{"(string->number \"zzz\")", "#f"},
+        PrimCase{"(symbol->string 'hey)", "\"hey\""},
+        PrimCase{"(string->symbol \"dyn\")", "dyn"},
+        PrimCase{"(char->integer #\\A)", "65"},
+        PrimCase{"(integer->char 66)", "#\\B"},
+        // I/O.
+        PrimCase{"(begin (display 1) (newline) 'done)", "done"},
+        PrimCase{"(read-line)", "\"alpha\"", "alpha\nbeta"},
+        PrimCase{"(read-char)", "#\\q", "q"},
+        PrimCase{"(peek-char)", "#\\q", "q"}));
+
+namespace {
+
+/// Every checked primitive faults on its canonical bad argument, and the
+/// fault site is always flagged by the debugger (exhaustive variant of the
+/// soundness suite's spot checks).
+struct FaultCase {
+  const char *Source;
+};
+
+class PrimFaultTest : public ::testing::TestWithParam<FaultCase> {};
+
+} // namespace
+
+TEST_P(PrimFaultTest, FaultsAndIsFlagged) {
+  const FaultCase &Case = GetParam();
+  Parsed R = parseOk(Case.Source);
+  Analysis A = analyzeProgram(*R.Prog);
+  Machine M(*R.Prog);
+  RunResult Out = M.runProgram();
+  ASSERT_EQ(Out.St, RunResult::Status::Fault) << Case.Source;
+  DebugReport Rep = runChecks(*R.Prog, A.Maps, *A.System);
+  bool Flagged = false;
+  for (const CheckResult &C : Rep.Results)
+    Flagged |= C.Site == Out.FaultSite && !C.Safe;
+  EXPECT_TRUE(Flagged) << Case.Source;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFaults, PrimFaultTest,
+    ::testing::Values(FaultCase{"(car 'a)"}, FaultCase{"(cdr 1)"},
+                      FaultCase{"(unbox \"s\")"},
+                      FaultCase{"(set-box! 1 2)"},
+                      FaultCase{"(make-vector 'n)"},
+                      FaultCase{"(vector-ref '() 0)"},
+                      FaultCase{"(vector-set! 'v 0 1)"},
+                      FaultCase{"(vector-length 0)"},
+                      FaultCase{"(+ 1 'a)"}, FaultCase{"(- \"x\")"},
+                      FaultCase{"(* 1 #t)"}, FaultCase{"(/ 'a 1)"},
+                      FaultCase{"(quotient #f 1)"},
+                      FaultCase{"(abs 'a)"}, FaultCase{"(add1 \"1\")"},
+                      FaultCase{"(zero? 'z)"}, FaultCase{"(< 1 'two)"},
+                      FaultCase{"(bitwise-and 'a 1)"},
+                      FaultCase{"(arithmetic-shift #t 1)"},
+                      FaultCase{"(string-length 'sym)"},
+                      FaultCase{"(string-append \"a\" 5)"},
+                      FaultCase{"(substring 5 0 1)"},
+                      FaultCase{"(string-ref 'a 0)"},
+                      FaultCase{"(string=? \"a\" 'a)"},
+                      FaultCase{"(number->string \"5\")"},
+                      FaultCase{"(string->number 5)"},
+                      FaultCase{"(symbol->string \"s\")"},
+                      FaultCase{"(string->symbol 'already)"},
+                      FaultCase{"(char->integer 97)"},
+                      FaultCase{"(integer->char #\\a)"}));

@@ -1,0 +1,223 @@
+//===-- tests/rtg_test.cpp - Grammar, containment, entailment --*- C++ -*-===//
+
+#include "rtg/contain.h"
+#include "rtg/entail.h"
+#include "test_util.h"
+
+using namespace spidey;
+using namespace spidey::test;
+
+namespace {
+
+struct RtgFixture : ::testing::Test {
+  ConstraintContext Ctx;
+  Constant CNum = Ctx.Constants.basic(ConstKind::Num);
+
+  ConstraintSystem closed(std::initializer_list<int>) = delete;
+};
+
+} // namespace
+
+TEST(Grammar, ReflexProductionsForExternals) {
+  ConstraintContext Ctx;
+  ConstraintSystem S{Ctx};
+  SetVar A = Ctx.freshVar(), B = Ctx.freshVar();
+  S.addVarUpper(A, B);
+  Grammar G(S, {A});
+  // αL generates "α" (external), and βL generates "α" through βL → αL.
+  EXPECT_TRUE(G.nonempty(NT{A, false}));
+  EXPECT_TRUE(G.nonempty(NT{B, false}));
+  // βU generates nothing (β is internal with no upper structure).
+  EXPECT_FALSE(G.nonempty(NT{B, true}));
+  // αU generates "α".
+  EXPECT_TRUE(G.nonempty(NT{A, true}));
+}
+
+TEST(Grammar, SelectorProductions) {
+  ConstraintContext Ctx;
+  ConstraintSystem S{Ctx};
+  SetVar A = Ctx.freshVar(), B = Ctx.freshVar();
+  // [α ≤ rng(β)] gives αU → rng(βU).
+  S.addSelLower(B, Ctx.Rng, A);
+  Grammar G(S, {B});
+  EXPECT_TRUE(G.nonempty(NT{A, true}));
+  ASSERT_EQ(G.prods(NT{A, true}).size(), 1u);
+  const Prod &P = G.prods(NT{A, true})[0];
+  EXPECT_EQ(P.K, Prod::Kind::Sel);
+  EXPECT_EQ(P.S, Ctx.Rng);
+  EXPECT_EQ(P.Target.Var, B);
+  EXPECT_TRUE(P.Target.Upper);
+}
+
+TEST(Contain, BasicWordLanguages) {
+  ConstraintContext Ctx;
+  ConstraintSystem S{Ctx};
+  SetVar A = Ctx.freshVar(), B = Ctx.freshVar(), C = Ctx.freshVar();
+  S.addVarUpper(A, B);
+  S.addVarUpper(A, C);
+  Grammar G(S, {B, C});
+  // L(AU) = {β, γ}; L(BU) = {β}.
+  Lang LA = Lang::ofNT(G, NT{A, true});
+  Lang LB = Lang::ofNT(G, NT{B, true});
+  EXPECT_TRUE(langContained(LB, LA));
+  EXPECT_FALSE(langContained(LA, LB));
+  EXPECT_TRUE(langContained(LA, LA));
+}
+
+TEST(Contain, RecursiveLanguages) {
+  ConstraintContext Ctx;
+  ConstraintSystem S{Ctx};
+  SetVar A = Ctx.freshVar(), B = Ctx.freshVar();
+  // α ≤ rng(α) and α ≤ β gives L(αU) ⊇ rng^n(β).
+  S.addSelLower(A, Ctx.Rng, A); // α ≤ rng(α)
+  S.addVarUpper(A, B);
+  Grammar G(S, {B});
+  // The same language twice.
+  Lang LA = Lang::ofNT(G, NT{A, true});
+  EXPECT_TRUE(langContained(LA, LA));
+  // β alone is contained in it.
+  ConstraintSystem S2{Ctx};
+  SetVar A2 = Ctx.freshVar();
+  S2.addVarUpper(A2, B);
+  Grammar G2(S2, {B});
+  EXPECT_TRUE(langContained(Lang::ofNT(G2, NT{A2, true}), LA));
+  EXPECT_FALSE(langContained(LA, Lang::ofNT(G2, NT{A2, true})));
+}
+
+TEST(Contain, ProductContainment) {
+  ConstraintContext Ctx;
+  ConstraintSystem S{Ctx};
+  SetVar A = Ctx.freshVar(), B = Ctx.freshVar(), C = Ctx.freshVar();
+  S.addVarUpper(A, B);
+  S.addVarUpper(A, C);
+  Grammar G(S, {B, C});
+  Lang LA = Lang::ofNT(G, NT{A, true}); // {β, γ}
+  Lang LB = Lang::ofNT(G, NT{B, true}); // {β}
+  Lang LC = Lang::ofNT(G, NT{C, true}); // {γ}
+  // {β,γ}×{β} ⊆ {β}×{β} ∪ {γ}×{β} holds.
+  EXPECT_TRUE(productContained(LA, LB, {{LB, LB}, {LC, LB}}));
+  // {β,γ}×{β,γ} ⊆ {β}×{β} ∪ {γ}×{γ} fails (cross pairs missing).
+  EXPECT_FALSE(productContained(LA, LA, {{LB, LB}, {LC, LC}}));
+  // ... but holds with the full product.
+  EXPECT_TRUE(productContained(LA, LA, {{LA, LA}}));
+}
+
+namespace {
+
+/// Derives and closes the constraint system of a source program and
+/// returns it with the analysis (for external-variable selection).
+struct Analyzed {
+  Parsed P;
+  Analysis A;
+};
+
+Analyzed analyzeSrc(const std::string &Source) {
+  Analyzed R{parseOk(Source), {}};
+  R.A = analyzeProgram(*R.P.Prog);
+  return R;
+}
+
+} // namespace
+
+TEST(Entail, SelfEquivalence) {
+  Analyzed R = analyzeSrc("(define (f x) (cons x 1)) (f 'a)");
+  std::vector<SetVar> E;
+  for (const TopForm &F : R.P.Prog->Components[0].Forms)
+    if (F.DefVar != NoVar)
+      E.push_back(R.A.Maps.varVar(F.DefVar));
+  EXPECT_EQ(observablyEquivalent(*R.A.System, *R.A.System, E),
+            Decision::Yes);
+}
+
+TEST(Entail, TransitivityCollapse) {
+  // {α≤β, β≤γ} ≅{α,γ} {α≤γ}: the internal β is not observable.
+  ConstraintContext Ctx;
+  SetVar A = Ctx.freshVar(), B = Ctx.freshVar(), G = Ctx.freshVar();
+  ConstraintSystem S1{Ctx};
+  S1.addVarUpper(A, B);
+  S1.addVarUpper(B, G);
+  ConstraintSystem S2{Ctx};
+  S2.addVarUpper(A, G);
+  EXPECT_EQ(observablyEquivalent(S1, S2, {A, G}), Decision::Yes);
+}
+
+TEST(Entail, MissingFlowDetected) {
+  ConstraintContext Ctx;
+  SetVar A = Ctx.freshVar(), G = Ctx.freshVar();
+  ConstraintSystem S1{Ctx};
+  S1.addVarUpper(A, G);
+  ConstraintSystem S2{Ctx}; // empty
+  // S1 entails S2 (S1 is stronger), but not vice versa.
+  EXPECT_EQ(entails(S1, S2, {A, G}), Decision::Yes);
+  EXPECT_EQ(entails(S2, S1, {A, G}), Decision::No);
+  EXPECT_EQ(observablyEquivalent(S1, S2, {A, G}), Decision::No);
+}
+
+TEST(Entail, ConstantConstraints) {
+  ConstraintContext Ctx;
+  Constant CNum = Ctx.Constants.basic(ConstKind::Num);
+  SetVar A = Ctx.freshVar(), B = Ctx.freshVar();
+  ConstraintSystem S1{Ctx};
+  S1.addConstLower(A, CNum);
+  S1.addVarUpper(A, B);
+  ConstraintSystem S2{Ctx};
+  S2.addConstLower(A, CNum);
+  S2.addConstLower(B, CNum);
+  S2.addVarUpper(A, B);
+  // Closure makes [num ≤ β] explicit in S1 too, so they agree on {α, β}.
+  EXPECT_EQ(observablyEquivalent(S1, S2, {A, B}), Decision::Yes);
+  // Dropping the constant entirely is observable.
+  ConstraintSystem S3{Ctx};
+  S3.addVarUpper(A, B);
+  EXPECT_EQ(entails(S3, S1, {A, B}), Decision::No);
+}
+
+TEST(Entail, SelectorIndirectionCollapse) {
+  // {α ≤ rng(β)} with an indirection variable ι:
+  // {α ≤ ι, ι ≤ rng(β)} is observably equivalent w.r.t. {α, β}.
+  ConstraintContext Ctx;
+  SetVar A = Ctx.freshVar(), B = Ctx.freshVar(), I = Ctx.freshVar();
+  ConstraintSystem S1{Ctx};
+  S1.addSelLower(B, Ctx.Rng, A); // α ≤ rng(β)
+  ConstraintSystem S2{Ctx};
+  S2.addVarUpper(A, I);
+  S2.addSelLower(B, Ctx.Rng, I); // ι ≤ rng(β)
+  EXPECT_EQ(observablyEquivalent(S1, S2, {A, B}), Decision::Yes);
+}
+
+TEST(Entail, DomainIndirection) {
+  // Anti-monotone side: {dom(β) ≤ α} vs {dom(β) ≤ ι, ι ≤ α}.
+  ConstraintContext Ctx;
+  SetVar A = Ctx.freshVar(), B = Ctx.freshVar(), I = Ctx.freshVar();
+  ConstraintSystem S1{Ctx};
+  S1.addSelLower(B, Ctx.dom(0), A); // dom(β) ≤ α
+  ConstraintSystem S2{Ctx};
+  S2.addSelLower(B, Ctx.dom(0), I); // dom(β) ≤ ι
+  S2.addVarUpper(I, A);             // ι ≤ α
+  EXPECT_EQ(observablyEquivalent(S1, S2, {A, B}), Decision::Yes);
+}
+
+TEST(Entail, DifferentSelectorsNotEquivalent) {
+  ConstraintContext Ctx;
+  SetVar A = Ctx.freshVar(), B = Ctx.freshVar();
+  ConstraintSystem S1{Ctx};
+  S1.addSelLower(B, Ctx.Rng, A); // α ≤ rng(β)
+  ConstraintSystem S2{Ctx};
+  S2.addSelLower(B, Ctx.Car, A); // α ≤ car(β)
+  EXPECT_EQ(observablyEquivalent(S1, S2, {A, B}), Decision::No);
+}
+
+TEST(Entail, RecursiveSystems) {
+  // α ≤ rng(α), num ≤ α vs the same plus a redundant chain.
+  ConstraintContext Ctx;
+  Constant CNum = Ctx.Constants.basic(ConstKind::Num);
+  SetVar A = Ctx.freshVar(), B = Ctx.freshVar();
+  ConstraintSystem S1{Ctx};
+  S1.addSelLower(A, Ctx.Rng, A);
+  S1.addConstLower(A, CNum);
+  ConstraintSystem S2{Ctx};
+  S2.addSelLower(A, Ctx.Rng, A);
+  S2.addConstLower(A, CNum);
+  S2.addVarUpper(A, B); // β internal
+  EXPECT_EQ(observablyEquivalent(S1, S2, {A}), Decision::Yes);
+}

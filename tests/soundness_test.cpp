@@ -1,0 +1,233 @@
+//===-- tests/soundness_test.cpp - Theorem 2.6.4 as a property -*- C++ -*-===//
+///
+/// Soundness of the analysis against the evaluator: if P ↦* E[V^l] then
+/// V ∈ sba(P)(l) (Theorem 2.6.4). The machine's trace hook reports every
+/// (label, value) pair it produces; we assert that the abstraction of each
+/// value is predicted at its label, across analysis configurations, over
+/// hand-written programs covering every language feature, the corpus, and
+/// generated programs.
+///
+/// Additionally: every run-time fault must occur at a site the debugger
+/// flags as unsafe (no false negatives).
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/corpus.h"
+#include "debugger/checks.h"
+#include "test_util.h"
+
+using namespace spidey;
+using namespace spidey::test;
+
+namespace {
+
+/// Runs the program under every analysis configuration and checks each
+/// traced observation against the prediction.
+void checkSoundness(const std::vector<SourceFile> &Files,
+                    const std::string &Input, const char *What) {
+  Parsed R = parseFiles(Files);
+  ASSERT_TRUE(R.Ok) << What << "\n" << R.Diags.str();
+
+  struct Config {
+    const char *Name;
+    AnalysisOptions Opts;
+  };
+  std::vector<Config> Configs;
+  Configs.push_back({"mono+split", {}});
+  {
+    AnalysisOptions O;
+    O.IfSplitting = false;
+    Configs.push_back({"mono", O});
+  }
+  {
+    AnalysisOptions O;
+    O.Poly = PolyMode::Copy;
+    Configs.push_back({"copy+split", O});
+  }
+
+  for (const Config &C : Configs) {
+    Analysis A = analyzeProgram(*R.Prog, C.Opts);
+    const ConstantTable &Consts = A.Ctx->Constants;
+
+    Machine M(*R.Prog);
+    M.setInput(Input);
+    M.setFuel(5'000'000);
+    size_t Violations = 0, Observations = 0;
+    std::ostringstream FirstViolation;
+    M.Trace = [&](ExprId E, const Value &V) {
+      ++Observations;
+      ConstKind Want = valueAbstractKind(V);
+      for (Constant K : A.sba(E))
+        if (Consts.kind(K) == Want)
+          return;
+      if (Violations++ == 0)
+        FirstViolation << What << " [" << C.Name << "]: label "
+                       << R.Prog->exprToString(E) << " produced "
+                       << constKindName(Want) << " but sba predicts only {"
+                       << [&] {
+                            std::string S;
+                            for (Constant K : A.sba(E))
+                              S += std::string(constKindName(
+                                       Consts.kind(K))) +
+                                   " ";
+                            return S;
+                          }()
+                       << "}";
+    };
+    RunResult Out = M.runProgram();
+    EXPECT_EQ(Violations, 0u) << FirstViolation.str();
+    EXPECT_GT(Observations, 0u) << What;
+
+    // Faults must land on flagged check sites.
+    if (Out.St == RunResult::Status::Fault) {
+      DebugReport Rep = runChecks(*R.Prog, A.Maps, *A.System);
+      bool Flagged = false;
+      for (const CheckResult &CR : Rep.Results)
+        if (CR.Site == Out.FaultSite && !CR.Safe)
+          Flagged = true;
+      EXPECT_TRUE(Flagged)
+          << What << " [" << C.Name << "]: fault at "
+          << R.Prog->exprToString(Out.FaultSite)
+          << " not flagged as unsafe (" << Out.Message << ")";
+    }
+  }
+}
+
+void checkSoundnessSrc(const std::string &Source, const char *What,
+                       const std::string &Input = "") {
+  checkSoundness({{"test.ss", Source}}, Input, What);
+}
+
+} // namespace
+
+TEST(Soundness, CoreForms) {
+  checkSoundnessSrc("(define (f x y) (if (< x y) (cons x y) '()))"
+                    "(f 1 2) (f 2 1)"
+                    "(let ([g (lambda (h) (h 5))]) (g (lambda (n) (* n n))))",
+                    "core");
+}
+
+TEST(Soundness, MutationAndBoxes) {
+  checkSoundnessSrc("(define counter (box 0))"
+                    "(define (bump!) (set-box! counter (+ (unbox counter) 1)))"
+                    "(bump!) (bump!)"
+                    "(define cell 'init)"
+                    "(set! cell (vector 1 2))"
+                    "(if (vector? cell) (vector-ref cell 0) 0)",
+                    "mutation");
+}
+
+TEST(Soundness, HigherOrderAndRecursion) {
+  checkSoundnessSrc(
+      "(define (fold f acc l)"
+      "  (if (pair? l) (fold f (f acc (car l)) (cdr l)) acc))"
+      "(fold (lambda (a b) (+ a b)) 0 (list 1 2 3))"
+      "(fold (lambda (a b) (cons b a)) '() (list 'x 'y))",
+      "higher-order");
+}
+
+TEST(Soundness, Continuations) {
+  checkSoundnessSrc(
+      "(define (find-first p l)"
+      "  (call/cc (lambda (return)"
+      "    (letrec ([scan (lambda (l)"
+      "                     (if (pair? l)"
+      "                         (begin (if (p (car l)) (return (car l))"
+      "                                    (void))"
+      "                                (scan (cdr l)))"
+      "                         'not-found))])"
+      "      (scan l)))))"
+      "(find-first (lambda (x) (> x 10)) (list 3 14 15))"
+      "(find-first (lambda (x) (> x 100)) (list 3 14 15))",
+      "continuations");
+}
+
+TEST(Soundness, AbortDiscardsContext) {
+  checkSoundnessSrc("(+ 1 (abort 'done))", "abort");
+}
+
+TEST(Soundness, UnitsAndClasses) {
+  checkSoundnessSrc(
+      "(define z 3)"
+      "(define u (unit (import w) (export f)"
+      "            (define f (lambda (x) (+ x w)))))"
+      "(define g (invoke u z))"
+      "(g 4)"
+      "(define c (class object% () [count 0] [tag 'obj]))"
+      "(define o (make-obj c))"
+      "(set-ivar! o count (+ (ivar o count) 1))"
+      "(ivar o tag)",
+      "units-classes");
+}
+
+TEST(Soundness, LinkedUnits) {
+  checkSoundness(interpreterTowerFiles(), "", "interpreter-tower");
+}
+
+TEST(Soundness, PredicatesAndNarrowing) {
+  checkSoundnessSrc(
+      "(define (describe v)"
+      "  (cond [(number? v) (+ v 1)]"
+      "        [(pair? v) (car v)]"
+      "        [(string? v) (string-length v)]"
+      "        [(null? v) 0]"
+      "        [else -1]))"
+      "(describe 5) (describe (cons 1 2)) (describe \"abc\")"
+      "(describe '()) (describe 'sym)",
+      "narrowing");
+}
+
+TEST(Soundness, EofHandling) {
+  checkSoundnessSrc("(define (drain n)"
+                    "  (let ([line (read-line)])"
+                    "    (if (eof-object? line) n (drain (+ n 1)))))"
+                    "(drain 0)",
+                    "eof", "one\ntwo\n");
+}
+
+TEST(Soundness, FaultingProgramsAreFlagged) {
+  checkSoundnessSrc("(car 5)", "car-fault");
+  checkSoundnessSrc("(define (f x) x) (f 1 2)", "arity-fault");
+  checkSoundnessSrc("(define (g) (string-length (read-line))) (g)",
+                    "eof-fault");
+  checkSoundnessSrc("(unbox '())", "unbox-fault");
+}
+
+TEST(Soundness, CorpusPrograms) {
+  struct Case {
+    const char *Name;
+    const char *Input;
+  };
+  const Case Cases[] = {
+      {"map", ""},        {"reverse", ""},     {"substring", ""},
+      {"qsort", ""},      {"unify", ""},       {"hopcroft", ""},
+      {"check", ""},      {"escher-fish", ""}, {"scanner", ""},
+      {"sum", ""},        {"webserver", "GET /\n\n"},
+      {"inflate", "xyzw"}, {"hhl", "a&b\n"},
+      {"webserver-buggy", "GET /\n"},
+      {"inflate-buggy", "xyzw"},
+      {"meta-eval", ""},
+      {"matrix", ""},
+  };
+  for (const Case &C : Cases) {
+    const CorpusEntry &E = corpusProgram(C.Name);
+    checkSoundness({{std::string(C.Name) + ".ss", E.Source}}, C.Input,
+                   C.Name);
+  }
+}
+
+class GeneratedSoundnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeneratedSoundnessTest, GeneratedProgramsAreSound) {
+  GeneratorConfig Config;
+  Config.Seed = static_cast<unsigned>(GetParam());
+  Config.NumComponents = 1 + GetParam() % 4;
+  Config.TargetLines = 120 + 30 * (GetParam() % 5);
+  Config.PolyReusePercent = 20 * (GetParam() % 5);
+  Config.CrossComponentPercent = 25;
+  checkSoundness(generateProgram(Config), "",
+                 ("generated-" + std::to_string(GetParam())).c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GeneratedSoundnessTest,
+                         ::testing::Range(0, 20));

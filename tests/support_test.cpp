@@ -1,0 +1,139 @@
+//===-- tests/support_test.cpp - Symbol table and reader tests -*- C++ -*-===//
+
+#include "support/sexpr.h"
+#include "support/symbol.h"
+
+#include <gtest/gtest.h>
+
+using namespace spidey;
+
+TEST(SymbolTable, InternIsIdempotent) {
+  SymbolTable T;
+  Symbol A = T.intern("foo");
+  Symbol B = T.intern("foo");
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(T.name(A), "foo");
+}
+
+TEST(SymbolTable, DistinctNamesDistinctSymbols) {
+  SymbolTable T;
+  EXPECT_NE(T.intern("foo"), T.intern("bar"));
+}
+
+TEST(SymbolTable, LookupMissingIsInvalid) {
+  SymbolTable T;
+  EXPECT_EQ(T.lookup("nope"), InvalidSymbol);
+  T.intern("yep");
+  EXPECT_NE(T.lookup("yep"), InvalidSymbol);
+}
+
+TEST(SymbolTable, FreshAvoidsCollisions) {
+  SymbolTable T;
+  T.intern("g%0");
+  Symbol F = T.fresh("g");
+  EXPECT_NE(T.name(F), "g%0");
+}
+
+TEST(SymbolTable, SurvivesManyInterns) {
+  SymbolTable T;
+  std::vector<Symbol> Syms;
+  for (int I = 0; I < 10000; ++I)
+    Syms.push_back(T.intern("sym" + std::to_string(I)));
+  for (int I = 0; I < 10000; ++I) {
+    EXPECT_EQ(T.name(Syms[I]), "sym" + std::to_string(I));
+    EXPECT_EQ(T.intern("sym" + std::to_string(I)), Syms[I]);
+  }
+}
+
+namespace {
+
+std::vector<SExpr> readOk(const std::string &Text, SymbolTable &Syms) {
+  DiagnosticEngine Diags;
+  auto Forms = readSExprs(Text, 0, Syms, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return Forms;
+}
+
+bool readFails(const std::string &Text) {
+  SymbolTable Syms;
+  DiagnosticEngine Diags;
+  readSExprs(Text, 0, Syms, Diags);
+  return Diags.hasErrors();
+}
+
+} // namespace
+
+TEST(SExprReader, ReadsAtoms) {
+  SymbolTable Syms;
+  auto Forms = readOk("foo 42 -3.5 #t #f \"hi\" #\\a", Syms);
+  ASSERT_EQ(Forms.size(), 7u);
+  EXPECT_EQ(Forms[0].K, SExpr::Kind::Symbol);
+  EXPECT_EQ(Forms[1].Num, 42);
+  EXPECT_EQ(Forms[2].Num, -3.5);
+  EXPECT_TRUE(Forms[3].Bool);
+  EXPECT_FALSE(Forms[4].Bool);
+  EXPECT_EQ(Forms[5].Str, "hi");
+  EXPECT_EQ(Forms[6].Ch, 'a');
+}
+
+TEST(SExprReader, ReadsNestedLists) {
+  SymbolTable Syms;
+  auto Forms = readOk("(a (b c) [d (e)])", Syms);
+  ASSERT_EQ(Forms.size(), 1u);
+  EXPECT_EQ(Forms[0].str(Syms), "(a (b c) (d (e)))");
+}
+
+TEST(SExprReader, QuoteSugar) {
+  SymbolTable Syms;
+  auto Forms = readOk("'(1 x)", Syms);
+  ASSERT_EQ(Forms.size(), 1u);
+  EXPECT_EQ(Forms[0].str(Syms), "(quote (1 x))");
+}
+
+TEST(SExprReader, CommentsAreSkipped) {
+  SymbolTable Syms;
+  auto Forms = readOk("; leading\n(a ; inline\n b)\n; trailing", Syms);
+  ASSERT_EQ(Forms.size(), 1u);
+  EXPECT_EQ(Forms[0].str(Syms), "(a b)");
+}
+
+TEST(SExprReader, NamedCharacters) {
+  SymbolTable Syms;
+  auto Forms = readOk("#\\space #\\newline #\\tab", Syms);
+  ASSERT_EQ(Forms.size(), 3u);
+  EXPECT_EQ(Forms[0].Ch, ' ');
+  EXPECT_EQ(Forms[1].Ch, '\n');
+  EXPECT_EQ(Forms[2].Ch, '\t');
+}
+
+TEST(SExprReader, StringEscapes) {
+  SymbolTable Syms;
+  auto Forms = readOk("\"a\\nb\\\"c\\\\d\"", Syms);
+  ASSERT_EQ(Forms.size(), 1u);
+  EXPECT_EQ(Forms[0].Str, "a\nb\"c\\d");
+}
+
+TEST(SExprReader, SymbolsWithSigns) {
+  SymbolTable Syms;
+  auto Forms = readOk("- + -x +y ->foo", Syms);
+  ASSERT_EQ(Forms.size(), 5u);
+  for (const SExpr &F : Forms)
+    EXPECT_EQ(F.K, SExpr::Kind::Symbol);
+}
+
+TEST(SExprReader, TracksLocations) {
+  SymbolTable Syms;
+  auto Forms = readOk("(a\n  b)", Syms);
+  ASSERT_EQ(Forms.size(), 1u);
+  EXPECT_EQ(Forms[0].Loc.Line, 1u);
+  EXPECT_EQ(Forms[0].Elems[1].Loc.Line, 2u);
+  EXPECT_EQ(Forms[0].Elems[1].Loc.Col, 3u);
+}
+
+TEST(SExprReader, ErrorOnUnterminatedList) { EXPECT_TRUE(readFails("(a b")); }
+TEST(SExprReader, ErrorOnStrayClose) { EXPECT_TRUE(readFails(")")); }
+TEST(SExprReader, ErrorOnMismatchedClose) { EXPECT_TRUE(readFails("(a]")); }
+TEST(SExprReader, ErrorOnUnterminatedString) {
+  EXPECT_TRUE(readFails("\"abc"));
+}
+TEST(SExprReader, ErrorOnBadHash) { EXPECT_TRUE(readFails("#q")); }

@@ -1,0 +1,96 @@
+//===-- tests/test_util.h - Shared test helpers ----------------*- C++ -*-===//
+
+#ifndef SPIDEY_TESTS_TEST_UTIL_H
+#define SPIDEY_TESTS_TEST_UTIL_H
+
+#include "analysis/analysis.h"
+#include "interp/machine.h"
+#include "lang/parser.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace spidey::test {
+
+/// A parsed single- or multi-file program plus its diagnostics.
+struct Parsed {
+  std::unique_ptr<Program> Prog = std::make_unique<Program>();
+  DiagnosticEngine Diags;
+  bool Ok = false;
+};
+
+inline Parsed parse(std::string_view Source) {
+  Parsed R;
+  R.Ok = parseSource(*R.Prog, R.Diags, Source);
+  return R;
+}
+
+inline Parsed parseFiles(const std::vector<SourceFile> &Files) {
+  Parsed R;
+  R.Ok = parseProgram(*R.Prog, R.Diags, Files);
+  return R;
+}
+
+/// Parses and asserts success.
+inline Parsed parseOk(std::string_view Source) {
+  Parsed R = parse(Source);
+  EXPECT_TRUE(R.Ok) << R.Diags.str();
+  return R;
+}
+
+/// Runs a program to completion, asserting it parses.
+inline RunResult runSource(std::string_view Source,
+                           std::string Input = std::string()) {
+  Parsed R = parseOk(Source);
+  if (!R.Ok)
+    return RunResult{RunResult::Status::UserError, Value(), "parse failed",
+                     NoExpr};
+  Machine M(*R.Prog);
+  M.setInput(std::move(Input));
+  return M.runProgram();
+}
+
+/// Renders the final value of a program (for compact assertions).
+inline std::string evalToString(std::string_view Source,
+                                std::string Input = std::string()) {
+  Parsed R = parseOk(Source);
+  if (!R.Ok)
+    return "<parse error>";
+  Machine M(*R.Prog);
+  M.setInput(std::move(Input));
+  RunResult Out = M.runProgram();
+  switch (Out.St) {
+  case RunResult::Status::Ok:
+    return Out.Result.str(R.Prog->Syms);
+  case RunResult::Status::Fault:
+    return "<fault: " + Out.Message + ">";
+  case RunResult::Status::UserError:
+    return "<error: " + Out.Message + ">";
+  case RunResult::Status::OutOfFuel:
+    return "<out of fuel>";
+  }
+  return "<?>";
+}
+
+/// Returns the set of abstract-constant kind names predicted for the
+/// program's final top-level expression... helpers for analysis tests.
+inline std::vector<std::string> kindsOf(const Analysis &A, ExprId E) {
+  std::vector<std::string> Names;
+  for (Constant C : A.sba(E))
+    Names.push_back(constKindName(A.Ctx->Constants.kind(C)));
+  std::sort(Names.begin(), Names.end());
+  Names.erase(std::unique(Names.begin(), Names.end()), Names.end());
+  return Names;
+}
+
+/// The ExprId of the last top-level form of the program.
+inline ExprId lastTopExpr(const Program &P) {
+  const Component &C = P.Components.back();
+  return C.Forms.back().Body;
+}
+
+} // namespace spidey::test
+
+#endif // SPIDEY_TESTS_TEST_UTIL_H

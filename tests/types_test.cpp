@@ -1,0 +1,127 @@
+//===-- tests/types_test.cpp - MkType and type reductions ------*- C++ -*-===//
+
+#include "test_util.h"
+#include "types/type.h"
+
+using namespace spidey;
+using namespace spidey::test;
+
+namespace {
+
+/// Analyzes a program and renders the type of its last top-level
+/// expression.
+std::string typeOfLast(const std::string &Source) {
+  Parsed R = parseOk(Source);
+  Analysis A = analyzeProgram(*R.Prog);
+  TypeBuilder TB(*A.System, R.Prog->Syms);
+  return TB.typeString(A.Maps.exprVar(lastTopExpr(*R.Prog)));
+}
+
+} // namespace
+
+TEST(Types, Basics) {
+  EXPECT_EQ(typeOfLast("42"), "num");
+  EXPECT_EQ(typeOfLast("#t"), "true");
+  EXPECT_EQ(typeOfLast("'x"), "sym");
+  EXPECT_EQ(typeOfLast("'()"), "nil");
+}
+
+TEST(Types, BottomForNonReturning) {
+  EXPECT_EQ(typeOfLast("(error \"x\")"), "empty");
+}
+
+TEST(Types, UnionOfBranches) {
+  EXPECT_EQ(typeOfLast("(if #t 1 'a)"), "(union num sym)");
+}
+
+TEST(Types, BooleanUnion) {
+  EXPECT_EQ(typeOfLast("(pair? 1)"), "(union false true)");
+}
+
+TEST(Types, PairType) {
+  EXPECT_EQ(typeOfLast("(cons 1 'a)"), "(cons num sym)");
+  EXPECT_EQ(typeOfLast("(cons (cons 1 2) '())"), "(cons (cons num num) nil)");
+}
+
+TEST(Types, FunctionType) {
+  EXPECT_EQ(typeOfLast("(define (f x) (+ x 1)) (f 3) f"), "(num -> num)");
+}
+
+TEST(Types, UnappliedFunctionHasEmptyDomain) {
+  EXPECT_EQ(typeOfLast("(lambda (x) x)"), "(empty -> empty)");
+}
+
+TEST(Types, TwoArgumentFunction) {
+  EXPECT_EQ(typeOfLast("(define (k a b) a) (k 1 'x) k"),
+            "(num sym -> num)");
+}
+
+TEST(Types, BoxType) {
+  EXPECT_EQ(typeOfLast("(box 5)"), "(box num)");
+  EXPECT_EQ(typeOfLast("(let ([b (box 5)])"
+                       "  (begin (set-box! b 'a) b))"),
+            "(box (union num sym))");
+}
+
+TEST(Types, VectorType) {
+  EXPECT_EQ(typeOfLast("(vector 1 2)"), "(vec num)");
+}
+
+TEST(Types, RecursiveListType) {
+  // A recursive list type needs a rec binder.
+  std::string T = typeOfLast("(define (build n)"
+                             "  (if (zero? n) '() (cons n (build (sub1 n)))))"
+                             "(build 5)");
+  EXPECT_NE(T.find("(rec ("), std::string::npos) << T;
+  EXPECT_NE(T.find("(cons num"), std::string::npos) << T;
+  EXPECT_NE(T.find("nil"), std::string::npos) << T;
+}
+
+TEST(Types, SumSsTreeInvariant) {
+  // The chapter-1 example: tree may be nil, num, or the ill-formed pairs.
+  Parsed R = parseOk("(define (sum tree)"
+                     "  (if (number? tree)"
+                     "      tree"
+                     "      (+ (sum (car tree)) (sum (cdr tree)))))"
+                     "(sum (cons (cons '() 1) 2))");
+  Analysis A = analyzeProgram(*R.Prog);
+  const Expr &Sum = R.Prog->expr(R.Prog->Components[0].Forms[0].Body);
+  TypeBuilder TB(*A.System, R.Prog->Syms);
+  std::string T = TB.typeString(A.Maps.varVar(Sum.Params[0]));
+  // The paper's figure 1.2 invariant: (union (cons (cons nil num) num)
+  // (cons nil num) nil) — plus num since leaves flow through too.
+  EXPECT_NE(T.find("nil"), std::string::npos) << T;
+  EXPECT_NE(T.find("(cons"), std::string::npos) << T;
+  EXPECT_NE(T.find("num"), std::string::npos) << T;
+}
+
+TEST(Types, ObjectType) {
+  std::string T =
+      typeOfLast("(make-obj (class object% () [x 1] [y 'a]))");
+  EXPECT_NE(T.find("(obj"), std::string::npos) << T;
+  EXPECT_NE(T.find("[x num]"), std::string::npos) << T;
+  EXPECT_NE(T.find("[y sym]"), std::string::npos) << T;
+}
+
+TEST(Types, UnitType) {
+  std::string T = typeOfLast("(unit (import w) (export v)"
+                             "      (define v 42))");
+  EXPECT_NE(T.find("(unit"), std::string::npos) << T;
+  EXPECT_NE(T.find("num"), std::string::npos) << T;
+}
+
+TEST(Types, DuplicateUnionMembersMerged) {
+  EXPECT_EQ(typeOfLast("(if #t 1 2)"), "num");
+}
+
+TEST(Types, SharedStructureInlinesCleanly) {
+  EXPECT_EQ(typeOfLast("(let ([p (cons 1 2)]) (cons p p))"),
+            "(cons (cons num num) (cons num num))");
+}
+
+TEST(Types, ContinuationShowsAsFunction) {
+  std::string T = typeOfLast("(define (f k) (k 1))"
+                             "(call/cc (lambda (k) (f k) 'done))");
+  // k is a continuation taking num; result includes both num and sym.
+  EXPECT_NE(T.find("union"), std::string::npos) << T;
+}
