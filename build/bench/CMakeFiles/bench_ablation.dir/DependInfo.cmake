@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation.cpp" "bench/CMakeFiles/bench_ablation.dir/bench_ablation.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation.dir/bench_ablation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/corpus/CMakeFiles/spidey_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/componential/CMakeFiles/spidey_componential.dir/DependInfo.cmake"
+  "/root/repo/build/src/debugger/CMakeFiles/spidey_debugger.dir/DependInfo.cmake"
+  "/root/repo/build/src/simplify/CMakeFiles/spidey_simplify.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtg/CMakeFiles/spidey_rtg.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/spidey_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/spidey_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/spidey_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/spidey_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraints/CMakeFiles/spidey_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/spidey_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_componential.dir/bench_componential.cpp.o"
+  "CMakeFiles/bench_componential.dir/bench_componential.cpp.o.d"
+  "bench_componential"
+  "bench_componential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_componential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

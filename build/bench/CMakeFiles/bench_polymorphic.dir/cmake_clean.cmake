@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_polymorphic.dir/bench_polymorphic.cpp.o"
+  "CMakeFiles/bench_polymorphic.dir/bench_polymorphic.cpp.o.d"
+  "bench_polymorphic"
+  "bench_polymorphic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_polymorphic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_browser.dir/flow_browser.cpp.o"
+  "CMakeFiles/flow_browser.dir/flow_browser.cpp.o.d"
+  "flow_browser"
+  "flow_browser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gunzip_audit.dir/gunzip_audit.cpp.o"
+  "CMakeFiles/gunzip_audit.dir/gunzip_audit.cpp.o.d"
+  "gunzip_audit"
+  "gunzip_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gunzip_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

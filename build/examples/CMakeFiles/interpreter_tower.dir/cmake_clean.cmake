@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interpreter_tower.dir/interpreter_tower.cpp.o"
+  "CMakeFiles/interpreter_tower.dir/interpreter_tower.cpp.o.d"
+  "interpreter_tower"
+  "interpreter_tower.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interpreter_tower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/static_debugger.dir/static_debugger.cpp.o"
+  "CMakeFiles/static_debugger.dir/static_debugger.cpp.o.d"
+  "static_debugger"
+  "static_debugger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/static_debugger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spidey_analysis.dir/derive.cpp.o"
+  "CMakeFiles/spidey_analysis.dir/derive.cpp.o.d"
+  "libspidey_analysis.a"
+  "libspidey_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spidey_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spidey_componential.dir/componential.cpp.o"
+  "CMakeFiles/spidey_componential.dir/componential.cpp.o.d"
+  "libspidey_componential.a"
+  "libspidey_componential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spidey_componential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/constraints/const_kind.cpp" "src/constraints/CMakeFiles/spidey_constraints.dir/const_kind.cpp.o" "gcc" "src/constraints/CMakeFiles/spidey_constraints.dir/const_kind.cpp.o.d"
+  "/root/repo/src/constraints/constraint_system.cpp" "src/constraints/CMakeFiles/spidey_constraints.dir/constraint_system.cpp.o" "gcc" "src/constraints/CMakeFiles/spidey_constraints.dir/constraint_system.cpp.o.d"
+  "/root/repo/src/constraints/core.cpp" "src/constraints/CMakeFiles/spidey_constraints.dir/core.cpp.o" "gcc" "src/constraints/CMakeFiles/spidey_constraints.dir/core.cpp.o.d"
+  "/root/repo/src/constraints/serialize.cpp" "src/constraints/CMakeFiles/spidey_constraints.dir/serialize.cpp.o" "gcc" "src/constraints/CMakeFiles/spidey_constraints.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/spidey_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spidey_constraints.dir/const_kind.cpp.o"
+  "CMakeFiles/spidey_constraints.dir/const_kind.cpp.o.d"
+  "CMakeFiles/spidey_constraints.dir/constraint_system.cpp.o"
+  "CMakeFiles/spidey_constraints.dir/constraint_system.cpp.o.d"
+  "CMakeFiles/spidey_constraints.dir/core.cpp.o"
+  "CMakeFiles/spidey_constraints.dir/core.cpp.o.d"
+  "CMakeFiles/spidey_constraints.dir/serialize.cpp.o"
+  "CMakeFiles/spidey_constraints.dir/serialize.cpp.o.d"
+  "libspidey_constraints.a"
+  "libspidey_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spidey_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

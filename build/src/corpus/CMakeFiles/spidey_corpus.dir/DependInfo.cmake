@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/corpus_casestudies.cpp" "src/corpus/CMakeFiles/spidey_corpus.dir/corpus_casestudies.cpp.o" "gcc" "src/corpus/CMakeFiles/spidey_corpus.dir/corpus_casestudies.cpp.o.d"
+  "/root/repo/src/corpus/corpus_extra.cpp" "src/corpus/CMakeFiles/spidey_corpus.dir/corpus_extra.cpp.o" "gcc" "src/corpus/CMakeFiles/spidey_corpus.dir/corpus_extra.cpp.o.d"
+  "/root/repo/src/corpus/corpus_programs.cpp" "src/corpus/CMakeFiles/spidey_corpus.dir/corpus_programs.cpp.o" "gcc" "src/corpus/CMakeFiles/spidey_corpus.dir/corpus_programs.cpp.o.d"
+  "/root/repo/src/corpus/corpus_tower.cpp" "src/corpus/CMakeFiles/spidey_corpus.dir/corpus_tower.cpp.o" "gcc" "src/corpus/CMakeFiles/spidey_corpus.dir/corpus_tower.cpp.o.d"
+  "/root/repo/src/corpus/generator.cpp" "src/corpus/CMakeFiles/spidey_corpus.dir/generator.cpp.o" "gcc" "src/corpus/CMakeFiles/spidey_corpus.dir/generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/spidey_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraints/CMakeFiles/spidey_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/spidey_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spidey_corpus.dir/corpus_casestudies.cpp.o"
+  "CMakeFiles/spidey_corpus.dir/corpus_casestudies.cpp.o.d"
+  "CMakeFiles/spidey_corpus.dir/corpus_extra.cpp.o"
+  "CMakeFiles/spidey_corpus.dir/corpus_extra.cpp.o.d"
+  "CMakeFiles/spidey_corpus.dir/corpus_programs.cpp.o"
+  "CMakeFiles/spidey_corpus.dir/corpus_programs.cpp.o.d"
+  "CMakeFiles/spidey_corpus.dir/corpus_tower.cpp.o"
+  "CMakeFiles/spidey_corpus.dir/corpus_tower.cpp.o.d"
+  "CMakeFiles/spidey_corpus.dir/generator.cpp.o"
+  "CMakeFiles/spidey_corpus.dir/generator.cpp.o.d"
+  "libspidey_corpus.a"
+  "libspidey_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spidey_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

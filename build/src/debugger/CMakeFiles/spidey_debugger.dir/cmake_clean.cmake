@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spidey_debugger.dir/checks.cpp.o"
+  "CMakeFiles/spidey_debugger.dir/checks.cpp.o.d"
+  "CMakeFiles/spidey_debugger.dir/flow.cpp.o"
+  "CMakeFiles/spidey_debugger.dir/flow.cpp.o.d"
+  "CMakeFiles/spidey_debugger.dir/markup.cpp.o"
+  "CMakeFiles/spidey_debugger.dir/markup.cpp.o.d"
+  "libspidey_debugger.a"
+  "libspidey_debugger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spidey_debugger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spidey_interp.dir/machine.cpp.o"
+  "CMakeFiles/spidey_interp.dir/machine.cpp.o.d"
+  "CMakeFiles/spidey_interp.dir/prims.cpp.o"
+  "CMakeFiles/spidey_interp.dir/prims.cpp.o.d"
+  "CMakeFiles/spidey_interp.dir/value.cpp.o"
+  "CMakeFiles/spidey_interp.dir/value.cpp.o.d"
+  "libspidey_interp.a"
+  "libspidey_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spidey_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spidey_lang.dir/ast.cpp.o"
+  "CMakeFiles/spidey_lang.dir/ast.cpp.o.d"
+  "CMakeFiles/spidey_lang.dir/parser.cpp.o"
+  "CMakeFiles/spidey_lang.dir/parser.cpp.o.d"
+  "CMakeFiles/spidey_lang.dir/prim.cpp.o"
+  "CMakeFiles/spidey_lang.dir/prim.cpp.o.d"
+  "libspidey_lang.a"
+  "libspidey_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spidey_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtg/contain.cpp" "src/rtg/CMakeFiles/spidey_rtg.dir/contain.cpp.o" "gcc" "src/rtg/CMakeFiles/spidey_rtg.dir/contain.cpp.o.d"
+  "/root/repo/src/rtg/entail.cpp" "src/rtg/CMakeFiles/spidey_rtg.dir/entail.cpp.o" "gcc" "src/rtg/CMakeFiles/spidey_rtg.dir/entail.cpp.o.d"
+  "/root/repo/src/rtg/grammar.cpp" "src/rtg/CMakeFiles/spidey_rtg.dir/grammar.cpp.o" "gcc" "src/rtg/CMakeFiles/spidey_rtg.dir/grammar.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/constraints/CMakeFiles/spidey_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/spidey_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spidey_rtg.dir/contain.cpp.o"
+  "CMakeFiles/spidey_rtg.dir/contain.cpp.o.d"
+  "CMakeFiles/spidey_rtg.dir/entail.cpp.o"
+  "CMakeFiles/spidey_rtg.dir/entail.cpp.o.d"
+  "CMakeFiles/spidey_rtg.dir/grammar.cpp.o"
+  "CMakeFiles/spidey_rtg.dir/grammar.cpp.o.d"
+  "libspidey_rtg.a"
+  "libspidey_rtg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spidey_rtg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

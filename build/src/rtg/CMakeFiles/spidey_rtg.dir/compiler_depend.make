@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for spidey_rtg.
+# This may be replaced when dependencies are built.

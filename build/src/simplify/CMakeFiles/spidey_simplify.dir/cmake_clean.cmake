@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spidey_simplify.dir/simplify.cpp.o"
+  "CMakeFiles/spidey_simplify.dir/simplify.cpp.o.d"
+  "libspidey_simplify.a"
+  "libspidey_simplify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spidey_simplify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spidey_support.dir/diagnostic.cpp.o"
+  "CMakeFiles/spidey_support.dir/diagnostic.cpp.o.d"
+  "CMakeFiles/spidey_support.dir/sexpr.cpp.o"
+  "CMakeFiles/spidey_support.dir/sexpr.cpp.o.d"
+  "CMakeFiles/spidey_support.dir/symbol.cpp.o"
+  "CMakeFiles/spidey_support.dir/symbol.cpp.o.d"
+  "libspidey_support.a"
+  "libspidey_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spidey_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

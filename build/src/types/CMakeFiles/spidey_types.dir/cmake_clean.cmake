@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spidey_types.dir/mktype.cpp.o"
+  "CMakeFiles/spidey_types.dir/mktype.cpp.o.d"
+  "libspidey_types.a"
+  "libspidey_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spidey_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspidey_types.a"
+)

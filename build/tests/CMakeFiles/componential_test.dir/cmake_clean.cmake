@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/componential_test.dir/componential_test.cpp.o"
+  "CMakeFiles/componential_test.dir/componential_test.cpp.o.d"
+  "componential_test"
+  "componential_test.pdb"
+  "componential_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/componential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

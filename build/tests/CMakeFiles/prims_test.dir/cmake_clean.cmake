@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prims_test.dir/prims_test.cpp.o"
+  "CMakeFiles/prims_test.dir/prims_test.cpp.o.d"
+  "prims_test"
+  "prims_test.pdb"
+  "prims_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prims_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtg_test.dir/rtg_test.cpp.o"
+  "CMakeFiles/rtg_test.dir/rtg_test.cpp.o.d"
+  "rtg_test"
+  "rtg_test.pdb"
+  "rtg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

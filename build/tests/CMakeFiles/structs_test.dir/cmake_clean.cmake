@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structs_test.dir/structs_test.cpp.o"
+  "CMakeFiles/structs_test.dir/structs_test.cpp.o.d"
+  "structs_test"
+  "structs_test.pdb"
+  "structs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
