@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Runs the parallel componential benchmark and writes BENCH_componential.json
+# at the repository root.
+#
+# The emitted file has a "before" section (the sequential analyzer +
+# per-variable hash-set constraint storage that predate the parallel
+# runner, measured once on the reference machine and kept for comparison)
+# and an "after" section refreshed from the current build. Set
+# SPIDEY_BENCH_BEFORE to a JSON file to substitute different baseline
+# numbers.
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build}"
+OUT="$REPO_ROOT/BENCH_componential.json"
+TMP_AFTER="$(mktemp)"
+trap 'rm -f "$TMP_AFTER"' EXIT
+
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT" > /dev/null
+cmake --build "$BUILD_DIR" -j --target bench_parallel > /dev/null
+
+"$BUILD_DIR/bench/bench_parallel" --json > "$TMP_AFTER"
+
+python3 - "$OUT" "$TMP_AFTER" "${SPIDEY_BENCH_BEFORE:-}" <<'EOF'
+import json, os, sys
+
+out, after_path, before_path = sys.argv[1], sys.argv[2], sys.argv[3]
+after = json.load(open(after_path))
+
+before = None
+if before_path:
+    before = json.load(open(before_path))
+elif os.path.exists(out):
+    # Keep the committed baseline section when refreshing the numbers.
+    before = json.load(open(out)).get("before")
+
+doc = {
+    "description": "Componential analysis wall time before/after the "
+                   "parallel worker pool + cache-friendly constraint core "
+                   "(cache disabled; best of 3)",
+    "before": before,
+    "after": after,
+}
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"wrote {out}")
+EOF

@@ -2,9 +2,11 @@
 
 #include "componential/componential.h"
 
+#include "componential/parallel.h"
 #include "constraints/serialize.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cctype>
 #include <filesystem>
 #include <fstream>
@@ -14,14 +16,48 @@
 
 using namespace spidey;
 
+/// One component's step-1 result. Derivation output lives in a private
+/// ConstraintContext (workers share no mutable state); merge() renumbers
+/// it into the analyzer's shared context.
+struct ComponentialAnalyzer::ComponentWork {
+  std::unique_ptr<ConstraintContext> Ctx;
+  AnalysisMaps Maps;
+  std::unique_ptr<ConstraintSystem> Simplified;
+  size_t RawConstraints = 0;
+  std::string FileText;  ///< serialized constraint file (save path)
+  std::string CacheText; ///< raw file text when the source hash matched
+  bool CacheHit = false;
+};
+
+namespace {
+
+/// Extracts the source hash from a constraint file's header without
+/// deserializing the body (workers use this to decide whether the file is
+/// reusable; the full parse happens on the combining thread).
+std::string peekFileHash(const std::string &Text) {
+  std::istringstream In(Text);
+  std::string Magic, Version, Key, Hash;
+  if (!(In >> Magic >> Version >> Key >> Hash) ||
+      Magic != "spidey-constraint-file" || Version != "1" || Key != "hash")
+    return {};
+  return Hash;
+}
+
+} // namespace
+
 ComponentialAnalyzer::ComponentialAnalyzer(const Program &P,
                                            ComponentialOptions Opts)
     : P(P), Opts(std::move(Opts)) {
   Ctx = std::make_unique<ConstraintContext>();
   Combined = std::make_unique<ConstraintSystem>(*Ctx);
   D = std::make_unique<Deriver>(P, *Ctx, Maps, this->Opts.Derive);
+  // The Deriver constructor pre-allocates every top-level variable, so the
+  // shared context and each job's private context agree on this prefix.
+  SharedVarWatermark = Ctx->numVars();
   Stats.resize(P.Components.size());
 }
+
+ComponentialAnalyzer::~ComponentialAnalyzer() = default;
 
 void ComponentialAnalyzer::computeCrossReferences() {
   // A top-level variable is part of a component's interface only if some
@@ -50,31 +86,50 @@ void ComponentialAnalyzer::computeCrossReferences() {
     for (const TopForm &F : P.Components[C].Forms)
       Walk(F.Body);
   }
+  CrossRefsComputed = true;
 }
 
-std::vector<SetVar> ComponentialAnalyzer::externalsOf(uint32_t CompIdx) {
-  if (ReferencedBy.empty() && !P.Components.empty())
-    computeCrossReferences();
-  std::unordered_set<VarId> Tops;
+std::vector<VarId>
+ComponentialAnalyzer::externalVarIdsOf(uint32_t CompIdx) const {
+  std::vector<VarId> Tops;
+  std::unordered_set<VarId> Seen;
   const Component &C = P.Components[CompIdx];
   // Defines of this component that some other component references.
   for (const TopForm &F : C.Forms)
-    if (F.DefVar != NoVar && CrossReferenced.count(F.DefVar))
-      Tops.insert(F.DefVar);
+    if (F.DefVar != NoVar && CrossReferenced.count(F.DefVar) &&
+        Seen.insert(F.DefVar).second)
+      Tops.push_back(F.DefVar);
   // Foreign top-level variables this component references.
-  for (VarId V : ReferencedBy[CompIdx])
-    if (P.var(V).Component != CompIdx)
-      Tops.insert(V);
+  if (auto It = ReferencedBy.find(CompIdx); It != ReferencedBy.end())
+    for (VarId V : It->second)
+      if (P.var(V).Component != CompIdx && Seen.insert(V).second)
+        Tops.push_back(V);
+  std::sort(Tops.begin(), Tops.end());
+  return Tops;
+}
 
+std::vector<SetVar> ComponentialAnalyzer::externalsOf(uint32_t CompIdx) {
+  if (!CrossRefsComputed && !P.Components.empty())
+    computeCrossReferences();
   std::vector<SetVar> E;
-  E.reserve(Tops.size());
-  for (VarId V : Tops) {
-    // The deriver allocates set variables lazily; mirror that here.
+  for (VarId V : externalVarIdsOf(CompIdx)) {
     if (Maps.VarVar[V] == NoSetVar)
       Maps.VarVar[V] = Ctx->freshVar();
     E.push_back(Maps.VarVar[V]);
   }
   return E;
+}
+
+VarId ComponentialAnalyzer::topLevelByName(Symbol Name) {
+  if (!TopLevelIndexBuilt) {
+    // First definition wins, matching the scan order replaced by this map.
+    for (VarId V = 0; V < P.numVars(); ++V)
+      if (P.var(V).TopLevel)
+        TopLevelIndex.emplace(P.var(V).Name, V);
+    TopLevelIndexBuilt = true;
+  }
+  auto It = TopLevelIndex.find(Name);
+  return It == TopLevelIndex.end() ? NoVar : It->second;
 }
 
 std::string ComponentialAnalyzer::cachePathFor(const Component &C) const {
@@ -84,19 +139,9 @@ std::string ComponentialAnalyzer::cachePathFor(const Component &C) const {
   return Opts.CacheDir + "/" + Name + ".scf";
 }
 
-bool ComponentialAnalyzer::tryLoadComponent(uint32_t CompIdx,
-                                            ConstraintSystem &Target,
-                                            ComponentRunStats &CS) {
-  if (Opts.CacheDir.empty())
-    return false;
-  const Component &C = P.Components[CompIdx];
-  std::ifstream In(cachePathFor(C));
-  if (!In)
-    return false;
-  std::stringstream Buffer;
-  Buffer << In.rdbuf();
-  std::string Text = Buffer.str();
-
+bool ComponentialAnalyzer::loadFromText(uint32_t CompIdx,
+                                        const std::string &Text,
+                                        ComponentRunStats &CS) {
   ConstraintSystem Loaded(*Ctx);
   LoadedConstraints Info;
   std::string Error;
@@ -105,7 +150,7 @@ bool ComponentialAnalyzer::tryLoadComponent(uint32_t CompIdx,
   SymbolTable &Syms = const_cast<Program &>(P).Syms;
   if (!deserializeConstraints(Text, Syms, Loaded, Info, Error))
     return false;
-  if (Info.SourceHash != hashSource(C.SourceText))
+  if (Info.SourceHash != hashSource(P.Components[CompIdx].SourceText))
     return false;
 
   // Re-link the file's external variables with this run's top-level
@@ -114,70 +159,200 @@ bool ComponentialAnalyzer::tryLoadComponent(uint32_t CompIdx,
     Symbol Name = Syms.lookup(Key);
     if (Name == InvalidSymbol)
       return false;
-    SetVar Global = NoSetVar;
-    for (VarId V = 0; V < P.numVars(); ++V)
-      if (P.var(V).TopLevel && P.var(V).Name == Name) {
-        if (Maps.VarVar[V] == NoSetVar)
-          Maps.VarVar[V] = Ctx->freshVar();
-        Global = Maps.VarVar[V];
-        break;
-      }
-    if (Global == NoSetVar)
+    VarId V = topLevelByName(Name);
+    if (V == NoVar || Maps.VarVar[V] == NoSetVar)
       return false;
+    SetVar Global = Maps.VarVar[V];
     Loaded.addVarUpperRaw(FileVar, Global);
     Loaded.addVarUpperRaw(Global, FileVar);
   }
-  Target.absorbRaw(Loaded);
+  Combined->absorbRaw(Loaded);
   CS.ReusedFile = true;
   CS.SimplifiedConstraints = Loaded.size();
   CS.FileBytes = Text.size();
   return true;
 }
 
-void ComponentialAnalyzer::run() {
-  for (uint32_t I = 0; I < P.Components.size(); ++I) {
-    ComponentRunStats &CS = Stats[I];
-    if (tryLoadComponent(I, *Combined, CS))
-      continue;
+ComponentialAnalyzer::ComponentWork
+ComponentialAnalyzer::deriveIsolated(uint32_t CompIdx,
+                                     bool AllowCache) const {
+  ComponentWork W;
+  const Component &C = P.Components[CompIdx];
 
-    // Step 1: derive and close the component system, then simplify it
-    // with respect to the component's externals.
-    ConstraintSystem Local(*Ctx);
-    D->deriveComponent(I, Local);
-    CS.RawConstraints = Local.size();
-    MaxConstraints = std::max(MaxConstraints, Local.size());
-    std::vector<SetVar> E = externalsOf(I);
-    ConstraintSystem Simplified =
-        Opts.Simplify == SimplifyAlgorithm::None
-            ? std::move(Local)
-            : simplifyConstraints(Local, E, Opts.Simplify);
-    CS.SimplifiedConstraints = Simplified.size();
-
-    // Save the constraint file for later runs.
-    if (!Opts.CacheDir.empty()) {
-      std::vector<std::pair<std::string, SetVar>> Externals;
-      std::unordered_set<SetVar> Seen;
-      for (VarId V = 0; V < P.numVars(); ++V) {
-        if (!P.var(V).TopLevel || Maps.VarVar[V] == NoSetVar)
-          continue;
-        SetVar SV = Maps.VarVar[V];
-        if (std::find(E.begin(), E.end(), SV) == E.end())
-          continue;
-        if (Seen.insert(SV).second)
-          Externals.emplace_back(P.Syms.name(P.var(V).Name), SV);
+  if (AllowCache && !Opts.CacheDir.empty()) {
+    std::ifstream In(cachePathFor(C));
+    if (In) {
+      std::stringstream Buffer;
+      Buffer << In.rdbuf();
+      std::string Text = Buffer.str();
+      if (peekFileHash(Text) == hashSource(C.SourceText)) {
+        W.CacheHit = true;
+        W.CacheText = std::move(Text);
+        return W;
       }
-      std::filesystem::create_directories(Opts.CacheDir);
-      std::ofstream Out(cachePathFor(P.Components[I]));
-      std::string Text = serializeConstraints(
-          Simplified, Externals, P.Syms,
-          hashSource(P.Components[I].SourceText));
-      Out << Text;
-      CS.FileBytes = Text.size();
     }
-
-    Combined->absorbRaw(Simplified);
   }
-  // Step 2: close the combined system.
+
+  // Step 1: derive and close the component system in a private context,
+  // then simplify it with respect to the component's externals.
+  W.Ctx = std::make_unique<ConstraintContext>();
+  Deriver Private(P, *W.Ctx, W.Maps, Opts.Derive);
+  assert(W.Ctx->numVars() == SharedVarWatermark &&
+         "private contexts must allocate the top-level prefix identically");
+  ConstraintSystem Local(*W.Ctx);
+  Private.deriveComponent(CompIdx, Local);
+  W.RawConstraints = Local.size();
+
+  std::vector<VarId> ExternalVars = externalVarIdsOf(CompIdx);
+  std::vector<SetVar> E;
+  E.reserve(ExternalVars.size());
+  for (VarId V : ExternalVars)
+    E.push_back(W.Maps.VarVar[V]);
+
+  W.Simplified = std::make_unique<ConstraintSystem>(*W.Ctx);
+  *W.Simplified = Opts.Simplify == SimplifyAlgorithm::None
+                      ? std::move(Local)
+                      : simplifyConstraints(Local, E, Opts.Simplify);
+
+  // Save the constraint file for later runs.
+  if (!Opts.CacheDir.empty()) {
+    std::vector<std::pair<std::string, SetVar>> Externals;
+    std::unordered_set<SetVar> SeenVars;
+    for (VarId V : ExternalVars) {
+      SetVar SV = W.Maps.VarVar[V];
+      if (SeenVars.insert(SV).second)
+        Externals.emplace_back(P.Syms.name(P.var(V).Name), SV);
+    }
+    W.FileText = serializeConstraints(*W.Simplified, Externals, P.Syms,
+                                      hashSource(C.SourceText));
+    std::ofstream Out(cachePathFor(C));
+    Out << W.FileText;
+  }
+  return W;
+}
+
+void ComponentialAnalyzer::merge(uint32_t CompIdx, ComponentWork &W) {
+  ComponentRunStats &CS = Stats[CompIdx];
+  if (W.CacheHit) {
+    if (loadFromText(CompIdx, W.CacheText, CS))
+      return;
+    // Matching hash but unusable body (corrupt file, unknown external):
+    // fall back to a fresh derivation, skipping the cache.
+    W = deriveIsolated(CompIdx, /*AllowCache=*/false);
+  }
+
+  // Renumber the private context into the shared one. Variables below the
+  // watermark are the identically-allocated top-level prefix; the rest are
+  // appended as one dense block, so the shared numbering is a pure
+  // function of the program and the component order — independent of the
+  // thread count.
+  const SetVar NumPrivVars = W.Ctx->numVars();
+  assert(NumPrivVars >= SharedVarWatermark);
+  std::vector<SetVar> VarMap(NumPrivVars);
+  for (SetVar V = 0; V < SharedVarWatermark; ++V)
+    VarMap[V] = V;
+  for (SetVar V = SharedVarWatermark; V < NumPrivVars; ++V)
+    VarMap[V] = Ctx->freshVar();
+
+  // Constants: basic kinds are pre-interned identically; per-site tags are
+  // appended in private interning order. Struct tags are identified by
+  // their StructId so that two components using the same structure agree
+  // on one shared tag.
+  const ConstantTable &PrivConsts = W.Ctx->Constants;
+  const Constant NumBasics =
+      static_cast<Constant>(ConstKind::VecTag) + 1;
+  std::unordered_map<Constant, uint32_t> PrivStructOf;
+  for (uint32_t S = 0; S < W.Maps.StructTagOf.size(); ++S)
+    if (W.Maps.StructTagOf[S] != 0)
+      PrivStructOf.emplace(W.Maps.StructTagOf[S], S);
+  std::vector<Constant> ConstMap(PrivConsts.size());
+  for (Constant C = 0; C < PrivConsts.size(); ++C) {
+    if (C < NumBasics) {
+      ConstMap[C] = C;
+      continue;
+    }
+    const ConstantInfo &Info = PrivConsts.info(C);
+    if (auto It = PrivStructOf.find(C); It != PrivStructOf.end()) {
+      if (Maps.StructTagOf.size() <= It->second)
+        Maps.StructTagOf.resize(P.Structs.size(), 0);
+      Constant &Global = Maps.StructTagOf[It->second];
+      if (Global == 0)
+        Global =
+            Ctx->Constants.makeTag(Info.K, Info.Arity, Info.Loc, Info.Label);
+      ConstMap[C] = Global;
+      continue;
+    }
+    ConstMap[C] =
+        Ctx->Constants.makeTag(Info.K, Info.Arity, Info.Loc, Info.Label);
+  }
+
+  // Selectors: re-intern by name (idempotent), in private interning order.
+  const SelectorTable &PrivSels = W.Ctx->Selectors;
+  std::vector<Selector> SelMap(PrivSels.size());
+  for (Selector S = 0; S < PrivSels.size(); ++S)
+    SelMap[S] = Ctx->Selectors.intern(PrivSels.name(S), PrivSels.polarity(S),
+                                      PrivSels.ownerKinds(S));
+
+  // Fold the private side tables into the shared maps. Expression ids and
+  // non-top-level variable ids are disjoint across components, so first
+  // write wins without conflicts.
+  for (ExprId E = 0; E < W.Maps.ExprVar.size(); ++E)
+    if (W.Maps.ExprVar[E] != NoSetVar && Maps.ExprVar[E] == NoSetVar)
+      Maps.ExprVar[E] = VarMap[W.Maps.ExprVar[E]];
+  for (VarId V = 0; V < W.Maps.VarVar.size(); ++V)
+    if (W.Maps.VarVar[V] != NoSetVar && Maps.VarVar[V] == NoSetVar)
+      Maps.VarVar[V] = VarMap[W.Maps.VarVar[V]];
+  for (const CheckSite &Check : W.Maps.Checks) {
+    if (!Maps.CheckedSites.insert(Check.Site).second)
+      continue;
+    CheckSite Copy = Check;
+    for (CheckScrutinee &Scr : Copy.Scrutinees) {
+      Scr.V = VarMap[Scr.V];
+      if (Scr.HasRequiredTag)
+        Scr.RequiredTag = ConstMap[Scr.RequiredTag];
+    }
+    Maps.Checks.push_back(std::move(Copy));
+  }
+  for (const auto &[Site, Tag] : W.Maps.SiteTags)
+    Maps.SiteTags.emplace(Site, ConstMap[Tag]);
+  for (const auto &[Tag, Site] : W.Maps.TagSite)
+    Maps.TagSite.emplace(ConstMap[Tag], Site);
+
+  Combined->absorbMapped(*W.Simplified, VarMap, ConstMap, SelMap);
+  CS.RawConstraints = W.RawConstraints;
+  CS.SimplifiedConstraints = W.Simplified->size();
+  CS.FileBytes = W.FileText.size();
+  MaxConstraints = std::max(MaxConstraints, W.RawConstraints);
+}
+
+void ComponentialAnalyzer::run() {
+  const uint32_t NumComponents =
+      static_cast<uint32_t>(P.Components.size());
+  if (NumComponents && !CrossRefsComputed)
+    computeCrossReferences();
+  if (!Opts.CacheDir.empty())
+    std::filesystem::create_directories(Opts.CacheDir);
+
+  unsigned Threads =
+      Opts.Threads ? Opts.Threads : WorkerPool::defaultThreadCount();
+  if (NumComponents)
+    Threads = std::min(Threads, NumComponents);
+
+  // Step 1, fanned out: every component derives into a private context.
+  std::vector<ComponentWork> Work(NumComponents);
+  if (Threads <= 1 || NumComponents <= 1) {
+    for (uint32_t I = 0; I < NumComponents; ++I)
+      Work[I] = deriveIsolated(I, /*AllowCache=*/true);
+  } else {
+    WorkerPool Pool(Threads);
+    parallelFor(Pool, NumComponents, [&](uint32_t I) {
+      Work[I] = deriveIsolated(I, /*AllowCache=*/true);
+    });
+  }
+
+  // Step 2, sequential: combine in component order, then close.
+  for (uint32_t I = 0; I < NumComponents; ++I)
+    merge(I, Work[I]);
   Combined->close();
   MaxConstraints = std::max(MaxConstraints, Combined->size());
 }

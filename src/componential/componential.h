@@ -16,6 +16,14 @@
 ///     programmer is focusing on by re-deriving it in full against the
 ///     combined system.
 ///
+/// Step 1 is embarrassingly parallel and fans out across a worker pool
+/// (ComponentialOptions::Threads): each component derives into a *private*
+/// ConstraintContext, and the sequential combine of step 2 renumbers each
+/// private system's variables, constants, and selectors into the shared
+/// context in component order. The renumbering is a pure function of the
+/// program, so the combined system is bit-identical for every thread
+/// count.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SPIDEY_COMPONENTIAL_COMPONENTIAL_H
@@ -40,6 +48,10 @@ struct ComponentialOptions {
   std::string CacheDir;
   /// Derivation options (polymorphism mode etc.).
   AnalysisOptions Derive;
+  /// Worker threads for the per-component step 1. 0 selects
+  /// hardware_concurrency; 1 runs the same code path inline (the combined
+  /// result is identical for every value).
+  unsigned Threads = 0;
 };
 
 /// Per-component bookkeeping for the experiments of §7.2.
@@ -54,6 +66,7 @@ struct ComponentRunStats {
 class ComponentialAnalyzer {
 public:
   ComponentialAnalyzer(const Program &P, ComponentialOptions Opts);
+  ~ComponentialAnalyzer();
 
   /// Steps 1 and 2.
   void run();
@@ -81,12 +94,35 @@ public:
   std::vector<SetVar> externalsOf(uint32_t CompIdx);
 
 private:
+  /// Everything one component's step-1 job produces. Derivation results
+  /// live in the job's private context until merge() renumbers them.
+  struct ComponentWork;
+
   void computeCrossReferences();
   std::string cachePathFor(const Component &C) const;
-  /// Attempts to load a component's constraint file; returns true and adds
-  /// the (re-linked) constraints into \p Target on success.
-  bool tryLoadComponent(uint32_t CompIdx, ConstraintSystem &Target,
-                        ComponentRunStats &CS);
+
+  /// The VarIds behind externalsOf, sorted ascending (deterministic).
+  std::vector<VarId> externalVarIdsOf(uint32_t CompIdx) const;
+
+  /// Step-1 worker body: derive+close+simplify+serialize component
+  /// \p CompIdx into a private context (or detect a reusable constraint
+  /// file). Reads only shared-immutable state; runs on any thread.
+  ComponentWork deriveIsolated(uint32_t CompIdx, bool AllowCache) const;
+
+  /// Sequential combine of one component's work, in component order:
+  /// renumbers private vars/constants/selectors into the shared context
+  /// and absorbs the simplified system into Combined.
+  void merge(uint32_t CompIdx, ComponentWork &W);
+
+  /// Deserializes a constraint-file text into the shared context,
+  /// re-links its externals with this run's top-level variables, and
+  /// absorbs it into Combined; returns false if unusable.
+  bool loadFromText(uint32_t CompIdx, const std::string &Text,
+                    ComponentRunStats &CS);
+
+  /// Lazily built Name -> VarId index over top-level defines (first
+  /// definition wins, matching lookup order).
+  VarId topLevelByName(Symbol Name);
 
   const Program &P;
   ComponentialOptions Opts;
@@ -96,8 +132,14 @@ private:
   std::unique_ptr<Deriver> D;
   std::vector<ComponentRunStats> Stats;
   size_t MaxConstraints = 0;
+  /// Shared set-variable prefix: the top-level variables every context
+  /// (shared and private) allocates identically before any derivation.
+  SetVar SharedVarWatermark = 0;
   std::unordered_map<uint32_t, std::unordered_set<VarId>> ReferencedBy;
   std::unordered_set<VarId> CrossReferenced;
+  bool CrossRefsComputed = false;
+  std::unordered_map<Symbol, VarId> TopLevelIndex;
+  bool TopLevelIndexBuilt = false;
 };
 
 /// Builds AnalysisOptions for the polymorphic analyses of §7.4/fig. 7.6:

@@ -1,0 +1,74 @@
+//===-- componential/parallel.cpp -----------------------------*- C++ -*-===//
+
+#include "componential/parallel.h"
+
+#include <algorithm>
+
+using namespace spidey;
+
+unsigned WorkerPool::defaultThreadCount() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+WorkerPool::WorkerPool(unsigned ThreadCount) {
+  ThreadCount = std::max(1u, ThreadCount);
+  Workers.reserve(ThreadCount);
+  for (unsigned I = 0; I < ThreadCount; ++I)
+    Workers.emplace_back([this] { workerMain(); });
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::unique_lock<std::mutex> Lock(M);
+    Stopping = true;
+  }
+  WorkReady.notify_all();
+  for (std::thread &T : Workers)
+    T.join();
+}
+
+void WorkerPool::submit(std::function<void()> Job) {
+  {
+    std::unique_lock<std::mutex> Lock(M);
+    Queue.push_back(std::move(Job));
+    ++Unfinished;
+  }
+  WorkReady.notify_one();
+}
+
+void WorkerPool::wait() {
+  std::unique_lock<std::mutex> Lock(M);
+  AllDone.wait(Lock, [this] { return Unfinished == 0; });
+  if (FirstError) {
+    std::exception_ptr E = FirstError;
+    FirstError = nullptr;
+    std::rethrow_exception(E);
+  }
+}
+
+void WorkerPool::workerMain() {
+  for (;;) {
+    std::function<void()> Job;
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      WorkReady.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Stopping and drained
+      Job = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    std::exception_ptr Error;
+    try {
+      Job();
+    } catch (...) {
+      Error = std::current_exception();
+    }
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      if (Error && !FirstError)
+        FirstError = Error;
+      if (--Unfinished == 0)
+        AllDone.notify_all();
+    }
+  }
+}

@@ -4,22 +4,27 @@
 
 #include <algorithm>
 #include <sstream>
+#include <unordered_set>
 
 using namespace spidey;
 
 bool ConstraintSystem::insertLowerRaw(SetVar A, const LowerBound &L) {
-  VarBounds &B = bounds(A);
-  if (!B.LowKeys.insert(lowKey(L)).second)
+  if (!Keys.insert(A, lowKey(L)))
     return false;
+  VarBounds &B = bounds(A);
+  if (B.Lows.empty())
+    B.Lows.reserve(4);
   B.Lows.push_back(L);
   ++NumBounds;
   return true;
 }
 
 bool ConstraintSystem::insertUpperRaw(SetVar A, const UpperBound &U) {
-  VarBounds &B = bounds(A);
-  if (!B.UpKeys.insert(upKey(U)).second)
+  if (!Keys.insert(A, upKey(U)))
     return false;
+  VarBounds &B = bounds(A);
+  if (B.Ups.empty())
+    B.Ups.reserve(4);
   B.Ups.push_back(U);
   ++NumBounds;
   return true;
@@ -28,7 +33,7 @@ bool ConstraintSystem::insertUpperRaw(SetVar A, const UpperBound &U) {
 bool ConstraintSystem::insertLower(SetVar A, const LowerBound &L) {
   if (!insertLowerRaw(A, L))
     return false;
-  VarBounds &B = bounds(A);
+  VarBounds &B = Storage[Slots[A]];
   Worklist.push_back({A, static_cast<uint32_t>(B.Lows.size() - 1), true});
   return true;
 }
@@ -36,7 +41,7 @@ bool ConstraintSystem::insertLower(SetVar A, const LowerBound &L) {
 bool ConstraintSystem::insertUpper(SetVar A, const UpperBound &U) {
   if (!insertUpperRaw(A, U))
     return false;
-  VarBounds &B = bounds(A);
+  VarBounds &B = Storage[Slots[A]];
   Worklist.push_back({A, static_cast<uint32_t>(B.Ups.size() - 1), false});
   return true;
 }
@@ -67,7 +72,7 @@ void ConstraintSystem::combine(const LowerBound &L, const UpperBound &U) {
     // Rule s4: β ≤ s⁺(α) and s⁺(α) ≤ γ imply β ≤ γ.
     insertUpper(L.Other, UpperBound::var(U.Other));
   } else {
-    // Rule s5: s⁻(α) ≤ β and γ ≤ s⁻(α) imply γ ≤ β.
+    // Rule s5: s⁻(α) ≤ γ and β ≤ s⁻(α) imply β ≤ γ.
     insertUpper(U.Other, UpperBound::var(L.Other));
   }
 }
@@ -76,18 +81,21 @@ void ConstraintSystem::drain() {
   while (!Worklist.empty()) {
     Task T = Worklist.back();
     Worklist.pop_back();
-    // Copy the partner bound out before combining: combine may grow the
-    // bound vectors and invalidate references.
+    // The slot index for T.Var is stable even as combine() adds slots for
+    // other variables; Storage is re-indexed on every access because its
+    // buffer may move. Partner bounds are copied out before combining:
+    // combine may grow the bound vectors and invalidate references.
+    const uint32_t Slot = Slots[T.Var];
     if (T.IsLower) {
-      LowerBound L = bounds(T.Var).Lows[T.Index];
-      for (size_t I = 0; I < bounds(T.Var).Ups.size(); ++I) {
-        UpperBound U = bounds(T.Var).Ups[I];
+      LowerBound L = Storage[Slot].Lows[T.Index];
+      for (size_t I = 0; I < Storage[Slot].Ups.size(); ++I) {
+        UpperBound U = Storage[Slot].Ups[I];
         combine(L, U);
       }
     } else {
-      UpperBound U = bounds(T.Var).Ups[T.Index];
-      for (size_t I = 0; I < bounds(T.Var).Lows.size(); ++I) {
-        LowerBound L = bounds(T.Var).Lows[I];
+      UpperBound U = Storage[Slot].Ups[T.Index];
+      for (size_t I = 0; I < Storage[Slot].Lows.size(); ++I) {
+        LowerBound L = Storage[Slot].Lows[I];
         combine(L, U);
       }
     }
@@ -95,23 +103,27 @@ void ConstraintSystem::drain() {
 }
 
 void ConstraintSystem::close() {
-  // Schedule every stored bound once; draining reaches the fixed point.
-  for (auto &[Var, Slot] : Slots) {
-    VarBounds &B = Storage[Slot];
-    for (uint32_t I = 0; I < B.Lows.size(); ++I)
-      Worklist.push_back({Var, I, true});
-    // Scheduling only lower bounds suffices to consider every (L, U) pair
-    // that existed before closing; bounds added during draining schedule
-    // themselves.
-    (void)B;
+  // Schedule every stored lower bound once; draining reaches the fixed
+  // point. Scheduling only lower bounds suffices to consider every (L, U)
+  // pair that existed before closing; bounds added during draining
+  // schedule themselves.
+  for (SetVar A = 0; A < Slots.size(); ++A) {
+    uint32_t Slot = Slots[A];
+    if (Slot == NoSlot)
+      continue;
+    for (uint32_t I = 0; I < Storage[Slot].Lows.size(); ++I)
+      Worklist.push_back({A, I, true});
   }
   drain();
 }
 
 std::vector<SetVar> ConstraintSystem::variables() const {
   std::unordered_set<SetVar> Seen;
-  for (auto &[Var, Slot] : Slots) {
-    Seen.insert(Var);
+  for (SetVar A = 0; A < Slots.size(); ++A) {
+    uint32_t Slot = Slots[A];
+    if (Slot == NoSlot)
+      continue;
+    Seen.insert(A);
     const VarBounds &B = Storage[Slot];
     for (const LowerBound &L : B.Lows)
       if (L.K == LowerBound::Kind::SelLB)
@@ -124,14 +136,6 @@ std::vector<SetVar> ConstraintSystem::variables() const {
   return Result;
 }
 
-bool ConstraintSystem::hasConstLower(SetVar A, Constant C) const {
-  auto It = Slots.find(A);
-  if (It == Slots.end())
-    return false;
-  const VarBounds &B = Storage[It->second];
-  return B.LowKeys.count(lowKey(LowerBound::constant(C))) != 0;
-}
-
 std::vector<Constant> ConstraintSystem::constantsOf(SetVar A) const {
   std::vector<Constant> Result;
   for (const LowerBound &L : lowerBounds(A))
@@ -142,25 +146,55 @@ std::vector<Constant> ConstraintSystem::constantsOf(SetVar A) const {
 }
 
 void ConstraintSystem::absorbRaw(const ConstraintSystem &Other) {
-  for (auto &[Var, Slot] : Other.Slots) {
+  Keys.reserve(Keys.size() + Other.NumBounds);
+  for (SetVar A = 0; A < Other.Slots.size(); ++A) {
+    uint32_t Slot = Other.Slots[A];
+    if (Slot == NoSlot)
+      continue;
     const VarBounds &B = Other.Storage[Slot];
     for (const LowerBound &L : B.Lows)
-      insertLowerRaw(Var, L);
+      insertLowerRaw(A, L);
     for (const UpperBound &U : B.Ups)
-      insertUpperRaw(Var, U);
+      insertUpperRaw(A, U);
+  }
+}
+
+void ConstraintSystem::absorbMapped(const ConstraintSystem &Other,
+                                    const std::vector<SetVar> &VarMap,
+                                    const std::vector<Constant> &ConstMap,
+                                    const std::vector<Selector> &SelMap) {
+  Keys.reserve(Keys.size() + Other.NumBounds);
+  for (SetVar A = 0; A < Other.Slots.size(); ++A) {
+    uint32_t Slot = Other.Slots[A];
+    if (Slot == NoSlot)
+      continue;
+    SetVar MA = VarMap[A];
+    const VarBounds &B = Other.Storage[Slot];
+    for (const LowerBound &L : B.Lows) {
+      if (L.K == LowerBound::Kind::ConstLB)
+        insertLowerRaw(MA, LowerBound::constant(ConstMap[L.C]));
+      else
+        insertLowerRaw(
+            MA, LowerBound::selector(SelMap[L.Sel], VarMap[L.Other]));
+    }
+    for (const UpperBound &U : B.Ups) {
+      if (U.K == UpperBound::Kind::VarUB)
+        insertUpperRaw(MA, UpperBound::var(VarMap[U.Other]));
+      else if (U.K == UpperBound::Kind::FilterUB)
+        insertUpperRaw(MA, UpperBound::filter(U.Sel, VarMap[U.Other]));
+      else
+        insertUpperRaw(
+            MA, UpperBound::selector(SelMap[U.Sel], VarMap[U.Other]));
+    }
   }
 }
 
 std::string ConstraintSystem::str() const {
   std::ostringstream OS;
-  std::vector<SetVar> Vars;
-  for (auto &[Var, Slot] : Slots) {
-    (void)Slot;
-    Vars.push_back(Var);
-  }
-  std::sort(Vars.begin(), Vars.end());
   const SelectorTable &Sels = Ctx->Selectors;
-  for (SetVar A : Vars) {
+  for (SetVar A = 0; A < Slots.size(); ++A) {
+    if (Slots[A] == NoSlot)
+      continue;
     for (const LowerBound &L : lowerBounds(A)) {
       if (L.K == LowerBound::Kind::ConstLB) {
         OS << "c" << L.C << " <= a" << A << "\n";

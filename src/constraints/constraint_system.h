@@ -25,6 +25,13 @@
 /// The system is kept closed incrementally: every public add re-closes via
 /// an explicit worklist (the paper's add-lower-bound+close!).
 ///
+/// Storage layout: set variables are small consecutive integers handed out
+/// by one ConstraintContext, so the per-variable slot table is a dense
+/// vector indexed by SetVar (no hashing on the hot path), and bound
+/// deduplication goes through a single open-addressing flat set keyed on
+/// (variable, packed bound) rather than two heap-allocated hash sets per
+/// variable.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SPIDEY_CONSTRAINTS_CONSTRAINT_SYSTEM_H
@@ -33,8 +40,6 @@
 #include "constraints/core.h"
 
 #include <cstdint>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 namespace spidey {
@@ -84,6 +89,91 @@ struct UpperBound {
   friend bool operator==(const UpperBound &A, const UpperBound &B) {
     return A.K == B.K && A.Sel == B.Sel && A.Other == B.Other;
   }
+};
+
+/// Open-addressing flat set of (variable, packed-bound) pairs: the
+/// deduplication index for every bound a system stores. Linear probing,
+/// power-of-two capacity, no tombstones (bounds are never removed).
+class BoundKeySet {
+public:
+  /// Returns true if (Var, Key) was newly inserted.
+  bool insert(SetVar Var, uint64_t Key) {
+    if (Table.empty())
+      rehash(64);
+    size_t Mask = Table.size() - 1;
+    size_t I = hashOf(Var, Key) & Mask;
+    while (Table[I].Key != EmptyKey) {
+      if (Table[I].Key == Key && Table[I].Var == Var)
+        return false;
+      I = (I + 1) & Mask;
+    }
+    Table[I] = {Key, Var};
+    ++Count;
+    if (Count * 4 >= Table.size() * 3)
+      rehash(Table.size() * 2);
+    return true;
+  }
+
+  bool contains(SetVar Var, uint64_t Key) const {
+    if (Table.empty())
+      return false;
+    size_t Mask = Table.size() - 1;
+    size_t I = hashOf(Var, Key) & Mask;
+    while (Table[I].Key != EmptyKey) {
+      if (Table[I].Key == Key && Table[I].Var == Var)
+        return true;
+      I = (I + 1) & Mask;
+    }
+    return false;
+  }
+
+  void reserve(size_t N) {
+    size_t Cap = 64;
+    while (Cap * 3 < N * 4)
+      Cap *= 2;
+    if (Cap > Table.size())
+      rehash(Cap);
+  }
+
+  size_t size() const { return Count; }
+
+private:
+  /// Packed bounds use 3 tag bits at the top (values 0-4), so all-ones is
+  /// never a valid key.
+  static constexpr uint64_t EmptyKey = ~uint64_t(0);
+
+  struct Entry {
+    uint64_t Key = EmptyKey;
+    SetVar Var = 0;
+  };
+
+  static size_t hashOf(SetVar Var, uint64_t Key) {
+    uint64_t X = Key ^ (uint64_t(Var) * 0x9E3779B97F4A7C15ull);
+    X ^= X >> 33;
+    X *= 0xFF51AFD7ED558CCDull;
+    X ^= X >> 33;
+    X *= 0xC4CEB9FE1A85EC53ull;
+    X ^= X >> 33;
+    return static_cast<size_t>(X);
+  }
+
+  void rehash(size_t NewCap) {
+    std::vector<Entry> Old = std::move(Table);
+    Table.assign(NewCap, Entry{});
+    size_t Mask = NewCap - 1;
+    for (const Entry &E : Old) {
+      if (E.Key == EmptyKey)
+        continue;
+      size_t I = hashOf(E.Var, E.Key) & Mask;
+      while (Table[I].Key != EmptyKey)
+        I = (I + 1) & Mask;
+      Table[I] = E;
+    }
+    Table.shrink_to_fit();
+  }
+
+  std::vector<Entry> Table;
+  size_t Count = 0;
 };
 
 /// A simple constraint system, kept closed under Θ.
@@ -156,22 +246,24 @@ public:
   //===------------------------------------------------------------------===
 
   /// All variables this system mentions (has any bound for, or appearing
-  /// on the far side of a bound).
+  /// on the far side of a bound), sorted ascending.
   std::vector<SetVar> variables() const;
 
   const std::vector<LowerBound> &lowerBounds(SetVar A) const {
     static const std::vector<LowerBound> Empty;
-    auto It = Slots.find(A);
-    return It == Slots.end() ? Empty : Storage[It->second].Lows;
+    uint32_t Slot = slotOf(A);
+    return Slot == NoSlot ? Empty : Storage[Slot].Lows;
   }
   const std::vector<UpperBound> &upperBounds(SetVar A) const {
     static const std::vector<UpperBound> Empty;
-    auto It = Slots.find(A);
-    return It == Slots.end() ? Empty : Storage[It->second].Ups;
+    uint32_t Slot = slotOf(A);
+    return Slot == NoSlot ? Empty : Storage[Slot].Ups;
   }
 
   /// True if c ≤ α is in the (closed) system, i.e. S ⊢Θ c ≤ α.
-  bool hasConstLower(SetVar A, Constant C) const;
+  bool hasConstLower(SetVar A, Constant C) const {
+    return Keys.contains(A, lowKey(LowerBound::constant(C)));
+  }
 
   /// The constants of α in the closed system: {c | S ⊢Θ c ≤ α}. This is
   /// const(LeastSoln(S)(α)) by Theorem 2.6.5.
@@ -185,7 +277,20 @@ public:
 
   /// Copies every constraint of \p Other into this system (raw); call
   /// close() afterwards. Used by the componential combiner (§7.1 step 2).
+  /// Constraints are copied in ascending variable order, so the result is
+  /// deterministic for a given \p Other.
   void absorbRaw(const ConstraintSystem &Other);
+
+  /// Like absorbRaw, but \p Other lives in a *different* context: every
+  /// variable v is renamed to VarMap[v], every constant c to ConstMap[c],
+  /// and every selector s to SelMap[s] (FilterUB masks are kind masks, not
+  /// selectors, and pass through unchanged). Used by the parallel
+  /// componential combiner to merge per-component systems derived in
+  /// private contexts.
+  void absorbMapped(const ConstraintSystem &Other,
+                    const std::vector<SetVar> &VarMap,
+                    const std::vector<Constant> &ConstMap,
+                    const std::vector<Selector> &SelMap);
 
   /// Renders the system for debugging/tests, one constraint per line.
   std::string str() const;
@@ -194,8 +299,6 @@ private:
   struct VarBounds {
     std::vector<LowerBound> Lows;
     std::vector<UpperBound> Ups;
-    std::unordered_set<uint64_t> LowKeys;
-    std::unordered_set<uint64_t> UpKeys;
   };
 
   struct Task {
@@ -204,22 +307,33 @@ private:
     bool IsLower;
   };
 
-  VarBounds &bounds(SetVar A) {
-    auto It = Slots.find(A);
-    if (It != Slots.end())
-      return Storage[It->second];
-    Slots.emplace(A, static_cast<uint32_t>(Storage.size()));
-    Storage.emplace_back();
-    return Storage.back();
+  static constexpr uint32_t NoSlot = ~uint32_t(0);
+
+  uint32_t slotOf(SetVar A) const {
+    return A < Slots.size() ? Slots[A] : NoSlot;
   }
 
+  VarBounds &bounds(SetVar A) {
+    if (A >= Slots.size())
+      Slots.resize(static_cast<size_t>(A) + 1, NoSlot);
+    uint32_t &Slot = Slots[A];
+    if (Slot == NoSlot) {
+      Slot = static_cast<uint32_t>(Storage.size());
+      Storage.emplace_back();
+    }
+    return Storage[Slot];
+  }
+
+  // Packed bound encodings for the dedup set: 3 tag bits (61-63, values
+  // 0-4), 29 payload bits (32-60: constant, selector, or kind mask), and
+  // the partner variable in the low 32 bits.
   static uint64_t lowKey(const LowerBound &L) {
-    return (uint64_t(L.K == LowerBound::Kind::ConstLB ? 0u : 1u) << 62) |
-           (uint64_t(L.K == LowerBound::Kind::ConstLB ? L.C : L.Sel) << 32) |
-           (L.K == LowerBound::Kind::ConstLB ? 0u : L.Other);
+    return L.K == LowerBound::Kind::ConstLB
+               ? (uint64_t(L.C) << 32)
+               : (uint64_t(1) << 61) | (uint64_t(L.Sel) << 32) | L.Other;
   }
   static uint64_t upKey(const UpperBound &U) {
-    return (uint64_t(static_cast<uint8_t>(U.K)) << 62) |
+    return (uint64_t(2 + static_cast<uint8_t>(U.K)) << 61) |
            (uint64_t(U.Sel) << 32) | U.Other;
   }
 
@@ -236,8 +350,9 @@ private:
   void drain();
 
   ConstraintContext *Ctx;
-  std::unordered_map<SetVar, uint32_t> Slots;
+  std::vector<uint32_t> Slots; ///< SetVar -> index into Storage, or NoSlot
   std::vector<VarBounds> Storage;
+  BoundKeySet Keys;
   std::vector<Task> Worklist;
   size_t NumBounds = 0;
 };
