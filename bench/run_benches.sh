@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Runs the parallel componential benchmark and writes BENCH_componential.json
-# at the repository root.
+# Runs every paper-table benchmark binary, then writes
+# BENCH_componential.json at the repository root from bench_parallel's
+# JSON output.
 #
 # The emitted file has a "before" section (the sequential analyzer +
 # per-variable hash-set constraint storage that predate the parallel
@@ -8,8 +9,11 @@
 # and an "after" section refreshed from the current build. Set
 # SPIDEY_BENCH_BEFORE to a JSON file to substitute different baseline
 # numbers.
+#
+# Every bench runs even if an earlier one fails; the script exits
+# non-zero if any of them did, naming the failures.
 
-set -euo pipefail
+set -uo pipefail
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build}"
@@ -17,12 +21,28 @@ OUT="$REPO_ROOT/BENCH_componential.json"
 TMP_AFTER="$(mktemp)"
 trap 'rm -f "$TMP_AFTER"' EXIT
 
-cmake -B "$BUILD_DIR" -S "$REPO_ROOT" > /dev/null
-cmake --build "$BUILD_DIR" -j --target bench_parallel > /dev/null
+BENCHES=(bench_simplify bench_componential bench_polymorphic bench_checks
+         bench_ablation bench_parallel)
 
-"$BUILD_DIR/bench/bench_parallel" --json > "$TMP_AFTER"
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT" > /dev/null || exit 1
+cmake --build "$BUILD_DIR" -j --target "${BENCHES[@]}" > /dev/null || exit 1
 
-python3 - "$OUT" "$TMP_AFTER" "${SPIDEY_BENCH_BEFORE:-}" <<'EOF'
+FAILED=()
+for BENCH in "${BENCHES[@]}"; do
+  echo "== $BENCH =="
+  if [ "$BENCH" = bench_parallel ]; then
+    "$BUILD_DIR/bench/$BENCH" --json > "$TMP_AFTER" || FAILED+=("$BENCH")
+  else
+    "$BUILD_DIR/bench/$BENCH" || FAILED+=("$BENCH")
+  fi
+done
+
+if [ "${#FAILED[@]}" -ne 0 ]; then
+  echo "FAILED: ${FAILED[*]}" >&2
+  exit 1
+fi
+
+python3 - "$OUT" "$TMP_AFTER" "${SPIDEY_BENCH_BEFORE:-}" <<'EOF' || exit 1
 import json, os, sys
 
 out, after_path, before_path = sys.argv[1], sys.argv[2], sys.argv[3]

@@ -302,6 +302,18 @@ Deriver::maybeMakeSchema(VarId Var, ExprId Init, ConstraintSystem &MainS) {
   ActiveSchema = Sch.get();
   SetVar Result = deriveExpr(Init, *Sch->System);
   ActiveSchema = SavedActive;
+  // A schema nested in another schema's body: its labels and check
+  // scrutinees are quantified in the *enclosing* schema too, so the
+  // enclosing instantiation must also add their sink edges — otherwise
+  // copies made by the outer instantiation never feed the shared label.
+  if (SavedActive) {
+    SavedActive->LabelVars.insert(SavedActive->LabelVars.end(),
+                                  Sch->LabelVars.begin(),
+                                  Sch->LabelVars.end());
+    SavedActive->CheckVars.insert(SavedActive->CheckVars.end(),
+                                  Sch->CheckVars.begin(),
+                                  Sch->CheckVars.end());
+  }
 
   // Recursion knot for top-level defines: recursive references inside the
   // body go through the (monomorphic) variable; every instance also feeds
@@ -569,6 +581,13 @@ SetVar Deriver::deriveExpr(ExprId E, ConstraintSystem &S) {
       if (auto Sch = maybeMakeSchema(B.Var, B.Init, S)) {
         Schemas[B.Var] = Sch;
         SchemaComponent[B.Var] = CurrentComponent;
+        // Call-by-value evaluates the init once regardless of uses: one
+        // evaluation instance keeps labels and check sites inside the
+        // init sound even for never-referenced bindings. Its result also
+        // inhabits the monomorphic variable so filter-based narrowing
+        // (which reads varOfVar) sees the binding's value.
+        SetVar Inst = instantiate(*Sch, S);
+        S.addVarUpper(Inst, varOfVar(B.Var));
         continue;
       }
       SetVar Init = deriveExpr(B.Init, S);

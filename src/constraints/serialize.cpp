@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <sstream>
 #include <unordered_map>
+#include <unordered_set>
 
 using namespace spidey;
 
@@ -140,6 +141,67 @@ private:
   std::istringstream In;
 };
 
+bool allDigits(std::string_view S) {
+  if (S.empty())
+    return false;
+  for (char C : S)
+    if (C < '0' || C > '9')
+      return false;
+  return true;
+}
+
+/// Validates a serialized selector name against the selector families the
+/// analysis can produce and reports the family's fixed polarity and owner
+/// kinds. Constraint files come from a cache directory on disk, so a name
+/// outside these families (or with the wrong polarity) is a corrupt or
+/// hostile file and must be rejected — interning it would poison the
+/// shared selector table (SelectorTable::intern asserts polarity
+/// consistency).
+bool selectorFamily(const std::string &Name, Polarity &P, KindMask &Owners) {
+  constexpr KindMask FnKinds =
+      kindBit(ConstKind::FnTag) | kindBit(ConstKind::ContTag);
+  struct Fixed {
+    const char *Name;
+    Polarity P;
+    KindMask Owners;
+  };
+  static const Fixed Table[] = {
+      {"rng", Polarity::Monotone, FnKinds},
+      {"car", Polarity::Monotone, kindBit(ConstKind::Pair)},
+      {"cdr", Polarity::Monotone, kindBit(ConstKind::Pair)},
+      {"box+", Polarity::Monotone, kindBit(ConstKind::BoxTag)},
+      {"box-", Polarity::AntiMonotone, kindBit(ConstKind::BoxTag)},
+      {"vec+", Polarity::Monotone, kindBit(ConstKind::VecTag)},
+      {"vec-", Polarity::AntiMonotone, kindBit(ConstKind::VecTag)},
+      {"ue", Polarity::Monotone, kindBit(ConstKind::UnitTag)},
+      {"ui", Polarity::AntiMonotone, kindBit(ConstKind::UnitTag)},
+      {"cl-obj", Polarity::Monotone, kindBit(ConstKind::ClassTag)},
+  };
+  for (const Fixed &F : Table)
+    if (Name == F.Name) {
+      P = F.P;
+      Owners = F.Owners;
+      return true;
+    }
+  std::string_view V(Name);
+  if (V.substr(0, 3) == "dom" && allDigits(V.substr(3))) {
+    P = Polarity::AntiMonotone;
+    Owners = FnKinds;
+    return true;
+  }
+  if (V.size() > 5 && (V.substr(0, 5) == "ivar+" || V.substr(0, 5) == "ivar-")) {
+    P = V[4] == '+' ? Polarity::Monotone : Polarity::AntiMonotone;
+    Owners = kindBit(ConstKind::ObjTag);
+    return true;
+  }
+  if (V.size() > 5 && (V.substr(0, 5) == "sfld+" || V.substr(0, 5) == "sfld-")) {
+    P = V[4] == '+' ? Polarity::Monotone : Polarity::AntiMonotone;
+    Owners = kindBit(ConstKind::StructTag);
+    return true;
+  }
+  return false;
+}
+
 } // namespace
 
 bool spidey::deserializeConstraints(std::string_view Text, SymbolTable &Syms,
@@ -173,11 +235,14 @@ bool spidey::deserializeConstraints(std::string_view Text, SymbolTable &Syms,
   uint64_t NumExternals;
   if (!TS.expect("externals") || !TS.number(NumExternals))
     return Fail("missing externals");
+  std::unordered_set<std::string> SeenExternals;
   for (uint64_t I = 0; I < NumExternals; ++I) {
     std::string Key;
     uint64_t Local;
     if (!TS.word(Key) || !TS.number(Local) || Local >= NumVars)
       return Fail("malformed external");
+    if (!SeenExternals.insert(Key).second)
+      return Fail("duplicate external");
     Info.Externals.emplace_back(Key, VarMap[Local]);
   }
 
@@ -189,8 +254,15 @@ bool spidey::deserializeConstraints(std::string_view Text, SymbolTable &Syms,
     std::string Name, Pol;
     if (!TS.word(Name) || !TS.word(Pol) || (Pol != "+" && Pol != "-"))
       return Fail("malformed selector");
-    SelMap[I] = Ctx.Selectors.intern(
-        Name, Pol == "+" ? Polarity::Monotone : Polarity::AntiMonotone);
+    Polarity Declared =
+        Pol == "+" ? Polarity::Monotone : Polarity::AntiMonotone;
+    Polarity FamilyP;
+    KindMask Owners;
+    if (!selectorFamily(Name, FamilyP, Owners))
+      return Fail("unknown selector name");
+    if (FamilyP != Declared)
+      return Fail("selector polarity mismatch");
+    SelMap[I] = Ctx.Selectors.intern(Name, FamilyP, Owners);
   }
 
   uint64_t NumConstants;

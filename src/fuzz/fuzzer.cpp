@@ -1,0 +1,136 @@
+//===-- fuzz/fuzzer.cpp ---------------------------------------*- C++ -*-===//
+
+#include "fuzz/fuzzer.h"
+
+#include "fuzz/shrink.h"
+
+#include <sstream>
+
+using namespace spidey;
+
+unsigned spidey::fuzzSeedFor(unsigned BaseSeed, uint64_t Iteration) {
+  // splitmix64 over (base, iteration) — decorrelates neighboring seeds.
+  uint64_t X = (uint64_t(BaseSeed) << 32) ^ Iteration;
+  X += 0x9E3779B97F4A7C15ull;
+  X = (X ^ (X >> 30)) * 0xBF58476D1CE4E5B9ull;
+  X = (X ^ (X >> 27)) * 0x94D049BB133111EBull;
+  X = X ^ (X >> 31);
+  // Keep seeds nonzero and printable-small enough to paste.
+  return static_cast<unsigned>(X % 0x7FFFFFFFu) + 1;
+}
+
+std::string spidey::formatReproducer(const FuzzViolation &V) {
+  std::ostringstream OS;
+  OS << "; spidey-fuzz reproducer\n";
+  OS << "; oracle: " << V.OracleName << "\n";
+  OS << "; seed: " << V.ProgramSeed << "\n";
+  for (const SourceFile &F : V.Minimized) {
+    OS << ";;; file: " << F.Name << "\n";
+    OS << F.Text;
+    if (!F.Text.empty() && F.Text.back() != '\n')
+      OS << "\n";
+  }
+  return OS.str();
+}
+
+std::vector<SourceFile> spidey::parseReproducer(const std::string &Text,
+                                                std::string &OracleOut) {
+  std::vector<SourceFile> Files;
+  std::istringstream In(Text);
+  std::string Line;
+  std::string Pending; ///< text before the first file marker
+  while (std::getline(In, Line)) {
+    if (Line.rfind("; oracle:", 0) == 0) {
+      OracleOut = Line.substr(9);
+      while (!OracleOut.empty() && OracleOut.front() == ' ')
+        OracleOut.erase(OracleOut.begin());
+      continue;
+    }
+    if (Line.rfind(";;; file:", 0) == 0) {
+      std::string Name = Line.substr(9);
+      while (!Name.empty() && Name.front() == ' ')
+        Name.erase(Name.begin());
+      Files.push_back({Name.empty() ? "repro.ss" : Name, ""});
+      continue;
+    }
+    if (Files.empty())
+      Pending += Line + "\n";
+    else
+      Files.back().Text += Line + "\n";
+  }
+  if (Files.empty())
+    Files.push_back({"repro.ss", Pending});
+  return Files;
+}
+
+FuzzSummary spidey::runFuzz(const FuzzOptions &Opts) {
+  FuzzSummary Summary;
+  auto Log = [&](const std::string &Message) {
+    if (Opts.Log)
+      Opts.Log(Message);
+  };
+
+  for (uint64_t Iter = 0; Iter < Opts.Iters; ++Iter) {
+    if (Summary.Violations.size() >= Opts.MaxViolations) {
+      Log("stopping early: violation limit reached");
+      break;
+    }
+    ++Summary.Iterations;
+    FuzzGenConfig Gen = Opts.Gen;
+    Gen.Seed = fuzzSeedFor(Opts.Seed, Iter);
+    std::vector<SourceFile> Program = generateFuzzProgram(Gen);
+
+    auto Report = [&](const std::string &OracleName,
+                      const std::string &Message,
+                      const FailurePredicate &StillFails) {
+      FuzzViolation V;
+      V.Iteration = Iter;
+      V.ProgramSeed = Gen.Seed;
+      V.OracleName = OracleName;
+      V.Message = Message;
+      V.Program = Program;
+      V.Minimized = Program;
+      Log("VIOLATION [" + OracleName + "] seed " +
+          std::to_string(Gen.Seed) + ": " + Message);
+      if (Opts.Shrink) {
+        V.Minimized = shrinkProgram(Program, StillFails);
+        size_t Bytes = 0;
+        for (const SourceFile &F : V.Minimized)
+          Bytes += F.Text.size();
+        Log("  minimized to " + std::to_string(V.Minimized.size()) +
+            " file(s), " + std::to_string(Bytes) + " bytes");
+      }
+      Summary.Violations.push_back(std::move(V));
+    };
+
+    for (unsigned OI = 0; OI < NumOracles; ++OI) {
+      if (!(Opts.OracleMask & (1u << OI)))
+        continue;
+      Oracle O = static_cast<Oracle>(OI);
+      OracleVerdict Verdict = checkOracle(O, Program, Opts.Oracle);
+      ++Summary.OracleRuns[OI];
+      if (!Verdict.Parsed) {
+        Report("generate", "generated program failed to parse:\n" +
+                               Verdict.Message,
+               [&](const std::vector<SourceFile> &Candidate) {
+                 return !checkOracle(O, Candidate, Opts.Oracle).Parsed;
+               });
+        break; // no point running other oracles on an unparsable program
+      }
+      if (Verdict.Violation) {
+        OracleOptions OOpts = Opts.Oracle;
+        Report(oracleName(O), Verdict.Message,
+               [O, &OOpts](const std::vector<SourceFile> &Candidate) {
+                 OracleVerdict R = checkOracle(O, Candidate, OOpts);
+                 return R.Parsed && R.Violation;
+               });
+      }
+    }
+
+    if ((Iter + 1) % 100 == 0)
+      Log("iteration " + std::to_string(Iter + 1) + "/" +
+          std::to_string(Opts.Iters) + ", " +
+          std::to_string(Summary.Violations.size()) + " violation(s)");
+  }
+  return Summary;
+}

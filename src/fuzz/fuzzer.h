@@ -1,0 +1,84 @@
+//===-- fuzz/fuzzer.h - Differential fuzzing driver ------------*- C++ -*-===//
+///
+/// \file
+/// The standing correctness harness: generate a random program per
+/// iteration (seed derived deterministically from the base seed), run the
+/// enabled metamorphic oracles, and on any violation delta-debug the
+/// program down to a minimal reproducer.
+///
+/// Reproducers use a single-text format so they can be checked into
+/// tests/regress/ and replayed standalone:
+///
+///   ; spidey-fuzz reproducer
+///   ; oracle: soundness
+///   ; seed: 12345
+///   ;;; file: fuzz0.ss
+///   (define d0 ...)
+///   ;;; file: fuzzmain.ss
+///   ...
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIDEY_FUZZ_FUZZER_H
+#define SPIDEY_FUZZ_FUZZER_H
+
+#include "fuzz/fuzzgen.h"
+#include "fuzz/oracles.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace spidey {
+
+struct FuzzOptions {
+  uint64_t Iters = 100;
+  unsigned Seed = 1;
+  /// Bitmask over Oracle values; all four by default.
+  uint32_t OracleMask = (1u << NumOracles) - 1;
+  OracleOptions Oracle;
+  /// Template for per-iteration generator configs (Seed is overwritten).
+  FuzzGenConfig Gen;
+  bool Shrink = true;
+  /// Stop after this many violations.
+  size_t MaxViolations = 5;
+  /// Optional progress/violation logger.
+  std::function<void(const std::string &)> Log;
+};
+
+struct FuzzViolation {
+  uint64_t Iteration = 0;
+  unsigned ProgramSeed = 0;
+  /// Oracle name, or "generate" when the generated program failed to
+  /// parse (a generator bug — also worth a reproducer).
+  std::string OracleName;
+  std::string Message;
+  std::vector<SourceFile> Program;   ///< as generated
+  std::vector<SourceFile> Minimized; ///< after shrinking (== Program if off)
+};
+
+struct FuzzSummary {
+  uint64_t Iterations = 0;
+  uint64_t OracleRuns[NumOracles] = {};
+  std::vector<FuzzViolation> Violations;
+  bool ok() const { return Violations.empty(); }
+};
+
+/// Runs the fuzzing loop.
+FuzzSummary runFuzz(const FuzzOptions &Opts);
+
+/// The deterministic per-iteration program seed (splitmix64 of base+iter).
+unsigned fuzzSeedFor(unsigned BaseSeed, uint64_t Iteration);
+
+/// Renders a violation's minimized program in the reproducer format.
+std::string formatReproducer(const FuzzViolation &V);
+
+/// Splits reproducer text back into source files; also accepts plain
+/// single-file programs (no ";;; file:" markers). \p OracleOut receives
+/// the "; oracle:" directive if present.
+std::vector<SourceFile> parseReproducer(const std::string &Text,
+                                        std::string &OracleOut);
+
+} // namespace spidey
+
+#endif // SPIDEY_FUZZ_FUZZER_H

@@ -1,0 +1,464 @@
+//===-- fuzz/fuzzgen.cpp --------------------------------------*- C++ -*-===//
+
+#include "fuzz/fuzzgen.h"
+
+#include <random>
+#include <sstream>
+
+using namespace spidey;
+
+namespace {
+
+/// Rough value shape a generated expression aims for. "Aims": chaos rolls
+/// substitute a wrong-shaped expression on purpose.
+enum class Ty : uint8_t {
+  Num,
+  Bool,
+  Str,
+  List, ///< proper list of numbers
+  Pair,
+  Box,  ///< box of a number
+  Vec,  ///< vector of numbers
+  Fn1,  ///< unary function over numbers
+  Any,
+};
+
+constexpr Ty DataTys[] = {Ty::Num,  Ty::Bool, Ty::Str, Ty::List,
+                          Ty::Pair, Ty::Box,  Ty::Vec, Ty::Any};
+
+struct GVar {
+  std::string Name;
+  Ty T;
+};
+
+class Gen {
+public:
+  explicit Gen(const FuzzGenConfig &Cfg) : Cfg(Cfg), Rng(Cfg.Seed) {}
+
+  std::vector<SourceFile> run() {
+    unsigned NumComponents = 1 + Rng() % std::max(1u, Cfg.MaxComponents);
+    std::vector<SourceFile> Files;
+    for (unsigned C = 0; C < NumComponents; ++C) {
+      std::ostringstream OS;
+      OS << "; fuzz component " << C << " (seed " << Cfg.Seed << ")\n";
+      unsigned Forms = 2 + Rng() % std::max(2u, Cfg.MaxFormsPerFile - 1);
+      for (unsigned F = 0; F < Forms; ++F)
+        emitTopForm(OS);
+      Files.push_back({"fuzz" + std::to_string(C) + ".ss", OS.str()});
+    }
+    // Final component: drive the program so values actually flow.
+    std::ostringstream OS;
+    OS << "; fuzz main (seed " << Cfg.Seed << ")\n";
+    unsigned Drivers = 1 + Rng() % 3;
+    for (unsigned I = 0; I < Drivers; ++I)
+      OS << genExpr(pickTy(), Cfg.MaxDepth) << "\n";
+    Files.push_back({"fuzzmain.ss", OS.str()});
+    return Files;
+  }
+
+private:
+  unsigned pct() { return Rng() % 100; }
+  unsigned upTo(unsigned N) { return Rng() % std::max(1u, N); }
+
+  Ty pickTy() { return DataTys[upTo(std::size(DataTys))]; }
+
+  std::string fresh(const char *Stem) {
+    return std::string(Stem) + std::to_string(Counter++);
+  }
+
+  /// A variable of shape \p T visible here: locals first, then globals
+  /// (only already-emitted ones, so evaluation order is respected).
+  const GVar *pickVar(Ty T) {
+    std::vector<const GVar *> Candidates;
+    for (const GVar &V : Locals)
+      if (V.T == T)
+        Candidates.push_back(&V);
+    for (const GVar &V : Globals)
+      if (V.T == T)
+        Candidates.push_back(&V);
+    if (Candidates.empty())
+      return nullptr;
+    return Candidates[upTo(Candidates.size())];
+  }
+
+  const GVar *pickAnyVar() {
+    size_t Total = Locals.size() + Globals.size();
+    if (!Total)
+      return nullptr;
+    size_t I = upTo(Total);
+    return I < Locals.size() ? &Locals[I] : &Globals[I - Locals.size()];
+  }
+
+  //===--------------------------------------------------------------------===
+  // Top-level forms.
+  //===--------------------------------------------------------------------===
+
+  void emitTopForm(std::ostringstream &OS) {
+    unsigned Roll = pct();
+    if (Roll < 40)
+      emitDataDefine(OS);
+    else if (Roll < 70)
+      emitFnDefine(OS);
+    else if (Roll < 78 && !Globals.empty())
+      emitUnitPair(OS);
+    else if (Roll < 88 && !Globals.empty())
+      emitSetStatement(OS);
+    else
+      OS << genExpr(pickTy(), 2 + upTo(Cfg.MaxDepth)) << "\n";
+  }
+
+  void emitDataDefine(std::ostringstream &OS) {
+    Ty T = pickTy();
+    std::string Name = fresh("d");
+    OS << "(define " << Name << " " << genExpr(T, 1 + upTo(Cfg.MaxDepth))
+       << ")\n";
+    Globals.push_back({Name, T});
+  }
+
+  void emitFnDefine(std::ostringstream &OS) {
+    std::string Name = fresh("f");
+    std::string Param = fresh("p");
+    Ty ParamT = pct() < 60 ? Ty::Num : pickTy();
+    Ty RetT = pct() < 70 ? Ty::Num : pickTy();
+    Locals.push_back({Param, ParamT});
+    std::string Body = genExpr(RetT, 1 + upTo(Cfg.MaxDepth));
+    Locals.pop_back();
+    OS << "(define (" << Name << " " << Param << ") " << Body << ")\n";
+    if (ParamT == Ty::Num && RetT == Ty::Num)
+      Globals.push_back({Name, Ty::Fn1});
+    else
+      Globals.push_back({Name, Ty::Any});
+    // Usually call it right away so it contributes traces.
+    if (pct() < 70) {
+      std::string Res = fresh("r");
+      OS << "(define " << Res << " (" << Name << " " << genExpr(ParamT, 2)
+         << "))\n";
+      Globals.push_back({Res, RetT});
+    }
+  }
+
+  /// A unit defined in one form and invoked in the next: the multi-file
+  /// unit split pattern of §3.6/§7.1.
+  void emitUnitPair(std::ostringstream &OS) {
+    std::string UnitName = fresh("u");
+    std::string Import = fresh("w");
+    std::string Export = fresh("e");
+    Locals.push_back({Import, Ty::Num});
+    std::string Body = genExpr(Ty::Num, 2);
+    Locals.pop_back();
+    OS << "(define " << UnitName << " (unit (import " << Import
+       << ") (export " << Export << ") (define " << Export << " (lambda (q"
+       << Counter << ") (+ q" << Counter << " " << Body << ")))))\n";
+    // Invoke with an existing global (any shape: type confusion across the
+    // unit boundary is part of the point).
+    const GVar *Feed = pickVar(Ty::Num);
+    if (!Feed || pct() < 25)
+      Feed = pickAnyVar();
+    std::string Got = fresh("g");
+    OS << "(define " << Got << " (invoke " << UnitName << " " << Feed->Name
+       << "))\n";
+    Globals.push_back({Got, Ty::Any});
+    std::string Res = fresh("r");
+    OS << "(define " << Res << " (" << Got << " " << genExpr(Ty::Num, 1)
+       << "))\n";
+    Globals.push_back({Res, Ty::Any});
+    ++Counter;
+  }
+
+  void emitSetStatement(std::ostringstream &OS) {
+    GVar Target = *pickAnyVar();
+    // Usually keep the shape; sometimes flip it (the analysis must union).
+    Ty NewT = pct() < 60 ? Target.T : pickTy();
+    OS << "(set! " << Target.Name << " " << genExpr(NewT, 1 + upTo(3))
+       << ")\n";
+    for (GVar &V : Globals)
+      if (V.Name == Target.Name)
+        V.T = NewT == Target.T ? V.T : Ty::Any;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Expressions.
+  //===--------------------------------------------------------------------===
+
+  std::string genExpr(Ty Want, unsigned Depth) {
+    if (Nodes > NodeBudget)
+      Depth = 0;
+    ++Nodes;
+    if (Depth > 0 && pct() < Cfg.ChaosPercent)
+      return genChaos(Depth - 1);
+    if (Depth == 0 || pct() < 25)
+      return genTerminal(Want);
+    switch (upTo(9)) {
+    case 0:
+      return "(if " + genExpr(Ty::Bool, Depth - 1) + " " +
+             genExpr(Want, Depth - 1) + " " + genExpr(Want, Depth - 1) + ")";
+    case 1:
+      return genLet(Want, Depth);
+    case 2:
+      return genLetrecLoop(Want, Depth);
+    case 3:
+      return genFilter(Want, Depth);
+    case 4:
+      return "(begin " + genStatement(Depth - 1) + " " +
+             genExpr(Want, Depth - 1) + ")";
+    case 5:
+      return genCallcc(Want, Depth);
+    case 6:
+      return genImmediateApp(Want, Depth);
+    case 7:
+      if (Want == Ty::Num)
+        return genNumOp(Depth);
+      return genConstructor(Want, Depth);
+    default:
+      return genConstructor(Want, Depth);
+    }
+  }
+
+  std::string genTerminal(Ty Want) {
+    if (const GVar *V = pickVar(Want); V && pct() < 55)
+      return V->Name;
+    switch (Want) {
+    case Ty::Num:
+      return std::to_string(int(upTo(20)) - 5);
+    case Ty::Bool:
+      return pct() < 50 ? "#t" : "#f";
+    case Ty::Str: {
+      const char *Strs[] = {"\"\"", "\"ab\"", "\"fuzz\"", "\"xyzzy\""};
+      return Strs[upTo(4)];
+    }
+    case Ty::List:
+      return pct() < 40 ? "'()"
+                        : "(list " + std::to_string(upTo(9)) + " " +
+                              std::to_string(upTo(9)) + ")";
+    case Ty::Pair:
+      return "(cons " + std::to_string(upTo(9)) + " " +
+             (pct() < 50 ? "'tag" : "'()") + ")";
+    case Ty::Box:
+      return "(box " + std::to_string(upTo(9)) + ")";
+    case Ty::Vec:
+      return "(vector " + std::to_string(upTo(9)) + " " +
+             std::to_string(upTo(9)) + ")";
+    case Ty::Fn1: {
+      std::string P = fresh("a");
+      return "(lambda (" + P + ") (+ " + P + " " + std::to_string(upTo(5)) +
+             "))";
+    }
+    case Ty::Any: {
+      const char *Atoms[] = {"'sym", "0", "#t", "'()", "#\\a", "(void)"};
+      return Atoms[upTo(6)];
+    }
+    }
+    return "0";
+  }
+
+  /// An expression of a random shape where some other shape was wanted:
+  /// most land in checked-primitive argument positions downstream and
+  /// become faults the debugger must flag.
+  std::string genChaos(unsigned Depth) {
+    switch (upTo(5)) {
+    case 0:
+      return "(car " + genExpr(Ty::Num, std::min(Depth, 1u)) + ")";
+    case 1:
+      return "(unbox " + genTerminal(pickTy()) + ")";
+    case 2:
+      return "(+ " + genTerminal(Ty::Num) + " " + genTerminal(pickTy()) +
+             ")";
+    case 3:
+      return genTerminal(pickTy());
+    default: {
+      const GVar *V = pickAnyVar();
+      return V ? V->Name : genTerminal(Ty::Any);
+    }
+    }
+  }
+
+  std::string genLet(Ty Want, unsigned Depth) {
+    std::string Name = fresh("v");
+    Ty BoundT = pickTy();
+    std::string Init = genExpr(BoundT, Depth - 1);
+    Locals.push_back({Name, BoundT});
+    std::string Body = genExpr(Want, Depth - 1);
+    Locals.pop_back();
+    return "(let ([" + Name + " " + Init + "]) " + Body + ")";
+  }
+
+  /// A bounded recursive loop over a list: letrec + pair?-guard, the
+  /// canonical shape that exercises recursion without guaranteed
+  /// divergence (the step budget catches the rest).
+  std::string genLetrecLoop(Ty Want, unsigned Depth) {
+    std::string F = fresh("loop");
+    std::string L = fresh("l");
+    std::string AccName = fresh("acc");
+    std::string Acc = Want == Ty::List
+                          ? "(cons (car " + L + ") " + AccName + ")"
+                          : "(+ 1 " + AccName + ")";
+    std::string Init = Want == Ty::List ? "'()" : "0";
+    std::string List = genExpr(Ty::List, Depth - 1);
+    std::string Out = "(letrec ([" + F + " (lambda (" + L + " " + AccName +
+                      ") (if (pair? " + L + ") (" + F + " (cdr " + L + ") " +
+                      Acc + ") " + AccName + "))]) (" + F + " " + List + " " +
+                      Init + "))";
+    if (Want == Ty::Num || Want == Ty::List)
+      return Out;
+    // Other shapes: wrap the loop result in a begin so the loop still
+    // contributes flow.
+    return "(begin " + Out + " " + genExpr(Want, Depth > 1 ? Depth - 2 : 0) +
+           ")";
+  }
+
+  /// Predicate-guarded access — the primitive-filter patterns of App. E.5.
+  /// Scope-vector pointers don't survive the recursive genExpr calls
+  /// (pushes reallocate), so the picked variable is copied out first.
+  std::string genFilter(Ty Want, unsigned Depth) {
+    const GVar *Picked = pickAnyVar();
+    if (!Picked)
+      return genTerminal(Want);
+    std::string V = Picked->Name;
+    std::string Fallback = genExpr(Want, Depth > 1 ? Depth - 2 : 0);
+    switch (upTo(4)) {
+    case 0:
+      if (Want == Ty::Num)
+        return "(if (number? " + V + ") (+ " + V + " 1) " + Fallback + ")";
+      break;
+    case 1:
+      return "(if (pair? " + V + ") " +
+             (Want == Ty::Num ? "(begin (car " + V + ") " + Fallback + ")"
+                              : Fallback) +
+             " " + Fallback + ")";
+    case 2:
+      if (Want == Ty::Num)
+        return "(if (string? " + V + ") (string-length " + V + ") " +
+               Fallback + ")";
+      break;
+    default:
+      return "(if (null? " + V + ") " + Fallback + " " + Fallback + ")";
+    }
+    return "(if (boolean? " + V + ") " + Fallback + " " + Fallback + ")";
+  }
+
+  std::string genStatement(unsigned Depth) {
+    const GVar *Box = pickVar(Ty::Box);
+    const GVar *Vec = pickVar(Ty::Vec);
+    std::string BoxName = Box ? Box->Name : "";
+    std::string VecName = Vec ? Vec->Name : "";
+    switch (upTo(4)) {
+    case 0:
+      if (Box)
+        return "(set-box! " + BoxName + " " + genExpr(Ty::Num, Depth) + ")";
+      [[fallthrough]];
+    case 1:
+      if (Vec)
+        return "(vector-set! " + VecName + " " + std::to_string(upTo(2)) +
+               " " + genExpr(Ty::Num, Depth) + ")";
+      [[fallthrough]];
+    default:
+      return genExpr(pickTy(), Depth);
+    }
+  }
+
+  std::string genCallcc(Ty Want, unsigned Depth) {
+    std::string K = fresh("k");
+    std::string Escape = genExpr(Want, Depth - 1);
+    std::string Normal = genExpr(Want, Depth - 1);
+    if (pct() < 15)
+      return "(+ 1 (abort " + genTerminal(Ty::Any) + "))";
+    return "(call/cc (lambda (" + K + ") (if " +
+           genExpr(Ty::Bool, Depth > 1 ? Depth - 2 : 0) + " (" + K + " " +
+           Escape + ") " + Normal + ")))";
+  }
+
+  std::string genImmediateApp(Ty Want, unsigned Depth) {
+    if (const GVar *F = pickVar(Ty::Fn1); F && Want == Ty::Num && pct() < 50)
+      return "(" + F->Name + " " + genExpr(Ty::Num, Depth - 1) + ")";
+    std::string P = fresh("x");
+    Ty ArgT = pickTy();
+    std::string Arg = genExpr(ArgT, Depth - 1);
+    Locals.push_back({P, ArgT});
+    std::string Body = genExpr(Want, Depth - 1);
+    Locals.pop_back();
+    return "((lambda (" + P + ") " + Body + ") " + Arg + ")";
+  }
+
+  std::string genNumOp(unsigned Depth) {
+    const char *Ops[] = {"+", "-", "*", "min", "max"};
+    switch (upTo(7)) {
+    case 0: {
+      const GVar *B = pickVar(Ty::Box);
+      if (B)
+        return "(unbox " + B->Name + ")";
+      return "(unbox (box " + genExpr(Ty::Num, Depth - 1) + "))";
+    }
+    case 1: {
+      const GVar *V = pickVar(Ty::Vec);
+      if (V)
+        return "(vector-ref " + V->Name + " " + std::to_string(upTo(2)) +
+               ")";
+      return "(vector-length " + genExpr(Ty::Vec, Depth - 1) + ")";
+    }
+    case 2: {
+      const GVar *P = pickVar(Ty::Pair);
+      if (P)
+        return "(car " + P->Name + ")";
+      return "(car " + genExpr(Ty::Pair, Depth - 1) + ")";
+    }
+    case 3:
+      return "(string-length " + genExpr(Ty::Str, Depth - 1) + ")";
+    default:
+      return "(" + std::string(Ops[upTo(std::size(Ops))]) + " " +
+             genExpr(Ty::Num, Depth - 1) + " " + genExpr(Ty::Num, Depth - 1) +
+             ")";
+    }
+  }
+
+  std::string genConstructor(Ty Want, unsigned Depth) {
+    switch (Want) {
+    case Ty::List:
+      return "(cons " + genExpr(Ty::Num, Depth - 1) + " " +
+             genExpr(Ty::List, Depth - 1) + ")";
+    case Ty::Pair:
+      return "(cons " + genExpr(pickTy(), Depth - 1) + " " +
+             genExpr(pickTy(), Depth - 1) + ")";
+    case Ty::Box:
+      return "(box " + genExpr(Ty::Num, Depth - 1) + ")";
+    case Ty::Vec:
+      return "(vector " + genExpr(Ty::Num, Depth - 1) + " " +
+             genExpr(Ty::Num, Depth - 1) + ")";
+    case Ty::Bool: {
+      const char *Preds[] = {"pair?", "null?",   "number?",
+                             "box?",  "vector?", "procedure?"};
+      return "(" + std::string(Preds[upTo(std::size(Preds))]) + " " +
+             genExpr(pickTy(), Depth - 1) + ")";
+    }
+    case Ty::Str:
+      return "(string-append " + genExpr(Ty::Str, Depth - 1) + " " +
+             genExpr(Ty::Str, Depth - 1) + ")";
+    case Ty::Fn1: {
+      std::string P = fresh("a");
+      Locals.push_back({P, Ty::Num});
+      std::string Body = genExpr(Ty::Num, Depth - 1);
+      Locals.pop_back();
+      return "(lambda (" + P + ") " + Body + ")";
+    }
+    case Ty::Num:
+      return genNumOp(Depth);
+    case Ty::Any:
+      return genExpr(pickTy(), Depth - 1);
+    }
+    return genTerminal(Want);
+  }
+
+  FuzzGenConfig Cfg;
+  std::mt19937 Rng;
+  std::vector<GVar> Globals;
+  std::vector<GVar> Locals;
+  unsigned Counter = 0;
+  unsigned Nodes = 0;
+  static constexpr unsigned NodeBudget = 900;
+};
+
+} // namespace
+
+std::vector<SourceFile>
+spidey::generateFuzzProgram(const FuzzGenConfig &Config) {
+  return Gen(Config).run();
+}

@@ -1,0 +1,52 @@
+//===-- fuzz/fuzzgen.h - Random program generator --------------*- C++ -*-===//
+///
+/// \file
+/// A seeded random *expression-level* program generator for differential
+/// fuzzing. Unlike the calibrated corpus generator (src/corpus), which
+/// emits fault-free programs shaped like the paper's benchmarks, this one
+/// explores the full surface language — lambdas, let/letrec, set!, boxes,
+/// vectors, pairs, call/cc and abort, checked primitives with predicate
+/// filters, and multi-file unit splits — and intentionally includes
+/// occasional ill-typed subexpressions so that run-time faults and their
+/// check sites are exercised too.
+///
+/// Generated programs are always *closed* (every variable reference is
+/// bound, and top-level references respect evaluation order, so no define
+/// is read before its cell is initialized). They may fault, diverge (the
+/// oracles run them under a step budget), or abort — those are valid
+/// behaviors the metamorphic oracles must agree on.
+///
+/// Generation is fully deterministic: the same config yields byte-
+/// identical files on every run, so a reported seed always replays.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIDEY_FUZZ_FUZZGEN_H
+#define SPIDEY_FUZZ_FUZZGEN_H
+
+#include "lang/parser.h"
+
+#include <vector>
+
+namespace spidey {
+
+struct FuzzGenConfig {
+  unsigned Seed = 1;
+  /// Component count is drawn from [1, MaxComponents] per seed — the
+  /// multi-file splits that stress the componential combiner.
+  unsigned MaxComponents = 3;
+  /// Top-level forms per component are drawn from [2, MaxFormsPerFile].
+  unsigned MaxFormsPerFile = 8;
+  /// Maximum expression nesting depth.
+  unsigned MaxDepth = 5;
+  /// Percentage of expression positions filled with a deliberately
+  /// ill-typed subexpression (exercises check sites and fault flagging).
+  unsigned ChaosPercent = 6;
+};
+
+/// Generates a deterministic random program.
+std::vector<SourceFile> generateFuzzProgram(const FuzzGenConfig &Config);
+
+} // namespace spidey
+
+#endif // SPIDEY_FUZZ_FUZZGEN_H

@@ -1,0 +1,329 @@
+//===-- fuzz/oracles.cpp --------------------------------------*- C++ -*-===//
+
+#include "fuzz/oracles.h"
+
+#include "componential/componential.h"
+#include "debugger/checks.h"
+#include "interp/machine.h"
+#include "simplify/simplify.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+using namespace spidey;
+
+const char *spidey::oracleName(Oracle O) {
+  switch (O) {
+  case Oracle::Soundness:
+    return "soundness";
+  case Oracle::Simplify:
+    return "simplify";
+  case Oracle::Componential:
+    return "componential";
+  case Oracle::Threads:
+    return "threads";
+  }
+  return "?";
+}
+
+bool spidey::oracleFromName(std::string_view Name, Oracle &Out) {
+  for (unsigned I = 0; I < NumOracles; ++I)
+    if (Name == oracleName(static_cast<Oracle>(I))) {
+      Out = static_cast<Oracle>(I);
+      return true;
+    }
+  return false;
+}
+
+namespace {
+
+struct ParsedProgram {
+  Program Prog;
+  bool Ok = false;
+  std::string Error;
+};
+
+ParsedProgram parseIt(const std::vector<SourceFile> &Files) {
+  ParsedProgram R;
+  DiagnosticEngine Diags;
+  R.Ok = parseProgram(R.Prog, Diags, Files);
+  if (!R.Ok)
+    R.Error = Diags.str();
+  return R;
+}
+
+/// Renders the constant set of a group of variables, canonically (sorted,
+/// deduplicated, by display string — comparable across contexts).
+std::string constsOf(const ConstraintSystem &S, const std::set<SetVar> &Vs,
+                     const SymbolTable &Syms) {
+  std::set<std::string> Names;
+  for (SetVar V : Vs)
+    for (Constant C : S.constantsOf(V))
+      Names.insert(S.context().Constants.str(C, Syms));
+  std::string Out = "{";
+  for (const std::string &N : Names)
+    Out += " " + N;
+  return Out + " }";
+}
+
+/// Appends "<path> = {consts}" lines for \p Vs and, recursively, for the
+/// variable groups one monotone selector below, to \p Depth; returns true
+/// if the subtree contains any constant. Grouping by selector *name* makes
+/// the profile a pure function of the observable flow, independent of
+/// variable numbering — so profiles of systems in different contexts
+/// (whole-program vs. componential) are comparable. Constant-free subtrees
+/// are pruned: a selector edge to a provably empty set is observationally
+/// identical to no edge, and simplification is free to drop it.
+bool probe(const ConstraintSystem &S, const SymbolTable &Syms,
+           const std::set<SetVar> &Vs, unsigned Depth, const std::string &Path,
+           std::string &Out, bool Root = true) {
+  std::string Line = Path + " = " + constsOf(S, Vs, Syms) + "\n";
+  bool NonEmpty = Line.find('{') + 2 != Line.find('}'); // "{ }" is empty
+  std::string KidsOut;
+  if (Depth > 0) {
+    const SelectorTable &Sels = S.context().Selectors;
+    std::map<std::string, std::set<SetVar>> Kids;
+    for (SetVar V : Vs)
+      for (const LowerBound &L : S.lowerBounds(V))
+        if (L.K == LowerBound::Kind::SelLB && Sels.isMonotone(L.Sel))
+          Kids[Sels.name(L.Sel)].insert(L.Other);
+    for (const auto &[Name, Group] : Kids)
+      NonEmpty |=
+          probe(S, Syms, Group, Depth - 1, Path + "." + Name, KidsOut, false);
+  }
+  if (Root || NonEmpty)
+    Out += Line + KidsOut;
+  return NonEmpty;
+}
+
+/// The observable profile of a closed system at one component's top-level
+/// definitions: constants per define, plus selector-path constants to
+/// \p Depth.
+std::string profileComponent(const Program &P, const Component &C,
+                             const AnalysisMaps &Maps,
+                             const ConstraintSystem &S, unsigned Depth) {
+  std::string Out;
+  for (const TopForm &F : C.Forms) {
+    if (F.DefVar == NoVar || Maps.VarVar[F.DefVar] == NoSetVar)
+      continue;
+    probe(S, P.Syms, {Maps.VarVar[F.DefVar]}, Depth,
+          P.Syms.name(P.var(F.DefVar).Name), Out);
+  }
+  return Out;
+}
+
+/// Whole-program profile: every component's definitions.
+std::string profile(const Program &P, const AnalysisMaps &Maps,
+                    const ConstraintSystem &S, unsigned Depth) {
+  std::string Out;
+  for (const Component &C : P.Components)
+    Out += profileComponent(P, C, Maps, S, Depth);
+  return Out;
+}
+
+/// First line where two profiles disagree, for the violation message.
+std::string firstDiff(const std::string &A, const std::string &B) {
+  std::istringstream SA(A), SB(B);
+  std::string LA, LB;
+  for (;;) {
+    bool HA = static_cast<bool>(std::getline(SA, LA));
+    bool HB = static_cast<bool>(std::getline(SB, LB));
+    if (!HA && !HB)
+      return "(identical?)";
+    if (!HA || !HB || LA != LB)
+      return "'" + (HA ? LA : std::string("<missing>")) + "' vs '" +
+             (HB ? LB : std::string("<missing>")) + "'";
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Oracle 1: soundness against the evaluator.
+//===----------------------------------------------------------------------===
+
+OracleVerdict checkSoundness(const Program &P, const OracleOptions &Opts) {
+  struct Config {
+    const char *Name;
+    AnalysisOptions Opts;
+  };
+  std::vector<Config> Configs;
+  Configs.push_back({"mono+split", {}});
+  {
+    AnalysisOptions O;
+    O.IfSplitting = false;
+    Configs.push_back({"mono", O});
+  }
+  {
+    AnalysisOptions O;
+    O.Poly = PolyMode::Copy;
+    Configs.push_back({"copy+split", O});
+  }
+
+  OracleVerdict V;
+  for (const Config &C : Configs) {
+    Analysis A = analyzeProgram(P, C.Opts);
+    const ConstantTable &Consts = A.Ctx->Constants;
+
+    Machine M(P);
+    M.setInput(Opts.Input);
+    M.setFuel(Opts.Fuel);
+    std::ostringstream Diag;
+    size_t Violations = 0;
+    M.Trace = [&](ExprId E, const Value &Val) {
+      ConstKind Want = valueAbstractKind(Val);
+      for (Constant K : A.sba(E))
+        if (Consts.kind(K) == Want)
+          return;
+      if (Violations++ == 0) {
+        Diag << "[" << C.Name << "] label " << P.exprToString(E)
+             << " produced " << constKindName(Want)
+             << " but sba predicts only {";
+        for (Constant K : A.sba(E))
+          Diag << " " << constKindName(Consts.kind(K));
+        Diag << " }";
+      }
+    };
+    RunResult Out = M.runProgram();
+    if (Violations) {
+      V.Violation = true;
+      V.Message = Diag.str();
+      return V;
+    }
+    if (Out.St == RunResult::Status::Fault) {
+      DebugReport Rep = runChecks(P, A.Maps, *A.System);
+      bool Flagged = false;
+      for (const CheckResult &CR : Rep.Results)
+        if (CR.Site == Out.FaultSite && !CR.Safe)
+          Flagged = true;
+      if (!Flagged) {
+        V.Violation = true;
+        V.Message = std::string("[") + C.Name + "] fault at " +
+                    P.exprToString(Out.FaultSite) + " (" + Out.Message +
+                    ") not flagged as unsafe";
+        return V;
+      }
+    }
+  }
+  return V;
+}
+
+//===----------------------------------------------------------------------===
+// Oracle 2: simplification equivalence.
+//===----------------------------------------------------------------------===
+
+std::vector<SetVar> topLevelSetVars(const Program &P,
+                                    const AnalysisMaps &Maps) {
+  std::vector<SetVar> E;
+  for (const Component &C : P.Components)
+    for (const TopForm &F : C.Forms)
+      if (F.DefVar != NoVar && Maps.VarVar[F.DefVar] != NoSetVar)
+        E.push_back(Maps.VarVar[F.DefVar]);
+  return E;
+}
+
+OracleVerdict checkSimplify(const Program &P, const OracleOptions &Opts) {
+  OracleVerdict V;
+  Analysis A = analyzeProgram(P);
+  std::vector<SetVar> E = topLevelSetVars(P, A.Maps);
+  // "None" is the identity baseline: the closed whole-program system.
+  std::string Reference = profile(P, A.Maps, *A.System, Opts.Depth);
+  for (SimplifyAlgorithm Alg :
+       {SimplifyAlgorithm::Empty, SimplifyAlgorithm::Unreachable,
+        SimplifyAlgorithm::EpsilonRemoval, SimplifyAlgorithm::Hopcroft}) {
+    ConstraintSystem Simplified = simplifyConstraints(*A.System, E, Alg);
+    Simplified.close();
+    std::string Got = profile(P, A.Maps, Simplified, Opts.Depth);
+    if (Got != Reference) {
+      V.Violation = true;
+      V.Message = std::string(simplifyAlgorithmName(Alg)) +
+                  " changed observables: " + firstDiff(Reference, Got);
+      return V;
+    }
+  }
+  return V;
+}
+
+//===----------------------------------------------------------------------===
+// Oracle 3: whole-program vs. componential agreement.
+//===----------------------------------------------------------------------===
+
+OracleVerdict checkComponential(const Program &P, const OracleOptions &Opts) {
+  OracleVerdict V;
+  Analysis Whole = analyzeProgram(P);
+
+  // The combined system intentionally only preserves the cross-referenced
+  // interface; full precision for a component's own definitions requires
+  // step-3 reconstruction. Compare each component's reconstructed system
+  // against the whole-program analysis at that component's definitions.
+  ComponentialOptions CO;
+  CO.Threads = 1;
+  ComponentialAnalyzer CA(P, CO);
+  CA.run();
+  for (uint32_t I = 0; I < P.Components.size(); ++I) {
+    const Component &C = P.Components[I];
+    std::string Reference =
+        profileComponent(P, C, Whole.Maps, *Whole.System, Opts.Depth);
+    std::unique_ptr<ConstraintSystem> Full = CA.reconstruct(I);
+    std::string Got = profileComponent(P, C, CA.maps(), *Full, Opts.Depth);
+    if (Got != Reference) {
+      V.Violation = true;
+      V.Message = "whole-program and reconstructed component " + C.Name +
+                  " disagree: " + firstDiff(Reference, Got);
+      return V;
+    }
+  }
+  return V;
+}
+
+//===----------------------------------------------------------------------===
+// Oracle 4: thread determinism of the parallel combiner.
+//===----------------------------------------------------------------------===
+
+OracleVerdict checkThreads(const Program &P, const OracleOptions &Opts) {
+  OracleVerdict V;
+  std::string Systems[2];
+  unsigned Threads[2] = {1, Opts.Threads < 2 ? 4 : Opts.Threads};
+  for (int I = 0; I < 2; ++I) {
+    ComponentialOptions CO;
+    CO.Threads = Threads[I];
+    ComponentialAnalyzer CA(P, CO);
+    CA.run();
+    Systems[I] = CA.combined().str();
+  }
+  if (Systems[0] != Systems[1]) {
+    size_t At = 0;
+    while (At < Systems[0].size() && At < Systems[1].size() &&
+           Systems[0][At] == Systems[1][At])
+      ++At;
+    V.Violation = true;
+    V.Message = "combined systems differ between Threads=1 and Threads=" +
+                std::to_string(Threads[1]) + " at byte " +
+                std::to_string(At);
+  }
+  return V;
+}
+
+} // namespace
+
+OracleVerdict spidey::checkOracle(Oracle O,
+                                  const std::vector<SourceFile> &Files,
+                                  const OracleOptions &Opts) {
+  ParsedProgram P = parseIt(Files);
+  if (!P.Ok) {
+    OracleVerdict V;
+    V.Parsed = false;
+    V.Message = P.Error;
+    return V;
+  }
+  switch (O) {
+  case Oracle::Soundness:
+    return checkSoundness(P.Prog, Opts);
+  case Oracle::Simplify:
+    return checkSimplify(P.Prog, Opts);
+  case Oracle::Componential:
+    return checkComponential(P.Prog, Opts);
+  case Oracle::Threads:
+    return checkThreads(P.Prog, Opts);
+  }
+  return {};
+}

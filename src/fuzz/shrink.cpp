@@ -1,0 +1,249 @@
+//===-- fuzz/shrink.cpp ---------------------------------------*- C++ -*-===//
+
+#include "fuzz/shrink.h"
+
+#include "support/sexpr.h"
+
+#include <sstream>
+
+using namespace spidey;
+
+namespace {
+
+/// Renders an SExpr back to source text that round-trips through the
+/// reader (SExpr::str is a display form: it does not escape strings or
+/// name special characters, so it is not safe for re-parsing).
+void render(const SExpr &E, const SymbolTable &Syms, std::ostringstream &OS) {
+  switch (E.K) {
+  case SExpr::Kind::Symbol:
+    OS << Syms.name(E.Sym);
+    break;
+  case SExpr::Kind::Number:
+    if (E.Num == static_cast<long long>(E.Num))
+      OS << static_cast<long long>(E.Num);
+    else
+      OS << E.Num;
+    break;
+  case SExpr::Kind::String:
+    OS << '"';
+    for (char C : E.Str) {
+      if (C == '"' || C == '\\')
+        OS << '\\' << C;
+      else if (C == '\n')
+        OS << "\\n";
+      else if (C == '\t')
+        OS << "\\t";
+      else
+        OS << C;
+    }
+    OS << '"';
+    break;
+  case SExpr::Kind::Boolean:
+    OS << (E.Bool ? "#t" : "#f");
+    break;
+  case SExpr::Kind::Char:
+    if (E.Ch == ' ')
+      OS << "#\\space";
+    else if (E.Ch == '\n')
+      OS << "#\\newline";
+    else if (E.Ch == '\t')
+      OS << "#\\tab";
+    else if (E.Ch == '\0')
+      OS << "#\\nul";
+    else
+      OS << "#\\" << E.Ch;
+    break;
+  case SExpr::Kind::List: {
+    OS << '(';
+    bool First = true;
+    for (const SExpr &Kid : E.Elems) {
+      if (!First)
+        OS << ' ';
+      First = false;
+      render(Kid, Syms, OS);
+    }
+    OS << ')';
+    break;
+  }
+  }
+}
+
+class Shrinker {
+public:
+  Shrinker(const FailurePredicate &StillFails, const ShrinkOptions &Opts)
+      : StillFails(StillFails), Opts(Opts) {}
+
+  std::vector<SourceFile> run(std::vector<SourceFile> Files) {
+    Best = std::move(Files);
+    bool Progress = true;
+    while (Progress && Checks < Opts.MaxChecks) {
+      Progress = false;
+      Progress |= dropFiles();
+      Progress |= dropForms();
+      Progress |= reduceForms();
+    }
+    return Best;
+  }
+
+private:
+  bool accepts(const std::vector<SourceFile> &Candidate) {
+    if (Checks >= Opts.MaxChecks)
+      return false;
+    ++Checks;
+    if (!StillFails(Candidate))
+      return false;
+    Best = Candidate;
+    return true;
+  }
+
+  bool dropFiles() {
+    bool Progress = false;
+    for (size_t I = 0; I < Best.size() && Best.size() > 1;) {
+      std::vector<SourceFile> Candidate = Best;
+      Candidate.erase(Candidate.begin() + I);
+      if (accepts(Candidate))
+        Progress = true; // Best shrank; retry same index
+      else
+        ++I;
+    }
+    return Progress;
+  }
+
+  /// The top-level forms of one file, or empty if it does not read back
+  /// (predicate-relevant bytes may be non-sexpr; leave such files alone).
+  std::vector<SExpr> formsOf(const std::string &Text, SymbolTable &Syms) {
+    DiagnosticEngine Diags;
+    std::vector<SExpr> Forms = readSExprs(Text, 0, Syms, Diags);
+    if (Diags.hasErrors())
+      return {};
+    return Forms;
+  }
+
+  std::string renderForms(const std::vector<SExpr> &Forms,
+                          const SymbolTable &Syms) {
+    std::ostringstream OS;
+    for (const SExpr &F : Forms) {
+      render(F, Syms, OS);
+      OS << "\n";
+    }
+    return OS.str();
+  }
+
+  bool dropForms() {
+    bool Progress = false;
+    for (size_t FI = 0; FI < Best.size(); ++FI) {
+      SymbolTable Syms;
+      std::vector<SExpr> Forms = formsOf(Best[FI].Text, Syms);
+      for (size_t I = 0; I < Forms.size();) {
+        std::vector<SExpr> Candidate = Forms;
+        Candidate.erase(Candidate.begin() + I);
+        std::vector<SourceFile> Files = Best;
+        Files[FI].Text = renderForms(Candidate, Syms);
+        if (accepts(Files)) {
+          Forms = std::move(Candidate);
+          Progress = true;
+        } else {
+          ++I;
+        }
+      }
+    }
+    return Progress;
+  }
+
+  /// Candidate replacements for one node, smallest first.
+  std::vector<SExpr> replacementsFor(const SExpr &E, SymbolTable &Syms) {
+    std::vector<SExpr> Out;
+    auto Atom = [&](const char *Text) {
+      DiagnosticEngine Diags;
+      std::vector<SExpr> R = readSExprs(Text, 0, Syms, Diags);
+      if (!Diags.hasErrors() && R.size() == 1)
+        Out.push_back(std::move(R[0]));
+    };
+    if (E.K == SExpr::Kind::List) {
+      Atom("0");
+      Atom("#f");
+      Atom("(quote ())");
+      // Hoist each child.
+      for (const SExpr &Kid : E.Elems)
+        Out.push_back(Kid);
+    } else if (E.K == SExpr::Kind::Number && E.Num != 0) {
+      Atom("0");
+    } else if (E.K == SExpr::Kind::String && !E.Str.empty()) {
+      Atom("\"\"");
+    }
+    return Out;
+  }
+
+  /// One structural pass over every subtree of every form of every file.
+  bool reduceForms() {
+    bool Progress = false;
+    for (size_t FI = 0; FI < Best.size(); ++FI) {
+      SymbolTable Syms;
+      std::vector<SExpr> Forms = formsOf(Best[FI].Text, Syms);
+      if (Forms.empty())
+        continue;
+      bool Changed = true;
+      while (Changed && Checks < Opts.MaxChecks) {
+        Changed = false;
+        for (size_t I = 0; I < Forms.size(); ++I)
+          Changed |= reduceNode(Forms, I, Forms[I], FI, Syms);
+        Progress |= Changed;
+      }
+    }
+    return Progress;
+  }
+
+  /// Tries replacements and child deletions at \p Node (in place); returns
+  /// true if any candidate was accepted.
+  bool reduceNode(std::vector<SExpr> &Forms, size_t FormIdx, SExpr &Node,
+                  size_t FI, SymbolTable &Syms) {
+    auto Try = [&](SExpr Replacement) {
+      SExpr Saved = Node;
+      Node = std::move(Replacement);
+      std::vector<SourceFile> Files = Best;
+      Files[FI].Text = renderForms(Forms, Syms);
+      if (accepts(Files))
+        return true;
+      Node = std::move(Saved);
+      return false;
+    };
+
+    bool Progress = false;
+    for (SExpr &R : replacementsFor(Node, Syms))
+      if (Try(std::move(R))) {
+        Progress = true;
+        break;
+      }
+    if (Node.K == SExpr::Kind::List) {
+      // Delete children one at a time (keep the head symbol).
+      for (size_t I = Node.Elems.size(); I-- > 1;) {
+        SExpr Saved = Node;
+        Node.Elems.erase(Node.Elems.begin() + I);
+        std::vector<SourceFile> Files = Best;
+        Files[FI].Text = renderForms(Forms, Syms);
+        if (accepts(Files))
+          Progress = true;
+        else
+          Node = std::move(Saved);
+      }
+      // Recurse.
+      for (SExpr &Kid : Node.Elems)
+        Progress |= reduceNode(Forms, FormIdx, Kid, FI, Syms);
+    }
+    return Progress;
+  }
+
+  const FailurePredicate &StillFails;
+  ShrinkOptions Opts;
+  std::vector<SourceFile> Best;
+  size_t Checks = 0;
+};
+
+} // namespace
+
+std::vector<SourceFile>
+spidey::shrinkProgram(std::vector<SourceFile> Files,
+                      const FailurePredicate &StillFails,
+                      const ShrinkOptions &Opts) {
+  return Shrinker(StillFails, Opts).run(std::move(Files));
+}

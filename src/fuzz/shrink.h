@@ -1,0 +1,47 @@
+//===-- fuzz/shrink.h - Delta-debugging shrinker ---------------*- C++ -*-===//
+///
+/// \file
+/// Minimizes a multi-file program with respect to a failure predicate
+/// ("this program still violates oracle X"). Three nested reduction
+/// passes, iterated to a fixed point under a check budget:
+///
+///  1. drop whole files,
+///  2. drop top-level forms within a file,
+///  3. structural reduction inside each remaining form: replace a list
+///     node by one of its children (hoisting), delete a child, or replace
+///     a subtree by a minimal atom.
+///
+/// Candidates that fail to parse simply make the predicate return false —
+/// the predicate must fully replay the failure — so the shrinker needs no
+/// language knowledge beyond the s-expression reader.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIDEY_FUZZ_SHRINK_H
+#define SPIDEY_FUZZ_SHRINK_H
+
+#include "lang/parser.h"
+
+#include <functional>
+#include <vector>
+
+namespace spidey {
+
+/// Returns true if the candidate program still exhibits the failure.
+using FailurePredicate =
+    std::function<bool(const std::vector<SourceFile> &)>;
+
+struct ShrinkOptions {
+  /// Maximum number of predicate evaluations.
+  size_t MaxChecks = 2000;
+};
+
+/// Minimizes \p Files. The input must satisfy \p StillFails; the result
+/// does too.
+std::vector<SourceFile> shrinkProgram(std::vector<SourceFile> Files,
+                                      const FailurePredicate &StillFails,
+                                      const ShrinkOptions &Opts = {});
+
+} // namespace spidey
+
+#endif // SPIDEY_FUZZ_SHRINK_H

@@ -123,6 +123,7 @@ RunResult Machine::run(ExprId Start, EnvPtr Env) {
     if (Fuel-- == 0)
       return RunResult{RunResult::Status::OutOfFuel, Value(),
                        "step budget exhausted", NoExpr};
+    ++Steps;
     bool Continue = Mode == Evaluating ? stepEval() : stepReturn();
     if (!Continue)
       return Final;

@@ -102,6 +102,10 @@ public:
 
   void setFuel(uint64_t Steps) { Fuel = Steps; }
 
+  /// Machine steps consumed so far, across runProgram and evalTop calls.
+  /// The fuzzer uses this to size its step budget against actual usage.
+  uint64_t stepsUsed() const { return Steps; }
+
   /// Evaluates the whole program: allocates the top-level letrec cells,
   /// then runs every component's forms in order. The result is the value
   /// of the last top-level form.
@@ -164,6 +168,7 @@ private:
   RunResult Final;
 
   uint64_t Fuel = 50'000'000;
+  uint64_t Steps = 0;
   uint64_t RandomState = 88172645463325252ull;
   std::string Input;
   size_t InputPos = 0;

@@ -1,0 +1,207 @@
+//===-- tests/fuzz_test.cpp - Fuzzing subsystem tests ----------*- C++ -*-===//
+///
+/// The fuzzer itself is tested here: generator determinism and
+/// parseability, seed derivation, the metamorphic oracles on a fixed
+/// sweep, the delta-debugging shrinker, and the reproducer format.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/corpus.h"
+#include "fuzz/fuzzer.h"
+#include "fuzz/shrink.h"
+#include "test_util.h"
+
+#include <set>
+
+using namespace spidey;
+using namespace spidey::test;
+
+namespace {
+
+std::string flatten(const std::vector<SourceFile> &Files) {
+  std::string Out;
+  for (const SourceFile &F : Files)
+    Out += ";;; " + F.Name + "\n" + F.Text;
+  return Out;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===
+// Generators are deterministic: byte-identical output for a fixed seed.
+//===----------------------------------------------------------------------===
+
+TEST(FuzzGen, FuzzGeneratorIsDeterministic) {
+  for (unsigned Seed : {1u, 42u, 885382510u}) {
+    FuzzGenConfig Cfg;
+    Cfg.Seed = Seed;
+    EXPECT_EQ(flatten(generateFuzzProgram(Cfg)),
+              flatten(generateFuzzProgram(Cfg)))
+        << "seed " << Seed;
+  }
+}
+
+TEST(FuzzGen, CorpusGeneratorIsDeterministic) {
+  GeneratorConfig Cfg = benchmarkConfig("scanner");
+  EXPECT_EQ(flatten(generateProgram(Cfg)), flatten(generateProgram(Cfg)));
+  GeneratorConfig Small;
+  Small.Seed = 7;
+  Small.NumComponents = 2;
+  Small.TargetLines = 80;
+  EXPECT_EQ(flatten(generateProgram(Small)), flatten(generateProgram(Small)));
+}
+
+TEST(FuzzGen, GeneratedProgramsParse) {
+  for (unsigned Seed = 1; Seed <= 60; ++Seed) {
+    FuzzGenConfig Cfg;
+    Cfg.Seed = Seed;
+    std::vector<SourceFile> Files = generateFuzzProgram(Cfg);
+    ASSERT_FALSE(Files.empty());
+    Parsed R = parseFiles(Files);
+    EXPECT_TRUE(R.Ok) << "seed " << Seed << "\n"
+                      << R.Diags.str() << "\n"
+                      << flatten(Files);
+  }
+}
+
+TEST(FuzzGen, SeedDerivationDecorrelates) {
+  // Per-iteration seeds are distinct within a run and across base seeds.
+  std::set<unsigned> Seen;
+  for (unsigned Base : {1u, 2u, 42u})
+    for (uint64_t I = 0; I < 100; ++I)
+      Seen.insert(fuzzSeedFor(Base, I));
+  EXPECT_EQ(Seen.size(), 300u);
+  // And stable: the same (base, iteration) always derives the same seed.
+  EXPECT_EQ(fuzzSeedFor(42, 3), fuzzSeedFor(42, 3));
+}
+
+//===----------------------------------------------------------------------===
+// Oracles: a fixed sweep must be violation-free, and each oracle must
+// actually run.
+//===----------------------------------------------------------------------===
+
+TEST(FuzzOracles, FixedSweepIsViolationFree) {
+  FuzzOptions Opts;
+  Opts.Iters = 25;
+  Opts.Seed = 42;
+  FuzzSummary Summary = runFuzz(Opts);
+  EXPECT_EQ(Summary.Iterations, 25u);
+  for (unsigned I = 0; I < NumOracles; ++I)
+    EXPECT_EQ(Summary.OracleRuns[I], 25u)
+        << oracleName(static_cast<Oracle>(I));
+  for (const FuzzViolation &V : Summary.Violations)
+    ADD_FAILURE() << "[" << V.OracleName << "] seed " << V.ProgramSeed
+                  << ": " << V.Message << "\n"
+                  << formatReproducer(V);
+}
+
+TEST(FuzzOracles, OracleMaskSelectsSubset) {
+  FuzzOptions Opts;
+  Opts.Iters = 3;
+  Opts.Seed = 1;
+  Opts.OracleMask = 1u << static_cast<unsigned>(Oracle::Threads);
+  FuzzSummary Summary = runFuzz(Opts);
+  EXPECT_EQ(Summary.OracleRuns[static_cast<unsigned>(Oracle::Threads)], 3u);
+  EXPECT_EQ(Summary.OracleRuns[static_cast<unsigned>(Oracle::Soundness)], 0u);
+}
+
+TEST(FuzzOracles, NamesRoundTrip) {
+  for (unsigned I = 0; I < NumOracles; ++I) {
+    Oracle O = static_cast<Oracle>(I), Back;
+    ASSERT_TRUE(oracleFromName(oracleName(O), Back));
+    EXPECT_EQ(O, Back);
+  }
+  Oracle Unused;
+  EXPECT_FALSE(oracleFromName("nonsense", Unused));
+}
+
+TEST(FuzzOracles, UnparsableProgramIsReportedNotCrashed) {
+  OracleVerdict V = checkOracle(Oracle::Soundness, {{"x.ss", "((("}},
+                                OracleOptions{});
+  EXPECT_FALSE(V.Parsed);
+  EXPECT_FALSE(V.Message.empty());
+}
+
+//===----------------------------------------------------------------------===
+// Shrinker.
+//===----------------------------------------------------------------------===
+
+TEST(FuzzShrink, RemovesIrrelevantFilesAndForms) {
+  std::vector<SourceFile> Program = {
+      {"a.ss", "(define pad1 1)\n(define pad2 (cons 1 2))\n"},
+      {"b.ss", "(define needle (vector 1 2))\n(define pad3 'x)\n"},
+      {"c.ss", "(define pad4 \"zzz\")\n"},
+  };
+  auto HasNeedle = [](const std::vector<SourceFile> &Files) {
+    for (const SourceFile &F : Files)
+      if (F.Text.find("needle") != std::string::npos)
+        return true;
+    return false;
+  };
+  std::vector<SourceFile> Min = shrinkProgram(Program, HasNeedle);
+  ASSERT_TRUE(HasNeedle(Min)) << "shrinker lost the failure";
+  EXPECT_EQ(Min.size(), 1u) << "irrelevant files not dropped";
+  EXPECT_EQ(Min[0].Text.find("pad"), std::string::npos)
+      << "irrelevant forms not dropped:\n"
+      << Min[0].Text;
+}
+
+TEST(FuzzShrink, ReducesInsideForms) {
+  std::vector<SourceFile> Program = {
+      {"a.ss",
+       "(define d (cons (car (cons 1 2)) (if #t (vector 1 2) 'pad)))\n"}};
+  auto HasVector = [](const std::vector<SourceFile> &Files) {
+    return !Files.empty() &&
+           Files[0].Text.find("vector") != std::string::npos;
+  };
+  std::vector<SourceFile> Min = shrinkProgram(Program, HasVector);
+  ASSERT_TRUE(HasVector(Min));
+  EXPECT_LT(Min[0].Text.size(), Program[0].Text.size());
+  // The minimized program must still parse standalone.
+  EXPECT_TRUE(parseFiles(Min).Ok) << Min[0].Text;
+}
+
+TEST(FuzzShrink, MinimizedProgramsStillParse) {
+  // Shrinking a real generated program under a trivial predicate keeps
+  // every intermediate candidate parseable (the shrinker's renderer must
+  // round-trip strings and characters).
+  FuzzGenConfig Cfg;
+  Cfg.Seed = 99;
+  std::vector<SourceFile> Program = generateFuzzProgram(Cfg);
+  auto Parses = [](const std::vector<SourceFile> &Files) {
+    Parsed R = parseFiles(Files);
+    return R.Ok;
+  };
+  std::vector<SourceFile> Min = shrinkProgram(Program, Parses);
+  EXPECT_TRUE(Parses(Min));
+}
+
+//===----------------------------------------------------------------------===
+// Reproducer format.
+//===----------------------------------------------------------------------===
+
+TEST(FuzzRepro, FormatRoundTrips) {
+  FuzzViolation V;
+  V.ProgramSeed = 77;
+  V.OracleName = "threads";
+  V.Minimized = {{"one.ss", "(define a 1)\n"},
+                 {"two.ss", "(define b (cons a a))\n(car b)\n"}};
+  std::string Text = formatReproducer(V);
+  std::string OracleOut;
+  std::vector<SourceFile> Back = parseReproducer(Text, OracleOut);
+  EXPECT_EQ(OracleOut, "threads");
+  ASSERT_EQ(Back.size(), 2u);
+  EXPECT_EQ(Back[0].Name, "one.ss");
+  EXPECT_EQ(Back[0].Text, V.Minimized[0].Text);
+  EXPECT_EQ(Back[1].Name, "two.ss");
+  EXPECT_EQ(Back[1].Text, V.Minimized[1].Text);
+}
+
+TEST(FuzzRepro, PlainProgramIsOneFile) {
+  std::string OracleOut = "unset";
+  std::vector<SourceFile> Files =
+      parseReproducer("(define x 1)\n(car x)\n", OracleOut);
+  EXPECT_EQ(OracleOut, "unset"); // no directive present
+  ASSERT_EQ(Files.size(), 1u);
+  EXPECT_EQ(Files[0].Text, "(define x 1)\n(car x)\n");
+}

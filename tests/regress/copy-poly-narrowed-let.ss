@@ -1,0 +1,8 @@
+; spidey-fuzz reproducer
+; oracle: soundness
+; seed: 1919532352
+; Predicate narrowing reads the monomorphic variable, which for a
+; schema-bound let binding was never inhabited: the narrowed reference
+; predicted {} while evaluation produced the number.
+;;; file: fuzz0.ss
+(let ((v0 0)) (if (number? v0) v0))

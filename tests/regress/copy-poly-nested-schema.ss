@@ -1,0 +1,9 @@
+; spidey-fuzz reproducer
+; oracle: soundness
+; seed: 1413048094
+; Let schema nested in a top-level define's schema body: the inner
+; labels were quantified in the outer schema but only registered with
+; the inner one, so the outer instantiation broke the label feedback.
+;;; file: fuzz0.ss
+(define (f2 p3) (let ((v5 0)) 0))
+(f2 0)

@@ -1,0 +1,8 @@
+; spidey-fuzz reproducer
+; oracle: soundness
+; seed: 680342256
+; Unused let-bound value under copy polymorphism: the schema had zero
+; instantiations, so sba predicted {} at the #f label that evaluation
+; reaches.
+;;; file: fuzz0.ss
+(let ((v30 #f)) 0)

@@ -93,6 +93,93 @@ TEST(Robustness, CorruptedFieldsRejected) {
   }
 }
 
+TEST(Robustness, HostileConstraintFilesRejectedWithDiagnostic) {
+  ConstraintContext Ctx;
+  SymbolTable Syms;
+  std::string Text = serializeSample(Ctx, Syms);
+  // Every mutation below must be rejected with a non-empty diagnostic —
+  // and in particular must not crash (SelectorTable::intern asserts
+  // polarity consistency, so a raw intern of a flipped selector aborts).
+  auto Expect = [&](const std::string &Mutated, const char *What) {
+    ConstraintContext Ctx2;
+    ConstraintSystem Out(Ctx2);
+    LoadedConstraints Info;
+    std::string Error;
+    EXPECT_FALSE(deserializeConstraints(Mutated, Syms, Out, Info, Error))
+        << What;
+    EXPECT_FALSE(Error.empty()) << What;
+  };
+  auto Replace = [&](const std::string &From, const std::string &To) {
+    std::string T = Text;
+    size_t P = T.find(From);
+    EXPECT_NE(P, std::string::npos) << From;
+    T.replace(P, From.size(), To);
+    return T;
+  };
+
+  // Duplicate external entries.
+  Expect(Replace("  a ", "  b "), "duplicate external key");
+  // Out-of-range variable id in an external entry.
+  {
+    std::string T = Text;
+    size_t P = T.find("  a ");
+    ASSERT_NE(P, std::string::npos);
+    T.replace(P, 5, "  a 7"); // sample has fewer than 8 vars
+    Expect(T, "external var id out of range");
+  }
+  // Unknown selector name.
+  Expect(Replace("  rng +", "  wat +"), "unknown selector");
+  // Known selector with flipped polarity (would trip the intern assert).
+  Expect(Replace("  rng +", "  rng -"), "selector polarity mismatch");
+  Expect(Replace("  dom0 -", "  dom0 +"), "dom polarity mismatch");
+  // Future format versions are rejected, not misparsed.
+  Expect(Replace("spidey-constraint-file 1", "spidey-constraint-file 2"),
+         "future version");
+  Expect(Replace("spidey-constraint-file 1", "spidey-constraint-file 999"),
+         "far-future version");
+}
+
+TEST(Robustness, SelectorFamiliesRoundTrip) {
+  // Every selector family the deriver can emit serializes and loads back.
+  ConstraintContext Ctx;
+  SymbolTable Syms;
+  ConstraintSystem S(Ctx);
+  SetVar A = Ctx.freshVar(), B = Ctx.freshVar();
+  std::vector<Selector> Sels = {
+      Ctx.Rng,
+      Ctx.Car,
+      Ctx.Cdr,
+      Ctx.BoxPlus,
+      Ctx.BoxMinus,
+      Ctx.VecPlus,
+      Ctx.VecMinus,
+      Ctx.Ue,
+      Ctx.Ui,
+      Ctx.ClObj,
+      Ctx.dom(0),
+      Ctx.dom(3),
+      Ctx.ivarPlus(Syms.intern("count"), Syms),
+      Ctx.ivarMinus(Syms.intern("count"), Syms),
+      Ctx.Selectors.intern("sfld+point.x", Polarity::Monotone,
+                           kindBit(ConstKind::StructTag)),
+      Ctx.Selectors.intern("sfld-point.x", Polarity::AntiMonotone,
+                           kindBit(ConstKind::StructTag)),
+  };
+  for (Selector Sel : Sels) {
+    if (Ctx.Selectors.isMonotone(Sel))
+      S.addSelLowerRaw(A, Sel, B);
+    else
+      S.addSelUpperRaw(A, Sel, B);
+  }
+  std::string Text = serializeConstraints(S, {{"a", A}}, Syms, "h");
+  ConstraintContext Ctx2;
+  ConstraintSystem Out(Ctx2);
+  LoadedConstraints Info;
+  std::string Error;
+  ASSERT_TRUE(deserializeConstraints(Text, Syms, Out, Info, Error)) << Error;
+  EXPECT_EQ(Out.size(), S.size());
+}
+
 TEST(Robustness, GarbageCacheFileFallsBackToDerivation) {
   namespace fs = std::filesystem;
   std::string Dir =
