@@ -36,6 +36,7 @@ struct Run {
   size_t MaxConstraints = 0;
   size_t CombinedConstraints = 0;
   double Speedup = 1.0;
+  ComponentialRunInfo Info; ///< solver telemetry of the best repeat
 };
 
 struct ProgramResult {
@@ -76,6 +77,7 @@ ProgramResult benchProgram(const char *Name,
         R.ConstraintsPerSec = Ms > 0 ? Raw / (Ms / 1000.0) : 0;
         R.MaxConstraints = CA.maxConstraints();
         R.CombinedConstraints = CA.combined().size();
+        R.Info = CA.runInfo();
       }
       if (Rep == 0) {
         // The combined system must be identical for every thread count.
@@ -102,6 +104,13 @@ void printTable(const ProgramResult &R) {
     std::printf("  %8u %10.1f %16.0f %12zu %9.2fx\n", Run.Threads,
                 Run.WallMs, Run.ConstraintsPerSec, Run.MaxConstraints,
                 Run.Speedup);
+  if (!R.Runs.empty()) {
+    const ComponentialRunInfo &Info = R.Runs.front().Info;
+    std::printf("  phases (1 thread): derive %.1f ms, merge %.1f ms, "
+                "close %.1f ms\n",
+                Info.DeriveMs, Info.MergeMs, Info.CloseMs);
+    std::printf("%s", Info.Closure.str().c_str());
+  }
   if (!R.Deterministic)
     std::printf("  !! combined system differed across thread counts\n");
   std::printf("\n");
@@ -125,12 +134,32 @@ void printJson(const std::vector<ProgramResult> &Results) {
     std::printf("      \"runs\": [\n");
     for (size_t J = 0; J < R.Runs.size(); ++J) {
       const Run &Run = R.Runs[J];
-      std::printf("        {\"threads\": %u, \"wall_ms\": %.2f, "
-                  "\"constraints_per_sec\": %.0f, \"max_constraints\": %zu, "
-                  "\"combined_constraints\": %zu, \"speedup\": %.3f}%s\n",
-                  Run.Threads, Run.WallMs, Run.ConstraintsPerSec,
-                  Run.MaxConstraints, Run.CombinedConstraints, Run.Speedup,
-                  J + 1 < R.Runs.size() ? "," : "");
+      const ClosureStats &CS = Run.Info.Closure;
+      std::printf(
+          "        {\"threads\": %u, \"wall_ms\": %.2f, "
+          "\"constraints_per_sec\": %.0f, \"max_constraints\": %zu, "
+          "\"combined_constraints\": %zu, \"speedup\": %.3f,\n"
+          "         \"derive_ms\": %.2f, \"merge_ms\": %.2f, "
+          "\"close_ms\": %.2f,\n"
+          "         \"stats\": {\"tasks_drained\": %llu, "
+          "\"combines_attempted\": %llu, \"combines_inserted\": %llu, "
+          "\"dedup_hits\": %llu, \"dedup_hit_rate\": %.4f, "
+          "\"eps_edges\": %llu, \"eps_sccs_collapsed\": %llu, "
+          "\"vars_unified\": %llu, \"cycle_search_steps\": %llu, "
+          "\"peak_worklist_depth\": %llu}}%s\n",
+          Run.Threads, Run.WallMs, Run.ConstraintsPerSec, Run.MaxConstraints,
+          Run.CombinedConstraints, Run.Speedup, Run.Info.DeriveMs,
+          Run.Info.MergeMs, Run.Info.CloseMs,
+          (unsigned long long)CS.TasksDrained,
+          (unsigned long long)CS.CombinesAttempted,
+          (unsigned long long)CS.CombinesInserted,
+          (unsigned long long)CS.DedupHits, CS.dedupHitRate(),
+          (unsigned long long)CS.EpsEdges,
+          (unsigned long long)CS.EpsSccsCollapsed,
+          (unsigned long long)CS.VarsUnified,
+          (unsigned long long)CS.CycleSearchSteps,
+          (unsigned long long)CS.PeakWorklistDepth,
+          J + 1 < R.Runs.size() ? "," : "");
     }
     std::printf("      ]\n");
     std::printf("    }%s\n", I + 1 < Results.size() ? "," : "");

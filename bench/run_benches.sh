@@ -1,14 +1,17 @@
 #!/usr/bin/env bash
-# Runs every paper-table benchmark binary, then writes
-# BENCH_componential.json at the repository root from bench_parallel's
-# JSON output.
+# Runs every paper-table benchmark binary, then writes two artifacts at
+# the repository root:
 #
-# The emitted file has a "before" section (the sequential analyzer +
-# per-variable hash-set constraint storage that predate the parallel
-# runner, measured once on the reference machine and kept for comparison)
-# and an "after" section refreshed from the current build. Set
-# SPIDEY_BENCH_BEFORE to a JSON file to substitute different baseline
-# numbers.
+#   BENCH_componential.json  from bench_parallel's JSON output
+#   BENCH_closure.json       from bench_closure's (google-benchmark)
+#                            JSON output plus bench_parallel's per-run
+#                            ClosureStats telemetry
+#
+# Each emitted file has a "before" section (measured once on the
+# reference machine at the commit preceding the respective optimisation
+# and kept for comparison) and an "after" section refreshed from the
+# current build. Set SPIDEY_BENCH_BEFORE / SPIDEY_CLOSURE_BEFORE to a
+# JSON file to substitute different baseline numbers.
 #
 # Every bench runs even if an earlier one fails; the script exits
 # non-zero if any of them did, naming the failures.
@@ -18,11 +21,13 @@ set -uo pipefail
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build}"
 OUT="$REPO_ROOT/BENCH_componential.json"
+OUT_CLOSURE="$REPO_ROOT/BENCH_closure.json"
 TMP_AFTER="$(mktemp)"
-trap 'rm -f "$TMP_AFTER"' EXIT
+TMP_CLOSURE="$(mktemp)"
+trap 'rm -f "$TMP_AFTER" "$TMP_CLOSURE"' EXIT
 
 BENCHES=(bench_simplify bench_componential bench_polymorphic bench_checks
-         bench_ablation bench_parallel)
+         bench_ablation bench_closure bench_parallel)
 
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT" > /dev/null || exit 1
 cmake --build "$BUILD_DIR" -j --target "${BENCHES[@]}" > /dev/null || exit 1
@@ -32,6 +37,9 @@ for BENCH in "${BENCHES[@]}"; do
   echo "== $BENCH =="
   if [ "$BENCH" = bench_parallel ]; then
     "$BUILD_DIR/bench/$BENCH" --json > "$TMP_AFTER" || FAILED+=("$BENCH")
+  elif [ "$BENCH" = bench_closure ]; then
+    "$BUILD_DIR/bench/$BENCH" --benchmark_format=json \
+      --benchmark_min_time=0.2 > "$TMP_CLOSURE" || FAILED+=("$BENCH")
   else
     "$BUILD_DIR/bench/$BENCH" || FAILED+=("$BENCH")
   fi
@@ -61,6 +69,64 @@ doc = {
                    "(cache disabled; best of 3)",
     "before": before,
     "after": after,
+}
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"wrote {out}")
+EOF
+
+python3 - "$OUT_CLOSURE" "$TMP_CLOSURE" "$TMP_AFTER" \
+    "${SPIDEY_CLOSURE_BEFORE:-}" <<'EOF' || exit 1
+import json, os, sys
+
+out, closure_path, parallel_path, before_path = sys.argv[1:5]
+micro = json.load(open(closure_path))
+par = json.load(open(parallel_path))
+
+# bench_closure micro timings (iteration rows only; BigO/RMS aggregates
+# are derived and machine-dependent, so they stay out of the artifact).
+micro_rows = []
+for b in micro.get("benchmarks", []):
+    if b.get("run_type") != "iteration":
+        continue
+    row = {"name": b["name"], "real_ms": round(b["real_time"] / 1e6, 3)}
+    if "constraints" in b:
+        row["constraints"] = int(b["constraints"])
+    micro_rows.append(row)
+
+# The componential view: threads=1 per program (the closure engine's own
+# cost, no worker-pool effects), wall time + throughput + telemetry.
+comp_rows = []
+for prog in par.get("programs", []):
+    run = next((r for r in prog["runs"] if r["threads"] == 1), None)
+    if run is None:
+        continue
+    row = {
+        "program": prog["name"],
+        "wall_ms": run["wall_ms"],
+        "constraints_per_sec": run["constraints_per_sec"],
+        "combined_constraints": run["combined_constraints"],
+    }
+    for k in ("derive_ms", "merge_ms", "close_ms", "stats"):
+        if k in run:
+            row[k] = run[k]
+    comp_rows.append(row)
+
+before = None
+if before_path:
+    before = json.load(open(before_path))
+elif os.path.exists(out):
+    before = json.load(open(out)).get("before")
+
+doc = {
+    "description": "Closure engine v2 (online ε-cycle collapsing, "
+                   "indexed combine, exactly-once pair drain) plus the "
+                   "dense grammar/ε-removal rewrite: bench_closure "
+                   "micro timings and the threads=1 componential runs, "
+                   "before (fa589e3) vs. after",
+    "before": before,
+    "after": {"micro": micro_rows, "componential": comp_rows},
 }
 with open(out, "w") as f:
     json.dump(doc, f, indent=2)

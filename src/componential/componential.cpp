@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cctype>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <functional>
@@ -24,6 +25,7 @@ struct ComponentialAnalyzer::ComponentWork {
   AnalysisMaps Maps;
   std::unique_ptr<ConstraintSystem> Simplified;
   size_t RawConstraints = 0;
+  ClosureStats Closure;  ///< derive + simplify solver counters
   std::string FileText;  ///< serialized constraint file (save path)
   std::string CacheText; ///< raw file text when the source hash matched
   bool CacheHit = false;
@@ -202,6 +204,7 @@ ComponentialAnalyzer::deriveIsolated(uint32_t CompIdx,
   ConstraintSystem Local(*W.Ctx);
   Private.deriveComponent(CompIdx, Local);
   W.RawConstraints = Local.size();
+  W.Closure = Local.stats();
 
   std::vector<VarId> ExternalVars = externalVarIdsOf(CompIdx);
   std::vector<SetVar> E;
@@ -210,9 +213,14 @@ ComponentialAnalyzer::deriveIsolated(uint32_t CompIdx,
     E.push_back(W.Maps.VarVar[V]);
 
   W.Simplified = std::make_unique<ConstraintSystem>(*W.Ctx);
-  *W.Simplified = Opts.Simplify == SimplifyAlgorithm::None
-                      ? std::move(Local)
-                      : simplifyConstraints(Local, E, Opts.Simplify);
+  if (Opts.Simplify == SimplifyAlgorithm::None) {
+    // Local's counters move with it; don't double count.
+    W.Closure = ClosureStats{};
+    *W.Simplified = std::move(Local);
+  } else {
+    *W.Simplified = simplifyConstraints(Local, E, Opts.Simplify);
+  }
+  W.Closure.merge(W.Simplified->stats());
 
   // Save the constraint file for later runs.
   if (!Opts.CacheDir.empty()) {
@@ -319,6 +327,7 @@ void ComponentialAnalyzer::merge(uint32_t CompIdx, ComponentWork &W) {
     Maps.TagSite.emplace(ConstMap[Tag], Site);
 
   Combined->absorbMapped(*W.Simplified, VarMap, ConstMap, SelMap);
+  Info.Closure.merge(W.Closure);
   CS.RawConstraints = W.RawConstraints;
   CS.SimplifiedConstraints = W.Simplified->size();
   CS.FileBytes = W.FileText.size();
@@ -338,7 +347,14 @@ void ComponentialAnalyzer::run() {
   if (NumComponents)
     Threads = std::min(Threads, NumComponents);
 
+  using Clock = std::chrono::steady_clock;
+  auto MsSince = [](Clock::time_point From) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - From)
+        .count();
+  };
+
   // Step 1, fanned out: every component derives into a private context.
+  auto DeriveStart = Clock::now();
   std::vector<ComponentWork> Work(NumComponents);
   if (Threads <= 1 || NumComponents <= 1) {
     for (uint32_t I = 0; I < NumComponents; ++I)
@@ -349,11 +365,17 @@ void ComponentialAnalyzer::run() {
       Work[I] = deriveIsolated(I, /*AllowCache=*/true);
     });
   }
+  Info.DeriveMs = MsSince(DeriveStart);
 
   // Step 2, sequential: combine in component order, then close.
+  auto MergeStart = Clock::now();
   for (uint32_t I = 0; I < NumComponents; ++I)
     merge(I, Work[I]);
+  Info.MergeMs = MsSince(MergeStart);
+  auto CloseStart = Clock::now();
   Combined->close();
+  Info.CloseMs = MsSince(CloseStart);
+  Info.Closure.merge(Combined->stats());
   MaxConstraints = std::max(MaxConstraints, Combined->size());
 }
 
@@ -363,6 +385,7 @@ ComponentialAnalyzer::reconstruct(uint32_t CompIdx) {
   Full->absorbRaw(*Combined);
   Full->close();
   D->deriveComponent(CompIdx, *Full);
+  Info.Closure.merge(Full->stats());
   MaxConstraints = std::max(MaxConstraints, Full->size());
   return Full;
 }

@@ -62,6 +62,16 @@ struct ComponentRunStats {
   size_t FileBytes = 0;
 };
 
+/// Whole-run solver telemetry: ClosureStats aggregated across every
+/// per-component system, the simplifier's systems, the combined close, and
+/// any reconstructs, plus per-phase wall times. Valid after run().
+struct ComponentialRunInfo {
+  ClosureStats Closure;
+  double DeriveMs = 0; ///< step 1 (parallel fan-out), wall time
+  double MergeMs = 0;  ///< step 2 renumbering combine
+  double CloseMs = 0;  ///< closing the combined system
+};
+
 /// Drives the three-step componential analysis over one parsed program.
 class ComponentialAnalyzer {
 public:
@@ -88,6 +98,10 @@ public:
   /// The largest constraint system materialized during the run (the
   /// "maximum size" column of fig. 7.1).
   size_t maxConstraints() const { return MaxConstraints; }
+
+  /// Aggregated solver telemetry and phase wall times (valid after run();
+  /// reconstruct() folds its closure work in as it happens).
+  const ComponentialRunInfo &runInfo() const { return Info; }
 
   /// The external set variables of a component: its own top-level defines
   /// plus every foreign top-level variable it references.
@@ -131,6 +145,7 @@ private:
   AnalysisMaps Maps;
   std::unique_ptr<Deriver> D;
   std::vector<ComponentRunStats> Stats;
+  ComponentialRunInfo Info;
   size_t MaxConstraints = 0;
   /// Shared set-variable prefix: the top-level variables every context
   /// (shared and private) allocates identically before any derivation.

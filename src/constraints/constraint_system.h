@@ -25,6 +25,29 @@
 /// The system is kept closed incrementally: every public add re-closes via
 /// an explicit worklist (the paper's add-lower-bound+close!).
 ///
+/// Closure engine v2 (see DESIGN.md "Closure engine v2"):
+///
+///  - ε-cycle elimination: variables connected by a cycle of VarUB
+///    ε-constraints provably have identical lower-bound sets in the closed
+///    system, so a union-find merges each ε-SCC onto one deterministic
+///    representative (the lowest SetVar) and the lower bounds are stored
+///    once at the representative. Cycles are found both offline (Tarjan
+///    SCC at close()) and online (bounded Fähndrich-style partial search
+///    when a closing add links two representatives). Upper bounds stay on
+///    their original variable, and all queries (lowerBounds, str(),
+///    serialization, size()) present the system *through* the
+///    representative map, so observable results are identical to a
+///    per-variable engine.
+///
+///  - Indexed bounds: once a representative's lower-bound list is large,
+///    it is bucketed by selector and by constant kind, so a SelUB combine
+///    touches only the matching selector bucket and a FilterUB mask skips
+///    whole non-matching kind groups.
+///
+///  - Exactly-once combination: per-representative and per-member
+///    high-water marks (lows/ups already combined) make the drain combine
+///    each (L, U) pair precisely once instead of up to twice.
+///
 /// Storage layout: set variables are small consecutive integers handed out
 /// by one ConstraintContext, so the per-variable slot table is a dense
 /// vector indexed by SetVar (no hashing on the hot path), and bound
@@ -40,6 +63,8 @@
 #include "constraints/core.h"
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 namespace spidey {
@@ -176,6 +201,54 @@ private:
   size_t Count = 0;
 };
 
+/// Solver telemetry, accumulated over a system's lifetime. Aggregated
+/// across per-component systems by the componential analyzer and printed
+/// by the benches, spidey-analyze --stats, and spidey-fuzz.
+struct ClosureStats {
+  /// Dirty representatives popped off the worklist and processed.
+  uint64_t TasksDrained = 0;
+  /// (L, U) pairs handed to a Θ rule. With bucketed storage, SelUB and
+  /// FilterUB combines only attempt pairs that can match, so this counts
+  /// useful work, not scans.
+  uint64_t CombinesAttempted = 0;
+  /// Combines that produced a bound not already in the system.
+  uint64_t CombinesInserted = 0;
+  /// Insert probes (combines or adds) that found the bound already
+  /// present.
+  uint64_t DedupHits = 0;
+  /// Cross-representative ε-edges recorded for online cycle search.
+  uint64_t EpsEdges = 0;
+  /// ε-SCC collapse events (each merges ≥2 representatives).
+  uint64_t EpsSccsCollapsed = 0;
+  /// Variables folded into another representative by collapses.
+  uint64_t VarsUnified = 0;
+  /// Edges examined by the bounded online cycle search.
+  uint64_t CycleSearchSteps = 0;
+  /// High-water mark of the representative worklist.
+  uint64_t PeakWorklistDepth = 0;
+
+  double dedupHitRate() const {
+    uint64_t Probes = CombinesInserted + DedupHits;
+    return Probes ? double(DedupHits) / double(Probes) : 0.0;
+  }
+
+  void merge(const ClosureStats &O) {
+    TasksDrained += O.TasksDrained;
+    CombinesAttempted += O.CombinesAttempted;
+    CombinesInserted += O.CombinesInserted;
+    DedupHits += O.DedupHits;
+    EpsEdges += O.EpsEdges;
+    EpsSccsCollapsed += O.EpsSccsCollapsed;
+    VarsUnified += O.VarsUnified;
+    CycleSearchSteps += O.CycleSearchSteps;
+    if (O.PeakWorklistDepth > PeakWorklistDepth)
+      PeakWorklistDepth = O.PeakWorklistDepth;
+  }
+
+  /// Human-readable multi-line rendering ("  key: value" lines).
+  std::string str() const;
+};
+
 /// A simple constraint system, kept closed under Θ.
 ///
 /// Set variables are owned by the shared ConstraintContext; a system only
@@ -184,6 +257,9 @@ private:
 class ConstraintSystem {
 public:
   explicit ConstraintSystem(ConstraintContext &Ctx) : Ctx(&Ctx) {}
+
+  ConstraintSystem(ConstraintSystem &&) = default;
+  ConstraintSystem &operator=(ConstraintSystem &&) = default;
 
   ConstraintContext &context() const { return *Ctx; }
 
@@ -242,7 +318,9 @@ public:
   void close();
 
   //===------------------------------------------------------------------===
-  // Queries.
+  // Queries. All queries present the closed system through the
+  // representative map: members of a collapsed ε-cycle report the cycle's
+  // shared lower-bound list as their own.
   //===------------------------------------------------------------------===
 
   /// All variables this system mentions (has any bound for, or appearing
@@ -251,7 +329,7 @@ public:
 
   const std::vector<LowerBound> &lowerBounds(SetVar A) const {
     static const std::vector<LowerBound> Empty;
-    uint32_t Slot = slotOf(A);
+    uint32_t Slot = slotOf(findConst(A));
     return Slot == NoSlot ? Empty : Storage[Slot].Lows;
   }
   const std::vector<UpperBound> &upperBounds(SetVar A) const {
@@ -262,18 +340,23 @@ public:
 
   /// True if c ≤ α is in the (closed) system, i.e. S ⊢Θ c ≤ α.
   bool hasConstLower(SetVar A, Constant C) const {
-    return Keys.contains(A, lowKey(LowerBound::constant(C)));
+    return Keys.contains(findConst(A), lowKey(LowerBound::constant(C)));
   }
 
   /// The constants of α in the closed system: {c | S ⊢Θ c ≤ α}. This is
   /// const(LeastSoln(S)(α)) by Theorem 2.6.5.
   std::vector<Constant> constantsOf(SetVar A) const;
 
-  /// Total number of stored constraints (each bound counted once).
+  /// Total number of stored constraints, counting a collapsed cycle's
+  /// shared lower bounds once per member (i.e. the size of the system a
+  /// per-variable engine would store — each presented bound counted once).
   size_t size() const { return NumBounds; }
 
   /// Number of variables with at least one bound list.
   size_t numTouchedVars() const { return Storage.size(); }
+
+  /// Solver counters accumulated so far (never reset).
+  const ClosureStats &stats() const { return Stats; }
 
   /// Copies every constraint of \p Other into this system (raw); call
   /// close() afterwards. Used by the componential combiner (§7.1 step 2).
@@ -296,18 +379,37 @@ public:
   std::string str() const;
 
 private:
-  struct VarBounds {
-    std::vector<LowerBound> Lows;
-    std::vector<UpperBound> Ups;
+  /// Per-selector / per-constant-kind index buckets over a
+  /// representative's lower-bound list; built lazily once the list is
+  /// large enough that scanning it per combine costs more than keeping
+  /// the index. Each bucket holds ascending indices into Lows.
+  struct LowBuckets {
+    std::vector<std::pair<Selector, std::vector<uint32_t>>> BySel;
+    std::vector<std::pair<uint8_t, std::vector<uint32_t>>> ByKind;
   };
 
-  struct Task {
-    SetVar Var;
-    uint32_t Index; ///< index into Lows or Ups
-    bool IsLower;
+  struct VarBounds {
+    std::vector<LowerBound> Lows; ///< meaningful only at a representative
+    std::vector<UpperBound> Ups;  ///< always per original variable
+    /// Members of this representative's ε-SCC (ascending, including the
+    /// representative itself); empty means the singleton {self}.
+    std::vector<SetVar> Members;
+    std::unique_ptr<LowBuckets> Buckets; ///< representative-only, lazy
+    /// High-water marks for the exactly-once drain: lows [0, LowsDone)
+    /// of the representative have been combined against ups
+    /// [0, UpsDone) of each member.
+    uint32_t LowsDone = 0;
+    uint32_t UpsDone = 0;
+    bool InWorklist = false;
+    bool Dirty = false;
   };
 
   static constexpr uint32_t NoSlot = ~uint32_t(0);
+  /// Lows list length at which the selector/kind buckets are built.
+  static constexpr size_t BucketThreshold = 16;
+  /// Edge budget for one online cycle search (partial search: exceeding
+  /// the budget just misses the collapse; propagation stays correct).
+  static constexpr uint64_t CycleSearchBudget = 128;
 
   uint32_t slotOf(SetVar A) const {
     return A < Slots.size() ? Slots[A] : NoSlot;
@@ -324,9 +426,41 @@ private:
     return Storage[Slot];
   }
 
+  //===------------------------------------------------------------------===
+  // Union-find over ε-SCCs. Parent is grown lazily; a variable outside
+  // the vector is its own representative. The representative of a merged
+  // class is always its lowest member, which makes collapse results
+  // independent of discovery order.
+  //===------------------------------------------------------------------===
+
+  SetVar find(SetVar V) {
+    if (V >= Parent.size() || Parent[V] == V)
+      return V;
+    SetVar Root = Parent[V];
+    while (Parent[Root] != Root)
+      Root = Parent[Root];
+    while (Parent[V] != Root) {
+      SetVar Next = Parent[V];
+      Parent[V] = Root;
+      V = Next;
+    }
+    return Root;
+  }
+
+  SetVar findConst(SetVar V) const {
+    while (V < Parent.size() && Parent[V] != V)
+      V = Parent[V];
+    return V;
+  }
+
+  size_t sccSizeOf(const VarBounds &B) const {
+    return B.Members.empty() ? 1 : B.Members.size();
+  }
+
   // Packed bound encodings for the dedup set: 3 tag bits (61-63, values
   // 0-4), 29 payload bits (32-60: constant, selector, or kind mask), and
-  // the partner variable in the low 32 bits.
+  // the partner variable in the low 32 bits. Lower bounds are keyed under
+  // the representative; upper bounds under their original variable.
   static uint64_t lowKey(const LowerBound &L) {
     return L.K == LowerBound::Kind::ConstLB
                ? (uint64_t(L.C) << 32)
@@ -337,24 +471,56 @@ private:
            (uint64_t(U.Sel) << 32) | U.Other;
   }
 
-  /// Returns true if newly inserted (and schedules the combination task).
+  /// Returns true if newly inserted (and marks the representative dirty).
   bool insertLower(SetVar A, const LowerBound &L);
   bool insertUpper(SetVar A, const UpperBound &U);
   bool insertLowerRaw(SetVar A, const LowerBound &L);
   bool insertUpperRaw(SetVar A, const UpperBound &U);
 
-  /// Applies the Θ rule for the pair (L, U) on the same variable.
-  void combine(const LowerBound &L, const UpperBound &U);
+  /// Appends L to a representative's lows, maintaining the buckets. Does
+  /// not touch NumBounds or the dedup set.
+  void appendLow(VarBounds &B, const LowerBound &L);
+  void buildBuckets(VarBounds &B);
 
-  /// Processes pending combination tasks to a fixed point.
+  /// Pushes R's representative onto the worklist if not already queued.
+  void markDirty(SetVar R);
+
+  /// Combines ups [0, UpsDone) of every member and all new ups against
+  /// the representative's lows per the high-water marks, to a local fixed
+  /// point (deferred collapses excepted).
+  void processRep(SetVar R);
+
+  /// Applies one Θ rule family for upper bound U of representative R
+  /// against R's lows in index range [Begin, End).
+  void combineRange(SetVar R, uint32_t SlotR, const UpperBound &U,
+                    uint32_t Begin, uint32_t End);
+
+  /// Resolves queued cross-representative ε-edges: bounded search for a
+  /// path back to the source; collapses the cycle when one is found.
+  void resolveEpsPending();
+
+  /// Merges the ε-SCC formed by \p Roots (distinct representatives) onto
+  /// its lowest member; migrates lows, members, and the virtual bound
+  /// count, resets the low high-water mark, and requeues the survivor.
+  void collapseCycle(std::vector<SetVar> Roots);
+
+  /// Offline Tarjan SCC pass over the current representative ε-graph;
+  /// collapses every non-trivial SCC. Run once per close().
+  void collapseAllSccs();
+
+  /// Processes dirty representatives and pending ε-edges to a fixed
+  /// point.
   void drain();
 
   ConstraintContext *Ctx;
   std::vector<uint32_t> Slots; ///< SetVar -> index into Storage, or NoSlot
   std::vector<VarBounds> Storage;
+  std::vector<SetVar> Parent; ///< union-find; identity outside the vector
   BoundKeySet Keys;
-  std::vector<Task> Worklist;
+  std::vector<SetVar> Worklist; ///< dirty representatives (LIFO)
+  std::vector<std::pair<SetVar, SetVar>> EpsPending;
   size_t NumBounds = 0;
+  ClosureStats Stats;
 };
 
 } // namespace spidey

@@ -1,0 +1,91 @@
+//===-- constraints/reference_closure.cpp ---------------------*- C++ -*-===//
+
+#include "constraints/reference_closure.h"
+
+#include <algorithm>
+
+using namespace spidey;
+
+void ReferenceClosure::absorb(const ConstraintSystem &S) {
+  for (SetVar A : S.variables()) {
+    for (const LowerBound &L : S.lowerBounds(A))
+      lows(A).insert(L);
+    for (const UpperBound &U : S.upperBounds(A))
+      ups(A).insert(U);
+  }
+}
+
+void ReferenceClosure::close() {
+  // Sweep every (L, U) pair of every variable and apply the matching Θ
+  // rule; repeat until a whole sweep changes nothing. Snapshots make each
+  // sweep iterate a stable view while inserts go into the live sets.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    std::vector<SetVar> Vars;
+    Vars.reserve(Bounds.size());
+    for (const auto &[V, B] : Bounds) {
+      (void)B;
+      Vars.push_back(V);
+    }
+    for (SetVar A : Vars) {
+      std::vector<LowerBound> Ls(Bounds[A].first.begin(),
+                                 Bounds[A].first.end());
+      std::vector<UpperBound> Us(Bounds[A].second.begin(),
+                                 Bounds[A].second.end());
+      for (const UpperBound &U : Us) {
+        for (const LowerBound &L : Ls) {
+          switch (U.K) {
+          case UpperBound::Kind::VarUB:
+            // Rules s1-s3: L becomes a lower bound of the target.
+            Changed |= lows(U.Other).insert(L).second;
+            break;
+          case UpperBound::Kind::FilterUB: {
+            // Conditional propagation: constants pass when their kind is
+            // in the mask, components when their selector has a matching
+            // owner kind.
+            KindMask M = U.Sel;
+            bool Pass = L.K == LowerBound::Kind::ConstLB
+                            ? (M & kindBit(Ctx->Constants.kind(L.C))) != 0
+                            : (M & Ctx->Selectors.ownerKinds(L.Sel)) != 0;
+            if (Pass)
+              Changed |= lows(U.Other).insert(L).second;
+            break;
+          }
+          case UpperBound::Kind::SelUB:
+            if (L.K != LowerBound::Kind::SelLB || L.Sel != U.Sel)
+              break;
+            // Rule s4 (monotone) / s5 (anti-monotone).
+            if (Ctx->Selectors.isMonotone(U.Sel))
+              Changed |= ups(L.Other).insert(UpperBound::var(U.Other)).second;
+            else
+              Changed |= ups(U.Other).insert(UpperBound::var(L.Other)).second;
+            break;
+          }
+        }
+      }
+    }
+  }
+}
+
+std::vector<Constant> ReferenceClosure::constantsOf(SetVar A) const {
+  std::vector<Constant> Result;
+  auto It = Bounds.find(A);
+  if (It == Bounds.end())
+    return Result;
+  for (const LowerBound &L : It->second.first)
+    if (L.K == LowerBound::Kind::ConstLB)
+      Result.push_back(L.C);
+  std::sort(Result.begin(), Result.end());
+  return Result;
+}
+
+std::vector<SetVar> ReferenceClosure::variables() const {
+  std::vector<SetVar> Result;
+  Result.reserve(Bounds.size());
+  for (const auto &[V, B] : Bounds) {
+    (void)B;
+    Result.push_back(V);
+  }
+  return Result;
+}

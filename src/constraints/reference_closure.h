@@ -1,0 +1,85 @@
+//===-- constraints/reference_closure.h - Naive Θ fixpoint ----*- C++ -*-===//
+///
+/// \file
+/// A deliberately naive reference implementation of closure under Θ, used
+/// only by tests and the fuzz oracles to cross-check the incremental
+/// worklist engine of ConstraintSystem. It stores plain per-variable bound
+/// sets (no worklist, no ε-cycle collapsing, no indexes) and closes by
+/// sweeping every (lower, upper) pair of every variable until a full sweep
+/// inserts nothing. Quadratic and allocation-happy by design: its value is
+/// being obviously correct, not fast.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIDEY_CONSTRAINTS_REFERENCE_CLOSURE_H
+#define SPIDEY_CONSTRAINTS_REFERENCE_CLOSURE_H
+
+#include "constraints/constraint_system.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace spidey {
+
+/// Naive fixpoint closure over the same constraint language as
+/// ConstraintSystem. See the file comment.
+class ReferenceClosure {
+public:
+  explicit ReferenceClosure(ConstraintContext &Ctx) : Ctx(&Ctx) {}
+
+  void addConstLower(SetVar A, Constant C) {
+    lows(A).insert(LowerBound::constant(C));
+  }
+  void addSelLower(SetVar A, Selector S, SetVar B) {
+    lows(A).insert(LowerBound::selector(S, B));
+  }
+  void addVarUpper(SetVar A, SetVar B) { ups(A).insert(UpperBound::var(B)); }
+  void addSelUpper(SetVar A, Selector S, SetVar B) {
+    ups(A).insert(UpperBound::selector(S, B));
+  }
+  void addFilterUpper(SetVar A, KindMask M, SetVar B) {
+    ups(A).insert(UpperBound::filter(M, B));
+  }
+
+  /// Copies every constraint \p S presents (closed or not) into this
+  /// system.
+  void absorb(const ConstraintSystem &S);
+
+  /// Runs the naive sweep-to-fixpoint closure.
+  void close();
+
+  /// {c | c ≤ α}, sorted ascending — comparable with
+  /// ConstraintSystem::constantsOf.
+  std::vector<Constant> constantsOf(SetVar A) const;
+
+  /// All variables with at least one bound, sorted ascending.
+  std::vector<SetVar> variables() const;
+
+private:
+  struct LowerLess {
+    bool operator()(const LowerBound &X, const LowerBound &Y) const {
+      return std::make_tuple(static_cast<uint8_t>(X.K), X.C, X.Sel,
+                             X.Other) <
+             std::make_tuple(static_cast<uint8_t>(Y.K), Y.C, Y.Sel, Y.Other);
+    }
+  };
+  struct UpperLess {
+    bool operator()(const UpperBound &X, const UpperBound &Y) const {
+      return std::make_tuple(static_cast<uint8_t>(X.K), X.Sel, X.Other) <
+             std::make_tuple(static_cast<uint8_t>(Y.K), Y.Sel, Y.Other);
+    }
+  };
+
+  std::set<LowerBound, LowerLess> &lows(SetVar A) { return Bounds[A].first; }
+  std::set<UpperBound, UpperLess> &ups(SetVar A) { return Bounds[A].second; }
+
+  ConstraintContext *Ctx;
+  std::map<SetVar, std::pair<std::set<LowerBound, LowerLess>,
+                             std::set<UpperBound, UpperLess>>>
+      Bounds;
+};
+
+} // namespace spidey
+
+#endif // SPIDEY_CONSTRAINTS_REFERENCE_CLOSURE_H

@@ -3,6 +3,7 @@
 #include "fuzz/oracles.h"
 
 #include "componential/componential.h"
+#include "constraints/reference_closure.h"
 #include "debugger/checks.h"
 #include "interp/machine.h"
 #include "simplify/simplify.h"
@@ -23,6 +24,8 @@ const char *spidey::oracleName(Oracle O) {
     return "componential";
   case Oracle::Threads:
     return "threads";
+  case Oracle::Closure:
+    return "closure";
   }
   return "?";
 }
@@ -303,6 +306,40 @@ OracleVerdict checkThreads(const Program &P, const OracleOptions &Opts) {
   return V;
 }
 
+//===----------------------------------------------------------------------===
+// Oracle 5: closure engine vs. the naive reference fixpoint.
+//===----------------------------------------------------------------------===
+
+OracleVerdict checkClosure(const Program &P, const OracleOptions &Opts) {
+  (void)Opts;
+  OracleVerdict V;
+  Analysis A = analyzeProgram(P);
+  // The reference starts from exactly the bounds the engine presents, so
+  // after the naive close it can only be a superset; any growth means the
+  // incremental engine stopped short of the Θ fixpoint.
+  ReferenceClosure Ref(*A.Ctx);
+  Ref.absorb(*A.System);
+  Ref.close();
+  for (SetVar Var : Ref.variables()) {
+    std::vector<Constant> Got = A.System->constantsOf(Var);
+    std::vector<Constant> Want = Ref.constantsOf(Var);
+    if (Got != Want) {
+      std::ostringstream OS;
+      OS << "closure missed constants of v" << Var << ": engine {";
+      for (Constant C : Got)
+        OS << " " << A.Ctx->Constants.str(C, P.Syms);
+      OS << " } vs reference {";
+      for (Constant C : Want)
+        OS << " " << A.Ctx->Constants.str(C, P.Syms);
+      OS << " }";
+      V.Violation = true;
+      V.Message = OS.str();
+      return V;
+    }
+  }
+  return V;
+}
+
 } // namespace
 
 OracleVerdict spidey::checkOracle(Oracle O,
@@ -324,6 +361,8 @@ OracleVerdict spidey::checkOracle(Oracle O,
     return checkComponential(P.Prog, Opts);
   case Oracle::Threads:
     return checkThreads(P.Prog, Opts);
+  case Oracle::Closure:
+    return checkClosure(P.Prog, Opts);
   }
   return {};
 }

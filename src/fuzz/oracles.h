@@ -1,7 +1,7 @@
 //===-- fuzz/oracles.h - Metamorphic oracles -------------------*- C++ -*-===//
 ///
 /// \file
-/// The four metamorphic oracles of the differential fuzzing harness. Each
+/// The metamorphic oracles of the differential fuzzing harness. Each
 /// oracle takes a program (as source files) and checks one of the
 /// repository's central correctness claims:
 ///
@@ -18,6 +18,10 @@
 ///    constants of every top-level definition.
 ///  - Threads: the componential combined system is byte-identical
 ///    (ConstraintSystem::str()) for Threads=1 and Threads=N.
+///  - Closure: re-closing the worklist engine's closed whole-program
+///    system with the naive reference fixpoint (ReferenceClosure) must
+///    not grow any variable's constant set — i.e. the incremental engine
+///    reached the full Θ fixpoint.
 ///
 /// Oracles never throw; a program that fails to parse is reported via
 /// Parsed=false (for generated programs that is a generator bug).
@@ -34,8 +38,14 @@
 
 namespace spidey {
 
-enum class Oracle : uint8_t { Soundness, Simplify, Componential, Threads };
-inline constexpr unsigned NumOracles = 4;
+enum class Oracle : uint8_t {
+  Soundness,
+  Simplify,
+  Componential,
+  Threads,
+  Closure,
+};
+inline constexpr unsigned NumOracles = 5;
 
 const char *oracleName(Oracle O);
 /// Parses an oracle name; returns false if unknown.

@@ -12,9 +12,17 @@ Grammar::Grammar(const ConstraintSystem &S, const std::vector<SetVar> &E)
   Vars = S.variables();
   // External variables may be untouched by any constraint; they still have
   // the (reflex) productions and root pairs.
-  for (SetVar V : E)
-    if (std::find(Vars.begin(), Vars.end(), V) == Vars.end())
-      Vars.push_back(V);
+  {
+    std::unordered_set<SetVar> InVars(Vars.begin(), Vars.end());
+    for (SetVar V : E)
+      if (!InVars.count(V))
+        Vars.push_back(V);
+  }
+  VarIdx.reserve(Vars.size());
+  for (uint32_t I = 0; I < Vars.size(); ++I)
+    VarIdx.emplace(Vars[I], I);
+  DenseProds.resize(Vars.size() * 2);
+  DenseEps.resize(Vars.size() * 2);
 
   const SelectorTable &Sels = Ctx->Selectors;
   for (SetVar V : Vars) {
@@ -70,66 +78,91 @@ Grammar::Grammar(const ConstraintSystem &S, const std::vector<SetVar> &E)
   computeNonempty();
 }
 
-void Grammar::addProd(NT From, Prod P) { Prods[From.key()].push_back(P); }
+void Grammar::addProd(NT From, Prod P) {
+  DenseProds[ntId(From)].push_back(P);
+}
 
-void Grammar::addEps(NT From, NT To) { Eps[From.key()].push_back(To); }
+void Grammar::addEps(NT From, NT To) { DenseEps[ntId(From)].push_back(To); }
 
 void Grammar::eliminateEpsilon() {
   // For each non-terminal, add the productions of every ε-reachable
-  // non-terminal, then drop the ε edges.
-  std::unordered_map<uint64_t, std::vector<Prod>> Closed;
-  for (SetVar V : Vars) {
-    for (bool Upper : {false, true}) {
-      NT X{V, Upper};
-      std::vector<uint64_t> Stack{X.key()};
-      std::unordered_set<uint64_t> Seen{X.key()};
-      std::vector<Prod> Merged;
-      std::unordered_set<uint64_t> ProdKeys;
-      auto Push = [&](const Prod &P) {
-        uint64_t Key = P.K == Prod::Kind::Term
-                           ? (uint64_t(1) << 63) | P.TermVar
-                           : (uint64_t(P.S) << 34) | P.Target.key();
-        if (ProdKeys.insert(Key).second)
-          Merged.push_back(P);
-      };
-      while (!Stack.empty()) {
-        uint64_t Cur = Stack.back();
-        Stack.pop_back();
-        auto PIt = Prods.find(Cur);
-        if (PIt != Prods.end())
-          for (const Prod &P : PIt->second)
-            Push(P);
-        auto EIt = Eps.find(Cur);
-        if (EIt != Eps.end())
-          for (NT Next : EIt->second)
-            if (Seen.insert(Next.key()).second)
-              Stack.push_back(Next.key());
-      }
-      if (!Merged.empty())
-        Closed[X.key()] = std::move(Merged);
+  // non-terminal, then drop the ε edges from the production relation
+  // (Eps is retained for reachability queries, §6.4.2).
+  //
+  // Stamped scratch arrays shared across the per-NT walks keep this free
+  // of per-NT allocations: SeenStamp marks ε-visited ids, ProdStamp
+  // dedups merged productions.
+  uint32_t NumNT = static_cast<uint32_t>(DenseProds.size());
+  std::vector<std::vector<Prod>> Closed(NumNT);
+  std::vector<uint32_t> SeenStamp(NumNT, 0);
+  std::unordered_map<uint64_t, uint32_t> ProdStamp;
+  std::vector<uint32_t> Stack;
+  for (uint32_t Id = 0; Id < NumNT; ++Id) {
+    if (DenseEps[Id].empty()) {
+      // No ε out-edges: the closed production set is the local one.
+      Closed[Id] = DenseProds[Id];
+      continue;
     }
-  }
-  Prods = std::move(Closed);
-  // Eps is retained for reachability queries (§6.4.2).
-}
-
-void Grammar::computeNonempty() {
-  // Fixpoint: X nonempty if it has a Term production or a Sel production
-  // into a nonempty target.
-  bool Changed = true;
-  while (Changed) {
-    Changed = false;
-    for (auto &[Key, Ps] : Prods) {
-      if (Nonempty.count(Key))
-        continue;
-      for (const Prod &P : Ps) {
-        if (P.K == Prod::Kind::Term ||
-            (P.K == Prod::Kind::Sel && Nonempty.count(P.Target.key()))) {
-          Nonempty.insert(Key);
-          Changed = true;
-          break;
+    uint32_t Stamp = Id + 1;
+    std::vector<Prod> Merged;
+    auto Push = [&](const Prod &P) {
+      uint64_t Key = P.K == Prod::Kind::Term
+                         ? (uint64_t(1) << 63) | P.TermVar
+                         : (uint64_t(P.S) << 34) | P.Target.key();
+      auto [It, New] = ProdStamp.emplace(Key, Stamp);
+      if (!New) {
+        if (It->second == Stamp)
+          return;
+        It->second = Stamp;
+      }
+      Merged.push_back(P);
+    };
+    Stack.assign(1, Id);
+    SeenStamp[Id] = Stamp;
+    while (!Stack.empty()) {
+      uint32_t Cur = Stack.back();
+      Stack.pop_back();
+      for (const Prod &P : DenseProds[Cur])
+        Push(P);
+      for (NT Next : DenseEps[Cur]) {
+        uint32_t NId = ntId(Next);
+        if (SeenStamp[NId] != Stamp) {
+          SeenStamp[NId] = Stamp;
+          Stack.push_back(NId);
         }
       }
     }
+    Closed[Id] = std::move(Merged);
+  }
+  DenseProds = std::move(Closed);
+}
+
+void Grammar::computeNonempty() {
+  // Least fixpoint: X nonempty if it has a Term production or a Sel
+  // production into a nonempty target. Worklist over reverse Sel edges.
+  uint32_t NumNT = static_cast<uint32_t>(DenseProds.size());
+  NonemptyBit.assign(NumNT, 0);
+  std::vector<std::vector<uint32_t>> Rev(NumNT);
+  std::vector<uint32_t> Work;
+  for (uint32_t Id = 0; Id < NumNT; ++Id) {
+    for (const Prod &P : DenseProds[Id]) {
+      if (P.K == Prod::Kind::Term) {
+        if (!NonemptyBit[Id]) {
+          NonemptyBit[Id] = 1;
+          Work.push_back(Id);
+        }
+      } else {
+        Rev[ntId(P.Target)].push_back(Id);
+      }
+    }
+  }
+  while (!Work.empty()) {
+    uint32_t Id = Work.back();
+    Work.pop_back();
+    for (uint32_t Src : Rev[Id])
+      if (!NonemptyBit[Src]) {
+        NonemptyBit[Src] = 1;
+        Work.push_back(Src);
+      }
   }
 }

@@ -69,8 +69,8 @@ public:
   /// ε-free productions of a non-terminal.
   const std::vector<Prod> &prods(NT X) const {
     static const std::vector<Prod> Empty;
-    auto It = Prods.find(X.key());
-    return It == Prods.end() ? Empty : It->second;
+    uint32_t Id = ntId(X);
+    return Id == NoId ? Empty : DenseProds[Id];
   }
 
   /// Root productions R → [γL ≤ γU] (one per variable of S).
@@ -81,14 +81,17 @@ public:
   }
 
   /// True if L(X) is non-empty.
-  bool nonempty(NT X) const { return Nonempty.count(X.key()) != 0; }
+  bool nonempty(NT X) const {
+    uint32_t Id = ntId(X);
+    return Id != NoId && NonemptyBit[Id];
+  }
 
   /// Unit (ε) production targets of X from the pre-elimination grammar,
   /// needed for faithful reachability computations (§6.4.2).
   const std::vector<NT> &epsTargets(NT X) const {
     static const std::vector<NT> Empty;
-    auto It = Eps.find(X.key());
-    return It == Eps.end() ? Empty : It->second;
+    uint32_t Id = ntId(X);
+    return Id == NoId ? Empty : DenseEps[Id];
   }
 
   /// All variables mentioned by the underlying system.
@@ -97,15 +100,27 @@ public:
   bool isExternal(SetVar V) const { return External.count(V) != 0; }
 
 private:
+  static constexpr uint32_t NoId = ~0u;
+
+  /// Dense non-terminal index: 2 * position-of-Var-in-Vars + Upper, or
+  /// NoId for variables the grammar never saw.
+  uint32_t ntId(NT X) const {
+    auto It = VarIdx.find(X.Var);
+    return It == VarIdx.end() ? NoId
+                              : It->second * 2 + (X.Upper ? 1u : 0u);
+  }
+
   void addProd(NT From, Prod P);
   void addEps(NT From, NT To);
   void eliminateEpsilon();
   void computeNonempty();
 
   const ConstraintContext *Ctx;
-  std::unordered_map<uint64_t, std::vector<Prod>> Prods;
-  std::unordered_map<uint64_t, std::vector<NT>> Eps;
-  std::unordered_set<uint64_t> Nonempty;
+  /// Productions and ε-edges indexed by dense non-terminal id.
+  std::vector<std::vector<Prod>> DenseProds;
+  std::vector<std::vector<NT>> DenseEps;
+  std::vector<uint8_t> NonemptyBit;
+  std::unordered_map<SetVar, uint32_t> VarIdx;
   std::unordered_set<SetVar> External;
   std::vector<SetVar> Vars;
   std::vector<SetVar> RootVars;

@@ -188,81 +188,140 @@ bool keepReachable(const FlatConstraint &C, const Grammar &G,
 std::vector<FlatConstraint>
 removeEpsilon(std::vector<FlatConstraint> Cs, const SelectorTable &Sels,
               const std::unordered_set<SetVar> &External) {
+  // Dense variable index. Merges only ever substitute one existing
+  // variable for another, so the index built from the initial system
+  // covers every pass; per-constraint ids are cached alongside Cs and
+  // rewritten in place during each rebuild, making the per-pass work pure
+  // array arithmetic.
+  std::unordered_map<SetVar, uint32_t> Idx;
+  auto InternVar = [&](SetVar V) {
+    return Idx.emplace(V, static_cast<uint32_t>(Idx.size())).first->second;
+  };
+  std::vector<uint32_t> IdA(Cs.size()), IdB(Cs.size());
+  for (size_t I = 0; I < Cs.size(); ++I) {
+    IdA[I] = InternVar(Cs[I].A);
+    IdB[I] = Cs[I].K != FlatConstraint::Kind::ConstLB ? InternVar(Cs[I].B)
+                                                      : 0;
+  }
+  uint32_t N = static_cast<uint32_t>(Idx.size());
+  std::vector<uint8_t> IsExt(N, 0);
+  for (const auto &[V, I] : Idx)
+    if (External.count(V))
+      IsExt[I] = 1;
+
+  std::vector<uint32_t> Outflow(N), Inflow(N);
+  std::vector<uint8_t> Involved(N);
+  std::vector<uint32_t> SubstId(N);
+  std::vector<SetVar> SubstVar(N);
+
+  struct KeyHash {
+    size_t operator()(const std::pair<uint64_t, uint64_t> &K) const {
+      return std::hash<uint64_t>()(K.first * 0x9e3779b97f4a7c15ull ^
+                                   K.second);
+    }
+  };
+  std::unordered_set<std::pair<uint64_t, uint64_t>, KeyHash> Seen;
+
   for (;;) {
-    std::unordered_map<SetVar, uint32_t> OutflowCount, InflowCount;
-    for (const FlatConstraint &C : Cs) {
+    std::fill(Outflow.begin(), Outflow.end(), 0);
+    std::fill(Inflow.begin(), Inflow.end(), 0);
+    for (size_t I = 0; I < Cs.size(); ++I) {
+      const FlatConstraint &C = Cs[I];
       switch (C.K) {
       case FlatConstraint::Kind::ConstLB:
-        ++InflowCount[C.A];
+        ++Inflow[IdA[I]];
         break;
       case FlatConstraint::Kind::VarUB:
-        ++OutflowCount[C.A];
-        ++InflowCount[C.B];
+        ++Outflow[IdA[I]];
+        ++Inflow[IdB[I]];
         break;
       case FlatConstraint::Kind::SelLB:
         // mono: [β ≤ s(α)] is an outflow of β (β ≤ τ form);
         // anti: [s(α) ≤ β] is an inflow of β (τ ≤ β form).
         if (Sels.isMonotone(C.S))
-          ++OutflowCount[C.B];
+          ++Outflow[IdB[I]];
         else
-          ++InflowCount[C.B];
+          ++Inflow[IdB[I]];
         break;
       case FlatConstraint::Kind::SelUB:
         // mono: [s(α) ≤ β]: outflow of α, inflow of β;
         // anti: [β ≤ s(α)]: outflow of α and of β.
-        ++OutflowCount[C.A];
+        ++Outflow[IdA[I]];
         if (Sels.isMonotone(C.S))
-          ++InflowCount[C.B];
+          ++Inflow[IdB[I]];
         else
-          ++OutflowCount[C.B];
+          ++Outflow[IdB[I]];
         break;
       case FlatConstraint::Kind::FilterUB:
         // A conditional α ≤_M β: outflow of α, inflow of β.
-        ++OutflowCount[C.A];
-        ++InflowCount[C.B];
+        ++Outflow[IdA[I]];
+        ++Inflow[IdB[I]];
         break;
       }
     }
 
     // Gather a batch of non-overlapping merges.
-    std::unordered_map<SetVar, SetVar> Subst;
-    std::unordered_set<SetVar> Involved;
-    for (const FlatConstraint &C : Cs) {
+    std::fill(Involved.begin(), Involved.end(), 0);
+    for (uint32_t I = 0; I < N; ++I)
+      SubstId[I] = I;
+    bool Any = false;
+    for (size_t I = 0; I < Cs.size(); ++I) {
+      const FlatConstraint &C = Cs[I];
       if (C.K != FlatConstraint::Kind::VarUB || C.A == C.B)
         continue;
-      if (Involved.count(C.A) || Involved.count(C.B))
+      uint32_t A = IdA[I], B = IdB[I];
+      if (Involved[A] || Involved[B])
         continue;
-      if (!External.count(C.A) && OutflowCount[C.A] == 1) {
-        Subst[C.A] = C.B; // α := β
-        Involved.insert(C.A);
-        Involved.insert(C.B);
+      if (!IsExt[A] && Outflow[A] == 1) {
+        SubstId[A] = B; // α := β
+        SubstVar[A] = C.B;
+        Involved[A] = Involved[B] = 1;
+        Any = true;
         continue;
       }
-      if (!External.count(C.B) && InflowCount[C.B] == 1) {
-        Subst[C.B] = C.A; // β := α
-        Involved.insert(C.A);
-        Involved.insert(C.B);
+      if (!IsExt[B] && Inflow[B] == 1) {
+        SubstId[B] = A; // β := α
+        SubstVar[B] = C.A;
+        Involved[A] = Involved[B] = 1;
+        Any = true;
       }
     }
-    if (Subst.empty())
+    if (!Any)
       return Cs;
 
     std::vector<FlatConstraint> Next;
-    std::set<ConstraintKey> Seen;
-    auto Sub = [&](SetVar V) {
-      auto It = Subst.find(V);
-      return It == Subst.end() ? V : It->second;
-    };
-    for (FlatConstraint C : Cs) {
-      C.A = Sub(C.A);
-      if (C.K != FlatConstraint::Kind::ConstLB)
-        C.B = Sub(C.B);
-      if (C.K == FlatConstraint::Kind::VarUB && C.A == C.B)
+    std::vector<uint32_t> NextIdA, NextIdB;
+    Next.reserve(Cs.size());
+    NextIdA.reserve(Cs.size());
+    NextIdB.reserve(Cs.size());
+    Seen.clear();
+    for (size_t I = 0; I < Cs.size(); ++I) {
+      FlatConstraint C = Cs[I];
+      uint32_t A = IdA[I], B = IdB[I];
+      if (SubstId[A] != A) {
+        C.A = SubstVar[A];
+        A = SubstId[A];
+      }
+      if (C.K != FlatConstraint::Kind::ConstLB && SubstId[B] != B) {
+        C.B = SubstVar[B];
+        B = SubstId[B];
+      }
+      if (C.K == FlatConstraint::Kind::VarUB && A == B)
         continue;
-      if (Seen.insert(C.key()).second)
-        Next.push_back(C);
+      uint64_t Hi = (uint64_t(static_cast<uint8_t>(C.K)) << 32) | A;
+      uint64_t Lo =
+          (uint64_t(C.S) << 32) |
+          (C.K == FlatConstraint::Kind::ConstLB ? uint64_t(C.C)
+                                                : uint64_t(B));
+      if (!Seen.insert({Hi, Lo}).second)
+        continue;
+      Next.push_back(C);
+      NextIdA.push_back(A);
+      NextIdB.push_back(B);
     }
     Cs = std::move(Next);
+    IdA = std::move(NextIdA);
+    IdB = std::move(NextIdB);
   }
 }
 

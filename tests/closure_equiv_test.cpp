@@ -1,0 +1,244 @@
+//===-- tests/closure_equiv_test.cpp - Engine vs. reference ----*- C++ -*-===//
+///
+/// Property test for the incremental closure engine: the least solution it
+/// computes (constantsOf for every variable) must be identical to the one
+/// the naive sweep-to-fixpoint ReferenceClosure computes, on
+///
+///  - randomly generated raw constraint systems (closing adders and the
+///    raw-adds+close() path both), and
+///  - systems derived from fuzz-generated and corpus-generated programs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/analysis.h"
+#include "constraints/reference_closure.h"
+#include "corpus/corpus.h"
+#include "fuzz/fuzzgen.h"
+#include "test_util.h"
+
+#include <random>
+#include <sstream>
+
+using namespace spidey;
+using namespace spidey::test;
+
+namespace {
+
+/// One random constraint, chosen over a fixed small var/selector/constant
+/// universe.
+struct RandomConstraint {
+  enum class Kind : uint8_t { ConstLB, SelLB, VarUB, SelUB, FilterUB };
+  Kind K;
+  SetVar A, B;
+  Constant C;
+  Selector S;
+  KindMask M;
+};
+
+std::vector<RandomConstraint> randomConstraints(ConstraintContext &Ctx,
+                                                unsigned Seed) {
+  std::mt19937 Rng(Seed);
+  auto Pick = [&](uint32_t N) { return Rng() % N; };
+
+  uint32_t NumVars = 4 + Pick(9);
+  std::vector<SetVar> Vars;
+  for (uint32_t I = 0; I < NumVars; ++I)
+    Vars.push_back(Ctx.freshVar());
+
+  // A polarity-mixed selector palette and a kind-diverse constant palette.
+  std::vector<Selector> Sels = {Ctx.Car,      Ctx.Cdr, Ctx.Rng,
+                                Ctx.BoxPlus,  Ctx.BoxMinus,
+                                Ctx.VecMinus, Ctx.dom(0), Ctx.dom(1)};
+  std::vector<Constant> Consts = {
+      Ctx.Constants.basic(ConstKind::Num),
+      Ctx.Constants.basic(ConstKind::Nil),
+      Ctx.Constants.basic(ConstKind::True),
+      Ctx.Constants.basic(ConstKind::Pair),
+      Ctx.Constants.makeTag(ConstKind::FnTag, 1, SourceLoc{}),
+      Ctx.Constants.makeTag(ConstKind::BoxTag, 0, SourceLoc{}),
+  };
+  std::vector<KindMask> Masks = {
+      AnyKindMask,
+      kindBit(ConstKind::Pair),
+      kindBit(ConstKind::Num) | kindBit(ConstKind::True),
+      kindBit(ConstKind::FnTag) | kindBit(ConstKind::BoxTag),
+  };
+
+  uint32_t NumCs = 15 + Pick(46);
+  std::vector<RandomConstraint> Out;
+  for (uint32_t I = 0; I < NumCs; ++I) {
+    RandomConstraint C;
+    C.K = static_cast<RandomConstraint::Kind>(Pick(5));
+    C.A = Vars[Pick(NumVars)];
+    C.B = Vars[Pick(NumVars)];
+    C.C = Consts[Pick(static_cast<uint32_t>(Consts.size()))];
+    C.S = Sels[Pick(static_cast<uint32_t>(Sels.size()))];
+    C.M = Masks[Pick(static_cast<uint32_t>(Masks.size()))];
+    Out.push_back(C);
+  }
+  return Out;
+}
+
+void feedEngine(ConstraintSystem &S, const std::vector<RandomConstraint> &Cs,
+                bool Raw) {
+  for (const RandomConstraint &C : Cs) {
+    switch (C.K) {
+    case RandomConstraint::Kind::ConstLB:
+      Raw ? S.addConstLowerRaw(C.A, C.C) : S.addConstLower(C.A, C.C);
+      break;
+    case RandomConstraint::Kind::SelLB:
+      Raw ? S.addSelLowerRaw(C.A, C.S, C.B) : S.addSelLower(C.A, C.S, C.B);
+      break;
+    case RandomConstraint::Kind::VarUB:
+      Raw ? S.addVarUpperRaw(C.A, C.B) : S.addVarUpper(C.A, C.B);
+      break;
+    case RandomConstraint::Kind::SelUB:
+      Raw ? S.addSelUpperRaw(C.A, C.S, C.B) : S.addSelUpper(C.A, C.S, C.B);
+      break;
+    case RandomConstraint::Kind::FilterUB:
+      Raw ? S.addFilterUpperRaw(C.A, C.M, C.B) : S.addFilterUpper(C.A, C.M, C.B);
+      break;
+    }
+  }
+  if (Raw)
+    S.close();
+}
+
+void feedReference(ReferenceClosure &R,
+                   const std::vector<RandomConstraint> &Cs) {
+  for (const RandomConstraint &C : Cs) {
+    switch (C.K) {
+    case RandomConstraint::Kind::ConstLB:
+      R.addConstLower(C.A, C.C);
+      break;
+    case RandomConstraint::Kind::SelLB:
+      R.addSelLower(C.A, C.S, C.B);
+      break;
+    case RandomConstraint::Kind::VarUB:
+      R.addVarUpper(C.A, C.B);
+      break;
+    case RandomConstraint::Kind::SelUB:
+      R.addSelUpper(C.A, C.S, C.B);
+      break;
+    case RandomConstraint::Kind::FilterUB:
+      R.addFilterUpper(C.A, C.M, C.B);
+      break;
+    }
+  }
+  R.close();
+}
+
+/// Asserts that engine and reference agree on constantsOf for every
+/// variable either side mentions.
+void expectSameSolution(const ConstraintSystem &S, const ReferenceClosure &R,
+                        const char *What, unsigned Seed) {
+  std::vector<SetVar> Vars = S.variables();
+  for (SetVar V : R.variables())
+    Vars.push_back(V);
+  std::sort(Vars.begin(), Vars.end());
+  Vars.erase(std::unique(Vars.begin(), Vars.end()), Vars.end());
+  for (SetVar V : Vars)
+    EXPECT_EQ(S.constantsOf(V), R.constantsOf(V))
+        << What << " seed " << Seed << ": least solutions differ at v" << V;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===
+// Random raw systems, via the closing adders (online path).
+//===----------------------------------------------------------------------===
+
+TEST(ClosureEquiv, RandomSystemsOnline) {
+  for (unsigned Seed = 1; Seed <= 25; ++Seed) {
+    ConstraintContext Ctx;
+    std::vector<RandomConstraint> Cs = randomConstraints(Ctx, Seed);
+    ConstraintSystem S(Ctx);
+    feedEngine(S, Cs, /*Raw=*/false);
+    ReferenceClosure R(Ctx);
+    feedReference(R, Cs);
+    expectSameSolution(S, R, "online", Seed);
+  }
+}
+
+//===----------------------------------------------------------------------===
+// The same systems via raw adds + close() (offline Tarjan path).
+//===----------------------------------------------------------------------===
+
+TEST(ClosureEquiv, RandomSystemsOffline) {
+  for (unsigned Seed = 1; Seed <= 25; ++Seed) {
+    ConstraintContext Ctx;
+    std::vector<RandomConstraint> Cs = randomConstraints(Ctx, Seed);
+    ConstraintSystem S(Ctx);
+    feedEngine(S, Cs, /*Raw=*/true);
+    ReferenceClosure R(Ctx);
+    feedReference(R, Cs);
+    expectSameSolution(S, R, "offline", Seed);
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Online and offline closure of the same raw system must agree with each
+// other, too (the engine against itself). Bound lists keep insertion
+// order, which legitimately differs between the two paths, so compare the
+// closed systems as sets of rendered constraints.
+//===----------------------------------------------------------------------===
+
+namespace {
+std::vector<std::string> sortedLines(const std::string &S) {
+  std::vector<std::string> Lines;
+  std::istringstream In(S);
+  for (std::string L; std::getline(In, L);)
+    Lines.push_back(L);
+  std::sort(Lines.begin(), Lines.end());
+  return Lines;
+}
+} // namespace
+
+TEST(ClosureEquiv, OnlineMatchesOffline) {
+  for (unsigned Seed = 100; Seed <= 110; ++Seed) {
+    ConstraintContext Ctx;
+    std::vector<RandomConstraint> Cs = randomConstraints(Ctx, Seed);
+    ConstraintSystem Online(Ctx), Offline(Ctx);
+    feedEngine(Online, Cs, /*Raw=*/false);
+    feedEngine(Offline, Cs, /*Raw=*/true);
+    EXPECT_EQ(sortedLines(Online.str()), sortedLines(Offline.str()))
+        << "seed " << Seed;
+    EXPECT_EQ(Online.size(), Offline.size()) << "seed " << Seed;
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Derived systems: fuzz-generated programs.
+//===----------------------------------------------------------------------===
+
+TEST(ClosureEquiv, FuzzProgramSystems) {
+  for (unsigned Seed = 1; Seed <= 8; ++Seed) {
+    FuzzGenConfig Cfg;
+    Cfg.Seed = Seed;
+    Parsed P = parseFiles(generateFuzzProgram(Cfg));
+    ASSERT_TRUE(P.Ok) << P.Diags.str();
+    Analysis A = analyzeProgram(*P.Prog);
+    ReferenceClosure R(*A.Ctx);
+    R.absorb(*A.System);
+    R.close();
+    expectSameSolution(*A.System, R, "fuzz program", Seed);
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Derived systems: a small corpus program.
+//===----------------------------------------------------------------------===
+
+TEST(ClosureEquiv, CorpusProgramSystem) {
+  GeneratorConfig Cfg;
+  Cfg.Seed = 7;
+  Cfg.NumComponents = 2;
+  Cfg.TargetLines = 80;
+  Parsed P = parseFiles(generateProgram(Cfg));
+  ASSERT_TRUE(P.Ok) << P.Diags.str();
+  Analysis A = analyzeProgram(*P.Prog);
+  ReferenceClosure R(*A.Ctx);
+  R.absorb(*A.System);
+  R.close();
+  expectSameSolution(*A.System, R, "corpus program", Cfg.Seed);
+}

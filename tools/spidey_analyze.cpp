@@ -1,0 +1,185 @@
+//===-- tools/spidey_analyze.cpp - Analysis CLI ---------------*- C++ -*-===//
+///
+/// \file
+/// The `spidey-analyze` command line: run the componential (default) or
+/// whole-program set-based analysis over a list of .ss source files — one
+/// component per file — and print the MrSpidey-style check summary, plus
+/// solver telemetry with --stats.
+///
+///   spidey-analyze a.ss b.ss main.ss             # componential
+///   spidey-analyze --whole main.ss               # standard whole-program
+///   spidey-analyze --threads 8 --stats *.ss      # parallel + telemetry
+///   spidey-analyze --cache-dir .spidey *.ss      # reuse constraint files
+///
+/// Exit code: 0 on success (even with unsafe checks), 2 on usage errors,
+/// 1 when a file cannot be read or the program does not parse.
+///
+//===----------------------------------------------------------------------===//
+
+#include "componential/componential.h"
+#include "debugger/checks.h"
+#include "lang/parser.h"
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace spidey;
+
+namespace {
+
+void usage() {
+  std::cout <<
+      R"(spidey-analyze — set-based analysis over Scheme source files
+
+usage: spidey-analyze [options] file.ss...
+  --whole            whole-program analysis (default: componential)
+  --threads N        worker threads for the componential step 1
+                     (default 0 = hardware concurrency; 1 = sequential)
+  --simplify ALG     per-component simplifier: none, empty, unreachable,
+                     e-removal (default), hopcroft
+  --cache-dir DIR    constraint-file cache directory (default: disabled)
+  --stats            print solver telemetry (ClosureStats, phase times)
+  --help             this text
+)";
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+bool simplifyFromName(const std::string &Name, SimplifyAlgorithm &Out) {
+  for (SimplifyAlgorithm Alg :
+       {SimplifyAlgorithm::None, SimplifyAlgorithm::Empty,
+        SimplifyAlgorithm::Unreachable, SimplifyAlgorithm::EpsilonRemoval,
+        SimplifyAlgorithm::Hopcroft})
+    if (Name == simplifyAlgorithmName(Alg)) {
+      Out = Alg;
+      return true;
+    }
+  return false;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Whole = false;
+  bool Stats = false;
+  ComponentialOptions Opts;
+  Opts.Threads = 0;
+  std::vector<std::string> Paths;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= Argc) {
+        std::cerr << "spidey-analyze: " << Arg << " needs a value\n";
+        std::exit(2);
+      }
+      return Argv[++I];
+    };
+    if (Arg == "--help" || Arg == "-h") {
+      usage();
+      return 0;
+    } else if (Arg == "--whole") {
+      Whole = true;
+    } else if (Arg == "--stats") {
+      Stats = true;
+    } else if (Arg == "--threads") {
+      Opts.Threads = static_cast<unsigned>(std::strtoul(Next(), nullptr, 10));
+    } else if (Arg == "--simplify") {
+      std::string Name = Next();
+      if (!simplifyFromName(Name, Opts.Simplify)) {
+        std::cerr << "spidey-analyze: unknown simplifier '" << Name
+                  << "' (none, empty, unreachable, e-removal, hopcroft)\n";
+        return 2;
+      }
+    } else if (Arg == "--cache-dir") {
+      Opts.CacheDir = Next();
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::cerr << "spidey-analyze: unknown option " << Arg << "\n";
+      usage();
+      return 2;
+    } else {
+      Paths.push_back(Arg);
+    }
+  }
+  if (Paths.empty()) {
+    usage();
+    return 2;
+  }
+
+  std::vector<SourceFile> Files;
+  for (const std::string &Path : Paths) {
+    SourceFile F;
+    F.Name = Path;
+    if (!readFile(Path, F.Text)) {
+      std::cerr << "spidey-analyze: cannot read " << Path << "\n";
+      return 1;
+    }
+    Files.push_back(std::move(F));
+  }
+
+  Program P;
+  DiagnosticEngine Diags;
+  if (!parseProgram(P, Diags, Files)) {
+    std::cerr << Diags.str();
+    return 1;
+  }
+
+  if (Whole) {
+    Analysis A = analyzeProgram(P);
+    DebugReport Report = runChecks(P, A.Maps, *A.System);
+    std::cout << Report.summary(P);
+    std::cout << "constraints: " << A.System->size() << " over "
+              << A.System->numTouchedVars() << " variables\n";
+    if (Stats) {
+      std::cout << "closure stats:\n" << A.System->stats().str();
+    }
+    return 0;
+  }
+
+  ComponentialAnalyzer CA(P, Opts);
+  CA.run();
+
+  // Step 3 per component: reconstruct full precision and collect the
+  // component's own check results (the focused-component view of §7.1,
+  // swept over every component).
+  DebugReport Report;
+  for (uint32_t I = 0; I < P.Components.size(); ++I) {
+    std::unique_ptr<ConstraintSystem> Full = CA.reconstruct(I);
+    DebugReport Part = runChecks(P, CA.maps(), *Full);
+    for (CheckResult &R : Part.Results)
+      if (R.Loc.File == I)
+        Report.Results.push_back(std::move(R));
+  }
+  std::cout << Report.summary(P);
+
+  size_t Reused = 0, FileBytes = 0;
+  for (const ComponentRunStats &CS : CA.componentStats()) {
+    Reused += CS.ReusedFile ? 1 : 0;
+    FileBytes += CS.FileBytes;
+  }
+  std::cout << "components: " << P.Components.size() << " (" << Reused
+            << " from cache), combined constraints: " << CA.combined().size()
+            << ", max system: " << CA.maxConstraints() << "\n";
+  if (!Opts.CacheDir.empty())
+    std::cout << "constraint files: " << FileBytes << " bytes in "
+              << Opts.CacheDir << "\n";
+  if (Stats) {
+    const ComponentialRunInfo &Info = CA.runInfo();
+    std::printf("phases: derive %.1f ms, merge %.1f ms, close %.1f ms\n",
+                Info.DeriveMs, Info.MergeMs, Info.CloseMs);
+    std::cout << "closure stats:\n" << Info.Closure.str();
+  }
+  return 0;
+}

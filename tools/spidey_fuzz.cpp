@@ -3,7 +3,7 @@
 /// \file
 /// The `spidey-fuzz` command-line harness.
 ///
-///   spidey-fuzz --iters 500 --seed 42            # fuzz all four oracles
+///   spidey-fuzz --iters 500 --seed 42            # fuzz all five oracles
 ///   spidey-fuzz --oracles soundness,threads ...  # a subset
 ///   spidey-fuzz --replay repro.ss                # replay a reproducer
 ///   spidey-fuzz --emit 123                       # print program for seed
@@ -35,7 +35,7 @@ usage: spidey-fuzz [options]
   --iters N          iterations (default 100)
   --seed N           base seed (default 1; per-iteration seeds derive from it)
   --oracles LIST     comma-separated subset of: soundness,simplify,
-                     componential,threads (default: all four)
+                     componential,threads,closure (default: all five)
   --fuel N           machine step budget for the soundness oracle
   --threads N        thread count compared against 1 (default 4)
   --depth N          selector-path probe depth (default 4)
