@@ -1,0 +1,170 @@
+//===-- bench/bench_serve.cpp - Incremental re-analysis latency -*- C++ -*-===//
+///
+/// \file
+/// Measures the spidey-serve loop on multi-component corpus programs:
+/// cold whole-program analyze latency vs the warm latency of editing a
+/// single component and re-analyzing, where every untouched component is
+/// served from the in-memory constraint store. Also verifies the daemon's
+/// core contract — the warm combined system is byte-identical to a cold
+/// run over the same sources — and reports how many components each warm
+/// pass rederived vs reused.
+///
+/// With --json the numbers are emitted as machine-readable JSON (consumed
+/// by bench/run_benches.sh to produce BENCH_serve.json).
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench_util.h"
+
+#include "corpus/corpus.h"
+#include "serve/serve.h"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace spidey;
+using namespace spidey::bench;
+
+namespace {
+
+struct Result {
+  std::string Name;
+  size_t Components = 0;
+  size_t Lines = 0;
+  double ColdMs = 1e300;
+  double WarmMs = 1e300;
+  uint64_t Rederived = 0; ///< of the timed warm pass
+  uint64_t Reused = 0;
+  bool ByteIdentical = false;
+};
+
+constexpr int Repeats = 3;
+
+json::Value analyzeRequest() {
+  json::Value R = json::Value::object();
+  R.set("cmd", "analyze");
+  return R;
+}
+
+/// An edit of component \p File that appends an unreferenced define: the
+/// component's hash changes but no other component's interface does, so a
+/// correct daemon rederives exactly this one component.
+json::Value editRequest(const std::string &File, const std::string &Base,
+                        int Seq) {
+  json::Value R = json::Value::object();
+  R.set("cmd", "edit");
+  R.set("file", File);
+  R.set("text",
+        Base + "\n(define serve-bench-probe-" + std::to_string(Seq) + " 42)");
+  return R;
+}
+
+Result benchProgram(const char *Name) {
+  std::vector<SourceFile> Files = generateProgram(benchmarkConfig(Name));
+
+  Result Res;
+  Res.Name = Name;
+  Res.Components = Files.size();
+  Res.Lines = lineCount(Files);
+
+  // Cold: a fresh session analyzes everything from scratch.
+  for (int Rep = 0; Rep < Repeats; ++Rep) {
+    ServeSession Cold({});
+    Cold.setFiles(Files);
+    double Ms = timeMs([&] { Cold.handle(analyzeRequest()); });
+    Res.ColdMs = std::min(Res.ColdMs, Ms);
+  }
+
+  // Warm: one resident session; each repeat edits the last component
+  // (fresh probe text each time so its hash always changes) and
+  // re-analyzes with every other component served from memory.
+  ServeSession Warm({});
+  Warm.setFiles(Files);
+  Warm.handle(analyzeRequest());
+  const SourceFile &Target = Files.back();
+  for (int Rep = 0; Rep < Repeats; ++Rep) {
+    Warm.handle(editRequest(Target.Name, Target.Text, Rep));
+    double Ms = timeMs([&] { Warm.handle(analyzeRequest()); });
+    if (Ms < Res.WarmMs) {
+      Res.WarmMs = Ms;
+      Res.Rederived = Warm.lastRun().ComponentsRederived;
+      Res.Reused = Warm.lastRun().ComponentsReused;
+    }
+  }
+
+  // Contract check: the warm session's combined system equals a cold run
+  // over the same (edited) sources, byte for byte.
+  std::vector<SourceFile> Edited = Files;
+  Edited.back().Text = Target.Text + "\n(define serve-bench-probe-" +
+                       std::to_string(Repeats - 1) + " 42)";
+  ServeSession Check({});
+  Check.setFiles(Edited);
+  Res.ByteIdentical = Warm.combinedText() == Check.combinedText() &&
+                      !Warm.combinedText().empty();
+  return Res;
+}
+
+void printTable(const std::vector<Result> &Results) {
+  std::printf("== spidey-serve: cold analyze vs warm single-component edit "
+              "(best of %d) ==\n",
+              Repeats);
+  std::printf("%-10s %6s %7s %10s %10s %8s %11s %6s\n", "program", "comps",
+              "lines", "cold ms", "warm ms", "speedup", "rederived",
+              "ident");
+  for (const Result &R : Results)
+    std::printf("%-10s %6zu %7zu %10.1f %10.1f %7.1fx %5llu/%-5llu %6s\n",
+                R.Name.c_str(), R.Components, R.Lines, R.ColdMs, R.WarmMs,
+                R.WarmMs > 0 ? R.ColdMs / R.WarmMs : 0.0,
+                static_cast<unsigned long long>(R.Rederived),
+                static_cast<unsigned long long>(R.Rederived + R.Reused),
+                R.ByteIdentical ? "yes" : "NO");
+}
+
+void printJson(const std::vector<Result> &Results) {
+  json::Value Programs = json::Value::array();
+  for (const Result &R : Results) {
+    json::Value P = json::Value::object();
+    P.set("name", R.Name);
+    P.set("components", R.Components);
+    P.set("lines", R.Lines);
+    P.set("cold_ms", R.ColdMs);
+    P.set("warm_edit_ms", R.WarmMs);
+    P.set("speedup", R.WarmMs > 0 ? R.ColdMs / R.WarmMs : 0.0);
+    P.set("rederived", R.Rederived);
+    P.set("reused", R.Reused);
+    P.set("byte_identical", R.ByteIdentical);
+    Programs.push(std::move(P));
+  }
+  json::Value Doc = json::Value::object();
+  Doc.set("repeats", Repeats);
+  Doc.set("programs", std::move(Programs));
+  std::printf("%s\n", Doc.dump().c_str());
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Json = false;
+  for (int I = 1; I < Argc; ++I)
+    if (std::strcmp(Argv[I], "--json") == 0)
+      Json = true;
+
+  std::vector<Result> Results;
+  bool AllIdentical = true;
+  for (const char *Name : {"scanner", "zodiac", "sba"}) {
+    Results.push_back(benchProgram(Name));
+    AllIdentical &= Results.back().ByteIdentical;
+  }
+
+  if (Json)
+    printJson(Results);
+  else
+    printTable(Results);
+  if (!AllIdentical) {
+    std::fprintf(stderr,
+                 "bench_serve: warm combined system diverged from cold\n");
+    return 1;
+  }
+  return 0;
+}

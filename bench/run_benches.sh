@@ -6,6 +6,8 @@
 #   BENCH_closure.json       from bench_closure's (google-benchmark)
 #                            JSON output plus bench_parallel's per-run
 #                            ClosureStats telemetry
+#   BENCH_serve.json         from bench_serve's JSON output (cold analyze
+#                            vs warm single-component edit latency)
 #
 # Each emitted file has a "before" section (measured once on the
 # reference machine at the commit preceding the respective optimisation
@@ -22,12 +24,14 @@ REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build}"
 OUT="$REPO_ROOT/BENCH_componential.json"
 OUT_CLOSURE="$REPO_ROOT/BENCH_closure.json"
+OUT_SERVE="$REPO_ROOT/BENCH_serve.json"
 TMP_AFTER="$(mktemp)"
 TMP_CLOSURE="$(mktemp)"
-trap 'rm -f "$TMP_AFTER" "$TMP_CLOSURE"' EXIT
+TMP_SERVE="$(mktemp)"
+trap 'rm -f "$TMP_AFTER" "$TMP_CLOSURE" "$TMP_SERVE"' EXIT
 
 BENCHES=(bench_simplify bench_componential bench_polymorphic bench_checks
-         bench_ablation bench_closure bench_parallel)
+         bench_ablation bench_closure bench_parallel bench_serve)
 
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT" > /dev/null || exit 1
 cmake --build "$BUILD_DIR" -j --target "${BENCHES[@]}" > /dev/null || exit 1
@@ -40,6 +44,8 @@ for BENCH in "${BENCHES[@]}"; do
   elif [ "$BENCH" = bench_closure ]; then
     "$BUILD_DIR/bench/$BENCH" --benchmark_format=json \
       --benchmark_min_time=0.2 > "$TMP_CLOSURE" || FAILED+=("$BENCH")
+  elif [ "$BENCH" = bench_serve ]; then
+    "$BUILD_DIR/bench/$BENCH" --json > "$TMP_SERVE" || FAILED+=("$BENCH")
   else
     "$BUILD_DIR/bench/$BENCH" || FAILED+=("$BENCH")
   fi
@@ -127,6 +133,26 @@ doc = {
                    "before (fa589e3) vs. after",
     "before": before,
     "after": {"micro": micro_rows, "componential": comp_rows},
+}
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"wrote {out}")
+EOF
+
+python3 - "$OUT_SERVE" "$TMP_SERVE" <<'EOF' || exit 1
+import json, sys
+
+out, serve_path = sys.argv[1], sys.argv[2]
+after = json.load(open(serve_path))
+
+doc = {
+    "description": "spidey-serve incremental re-analysis: cold "
+                   "whole-program analyze vs warm single-component edit "
+                   "latency (in-memory constraint store, MergeViaFiles; "
+                   "byte_identical asserts the warm combined system "
+                   "equals a cold run; best of N repeats)",
+    "after": after,
 }
 with open(out, "w") as f:
     json.dump(doc, f, indent=2)

@@ -1,0 +1,2 @@
+(define good (cons 1 (cons 'two (cons "three" '()))))
+(define bad 42)

@@ -1,0 +1,3 @@
+(define (first p) (car p))
+(define (second p) (car (cdr p)))
+(define (third p) (car (cdr (cdr p))))

@@ -1,0 +1,4 @@
+(define r1 (first good))
+(define r2 (second good))
+(define r3 (third good))
+(define oops (first bad))

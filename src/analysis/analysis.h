@@ -86,6 +86,12 @@ struct AnalysisOptions {
   bool PolyTopLevel = true;
   /// Required when Poly == Smart.
   SchemaSimplifier Simplify;
+  /// Whitespace-free token naming the Simplify hook for cache
+  /// fingerprinting (constraint files derived under different schema
+  /// simplifiers are not interchangeable). polyAnalysisOptions sets it to
+  /// the algorithm name; callers installing a custom hook should pick a
+  /// stable tag of their own.
+  std::string SimplifyTag;
   /// Keep check-site scrutinees and labels of schema bodies observable
   /// through simplification (the static debugger needs them). Disable to
   /// reproduce the pure timing experiments of fig. 7.6, where the smart

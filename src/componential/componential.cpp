@@ -6,6 +6,7 @@
 #include "constraints/serialize.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cctype>
 #include <chrono>
@@ -13,9 +14,59 @@
 #include <fstream>
 #include <functional>
 #include <sstream>
+#include <thread>
 #include <unordered_set>
 
 using namespace spidey;
+
+ConstraintStore::~ConstraintStore() = default;
+
+const char *spidey::cacheOutcomeName(CacheOutcome O) {
+  switch (O) {
+  case CacheOutcome::Disabled:
+    return "disabled";
+  case CacheOutcome::Hit:
+    return "hit";
+  case CacheOutcome::MissNoEntry:
+    return "miss-no-entry";
+  case CacheOutcome::MissStaleHash:
+    return "miss-stale-hash";
+  case CacheOutcome::MissOptions:
+    return "miss-options";
+  case CacheOutcome::MissExternals:
+    return "miss-externals";
+  case CacheOutcome::MissCorrupt:
+    return "miss-corrupt";
+  }
+  return "?";
+}
+
+std::string spidey::componentialFingerprint(SimplifyAlgorithm Simplify,
+                                            const AnalysisOptions &Derive) {
+  std::ostringstream OS;
+  OS << "v2;simplify=" << simplifyAlgorithmName(Simplify)
+     << ";poly=" << static_cast<unsigned>(Derive.Poly)
+     << ";ifsplit=" << Derive.IfSplitting
+     << ";polytop=" << Derive.PolyTopLevel
+     << ";precise=" << Derive.PreciseSchemaChecks << ";schema=";
+  if (!Derive.Simplify)
+    OS << "none";
+  else if (!Derive.SimplifyTag.empty())
+    OS << Derive.SimplifyTag;
+  else
+    OS << "custom";
+  return OS.str();
+}
+
+std::string spidey::componentCacheFileName(std::string_view ComponentName) {
+  std::string Name;
+  for (char Ch : ComponentName)
+    Name.push_back(std::isalnum(static_cast<unsigned char>(Ch)) ? Ch : '_');
+  // The sanitized form is lossy (`a-b` and `a_b` collapse to one string),
+  // so a short hash of the raw name keeps distinct components in distinct
+  // files.
+  return Name + "-" + hashSource(ComponentName).substr(0, 8) + ".scf";
+}
 
 /// One component's step-1 result. Derivation output lives in a private
 /// ConstraintContext (workers share no mutable state); merge() renumbers
@@ -27,22 +78,79 @@ struct ComponentialAnalyzer::ComponentWork {
   size_t RawConstraints = 0;
   ClosureStats Closure;  ///< derive + simplify solver counters
   std::string FileText;  ///< serialized constraint file (save path)
-  std::string CacheText; ///< raw file text when the source hash matched
+  std::string CacheText; ///< raw file text when the header validated
   bool CacheHit = false;
+  CacheOutcome Outcome = CacheOutcome::Disabled;
 };
 
 namespace {
 
-/// Extracts the source hash from a constraint file's header without
-/// deserializing the body (workers use this to decide whether the file is
-/// reusable; the full parse happens on the combining thread).
-std::string peekFileHash(const std::string &Text) {
+/// A constraint file's header, extracted without deserializing the body:
+/// source hash, options fingerprint, and the external names the file was
+/// simplified against. Workers use this to decide whether the file is
+/// reusable; the full parse happens on the combining thread.
+struct FilePeek {
+  bool Ok = false;
+  std::string Hash;
+  std::string Options;
+  std::vector<std::string> ExternalNames;
+};
+
+FilePeek peekFileHeader(const std::string &Text) {
   std::istringstream In(Text);
-  std::string Magic, Version, Key, Hash;
-  if (!(In >> Magic >> Version >> Key >> Hash) ||
-      Magic != "spidey-constraint-file" || Version != "1" || Key != "hash")
-    return {};
-  return Hash;
+  FilePeek P;
+  std::string Magic, Key;
+  uint64_t Version = 0;
+  if (!(In >> Magic >> Version) || Magic != "spidey-constraint-file" ||
+      Version != 2)
+    return P;
+  if (!(In >> Key >> P.Hash) || Key != "hash")
+    return P;
+  if (!(In >> Key >> P.Options) || Key != "options")
+    return P;
+  uint64_t NumVars = 0, NumExternals = 0;
+  if (!(In >> Key >> NumVars) || Key != "vars")
+    return P;
+  if (!(In >> Key >> NumExternals) || Key != "externals")
+    return P;
+  for (uint64_t I = 0; I < NumExternals; ++I) {
+    std::string Name;
+    uint64_t Local;
+    if (!(In >> Name >> Local))
+      return P;
+    P.ExternalNames.push_back(std::move(Name));
+  }
+  std::sort(P.ExternalNames.begin(), P.ExternalNames.end());
+  P.Ok = true;
+  return P;
+}
+
+/// Writes \p Text to \p FinalPath atomically: stream into a uniquely-named
+/// temp file in the same directory, then rename into place. A crashed or
+/// concurrent writer can no longer leave a torn file at the final path —
+/// readers see the old contents or the new, never a mix.
+void writeFileAtomically(const std::string &FinalPath,
+                         const std::string &Text) {
+  static std::atomic<uint64_t> Counter{0};
+  std::ostringstream Tmp;
+  Tmp << FinalPath << ".tmp."
+      << std::hash<std::thread::id>{}(std::this_thread::get_id()) << "."
+      << Counter.fetch_add(1, std::memory_order_relaxed);
+  const std::string TmpPath = Tmp.str();
+  {
+    std::ofstream Out(TmpPath, std::ios::binary | std::ios::trunc);
+    Out << Text;
+    Out.flush();
+    if (!Out) {
+      std::error_code EC;
+      std::filesystem::remove(TmpPath, EC);
+      return;
+    }
+  }
+  std::error_code EC;
+  std::filesystem::rename(TmpPath, FinalPath, EC);
+  if (EC)
+    std::filesystem::remove(TmpPath, EC);
 }
 
 } // namespace
@@ -50,6 +158,8 @@ std::string peekFileHash(const std::string &Text) {
 ComponentialAnalyzer::ComponentialAnalyzer(const Program &P,
                                            ComponentialOptions Opts)
     : P(P), Opts(std::move(Opts)) {
+  OptionsFP =
+      componentialFingerprint(this->Opts.Simplify, this->Opts.Derive);
   Ctx = std::make_unique<ConstraintContext>();
   Combined = std::make_unique<ConstraintSystem>(*Ctx);
   D = std::make_unique<Deriver>(P, *Ctx, Maps, this->Opts.Derive);
@@ -110,6 +220,16 @@ ComponentialAnalyzer::externalVarIdsOf(uint32_t CompIdx) const {
   return Tops;
 }
 
+std::vector<std::string>
+ComponentialAnalyzer::externalNamesOf(uint32_t CompIdx) const {
+  std::vector<std::string> Names;
+  for (VarId V : externalVarIdsOf(CompIdx))
+    Names.push_back(P.Syms.name(P.var(V).Name));
+  std::sort(Names.begin(), Names.end());
+  Names.erase(std::unique(Names.begin(), Names.end()), Names.end());
+  return Names;
+}
+
 std::vector<SetVar> ComponentialAnalyzer::externalsOf(uint32_t CompIdx) {
   if (!CrossRefsComputed && !P.Components.empty())
     computeCrossReferences();
@@ -135,10 +255,7 @@ VarId ComponentialAnalyzer::topLevelByName(Symbol Name) {
 }
 
 std::string ComponentialAnalyzer::cachePathFor(const Component &C) const {
-  std::string Name;
-  for (char Ch : C.Name)
-    Name.push_back(std::isalnum(static_cast<unsigned char>(Ch)) ? Ch : '_');
-  return Opts.CacheDir + "/" + Name + ".scf";
+  return Opts.CacheDir + "/" + componentCacheFileName(C.Name);
 }
 
 bool ComponentialAnalyzer::loadFromText(uint32_t CompIdx,
@@ -153,6 +270,8 @@ bool ComponentialAnalyzer::loadFromText(uint32_t CompIdx,
   if (!deserializeConstraints(Text, Syms, Loaded, Info, Error))
     return false;
   if (Info.SourceHash != hashSource(P.Components[CompIdx].SourceText))
+    return false;
+  if (Info.OptionsFingerprint != OptionsFP)
     return false;
 
   // Re-link the file's external variables with this run's top-level
@@ -180,19 +299,49 @@ ComponentialAnalyzer::deriveIsolated(uint32_t CompIdx,
                                      bool AllowCache) const {
   ComponentWork W;
   const Component &C = P.Components[CompIdx];
+  const bool CacheConfigured = Opts.MemStore || !Opts.CacheDir.empty();
 
-  if (AllowCache && !Opts.CacheDir.empty()) {
-    std::ifstream In(cachePathFor(C));
-    if (In) {
-      std::stringstream Buffer;
-      Buffer << In.rdbuf();
-      std::string Text = Buffer.str();
-      if (peekFileHash(Text) == hashSource(C.SourceText)) {
+  if (AllowCache && CacheConfigured) {
+    const std::string Key = componentCacheFileName(C.Name);
+    std::optional<std::string> Text;
+    if (Opts.MemStore)
+      Text = Opts.MemStore->load(Key);
+    if (!Text && !Opts.CacheDir.empty()) {
+      std::ifstream In(Opts.CacheDir + "/" + Key, std::ios::binary);
+      if (In) {
+        std::stringstream Buffer;
+        Buffer << In.rdbuf();
+        Text = Buffer.str();
+      }
+    }
+    if (!Text) {
+      W.Outcome = CacheOutcome::MissNoEntry;
+    } else {
+      // A file is reusable only if the component's source is unchanged,
+      // it was produced under the same analysis options, and it was
+      // simplified against the same interface. The externals check is
+      // what invalidates dependents: when *another* component starts or
+      // stops referencing one of this component's definitions, this
+      // component's external set changes and its old file — which may
+      // have simplified the newly-needed definition away — is rejected.
+      FilePeek Peek = peekFileHeader(*Text);
+      if (!Peek.Ok)
+        W.Outcome = CacheOutcome::MissCorrupt;
+      else if (Peek.Hash != hashSource(C.SourceText))
+        W.Outcome = CacheOutcome::MissStaleHash;
+      else if (Peek.Options != OptionsFP)
+        W.Outcome = CacheOutcome::MissOptions;
+      else if (Peek.ExternalNames != externalNamesOf(CompIdx))
+        W.Outcome = CacheOutcome::MissExternals;
+      else {
+        W.Outcome = CacheOutcome::Hit;
         W.CacheHit = true;
-        W.CacheText = std::move(Text);
+        W.CacheText = std::move(*Text);
         return W;
       }
     }
+  } else if (CacheConfigured) {
+    W.Outcome = CacheOutcome::MissCorrupt; // retry after an unusable hit
   }
 
   // Step 1: derive and close the component system in a private context,
@@ -222,8 +371,9 @@ ComponentialAnalyzer::deriveIsolated(uint32_t CompIdx,
   }
   W.Closure.merge(W.Simplified->stats());
 
-  // Save the constraint file for later runs.
-  if (!Opts.CacheDir.empty()) {
+  // Serialize the constraint file for later runs (and, under
+  // MergeViaFiles, for this run's own canonical merge).
+  if (CacheConfigured || Opts.MergeViaFiles) {
     std::vector<std::pair<std::string, SetVar>> Externals;
     std::unordered_set<SetVar> SeenVars;
     for (VarId V : ExternalVars) {
@@ -232,21 +382,38 @@ ComponentialAnalyzer::deriveIsolated(uint32_t CompIdx,
         Externals.emplace_back(P.Syms.name(P.var(V).Name), SV);
     }
     W.FileText = serializeConstraints(*W.Simplified, Externals, P.Syms,
-                                      hashSource(C.SourceText));
-    std::ofstream Out(cachePathFor(C));
-    Out << W.FileText;
+                                      hashSource(C.SourceText), OptionsFP);
+    if (!Opts.CacheDir.empty())
+      writeFileAtomically(cachePathFor(C), W.FileText);
+    if (Opts.MemStore)
+      Opts.MemStore->store(componentCacheFileName(C.Name), W.FileText);
   }
   return W;
 }
 
 void ComponentialAnalyzer::merge(uint32_t CompIdx, ComponentWork &W) {
   ComponentRunStats &CS = Stats[CompIdx];
+  CS.Cache = W.Outcome;
   if (W.CacheHit) {
     if (loadFromText(CompIdx, W.CacheText, CS))
       return;
-    // Matching hash but unusable body (corrupt file, unknown external):
+    // Matching header but unusable body (corrupt file, unknown external):
     // fall back to a fresh derivation, skipping the cache.
     W = deriveIsolated(CompIdx, /*AllowCache=*/false);
+    CS.Cache = W.Outcome;
+  }
+
+  if (Opts.MergeViaFiles && !W.FileText.empty() &&
+      loadFromText(CompIdx, W.FileText, CS)) {
+    // Merged through the component's own serialized text, exactly as a
+    // later cache hit would be — the combined system stays a pure
+    // function of the per-component file texts.
+    CS.ReusedFile = false;
+    CS.RawConstraints = W.RawConstraints;
+    CS.FileBytes = W.FileText.size();
+    Info.Closure.merge(W.Closure);
+    MaxConstraints = std::max(MaxConstraints, W.RawConstraints);
+    return;
   }
 
   // Renumber the private context into the shared one. Variables below the
@@ -394,10 +561,12 @@ AnalysisOptions spidey::polyAnalysisOptions(PolyMode Mode,
                                             SimplifyAlgorithm Alg) {
   AnalysisOptions Opts;
   Opts.Poly = Mode;
-  if (Mode == PolyMode::Smart)
+  if (Mode == PolyMode::Smart) {
     Opts.Simplify = [Alg](const ConstraintSystem &S,
                           const std::vector<SetVar> &E) {
       return simplifyConstraints(S, E, Alg);
     };
+    Opts.SimplifyTag = simplifyAlgorithmName(Alg);
+  }
   return Opts;
 }

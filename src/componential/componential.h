@@ -33,6 +33,7 @@
 #include "simplify/simplify.h"
 
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <string>
@@ -40,12 +41,34 @@
 
 namespace spidey {
 
+/// A keyed store of constraint-file texts layered in front of the on-disk
+/// cache directory (the serve daemon keeps one in memory so warm edits
+/// never touch the filesystem). Keys are component cache file names
+/// (componentCacheFileName). Implementations must be thread-safe: the
+/// step-1 workers probe and fill the store concurrently.
+class ConstraintStore {
+public:
+  virtual ~ConstraintStore();
+  virtual std::optional<std::string> load(const std::string &Key) = 0;
+  virtual void store(const std::string &Key, const std::string &Text) = 0;
+};
+
 struct ComponentialOptions {
   /// Simplification algorithm for step 1 (None reproduces the "standard"
   /// whole-program analysis cost profile while keeping the flow).
   SimplifyAlgorithm Simplify = SimplifyAlgorithm::EpsilonRemoval;
   /// Directory for constraint files; empty disables the file cache.
   std::string CacheDir;
+  /// Optional in-memory constraint-file store, probed before CacheDir and
+  /// filled alongside it. Not owned.
+  ConstraintStore *MemStore = nullptr;
+  /// Merge every component into the combined system through its
+  /// serialized constraint-file text, whether it was a cache hit or a
+  /// fresh derivation. The combined system then is a pure function of the
+  /// per-component file texts, so a warm re-analysis that rederives only
+  /// edited components is byte-identical to a cold run at the same
+  /// options (the serve loop relies on this).
+  bool MergeViaFiles = false;
   /// Derivation options (polymorphism mode etc.).
   AnalysisOptions Derive;
   /// Worker threads for the per-component step 1. 0 selects
@@ -54,13 +77,40 @@ struct ComponentialOptions {
   unsigned Threads = 0;
 };
 
+/// How a component's constraint-file cache probe went.
+enum class CacheOutcome : uint8_t {
+  Disabled,      ///< no cache configured (or probe skipped)
+  Hit,           ///< valid file: hash, options, and externals all match
+  MissNoEntry,   ///< nothing stored under the component's key
+  MissStaleHash, ///< the component's source changed
+  MissOptions,   ///< file was produced under different analysis options
+  MissExternals, ///< the component's interface (external set) changed
+  MissCorrupt,   ///< unreadable header or body
+};
+
+const char *cacheOutcomeName(CacheOutcome O);
+
 /// Per-component bookkeeping for the experiments of §7.2.
 struct ComponentRunStats {
   bool ReusedFile = false;
+  CacheOutcome Cache = CacheOutcome::Disabled;
   size_t RawConstraints = 0;        ///< closed, before simplification
   size_t SimplifiedConstraints = 0; ///< saved to the constraint file
   size_t FileBytes = 0;
 };
+
+/// The fingerprint folded into every constraint file's header: a file is
+/// reusable only by a run whose SimplifyAlgorithm and derivation options
+/// both match (a cache dir populated under `--simplify none` must not be
+/// reused by a `--simplify hopcroft` run). Whitespace-free.
+std::string componentialFingerprint(SimplifyAlgorithm Simplify,
+                                    const AnalysisOptions &Derive);
+
+/// The cache file name for a component: a sanitized form of the name for
+/// readability plus a short hash of the raw name, so components whose
+/// names differ only in non-alphanumeric characters (`a-b` vs `a_b`) get
+/// distinct files.
+std::string componentCacheFileName(std::string_view ComponentName);
 
 /// Whole-run solver telemetry: ClosureStats aggregated across every
 /// per-component system, the simplifier's systems, the combined close, and
@@ -118,6 +168,11 @@ private:
   /// The VarIds behind externalsOf, sorted ascending (deterministic).
   std::vector<VarId> externalVarIdsOf(uint32_t CompIdx) const;
 
+  /// The external variable names of a component, sorted and deduplicated —
+  /// the interface a cached constraint file must have been simplified
+  /// against to be reusable.
+  std::vector<std::string> externalNamesOf(uint32_t CompIdx) const;
+
   /// Step-1 worker body: derive+close+simplify+serialize component
   /// \p CompIdx into a private context (or detect a reusable constraint
   /// file). Reads only shared-immutable state; runs on any thread.
@@ -140,6 +195,7 @@ private:
 
   const Program &P;
   ComponentialOptions Opts;
+  std::string OptionsFP; ///< componentialFingerprint of Opts
   std::unique_ptr<ConstraintContext> Ctx;
   std::unique_ptr<ConstraintSystem> Combined;
   AnalysisMaps Maps;

@@ -23,11 +23,14 @@ std::string spidey::hashSource(std::string_view Text) {
 std::string spidey::serializeConstraints(
     const ConstraintSystem &S,
     const std::vector<std::pair<std::string, SetVar>> &Externals,
-    const SymbolTable &Syms, std::string_view SourceHash) {
+    const SymbolTable &Syms, std::string_view SourceHash,
+    std::string_view OptionsFingerprint) {
   const ConstraintContext &Ctx = S.context();
   std::ostringstream OS;
-  OS << "spidey-constraint-file 1\n";
+  OS << "spidey-constraint-file 2\n";
   OS << "hash " << SourceHash << "\n";
+  OS << "options " << (OptionsFingerprint.empty() ? "-" : OptionsFingerprint)
+     << "\n";
 
   // Local variable numbering.
   std::unordered_map<SetVar, uint32_t> Local;
@@ -218,12 +221,18 @@ bool spidey::deserializeConstraints(std::string_view Text, SymbolTable &Syms,
   if (!TS.expect("spidey-constraint-file"))
     return Fail("bad magic");
   uint64_t Version;
-  if (!TS.number(Version) || Version != 1)
+  if (!TS.number(Version) || Version != 2)
     return Fail("unsupported version");
   if (!TS.expect("hash"))
     return Fail("missing hash");
   if (!TS.word(Info.SourceHash))
     return Fail("missing hash value");
+  if (!TS.expect("options"))
+    return Fail("missing options fingerprint");
+  if (!TS.word(Info.OptionsFingerprint))
+    return Fail("missing options fingerprint value");
+  if (Info.OptionsFingerprint == "-")
+    Info.OptionsFingerprint.clear();
 
   uint64_t NumVars;
   if (!TS.expect("vars") || !TS.number(NumVars))

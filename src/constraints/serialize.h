@@ -4,8 +4,10 @@
 /// Constraint files (§7.1): the simplified constraint system of a program
 /// component, saved for reuse in later runs of the analysis. A file
 /// records the component's source hash (to detect changes and skip
-/// re-derivation), its external variables keyed by stable string names,
-/// and the constraints themselves.
+/// re-derivation), a fingerprint of the analysis options it was derived
+/// under (a file produced by one configuration is not reusable by
+/// another), its external variables keyed by stable string names, and the
+/// constraints themselves.
 ///
 /// The paper uses "a straight-forward, text-based representation" whose
 /// size is "typically within a factor of two or three of the corresponding
@@ -33,15 +35,19 @@ namespace spidey {
 std::string hashSource(std::string_view Text);
 
 /// Serializes \p S with its \p Externals (stable key -> variable) into the
-/// constraint-file text format.
+/// constraint-file text format (version 2). \p OptionsFingerprint is an
+/// opaque whitespace-free token identifying the analysis configuration;
+/// loaders reject files whose fingerprint differs from theirs.
 std::string serializeConstraints(
     const ConstraintSystem &S,
     const std::vector<std::pair<std::string, SetVar>> &Externals,
-    const SymbolTable &Syms, std::string_view SourceHash);
+    const SymbolTable &Syms, std::string_view SourceHash,
+    std::string_view OptionsFingerprint);
 
 /// Result of loading a constraint file.
 struct LoadedConstraints {
   std::string SourceHash;
+  std::string OptionsFingerprint;
   std::vector<std::pair<std::string, SetVar>> Externals;
 };
 

@@ -1,0 +1,337 @@
+//===-- serve/json.cpp ----------------------------------------*- C++ -*-===//
+
+#include "serve/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace spidey::json;
+
+void Value::set(std::string Key, Value Val) {
+  if (!isObject())
+    V = Object{};
+  Object &O = std::get<Object>(V);
+  for (auto &[K, Existing] : O)
+    if (K == Key) {
+      Existing = std::move(Val);
+      return;
+    }
+  O.emplace_back(std::move(Key), std::move(Val));
+}
+
+void Value::push(Value Val) {
+  if (!isArray())
+    V = Array{};
+  std::get<Array>(V).push_back(std::move(Val));
+}
+
+namespace {
+
+void dumpString(const std::string &S, std::string &Out) {
+  Out.push_back('"');
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out.push_back(static_cast<char>(C));
+      }
+    }
+  }
+  Out.push_back('"');
+}
+
+void dumpValue(const Value &V, std::string &Out) {
+  switch (V.kind()) {
+  case Value::Kind::Null:
+    Out += "null";
+    break;
+  case Value::Kind::Bool:
+    Out += V.asBool() ? "true" : "false";
+    break;
+  case Value::Kind::Number: {
+    double N = V.asNumber();
+    char Buf[40];
+    if (std::isfinite(N) && N == std::floor(N) && std::fabs(N) < 9.0e15)
+      std::snprintf(Buf, sizeof(Buf), "%lld", static_cast<long long>(N));
+    else if (std::isfinite(N))
+      std::snprintf(Buf, sizeof(Buf), "%.17g", N);
+    else
+      std::snprintf(Buf, sizeof(Buf), "null"); // JSON has no inf/nan
+    Out += Buf;
+    break;
+  }
+  case Value::Kind::String:
+    dumpString(V.asString(), Out);
+    break;
+  case Value::Kind::Array: {
+    Out.push_back('[');
+    bool First = true;
+    for (const Value &E : V.items()) {
+      if (!First)
+        Out.push_back(',');
+      First = false;
+      dumpValue(E, Out);
+    }
+    Out.push_back(']');
+    break;
+  }
+  case Value::Kind::Object: {
+    Out.push_back('{');
+    bool First = true;
+    for (const auto &[K, E] : V.members()) {
+      if (!First)
+        Out.push_back(',');
+      First = false;
+      dumpString(K, Out);
+      Out.push_back(':');
+      dumpValue(E, Out);
+    }
+    Out.push_back('}');
+    break;
+  }
+  }
+}
+
+/// Recursive-descent parser over the request line.
+class Parser {
+public:
+  Parser(std::string_view Text, std::string *Error)
+      : Text(Text), Error(Error) {}
+
+  std::optional<Value> run() {
+    std::optional<Value> V = parseValue(0);
+    if (!V)
+      return std::nullopt;
+    skipSpace();
+    if (Pos != Text.size())
+      return fail("trailing garbage");
+    return V;
+  }
+
+private:
+  std::optional<Value> fail(const char *Message) {
+    if (Error && Error->empty())
+      *Error = Message;
+    return std::nullopt;
+  }
+
+  void skipSpace() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    skipSpace();
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view Word) {
+    if (Text.substr(Pos, Word.size()) == Word) {
+      Pos += Word.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<std::string> parseString() {
+    if (!consume('"')) {
+      fail("expected string");
+      return std::nullopt;
+    }
+    std::string Out;
+    while (Pos < Text.size()) {
+      char C = Text[Pos++];
+      if (C == '"')
+        return Out;
+      if (static_cast<unsigned char>(C) < 0x20) {
+        fail("raw control character in string");
+        return std::nullopt;
+      }
+      if (C != '\\') {
+        Out.push_back(C);
+        continue;
+      }
+      if (Pos >= Text.size())
+        break;
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        Out.push_back(E);
+        break;
+      case 'b':
+        Out.push_back('\b');
+        break;
+      case 'f':
+        Out.push_back('\f');
+        break;
+      case 'n':
+        Out.push_back('\n');
+        break;
+      case 'r':
+        Out.push_back('\r');
+        break;
+      case 't':
+        Out.push_back('\t');
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size()) {
+          fail("truncated \\u escape");
+          return std::nullopt;
+        }
+        unsigned Code = 0;
+        for (int I = 0; I < 4; ++I) {
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= static_cast<unsigned>(H - 'A' + 10);
+          else {
+            fail("bad \\u escape");
+            return std::nullopt;
+          }
+        }
+        // UTF-8 encode the BMP code point (surrogate pairs outside the
+        // protocol's needs are passed through as two 3-byte sequences).
+        if (Code < 0x80) {
+          Out.push_back(static_cast<char>(Code));
+        } else if (Code < 0x800) {
+          Out.push_back(static_cast<char>(0xC0 | (Code >> 6)));
+          Out.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+        } else {
+          Out.push_back(static_cast<char>(0xE0 | (Code >> 12)));
+          Out.push_back(static_cast<char>(0x80 | ((Code >> 6) & 0x3F)));
+          Out.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+        }
+        break;
+      }
+      default:
+        fail("unknown escape");
+        return std::nullopt;
+      }
+    }
+    fail("unterminated string");
+    return std::nullopt;
+  }
+
+  std::optional<Value> parseValue(int Depth) {
+    if (Depth > 64)
+      return fail("nesting too deep");
+    skipSpace();
+    if (Pos >= Text.size())
+      return fail("empty input");
+    char C = Text[Pos];
+    if (C == '{') {
+      ++Pos;
+      Value O = Value::object();
+      skipSpace();
+      if (consume('}'))
+        return O;
+      while (true) {
+        std::optional<std::string> Key = parseString();
+        if (!Key)
+          return std::nullopt;
+        if (!consume(':'))
+          return fail("expected ':'");
+        std::optional<Value> V = parseValue(Depth + 1);
+        if (!V)
+          return std::nullopt;
+        O.set(std::move(*Key), std::move(*V));
+        if (consume(',')) {
+          skipSpace();
+          continue;
+        }
+        if (consume('}'))
+          return O;
+        return fail("expected ',' or '}'");
+      }
+    }
+    if (C == '[') {
+      ++Pos;
+      Value A = Value::array();
+      skipSpace();
+      if (consume(']'))
+        return A;
+      while (true) {
+        std::optional<Value> V = parseValue(Depth + 1);
+        if (!V)
+          return std::nullopt;
+        A.push(std::move(*V));
+        if (consume(','))
+          continue;
+        if (consume(']'))
+          return A;
+        return fail("expected ',' or ']'");
+      }
+    }
+    if (C == '"') {
+      std::optional<std::string> S = parseString();
+      if (!S)
+        return std::nullopt;
+      return Value(std::move(*S));
+    }
+    if (literal("true"))
+      return Value(true);
+    if (literal("false"))
+      return Value(false);
+    if (literal("null"))
+      return Value(nullptr);
+    // Number.
+    const char *Start = Text.data() + Pos;
+    char *End = nullptr;
+    double N = std::strtod(Start, &End);
+    if (End == Start)
+      return fail("expected a JSON value");
+    Pos += static_cast<size_t>(End - Start);
+    return Value(N);
+  }
+
+  std::string_view Text;
+  std::string *Error;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+std::string Value::dump() const {
+  std::string Out;
+  dumpValue(*this, Out);
+  return Out;
+}
+
+std::optional<Value> Value::parse(std::string_view Text,
+                                  std::string *Error) {
+  if (Error)
+    Error->clear();
+  return Parser(Text, Error).run();
+}

@@ -1,0 +1,114 @@
+//===-- serve/json.h - Minimal JSON values ---------------------*- C++ -*-===//
+///
+/// \file
+/// A small self-contained JSON representation for the spidey-serve
+/// protocol: newline-delimited JSON requests and responses. Objects keep
+/// their members in insertion order so responses serialize
+/// deterministically. No external dependencies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIDEY_SERVE_JSON_H
+#define SPIDEY_SERVE_JSON_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace spidey::json {
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::vector<std::pair<std::string, Value>>;
+
+class Value {
+public:
+  enum class Kind : uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Value() : V(nullptr) {}
+  Value(std::nullptr_t) : V(nullptr) {}
+  Value(bool B) : V(B) {}
+  Value(double N) : V(N) {}
+  Value(int N) : V(static_cast<double>(N)) {}
+  Value(unsigned N) : V(static_cast<double>(N)) {}
+  Value(long N) : V(static_cast<double>(N)) {}
+  Value(unsigned long N) : V(static_cast<double>(N)) {}
+  Value(long long N) : V(static_cast<double>(N)) {}
+  Value(unsigned long long N) : V(static_cast<double>(N)) {}
+  Value(const char *S) : V(std::string(S)) {}
+  Value(std::string S) : V(std::move(S)) {}
+  Value(std::string_view S) : V(std::string(S)) {}
+  Value(Array A) : V(std::move(A)) {}
+  Value(Object O) : V(std::move(O)) {}
+
+  static Value object() { return Value(Object{}); }
+  static Value array() { return Value(Array{}); }
+
+  Kind kind() const { return static_cast<Kind>(V.index()); }
+  bool isNull() const { return kind() == Kind::Null; }
+  bool isBool() const { return kind() == Kind::Bool; }
+  bool isNumber() const { return kind() == Kind::Number; }
+  bool isString() const { return kind() == Kind::String; }
+  bool isArray() const { return kind() == Kind::Array; }
+  bool isObject() const { return kind() == Kind::Object; }
+
+  bool asBool(bool Default = false) const {
+    return isBool() ? std::get<bool>(V) : Default;
+  }
+  double asNumber(double Default = 0) const {
+    return isNumber() ? std::get<double>(V) : Default;
+  }
+  const std::string &asString() const {
+    static const std::string Empty;
+    return isString() ? std::get<std::string>(V) : Empty;
+  }
+  const Array &items() const {
+    static const Array Empty;
+    return isArray() ? std::get<Array>(V) : Empty;
+  }
+  const Object &members() const {
+    static const Object Empty;
+    return isObject() ? std::get<Object>(V) : Empty;
+  }
+
+  /// Object member lookup; null if absent or not an object.
+  const Value *find(std::string_view Key) const {
+    if (!isObject())
+      return nullptr;
+    for (const auto &[K, Val] : std::get<Object>(V))
+      if (K == Key)
+        return &Val;
+    return nullptr;
+  }
+
+  /// Convenience: string member with default.
+  std::string str(std::string_view Key,
+                  std::string_view Default = {}) const {
+    const Value *M = find(Key);
+    return M && M->isString() ? M->asString() : std::string(Default);
+  }
+
+  /// Appends/overwrites an object member (this must be an object).
+  void set(std::string Key, Value Val);
+  /// Appends an array element (this must be an array).
+  void push(Value Val);
+
+  /// Serializes to a single line (no trailing newline).
+  std::string dump() const;
+
+  /// Parses one JSON document; nullopt (with \p Error set when given) on
+  /// malformed input or trailing garbage.
+  static std::optional<Value> parse(std::string_view Text,
+                                    std::string *Error = nullptr);
+
+private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> V;
+};
+
+} // namespace spidey::json
+
+#endif // SPIDEY_SERVE_JSON_H

@@ -1,0 +1,353 @@
+//===-- serve/serve.cpp - Incremental re-analysis daemon -------*- C++ -*-===//
+
+#include "serve/serve.h"
+
+#include "constraints/const_kind.h"
+#include "debugger/flow.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+using namespace spidey;
+
+//===----------------------------------------------------------------------===//
+// MemoryConstraintStore
+//===----------------------------------------------------------------------===//
+
+std::optional<std::string>
+MemoryConstraintStore::load(const std::string &Key) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Map.find(Key);
+  if (It == Map.end())
+    return std::nullopt;
+  return It->second;
+}
+
+void MemoryConstraintStore::store(const std::string &Key,
+                                  const std::string &Text) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Map.find(Key);
+  if (It != Map.end()) {
+    TotalBytes -= It->second.size();
+    It->second = Text;
+  } else {
+    Map.emplace(Key, Text);
+  }
+  TotalBytes += Text.size();
+}
+
+size_t MemoryConstraintStore::entries() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Map.size();
+}
+
+size_t MemoryConstraintStore::bytes() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return TotalBytes;
+}
+
+//===----------------------------------------------------------------------===//
+// ServeSession
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool readWholeFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+json::Value errorResponse(std::string Message) {
+  json::Value R = json::Value::object();
+  R.set("ok", false);
+  R.set("error", std::move(Message));
+  return R;
+}
+
+} // namespace
+
+ServeSession::ServeSession(ServeOptions Opts) : Opts(std::move(Opts)) {}
+ServeSession::~ServeSession() = default;
+
+bool ServeSession::loadFiles(const std::vector<std::string> &Paths,
+                             std::string &Error) {
+  std::vector<SourceFile> Loaded;
+  for (const std::string &Path : Paths) {
+    SourceFile F;
+    F.Name = Path;
+    if (!readWholeFile(Path, F.Text)) {
+      Error = "cannot read " + Path;
+      return false;
+    }
+    Loaded.push_back(std::move(F));
+  }
+  setFiles(std::move(Loaded));
+  return true;
+}
+
+void ServeSession::setFiles(std::vector<SourceFile> NewFiles) {
+  Files = std::move(NewFiles);
+  Dirty = true;
+  Checks.reset();
+}
+
+bool ServeSession::ensureAnalyzed(std::string &Error) {
+  if (!Dirty && CA)
+    return true;
+  if (Files.empty()) {
+    Error = "no source files loaded";
+    return false;
+  }
+  auto NewProg = std::make_unique<Program>();
+  DiagnosticEngine Diags;
+  if (!parseProgram(*NewProg, Diags, Files)) {
+    Error = Diags.str();
+    return false;
+  }
+  // The analyzer borrows the program, so retire the old pair together.
+  CA.reset();
+  Prog = std::move(NewProg);
+
+  ComponentialOptions CO;
+  CO.Simplify = Opts.Simplify;
+  CO.Derive = Opts.Derive;
+  CO.Threads = Opts.Threads;
+  CO.CacheDir = Opts.CacheDir;
+  CO.MemStore = &Store;
+  CO.MergeViaFiles = true;
+  CA = std::make_unique<ComponentialAnalyzer>(*Prog, CO);
+  CA->run();
+
+  LastRun = ServeMetrics{};
+  for (const ComponentRunStats &CS : CA->componentStats()) {
+    if (CS.ReusedFile)
+      ++LastRun.ComponentsReused;
+    else
+      ++LastRun.ComponentsRederived;
+    switch (CS.Cache) {
+    case CacheOutcome::Hit:
+      ++LastRun.CacheHits;
+      break;
+    case CacheOutcome::MissNoEntry:
+    case CacheOutcome::MissCorrupt:
+      ++LastRun.CacheMisses;
+      break;
+    case CacheOutcome::MissStaleHash:
+    case CacheOutcome::MissOptions:
+    case CacheOutcome::MissExternals:
+      ++LastRun.CacheInvalidations;
+      break;
+    case CacheOutcome::Disabled:
+      break;
+    }
+  }
+  const ComponentialRunInfo &Info = CA->runInfo();
+  LastRun.DeriveMs = Info.DeriveMs;
+  LastRun.MergeMs = Info.MergeMs;
+  LastRun.CloseMs = Info.CloseMs;
+
+  ++Totals.Analyzes;
+  Totals.ComponentsRederived += LastRun.ComponentsRederived;
+  Totals.ComponentsReused += LastRun.ComponentsReused;
+  Totals.CacheHits += LastRun.CacheHits;
+  Totals.CacheMisses += LastRun.CacheMisses;
+  Totals.CacheInvalidations += LastRun.CacheInvalidations;
+  Totals.DeriveMs += LastRun.DeriveMs;
+  Totals.MergeMs += LastRun.MergeMs;
+  Totals.CloseMs += LastRun.CloseMs;
+
+  Dirty = false;
+  Checks.reset();
+  return true;
+}
+
+std::string ServeSession::combinedText() {
+  std::string Error;
+  if (!ensureAnalyzed(Error))
+    return {};
+  return CA->combined().str();
+}
+
+json::Value ServeSession::cmdAnalyze() {
+  std::string Error;
+  bool Reanalyzed = Dirty || !CA;
+  if (!ensureAnalyzed(Error))
+    return errorResponse(Error);
+
+  json::Value R = json::Value::object();
+  R.set("ok", true);
+  R.set("reanalyzed", Reanalyzed);
+  R.set("components", Prog->Components.size());
+  R.set("rederived", LastRun.ComponentsRederived);
+  R.set("reused", LastRun.ComponentsReused);
+  R.set("cache_hits", LastRun.CacheHits);
+  R.set("cache_misses", LastRun.CacheMisses);
+  R.set("cache_invalidations", LastRun.CacheInvalidations);
+  R.set("combined_constraints", CA->combined().size());
+  R.set("derive_ms", LastRun.DeriveMs);
+  R.set("merge_ms", LastRun.MergeMs);
+  R.set("close_ms", LastRun.CloseMs);
+  json::Value Per = json::Value::array();
+  const std::vector<ComponentRunStats> &Stats = CA->componentStats();
+  for (size_t I = 0; I < Stats.size(); ++I) {
+    json::Value C = json::Value::object();
+    C.set("name", Prog->Components[I].Name);
+    C.set("cache", cacheOutcomeName(Stats[I].Cache));
+    C.set("reused", Stats[I].ReusedFile);
+    C.set("file_bytes", Stats[I].FileBytes);
+    Per.push(std::move(C));
+  }
+  R.set("per_component", std::move(Per));
+  return R;
+}
+
+json::Value ServeSession::cmdEdit(const json::Value &Request) {
+  std::string File = Request.str("file");
+  if (File.empty())
+    return errorResponse("edit needs a \"file\"");
+  auto It = std::find_if(Files.begin(), Files.end(),
+                         [&](const SourceFile &F) { return F.Name == File; });
+  if (It == Files.end())
+    return errorResponse("unknown file " + File);
+
+  const json::Value *Text = Request.find("text");
+  if (Text && Text->isString()) {
+    It->Text = Text->asString();
+  } else if (!readWholeFile(File, It->Text)) {
+    return errorResponse("cannot re-read " + File);
+  }
+  Dirty = true;
+  Checks.reset();
+  ++Totals.Edits;
+
+  json::Value R = json::Value::object();
+  R.set("ok", true);
+  R.set("file", File);
+  R.set("bytes", It->Text.size());
+  return R;
+}
+
+json::Value ServeSession::cmdFlow(const json::Value &Request) {
+  std::string Name = Request.str("name");
+  if (Name.empty())
+    return errorResponse("flow needs a \"name\"");
+  std::string Error;
+  if (!ensureAnalyzed(Error))
+    return errorResponse(Error);
+
+  Symbol Sym = Prog->Syms.intern(Name);
+  for (VarId V = 0; V < Prog->numVars(); ++V) {
+    if (!Prog->var(V).TopLevel || Prog->var(V).Name != Sym)
+      continue;
+    SetVar A = CA->maps().varVar(V);
+    const ConstraintSystem &S = CA->combined();
+    std::vector<std::string> Kinds;
+    for (Constant C : S.constantsOf(A))
+      Kinds.push_back(constKindName(S.context().Constants.kind(C)));
+    std::sort(Kinds.begin(), Kinds.end());
+    Kinds.erase(std::unique(Kinds.begin(), Kinds.end()), Kinds.end());
+
+    FlowGraph FG(S);
+    json::Value R = json::Value::object();
+    R.set("ok", true);
+    R.set("name", Name);
+    R.set("var", A);
+    json::Value KindsV = json::Value::array();
+    for (const std::string &K : Kinds)
+      KindsV.push(K);
+    R.set("kinds", std::move(KindsV));
+    R.set("parents", FG.parents(A).size());
+    R.set("children", FG.children(A).size());
+    R.set("ancestors", FG.ancestors(A).size());
+    R.set("descendants", FG.descendants(A).size());
+    return R;
+  }
+  return errorResponse("no top-level definition named " + Name);
+}
+
+json::Value ServeSession::cmdCheckSummary() {
+  std::string Error;
+  if (!ensureAnalyzed(Error))
+    return errorResponse(Error);
+  if (!Checks) {
+    // Step 3 per component: reconstruct full precision and keep each
+    // component's own check verdicts.
+    auto Report = std::make_unique<DebugReport>();
+    for (uint32_t I = 0; I < Prog->Components.size(); ++I) {
+      std::unique_ptr<ConstraintSystem> Full = CA->reconstruct(I);
+      DebugReport Part = runChecks(*Prog, CA->maps(), *Full);
+      for (CheckResult &CR : Part.Results)
+        if (CR.Loc.File == I)
+          Report->Results.push_back(std::move(CR));
+    }
+    Checks = std::move(Report);
+  }
+  json::Value R = json::Value::object();
+  R.set("ok", true);
+  R.set("possible", Checks->numPossible());
+  R.set("unsafe", Checks->numUnsafe());
+  R.set("summary", Checks->summary(*Prog));
+  return R;
+}
+
+json::Value ServeSession::cmdStats() {
+  json::Value R = json::Value::object();
+  R.set("ok", true);
+  R.set("requests", Totals.Requests);
+  R.set("analyzes", Totals.Analyzes);
+  R.set("edits", Totals.Edits);
+  R.set("components_rederived", Totals.ComponentsRederived);
+  R.set("components_reused", Totals.ComponentsReused);
+  R.set("cache_hits", Totals.CacheHits);
+  R.set("cache_misses", Totals.CacheMisses);
+  R.set("cache_invalidations", Totals.CacheInvalidations);
+  R.set("derive_ms", Totals.DeriveMs);
+  R.set("merge_ms", Totals.MergeMs);
+  R.set("close_ms", Totals.CloseMs);
+  R.set("store_entries", Store.entries());
+  R.set("store_bytes", Store.bytes());
+  R.set("dirty", Dirty);
+  if (CA && !Dirty)
+    R.set("combined_constraints", CA->combined().size());
+  return R;
+}
+
+json::Value ServeSession::handle(const json::Value &Request) {
+  ++Totals.Requests;
+  std::string Cmd = Request.str("cmd");
+  if (Cmd == "analyze")
+    return cmdAnalyze();
+  if (Cmd == "edit")
+    return cmdEdit(Request);
+  if (Cmd == "flow")
+    return cmdFlow(Request);
+  if (Cmd == "check-summary")
+    return cmdCheckSummary();
+  if (Cmd == "stats")
+    return cmdStats();
+  if (Cmd == "shutdown") {
+    Shutdown = true;
+    json::Value R = json::Value::object();
+    R.set("ok", true);
+    R.set("bye", true);
+    return R;
+  }
+  return errorResponse(Cmd.empty() ? "request needs a \"cmd\""
+                                   : "unknown cmd " + Cmd);
+}
+
+std::string ServeSession::handleLine(const std::string &Line) {
+  std::string Error;
+  std::optional<json::Value> Request = json::Value::parse(Line, &Error);
+  if (!Request) {
+    ++Totals.Requests;
+    return errorResponse("bad request: " + Error).dump();
+  }
+  return handle(*Request).dump();
+}

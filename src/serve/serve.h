@@ -1,0 +1,140 @@
+//===-- serve/serve.h - Incremental re-analysis daemon ---------*- C++ -*-===//
+///
+/// \file
+/// The spidey-serve session: a long-lived analysis state that keeps the
+/// parsed program and its per-component constraint files resident and
+/// answers newline-delimited JSON requests. On an edit, only the dirtied
+/// components are re-derived: every other component is served from the
+/// in-memory constraint store (backed by the on-disk cache directory when
+/// one is configured), with the cache-hardening validation of
+/// componential.h deciding what "dirtied" means — a source-hash change for
+/// the edited component itself, plus an external-set change for any
+/// dependent whose interface the edit altered.
+///
+/// Because the session runs the analyzer with MergeViaFiles, the combined
+/// system after a warm edit is byte-identical to a cold whole-program run
+/// at the same options.
+///
+/// Protocol (one JSON object per line, "cmd" selects the operation):
+///   {"cmd":"analyze"}
+///   {"cmd":"edit","file":"main.ss","text":"..."}   text optional: re-read
+///   {"cmd":"flow","name":"f"}                      from disk when absent
+///   {"cmd":"check-summary"}
+///   {"cmd":"stats"}
+///   {"cmd":"shutdown"}
+/// Responses always carry "ok"; failures add "error".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIDEY_SERVE_SERVE_H
+#define SPIDEY_SERVE_SERVE_H
+
+#include "componential/componential.h"
+#include "debugger/checks.h"
+#include "lang/parser.h"
+#include "serve/json.h"
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace spidey {
+
+/// Thread-safe in-memory constraint-file store (the step-1 workers probe
+/// and fill it concurrently).
+class MemoryConstraintStore : public ConstraintStore {
+public:
+  std::optional<std::string> load(const std::string &Key) override;
+  void store(const std::string &Key, const std::string &Text) override;
+
+  size_t entries() const;
+  size_t bytes() const;
+
+private:
+  mutable std::mutex M;
+  std::unordered_map<std::string, std::string> Map;
+  size_t TotalBytes = 0;
+};
+
+struct ServeOptions {
+  SimplifyAlgorithm Simplify = SimplifyAlgorithm::EpsilonRemoval;
+  AnalysisOptions Derive;
+  /// Worker threads for step 1 (0 = hardware concurrency).
+  unsigned Threads = 0;
+  /// Optional on-disk constraint-file cache behind the in-memory store;
+  /// lets a fresh daemon warm-start from a previous run.
+  std::string CacheDir;
+};
+
+/// Counters for one analyze pass and, accumulated, for the session.
+struct ServeMetrics {
+  uint64_t Requests = 0;
+  uint64_t Analyzes = 0; ///< passes that actually ran the analyzer
+  uint64_t Edits = 0;
+  uint64_t ComponentsRederived = 0;
+  uint64_t ComponentsReused = 0;
+  uint64_t CacheHits = 0;
+  /// Misses with no usable entry (no entry, corrupt).
+  uint64_t CacheMisses = 0;
+  /// Entries present but rejected: stale hash, options mismatch, or a
+  /// changed external set (dependent invalidation).
+  uint64_t CacheInvalidations = 0;
+  double DeriveMs = 0;
+  double MergeMs = 0;
+  double CloseMs = 0;
+};
+
+class ServeSession {
+public:
+  explicit ServeSession(ServeOptions Opts);
+  ~ServeSession();
+
+  /// Reads \p Paths from disk as the program under analysis. False (with
+  /// \p Error set) if any file is unreadable.
+  bool loadFiles(const std::vector<std::string> &Paths, std::string &Error);
+  /// Sets the program directly (tests, benchmarks).
+  void setFiles(std::vector<SourceFile> Files);
+
+  /// Dispatches one request and returns the response object.
+  json::Value handle(const json::Value &Request);
+  /// Convenience: parse one request line, dispatch, dump the response.
+  std::string handleLine(const std::string &Line);
+
+  bool shutdownRequested() const { return Shutdown; }
+
+  /// The combined system's text at current sources (analyzing if needed);
+  /// empty on analysis failure. Byte-comparable against a cold run.
+  std::string combinedText();
+
+  const ServeMetrics &totals() const { return Totals; }
+  /// The analyze/reuse counters of the most recent analyze pass.
+  const ServeMetrics &lastRun() const { return LastRun; }
+
+private:
+  json::Value cmdAnalyze();
+  json::Value cmdEdit(const json::Value &Request);
+  json::Value cmdFlow(const json::Value &Request);
+  json::Value cmdCheckSummary();
+  json::Value cmdStats();
+
+  /// Re-parses and re-analyzes if sources changed since the last pass.
+  /// False (with \p Error set) on parse failure.
+  bool ensureAnalyzed(std::string &Error);
+
+  ServeOptions Opts;
+  MemoryConstraintStore Store;
+  std::vector<SourceFile> Files;
+  std::unique_ptr<Program> Prog;
+  std::unique_ptr<ComponentialAnalyzer> CA;
+  std::unique_ptr<DebugReport> Checks; ///< lazy, invalidated by edits
+  bool Dirty = true;
+  bool Shutdown = false;
+  ServeMetrics Totals;
+  ServeMetrics LastRun;
+};
+
+} // namespace spidey
+
+#endif // SPIDEY_SERVE_SERVE_H

@@ -152,18 +152,25 @@ TEST(Componential, EditedComponentIsReanalyzed) {
     ComponentialAnalyzer CA(*R.Prog, Opts);
     CA.run();
   }
-  // Edit main.ss: r3 now gets a string instead of applying first to bad.
+  // Edit main.ss: add a string-valued define. The component's foreign
+  // references are unchanged, so the other components' interfaces (and
+  // hence their cached files) stay valid.
   std::vector<SourceFile> Edited = ThreeFiles;
-  Edited[2].Text = "(define r1 (first good)) (define r3 \"changed\")";
+  Edited[2].Text = "(define r1 (first good))"
+                   "(define r2 (second good))"
+                   "(define r3 (first bad))"
+                   "(define r4 \"changed\")";
   Parsed R = parseFiles(Edited);
   ASSERT_TRUE(R.Ok) << R.Diags.str();
   ComponentialAnalyzer CA(*R.Prog, Opts);
   CA.run();
   EXPECT_TRUE(CA.componentStats()[0].ReusedFile);
+  EXPECT_EQ(CA.componentStats()[0].Cache, CacheOutcome::Hit);
   EXPECT_TRUE(CA.componentStats()[1].ReusedFile);
   EXPECT_FALSE(CA.componentStats()[2].ReusedFile);
+  EXPECT_EQ(CA.componentStats()[2].Cache, CacheOutcome::MissStaleHash);
   auto Full = CA.reconstruct(2);
-  EXPECT_EQ(kindsAt(*R.Prog, CA.maps(), *Full, "r3"),
+  EXPECT_EQ(kindsAt(*R.Prog, CA.maps(), *Full, "r4"),
             std::vector<std::string>{"str"});
   fs::remove_all(Dir);
 }

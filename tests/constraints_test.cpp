@@ -218,7 +218,7 @@ TEST(Serialize, RoundTripPreservesSolution) {
   S.addSelLower(F, Ctx.dom(0), X);
   S.addSelLower(F, Ctx.Rng, X);
   std::string Text = serializeConstraints(
-      S, {{"fn", F}, {"res", R}}, Syms, hashSource("src"));
+      S, {{"fn", F}, {"res", R}}, Syms, hashSource("src"), "fp-test");
 
   ConstraintContext Ctx2;
   ConstraintSystem S2{Ctx2};
@@ -226,6 +226,7 @@ TEST(Serialize, RoundTripPreservesSolution) {
   std::string Error;
   ASSERT_TRUE(deserializeConstraints(Text, Syms, S2, Info, Error)) << Error;
   EXPECT_EQ(Info.SourceHash, hashSource("src"));
+  EXPECT_EQ(Info.OptionsFingerprint, "fp-test");
   ASSERT_EQ(Info.Externals.size(), 2u);
   EXPECT_EQ(Info.Externals[0].first, "fn");
 

@@ -28,7 +28,7 @@ std::string serializeSample(ConstraintContext &Ctx, SymbolTable &Syms) {
   S.addSelLower(B, Ctx.Rng, A);
   S.addSelUpper(B, Ctx.dom(0), A);
   S.addFilterUpper(A, kindBit(ConstKind::Num), B);
-  return serializeConstraints(S, {{"a", A}, {"b", B}}, Syms, "h");
+  return serializeConstraints(S, {{"a", A}, {"b", B}}, Syms, "h", "fp");
 }
 
 } // namespace
@@ -73,8 +73,17 @@ TEST(Robustness, CorruptedFieldsRejected) {
     EXPECT_FALSE(deserializeConstraints(Mutated, Syms, Out, Info, Error));
     EXPECT_FALSE(Error.empty());
   };
-  Expect("wrong-magic 1\n" + Text.substr(Text.find("hash")));
+  Expect("wrong-magic 2\n" + Text.substr(Text.find("hash")));
   Expect("spidey-constraint-file 999\n" + Text.substr(Text.find("hash")));
+  {
+    // Missing options line (a version-1 file) is rejected, not misparsed.
+    std::string T = Text;
+    size_t P = T.find("options ");
+    ASSERT_NE(P, std::string::npos);
+    size_t End = T.find('\n', P);
+    T.erase(P, End - P + 1);
+    Expect(T);
+  }
   {
     // Out-of-range variable index.
     std::string T = Text;
@@ -132,10 +141,12 @@ TEST(Robustness, HostileConstraintFilesRejectedWithDiagnostic) {
   // Known selector with flipped polarity (would trip the intern assert).
   Expect(Replace("  rng +", "  rng -"), "selector polarity mismatch");
   Expect(Replace("  dom0 -", "  dom0 +"), "dom polarity mismatch");
-  // Future format versions are rejected, not misparsed.
-  Expect(Replace("spidey-constraint-file 1", "spidey-constraint-file 2"),
+  // Other format versions (past or future) are rejected, not misparsed.
+  Expect(Replace("spidey-constraint-file 2", "spidey-constraint-file 1"),
+         "old version");
+  Expect(Replace("spidey-constraint-file 2", "spidey-constraint-file 3"),
          "future version");
-  Expect(Replace("spidey-constraint-file 1", "spidey-constraint-file 999"),
+  Expect(Replace("spidey-constraint-file 2", "spidey-constraint-file 999"),
          "far-future version");
 }
 
@@ -171,7 +182,7 @@ TEST(Robustness, SelectorFamiliesRoundTrip) {
     else
       S.addSelUpperRaw(A, Sel, B);
   }
-  std::string Text = serializeConstraints(S, {{"a", A}}, Syms, "h");
+  std::string Text = serializeConstraints(S, {{"a", A}}, Syms, "h", "fp");
   ConstraintContext Ctx2;
   ConstraintSystem Out(Ctx2);
   LoadedConstraints Info;
@@ -192,7 +203,7 @@ TEST(Robustness, GarbageCacheFileFallsBackToDerivation) {
   Opts.CacheDir = Dir;
   // Plant a garbage cache file where the component's file would live.
   {
-    std::ofstream Out(Dir + "/only_ss.scf");
+    std::ofstream Out(Dir + "/" + componentCacheFileName("only.ss"));
     Out << "total nonsense\n";
   }
   ComponentialAnalyzer CA(*R.Prog, Opts);

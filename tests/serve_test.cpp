@@ -1,0 +1,206 @@
+//===-- tests/serve_test.cpp - spidey-serve session tests ------*- C++ -*-===//
+///
+/// \file
+/// The incremental re-analysis daemon: JSON protocol round-trips, warm
+/// edits re-deriving only dirtied components, and byte-identity of the
+/// warm combined system against a cold whole run at the same options.
+///
+//===----------------------------------------------------------------------===//
+
+#include "serve/serve.h"
+#include "test_util.h"
+
+using namespace spidey;
+using namespace spidey::test;
+
+namespace {
+
+const std::vector<SourceFile> ThreeFiles = {
+    {"list.ss", "(define (first p) (car p))"
+                "(define (second p) (car (cdr p)))"},
+    {"data.ss", "(define good (cons 1 (cons 'two '())))"
+                "(define bad 42)"},
+    {"main.ss", "(define r1 (first good))"
+                "(define r2 (second good))"
+                "(define r3 (first bad))"},
+};
+
+json::Value request(const std::string &Text) {
+  std::string Error;
+  std::optional<json::Value> V = json::Value::parse(Text, &Error);
+  EXPECT_TRUE(V) << Error;
+  return V ? *V : json::Value();
+}
+
+double num(const json::Value &R, std::string_view Key) {
+  const json::Value *M = R.find(Key);
+  EXPECT_TRUE(M && M->isNumber()) << "missing number member " << Key;
+  return M ? M->asNumber() : -1;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// JSON plumbing
+//===----------------------------------------------------------------------===//
+
+TEST(ServeJson, ParseDumpRoundTrip) {
+  const char *Text =
+      R"js({"cmd":"edit","file":"a.ss","n":3,"neg":-2.5,"flag":true,)js"
+      R"js("none":null,"list":[1,"two",[]],"esc":"a\"b\\c\ndA"})js";
+  std::string Error;
+  std::optional<json::Value> V = json::Value::parse(Text, &Error);
+  ASSERT_TRUE(V) << Error;
+  EXPECT_EQ(V->str("cmd"), "edit");
+  EXPECT_EQ(V->str("file"), "a.ss");
+  EXPECT_EQ(V->find("n")->asNumber(), 3);
+  EXPECT_EQ(V->find("neg")->asNumber(), -2.5);
+  EXPECT_TRUE(V->find("flag")->asBool());
+  EXPECT_TRUE(V->find("none")->isNull());
+  EXPECT_EQ(V->find("list")->items().size(), 3u);
+  EXPECT_EQ(V->find("esc")->asString(), "a\"b\\c\ndA");
+  // Dump → parse is stable (insertion order is preserved).
+  std::string Dumped = V->dump();
+  std::optional<json::Value> Again = json::Value::parse(Dumped);
+  ASSERT_TRUE(Again);
+  EXPECT_EQ(Again->dump(), Dumped);
+}
+
+TEST(ServeJson, RejectsMalformedInput) {
+  for (const char *Bad :
+       {"", "{", "[1,]", "{\"a\":}", "{'a':1}", "{\"a\":1}x", "nul",
+        "\"unterminated", "{\"a\" 1}"}) {
+    std::string Error;
+    EXPECT_FALSE(json::Value::parse(Bad, &Error)) << Bad;
+    EXPECT_FALSE(Error.empty()) << Bad;
+  }
+}
+
+TEST(ServeJson, NumbersDumpAsIntegersWhenExact) {
+  json::Value V = json::Value::object();
+  V.set("count", size_t(42));
+  V.set("ms", 1.5);
+  EXPECT_EQ(V.dump(), "{\"count\":42,\"ms\":1.5}");
+}
+
+//===----------------------------------------------------------------------===//
+// Protocol round-trips
+//===----------------------------------------------------------------------===//
+
+TEST(Serve, AnalyzeEditAnalyzeRederivesOnlyDirtied) {
+  ServeSession S({});
+  S.setFiles(ThreeFiles);
+
+  json::Value First = S.handle(request(R"js({"cmd":"analyze"})js"));
+  EXPECT_TRUE(First.find("ok")->asBool());
+  EXPECT_EQ(num(First, "components"), 3);
+  EXPECT_EQ(num(First, "rederived"), 3);
+  EXPECT_EQ(num(First, "reused"), 0);
+
+  // A clean re-analyze is a no-op: everything already resident.
+  json::Value Clean = S.handle(request(R"js({"cmd":"analyze"})js"));
+  EXPECT_FALSE(Clean.find("reanalyzed")->asBool());
+
+  // Edit main.ss keeping its foreign references: only main.ss rederives.
+  json::Value Edit = S.handle(request(
+      R"js({"cmd":"edit","file":"main.ss","text":"(define r1 (first good))(define r2 (second good))(define r3 (first bad))(define r4 \"warm\")"})js"));
+  ASSERT_TRUE(Edit.find("ok")->asBool()) << Edit.dump();
+
+  json::Value Warm = S.handle(request(R"js({"cmd":"analyze"})js"));
+  EXPECT_TRUE(Warm.find("reanalyzed")->asBool());
+  EXPECT_EQ(num(Warm, "rederived"), 1);
+  EXPECT_EQ(num(Warm, "reused"), 2);
+  EXPECT_EQ(num(Warm, "cache_hits"), 2);
+  EXPECT_EQ(num(Warm, "cache_invalidations"), 1);
+  const json::Value *Per = Warm.find("per_component");
+  ASSERT_TRUE(Per && Per->isArray());
+  EXPECT_EQ(Per->items()[0].str("cache"), "hit");
+  EXPECT_EQ(Per->items()[2].str("cache"), "miss-stale-hash");
+}
+
+TEST(Serve, WarmEditMatchesColdRunByteForByte) {
+  std::vector<SourceFile> Edited = ThreeFiles;
+  Edited[2].Text = "(define r1 (first good))"
+                   "(define r2 (second good))"
+                   "(define r3 (first bad))"
+                   "(define r4 \"warm\")";
+
+  // Warm: analyze, edit one component, re-analyze incrementally.
+  ServeSession Warm({});
+  Warm.setFiles(ThreeFiles);
+  ASSERT_FALSE(Warm.combinedText().empty());
+  Warm.handle(request(
+      R"js({"cmd":"edit","file":"main.ss","text":"(define r1 (first good))(define r2 (second good))(define r3 (first bad))(define r4 \"warm\")"})js"));
+  std::string WarmText = Warm.combinedText();
+  EXPECT_EQ(Warm.lastRun().ComponentsRederived, 1u);
+  EXPECT_EQ(Warm.lastRun().ComponentsReused, 2u);
+
+  // Cold: a fresh session over the edited sources, everything rederived.
+  ServeSession Cold({});
+  Cold.setFiles(Edited);
+  std::string ColdText = Cold.combinedText();
+  EXPECT_EQ(Cold.lastRun().ComponentsRederived, 3u);
+
+  ASSERT_FALSE(WarmText.empty());
+  EXPECT_EQ(WarmText, ColdText);
+}
+
+TEST(Serve, FlowAndCheckSummary) {
+  ServeSession S({});
+  S.setFiles(ThreeFiles);
+
+  json::Value Flow = S.handle(request(R"js({"cmd":"flow","name":"good"})js"));
+  ASSERT_TRUE(Flow.find("ok")->asBool()) << Flow.dump();
+  const json::Value *Kinds = Flow.find("kinds");
+  ASSERT_TRUE(Kinds && Kinds->isArray());
+  ASSERT_EQ(Kinds->items().size(), 1u);
+  EXPECT_EQ(Kinds->items()[0].asString(), "pair");
+  EXPECT_GT(num(Flow, "descendants"), 0);
+
+  json::Value Missing =
+      S.handle(request(R"js({"cmd":"flow","name":"no-such"})js"));
+  EXPECT_FALSE(Missing.find("ok")->asBool());
+
+  // (first bad) applies car to a num: exactly one unsafe check.
+  json::Value Checks = S.handle(request(R"js({"cmd":"check-summary"})js"));
+  ASSERT_TRUE(Checks.find("ok")->asBool()) << Checks.dump();
+  EXPECT_EQ(num(Checks, "unsafe"), 1);
+  EXPECT_NE(Checks.str("summary").find("car check"), std::string::npos);
+}
+
+TEST(Serve, StatsAndErrors) {
+  ServeSession S({});
+  S.setFiles(ThreeFiles);
+  S.handle(request(R"js({"cmd":"analyze"})js"));
+
+  json::Value Stats = S.handle(request(R"js({"cmd":"stats"})js"));
+  EXPECT_TRUE(Stats.find("ok")->asBool());
+  EXPECT_EQ(num(Stats, "analyzes"), 1);
+  EXPECT_EQ(num(Stats, "components_rederived"), 3);
+  EXPECT_EQ(num(Stats, "store_entries"), 3);
+  EXPECT_GT(num(Stats, "store_bytes"), 0);
+
+  EXPECT_FALSE(
+      S.handle(request(R"js({"cmd":"edit","file":"nope.ss"})js")).find("ok")->asBool());
+  EXPECT_FALSE(S.handle(request(R"js({"cmd":"wat"})js")).find("ok")->asBool());
+  EXPECT_FALSE(S.handle(request(R"js({"x":1})js")).find("ok")->asBool());
+
+  // A broken edit surfaces the parse diagnostics, and the session
+  // recovers once the source is fixed.
+  S.handle(request(
+      R"js({"cmd":"edit","file":"main.ss","text":"(define r1 (oops"})js"));
+  json::Value Broken = S.handle(request(R"js({"cmd":"analyze"})js"));
+  EXPECT_FALSE(Broken.find("ok")->asBool());
+  EXPECT_FALSE(Broken.str("error").empty());
+  S.handle(request(
+      R"js({"cmd":"edit","file":"main.ss","text":"(define r1 (first good))"})js"));
+  EXPECT_TRUE(
+      S.handle(request(R"js({"cmd":"analyze"})js")).find("ok")->asBool());
+
+  // handleLine rejects garbage without dying.
+  EXPECT_NE(S.handleLine("not json").find("\"ok\":false"), std::string::npos);
+
+  json::Value Bye = S.handle(request(R"js({"cmd":"shutdown"})js"));
+  EXPECT_TRUE(Bye.find("ok")->asBool());
+  EXPECT_TRUE(S.shutdownRequested());
+}

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Smoke test for the spidey-serve daemon.
+
+Starts the daemon over the examples/serve demo program, then drives an
+analyze → edit → analyze → stats round-trip over its newline-delimited
+JSON protocol and asserts the incremental contract: the first analyze
+derives every component, and after editing one file exactly that
+component (and nothing else) is rederived.
+
+Usage: serve_smoke.py path/to/spidey-serve [source dir]
+Exit status 0 on success; 1 with a diagnostic on any violation.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+
+def main():
+    if len(sys.argv) < 2:
+        print("usage: serve_smoke.py path/to/spidey-serve [source dir]",
+              file=sys.stderr)
+        return 2
+    binary = sys.argv[1]
+    srcdir = sys.argv[2] if len(sys.argv) > 2 else os.path.join(
+        os.path.dirname(__file__), "..", "examples", "serve")
+    files = [os.path.join(srcdir, name)
+             for name in ("list.ss", "data.ss", "main.ss")]
+    for path in files:
+        if not os.path.exists(path):
+            print(f"serve_smoke: missing source file {path}",
+                  file=sys.stderr)
+            return 1
+
+    proc = subprocess.Popen([binary] + files, stdin=subprocess.PIPE,
+                            stdout=subprocess.PIPE, text=True)
+
+    def request(obj):
+        proc.stdin.write(json.dumps(obj) + "\n")
+        proc.stdin.flush()
+        line = proc.stdout.readline()
+        if not line:
+            raise SystemExit("serve_smoke: daemon closed the stream")
+        return json.loads(line)
+
+    failures = []
+
+    def check(cond, what):
+        if not cond:
+            failures.append(what)
+
+    # Cold analyze: every component derived, none reused.
+    cold = request({"cmd": "analyze"})
+    check(cold.get("ok"), f"cold analyze failed: {cold}")
+    check(cold.get("components") == 3, f"expected 3 components: {cold}")
+    check(cold.get("rederived") == 3, f"cold run must derive all: {cold}")
+    check(cold.get("reused") == 0, f"cold run must reuse none: {cold}")
+
+    # Edit main.ss, keeping its foreign references so the other
+    # components' interfaces are untouched.
+    main_path = files[2]
+    with open(main_path) as f:
+        edited_text = f.read() + '(define smoke-probe "edited")\n'
+    edit = request({"cmd": "edit", "file": main_path, "text": edited_text})
+    check(edit.get("ok"), f"edit failed: {edit}")
+
+    # Warm analyze: only the edited component is rederived.
+    warm = request({"cmd": "analyze"})
+    check(warm.get("ok"), f"warm analyze failed: {warm}")
+    check(warm.get("rederived") == 1,
+          f"warm run must rederive exactly the edited component: {warm}")
+    check(warm.get("reused") == 2, f"warm run must reuse the rest: {warm}")
+    per = {c["name"]: c["cache"] for c in warm.get("per_component", [])}
+    check(per.get(main_path) == "miss-stale-hash",
+          f"edited component must miss on its hash: {per}")
+    check(all(outcome == "hit" for name, outcome in per.items()
+              if name != main_path),
+          f"untouched components must hit the store: {per}")
+
+    # The flow browser and check summary answer over the warm state.
+    flow = request({"cmd": "flow", "name": "good"})
+    check(flow.get("ok") and flow.get("kinds") == ["pair"],
+          f"flow(good) must see a pair: {flow}")
+    checks = request({"cmd": "check-summary"})
+    check(checks.get("ok") and checks.get("unsafe") == 1,
+          f"expected exactly one unsafe check: {checks}")
+
+    # Stats reflect both passes and the store contents.
+    stats = request({"cmd": "stats"})
+    check(stats.get("analyzes") == 2, f"expected 2 analyzes: {stats}")
+    check(stats.get("edits") == 1, f"expected 1 edit: {stats}")
+    check(stats.get("components_rederived") == 4,
+          f"expected 3 cold + 1 warm rederivations: {stats}")
+    check(stats.get("components_reused") == 2, f"expected 2 reuses: {stats}")
+    check(stats.get("store_entries") == 3, f"expected 3 entries: {stats}")
+
+    bye = request({"cmd": "shutdown"})
+    check(bye.get("ok"), f"shutdown failed: {bye}")
+    proc.stdin.close()
+    check(proc.wait(timeout=30) == 0, "daemon exited non-zero")
+
+    if failures:
+        for f in failures:
+            print(f"serve_smoke: FAIL: {f}", file=sys.stderr)
+        return 1
+    print("serve_smoke: OK (cold=3 derived, warm=1 rederived/2 reused)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

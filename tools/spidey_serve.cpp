@@ -1,0 +1,189 @@
+//===-- tools/spidey_serve.cpp - Incremental analysis daemon ---*- C++ -*-===//
+///
+/// \file
+/// The `spidey-serve` daemon: keeps a program's componential analysis
+/// resident and answers newline-delimited JSON requests, re-deriving only
+/// the components an edit actually dirtied.
+///
+///   spidey-serve a.ss b.ss main.ss        # serve requests on stdin/stdout
+///   spidey-serve --socket /tmp/sp.sock *.ss   # serve on a unix socket
+///
+/// Requests (one JSON object per line):
+///   {"cmd":"analyze"} {"cmd":"edit","file":"f.ss","text":"..."}
+///   {"cmd":"flow","name":"f"} {"cmd":"check-summary"} {"cmd":"stats"}
+///   {"cmd":"shutdown"}
+///
+/// Exit code: 0 on a clean shutdown or end of input, 2 on usage errors,
+/// 1 when a source file cannot be read or the socket cannot be bound.
+///
+//===----------------------------------------------------------------------===//
+
+#include "serve/serve.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace spidey;
+
+namespace {
+
+void usage() {
+  std::cout <<
+      R"(spidey-serve — incremental set-based analysis daemon
+
+usage: spidey-serve [options] file.ss...
+  --socket PATH      listen on a unix socket instead of stdin/stdout
+  --threads N        worker threads for the componential step 1
+  --simplify ALG     per-component simplifier: none, empty, unreachable,
+                     e-removal (default), hopcroft
+  --cache-dir DIR    on-disk constraint-file cache behind the in-memory
+                     store (warm-starts a fresh daemon)
+  --help             this text
+)";
+}
+
+bool simplifyFromName(const std::string &Name, SimplifyAlgorithm &Out) {
+  for (SimplifyAlgorithm Alg :
+       {SimplifyAlgorithm::None, SimplifyAlgorithm::Empty,
+        SimplifyAlgorithm::Unreachable, SimplifyAlgorithm::EpsilonRemoval,
+        SimplifyAlgorithm::Hopcroft})
+    if (Name == simplifyAlgorithmName(Alg)) {
+      Out = Alg;
+      return true;
+    }
+  return false;
+}
+
+/// Serves stdin → stdout until shutdown or EOF.
+int serveStdio(ServeSession &Session) {
+  std::string Line;
+  while (!Session.shutdownRequested() && std::getline(std::cin, Line)) {
+    if (Line.empty())
+      continue;
+    std::cout << Session.handleLine(Line) << "\n" << std::flush;
+  }
+  return 0;
+}
+
+/// Accepts connections serially on a unix socket; each connection is a
+/// stream of request lines answered in order. A shutdown request stops the
+/// daemon after its connection drains.
+int serveSocket(ServeSession &Session, const std::string &Path) {
+  int Listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Listener < 0) {
+    std::cerr << "spidey-serve: socket: " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    std::cerr << "spidey-serve: socket path too long\n";
+    ::close(Listener);
+    return 1;
+  }
+  std::strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
+  ::unlink(Path.c_str());
+  if (::bind(Listener, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+          0 ||
+      ::listen(Listener, 4) < 0) {
+    std::cerr << "spidey-serve: bind " << Path << ": "
+              << std::strerror(errno) << "\n";
+    ::close(Listener);
+    return 1;
+  }
+
+  while (!Session.shutdownRequested()) {
+    int Conn = ::accept(Listener, nullptr, nullptr);
+    if (Conn < 0)
+      continue;
+    std::string Buffer;
+    char Chunk[4096];
+    ssize_t N;
+    while ((N = ::read(Conn, Chunk, sizeof(Chunk))) > 0) {
+      Buffer.append(Chunk, static_cast<size_t>(N));
+      size_t Eol;
+      while ((Eol = Buffer.find('\n')) != std::string::npos) {
+        std::string Line = Buffer.substr(0, Eol);
+        Buffer.erase(0, Eol + 1);
+        if (Line.empty())
+          continue;
+        std::string Response = Session.handleLine(Line) + "\n";
+        size_t Sent = 0;
+        while (Sent < Response.size()) {
+          ssize_t W =
+              ::write(Conn, Response.data() + Sent, Response.size() - Sent);
+          if (W <= 0)
+            break;
+          Sent += static_cast<size_t>(W);
+        }
+      }
+    }
+    ::close(Conn);
+  }
+  ::close(Listener);
+  ::unlink(Path.c_str());
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ServeOptions Opts;
+  std::string SocketPath;
+  std::vector<std::string> Paths;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= Argc) {
+        std::cerr << "spidey-serve: " << Arg << " needs a value\n";
+        std::exit(2);
+      }
+      return Argv[++I];
+    };
+    if (Arg == "--help" || Arg == "-h") {
+      usage();
+      return 0;
+    } else if (Arg == "--socket") {
+      SocketPath = Next();
+    } else if (Arg == "--threads") {
+      Opts.Threads = static_cast<unsigned>(std::strtoul(Next(), nullptr, 10));
+    } else if (Arg == "--simplify") {
+      std::string Name = Next();
+      if (!simplifyFromName(Name, Opts.Simplify)) {
+        std::cerr << "spidey-serve: unknown simplifier '" << Name
+                  << "' (none, empty, unreachable, e-removal, hopcroft)\n";
+        return 2;
+      }
+    } else if (Arg == "--cache-dir") {
+      Opts.CacheDir = Next();
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::cerr << "spidey-serve: unknown option " << Arg << "\n";
+      usage();
+      return 2;
+    } else {
+      Paths.push_back(Arg);
+    }
+  }
+  if (Paths.empty()) {
+    usage();
+    return 2;
+  }
+
+  ServeSession Session(Opts);
+  std::string Error;
+  if (!Session.loadFiles(Paths, Error)) {
+    std::cerr << "spidey-serve: " << Error << "\n";
+    return 1;
+  }
+
+  return SocketPath.empty() ? serveStdio(Session)
+                            : serveSocket(Session, SocketPath);
+}
