@@ -9,6 +9,10 @@
 /// run over the same sources — and reports how many components each warm
 /// pass rederived vs reused.
 ///
+/// A third configuration re-runs the cold analyze with a far-future
+/// deadline armed, measuring what the cancellation polling (the closure
+/// drain's CancelToken charges) costs when it never fires.
+///
 /// With --json the numbers are emitted as machine-readable JSON (consumed
 /// by bench/run_benches.sh to produce BENCH_serve.json).
 ///
@@ -34,6 +38,7 @@ struct Result {
   size_t Lines = 0;
   double ColdMs = 1e300;
   double WarmMs = 1e300;
+  double GuardedMs = 1e300; ///< cold analyze with a deadline armed
   uint64_t Rederived = 0; ///< of the timed warm pass
   uint64_t Reused = 0;
   bool ByteIdentical = false;
@@ -76,6 +81,17 @@ Result benchProgram(const char *Name) {
     Res.ColdMs = std::min(Res.ColdMs, Ms);
   }
 
+  // Guarded cold: identical work with a deadline armed that never
+  // fires — the difference against ColdMs is the poll overhead.
+  for (int Rep = 0; Rep < Repeats; ++Rep) {
+    ServeOptions O;
+    O.DeadlineMs = 3'600'000;
+    ServeSession Guarded(O);
+    Guarded.setFiles(Files);
+    double Ms = timeMs([&] { Guarded.handle(analyzeRequest()); });
+    Res.GuardedMs = std::min(Res.GuardedMs, Ms);
+  }
+
   // Warm: one resident session; each repeat edits the last component
   // (fresh probe text each time so its hash always changes) and
   // re-analyzes with every other component served from memory.
@@ -109,13 +125,14 @@ void printTable(const std::vector<Result> &Results) {
   std::printf("== spidey-serve: cold analyze vs warm single-component edit "
               "(best of %d) ==\n",
               Repeats);
-  std::printf("%-10s %6s %7s %10s %10s %8s %11s %6s\n", "program", "comps",
-              "lines", "cold ms", "warm ms", "speedup", "rederived",
-              "ident");
+  std::printf("%-10s %6s %7s %10s %10s %10s %8s %11s %6s\n", "program",
+              "comps", "lines", "cold ms", "guard ms", "warm ms", "speedup",
+              "rederived", "ident");
   for (const Result &R : Results)
-    std::printf("%-10s %6zu %7zu %10.1f %10.1f %7.1fx %5llu/%-5llu %6s\n",
-                R.Name.c_str(), R.Components, R.Lines, R.ColdMs, R.WarmMs,
-                R.WarmMs > 0 ? R.ColdMs / R.WarmMs : 0.0,
+    std::printf("%-10s %6zu %7zu %10.1f %10.1f %10.1f %7.1fx %5llu/%-5llu "
+                "%6s\n",
+                R.Name.c_str(), R.Components, R.Lines, R.ColdMs, R.GuardedMs,
+                R.WarmMs, R.WarmMs > 0 ? R.ColdMs / R.WarmMs : 0.0,
                 static_cast<unsigned long long>(R.Rederived),
                 static_cast<unsigned long long>(R.Rederived + R.Reused),
                 R.ByteIdentical ? "yes" : "NO");
@@ -129,6 +146,7 @@ void printJson(const std::vector<Result> &Results) {
     P.set("components", R.Components);
     P.set("lines", R.Lines);
     P.set("cold_ms", R.ColdMs);
+    P.set("guarded_cold_ms", R.GuardedMs);
     P.set("warm_edit_ms", R.WarmMs);
     P.set("speedup", R.WarmMs > 0 ? R.ColdMs / R.WarmMs : 0.0);
     P.set("rederived", R.Rederived);

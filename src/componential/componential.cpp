@@ -4,6 +4,7 @@
 
 #include "componential/parallel.h"
 #include "constraints/serialize.h"
+#include "support/faultinject.h"
 
 #include <algorithm>
 #include <atomic>
@@ -80,6 +81,9 @@ struct ComponentialAnalyzer::ComponentWork {
   std::string FileText;  ///< serialized constraint file (save path)
   std::string CacheText; ///< raw file text when the header validated
   bool CacheHit = false;
+  /// The run's token cancelled before this component finished deriving;
+  /// the partial results above are discarded, never merged or cached.
+  bool TimedOut = false;
   CacheOutcome Outcome = CacheOutcome::Disabled;
 };
 
@@ -141,11 +145,19 @@ void writeFileAtomically(const std::string &FinalPath,
     std::ofstream Out(TmpPath, std::ios::binary | std::ios::trunc);
     Out << Text;
     Out.flush();
-    if (!Out) {
+    if (!Out || faultAt("cache.write")) {
       std::error_code EC;
       std::filesystem::remove(TmpPath, EC);
       return;
     }
+  }
+  if (faultAt("cache.rename")) {
+    // Injected crash window: the temp file was fully written but the
+    // rename "never happened" — exactly what a process killed between the
+    // two syscalls leaves behind. Readers must keep seeing the old entry.
+    std::error_code EC;
+    std::filesystem::remove(TmpPath, EC);
+    return;
   }
   std::error_code EC;
   std::filesystem::rename(TmpPath, FinalPath, EC);
@@ -267,6 +279,8 @@ bool ComponentialAnalyzer::loadFromText(uint32_t CompIdx,
   // The loader interns into the program's symbol table; Program is shared
   // state of the analysis, so the const_cast is confined here.
   SymbolTable &Syms = const_cast<Program &>(P).Syms;
+  if (faultAt("scf.parse"))
+    return false; // injected: the file text fails to deserialize
   if (!deserializeConstraints(Text, Syms, Loaded, Info, Error))
     return false;
   if (Info.SourceHash != hashSource(P.Components[CompIdx].SourceText))
@@ -301,17 +315,24 @@ ComponentialAnalyzer::deriveIsolated(uint32_t CompIdx,
   const Component &C = P.Components[CompIdx];
   const bool CacheConfigured = Opts.MemStore || !Opts.CacheDir.empty();
 
+  if (Opts.Cancel && Opts.Cancel->cancelled()) {
+    W.TimedOut = true;
+    return W;
+  }
+
   if (AllowCache && CacheConfigured) {
     const std::string Key = componentCacheFileName(C.Name);
     std::optional<std::string> Text;
+    bool FromDisk = false;
     if (Opts.MemStore)
       Text = Opts.MemStore->load(Key);
-    if (!Text && !Opts.CacheDir.empty()) {
+    if (!Text && !Opts.CacheDir.empty() && !faultAt("cache.load")) {
       std::ifstream In(Opts.CacheDir + "/" + Key, std::ios::binary);
       if (In) {
         std::stringstream Buffer;
         Buffer << In.rdbuf();
         Text = Buffer.str();
+        FromDisk = true;
       }
     }
     if (!Text) {
@@ -337,6 +358,12 @@ ComponentialAnalyzer::deriveIsolated(uint32_t CompIdx,
         W.Outcome = CacheOutcome::Hit;
         W.CacheHit = true;
         W.CacheText = std::move(*Text);
+        // Crash recovery: a hit served from the disk cache refills the
+        // in-memory store, so a daemon whose resident store was wiped
+        // (restart, eviction, injected fault) warms back up from
+        // --cache-dir instead of re-deriving the world.
+        if (FromDisk && Opts.MemStore)
+          Opts.MemStore->store(Key, W.CacheText);
         return W;
       }
     }
@@ -351,7 +378,14 @@ ComponentialAnalyzer::deriveIsolated(uint32_t CompIdx,
   assert(W.Ctx->numVars() == SharedVarWatermark &&
          "private contexts must allocate the top-level prefix identically");
   ConstraintSystem Local(*W.Ctx);
+  Local.setCancel(Opts.Cancel);
   Private.deriveComponent(CompIdx, Local);
+  if (Opts.Cancel && Opts.Cancel->cancelled()) {
+    // Deadline or budget fired mid-derivation: Local is partially closed,
+    // so nothing of it may be simplified, merged, or written to a cache.
+    W.TimedOut = true;
+    return W;
+  }
   W.RawConstraints = Local.size();
   W.Closure = Local.stats();
 
@@ -370,6 +404,10 @@ ComponentialAnalyzer::deriveIsolated(uint32_t CompIdx,
     *W.Simplified = simplifyConstraints(Local, E, Opts.Simplify);
   }
   W.Closure.merge(W.Simplified->stats());
+  if (Opts.Cancel && Opts.Cancel->cancelled()) {
+    W.TimedOut = true;
+    return W;
+  }
 
   // Serialize the constraint file for later runs (and, under
   // MergeViaFiles, for this run's own canonical merge).
@@ -394,6 +432,11 @@ ComponentialAnalyzer::deriveIsolated(uint32_t CompIdx,
 void ComponentialAnalyzer::merge(uint32_t CompIdx, ComponentWork &W) {
   ComponentRunStats &CS = Stats[CompIdx];
   CS.Cache = W.Outcome;
+  if (W.TimedOut) {
+    CS.TimedOut = true;
+    Info.Cancelled = true;
+    return;
+  }
   if (W.CacheHit) {
     if (loadFromText(CompIdx, W.CacheText, CS))
       return;
@@ -401,6 +444,11 @@ void ComponentialAnalyzer::merge(uint32_t CompIdx, ComponentWork &W) {
     // fall back to a fresh derivation, skipping the cache.
     W = deriveIsolated(CompIdx, /*AllowCache=*/false);
     CS.Cache = W.Outcome;
+    if (W.TimedOut) {
+      CS.TimedOut = true;
+      Info.Cancelled = true;
+      return;
+    }
   }
 
   if (Opts.MergeViaFiles && !W.FileText.empty() &&
@@ -415,6 +463,8 @@ void ComponentialAnalyzer::merge(uint32_t CompIdx, ComponentWork &W) {
     MaxConstraints = std::max(MaxConstraints, W.RawConstraints);
     return;
   }
+  if (Opts.MergeViaFiles)
+    Info.MergedOffText = true; // identity guarantee void for this run
 
   // Renumber the private context into the shared one. Variables below the
   // watermark are the identically-allocated top-level prefix; the rest are
@@ -540,8 +590,13 @@ void ComponentialAnalyzer::run() {
     merge(I, Work[I]);
   Info.MergeMs = MsSince(MergeStart);
   auto CloseStart = Clock::now();
+  Combined->setCancel(Opts.Cancel);
   Combined->close();
   Info.CloseMs = MsSince(CloseStart);
+  if (Combined->closureCancelled()) {
+    Info.Cancelled = true;
+    Info.CloseConverged = false;
+  }
   Info.Closure.merge(Combined->stats());
   MaxConstraints = std::max(MaxConstraints, Combined->size());
 }
@@ -549,6 +604,7 @@ void ComponentialAnalyzer::run() {
 std::unique_ptr<ConstraintSystem>
 ComponentialAnalyzer::reconstruct(uint32_t CompIdx) {
   auto Full = std::make_unique<ConstraintSystem>(*Ctx);
+  Full->setCancel(Opts.Cancel);
   Full->absorbRaw(*Combined);
   Full->close();
   D->deriveComponent(CompIdx, *Full);

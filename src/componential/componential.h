@@ -31,6 +31,7 @@
 
 #include "analysis/analysis.h"
 #include "simplify/simplify.h"
+#include "support/cancel.h"
 
 #include <memory>
 #include <optional>
@@ -75,6 +76,12 @@ struct ComponentialOptions {
   /// hardware_concurrency; 1 runs the same code path inline (the combined
   /// result is identical for every value).
   unsigned Threads = 0;
+  /// Optional cancellation token (not owned): derive, merge, and close
+  /// poll it, and a cancelled run reports which components never
+  /// converged (ComponentRunStats::TimedOut, ComponentialRunInfo::
+  /// Cancelled). Results of a cancelled run are partial and are never
+  /// written to the cache.
+  CancelToken *Cancel = nullptr;
 };
 
 /// How a component's constraint-file cache probe went.
@@ -93,6 +100,10 @@ const char *cacheOutcomeName(CacheOutcome O);
 /// Per-component bookkeeping for the experiments of §7.2.
 struct ComponentRunStats {
   bool ReusedFile = false;
+  /// The run's token cancelled before this component's derivation (or
+  /// its merge) completed; its constraints are missing from the combined
+  /// system.
+  bool TimedOut = false;
   CacheOutcome Cache = CacheOutcome::Disabled;
   size_t RawConstraints = 0;        ///< closed, before simplification
   size_t SimplifiedConstraints = 0; ///< saved to the constraint file
@@ -120,6 +131,19 @@ struct ComponentialRunInfo {
   double DeriveMs = 0; ///< step 1 (parallel fan-out), wall time
   double MergeMs = 0;  ///< step 2 renumbering combine
   double CloseMs = 0;  ///< closing the combined system
+  /// The run's CancelToken fired: the combined system is partial (some
+  /// components' stats carry TimedOut, and/or the final close stopped
+  /// short of the fixpoint — see CloseConverged).
+  bool Cancelled = false;
+  /// False when the step-2 combined close was itself cut short.
+  bool CloseConverged = true;
+  /// A MergeViaFiles run had to merge at least one component through the
+  /// renumbering path because its serialized text would not deserialize
+  /// (an injected or real parse fault on a fresh serialization). The
+  /// combined system is correct, but it is no longer a pure function of
+  /// the file texts, so byte-comparisons against a cold run are void —
+  /// the serve loop keeps the session dirty and rebuilds next pass.
+  bool MergedOffText = false;
 };
 
 /// Drives the three-step componential analysis over one parsed program.

@@ -266,6 +266,10 @@ void ConstraintSystem::processRep(SetVar R) {
   // drain(), so R stays a representative and its member list is stable for
   // the whole call.
   while (true) {
+    if (pollCancel()) {
+      Storage[SlotR].InWorklist = false;
+      return;
+    }
     Storage[SlotR].Dirty = false;
     const uint32_t NL = static_cast<uint32_t>(Storage[SlotR].Lows.size());
     const uint32_t LD = Storage[SlotR].LowsDone;
@@ -282,6 +286,12 @@ void ConstraintSystem::processRep(SetVar R) {
         for (uint32_t J = 0; J < UD; ++J) {
           UpperBound U = Storage[SlotM].Ups[J];
           combineRange(R, SlotR, U, LD, NL);
+          if (pollCancel()) {
+            // Bail without advancing LowsDone: the combines already done
+            // are deduplicated, so redoing this range later is harmless.
+            Storage[SlotR].InWorklist = false;
+            return;
+          }
         }
       }
       Storage[SlotR].LowsDone = NL;
@@ -296,6 +306,10 @@ void ConstraintSystem::processRep(SetVar R) {
         UpperBound U = Storage[SlotM].Ups[Storage[SlotM].UpsDone];
         ++Storage[SlotM].UpsDone;
         combineRange(R, SlotR, U, 0, NL);
+        if (pollCancel()) {
+          Storage[SlotR].InWorklist = false;
+          return;
+        }
       }
     }
 
@@ -306,7 +320,13 @@ void ConstraintSystem::processRep(SetVar R) {
 }
 
 void ConstraintSystem::drain() {
+  uint32_t Iter = 0;
   while (true) {
+    // Periodic forced poll: an occasional real deadline check even when
+    // every worklist item is cheap (the unforced polls between them fire
+    // only per PollStride combines).
+    if (pollCancel(/*Force=*/(++Iter & 63) == 0))
+      return;
     if (!EpsPending.empty())
       resolveEpsPending();
     if (Worklist.empty())

@@ -61,6 +61,7 @@
 #define SPIDEY_CONSTRAINTS_CONSTRAINT_SYSTEM_H
 
 #include "constraints/core.h"
+#include "support/cancel.h"
 
 #include <cstdint>
 #include <memory>
@@ -318,6 +319,22 @@ public:
   void close();
 
   //===------------------------------------------------------------------===
+  // Cooperative cancellation. With a token attached, the worklist drain
+  // polls it (charging one unit per combine attempted) and unwinds once
+  // the token cancels, leaving the system *partially* closed. A partially
+  // closed system is internally consistent — every stored bound is real —
+  // but not a fixpoint; closureCancelled() tells the caller the result is
+  // degraded and must not be cached or trusted as complete.
+  //===------------------------------------------------------------------===
+
+  /// Attaches (or detaches, with nullptr) a cancellation token. Not
+  /// owned; must outlive every subsequent add/close on this system.
+  void setCancel(CancelToken *T) { Cancel = T; }
+
+  /// True if any drain on this system was aborted by its token.
+  bool closureCancelled() const { return CancelLatched; }
+
+  //===------------------------------------------------------------------===
   // Queries. All queries present the closed system through the
   // representative map: members of a collapsed ε-cycle report the cycle's
   // shared lower-bound list as their own.
@@ -512,6 +529,28 @@ private:
   /// point.
   void drain();
 
+  /// Charges the token for combine work done since the last poll and
+  /// returns true once cancelled. Cheap when no token is attached; actual
+  /// deadline checks happen at most once per PollStride combines unless
+  /// \p Force.
+  bool pollCancel(bool Force = false) {
+    if (!Cancel)
+      return false;
+    if (CancelLatched)
+      return true;
+    uint64_t Delta = Stats.CombinesAttempted - ChargedCombines;
+    if (!Force && Delta < PollStride)
+      return false;
+    ChargedCombines = Stats.CombinesAttempted;
+    if (Cancel->charge(Delta))
+      CancelLatched = true;
+    return CancelLatched;
+  }
+
+  /// Combine-attempt interval between deadline checks in the inner drain
+  /// loops (a deadline can overshoot by at most ~one stride of combines).
+  static constexpr uint64_t PollStride = 1024;
+
   ConstraintContext *Ctx;
   std::vector<uint32_t> Slots; ///< SetVar -> index into Storage, or NoSlot
   std::vector<VarBounds> Storage;
@@ -521,6 +560,9 @@ private:
   std::vector<std::pair<SetVar, SetVar>> EpsPending;
   size_t NumBounds = 0;
   ClosureStats Stats;
+  CancelToken *Cancel = nullptr; ///< not owned; null = never cancels
+  bool CancelLatched = false;
+  uint64_t ChargedCombines = 0; ///< combines charged to the token so far
 };
 
 } // namespace spidey

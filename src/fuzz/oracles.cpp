@@ -6,7 +6,9 @@
 #include "constraints/reference_closure.h"
 #include "debugger/checks.h"
 #include "interp/machine.h"
+#include "serve/serve.h"
 #include "simplify/simplify.h"
+#include "support/faultinject.h"
 
 #include <map>
 #include <set>
@@ -26,6 +28,8 @@ const char *spidey::oracleName(Oracle O) {
     return "threads";
   case Oracle::Closure:
     return "closure";
+  case Oracle::Chaos:
+    return "chaos";
   }
   return "?";
 }
@@ -340,6 +344,110 @@ OracleVerdict checkClosure(const Program &P, const OracleOptions &Opts) {
   return V;
 }
 
+//===----------------------------------------------------------------------===
+// Oracle 6: chaos — the serve session under full fault injection.
+//===----------------------------------------------------------------------===
+
+/// Disarms the global injector on every exit path: a chaos run must never
+/// leak armed fault sites into the next oracle or fuzz iteration.
+struct FaultScope {
+  ~FaultScope() { FaultInjector::instance().reset(); }
+};
+
+OracleVerdict checkChaos(const std::vector<SourceFile> &Files,
+                         const OracleOptions &Opts) {
+  (void)Opts;
+  FaultScope Scope;
+  OracleVerdict V;
+
+  // The deterministic fault schedule assumes one worker thread.
+  ServeOptions SO;
+  SO.Threads = 1;
+
+  // Fault-free cold reference. An empty text means the analysis itself
+  // failed; that is the componential oracle's territory, not chaos.
+  FaultInjector::instance().reset();
+  ServeSession Cold(SO);
+  Cold.setFiles(Files);
+  std::string Reference = Cold.combinedText();
+  if (Reference.empty())
+    return V;
+
+  // Seed the schedule from the program text so each fuzz iteration sees a
+  // different — but replayable — fault pattern.
+  uint64_t Seed = 1469598103934665603ull;
+  for (const SourceFile &F : Files)
+    for (unsigned char C : F.Name + "\n" + F.Text + "\n")
+      Seed = (Seed ^ C) * 1099511628211ull;
+
+  ServeSession S(SO);
+  S.setFiles(Files);
+  std::string Spec = "seed=" + std::to_string(Seed % 999983) +
+                     ",cache.*=0.3,scf.parse=0.25,store.*=0.25";
+  std::string Error;
+  if (!FaultInjector::instance().configure(Spec, &Error)) {
+    V.Violation = true;
+    V.Message = "fault spec rejected: " + Error;
+    return V;
+  }
+
+  // Every response must be a JSON object with a boolean "ok"; requests
+  // that cannot legitimately fail (no deadline is armed, so lost cache or
+  // store entries only cost re-derivation) must answer ok:true.
+  auto answer = [&](const std::string &Line, bool WantOk) {
+    std::string Resp = S.handleLine(Line);
+    std::string PErr;
+    std::optional<json::Value> R = json::Value::parse(Resp, &PErr);
+    const json::Value *Ok = R ? R->find("ok") : nullptr;
+    if (!R || !Ok || !Ok->isBool()) {
+      V.Violation = true;
+      V.Message = "malformed response to '" + Line + "': " + Resp;
+      return false;
+    }
+    if (WantOk && !Ok->asBool()) {
+      V.Violation = true;
+      V.Message = "request failed under faults: '" + Line + "' -> " + Resp;
+      return false;
+    }
+    return true;
+  };
+
+  if (!answer(R"({"cmd":"analyze"})", true))
+    return V;
+  for (const SourceFile &F : Files) {
+    json::Value Req = json::Value::object();
+    Req.set("cmd", "edit");
+    Req.set("file", F.Name);
+    Req.set("text", F.Text);
+    if (!answer(Req.dump(), true))
+      return V;
+    if (!answer(R"({"cmd":"analyze"})", true))
+      return V;
+  }
+  if (!answer("definitely not json", false))
+    return V;
+  if (!answer(R"({"cmd":"stats"})", true))
+    return V;
+  if (!answer(R"({"cmd":"check-summary"})", true))
+    return V;
+
+  // MergeViaFiles makes the combined system a pure function of the
+  // per-component file texts, so even a session that analyzed *under*
+  // faults must hold the cold-run bytes once the dust settles.
+  FaultInjector::instance().reset();
+  std::string Got = S.combinedText();
+  if (Got != Reference) {
+    size_t At = 0;
+    while (At < Got.size() && At < Reference.size() && Got[At] == Reference[At])
+      ++At;
+    V.Violation = true;
+    V.Message = "post-fault combined system diverged from the fault-free "
+                "cold run at byte " +
+                std::to_string(At);
+  }
+  return V;
+}
+
 } // namespace
 
 OracleVerdict spidey::checkOracle(Oracle O,
@@ -363,6 +471,8 @@ OracleVerdict spidey::checkOracle(Oracle O,
     return checkThreads(P.Prog, Opts);
   case Oracle::Closure:
     return checkClosure(P.Prog, Opts);
+  case Oracle::Chaos:
+    return checkChaos(Files, Opts);
   }
   return {};
 }

@@ -22,6 +22,12 @@
 ///    system with the naive reference fixpoint (ReferenceClosure) must
 ///    not grow any variable's constant set — i.e. the incremental engine
 ///    reached the full Θ fixpoint.
+///  - Chaos: a serve session driven with every cache/store/parse fault
+///    site armed (seeded from the program text) must answer every request
+///    with well-formed JSON, never fail an analyze (without a deadline,
+///    lost cache entries only cost re-derivation), and — once faults are
+///    disarmed — hold a combined system byte-identical to a fault-free
+///    cold run.
 ///
 /// Oracles never throw; a program that fails to parse is reported via
 /// Parsed=false (for generated programs that is a generator bug).
@@ -44,8 +50,9 @@ enum class Oracle : uint8_t {
   Componential,
   Threads,
   Closure,
+  Chaos,
 };
-inline constexpr unsigned NumOracles = 5;
+inline constexpr unsigned NumOracles = 6;
 
 const char *oracleName(Oracle O);
 /// Parses an oracle name; returns false if unknown.

@@ -4,8 +4,10 @@
 
 #include "constraints/const_kind.h"
 #include "debugger/flow.h"
+#include "support/faultinject.h"
 
 #include <algorithm>
+#include <exception>
 #include <fstream>
 #include <sstream>
 
@@ -17,24 +19,57 @@ using namespace spidey;
 
 std::optional<std::string>
 MemoryConstraintStore::load(const std::string &Key) {
+  if (faultAt("store.load"))
+    return std::nullopt; // injected: the entry vanished
   std::lock_guard<std::mutex> Lock(M);
   auto It = Map.find(Key);
   if (It == Map.end())
     return std::nullopt;
-  return It->second;
+  Recency.splice(Recency.begin(), Recency, It->second.Recency);
+  return It->second.Text;
 }
 
 void MemoryConstraintStore::store(const std::string &Key,
                                   const std::string &Text) {
+  if (faultAt("store.store"))
+    return; // injected: the write is dropped
   std::lock_guard<std::mutex> Lock(M);
   auto It = Map.find(Key);
   if (It != Map.end()) {
-    TotalBytes -= It->second.size();
-    It->second = Text;
+    TotalBytes -= It->second.Text.size();
+    It->second.Text = Text;
+    Recency.splice(Recency.begin(), Recency, It->second.Recency);
   } else {
-    Map.emplace(Key, Text);
+    Recency.push_front(Key);
+    Map.emplace(Key, Entry{Text, Recency.begin()});
   }
   TotalBytes += Text.size();
+  if (MaxBytes)
+    evictLocked();
+}
+
+void MemoryConstraintStore::evictLocked() {
+  while (TotalBytes > MaxBytes && !Recency.empty()) {
+    auto It = Map.find(Recency.back());
+    TotalBytes -= It->second.Text.size();
+    Map.erase(It);
+    Recency.pop_back();
+    ++Evictions;
+  }
+}
+
+void MemoryConstraintStore::setMaxBytes(size_t Bytes) {
+  std::lock_guard<std::mutex> Lock(M);
+  MaxBytes = Bytes;
+  if (MaxBytes)
+    evictLocked();
+}
+
+void MemoryConstraintStore::clear() {
+  std::lock_guard<std::mutex> Lock(M);
+  Map.clear();
+  Recency.clear();
+  TotalBytes = 0;
 }
 
 size_t MemoryConstraintStore::entries() const {
@@ -45,6 +80,16 @@ size_t MemoryConstraintStore::entries() const {
 size_t MemoryConstraintStore::bytes() const {
   std::lock_guard<std::mutex> Lock(M);
   return TotalBytes;
+}
+
+size_t MemoryConstraintStore::maxBytes() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return MaxBytes;
+}
+
+uint64_t MemoryConstraintStore::evictions() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Evictions;
 }
 
 //===----------------------------------------------------------------------===//
@@ -63,16 +108,42 @@ bool readWholeFile(const std::string &Path, std::string &Out) {
   return true;
 }
 
-json::Value errorResponse(std::string Message) {
+json::Value errorResponse(std::string Message, std::string Code) {
   json::Value R = json::Value::object();
   R.set("ok", false);
   R.set("error", std::move(Message));
+  R.set("code", std::move(Code));
   return R;
+}
+
+/// Non-negative integer member, with \p Default when absent. False (bad
+/// field) when present but not a non-negative number.
+bool uintField(const json::Value &Request, std::string_view Key,
+               uint64_t Default, uint64_t &Out) {
+  const json::Value *M = Request.find(Key);
+  if (!M) {
+    Out = Default;
+    return true;
+  }
+  if (!M->isNumber() || M->asNumber() < 0)
+    return false;
+  Out = static_cast<uint64_t>(M->asNumber());
+  return true;
 }
 
 } // namespace
 
-ServeSession::ServeSession(ServeOptions Opts) : Opts(std::move(Opts)) {}
+ServeSession::ServeSession(ServeOptions Opts) : Opts(std::move(Opts)) {
+  Token = std::make_unique<CancelToken>();
+  Store.setMaxBytes(this->Opts.MaxStoreBytes);
+  if (!this->Opts.Faults.empty()) {
+    std::string Error;
+    // A bad spec is a configuration bug, not a serve-time fault; leave
+    // the injector disarmed rather than dying.
+    FaultInjector::instance().configure(this->Opts.Faults, &Error);
+  }
+}
+
 ServeSession::~ServeSession() = default;
 
 bool ServeSession::loadFiles(const std::vector<std::string> &Paths,
@@ -97,6 +168,11 @@ void ServeSession::setFiles(std::vector<SourceFile> NewFiles) {
   Checks.reset();
 }
 
+void ServeSession::setLimits(uint64_t DeadlineMs, uint64_t MaxConstraints) {
+  Opts.DeadlineMs = DeadlineMs;
+  Opts.MaxConstraints = MaxConstraints;
+}
+
 bool ServeSession::ensureAnalyzed(std::string &Error) {
   if (!Dirty && CA)
     return true;
@@ -104,15 +180,25 @@ bool ServeSession::ensureAnalyzed(std::string &Error) {
     Error = "no source files loaded";
     return false;
   }
+  if (faultAt("store.wipe"))
+    Store.clear(); // injected daemon restart: resident store gone
+
   auto NewProg = std::make_unique<Program>();
   DiagnosticEngine Diags;
   if (!parseProgram(*NewProg, Diags, Files)) {
     Error = Diags.str();
     return false;
   }
-  // The analyzer borrows the program, so retire the old pair together.
+  // The analyzer borrows the program and the token, so retire the old
+  // analyzer before rearming either.
   CA.reset();
   Prog = std::move(NewProg);
+
+  // Fresh per-request limits: a token cancelled by the previous pass must
+  // not poison this one.
+  Token = std::make_unique<CancelToken>();
+  Token->setDeadlineMs(Opts.DeadlineMs);
+  Token->setWorkBudget(Opts.MaxConstraints);
 
   ComponentialOptions CO;
   CO.Simplify = Opts.Simplify;
@@ -121,11 +207,19 @@ bool ServeSession::ensureAnalyzed(std::string &Error) {
   CO.CacheDir = Opts.CacheDir;
   CO.MemStore = &Store;
   CO.MergeViaFiles = true;
+  CO.Cancel = Token.get();
   CA = std::make_unique<ComponentialAnalyzer>(*Prog, CO);
   CA->run();
 
   LastRun = ServeMetrics{};
-  for (const ComponentRunStats &CS : CA->componentStats()) {
+  LastUnconverged.clear();
+  const std::vector<ComponentRunStats> &CompStats = CA->componentStats();
+  for (size_t I = 0; I < CompStats.size(); ++I) {
+    const ComponentRunStats &CS = CompStats[I];
+    if (CS.TimedOut) {
+      LastUnconverged.push_back(Prog->Components[I].Name);
+      continue;
+    }
     if (CS.ReusedFile)
       ++LastRun.ComponentsReused;
     else
@@ -151,6 +245,8 @@ bool ServeSession::ensureAnalyzed(std::string &Error) {
   LastRun.DeriveMs = Info.DeriveMs;
   LastRun.MergeMs = Info.MergeMs;
   LastRun.CloseMs = Info.CloseMs;
+  LastDegraded = Info.Cancelled;
+  LastCloseConverged = Info.CloseConverged;
 
   ++Totals.Analyzes;
   Totals.ComponentsRederived += LastRun.ComponentsRederived;
@@ -161,8 +257,17 @@ bool ServeSession::ensureAnalyzed(std::string &Error) {
   Totals.DeriveMs += LastRun.DeriveMs;
   Totals.MergeMs += LastRun.MergeMs;
   Totals.CloseMs += LastRun.CloseMs;
+  if (LastDegraded)
+    ++Totals.Degraded;
 
-  Dirty = false;
+  // A degraded pass leaves the session dirty: the partial combined system
+  // answers this request, and the next analyze starts over — once within
+  // budget it produces the exact cold-run result. A run that lost the
+  // file-merge byte-identity guarantee (a component's serialized text
+  // failed to deserialize, so it merged through the renumbering path)
+  // stays dirty for the same reason: its combined system is correct but
+  // not byte-comparable, and the next healthy pass restores identity.
+  Dirty = LastDegraded || Info.MergedOffText;
   Checks.reset();
   return true;
 }
@@ -178,11 +283,22 @@ json::Value ServeSession::cmdAnalyze() {
   std::string Error;
   bool Reanalyzed = Dirty || !CA;
   if (!ensureAnalyzed(Error))
-    return errorResponse(Error);
+    return errorResponse(Error, "parse-error");
 
   json::Value R = json::Value::object();
   R.set("ok", true);
   R.set("reanalyzed", Reanalyzed);
+  if (LastDegraded) {
+    // Structured degradation: the partial per-component results below
+    // still describe what converged, and "unconverged" names what did
+    // not (an empty list means the final combined close was cut short).
+    R.set("degraded", true);
+    json::Value U = json::Value::array();
+    for (const std::string &Name : LastUnconverged)
+      U.push(Name);
+    R.set("unconverged", std::move(U));
+    R.set("close_converged", LastCloseConverged);
+  }
   R.set("components", Prog->Components.size());
   R.set("rederived", LastRun.ComponentsRederived);
   R.set("reused", LastRun.ComponentsReused);
@@ -200,6 +316,8 @@ json::Value ServeSession::cmdAnalyze() {
     C.set("name", Prog->Components[I].Name);
     C.set("cache", cacheOutcomeName(Stats[I].Cache));
     C.set("reused", Stats[I].ReusedFile);
+    if (Stats[I].TimedOut)
+      C.set("timed_out", true);
     C.set("file_bytes", Stats[I].FileBytes);
     Per.push(std::move(C));
   }
@@ -208,19 +326,24 @@ json::Value ServeSession::cmdAnalyze() {
 }
 
 json::Value ServeSession::cmdEdit(const json::Value &Request) {
-  std::string File = Request.str("file");
-  if (File.empty())
-    return errorResponse("edit needs a \"file\"");
+  const json::Value *FileV = Request.find("file");
+  if (!FileV)
+    return errorResponse("edit needs a \"file\"", "bad-field");
+  if (!FileV->isString())
+    return errorResponse("edit \"file\" must be a string", "bad-field");
+  const std::string &File = FileV->asString();
   auto It = std::find_if(Files.begin(), Files.end(),
                          [&](const SourceFile &F) { return F.Name == File; });
   if (It == Files.end())
-    return errorResponse("unknown file " + File);
+    return errorResponse("unknown file " + File, "unknown-file");
 
   const json::Value *Text = Request.find("text");
+  if (Text && !Text->isString() && !Text->isNull())
+    return errorResponse("edit \"text\" must be a string", "bad-field");
   if (Text && Text->isString()) {
     It->Text = Text->asString();
   } else if (!readWholeFile(File, It->Text)) {
-    return errorResponse("cannot re-read " + File);
+    return errorResponse("cannot re-read " + File, "unknown-file");
   }
   Dirty = true;
   Checks.reset();
@@ -234,12 +357,13 @@ json::Value ServeSession::cmdEdit(const json::Value &Request) {
 }
 
 json::Value ServeSession::cmdFlow(const json::Value &Request) {
-  std::string Name = Request.str("name");
-  if (Name.empty())
-    return errorResponse("flow needs a \"name\"");
+  const json::Value *NameV = Request.find("name");
+  if (!NameV || !NameV->isString() || NameV->asString().empty())
+    return errorResponse("flow needs a string \"name\"", "bad-field");
+  const std::string &Name = NameV->asString();
   std::string Error;
   if (!ensureAnalyzed(Error))
-    return errorResponse(Error);
+    return errorResponse(Error, "parse-error");
 
   Symbol Sym = Prog->Syms.intern(Name);
   for (VarId V = 0; V < Prog->numVars(); ++V) {
@@ -256,6 +380,8 @@ json::Value ServeSession::cmdFlow(const json::Value &Request) {
     FlowGraph FG(S);
     json::Value R = json::Value::object();
     R.set("ok", true);
+    if (LastDegraded)
+      R.set("degraded", true);
     R.set("name", Name);
     R.set("var", A);
     json::Value KindsV = json::Value::array();
@@ -268,28 +394,57 @@ json::Value ServeSession::cmdFlow(const json::Value &Request) {
     R.set("descendants", FG.descendants(A).size());
     return R;
   }
-  return errorResponse("no top-level definition named " + Name);
+  return errorResponse("no top-level definition named " + Name,
+                       "unknown-name");
 }
 
 json::Value ServeSession::cmdCheckSummary() {
   std::string Error;
   if (!ensureAnalyzed(Error))
-    return errorResponse(Error);
+    return errorResponse(Error, "parse-error");
+  bool Partial = false;
+  uint32_t Checked = 0;
   if (!Checks) {
     // Step 3 per component: reconstruct full precision and keep each
-    // component's own check verdicts.
+    // component's own check verdicts. A fresh deadline covers the whole
+    // reconstruct sweep; overrunning it yields a partial (degraded)
+    // summary that is not cached.
+    Token->setDeadlineMs(Opts.DeadlineMs);
     auto Report = std::make_unique<DebugReport>();
     for (uint32_t I = 0; I < Prog->Components.size(); ++I) {
+      if (Token->cancelled()) {
+        Partial = true;
+        break;
+      }
       std::unique_ptr<ConstraintSystem> Full = CA->reconstruct(I);
+      if (Full->closureCancelled()) {
+        Partial = true;
+        break;
+      }
       DebugReport Part = runChecks(*Prog, CA->maps(), *Full);
       for (CheckResult &CR : Part.Results)
         if (CR.Loc.File == I)
           Report->Results.push_back(std::move(CR));
+      ++Checked;
     }
-    Checks = std::move(Report);
+    if (!Partial) {
+      Checks = std::move(Report);
+    } else {
+      ++Totals.Degraded;
+      json::Value R = json::Value::object();
+      R.set("ok", true);
+      R.set("degraded", true);
+      R.set("components_checked", Checked);
+      R.set("possible", Report->numPossible());
+      R.set("unsafe", Report->numUnsafe());
+      R.set("summary", Report->summary(*Prog));
+      return R;
+    }
   }
   json::Value R = json::Value::object();
   R.set("ok", true);
+  if (LastDegraded)
+    R.set("degraded", true);
   R.set("possible", Checks->numPossible());
   R.set("unsafe", Checks->numUnsafe());
   R.set("summary", Checks->summary(*Prog));
@@ -307,20 +462,67 @@ json::Value ServeSession::cmdStats() {
   R.set("cache_hits", Totals.CacheHits);
   R.set("cache_misses", Totals.CacheMisses);
   R.set("cache_invalidations", Totals.CacheInvalidations);
+  R.set("errors", Totals.Errors);
+  R.set("internal_errors", Totals.InternalErrors);
+  R.set("degraded", Totals.Degraded);
   R.set("derive_ms", Totals.DeriveMs);
   R.set("merge_ms", Totals.MergeMs);
   R.set("close_ms", Totals.CloseMs);
   R.set("store_entries", Store.entries());
   R.set("store_bytes", Store.bytes());
+  R.set("store_max_bytes", Store.maxBytes());
+  R.set("store_evictions", Store.evictions());
+  R.set("deadline_ms", Opts.DeadlineMs);
+  R.set("max_constraints", Opts.MaxConstraints);
+  R.set("faults_injected", FaultInjector::instance().totalInjected());
   R.set("dirty", Dirty);
   if (CA && !Dirty)
     R.set("combined_constraints", CA->combined().size());
   return R;
 }
 
-json::Value ServeSession::handle(const json::Value &Request) {
-  ++Totals.Requests;
-  std::string Cmd = Request.str("cmd");
+json::Value ServeSession::cmdConfigure(const json::Value &Request) {
+  uint64_t DeadlineMs, MaxConstraints, MaxStoreBytes;
+  if (!uintField(Request, "deadline_ms", Opts.DeadlineMs, DeadlineMs))
+    return errorResponse("\"deadline_ms\" must be a non-negative number",
+                         "bad-field");
+  if (!uintField(Request, "max_constraints", Opts.MaxConstraints,
+                 MaxConstraints))
+    return errorResponse("\"max_constraints\" must be a non-negative number",
+                         "bad-field");
+  if (!uintField(Request, "max_store_bytes", Opts.MaxStoreBytes,
+                 MaxStoreBytes))
+    return errorResponse("\"max_store_bytes\" must be a non-negative number",
+                         "bad-field");
+  const json::Value *FaultsV = Request.find("faults");
+  if (FaultsV && !FaultsV->isString())
+    return errorResponse("\"faults\" must be a string spec", "bad-field");
+  if (FaultsV) {
+    std::string Error;
+    if (!FaultInjector::instance().configure(FaultsV->asString(), &Error))
+      return errorResponse("bad fault spec: " + Error, "bad-field");
+  }
+  Opts.DeadlineMs = DeadlineMs;
+  Opts.MaxConstraints = MaxConstraints;
+  Opts.MaxStoreBytes = static_cast<size_t>(MaxStoreBytes);
+  Store.setMaxBytes(Opts.MaxStoreBytes);
+
+  json::Value R = json::Value::object();
+  R.set("ok", true);
+  R.set("deadline_ms", Opts.DeadlineMs);
+  R.set("max_constraints", Opts.MaxConstraints);
+  R.set("max_store_bytes", Opts.MaxStoreBytes);
+  R.set("faults_enabled", FaultInjector::instance().enabled());
+  return R;
+}
+
+json::Value ServeSession::dispatch(const json::Value &Request) {
+  const json::Value *CmdV = Request.find("cmd");
+  if (!CmdV)
+    return errorResponse("request needs a \"cmd\"", "bad-request");
+  if (!CmdV->isString())
+    return errorResponse("\"cmd\" must be a string", "bad-cmd");
+  const std::string &Cmd = CmdV->asString();
   if (Cmd == "analyze")
     return cmdAnalyze();
   if (Cmd == "edit")
@@ -331,6 +533,8 @@ json::Value ServeSession::handle(const json::Value &Request) {
     return cmdCheckSummary();
   if (Cmd == "stats")
     return cmdStats();
+  if (Cmd == "configure")
+    return cmdConfigure(Request);
   if (Cmd == "shutdown") {
     Shutdown = true;
     json::Value R = json::Value::object();
@@ -338,8 +542,38 @@ json::Value ServeSession::handle(const json::Value &Request) {
     R.set("bye", true);
     return R;
   }
-  return errorResponse(Cmd.empty() ? "request needs a \"cmd\""
-                                   : "unknown cmd " + Cmd);
+  return errorResponse("unknown cmd " + Cmd, "unknown-cmd");
+}
+
+json::Value ServeSession::handle(const json::Value &Request) {
+  ++Totals.Requests;
+  json::Value Response;
+  if (!Request.isObject()) {
+    Response = errorResponse("request must be a JSON object", "bad-request");
+  } else {
+    // The exception barrier: whatever a handler throws, the daemon
+    // answers and keeps serving. The session may be mid-analysis when an
+    // exception unwinds, so conservatively mark it dirty — the next
+    // analyze rebuilds from sources.
+    try {
+      Response = dispatch(Request);
+    } catch (const std::exception &E) {
+      Dirty = true;
+      Checks.reset();
+      ++Totals.InternalErrors;
+      Response = errorResponse(std::string("internal error: ") + E.what(),
+                               "internal");
+    } catch (...) {
+      Dirty = true;
+      Checks.reset();
+      ++Totals.InternalErrors;
+      Response = errorResponse("internal error", "internal");
+    }
+  }
+  const json::Value *Ok = Response.find("ok");
+  if (!Ok || !Ok->asBool(false))
+    ++Totals.Errors;
+  return Response;
 }
 
 std::string ServeSession::handleLine(const std::string &Line) {
@@ -347,7 +581,15 @@ std::string ServeSession::handleLine(const std::string &Line) {
   std::optional<json::Value> Request = json::Value::parse(Line, &Error);
   if (!Request) {
     ++Totals.Requests;
-    return errorResponse("bad request: " + Error).dump();
+    ++Totals.Errors;
+    return errorResponse("bad request: " + Error, "bad-json").dump();
   }
   return handle(*Request).dump();
+}
+
+std::string ServeSession::lineTooLongResponse(size_t Limit) {
+  return errorResponse("request line exceeds " + std::to_string(Limit) +
+                           " bytes",
+                       "line-too-long")
+      .dump();
 }

@@ -21,8 +21,27 @@
 ///   {"cmd":"flow","name":"f"}                      from disk when absent
 ///   {"cmd":"check-summary"}
 ///   {"cmd":"stats"}
+///   {"cmd":"configure","deadline_ms":N,"max_constraints":N,
+///    "max_store_bytes":N,"faults":"spec"}          all members optional
 ///   {"cmd":"shutdown"}
-/// Responses always carry "ok"; failures add "error".
+/// Responses always carry "ok"; failures add "error" plus a stable
+/// machine-readable "code" (bad-json, bad-request, bad-cmd, unknown-cmd,
+/// bad-field, unknown-file, parse-error, analysis-error, line-too-long,
+/// internal).
+///
+/// Fault-tolerance contract (see DESIGN.md §9):
+///  - handle() never throws and never wedges: an exception anywhere in a
+///    command becomes an {"ok":false,...,"code":"internal"} response and
+///    the session keeps serving.
+///  - With a deadline (ServeOptions::DeadlineMs / configure) or a
+///    constraint budget armed, an analyze that runs over returns in
+///    bounded time with "ok":true,"degraded":true and the names of the
+///    components that never converged; the session stays dirty, so the
+///    next analyze starts from scratch and — once within budget — yields
+///    the exact cold-run combined text.
+///  - The in-memory store is an LRU cache with a byte cap; eviction (or a
+///    full wipe) only ever costs re-derivation, never correctness, and a
+///    wiped store warms back up from CacheDir when one is configured.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -33,7 +52,9 @@
 #include "debugger/checks.h"
 #include "lang/parser.h"
 #include "serve/json.h"
+#include "support/cancel.h"
 
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -43,19 +64,42 @@
 namespace spidey {
 
 /// Thread-safe in-memory constraint-file store (the step-1 workers probe
-/// and fill it concurrently).
+/// and fill it concurrently) with LRU eviction under an optional byte
+/// cap. Losing an entry is always safe: the analyzer falls back to the
+/// on-disk cache or a fresh derivation.
 class MemoryConstraintStore : public ConstraintStore {
 public:
   std::optional<std::string> load(const std::string &Key) override;
   void store(const std::string &Key, const std::string &Text) override;
 
+  /// Caps the store's total text bytes (0 = unlimited); evicts
+  /// least-recently-used entries immediately if already over.
+  void setMaxBytes(size_t Bytes);
+
+  /// Drops every entry (the crash / restart analogue; also an injection
+  /// target via the "store.wipe" fault site in the serve loop).
+  void clear();
+
   size_t entries() const;
   size_t bytes() const;
+  size_t maxBytes() const;
+  uint64_t evictions() const;
 
 private:
+  /// Evicts LRU entries until TotalBytes <= MaxBytes. Caller holds M.
+  void evictLocked();
+
+  struct Entry {
+    std::string Text;
+    std::list<std::string>::iterator Recency;
+  };
+
   mutable std::mutex M;
-  std::unordered_map<std::string, std::string> Map;
+  std::unordered_map<std::string, Entry> Map;
+  std::list<std::string> Recency; ///< front = most recently used
   size_t TotalBytes = 0;
+  size_t MaxBytes = 0; ///< 0 = unlimited
+  uint64_t Evictions = 0;
 };
 
 struct ServeOptions {
@@ -66,6 +110,18 @@ struct ServeOptions {
   /// Optional on-disk constraint-file cache behind the in-memory store;
   /// lets a fresh daemon warm-start from a previous run.
   std::string CacheDir;
+  /// Per-request wall-clock deadline for analysis work, in milliseconds
+  /// (0 = none). An over-deadline analyze answers "degraded" instead of
+  /// hanging.
+  uint64_t DeadlineMs = 0;
+  /// Per-request closure-work budget in combine attempts (0 = none); the
+  /// deterministic twin of DeadlineMs, used by tests.
+  uint64_t MaxConstraints = 0;
+  /// Byte cap for the in-memory constraint store (0 = unlimited).
+  size_t MaxStoreBytes = 0;
+  /// Fault-injection spec installed at session construction (see
+  /// support/faultinject.h); empty leaves the global injector untouched.
+  std::string Faults;
 };
 
 /// Counters for one analyze pass and, accumulated, for the session.
@@ -81,6 +137,13 @@ struct ServeMetrics {
   /// Entries present but rejected: stale hash, options mismatch, or a
   /// changed external set (dependent invalidation).
   uint64_t CacheInvalidations = 0;
+  /// Responses answered with "ok":false (hostile input, analysis
+  /// failures) — the session survived each one.
+  uint64_t Errors = 0;
+  /// Errors caught by the exception barrier around handle().
+  uint64_t InternalErrors = 0;
+  /// Analyze passes cut short by a deadline or budget.
+  uint64_t Degraded = 0;
   double DeriveMs = 0;
   double MergeMs = 0;
   double CloseMs = 0;
@@ -97,10 +160,17 @@ public:
   /// Sets the program directly (tests, benchmarks).
   void setFiles(std::vector<SourceFile> Files);
 
-  /// Dispatches one request and returns the response object.
+  /// Dispatches one request and returns the response object. Never
+  /// throws: anything escaping a command handler becomes a structured
+  /// "internal" error response.
   json::Value handle(const json::Value &Request);
   /// Convenience: parse one request line, dispatch, dump the response.
   std::string handleLine(const std::string &Line);
+
+  /// The structured response for a request line that exceeded the
+  /// transport's line cap (the tool answers this without buffering the
+  /// line).
+  static std::string lineTooLongResponse(size_t Limit);
 
   bool shutdownRequested() const { return Shutdown; }
 
@@ -108,9 +178,17 @@ public:
   /// empty on analysis failure. Byte-comparable against a cold run.
   std::string combinedText();
 
+  /// Re-arms the per-request analysis limits (also reachable through the
+  /// "configure" command).
+  void setLimits(uint64_t DeadlineMs, uint64_t MaxConstraints);
+
   const ServeMetrics &totals() const { return Totals; }
   /// The analyze/reuse counters of the most recent analyze pass.
   const ServeMetrics &lastRun() const { return LastRun; }
+  /// True if the most recent analyze pass was cut short.
+  bool lastDegraded() const { return LastDegraded; }
+
+  MemoryConstraintStore &store() { return Store; }
 
 private:
   json::Value cmdAnalyze();
@@ -118,19 +196,29 @@ private:
   json::Value cmdFlow(const json::Value &Request);
   json::Value cmdCheckSummary();
   json::Value cmdStats();
+  json::Value cmdConfigure(const json::Value &Request);
+  json::Value dispatch(const json::Value &Request);
 
   /// Re-parses and re-analyzes if sources changed since the last pass.
-  /// False (with \p Error set) on parse failure.
+  /// False (with \p Error set) on parse failure. A deadline/budget
+  /// overrun returns true with LastDegraded set and the session still
+  /// dirty.
   bool ensureAnalyzed(std::string &Error);
 
   ServeOptions Opts;
   MemoryConstraintStore Store;
+  /// Owns the cancellation token the analyzer polls; declared before CA
+  /// so it outlives the analyzer holding a pointer to it.
+  std::unique_ptr<CancelToken> Token;
   std::vector<SourceFile> Files;
   std::unique_ptr<Program> Prog;
   std::unique_ptr<ComponentialAnalyzer> CA;
   std::unique_ptr<DebugReport> Checks; ///< lazy, invalidated by edits
   bool Dirty = true;
   bool Shutdown = false;
+  bool LastDegraded = false;
+  std::vector<std::string> LastUnconverged; ///< component names
+  bool LastCloseConverged = true;
   ServeMetrics Totals;
   ServeMetrics LastRun;
 };

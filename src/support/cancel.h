@@ -1,0 +1,89 @@
+//===-- support/cancel.h - Deadlines and work budgets ----------*- C++ -*-===//
+///
+/// \file
+/// A cooperative cancellation token carrying a wall-clock deadline and a
+/// constraint-count budget. Long-running loops (the closure drain, the
+/// componential derive fan-out) poll the token at coarse intervals via
+/// charge(); once the deadline passes, the budget is exhausted, or
+/// cancel() is called, every poll answers true and the loops unwind,
+/// leaving their systems partially closed. Callers that observe a
+/// cancelled token must treat their results as *degraded* — the serve
+/// loop answers with a structured "degraded" response and keeps the
+/// session dirty so the next request re-analyzes from scratch.
+///
+/// charge() is safe to call from multiple worker threads; the cancelled
+/// flag latches so mid-flight workers all see the same verdict.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIDEY_SUPPORT_CANCEL_H
+#define SPIDEY_SUPPORT_CANCEL_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace spidey {
+
+class CancelToken {
+public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() = default;
+
+  /// Arms a wall-clock deadline \p Ms milliseconds from now (0 disarms).
+  void setDeadlineMs(uint64_t Ms) {
+    HasDeadline = Ms != 0;
+    if (HasDeadline)
+      Deadline = Clock::now() + std::chrono::milliseconds(Ms);
+  }
+
+  /// Arms a work budget in charge units — the closure engine charges one
+  /// unit per combine attempted, so this bounds constraint work, not wall
+  /// time (0 disarms).
+  void setWorkBudget(uint64_t Units) { Budget = Units; }
+
+  /// Latches the token cancelled immediately.
+  void cancel() { Cancelled.store(true, std::memory_order_relaxed); }
+
+  bool cancelled() const {
+    return Cancelled.load(std::memory_order_relaxed);
+  }
+
+  /// Adds \p Units of completed work and re-checks budget and deadline.
+  /// Returns true once the token is cancelled; the verdict never reverts.
+  bool charge(uint64_t Units) {
+    if (Cancelled.load(std::memory_order_relaxed))
+      return true;
+    if (Budget) {
+      uint64_t Used =
+          WorkUsed.fetch_add(Units, std::memory_order_relaxed) + Units;
+      if (Used > Budget) {
+        cancel();
+        return true;
+      }
+    } else if (Units) {
+      WorkUsed.fetch_add(Units, std::memory_order_relaxed);
+    }
+    if (HasDeadline && Clock::now() >= Deadline) {
+      cancel();
+      return true;
+    }
+    return false;
+  }
+
+  uint64_t workUsed() const {
+    return WorkUsed.load(std::memory_order_relaxed);
+  }
+
+private:
+  std::atomic<bool> Cancelled{false};
+  std::atomic<uint64_t> WorkUsed{0};
+  uint64_t Budget = 0;
+  bool HasDeadline = false;
+  Clock::time_point Deadline{};
+};
+
+} // namespace spidey
+
+#endif // SPIDEY_SUPPORT_CANCEL_H

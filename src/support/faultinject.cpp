@@ -1,0 +1,188 @@
+//===-- support/faultinject.cpp -------------------------------*- C++ -*-===//
+
+#include "support/faultinject.h"
+
+#include <cstdlib>
+
+using namespace spidey;
+
+const std::vector<std::string> &spidey::faultSiteNames() {
+  static const std::vector<std::string> Names = {
+      "cache.load",   ///< on-disk constraint-file read appears missing
+      "cache.write",  ///< temp-file write fails (stream error)
+      "cache.rename", ///< crash window: temp written, rename never happens
+      "scf.parse",    ///< constraint-file text fails to deserialize
+      "store.load",   ///< in-memory store probe loses the entry
+      "store.store",  ///< in-memory store write is dropped
+      "store.wipe",   ///< the whole in-memory store vanishes (daemon
+                      ///< restart / OOM-kill analogue)
+      "sock.read",    ///< socket read interrupted (EINTR analogue)
+      "sock.write",   ///< socket write interrupted (EINTR analogue)
+  };
+  return Names;
+}
+
+FaultInjector &FaultInjector::instance() {
+  static FaultInjector FI;
+  return FI;
+}
+
+namespace {
+
+/// FNV-1a over the site name: stable across runs, so a site's decision
+/// stream depends only on (seed, name, draw index).
+uint64_t hashName(std::string_view Name) {
+  uint64_t H = 1469598103934665603ull;
+  for (char C : Name) {
+    H ^= static_cast<unsigned char>(C);
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+/// splitmix64 finalizer: one decision per (seed, site, draw) triple.
+double drawUnit(uint64_t Seed, uint64_t SiteHash, uint64_t Draw) {
+  uint64_t X = Seed ^ (SiteHash * 0x9E3779B97F4A7C15ull) ^
+               (Draw * 0xBF58476D1CE4E5B9ull);
+  X += 0x9E3779B97F4A7C15ull;
+  X = (X ^ (X >> 30)) * 0xBF58476D1CE4E5B9ull;
+  X = (X ^ (X >> 27)) * 0x94D049BB133111EBull;
+  X ^= X >> 31;
+  // 53 random bits → [0, 1).
+  return static_cast<double>(X >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool knownSite(std::string_view Name) {
+  for (const std::string &S : faultSiteNames())
+    if (S == Name)
+      return true;
+  return false;
+}
+
+/// True if \p Name arms at least one known site as a `prefix.*` pattern.
+bool knownPrefix(std::string_view Pattern) {
+  if (Pattern.size() < 2 || Pattern.substr(Pattern.size() - 2) != ".*")
+    return false;
+  std::string_view Prefix = Pattern.substr(0, Pattern.size() - 1); // keep '.'
+  for (const std::string &S : faultSiteNames())
+    if (S.size() > Prefix.size() && S.compare(0, Prefix.size(), Prefix) == 0)
+      return true;
+  return false;
+}
+
+} // namespace
+
+bool FaultInjector::configure(const std::string &Spec, std::string *Error) {
+  auto Fail = [&](std::string Message) {
+    if (Error)
+      *Error = std::move(Message);
+    return false;
+  };
+
+  uint64_t NewSeed = 1;
+  std::vector<SiteState> NewSites;
+  auto arm = [&](std::string_view Name, double P) {
+    for (SiteState &S : NewSites)
+      if (S.Name == Name) {
+        S.Probability = P;
+        return;
+      }
+    SiteState S;
+    S.Name = std::string(Name);
+    S.Probability = P;
+    NewSites.push_back(std::move(S));
+  };
+
+  size_t Pos = 0;
+  while (Pos < Spec.size()) {
+    size_t End = Spec.find_first_of(",;", Pos);
+    if (End == std::string::npos)
+      End = Spec.size();
+    std::string_view Entry(Spec.data() + Pos, End - Pos);
+    Pos = End + 1;
+    // Trim surrounding spaces.
+    while (!Entry.empty() && Entry.front() == ' ')
+      Entry.remove_prefix(1);
+    while (!Entry.empty() && Entry.back() == ' ')
+      Entry.remove_suffix(1);
+    if (Entry.empty())
+      continue;
+    size_t Eq = Entry.find('=');
+    if (Eq == std::string_view::npos)
+      return Fail("fault spec entry needs site=value: '" +
+                  std::string(Entry) + "'");
+    std::string_view Key = Entry.substr(0, Eq);
+    std::string ValText(Entry.substr(Eq + 1));
+    char *ValEnd = nullptr;
+    double Val = std::strtod(ValText.c_str(), &ValEnd);
+    if (ValEnd != ValText.c_str() + ValText.size() || ValText.empty())
+      return Fail("fault spec value is not a number: '" + ValText + "'");
+    if (Key == "seed") {
+      NewSeed = static_cast<uint64_t>(Val);
+      continue;
+    }
+    if (Val < 0 || Val > 1)
+      return Fail("fault probability out of [0,1]: '" + std::string(Entry) +
+                  "'");
+    if (knownSite(Key)) {
+      arm(Key, Val);
+    } else if (knownPrefix(Key)) {
+      std::string_view Prefix = Key.substr(0, Key.size() - 1);
+      for (const std::string &S : faultSiteNames())
+        if (S.compare(0, Prefix.size(), Prefix) == 0)
+          arm(S, Val);
+    } else {
+      return Fail("unknown fault site '" + std::string(Key) + "'");
+    }
+  }
+
+  std::lock_guard<std::mutex> Lock(M);
+  Seed = NewSeed;
+  Sites = std::move(NewSites);
+  Total.store(0, std::memory_order_relaxed);
+  bool AnyArmed = false;
+  for (const SiteState &S : Sites)
+    AnyArmed |= S.Probability > 0;
+  Armed.store(AnyArmed, std::memory_order_relaxed);
+  return true;
+}
+
+bool FaultInjector::configureFromEnv(std::string *Error) {
+  const char *Spec = std::getenv("SPIDEY_FAULTS");
+  if (!Spec || !*Spec)
+    return true;
+  return configure(Spec, Error);
+}
+
+void FaultInjector::reset() {
+  std::lock_guard<std::mutex> Lock(M);
+  Sites.clear();
+  Seed = 1;
+  Total.store(0, std::memory_order_relaxed);
+  Armed.store(false, std::memory_order_relaxed);
+}
+
+bool FaultInjector::shouldFail(std::string_view Site) {
+  if (!Armed.load(std::memory_order_relaxed))
+    return false;
+  std::lock_guard<std::mutex> Lock(M);
+  for (SiteState &S : Sites) {
+    if (S.Name != Site)
+      continue;
+    double U = drawUnit(Seed, hashName(Site), S.Draws++);
+    if (U >= S.Probability)
+      return false;
+    ++S.Injected;
+    Total.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+uint64_t FaultInjector::injectedAt(std::string_view Site) const {
+  std::lock_guard<std::mutex> Lock(M);
+  for (const SiteState &S : Sites)
+    if (S.Name == Site)
+      return S.Injected;
+  return 0;
+}

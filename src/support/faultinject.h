@@ -1,0 +1,101 @@
+//===-- support/faultinject.h - Seeded fault injection ---------*- C++ -*-===//
+///
+/// \file
+/// Deterministic fault injection for the robustness layer. Every recovery
+/// path in the system — cache load/store, temp-file rename, constraint-file
+/// parse, store eviction/wipe, socket I/O — guards its failure branch with
+/// a *named injection site*:
+///
+///   if (faultAt("cache.load"))
+///     return std::nullopt;   // behave exactly as if the load had failed
+///
+/// Sites are inert (one relaxed atomic load) until a fault spec is
+/// installed, either programmatically or from the SPIDEY_FAULTS
+/// environment variable. A spec is a comma- or semicolon-separated list:
+///
+///   SPIDEY_FAULTS="seed=42,cache.load=0.3,scf.parse=0.1,store.wipe=1"
+///
+/// Each `site=p` entry arms one site with failure probability p in [0,1];
+/// `prefix.*=p` arms every site sharing the prefix; `seed=N` seeds the
+/// generator (default 1). Decisions are drawn from one global
+/// splitmix-style stream keyed on (seed, site hash, per-site draw count),
+/// so a single-threaded run replays the identical fault schedule for a
+/// given spec — the property the chaos harness and CI smoke rely on.
+///
+/// The injector never throws and is thread-safe; per-site injection
+/// counters are kept for telemetry (`stats` responses, test assertions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIDEY_SUPPORT_FAULTINJECT_H
+#define SPIDEY_SUPPORT_FAULTINJECT_H
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spidey {
+
+/// The canonical injection sites, listed so tools and tests can enumerate
+/// them (arming an unknown site is an error — it would silently test
+/// nothing).
+const std::vector<std::string> &faultSiteNames();
+
+class FaultInjector {
+public:
+  /// The process-wide injector behind faultAt().
+  static FaultInjector &instance();
+
+  /// Installs a fault spec (see file comment), replacing any previous
+  /// configuration. An empty spec disables injection. Returns false and
+  /// sets \p Error (when given) on a malformed spec or unknown site; the
+  /// previous configuration is kept in that case.
+  bool configure(const std::string &Spec, std::string *Error = nullptr);
+
+  /// Installs the spec from SPIDEY_FAULTS, if set. Returns false only on
+  /// a malformed value.
+  bool configureFromEnv(std::string *Error = nullptr);
+
+  /// Disarms every site and zeroes the counters.
+  void reset();
+
+  /// True if any site is armed.
+  bool enabled() const { return Armed.load(std::memory_order_relaxed); }
+
+  /// Draws one decision for \p Site: true means the caller must take its
+  /// failure branch now. Unarmed sites never fire.
+  bool shouldFail(std::string_view Site);
+
+  /// Faults injected at \p Site since the last configure()/reset().
+  uint64_t injectedAt(std::string_view Site) const;
+  /// Faults injected across all sites since the last configure()/reset().
+  uint64_t totalInjected() const { return Total.load(std::memory_order_relaxed); }
+
+private:
+  struct SiteState {
+    std::string Name;
+    double Probability = 0;
+    uint64_t Draws = 0;
+    uint64_t Injected = 0;
+  };
+
+  std::atomic<bool> Armed{false};
+  std::atomic<uint64_t> Total{0};
+  mutable std::mutex M;
+  uint64_t Seed = 1;
+  std::vector<SiteState> Sites; ///< armed sites only
+};
+
+/// The one-line site guard: false (and essentially free) unless the global
+/// injector has this site armed.
+inline bool faultAt(std::string_view Site) {
+  FaultInjector &FI = FaultInjector::instance();
+  return FI.enabled() && FI.shouldFail(Site);
+}
+
+} // namespace spidey
+
+#endif // SPIDEY_SUPPORT_FAULTINJECT_H

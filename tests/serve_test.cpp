@@ -204,3 +204,88 @@ TEST(Serve, StatsAndErrors) {
   EXPECT_TRUE(Bye.find("ok")->asBool());
   EXPECT_TRUE(S.shutdownRequested());
 }
+
+//===----------------------------------------------------------------------===//
+// Hostile input
+//===----------------------------------------------------------------------===//
+
+// Every hostile line gets a structured refusal with a *stable* machine-
+// readable code — clients branch on these, so the table pins them down —
+// and the session keeps serving afterwards.
+TEST(ServeHostile, StructuredErrorCodesAreStable) {
+  struct Case {
+    const char *Line;
+    const char *Code;
+  };
+  const Case Cases[] = {
+      // Transport garbage.
+      {"", "bad-json"},
+      {"not json at all", "bad-json"},
+      {"{\"cmd\":\"analyze\"", "bad-json"},
+      {"{\"cmd\":\"analyze\"}trailing", "bad-json"},
+      // Valid JSON, wrong shape.
+      {"[1,2,3]", "bad-request"},
+      {"42", "bad-request"},
+      {"\"analyze\"", "bad-request"},
+      {"null", "bad-request"},
+      {"{}", "bad-request"},
+      {"{\"verb\":\"analyze\"}", "bad-request"},
+      // Mistyped or unknown commands.
+      {"{\"cmd\":42}", "bad-cmd"},
+      {"{\"cmd\":null}", "bad-cmd"},
+      {"{\"cmd\":[\"analyze\"]}", "bad-cmd"},
+      {"{\"cmd\":\"analyse\"}", "unknown-cmd"},
+      {"{\"cmd\":\"\"}", "unknown-cmd"},
+      // Well-formed commands with hostile fields.
+      {"{\"cmd\":\"edit\"}", "bad-field"},
+      {"{\"cmd\":\"edit\",\"file\":7}", "bad-field"},
+      {"{\"cmd\":\"edit\",\"file\":\"nope.ss\",\"text\":\"x\"}",
+       "unknown-file"},
+      {"{\"cmd\":\"edit\",\"file\":\"main.ss\",\"text\":[]}", "bad-field"},
+      {"{\"cmd\":\"flow\"}", "bad-field"},
+      {"{\"cmd\":\"flow\",\"name\":3}", "bad-field"},
+      {"{\"cmd\":\"flow\",\"name\":\"no-such\"}", "unknown-name"},
+      {"{\"cmd\":\"configure\",\"deadline_ms\":\"fast\"}", "bad-field"},
+      {"{\"cmd\":\"configure\",\"deadline_ms\":-5}", "bad-field"},
+      {"{\"cmd\":\"configure\",\"faults\":\"no-such-site=1\"}", "bad-field"},
+      {"{\"cmd\":\"configure\",\"faults\":17}", "bad-field"},
+  };
+
+  ServeSession S({});
+  S.setFiles(ThreeFiles);
+  for (const Case &C : Cases) {
+    std::string Resp = S.handleLine(C.Line);
+    std::string Error;
+    std::optional<json::Value> R = json::Value::parse(Resp, &Error);
+    ASSERT_TRUE(R) << "unparseable response to '" << C.Line << "': " << Resp;
+    const json::Value *Ok = R->find("ok");
+    ASSERT_TRUE(Ok && Ok->isBool()) << C.Line;
+    EXPECT_FALSE(Ok->asBool()) << C.Line;
+    EXPECT_EQ(R->str("code"), C.Code) << C.Line << " -> " << Resp;
+    EXPECT_FALSE(R->str("error").empty()) << C.Line;
+  }
+  // None of it hurt the session: hostile input is an answered request,
+  // not an internal error, and real work still succeeds.
+  EXPECT_EQ(S.totals().InternalErrors, 0u);
+  EXPECT_EQ(S.totals().Errors, sizeof(Cases) / sizeof(*Cases));
+  EXPECT_TRUE(
+      S.handle(request(R"js({"cmd":"analyze"})js")).find("ok")->asBool());
+}
+
+TEST(ServeHostile, LineTooLongResponseIsStructured) {
+  std::string Resp = ServeSession::lineTooLongResponse(1 << 20);
+  std::optional<json::Value> R = json::Value::parse(Resp);
+  ASSERT_TRUE(R) << Resp;
+  EXPECT_FALSE(R->find("ok")->asBool());
+  EXPECT_EQ(R->str("code"), "line-too-long");
+  EXPECT_NE(R->str("error").find("1048576"), std::string::npos);
+}
+
+TEST(ServeHostile, DegradedFlagAbsentOnHealthyRuns) {
+  ServeSession S({});
+  S.setFiles(ThreeFiles);
+  json::Value R = S.handle(request(R"js({"cmd":"analyze"})js"));
+  ASSERT_TRUE(R.find("ok")->asBool());
+  EXPECT_EQ(R.find("degraded"), nullptr);
+  EXPECT_EQ(R.find("unconverged"), nullptr);
+}

@@ -35,7 +35,7 @@ usage: spidey-fuzz [options]
   --iters N          iterations (default 100)
   --seed N           base seed (default 1; per-iteration seeds derive from it)
   --oracles LIST     comma-separated subset of: soundness,simplify,
-                     componential,threads,closure (default: all five)
+                     componential,threads,closure,chaos (default: all six)
   --fuel N           machine step budget for the soundness oracle
   --threads N        thread count compared against 1 (default 4)
   --depth N          selector-path probe depth (default 4)

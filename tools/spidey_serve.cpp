@@ -11,15 +11,27 @@
 /// Requests (one JSON object per line):
 ///   {"cmd":"analyze"} {"cmd":"edit","file":"f.ss","text":"..."}
 ///   {"cmd":"flow","name":"f"} {"cmd":"check-summary"} {"cmd":"stats"}
-///   {"cmd":"shutdown"}
+///   {"cmd":"configure",...} {"cmd":"shutdown"}
 ///
-/// Exit code: 0 on a clean shutdown or end of input, 2 on usage errors,
-/// 1 when a source file cannot be read or the socket cannot be bound.
+/// The transport is hardened for hostile or unlucky clients: request
+/// lines are capped (a line over the cap gets a structured
+/// "line-too-long" error and is discarded, not buffered), reads and
+/// writes retry on EINTR, writes never raise SIGPIPE, SIGTERM/SIGINT
+/// drain gracefully (current connection finishes, socket file unlinked),
+/// and a fault-injection spec from SPIDEY_FAULTS or --faults exercises
+/// the recovery paths deterministically.
+///
+/// Exit code: 0 on a clean shutdown, end of input, or signal-drain; 2 on
+/// usage errors, 1 when a source file cannot be read or the socket cannot
+/// be bound.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "serve/serve.h"
+#include "support/faultinject.h"
 
+#include <cerrno>
+#include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -34,18 +46,50 @@ using namespace spidey;
 
 namespace {
 
+/// A client line longer than this is answered with a structured error and
+/// discarded; it bounds per-connection memory no matter what the peer
+/// sends.
+constexpr size_t MaxLineBytes = 1u << 20; // 1 MiB
+
+volatile std::sig_atomic_t GotSignal = 0;
+
+void onSignal(int Sig) { GotSignal = Sig; }
+
+/// SIGTERM/SIGINT request a graceful drain; handlers deliberately omit
+/// SA_RESTART so blocking accept()/read() wake with EINTR and observe the
+/// flag. SIGPIPE is ignored: a disconnecting editor must never kill the
+/// daemon.
+void installSignalHandlers() {
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = onSignal;
+  sigemptyset(&SA.sa_mask);
+  SA.sa_flags = 0; // no SA_RESTART: syscalls return EINTR
+  sigaction(SIGTERM, &SA, nullptr);
+  sigaction(SIGINT, &SA, nullptr);
+  std::signal(SIGPIPE, SIG_IGN);
+}
+
 void usage() {
   std::cout <<
       R"(spidey-serve — incremental set-based analysis daemon
 
 usage: spidey-serve [options] file.ss...
-  --socket PATH      listen on a unix socket instead of stdin/stdout
-  --threads N        worker threads for the componential step 1
-  --simplify ALG     per-component simplifier: none, empty, unreachable,
-                     e-removal (default), hopcroft
-  --cache-dir DIR    on-disk constraint-file cache behind the in-memory
-                     store (warm-starts a fresh daemon)
-  --help             this text
+  --socket PATH        listen on a unix socket instead of stdin/stdout
+  --threads N          worker threads for the componential step 1
+  --simplify ALG       per-component simplifier: none, empty, unreachable,
+                       e-removal (default), hopcroft
+  --cache-dir DIR      on-disk constraint-file cache behind the in-memory
+                       store (warm-starts a fresh daemon, and rebuilds the
+                       store after a crash or wipe)
+  --deadline-ms N      per-request analysis deadline; an over-deadline
+                       analyze answers "degraded" instead of hanging
+  --max-constraints N  per-request closure-work budget (combine attempts)
+  --max-store-bytes N  LRU byte cap for the in-memory constraint store
+  --faults SPEC        fault-injection spec (also read from the
+                       SPIDEY_FAULTS environment variable), e.g.
+                       "seed=42,cache.load=0.3,store.wipe=0.05"
+  --help               this text
 )";
 }
 
@@ -61,20 +105,125 @@ bool simplifyFromName(const std::string &Name, SimplifyAlgorithm &Out) {
   return false;
 }
 
-/// Serves stdin → stdout until shutdown or EOF.
+/// read() with EINTR retry and the sock.read fault site (an injected
+/// interruption the loop must absorb, not die on).
+ssize_t readRetry(int Fd, char *Buf, size_t Len) {
+  int InjectedLeft = 8; // injected interrupts per call are bounded so a
+                        // probability-1.0 fault spec cannot spin forever
+  while (true) {
+    if (InjectedLeft > 0 && faultAt("sock.read")) {
+      --InjectedLeft;
+      errno = EINTR;
+      if (GotSignal)
+        return -1;
+      continue; // behave exactly like a real EINTR retry
+    }
+    ssize_t N = ::read(Fd, Buf, Len);
+    if (N < 0 && errno == EINTR) {
+      if (GotSignal)
+        return -1;
+      continue;
+    }
+    return N;
+  }
+}
+
+/// Sends all of \p Text: EINTR retried, SIGPIPE suppressed (MSG_NOSIGNAL;
+/// SIGPIPE is additionally ignored process-wide for stdio mode). False
+/// when the peer is gone — the caller drops the connection, nothing more.
+bool writeAll(int Fd, const std::string &Text) {
+  int InjectedLeft = 8;
+  size_t Sent = 0;
+  while (Sent < Text.size()) {
+    if (InjectedLeft > 0 && faultAt("sock.write")) {
+      --InjectedLeft;
+      errno = EINTR;
+      continue;
+    }
+    ssize_t W =
+        ::send(Fd, Text.data() + Sent, Text.size() - Sent, MSG_NOSIGNAL);
+    if (W < 0) {
+      if (errno == EINTR && !GotSignal)
+        continue;
+      return false;
+    }
+    Sent += static_cast<size_t>(W);
+  }
+  return true;
+}
+
+/// Serves stdin → stdout until shutdown, EOF, or a drain signal.
 int serveStdio(ServeSession &Session) {
   std::string Line;
-  while (!Session.shutdownRequested() && std::getline(std::cin, Line)) {
+  while (!Session.shutdownRequested() && !GotSignal &&
+         std::getline(std::cin, Line)) {
     if (Line.empty())
       continue;
+    if (Line.size() > MaxLineBytes) {
+      std::cout << ServeSession::lineTooLongResponse(MaxLineBytes) << "\n"
+                << std::flush;
+      continue;
+    }
     std::cout << Session.handleLine(Line) << "\n" << std::flush;
   }
   return 0;
 }
 
+/// One connection: a stream of request lines answered in order, with the
+/// pending-line buffer capped. Returns false when the daemon should stop
+/// (shutdown request or drain signal).
+bool serveConnection(ServeSession &Session, int Conn) {
+  std::string Buffer;
+  bool Discarding = false; // inside an over-long line, eating to '\n'
+  char Chunk[4096];
+  ssize_t N;
+  while ((N = readRetry(Conn, Chunk, sizeof(Chunk))) > 0) {
+    size_t Begin = 0;
+    const size_t Got = static_cast<size_t>(N);
+    while (Begin < Got) {
+      const char *Nl = static_cast<const char *>(
+          std::memchr(Chunk + Begin, '\n', Got - Begin));
+      const size_t End = Nl ? static_cast<size_t>(Nl - Chunk) : Got;
+      if (Discarding) {
+        // Skip the tail of a line already answered as too long.
+        if (Nl)
+          Discarding = false;
+        Begin = End + 1;
+        continue;
+      }
+      if (Buffer.size() + (End - Begin) > MaxLineBytes) {
+        // Cap the pending line *before* buffering it: answer now, then
+        // discard until the newline shows up.
+        Buffer.clear();
+        Discarding = Nl == nullptr;
+        if (!writeAll(Conn,
+                      ServeSession::lineTooLongResponse(MaxLineBytes) + "\n"))
+          return true;
+        Begin = End + 1;
+        continue;
+      }
+      Buffer.append(Chunk + Begin, End - Begin);
+      Begin = End + 1;
+      if (!Nl)
+        break; // partial line: wait for more input
+      if (!Buffer.empty()) {
+        std::string Response = Session.handleLine(Buffer) + "\n";
+        Buffer.clear();
+        if (!writeAll(Conn, Response))
+          return true; // peer went away; serve the next client
+        if (Session.shutdownRequested())
+          return false;
+      }
+    }
+    if (GotSignal)
+      return false;
+  }
+  return !GotSignal;
+}
+
 /// Accepts connections serially on a unix socket; each connection is a
-/// stream of request lines answered in order. A shutdown request stops the
-/// daemon after its connection drains.
+/// stream of request lines answered in order. A shutdown request or a
+/// drain signal stops the daemon after its connection finishes.
 int serveSocket(ServeSession &Session, const std::string &Path) {
   int Listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (Listener < 0) {
@@ -99,37 +248,26 @@ int serveSocket(ServeSession &Session, const std::string &Path) {
     return 1;
   }
 
-  while (!Session.shutdownRequested()) {
+  int Exit = 0;
+  while (!Session.shutdownRequested() && !GotSignal) {
     int Conn = ::accept(Listener, nullptr, nullptr);
-    if (Conn < 0)
-      continue;
-    std::string Buffer;
-    char Chunk[4096];
-    ssize_t N;
-    while ((N = ::read(Conn, Chunk, sizeof(Chunk))) > 0) {
-      Buffer.append(Chunk, static_cast<size_t>(N));
-      size_t Eol;
-      while ((Eol = Buffer.find('\n')) != std::string::npos) {
-        std::string Line = Buffer.substr(0, Eol);
-        Buffer.erase(0, Eol + 1);
-        if (Line.empty())
-          continue;
-        std::string Response = Session.handleLine(Line) + "\n";
-        size_t Sent = 0;
-        while (Sent < Response.size()) {
-          ssize_t W =
-              ::write(Conn, Response.data() + Sent, Response.size() - Sent);
-          if (W <= 0)
-            break;
-          Sent += static_cast<size_t>(W);
-        }
-      }
+    if (Conn < 0) {
+      if (errno == EINTR || errno == ECONNABORTED)
+        continue; // transient: a signal poke or a client that gave up
+      // Anything else (EBADF, EINVAL, EMFILE...) would busy-loop forever;
+      // report and stop instead.
+      std::cerr << "spidey-serve: accept: " << std::strerror(errno) << "\n";
+      Exit = 1;
+      break;
     }
+    bool KeepServing = serveConnection(Session, Conn);
     ::close(Conn);
+    if (!KeepServing)
+      break;
   }
   ::close(Listener);
   ::unlink(Path.c_str());
-  return 0;
+  return Exit;
 }
 
 } // namespace
@@ -164,6 +302,15 @@ int main(int Argc, char **Argv) {
       }
     } else if (Arg == "--cache-dir") {
       Opts.CacheDir = Next();
+    } else if (Arg == "--deadline-ms") {
+      Opts.DeadlineMs = std::strtoull(Next(), nullptr, 10);
+    } else if (Arg == "--max-constraints") {
+      Opts.MaxConstraints = std::strtoull(Next(), nullptr, 10);
+    } else if (Arg == "--max-store-bytes") {
+      Opts.MaxStoreBytes =
+          static_cast<size_t>(std::strtoull(Next(), nullptr, 10));
+    } else if (Arg == "--faults") {
+      Opts.Faults = Next();
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::cerr << "spidey-serve: unknown option " << Arg << "\n";
       usage();
@@ -175,6 +322,16 @@ int main(int Argc, char **Argv) {
   if (Paths.empty()) {
     usage();
     return 2;
+  }
+
+  installSignalHandlers();
+
+  if (Opts.Faults.empty()) {
+    std::string Error;
+    if (!FaultInjector::instance().configureFromEnv(&Error)) {
+      std::cerr << "spidey-serve: SPIDEY_FAULTS: " << Error << "\n";
+      return 2;
+    }
   }
 
   ServeSession Session(Opts);
