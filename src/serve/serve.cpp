@@ -117,7 +117,9 @@ json::Value errorResponse(std::string Message, std::string Code) {
 }
 
 /// Non-negative integer member, with \p Default when absent. False (bad
-/// field) when present but not a non-negative number.
+/// field) when present but not a non-negative number that fits uint64_t
+/// — a double >= 2^64 (e.g. a hostile {"deadline_ms":1e300}) would make
+/// the conversion undefined behavior, not a big limit.
 bool uintField(const json::Value &Request, std::string_view Key,
                uint64_t Default, uint64_t &Out) {
   const json::Value *M = Request.find(Key);
@@ -125,7 +127,8 @@ bool uintField(const json::Value &Request, std::string_view Key,
     Out = Default;
     return true;
   }
-  if (!M->isNumber() || M->asNumber() < 0)
+  if (!M->isNumber() || M->asNumber() < 0 ||
+      M->asNumber() >= 18446744073709551616.0 /* 2^64 */)
     return false;
   Out = static_cast<uint64_t>(M->asNumber());
   return true;
@@ -406,10 +409,12 @@ json::Value ServeSession::cmdCheckSummary() {
   uint32_t Checked = 0;
   if (!Checks) {
     // Step 3 per component: reconstruct full precision and keep each
-    // component's own check verdicts. A fresh deadline covers the whole
-    // reconstruct sweep; overrunning it yields a partial (degraded)
-    // summary that is not cached.
-    Token->setDeadlineMs(Opts.DeadlineMs);
+    // component's own check verdicts. A fresh deadline and budget cover
+    // the whole reconstruct sweep; rearm() also clears any cancellation
+    // latched by the analyze pass or an earlier sweep, so one slow sweep
+    // cannot degrade every later summary. Overrunning yields a partial
+    // (degraded) summary that is not cached.
+    Token->rearm(Opts.DeadlineMs, Opts.MaxConstraints);
     auto Report = std::make_unique<DebugReport>();
     for (uint32_t I = 0; I < Prog->Components.size(); ++I) {
       if (Token->cancelled()) {

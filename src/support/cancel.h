@@ -46,6 +46,18 @@ public:
   /// Latches the token cancelled immediately.
   void cancel() { Cancelled.store(true, std::memory_order_relaxed); }
 
+  /// Clears a latched cancellation and the accumulated work, then re-arms
+  /// the deadline and budget. For reusing one token across requests when
+  /// the analyzer borrowing it outlives a single request (replacing the
+  /// token would dangle that pointer). Only call between requests, with no
+  /// workers charging concurrently.
+  void rearm(uint64_t DeadlineMs, uint64_t BudgetUnits) {
+    Cancelled.store(false, std::memory_order_relaxed);
+    WorkUsed.store(0, std::memory_order_relaxed);
+    setDeadlineMs(DeadlineMs);
+    setWorkBudget(BudgetUnits);
+  }
+
   bool cancelled() const {
     return Cancelled.load(std::memory_order_relaxed);
   }

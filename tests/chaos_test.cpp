@@ -217,6 +217,25 @@ TEST(CancelTok, ExplicitCancelLatches) {
   EXPECT_TRUE(T.charge(0));
 }
 
+TEST(CancelTok, RearmClearsLatchAndWork) {
+  CancelToken T;
+  T.setWorkBudget(10);
+  EXPECT_TRUE(T.charge(11));
+  EXPECT_TRUE(T.cancelled());
+
+  // The latch and accumulated work are gone; the new budget is live.
+  T.rearm(/*DeadlineMs=*/0, /*BudgetUnits=*/5);
+  EXPECT_FALSE(T.cancelled());
+  EXPECT_EQ(T.workUsed(), 0u);
+  EXPECT_FALSE(T.charge(5));
+  EXPECT_TRUE(T.charge(1)); // 6 > 5: over the new budget
+
+  // Rearming to disarmed limits clears everything for good.
+  T.rearm(0, 0);
+  EXPECT_FALSE(T.cancelled());
+  EXPECT_FALSE(T.charge(1'000'000));
+}
+
 //===----------------------------------------------------------------------===//
 // MemoryConstraintStore: LRU eviction under a byte cap
 //===----------------------------------------------------------------------===//
@@ -317,6 +336,45 @@ TEST(ChaosDegrade, OverBudgetAnalyzeDegradesThenRecoversExactly) {
   std::string Want = Cold.combinedText();
   ASSERT_FALSE(Want.empty());
   EXPECT_EQ(S.combinedText(), Want);
+}
+
+// Regression: a check-summary sweep that blows its budget or deadline
+// latches the session token cancelled, and the partial path leaves the
+// session clean — nothing else ever mints a fresh token. The next sweep
+// must rearm the token instead of seeing the stale latch and answering
+// degraded with zero components checked forever.
+TEST(ChaosDegrade, CheckSummaryRecoversAfterDegradedSweep) {
+  FaultScope Scope;
+  std::vector<SourceFile> Files = chainProgram(150);
+
+  ServeOptions O;
+  O.Threads = 1;
+  ServeSession S(O);
+  S.setFiles(Files);
+  ASSERT_TRUE(
+      S.handle(parsedResponse(R"({"cmd":"analyze"})")).find("ok")->asBool());
+
+  // Starve only the reconstruct sweep: the analyze above ran unlimited,
+  // so the session stays clean while the sweep degrades.
+  S.handle(parsedResponse(R"({"cmd":"configure","max_constraints":1})"));
+  json::Value Starved = S.handle(parsedResponse(R"({"cmd":"check-summary"})"));
+  ASSERT_TRUE(Starved.find("ok")->asBool()) << Starved.dump();
+  const json::Value *Degraded = Starved.find("degraded");
+  ASSERT_TRUE(Degraded && Degraded->asBool()) << Starved.dump();
+  EXPECT_LT(num(Starved, "components_checked"), 2);
+
+  // Unlimited again: the sweep runs fresh instead of inheriting the
+  // latched cancellation, and matches a never-degraded session's summary.
+  S.handle(parsedResponse(R"({"cmd":"configure","max_constraints":0})"));
+  json::Value Healed = S.handle(parsedResponse(R"({"cmd":"check-summary"})"));
+  ASSERT_TRUE(Healed.find("ok")->asBool()) << Healed.dump();
+  EXPECT_EQ(Healed.find("degraded"), nullptr) << Healed.dump();
+
+  ServeSession Cold(O);
+  Cold.setFiles(Files);
+  json::Value Want = Cold.handle(parsedResponse(R"({"cmd":"check-summary"})"));
+  ASSERT_TRUE(Want.find("ok")->asBool()) << Want.dump();
+  EXPECT_EQ(Healed.str("summary"), Want.str("summary"));
 }
 
 TEST(ChaosDegrade, DegradedPassNeverPoisonsTheCache) {

@@ -247,6 +247,9 @@ TEST(ServeHostile, StructuredErrorCodesAreStable) {
       {"{\"cmd\":\"flow\",\"name\":\"no-such\"}", "unknown-name"},
       {"{\"cmd\":\"configure\",\"deadline_ms\":\"fast\"}", "bad-field"},
       {"{\"cmd\":\"configure\",\"deadline_ms\":-5}", "bad-field"},
+      // Out of uint64 range: converting would be undefined behavior.
+      {"{\"cmd\":\"configure\",\"deadline_ms\":1e300}", "bad-field"},
+      {"{\"cmd\":\"configure\",\"max_constraints\":2e19}", "bad-field"},
       {"{\"cmd\":\"configure\",\"faults\":\"no-such-site=1\"}", "bad-field"},
       {"{\"cmd\":\"configure\",\"faults\":17}", "bad-field"},
   };

@@ -152,32 +152,19 @@ bool writeAll(int Fd, const std::string &Text) {
   return true;
 }
 
-/// Serves stdin → stdout until shutdown, EOF, or a drain signal.
-int serveStdio(ServeSession &Session) {
-  std::string Line;
-  while (!Session.shutdownRequested() && !GotSignal &&
-         std::getline(std::cin, Line)) {
-    if (Line.empty())
-      continue;
-    if (Line.size() > MaxLineBytes) {
-      std::cout << ServeSession::lineTooLongResponse(MaxLineBytes) << "\n"
-                << std::flush;
-      continue;
-    }
-    std::cout << Session.handleLine(Line) << "\n" << std::flush;
-  }
-  return 0;
-}
-
-/// One connection: a stream of request lines answered in order, with the
-/// pending-line buffer capped. Returns false when the daemon should stop
-/// (shutdown request or drain signal).
-bool serveConnection(ServeSession &Session, int Conn) {
+/// Reads newline-delimited requests from \p Fd in chunks with the
+/// pending-line buffer capped — an over-long line is answered and then
+/// discarded, never buffered — and answers each via \p Respond, which
+/// returns false when the peer is gone. Returns false when the daemon
+/// should stop (shutdown request or drain signal), true when this peer is
+/// done but serving should continue.
+template <typename RespondFn>
+bool serveLines(ServeSession &Session, int Fd, RespondFn Respond) {
   std::string Buffer;
   bool Discarding = false; // inside an over-long line, eating to '\n'
   char Chunk[4096];
   ssize_t N;
-  while ((N = readRetry(Conn, Chunk, sizeof(Chunk))) > 0) {
+  while ((N = readRetry(Fd, Chunk, sizeof(Chunk))) > 0) {
     size_t Begin = 0;
     const size_t Got = static_cast<size_t>(N);
     while (Begin < Got) {
@@ -196,8 +183,7 @@ bool serveConnection(ServeSession &Session, int Conn) {
         // discard until the newline shows up.
         Buffer.clear();
         Discarding = Nl == nullptr;
-        if (!writeAll(Conn,
-                      ServeSession::lineTooLongResponse(MaxLineBytes) + "\n"))
+        if (!Respond(ServeSession::lineTooLongResponse(MaxLineBytes) + "\n"))
           return true;
         Begin = End + 1;
         continue;
@@ -209,7 +195,7 @@ bool serveConnection(ServeSession &Session, int Conn) {
       if (!Buffer.empty()) {
         std::string Response = Session.handleLine(Buffer) + "\n";
         Buffer.clear();
-        if (!writeAll(Conn, Response))
+        if (!Respond(Response))
           return true; // peer went away; serve the next client
         if (Session.shutdownRequested())
           return false;
@@ -219,6 +205,25 @@ bool serveConnection(ServeSession &Session, int Conn) {
       return false;
   }
   return !GotSignal;
+}
+
+/// Serves stdin → stdout until shutdown, EOF, or a drain signal. Shares
+/// the capped chunked reader with the socket path so an over-long stdin
+/// line is bounded too, not slurped whole by getline.
+int serveStdio(ServeSession &Session) {
+  serveLines(Session, STDIN_FILENO, [](const std::string &Text) {
+    std::cout << Text << std::flush;
+    return static_cast<bool>(std::cout);
+  });
+  return 0;
+}
+
+/// One connection: a stream of request lines answered in order. Returns
+/// false when the daemon should stop (shutdown request or drain signal).
+bool serveConnection(ServeSession &Session, int Conn) {
+  return serveLines(Session, Conn, [&](const std::string &Text) {
+    return writeAll(Conn, Text);
+  });
 }
 
 /// Accepts connections serially on a unix socket; each connection is a
