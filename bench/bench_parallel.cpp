@@ -146,7 +146,10 @@ void printJson(const std::vector<ProgramResult> &Results) {
           "\"dedup_hits\": %llu, \"dedup_hit_rate\": %.4f, "
           "\"eps_edges\": %llu, \"eps_sccs_collapsed\": %llu, "
           "\"vars_unified\": %llu, \"cycle_search_steps\": %llu, "
-          "\"peak_worklist_depth\": %llu}}%s\n",
+          "\"peak_worklist_depth\": %llu},\n"
+          "         \"derive\": {\"schemas\": %llu, "
+          "\"instantiations\": %llu, \"instantiated_constraints\": %llu, "
+          "\"intern_hits\": %llu, \"bulk_cloned_constraints\": %llu}}%s\n",
           Run.Threads, Run.WallMs, Run.ConstraintsPerSec, Run.MaxConstraints,
           Run.CombinedConstraints, Run.Speedup, Run.Info.DeriveMs,
           Run.Info.MergeMs, Run.Info.CloseMs,
@@ -159,6 +162,11 @@ void printJson(const std::vector<ProgramResult> &Results) {
           (unsigned long long)CS.VarsUnified,
           (unsigned long long)CS.CycleSearchSteps,
           (unsigned long long)CS.PeakWorklistDepth,
+          (unsigned long long)Run.Info.Derive.SchemasCreated,
+          (unsigned long long)Run.Info.Derive.Instantiations,
+          (unsigned long long)Run.Info.Derive.InstantiatedConstraints,
+          (unsigned long long)Run.Info.Derive.SchemaInternHits,
+          (unsigned long long)Run.Info.Derive.BulkClonedConstraints,
           J + 1 < R.Runs.size() ? "," : "");
     }
     std::printf("      ]\n");
@@ -172,9 +180,13 @@ void printJson(const std::vector<ProgramResult> &Results) {
 
 int main(int argc, char **argv) {
   bool Json = false;
-  for (int I = 1; I < argc; ++I)
+  std::vector<std::string> Only;
+  for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--json") == 0)
       Json = true;
+    else if (std::strcmp(argv[I], "--only") == 0 && I + 1 < argc)
+      Only.push_back(argv[++I]); // restrict to named programs (CI smoke)
+  }
 
   std::vector<unsigned> ThreadCounts = {1, 2, 4,
                                         WorkerPool::defaultThreadCount()};
@@ -183,8 +195,12 @@ int main(int argc, char **argv) {
                      ThreadCounts.end());
 
   std::vector<ProgramResult> Results;
-  for (const char *Name : {"scanner", "zodiac", "sba"})
+  for (const char *Name : {"scanner", "zodiac", "sba"}) {
+    if (!Only.empty() &&
+        std::find(Only.begin(), Only.end(), Name) == Only.end())
+      continue;
     Results.push_back(benchProgram(Name, ThreadCounts));
+  }
 
   if (Json) {
     printJson(Results);

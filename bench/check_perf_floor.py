@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""CI perf-smoke gate: compare bench_parallel --json output against the
+checked-in throughput floors in perf_floor.json.
+
+Usage: check_perf_floor.py <bench_parallel.json> <perf_floor.json>
+
+Fails (exit 1) when a program's derive throughput at the pinned thread
+count has regressed more than `regression_factor` times below its
+floor. The floor file deliberately sits far under a healthy run so the
+gate only trips on algorithmic regressions, not runner noise.
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        results = json.load(f)
+    with open(sys.argv[2]) as f:
+        floors = json.load(f)
+
+    factor = float(floors.get("regression_factor", 2.0))
+    by_name = {p["name"]: p for p in results.get("programs", [])}
+    failed = False
+    for name, floor in floors["programs"].items():
+        prog = by_name.get(name)
+        if prog is None:
+            print(f"FAIL {name}: missing from benchmark output")
+            failed = True
+            continue
+        threads = floor["threads"]
+        run = next((r for r in prog["runs"] if r["threads"] == threads), None)
+        if run is None:
+            print(f"FAIL {name}: no run at threads={threads}")
+            failed = True
+            continue
+        cps = run["constraints_per_sec"]
+        minimum = floor["constraints_per_sec_floor"] / factor
+        verdict = "FAIL" if cps < minimum else "OK"
+        print(
+            f"{verdict} {name} threads={threads}: "
+            f"{cps:.0f} constraints/sec "
+            f"(floor {floor['constraints_per_sec_floor']}, "
+            f"minimum after {factor}x allowance {minimum:.0f})"
+        )
+        failed = failed or cps < minimum
+        if not prog.get("deterministic_across_threads", True):
+            print(f"FAIL {name}: combined system differed across threads")
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -72,7 +72,9 @@ elif os.path.exists(out):
 doc = {
     "description": "Componential analysis wall time before/after the "
                    "parallel worker pool + cache-friendly constraint core "
-                   "(cache disabled; best of 3)",
+                   "(cache disabled; best of 3). Thread rows above "
+                   "hardware_concurrency measure oversubscription only: "
+                   "speedup<1 on a 1-core runner is expected",
     "before": before,
     "after": after,
 }

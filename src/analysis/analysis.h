@@ -17,9 +17,12 @@
 
 #include "constraints/constraint_system.h"
 #include "lang/ast.h"
+#include "support/arena.h"
 
+#include <deque>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -97,6 +100,12 @@ struct AnalysisOptions {
   /// reproduce the pure timing experiments of fig. 7.6, where the smart
   /// analyses simplify each definition down to its data-flow interface.
   bool PreciseSchemaChecks = true;
+  /// Instantiate schemas by replaying a compiled flat image into a
+  /// bulk-reserved variable range (the derive fast path, DESIGN.md §10).
+  /// Off = the original per-constraint substitution walk, retained as a
+  /// differential oracle; both paths build byte-identical systems, so the
+  /// flag is deliberately absent from cache fingerprints.
+  bool BulkClone = true;
 };
 
 /// Statistics of one derivation run.
@@ -104,6 +113,20 @@ struct DeriveStats {
   uint64_t SchemasCreated = 0;
   uint64_t Instantiations = 0;
   uint64_t InstantiatedConstraints = 0;
+  /// Schemas whose compiled image was already interned (a structurally
+  /// identical definition compiled it first).
+  uint64_t SchemaInternHits = 0;
+  /// Constraint records replayed through the bulk-clone fast path
+  /// (including per-schema label/check feedback edges).
+  uint64_t BulkClonedConstraints = 0;
+
+  void merge(const DeriveStats &O) {
+    SchemasCreated += O.SchemasCreated;
+    Instantiations += O.Instantiations;
+    InstantiatedConstraints += O.InstantiatedConstraints;
+    SchemaInternHits += O.SchemaInternHits;
+    BulkClonedConstraints += O.BulkClonedConstraints;
+  }
 };
 
 /// Derives constraints for programs. One Deriver may process several
@@ -128,6 +151,18 @@ public:
   const DeriveStats &stats() const { return Stats; }
 
 private:
+  /// A schema compiled to a flat, replayable image: one BulkConstraint
+  /// record per bound, in exactly the order the substitution walk of the
+  /// classic instantiate() visits them, with quantified variables
+  /// renumbered to dense indices 0..NumQuantified-1 (QuantifiedFlag
+  /// encoding). Images are interned: structurally identical definitions
+  /// share one image. Records live in the Deriver's arena.
+  struct SchemaImage {
+    ArenaSpan<BulkConstraint> Records;
+    uint32_t NumQuantified = 0;
+    SetVar EncodedResult = NoSetVar;
+  };
+
   struct Schema {
     SetVar Result = NoSetVar;
     std::unique_ptr<ConstraintSystem> System;
@@ -142,6 +177,15 @@ private:
     /// instantiation adds ψ(l) ≤ l sink edges instead, so sba(P)(l) is the
     /// union over all instances (soundness at labels, Thm 2.6.4).
     std::vector<SetVar> LabelVars;
+    /// Compiled image (BulkClone only; shared via interning). Once set,
+    /// System/Quantified/CheckVars/LabelVars are released — the image and
+    /// Feedback carry everything instantiation needs.
+    const SchemaImage *Image = nullptr;
+    /// Per-schema ungeneralized feedback edges (labels and check
+    /// scrutinees) as VarUp records: instance copy ≤ shared variable.
+    /// Kept off the interned image because the shared variables differ
+    /// between textually identical definitions.
+    ArenaSpan<BulkConstraint> Feedback;
   };
 
   SetVar varOfExpr(ExprId E);
@@ -153,14 +197,22 @@ private:
 
   void addResultMask(ConstraintSystem &S, SetVar A, KindMask Mask);
   void splitTest(ExprId Test, VarId &OutVar, KindMask &ThenMask) const;
-  void addPrimChecks(ExprId E, const std::vector<SetVar> &Args);
+  void addPrimChecks(ExprId E, const SetVar *Args, size_t NumArgs);
   SetVar derivePrim(ExprId E, ConstraintSystem &S);
   SetVar deriveVarRef(ExprId E, ConstraintSystem &S);
 
-  /// Derives a polymorphic binding's schema; returns null if the binding
-  /// does not qualify (not a syntactic value, assigned, poly disabled).
-  std::shared_ptr<Schema> maybeMakeSchema(VarId Var, ExprId Init,
-                                          ConstraintSystem &MainS);
+  /// Derives a polymorphic binding's schema; returns nullopt if the
+  /// binding does not qualify (not a syntactic value, assigned, poly
+  /// disabled). The caller moves the result into the schema table — it is
+  /// deliberately NOT registered during construction, so recursive
+  /// references inside the body resolve monomorphically (the recursion
+  /// knot), exactly as before.
+  std::optional<Schema> maybeMakeSchema(VarId Var, ExprId Init,
+                                        ConstraintSystem &MainS);
+
+  /// Compiles a freshly built schema into its flat image (interned) and
+  /// per-schema feedback records, then releases the creation-only state.
+  void compileSchema(Schema &Sch, SetVar Watermark);
   /// Copies a schema's system into \p S with fresh quantified variables;
   /// returns the instantiated result variable.
   SetVar instantiate(const Schema &Sch, ConstraintSystem &S);
@@ -179,9 +231,23 @@ private:
   AnalysisOptions Opts;
   DeriveStats Stats;
 
-  std::unordered_map<VarId, std::shared_ptr<Schema>> Schemas;
+  std::unordered_map<VarId, Schema> Schemas;
   std::unordered_map<VarId, uint32_t> SchemaComponent;
   std::unordered_set<VarId> AssignedVars;
+  /// Backing store for compiled schema records, feedback edges and other
+  /// derivation-lifetime POD (see DESIGN.md §10 for the lifetime rules).
+  BumpArena Arena;
+  /// Interned images, keyed by structural hash (bucket holds candidates
+  /// to compare on collision). Deque: pointers must stay stable.
+  std::deque<SchemaImage> Images;
+  std::unordered_map<uint64_t, std::vector<SchemaImage *>> ImageIntern;
+  /// Scratch reused across compileSchema calls.
+  std::vector<BulkConstraint> RecScratch, FeedScratch;
+  std::vector<uint32_t> QIdxScratch;
+  /// Argument-collection stack for derivePrim/deriveStructApp: children
+  /// push below the caller's mark, so one vector serves the whole
+  /// recursive walk with zero per-node allocations.
+  std::vector<SetVar> ArgScratch;
   uint32_t CurrentComponent = 0;
   /// Non-null while deriving a schema body; collects check scrutinees.
   Schema *ActiveSchema = nullptr;

@@ -68,7 +68,7 @@ void Deriver::addResultMask(ConstraintSystem &S, SetVar A, KindMask Mask) {
       S.addConstLower(A, Ctx.Constants.basic(static_cast<ConstKind>(K)));
 }
 
-void Deriver::addPrimChecks(ExprId E, const std::vector<SetVar> &Args) {
+void Deriver::addPrimChecks(ExprId E, const SetVar *Args, size_t NumArgs) {
   const Expr &Node = P.expr(E);
   Prim Op = Node.PrimOp;
   if (!primIsChecked(Op))
@@ -76,7 +76,7 @@ void Deriver::addPrimChecks(ExprId E, const std::vector<SetVar> &Args) {
   if (!Maps.CheckedSites.insert(E).second) {
     // Re-derivation of a component: the site is already recorded.
     if (ActiveSchema)
-      for (unsigned I = 0; I < Args.size(); ++I)
+      for (unsigned I = 0; I < NumArgs; ++I)
         if (primArgMask(Op, I) != AnyKindMask)
           ActiveSchema->CheckVars.push_back(Args[I]);
     return;
@@ -84,7 +84,7 @@ void Deriver::addPrimChecks(ExprId E, const std::vector<SetVar> &Args) {
   CheckSite Check;
   Check.Site = E;
   Check.What = primSpec(Op).Name;
-  for (unsigned I = 0; I < Args.size(); ++I) {
+  for (unsigned I = 0; I < NumArgs; ++I) {
     KindMask Mask = primArgMask(Op, I);
     if (Mask == AnyKindMask)
       continue;
@@ -204,9 +204,12 @@ SetVar Deriver::deriveStructApp(ExprId E, ConstraintSystem &S) {
   const Expr &Node = P.expr(E);
   SetVar A = varOfExpr(E);
   const StructDecl &D = P.Structs[Node.StructId];
-  std::vector<SetVar> Args;
+  // Collect operand variables on the shared scratch stack (children may
+  // push and pop below; the data pointer is taken only once they return).
+  size_t Mark = ArgScratch.size();
   for (ExprId Kid : Node.Kids)
-    Args.push_back(deriveExpr(Kid, S));
+    ArgScratch.push_back(deriveExpr(Kid, S));
+  const SetVar *Args = ArgScratch.data() + Mark;
   auto FieldSel = [&](uint32_t F, bool Plus) {
     std::string Name = std::string(Plus ? "sfld+" : "sfld-") +
                        P.Syms.name(D.Name) + "." +
@@ -234,26 +237,27 @@ SetVar Deriver::deriveStructApp(ExprId E, ConstraintSystem &S) {
       S.addSelLower(A, FieldSel(F, false), Delta);
       S.addSelLower(A, FieldSel(F, true), Delta);
     }
-    return A;
+    break;
   }
   case StructOpKind::Pred:
     addResultMask(S, A,
                   kindBit(ConstKind::True) | kindBit(ConstKind::False));
-    return A;
+    break;
   case StructOpKind::Get:
     S.addSelUpper(Args[0], FieldSel(Node.FieldIndex, true), A);
     StructCheck((P.Syms.name(D.Name) + "-" +
                  P.Syms.name(D.Fields[Node.FieldIndex]))
                     .c_str());
-    return A;
+    break;
   case StructOpKind::Set:
     S.addSelUpper(Args[0], FieldSel(Node.FieldIndex, false), Args[1]);
     S.addVarUpper(Args[1], A);
     StructCheck(("set-" + P.Syms.name(D.Name) + "-" +
                  P.Syms.name(D.Fields[Node.FieldIndex]) + "!")
                     .c_str());
-    return A;
+    break;
   }
+  ArgScratch.resize(Mark);
   return A;
 }
 
@@ -282,24 +286,24 @@ Deriver::quantifiedSince(const ConstraintSystem &S, SetVar Watermark) const {
   return Result;
 }
 
-std::shared_ptr<Deriver::Schema>
+std::optional<Deriver::Schema>
 Deriver::maybeMakeSchema(VarId Var, ExprId Init, ConstraintSystem &MainS) {
   (void)MainS;
   if (Opts.Poly == PolyMode::Mono)
-    return nullptr;
+    return std::nullopt;
   if (P.var(Var).TopLevel && !Opts.PolyTopLevel)
-    return nullptr;
+    return std::nullopt;
   if (isAssigned(Var))
-    return nullptr;
+    return std::nullopt;
   if (!isSyntacticValue(Init))
-    return nullptr;
+    return std::nullopt;
 
   SetVar Watermark = Ctx.numVars();
-  auto Sch = std::make_shared<Schema>();
+  std::optional<Schema> Sch(std::in_place);
   Sch->System = std::make_unique<ConstraintSystem>(Ctx);
 
   Schema *SavedActive = ActiveSchema;
-  ActiveSchema = Sch.get();
+  ActiveSchema = &*Sch;
   SetVar Result = deriveExpr(Init, *Sch->System);
   ActiveSchema = SavedActive;
   // A schema nested in another schema's body: its labels and check
@@ -336,10 +340,136 @@ Deriver::maybeMakeSchema(VarId Var, ExprId Init, ConstraintSystem &MainS) {
   }
   Sch->Quantified = quantifiedSince(*Sch->System, Watermark);
   ++Stats.SchemasCreated;
+  if (Opts.BulkClone)
+    compileSchema(*Sch, Watermark);
   return Sch;
 }
 
+void Deriver::compileSchema(Schema &Sch, SetVar Watermark) {
+  // Dense renumbering of the quantified variables: Quantified is sorted
+  // ascending (it comes from variables()), so position-in-list order is
+  // exactly the order the classic instantiate() hands out fresh variables
+  // — Base + index reproduces its numbering bit for bit.
+  const std::vector<SetVar> &Q = Sch.Quantified;
+  constexpr uint32_t NoIdx = ~0u;
+  size_t Window = Q.empty() ? 0 : size_t(Q.back()) - Watermark + 1;
+  std::vector<uint32_t> &Lookup = QIdxScratch;
+  Lookup.assign(Window, NoIdx);
+  for (uint32_t I = 0; I < Q.size(); ++I)
+    Lookup[Q[I] - Watermark] = I;
+  auto Encode = [&](SetVar V) -> SetVar {
+    if (V >= Watermark && V - Watermark < Window) {
+      uint32_t I = Lookup[V - Watermark];
+      if (I != NoIdx)
+        return BulkConstraint::QuantifiedFlag | I;
+    }
+    assert(!(V & BulkConstraint::QuantifiedFlag) &&
+           "free set variable collides with the quantified-index tag");
+    return V;
+  };
+
+  // Flatten the schema system into records in exactly the iteration
+  // order of the substitution walk: variables ascending, lower bounds in
+  // list order, then upper bounds in list order.
+  using BK = BulkConstraint::Kind;
+  std::vector<BulkConstraint> &Recs = RecScratch;
+  Recs.clear();
+  Recs.reserve(Sch.System->size());
+  for (SetVar A : Sch.System->variables()) {
+    SetVar EA = Encode(A);
+    for (const LowerBound &L : Sch.System->lowerBounds(A)) {
+      if (L.K == LowerBound::Kind::ConstLB)
+        Recs.push_back({BK::ConstLow, EA, L.C, 0});
+      else
+        Recs.push_back({BK::SelLow, EA, Encode(L.Other), L.Sel});
+    }
+    for (const UpperBound &U : Sch.System->upperBounds(A)) {
+      if (U.K == UpperBound::Kind::VarUB)
+        Recs.push_back({BK::VarUp, EA, Encode(U.Other), 0});
+      else if (U.K == UpperBound::Kind::FilterUB)
+        Recs.push_back({BK::FilterUp, EA, Encode(U.Other), U.Sel});
+      else
+        Recs.push_back({BK::SelUp, EA, Encode(U.Other), U.Sel});
+    }
+  }
+
+  SetVar EncodedResult = Encode(Sch.Result);
+  uint32_t NumQ = static_cast<uint32_t>(Q.size());
+
+  // Intern: structurally identical definitions (same records under the
+  // dense renumbering, same arity, same result) share one image.
+  uint64_t H = 1469598103934665603ull;
+  auto Mix = [&H](uint64_t X) { H = (H ^ X) * 1099511628211ull; };
+  Mix(NumQ);
+  Mix(EncodedResult);
+  for (const BulkConstraint &R : Recs) {
+    Mix(static_cast<uint32_t>(R.K));
+    Mix(R.A);
+    Mix(R.B);
+    Mix(R.Sel);
+  }
+  const SchemaImage *Img = nullptr;
+  for (SchemaImage *Cand : ImageIntern[H]) {
+    if (Cand->NumQuantified != NumQ || Cand->EncodedResult != EncodedResult ||
+        Cand->Records.size() != Recs.size())
+      continue;
+    bool Same = true;
+    for (uint32_t I = 0; I < Recs.size() && Same; ++I) {
+      const BulkConstraint &X = Cand->Records[I], &Y = Recs[I];
+      Same = X.K == Y.K && X.A == Y.A && X.B == Y.B && X.Sel == Y.Sel;
+    }
+    if (Same) {
+      Img = Cand;
+      ++Stats.SchemaInternHits;
+      break;
+    }
+  }
+  if (!Img) {
+    Images.push_back(SchemaImage{
+        {Arena.copy(Recs), static_cast<uint32_t>(Recs.size())},
+        NumQ,
+        EncodedResult});
+    ImageIntern[H].push_back(&Images.back());
+    Img = &Images.back();
+  }
+  Sch.Image = Img;
+
+  // Per-schema feedback edges (ψ(l) ≤ l): only quantified labels and
+  // scrutinees get an edge — for free ones the copy IS the shared
+  // variable, exactly the old MV != V test. The shared side stays a raw
+  // (untagged) variable, so it survives the remap unchanged.
+  std::vector<BulkConstraint> &Feed = FeedScratch;
+  Feed.clear();
+  for (SetVar V : Sch.LabelVars)
+    if (SetVar EV = Encode(V); EV != V)
+      Feed.push_back({BK::VarUp, EV, V, 0});
+  for (SetVar V : Sch.CheckVars)
+    if (SetVar EV = Encode(V); EV != V)
+      Feed.push_back({BK::VarUp, EV, V, 0});
+  Sch.Feedback = {Arena.copy(Feed), static_cast<uint32_t>(Feed.size())};
+
+  // The image and feedback records now carry everything instantiation
+  // needs; drop the creation-only state (per-schema system, vectors).
+  Sch.System.reset();
+  Sch.Quantified = {};
+  Sch.CheckVars = {};
+  Sch.LabelVars = {};
+}
+
 SetVar Deriver::instantiate(const Schema &Sch, ConstraintSystem &S) {
+  if (Sch.Image) {
+    // Fast path: replay the compiled image into a bulk-reserved variable
+    // block. Identical call sequence to the walk below, so the built
+    // system is byte-identical.
+    const SchemaImage &Img = *Sch.Image;
+    SetVar Base = Ctx.freshVarRange(Img.NumQuantified);
+    S.addBulk(Img.Records.begin(), Img.Records.size(), Base);
+    S.addBulk(Sch.Feedback.begin(), Sch.Feedback.size(), Base);
+    ++Stats.Instantiations;
+    Stats.InstantiatedConstraints += Img.Records.size();
+    Stats.BulkClonedConstraints += Img.Records.size() + Sch.Feedback.size();
+    return BulkConstraint::decode(Img.EncodedResult, Base);
+  }
   std::unordered_map<SetVar, SetVar> Subst;
   Subst.reserve(Sch.Quantified.size());
   for (SetVar Q : Sch.Quantified)
@@ -387,11 +517,11 @@ void Deriver::deriveComponent(uint32_t CompIdx, ConstraintSystem &S) {
       continue;
     }
     if (auto Sch = maybeMakeSchema(F.DefVar, F.Body, S)) {
-      Schemas[F.DefVar] = Sch;
+      Schema &Slot = Schemas[F.DefVar] = std::move(*Sch);
       SchemaComponent[F.DefVar] = CompIdx;
       // One default instance so monomorphic fallbacks, re-exports and the
       // recursion knot have a concrete inhabitant.
-      SetVar Inst = instantiate(*Sch, S);
+      SetVar Inst = instantiate(Slot, S);
       S.addVarUpper(Inst, varOfVar(F.DefVar));
       continue;
     }
@@ -423,7 +553,7 @@ SetVar Deriver::deriveVarRef(ExprId E, ConstraintSystem &S) {
     UseSchema = false;
   }
   if (UseSchema) {
-    SetVar Inst = instantiate(*It->second, S);
+    SetVar Inst = instantiate(It->second, S);
     S.addVarUpper(Inst, A);
   } else {
     S.addVarUpper(varOfVar(Node.Var), A);
@@ -434,11 +564,12 @@ SetVar Deriver::deriveVarRef(ExprId E, ConstraintSystem &S) {
 SetVar Deriver::derivePrim(ExprId E, ConstraintSystem &S) {
   const Expr &Node = P.expr(E);
   SetVar A = varOfExpr(E);
-  std::vector<SetVar> Args;
-  Args.reserve(Node.Kids.size());
+  size_t Mark = ArgScratch.size();
   for (ExprId Kid : Node.Kids)
-    Args.push_back(deriveExpr(Kid, S));
-  addPrimChecks(E, Args);
+    ArgScratch.push_back(deriveExpr(Kid, S));
+  const SetVar *Args = ArgScratch.data() + Mark;
+  size_t NumArgs = ArgScratch.size() - Mark;
+  addPrimChecks(E, Args, NumArgs);
 
   const PrimSpec &Spec = primSpec(Node.PrimOp);
   switch (Spec.Shape) {
@@ -478,13 +609,13 @@ SetVar Deriver::derivePrim(ExprId E, ConstraintSystem &S) {
     SetVar Delta = Ctx.freshVar();
     S.addConstLower(A, Ctx.Constants.basic(ConstKind::VecTag));
     if (Node.PrimOp == Prim::MakeVector) {
-      if (Args.size() > 1)
+      if (NumArgs > 1)
         S.addVarUpper(Args[1], Delta);
       else
         S.addConstLower(Delta, Ctx.Constants.basic(ConstKind::Num));
     } else {
-      for (SetVar Arg : Args)
-        S.addVarUpper(Arg, Delta);
+      for (size_t I = 0; I < NumArgs; ++I)
+        S.addVarUpper(Args[I], Delta);
     }
     S.addSelLower(A, Ctx.VecMinus, Delta);
     S.addSelLower(A, Ctx.VecPlus, Delta);
@@ -500,10 +631,10 @@ SetVar Deriver::derivePrim(ExprId E, ConstraintSystem &S) {
   case PrimShape::ListShape:
     // A proper list: nil plus a self-referential pair spine.
     S.addConstLower(A, Ctx.Constants.basic(ConstKind::Nil));
-    if (!Args.empty()) {
+    if (NumArgs != 0) {
       S.addConstLower(A, Ctx.Constants.basic(ConstKind::Pair));
-      for (SetVar Arg : Args)
-        S.addSelLower(A, Ctx.Car, Arg);
+      for (size_t I = 0; I < NumArgs; ++I)
+        S.addSelLower(A, Ctx.Car, Args[I]);
       S.addSelLower(A, Ctx.Cdr, A);
     }
     break;
@@ -511,6 +642,7 @@ SetVar Deriver::derivePrim(ExprId E, ConstraintSystem &S) {
     // (error ...) never returns; α stays empty (least solution ⊥).
     break;
   }
+  ArgScratch.resize(Mark);
   return A;
 }
 
@@ -579,14 +711,14 @@ SetVar Deriver::deriveExpr(ExprId E, ConstraintSystem &S) {
   case ExprKind::Let: {
     for (const Binding &B : Node.Bindings) {
       if (auto Sch = maybeMakeSchema(B.Var, B.Init, S)) {
-        Schemas[B.Var] = Sch;
+        Schema &Slot = Schemas[B.Var] = std::move(*Sch);
         SchemaComponent[B.Var] = CurrentComponent;
         // Call-by-value evaluates the init once regardless of uses: one
         // evaluation instance keeps labels and check sites inside the
         // init sound even for never-referenced bindings. Its result also
         // inhabits the monomorphic variable so filter-based narrowing
         // (which reads varOfVar) sees the binding's value.
-        SetVar Inst = instantiate(*Sch, S);
+        SetVar Inst = instantiate(Slot, S);
         S.addVarUpper(Inst, varOfVar(B.Var));
         continue;
       }

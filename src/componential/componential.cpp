@@ -78,6 +78,7 @@ struct ComponentialAnalyzer::ComponentWork {
   std::unique_ptr<ConstraintSystem> Simplified;
   size_t RawConstraints = 0;
   ClosureStats Closure;  ///< derive + simplify solver counters
+  DeriveStats Derive;    ///< schema/instantiation counters (fresh derives)
   std::string FileText;  ///< serialized constraint file (save path)
   std::string CacheText; ///< raw file text when the header validated
   bool CacheHit = false;
@@ -388,6 +389,7 @@ ComponentialAnalyzer::deriveIsolated(uint32_t CompIdx,
   }
   W.RawConstraints = Local.size();
   W.Closure = Local.stats();
+  W.Derive = Private.stats();
 
   std::vector<VarId> ExternalVars = externalVarIdsOf(CompIdx);
   std::vector<SetVar> E;
@@ -450,6 +452,10 @@ void ComponentialAnalyzer::merge(uint32_t CompIdx, ComponentWork &W) {
       return;
     }
   }
+
+  // Schema/instantiation counters from the component's private Deriver
+  // (zeros for a component served from the cache — nothing was derived).
+  Info.Derive.merge(W.Derive);
 
   if (Opts.MergeViaFiles && !W.FileText.empty() &&
       loadFromText(CompIdx, W.FileText, CS)) {

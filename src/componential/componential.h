@@ -128,6 +128,9 @@ std::string componentCacheFileName(std::string_view ComponentName);
 /// any reconstructs, plus per-phase wall times. Valid after run().
 struct ComponentialRunInfo {
   ClosureStats Closure;
+  /// Aggregated schema/instantiation counters of the step-1 private
+  /// derivers (components served from the cache contribute nothing).
+  DeriveStats Derive;
   double DeriveMs = 0; ///< step 1 (parallel fan-out), wall time
   double MergeMs = 0;  ///< step 2 renumbering combine
   double CloseMs = 0;  ///< closing the combined system

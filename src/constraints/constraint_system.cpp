@@ -404,16 +404,25 @@ void ConstraintSystem::resolveEpsPending() {
   // found path closes a cycle, which is collapsed; exceeding the budget
   // just leaves the cycle to ordinary propagation (or to the offline SCC
   // pass at the next close()).
+  std::vector<SetVar> Stack;
   for (size_t EI = 0; EI < EpsPending.size(); ++EI) {
     const SetVar RA = find(EpsPending[EI].first);
     const SetVar RB = find(EpsPending[EI].second);
     if (RA == RB || slotOf(RB) == NoSlot)
       continue; // same class already, or RB has no out-edges yet
 
-    uint64_t Budget = CycleSearchBudget;
-    // (visited root, parent root in the DFS tree)
-    std::vector<std::pair<SetVar, SetVar>> Visited{{RB, NoSetVar}};
-    std::vector<SetVar> Stack{RB};
+    uint64_t Budget = EpsSearchBudget;
+    // Stamped visit marks: a node is visited this search iff its epoch
+    // matches, so membership tests and parent lookups are O(1) without
+    // per-search clearing.
+    ++EpsSearchEpoch;
+    if (EpsVisitEpoch.size() < Slots.size()) {
+      EpsVisitEpoch.resize(Slots.size(), 0);
+      EpsVisitParent.resize(Slots.size(), NoSetVar);
+    }
+    EpsVisitEpoch[RB] = EpsSearchEpoch;
+    EpsVisitParent[RB] = NoSetVar;
+    Stack.assign(1, RB);
     SetVar FoundFrom = NoSetVar;
 
     while (!Stack.empty() && Budget && FoundFrom == NoSetVar) {
@@ -442,14 +451,9 @@ void ConstraintSystem::resolveEpsPending() {
           }
           if (slotOf(T) == NoSlot)
             continue; // no out-edges; cannot be on a cycle
-          bool Seen = false;
-          for (const auto &[V, P] : Visited)
-            if (V == T) {
-              Seen = true;
-              break;
-            }
-          if (!Seen) {
-            Visited.push_back({T, Cur});
+          if (EpsVisitEpoch[T] != EpsSearchEpoch) {
+            EpsVisitEpoch[T] = EpsSearchEpoch;
+            EpsVisitParent[T] = Cur;
             Stack.push_back(T);
           }
         }
@@ -458,20 +462,15 @@ void ConstraintSystem::resolveEpsPending() {
       }
     }
 
-    if (FoundFrom == NoSetVar)
+    if (FoundFrom == NoSetVar) {
+      EpsSearchBudget = std::max(CycleSearchBudgetMin, EpsSearchBudget / 2);
       continue;
+    }
+    EpsSearchBudget = CycleSearchBudget;
     // Reconstruct the path RB ⇝ FoundFrom and collapse it with RA.
     std::vector<SetVar> Cycle{RA};
-    for (SetVar V = FoundFrom; V != NoSetVar;) {
+    for (SetVar V = FoundFrom; V != NoSetVar; V = EpsVisitParent[V])
       Cycle.push_back(V);
-      SetVar P = NoSetVar;
-      for (const auto &[Node, Par] : Visited)
-        if (Node == V) {
-          P = Par;
-          break;
-        }
-      V = P;
-    }
     collapseCycle(std::move(Cycle));
   }
   EpsPending.clear();
@@ -577,6 +576,35 @@ void ConstraintSystem::close() {
     markDirty(find(A));
   }
   drain();
+}
+
+void ConstraintSystem::addBulk(const BulkConstraint *Recs, size_t N,
+                               SetVar Base) {
+  // Grow the dedup table once for the whole batch instead of doubling it
+  // mid-replay. Capacity is unobservable, so the resulting system stays
+  // identical to one built by individual adder calls.
+  Keys.reserve(Keys.size() + N);
+  for (size_t I = 0; I < N; ++I) {
+    const BulkConstraint &R = Recs[I];
+    SetVar A = BulkConstraint::decode(R.A, Base);
+    switch (R.K) {
+    case BulkConstraint::Kind::ConstLow:
+      addConstLower(A, R.B);
+      break;
+    case BulkConstraint::Kind::SelLow:
+      addSelLower(A, R.Sel, BulkConstraint::decode(R.B, Base));
+      break;
+    case BulkConstraint::Kind::VarUp:
+      addVarUpper(A, BulkConstraint::decode(R.B, Base));
+      break;
+    case BulkConstraint::Kind::SelUp:
+      addSelUpper(A, R.Sel, BulkConstraint::decode(R.B, Base));
+      break;
+    case BulkConstraint::Kind::FilterUp:
+      addFilterUpper(A, R.Sel, BulkConstraint::decode(R.B, Base));
+      break;
+    }
+  }
 }
 
 //===--------------------------------------------------------------------===//

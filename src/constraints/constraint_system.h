@@ -250,6 +250,28 @@ struct ClosureStats {
   std::string str() const;
 };
 
+/// One record of a compiled constraint image: a single bound in a form
+/// that can be replayed into any system with an offset remap. Variables
+/// carrying QuantifiedFlag are dense indices 0..Q-1 into a block of fresh
+/// variables reserved at replay time; plain variables pass through
+/// unchanged. All payloads are 32-bit (SetVar, Constant, Selector and
+/// KindMask are all uint32_t), so a record is four words of POD.
+struct BulkConstraint {
+  enum class Kind : uint32_t { ConstLow, SelLow, VarUp, SelUp, FilterUp };
+  Kind K = Kind::ConstLow;
+  SetVar A = NoSetVar; ///< the bounded variable (encoded)
+  uint32_t B = 0;      ///< partner variable (encoded) or Constant payload
+  uint32_t Sel = 0;    ///< Selector, or KindMask for FilterUp
+
+  /// Encoded-variable tag: set on quantified variables, whose low bits
+  /// are the dense index into the replay block.
+  static constexpr SetVar QuantifiedFlag = SetVar(1) << 31;
+
+  static SetVar decode(SetVar V, SetVar Base) {
+    return V & QuantifiedFlag ? Base + (V & ~QuantifiedFlag) : V;
+  }
+};
+
 /// A simple constraint system, kept closed under Θ.
 ///
 /// Set variables are owned by the shared ConstraintContext; a system only
@@ -293,6 +315,14 @@ public:
     if (insertUpper(A, UpperBound::filter(M, B)))
       drain();
   }
+
+  /// Replays \p N compiled records with quantified variables remapped to
+  /// the block starting at \p Base (see BulkConstraint). Each record goes
+  /// through the same insert+drain sequence as the closing adders above,
+  /// so the resulting system is bit-for-bit what per-record adds would
+  /// build; the bulk path only pre-sizes the dedup table and skips the
+  /// per-bound substitution machinery of the caller.
+  void addBulk(const BulkConstraint *Recs, size_t N, SetVar Base);
 
   //===------------------------------------------------------------------===
   // Raw adders: insert without closing (for building systems to be closed
@@ -427,6 +457,9 @@ private:
   /// Edge budget for one online cycle search (partial search: exceeding
   /// the budget just misses the collapse; propagation stays correct).
   static constexpr uint64_t CycleSearchBudget = 128;
+  /// Floor of the adaptive budget: a run of failed searches decays the
+  /// per-edge budget down to this; any successful collapse restores it.
+  static constexpr uint64_t CycleSearchBudgetMin = 8;
 
   uint32_t slotOf(SetVar A) const {
     return A < Slots.size() ? Slots[A] : NoSlot;
@@ -558,6 +591,17 @@ private:
   BoundKeySet Keys;
   std::vector<SetVar> Worklist; ///< dirty representatives (LIFO)
   std::vector<std::pair<SetVar, SetVar>> EpsPending;
+  /// Online cycle-search scratch: epoch-stamped visit marks and DFS-tree
+  /// parents, indexed by representative. Stamping makes the per-edge
+  /// search O(budget) instead of O(budget x visited) and avoids clearing.
+  uint64_t EpsSearchEpoch = 0;
+  std::vector<uint64_t> EpsVisitEpoch;
+  std::vector<SetVar> EpsVisitParent;
+  /// Adaptive per-edge search budget: halved (down to CycleSearchBudgetMin)
+  /// after every failed search, restored to CycleSearchBudget by a
+  /// successful collapse. Dense acyclic graphs (call graphs) stop paying
+  /// for searches that never find anything.
+  uint64_t EpsSearchBudget = CycleSearchBudget;
   size_t NumBounds = 0;
   ClosureStats Stats;
   CancelToken *Cancel = nullptr; ///< not owned; null = never cancels

@@ -183,6 +183,15 @@ public:
   }
 
   SetVar freshVar() { return NextVar++; }
+  /// Reserves \p N consecutive fresh variables and returns the first.
+  /// The bulk-clone instantiation path numbers a schema's quantified
+  /// copies Base..Base+N-1 — exactly the numbering N individual
+  /// freshVar() calls would produce.
+  SetVar freshVarRange(uint32_t N) {
+    SetVar Base = NextVar;
+    NextVar += N;
+    return Base;
+  }
   uint32_t numVars() const { return NextVar; }
 
   /// The anti-monotone selector for argument position \p I (App. E.3).

@@ -2,74 +2,138 @@
 
 #include "rtg/grammar.h"
 
+#include "support/flathash.h"
+
 #include <algorithm>
 
 using namespace spidey;
 
 Grammar::Grammar(const ConstraintSystem &S, const std::vector<SetVar> &E)
     : Ctx(&S.context()) {
-  External.insert(E.begin(), E.end());
   Vars = S.variables();
+  {
+    SetVar MaxV = 0;
+    for (SetVar V : Vars)
+      MaxV = std::max(MaxV, V);
+    for (SetVar V : E)
+      MaxV = std::max(MaxV, V);
+    VarIdx.assign(Vars.empty() && E.empty() ? 0 : size_t(MaxV) + 1, NoId);
+    ExternalBit.assign(VarIdx.size(), 0);
+  }
+  for (SetVar V : E)
+    ExternalBit[V] = 1;
+  for (uint32_t I = 0; I < Vars.size(); ++I)
+    VarIdx[Vars[I]] = I;
   // External variables may be untouched by any constraint; they still have
   // the (reflex) productions and root pairs.
-  {
-    std::unordered_set<SetVar> InVars(Vars.begin(), Vars.end());
-    for (SetVar V : E)
-      if (!InVars.count(V))
-        Vars.push_back(V);
-  }
-  VarIdx.reserve(Vars.size());
-  for (uint32_t I = 0; I < Vars.size(); ++I)
-    VarIdx.emplace(Vars[I], I);
-  DenseProds.resize(Vars.size() * 2);
-  DenseEps.resize(Vars.size() * 2);
+  for (SetVar V : E)
+    if (VarIdx[V] == NoId) {
+      VarIdx[V] = static_cast<uint32_t>(Vars.size());
+      Vars.push_back(V);
+    }
+  uint32_t NumNT = static_cast<uint32_t>(Vars.size()) * 2;
 
+  // The %filter pseudo-selector for a given real selector is interned once
+  // and cached: the old per-constraint string build + table lookup was a
+  // measurable share of grammar construction.
+  constexpr Selector NoSel = ~Selector(0);
+  std::vector<Selector> FilterCache;
+  auto FilterFor = [&](Selector Sel) {
+    if (FilterCache.size() <= Sel)
+      FilterCache.resize(size_t(Sel) + 1, NoSel);
+    if (FilterCache[Sel] == NoSel)
+      FilterCache[Sel] = const_cast<ConstraintContext *>(Ctx)->Selectors.intern(
+          "%filter" + std::to_string(Sel), Polarity::Monotone);
+    return FilterCache[Sel];
+  };
+
+  // Productions and ε-edges go straight into CSR arrays: pass A counts
+  // per-NT entries, pass B fills them in the same iteration order, so each
+  // per-NT slice preserves the historical append order with zero per-NT
+  // vector allocations.
   const SelectorTable &Sels = Ctx->Selectors;
+  BaseOff.assign(NumNT + 1, 0);
+  EpsOff.assign(NumNT + 1, 0);
   for (SetVar V : Vars) {
     NT L{V, false}, U{V, true};
-    if (External.count(V)) {
-      addProd(L, Prod{Prod::Kind::Term, V, 0, {}});
-      addProd(U, Prod{Prod::Kind::Term, V, 0, {}});
+    if (ExternalBit[V]) {
+      ++BaseOff[ntId(L) + 1];
+      ++BaseOff[ntId(U) + 1];
     }
     for (const UpperBound &UB : S.upperBounds(V)) {
       if (UB.K == UpperBound::Kind::FilterUB) {
-        // Conditional edges are approximated as an uninterpreted monotone
-        // pseudo-selector (conservative for both simplification keeping
-        // and entailment).
-        Selector F = const_cast<ConstraintContext *>(Ctx)->Selectors.intern(
-            "%filter" + std::to_string(UB.Sel), Polarity::Monotone);
-        addProd(NT{UB.Other, false},
-                Prod{Prod::Kind::Sel, NoSetVar, F, NT{V, false}});
-        continue;
-      }
-      if (UB.K == UpperBound::Kind::VarUB) {
-        // [α ≤ β]: αU → βU and βL → αL.
-        addEps(U, NT{UB.Other, true});
-        addEps(NT{UB.Other, false}, L);
+        FilterFor(UB.Sel); // warm the cache
+        ++BaseOff[ntId(NT{UB.Other, false}) + 1];
+      } else if (UB.K == UpperBound::Kind::VarUB) {
+        ++EpsOff[ntId(U) + 1];
+        ++EpsOff[ntId(NT{UB.Other, false}) + 1];
       } else if (Sels.isMonotone(UB.Sel)) {
-        // [s(α) ≤ β] (monotone): βL → s(αL).
-        addProd(NT{UB.Other, false}, Prod{Prod::Kind::Sel, NoSetVar, UB.Sel,
-                                          NT{V, false}});
+        ++BaseOff[ntId(NT{UB.Other, false}) + 1];
       } else {
-        // [β ≤ s(α)] (anti-monotone): βU → s(αL)? No — this is an upper
-        // bound β ≤ s⁻(α) on α, i.e. the constraint [β ≤ s(α)], giving
-        // βU → s(αL) by the anti-monotone rule with (α, β) swapped:
-        // the bounded variable is UB.Other (the β).
-        addProd(NT{UB.Other, true},
-                Prod{Prod::Kind::Sel, NoSetVar, UB.Sel, NT{V, false}});
+        ++BaseOff[ntId(NT{UB.Other, true}) + 1];
       }
     }
     for (const LowerBound &LB : S.lowerBounds(V)) {
-      if (LB.K == LowerBound::Kind::ConstLB) {
+      if (LB.K == LowerBound::Kind::ConstLB)
         RootConsts.emplace_back(LB.C, V);
-      } else if (Sels.isMonotone(LB.Sel)) {
-        // [β ≤ s(α)] (monotone): βU → s(αU).
-        addProd(NT{LB.Other, true},
-                Prod{Prod::Kind::Sel, NoSetVar, LB.Sel, NT{V, true}});
-      } else {
-        // [s(α) ≤ β] (anti-monotone): βL → s(αU).
-        addProd(NT{LB.Other, false},
-                Prod{Prod::Kind::Sel, NoSetVar, LB.Sel, NT{V, true}});
+      else if (Sels.isMonotone(LB.Sel))
+        ++BaseOff[ntId(NT{LB.Other, true}) + 1];
+      else
+        ++BaseOff[ntId(NT{LB.Other, false}) + 1];
+    }
+  }
+  for (uint32_t Id = 0; Id < NumNT; ++Id) {
+    BaseOff[Id + 1] += BaseOff[Id];
+    EpsOff[Id + 1] += EpsOff[Id];
+  }
+  BaseProds.resize(BaseOff[NumNT]);
+  EpsTgt.resize(EpsOff[NumNT]);
+  {
+    std::vector<uint32_t> PFill(BaseOff.begin(), BaseOff.end() - 1);
+    std::vector<uint32_t> EFill(EpsOff.begin(), EpsOff.end() - 1);
+    auto AddProd = [&](NT From, Prod P) { BaseProds[PFill[ntId(From)]++] = P; };
+    auto AddEps = [&](NT From, NT To) { EpsTgt[EFill[ntId(From)]++] = To; };
+    for (SetVar V : Vars) {
+      NT L{V, false}, U{V, true};
+      if (ExternalBit[V]) {
+        AddProd(L, Prod{Prod::Kind::Term, V, 0, {}});
+        AddProd(U, Prod{Prod::Kind::Term, V, 0, {}});
+      }
+      for (const UpperBound &UB : S.upperBounds(V)) {
+        if (UB.K == UpperBound::Kind::FilterUB) {
+          // Conditional edges are approximated as an uninterpreted monotone
+          // pseudo-selector (conservative for both simplification keeping
+          // and entailment).
+          AddProd(NT{UB.Other, false},
+                  Prod{Prod::Kind::Sel, NoSetVar, FilterFor(UB.Sel),
+                       NT{V, false}});
+        } else if (UB.K == UpperBound::Kind::VarUB) {
+          // [α ≤ β]: αU → βU and βL → αL.
+          AddEps(U, NT{UB.Other, true});
+          AddEps(NT{UB.Other, false}, L);
+        } else if (Sels.isMonotone(UB.Sel)) {
+          // [s(α) ≤ β] (monotone): βL → s(αL).
+          AddProd(NT{UB.Other, false},
+                  Prod{Prod::Kind::Sel, NoSetVar, UB.Sel, NT{V, false}});
+        } else {
+          // [β ≤ s(α)] (anti-monotone): βU → s(αL) with (α, β) swapped:
+          // the bounded variable is UB.Other (the β).
+          AddProd(NT{UB.Other, true},
+                  Prod{Prod::Kind::Sel, NoSetVar, UB.Sel, NT{V, false}});
+        }
+      }
+      for (const LowerBound &LB : S.lowerBounds(V)) {
+        if (LB.K == LowerBound::Kind::ConstLB) {
+          // Collected in pass A (RootConsts).
+        } else if (Sels.isMonotone(LB.Sel)) {
+          // [β ≤ s(α)] (monotone): βU → s(αU).
+          AddProd(NT{LB.Other, true},
+                  Prod{Prod::Kind::Sel, NoSetVar, LB.Sel, NT{V, true}});
+        } else {
+          // [s(α) ≤ β] (anti-monotone): βL → s(αU).
+          AddProd(NT{LB.Other, false},
+                  Prod{Prod::Kind::Sel, NoSetVar, LB.Sel, NT{V, true}});
+        }
       }
     }
   }
@@ -78,91 +142,99 @@ Grammar::Grammar(const ConstraintSystem &S, const std::vector<SetVar> &E)
   computeNonempty();
 }
 
-void Grammar::addProd(NT From, Prod P) {
-  DenseProds[ntId(From)].push_back(P);
-}
-
-void Grammar::addEps(NT From, NT To) { DenseEps[ntId(From)].push_back(To); }
-
 void Grammar::eliminateEpsilon() {
   // For each non-terminal, add the productions of every ε-reachable
   // non-terminal, then drop the ε edges from the production relation
   // (Eps is retained for reachability queries, §6.4.2).
   //
-  // Stamped scratch arrays shared across the per-NT walks keep this free
-  // of per-NT allocations: SeenStamp marks ε-visited ids, ProdStamp
-  // dedups merged productions.
-  uint32_t NumNT = static_cast<uint32_t>(DenseProds.size());
-  std::vector<std::vector<Prod>> Closed(NumNT);
+  // Non-terminals without ε out-edges keep their base CSR slice with no
+  // copy; merged lists are appended to MergedProds. Stamped scratch keeps
+  // the per-NT walks free of allocations: SeenStamp marks ε-visited ids,
+  // ProdSeen dedups merged productions.
+  uint32_t NumNT = static_cast<uint32_t>(BaseOff.size()) - 1;
+  Final.resize(NumNT);
   std::vector<uint32_t> SeenStamp(NumNT, 0);
-  std::unordered_map<uint64_t, uint32_t> ProdStamp;
+  StampedKeySet ProdSeen;
   std::vector<uint32_t> Stack;
   for (uint32_t Id = 0; Id < NumNT; ++Id) {
-    if (DenseEps[Id].empty()) {
-      // No ε out-edges: the closed production set is the local one.
-      Closed[Id] = DenseProds[Id];
+    if (EpsOff[Id] == EpsOff[Id + 1]) {
+      // No ε out-edges: the closed production set is the base slice.
+      Final[Id] = {BaseOff[Id], BaseOff[Id + 1] - BaseOff[Id], 0};
       continue;
     }
     uint32_t Stamp = Id + 1;
-    std::vector<Prod> Merged;
+    ProdSeen.clear();
+    uint32_t MergedStart = static_cast<uint32_t>(MergedProds.size());
     auto Push = [&](const Prod &P) {
       uint64_t Key = P.K == Prod::Kind::Term
                          ? (uint64_t(1) << 63) | P.TermVar
                          : (uint64_t(P.S) << 34) | P.Target.key();
-      auto [It, New] = ProdStamp.emplace(Key, Stamp);
-      if (!New) {
-        if (It->second == Stamp)
-          return;
-        It->second = Stamp;
-      }
-      Merged.push_back(P);
+      if (ProdSeen.insert(Key))
+        MergedProds.push_back(P);
     };
     Stack.assign(1, Id);
     SeenStamp[Id] = Stamp;
     while (!Stack.empty()) {
       uint32_t Cur = Stack.back();
       Stack.pop_back();
-      for (const Prod &P : DenseProds[Cur])
-        Push(P);
-      for (NT Next : DenseEps[Cur]) {
-        uint32_t NId = ntId(Next);
+      for (uint32_t I = BaseOff[Cur]; I < BaseOff[Cur + 1]; ++I)
+        Push(BaseProds[I]);
+      for (uint32_t I = EpsOff[Cur]; I < EpsOff[Cur + 1]; ++I) {
+        uint32_t NId = ntId(EpsTgt[I]);
         if (SeenStamp[NId] != Stamp) {
           SeenStamp[NId] = Stamp;
           Stack.push_back(NId);
         }
       }
     }
-    Closed[Id] = std::move(Merged);
+    Final[Id] = {MergedStart,
+                 static_cast<uint32_t>(MergedProds.size()) - MergedStart, 1};
   }
-  DenseProds = std::move(Closed);
 }
 
 void Grammar::computeNonempty() {
   // Least fixpoint: X nonempty if it has a Term production or a Sel
-  // production into a nonempty target. Worklist over reverse Sel edges.
-  uint32_t NumNT = static_cast<uint32_t>(DenseProds.size());
+  // production into a nonempty target. Worklist over reverse Sel edges in
+  // CSR form (count, prefix-sum, fill).
+  uint32_t NumNT = static_cast<uint32_t>(Final.size());
   NonemptyBit.assign(NumNT, 0);
-  std::vector<std::vector<uint32_t>> Rev(NumNT);
+  std::vector<uint32_t> RevOff(NumNT + 1, 0);
   std::vector<uint32_t> Work;
-  for (uint32_t Id = 0; Id < NumNT; ++Id) {
-    for (const Prod &P : DenseProds[Id]) {
-      if (P.K == Prod::Kind::Term) {
-        if (!NonemptyBit[Id]) {
-          NonemptyBit[Id] = 1;
-          Work.push_back(Id);
+  auto FinalProds = [&](uint32_t Id) {
+    const ProdRef &R = Final[Id];
+    const Prod *Base = (R.Merged ? MergedProds : BaseProds).data();
+    return ArenaSpan<Prod>{Base + R.Off, R.Len};
+  };
+  for (uint32_t Id = 0; Id < NumNT; ++Id)
+    for (const Prod &P : FinalProds(Id))
+      if (P.K == Prod::Kind::Sel)
+        ++RevOff[ntId(P.Target) + 1];
+  for (uint32_t Id = 0; Id < NumNT; ++Id)
+    RevOff[Id + 1] += RevOff[Id];
+  std::vector<uint32_t> RevDst(RevOff[NumNT]);
+  {
+    std::vector<uint32_t> Fill(RevOff.begin(), RevOff.end() - 1);
+    for (uint32_t Id = 0; Id < NumNT; ++Id)
+      for (const Prod &P : FinalProds(Id)) {
+        if (P.K == Prod::Kind::Term) {
+          if (!NonemptyBit[Id]) {
+            NonemptyBit[Id] = 1;
+            Work.push_back(Id);
+          }
+        } else {
+          RevDst[Fill[ntId(P.Target)]++] = Id;
         }
-      } else {
-        Rev[ntId(P.Target)].push_back(Id);
       }
-    }
   }
   while (!Work.empty()) {
     uint32_t Id = Work.back();
     Work.pop_back();
-    for (uint32_t Src : Rev[Id])
+    for (uint32_t I = RevOff[Id]; I < RevOff[Id + 1]; ++I) {
+      uint32_t Src = RevDst[I];
       if (!NonemptyBit[Src]) {
         NonemptyBit[Src] = 1;
         Work.push_back(Src);
       }
+    }
   }
 }

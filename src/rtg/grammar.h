@@ -23,15 +23,19 @@
 /// variable: s1(s2(...(α))). The grammar is also the NFA over the alphabet
 /// Selectors ∪ E used by the containment and entailment algorithms.
 ///
+/// Storage is flat: productions and ε-edges live in CSR arrays indexed by
+/// dense non-terminal id (2 per variable), and ε-elimination produces
+/// spans — ε-free non-terminals alias their pre-elimination slice with no
+/// copy. This file is on the simplifier's hot path; see DESIGN.md §10.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SPIDEY_RTG_GRAMMAR_H
 #define SPIDEY_RTG_GRAMMAR_H
 
 #include "constraints/constraint_system.h"
+#include "support/arena.h"
 
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 namespace spidey {
@@ -67,10 +71,13 @@ public:
   const ConstraintContext &context() const { return *Ctx; }
 
   /// ε-free productions of a non-terminal.
-  const std::vector<Prod> &prods(NT X) const {
-    static const std::vector<Prod> Empty;
+  ArenaSpan<Prod> prods(NT X) const {
     uint32_t Id = ntId(X);
-    return Id == NoId ? Empty : DenseProds[Id];
+    if (Id == NoId)
+      return {};
+    const ProdRef &R = Final[Id];
+    const Prod *Base = (R.Merged ? MergedProds : BaseProds).data();
+    return {Base + R.Off, R.Len};
   }
 
   /// Root productions R → [γL ≤ γU] (one per variable of S).
@@ -88,40 +95,62 @@ public:
 
   /// Unit (ε) production targets of X from the pre-elimination grammar,
   /// needed for faithful reachability computations (§6.4.2).
-  const std::vector<NT> &epsTargets(NT X) const {
-    static const std::vector<NT> Empty;
+  ArenaSpan<NT> epsTargets(NT X) const {
     uint32_t Id = ntId(X);
-    return Id == NoId ? Empty : DenseEps[Id];
+    if (Id == NoId)
+      return {};
+    return {EpsTgt.data() + EpsOff[Id], EpsOff[Id + 1] - EpsOff[Id]};
   }
 
   /// All variables mentioned by the underlying system.
   const std::vector<SetVar> &variables() const { return Vars; }
 
-  bool isExternal(SetVar V) const { return External.count(V) != 0; }
-
-private:
-  static constexpr uint32_t NoId = ~0u;
-
-  /// Dense non-terminal index: 2 * position-of-Var-in-Vars + Upper, or
-  /// NoId for variables the grammar never saw.
-  uint32_t ntId(NT X) const {
-    auto It = VarIdx.find(X.Var);
-    return It == VarIdx.end() ? NoId
-                              : It->second * 2 + (X.Upper ? 1u : 0u);
+  bool isExternal(SetVar V) const {
+    return V < ExternalBit.size() && ExternalBit[V];
   }
 
-  void addProd(NT From, Prod P);
-  void addEps(NT From, NT To);
+  static constexpr uint32_t NoId = ~0u;
+
+  /// Dense non-terminal id of X (2 * position-of-Var-in-Vars + Upper), or
+  /// NoId for variables the grammar never saw. Exposed so callers can keep
+  /// per-NT scratch in flat arrays instead of hash sets.
+  uint32_t ntId(NT X) const {
+    uint32_t I = X.Var < VarIdx.size() ? VarIdx[X.Var] : NoId;
+    return I == NoId ? NoId : I * 2 + (X.Upper ? 1u : 0u);
+  }
+
+  /// Number of dense non-terminal ids (2 per variable).
+  uint32_t numNonterminals() const {
+    return static_cast<uint32_t>(Final.size());
+  }
+
+private:
+  /// Post-elimination production list of one non-terminal: a slice of
+  /// BaseProds (ε-free, zero-copy) or of MergedProds (ε-merged).
+  struct ProdRef {
+    uint32_t Off = 0;
+    uint32_t Len = 0;
+    uint8_t Merged = 0;
+  };
+
   void eliminateEpsilon();
   void computeNonempty();
 
   const ConstraintContext *Ctx;
-  /// Productions and ε-edges indexed by dense non-terminal id.
-  std::vector<std::vector<Prod>> DenseProds;
-  std::vector<std::vector<NT>> DenseEps;
+  /// Pre-elimination productions in CSR form over dense NT ids.
+  std::vector<Prod> BaseProds;
+  std::vector<uint32_t> BaseOff;
+  /// Payload for non-terminals whose lists changed under ε-elimination.
+  std::vector<Prod> MergedProds;
+  /// Per-NT production view after ε-elimination.
+  std::vector<ProdRef> Final;
+  /// ε-edges in CSR form (retained for reachability, §6.4.2).
+  std::vector<NT> EpsTgt;
+  std::vector<uint32_t> EpsOff;
   std::vector<uint8_t> NonemptyBit;
-  std::unordered_map<SetVar, uint32_t> VarIdx;
-  std::unordered_set<SetVar> External;
+  /// Direct-mapped SetVar -> dense var index (NoId when never seen).
+  std::vector<uint32_t> VarIdx;
+  std::vector<uint8_t> ExternalBit;
   std::vector<SetVar> Vars;
   std::vector<SetVar> RootVars;
   std::vector<std::pair<Constant, SetVar>> RootConsts;

@@ -3,6 +3,7 @@
 #include "simplify/simplify.h"
 
 #include "rtg/grammar.h"
+#include "support/flathash.h"
 
 #include <algorithm>
 #include <cassert>
@@ -36,6 +37,7 @@ using ConstraintKey = std::tuple<uint8_t, SetVar, Selector, uint32_t>;
 
 std::vector<FlatConstraint> flatten(const ConstraintSystem &S) {
   std::vector<FlatConstraint> Out;
+  Out.reserve(S.size());
   for (SetVar A : S.variables()) {
     for (const LowerBound &L : S.lowerBounds(A)) {
       if (L.K == LowerBound::Kind::ConstLB)
@@ -112,12 +114,17 @@ bool keepNonEmpty(const FlatConstraint &C, const Grammar &G) {
 // Unreachable-constraint simplification (§6.4.2).
 //===----------------------------------------------------------------------===
 
-std::unordered_set<uint64_t> computeReachable(const Grammar &G) {
-  std::unordered_set<uint64_t> Reachable;
+std::vector<uint8_t> computeReachable(const Grammar &G) {
+  // Dense bitmap over the grammar's non-terminal ids (every marked NT is
+  // in the grammar by construction).
+  std::vector<uint8_t> Reachable(G.numNonterminals(), 0);
   std::vector<NT> Work;
   auto Mark = [&](NT X) {
-    if (Reachable.insert(X.key()).second)
+    uint32_t Id = G.ntId(X);
+    if (Id != Grammar::NoId && !Reachable[Id]) {
+      Reachable[Id] = 1;
       Work.push_back(X);
+    }
   };
   // Seeds: R → [γL ≤ γU] contributes each side when the partner side can
   // produce a word; R → [c ≤ ωU] contributes ωU unconditionally.
@@ -145,8 +152,11 @@ std::unordered_set<uint64_t> computeReachable(const Grammar &G) {
 }
 
 bool keepReachable(const FlatConstraint &C, const Grammar &G,
-                   const std::unordered_set<uint64_t> &Reachable) {
-  auto R = [&](NT X) { return Reachable.count(X.key()) != 0; };
+                   const std::vector<uint8_t> &Reachable) {
+  auto R = [&](NT X) {
+    uint32_t Id = G.ntId(X);
+    return Id != Grammar::NoId && Reachable[Id];
+  };
   NT AL{C.A, false}, AU{C.A, true};
   switch (C.K) {
   case FlatConstraint::Kind::ConstLB:
@@ -187,15 +197,27 @@ bool keepReachable(const FlatConstraint &C, const Grammar &G,
 /// Candidates are applied in non-overlapping batches per pass.
 std::vector<FlatConstraint>
 removeEpsilon(std::vector<FlatConstraint> Cs, const SelectorTable &Sels,
-              const std::unordered_set<SetVar> &External) {
-  // Dense variable index. Merges only ever substitute one existing
-  // variable for another, so the index built from the initial system
-  // covers every pass; per-constraint ids are cached alongside Cs and
-  // rewritten in place during each rebuild, making the per-pass work pure
-  // array arithmetic.
-  std::unordered_map<SetVar, uint32_t> Idx;
+              const std::vector<SetVar> &External) {
+  // Dense variable index (direct-mapped: set variables are small dense
+  // integers). Merges only ever substitute one existing variable for
+  // another, so the index built from the initial system covers every
+  // pass; per-constraint ids are cached alongside Cs and rewritten in
+  // place during each rebuild, making the per-pass work pure array
+  // arithmetic.
+  constexpr uint32_t NoIdx = ~0u;
+  SetVar MaxV = 0;
+  for (const FlatConstraint &C : Cs) {
+    MaxV = std::max(MaxV, C.A);
+    if (C.K != FlatConstraint::Kind::ConstLB)
+      MaxV = std::max(MaxV, C.B);
+  }
+  std::vector<uint32_t> Idx(Cs.empty() ? 0 : size_t(MaxV) + 1, NoIdx);
+  uint32_t N = 0;
   auto InternVar = [&](SetVar V) {
-    return Idx.emplace(V, static_cast<uint32_t>(Idx.size())).first->second;
+    uint32_t &Slot = Idx[V];
+    if (Slot == NoIdx)
+      Slot = N++;
+    return Slot;
   };
   std::vector<uint32_t> IdA(Cs.size()), IdB(Cs.size());
   for (size_t I = 0; I < Cs.size(); ++I) {
@@ -203,24 +225,17 @@ removeEpsilon(std::vector<FlatConstraint> Cs, const SelectorTable &Sels,
     IdB[I] = Cs[I].K != FlatConstraint::Kind::ConstLB ? InternVar(Cs[I].B)
                                                       : 0;
   }
-  uint32_t N = static_cast<uint32_t>(Idx.size());
   std::vector<uint8_t> IsExt(N, 0);
-  for (const auto &[V, I] : Idx)
-    if (External.count(V))
-      IsExt[I] = 1;
+  for (SetVar V : External)
+    if (V < Idx.size() && Idx[V] != NoIdx)
+      IsExt[Idx[V]] = 1;
 
   std::vector<uint32_t> Outflow(N), Inflow(N);
   std::vector<uint8_t> Involved(N);
   std::vector<uint32_t> SubstId(N);
   std::vector<SetVar> SubstVar(N);
 
-  struct KeyHash {
-    size_t operator()(const std::pair<uint64_t, uint64_t> &K) const {
-      return std::hash<uint64_t>()(K.first * 0x9e3779b97f4a7c15ull ^
-                                   K.second);
-    }
-  };
-  std::unordered_set<std::pair<uint64_t, uint64_t>, KeyHash> Seen;
+  StampedPairSet Seen;
 
   for (;;) {
     std::fill(Outflow.begin(), Outflow.end(), 0);
@@ -313,7 +328,7 @@ removeEpsilon(std::vector<FlatConstraint> Cs, const SelectorTable &Sels,
           (uint64_t(C.S) << 32) |
           (C.K == FlatConstraint::Kind::ConstLB ? uint64_t(C.C)
                                                 : uint64_t(B));
-      if (!Seen.insert({Hi, Lo}).second)
+      if (!Seen.insert(Hi, Lo))
         continue;
       Next.push_back(C);
       NextIdA.push_back(A);
@@ -481,7 +496,6 @@ ConstraintSystem spidey::simplifyConstraints(const ConstraintSystem &S,
   if (Alg == SimplifyAlgorithm::None)
     return unflatten(Ctx, Cs);
 
-  std::unordered_set<SetVar> External(E.begin(), E.end());
   Grammar G(S, E);
 
   // Level 1: empty.
@@ -508,11 +522,12 @@ ConstraintSystem spidey::simplifyConstraints(const ConstraintSystem &S,
     return unflatten(Ctx, Cs);
 
   // Level 3: ε-removal.
-  Cs = removeEpsilon(std::move(Cs), Ctx.Selectors, External);
+  Cs = removeEpsilon(std::move(Cs), Ctx.Selectors, E);
   if (Alg == SimplifyAlgorithm::EpsilonRemoval)
     return unflatten(Ctx, Cs);
 
   // Level 4: Hopcroft.
+  std::unordered_set<SetVar> External(E.begin(), E.end());
   Cs = hopcroftMerge(std::move(Cs), Ctx.Selectors, External);
   return unflatten(Ctx, Cs);
 }

@@ -1,0 +1,122 @@
+//===-- support/arena.h - Bump-pointer arena -------------------*- C++ -*-===//
+///
+/// \file
+/// A bump-pointer arena for short-lived, densely-allocated objects: AST-walk
+/// scratch, schema images, and other analysis-lifetime storage. Allocation
+/// is a pointer bump; nothing is freed until the arena itself dies (or is
+/// reset), so allocated objects must be trivially destructible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIDEY_SUPPORT_ARENA_H
+#define SPIDEY_SUPPORT_ARENA_H
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+namespace spidey {
+
+/// Bump-pointer arena. Not thread-safe; one arena per analysis context.
+class BumpArena {
+public:
+  BumpArena() = default;
+  BumpArena(const BumpArena &) = delete;
+  BumpArena &operator=(const BumpArena &) = delete;
+  BumpArena(BumpArena &&) = default;
+  BumpArena &operator=(BumpArena &&) = default;
+
+  /// Allocates \p Size bytes aligned to \p Align.
+  void *allocate(size_t Size, size_t Align) {
+    size_t Cur = reinterpret_cast<uintptr_t>(Ptr);
+    size_t Aligned = (Cur + Align - 1) & ~(Align - 1);
+    size_t Pad = Aligned - Cur;
+    if (Pad + Size > static_cast<size_t>(End - Ptr)) {
+      grow(Size + Align);
+      Cur = reinterpret_cast<uintptr_t>(Ptr);
+      Aligned = (Cur + Align - 1) & ~(Align - 1);
+      Pad = Aligned - Cur;
+    }
+    Ptr += Pad + Size;
+    Allocated += Pad + Size;
+    return reinterpret_cast<void *>(Aligned);
+  }
+
+  /// Allocates an uninitialized array of \p N objects of type T.
+  /// T must be trivially destructible: the arena never runs destructors.
+  template <typename T> T *allocate(size_t N = 1) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena-allocated types must be trivially destructible");
+    return static_cast<T *>(allocate(N * sizeof(T), alignof(T)));
+  }
+
+  /// Copies [Begin, Begin+N) into the arena and returns the new base.
+  template <typename T> T *copy(const T *Begin, size_t N) {
+    T *Out = allocate<T>(N);
+    if (N)
+      std::memcpy(Out, Begin, N * sizeof(T));
+    return Out;
+  }
+
+  /// Copies a vector's contents into the arena.
+  template <typename T> T *copy(const std::vector<T> &V) {
+    return copy(V.data(), V.size());
+  }
+
+  /// Total bytes handed out (including alignment padding).
+  size_t bytesAllocated() const { return Allocated; }
+
+  /// Drops every allocation but keeps the first block for reuse.
+  void reset() {
+    Blocks.resize(Blocks.empty() ? 0 : 1);
+    if (!Blocks.empty()) {
+      Ptr = Blocks.front().get();
+      End = Ptr + FirstBlockSize;
+    } else {
+      Ptr = End = nullptr;
+    }
+    Allocated = 0;
+  }
+
+private:
+  static constexpr size_t MinBlockSize = 64 * 1024;
+
+  void grow(size_t AtLeast) {
+    size_t Size = std::max(NextBlockSize, AtLeast);
+    Blocks.push_back(std::make_unique<char[]>(Size));
+    Ptr = Blocks.back().get();
+    End = Ptr + Size;
+    if (Blocks.size() == 1)
+      FirstBlockSize = Size;
+    NextBlockSize = std::min<size_t>(NextBlockSize * 2, 8u << 20);
+  }
+
+  std::vector<std::unique_ptr<char[]>> Blocks;
+  char *Ptr = nullptr;
+  char *End = nullptr;
+  size_t NextBlockSize = MinBlockSize;
+  size_t FirstBlockSize = 0;
+  size_t Allocated = 0;
+};
+
+/// A span into arena (or any stable) storage: pointer + length. Schemas
+/// store their compiled records as spans so the Schema object itself stays
+/// trivially destructible.
+template <typename T> struct ArenaSpan {
+  const T *Data = nullptr;
+  uint32_t Size = 0;
+
+  const T *begin() const { return Data; }
+  const T *end() const { return Data + Size; }
+  const T &operator[](size_t I) const { return Data[I]; }
+  uint32_t size() const { return Size; }
+  bool empty() const { return Size == 0; }
+};
+
+} // namespace spidey
+
+#endif // SPIDEY_SUPPORT_ARENA_H

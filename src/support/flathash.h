@@ -1,0 +1,159 @@
+//===-- support/flathash.h - Flat open-addressing scratch sets -*- C++ -*-===//
+///
+/// \file
+/// Small open-addressing hash containers for hot-loop scratch: power-of-two
+/// capacity, linear probing, 64-bit mixed keys, and epoch-stamped clearing
+/// (a clear is one counter bump, not a table sweep). They deliberately
+/// support only the operations the solver and simplifier loops need.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIDEY_SUPPORT_FLATHASH_H
+#define SPIDEY_SUPPORT_FLATHASH_H
+
+#include <cstdint>
+#include <vector>
+
+namespace spidey {
+
+inline uint64_t mixHash64(uint64_t X) {
+  X ^= X >> 33;
+  X *= 0xff51afd7ed558ccdull;
+  X ^= X >> 33;
+  X *= 0xc4ceb9fe1a85ec53ull;
+  X ^= X >> 33;
+  return X;
+}
+
+/// Epoch-stamped set of 64-bit keys. Used for first-occurrence dedup
+/// where "contains" means "stamped with the current epoch": insert(K)
+/// returns true iff K was not yet stamped this epoch. Insertion always
+/// takes the first free-this-epoch slot, so a key's probe path crosses
+/// only current-epoch entries — stale slots never mask a live key.
+class StampedKeySet {
+public:
+  /// Starts a new epoch (logically clears the set).
+  void clear() {
+    ++Epoch;
+    Size = 0;
+    if (Epoch == 0) { // counter wrapped: really clear
+      std::fill(Stamps.begin(), Stamps.end(), 0u);
+      Epoch = 1;
+    }
+  }
+
+  /// Stamps \p Key with the current epoch. Returns true if the key was not
+  /// already stamped this epoch (i.e. this is its first occurrence).
+  bool insert(uint64_t Key) {
+    if (Size + 1 > Keys.size() / 2)
+      rehash();
+    size_t Mask = Keys.size() - 1;
+    size_t I = mixHash64(Key) & Mask;
+    for (;; I = (I + 1) & Mask) {
+      if (Stamps[I] != Epoch) {
+        Keys[I] = Key;
+        Stamps[I] = Epoch;
+        ++Size;
+        return true;
+      }
+      if (Keys[I] == Key)
+        return false;
+    }
+  }
+
+private:
+  void rehash() {
+    size_t NewCap = Keys.empty() ? 1024 : Keys.size() * 2;
+    std::vector<uint64_t> OldKeys = std::move(Keys);
+    std::vector<uint32_t> OldStamps = std::move(Stamps);
+    Keys.assign(NewCap, 0);
+    Stamps.assign(NewCap, 0);
+    size_t OldSize = Size;
+    Size = 0;
+    size_t Mask = NewCap - 1;
+    for (size_t I = 0; I < OldKeys.size() && Size < OldSize; ++I) {
+      if (OldStamps[I] != Epoch)
+        continue; // only current-epoch entries survive a rehash
+      size_t J = mixHash64(OldKeys[I]) & Mask;
+      while (Stamps[J] == Epoch)
+        J = (J + 1) & Mask;
+      Keys[J] = OldKeys[I];
+      Stamps[J] = Epoch;
+      ++Size;
+    }
+  }
+
+  std::vector<uint64_t> Keys;
+  std::vector<uint32_t> Stamps;
+  uint32_t Epoch = 1;
+  size_t Size = 0;
+};
+
+/// Epoch-stamped set of 128-bit keys (two 64-bit words), linear probing.
+class StampedPairSet {
+public:
+  void clear() {
+    ++Epoch;
+    Size = 0;
+    if (Epoch == 0) {
+      std::fill(Stamps.begin(), Stamps.end(), 0u);
+      Epoch = 1;
+    }
+  }
+
+  /// Returns true iff (Hi, Lo) was not yet present this epoch.
+  bool insert(uint64_t Hi, uint64_t Lo) {
+    if (Size + 1 > His.size() / 2)
+      rehash();
+    size_t Mask = His.size() - 1;
+    size_t I = (mixHash64(Hi) ^ mixHash64(Lo * 0x9e3779b97f4a7c15ull)) & Mask;
+    for (;; I = (I + 1) & Mask) {
+      if (Stamps[I] != Epoch) {
+        His[I] = Hi;
+        Los[I] = Lo;
+        Stamps[I] = Epoch;
+        ++Size;
+        return true;
+      }
+      if (His[I] == Hi && Los[I] == Lo)
+        return false;
+    }
+  }
+
+private:
+  void rehash() {
+    size_t NewCap = His.empty() ? 1024 : His.size() * 2;
+    std::vector<uint64_t> OldHis = std::move(His);
+    std::vector<uint64_t> OldLos = std::move(Los);
+    std::vector<uint32_t> OldStamps = std::move(Stamps);
+    His.assign(NewCap, 0);
+    Los.assign(NewCap, 0);
+    Stamps.assign(NewCap, 0);
+    size_t OldSize = Size;
+    Size = 0;
+    size_t Mask = NewCap - 1;
+    for (size_t I = 0; I < OldHis.size() && Size < OldSize; ++I) {
+      if (OldStamps[I] != Epoch)
+        continue;
+      size_t J =
+          (mixHash64(OldHis[I]) ^ mixHash64(OldLos[I] * 0x9e3779b97f4a7c15ull)) &
+          Mask;
+      while (Stamps[J] == Epoch)
+        J = (J + 1) & Mask;
+      His[J] = OldHis[I];
+      Los[J] = OldLos[I];
+      Stamps[J] = Epoch;
+      ++Size;
+    }
+  }
+
+  std::vector<uint64_t> His;
+  std::vector<uint64_t> Los;
+  std::vector<uint32_t> Stamps;
+  uint32_t Epoch = 1;
+  size_t Size = 0;
+};
+
+} // namespace spidey
+
+#endif // SPIDEY_SUPPORT_FLATHASH_H

@@ -144,6 +144,14 @@ int main(int Argc, char **Argv) {
               << A.System->numTouchedVars() << " variables\n";
     if (Stats) {
       std::cout << "closure stats:\n" << A.System->stats().str();
+      std::printf("derive stats: schemas %llu, instantiations %llu, "
+                  "instantiated constraints %llu, intern hits %llu, "
+                  "bulk-cloned constraints %llu\n",
+                  (unsigned long long)A.Stats.SchemasCreated,
+                  (unsigned long long)A.Stats.Instantiations,
+                  (unsigned long long)A.Stats.InstantiatedConstraints,
+                  (unsigned long long)A.Stats.SchemaInternHits,
+                  (unsigned long long)A.Stats.BulkClonedConstraints);
     }
     return 0;
   }
@@ -180,6 +188,14 @@ int main(int Argc, char **Argv) {
     std::printf("phases: derive %.1f ms, merge %.1f ms, close %.1f ms\n",
                 Info.DeriveMs, Info.MergeMs, Info.CloseMs);
     std::cout << "closure stats:\n" << Info.Closure.str();
+    std::printf("derive stats: schemas %llu, instantiations %llu, "
+                "instantiated constraints %llu, intern hits %llu, "
+                "bulk-cloned constraints %llu\n",
+                (unsigned long long)Info.Derive.SchemasCreated,
+                (unsigned long long)Info.Derive.Instantiations,
+                (unsigned long long)Info.Derive.InstantiatedConstraints,
+                (unsigned long long)Info.Derive.SchemaInternHits,
+                (unsigned long long)Info.Derive.BulkClonedConstraints);
   }
   return 0;
 }
