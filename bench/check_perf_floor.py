@@ -6,8 +6,11 @@ Usage: check_perf_floor.py <bench_parallel.json> <perf_floor.json>
 
 Fails (exit 1) when a program's derive throughput at the pinned thread
 count has regressed more than `regression_factor` times below its
-floor. The floor file deliberately sits far under a healthy run so the
-gate only trips on algorithmic regressions, not runner noise.
+floor, and likewise for the sharded close-phase throughput when the
+floor entry carries `close_constraints_per_sec_floor` (gated against
+the `close` block's runs). The floor file deliberately sits far under a
+healthy run so the gate only trips on algorithmic regressions, not
+runner noise.
 """
 
 import json
@@ -48,6 +51,26 @@ def main() -> int:
             f"minimum after {factor}x allowance {minimum:.0f})"
         )
         failed = failed or cps < minimum
+        close_floor = floor.get("close_constraints_per_sec_floor")
+        if close_floor is not None:
+            close_runs = prog.get("close", {}).get("runs", [])
+            crun = next(
+                (r for r in close_runs if r["threads"] == threads), None
+            )
+            if crun is None:
+                print(f"FAIL {name}: no close run at threads={threads}")
+                failed = True
+            else:
+                ccps = crun["close_constraints_per_sec"]
+                cmin = close_floor / factor
+                cverdict = "FAIL" if ccps < cmin else "OK"
+                print(
+                    f"{cverdict} {name} close threads={threads}: "
+                    f"{ccps:.0f} constraints/sec "
+                    f"(floor {close_floor}, "
+                    f"minimum after {factor}x allowance {cmin:.0f})"
+                )
+                failed = failed or ccps < cmin
         if not prog.get("deterministic_across_threads", True):
             print(f"FAIL {name}: combined system differed across threads")
             failed = True

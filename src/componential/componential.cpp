@@ -565,10 +565,22 @@ void ComponentialAnalyzer::run() {
   if (!Opts.CacheDir.empty())
     std::filesystem::create_directories(Opts.CacheDir);
 
-  unsigned Threads =
+  const unsigned Threads =
       Opts.Threads ? Opts.Threads : WorkerPool::defaultThreadCount();
+  unsigned Step1Threads = Threads;
   if (NumComponents)
-    Threads = std::min(Threads, NumComponents);
+    Step1Threads = std::min(Step1Threads, NumComponents);
+  const unsigned CloseShards =
+      Opts.ParallelClose ? (Opts.CloseShards ? Opts.CloseShards : Threads)
+                         : 0;
+  const unsigned CloseThreads =
+      CloseShards ? std::min(Threads, CloseShards) : 1;
+
+  // One pool serves both the step-1 fan-out and the sharded close
+  // rounds, sized for whichever phase needs more workers.
+  std::unique_ptr<WorkerPool> Pool;
+  if ((Step1Threads > 1 && NumComponents > 1) || CloseThreads > 1)
+    Pool = std::make_unique<WorkerPool>(std::max(Step1Threads, CloseThreads));
 
   using Clock = std::chrono::steady_clock;
   auto MsSince = [](Clock::time_point From) {
@@ -579,25 +591,33 @@ void ComponentialAnalyzer::run() {
   // Step 1, fanned out: every component derives into a private context.
   auto DeriveStart = Clock::now();
   std::vector<ComponentWork> Work(NumComponents);
-  if (Threads <= 1 || NumComponents <= 1) {
+  if (!Pool || Step1Threads <= 1 || NumComponents <= 1) {
     for (uint32_t I = 0; I < NumComponents; ++I)
       Work[I] = deriveIsolated(I, /*AllowCache=*/true);
   } else {
-    WorkerPool Pool(Threads);
-    parallelFor(Pool, NumComponents, [&](uint32_t I) {
+    parallelFor(*Pool, NumComponents, [&](uint32_t I) {
       Work[I] = deriveIsolated(I, /*AllowCache=*/true);
     });
   }
   Info.DeriveMs = MsSince(DeriveStart);
 
-  // Step 2, sequential: combine in component order, then close.
+  // Step 2, sequential: combine in component order, then close — either
+  // the sequential engine or the sharded parallel fixpoint over the same
+  // worker pool; the closed system is byte-identical either way.
   auto MergeStart = Clock::now();
   for (uint32_t I = 0; I < NumComponents; ++I)
     merge(I, Work[I]);
   Info.MergeMs = MsSince(MergeStart);
   auto CloseStart = Clock::now();
   Combined->setCancel(Opts.Cancel);
-  Combined->close();
+  if (CloseShards && Pool && CloseThreads > 1) {
+    PoolRunner Runner(*Pool);
+    Combined->closeSharded(CloseShards, &Runner);
+  } else if (CloseShards) {
+    Combined->closeSharded(CloseShards, nullptr);
+  } else {
+    Combined->close();
+  }
   Info.CloseMs = MsSince(CloseStart);
   if (Combined->closureCancelled()) {
     Info.Cancelled = true;

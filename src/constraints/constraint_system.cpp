@@ -20,6 +20,16 @@ std::string ClosureStats::str() const {
      << " vars unified\n"
      << "  cycle search steps: " << CycleSearchSteps << "\n"
      << "  peak worklist:      " << PeakWorklistDepth << "\n";
+  if (ShardsUsed) {
+    OS << "  close rounds:       " << CloseRounds << " (" << ShardsUsed
+       << " shards)\n"
+       << "  boundary traffic:   " << BoundaryLowsSent << " lows, "
+       << BoundaryUpsSent << " ups\n"
+       << "  shard drains:       ";
+    for (size_t I = 0; I < ShardDrained.size(); ++I)
+      OS << (I ? " " : "") << ShardDrained[I];
+    OS << "\n";
+  }
   return OS.str();
 }
 
@@ -122,6 +132,15 @@ void ConstraintSystem::markDirty(SetVar R) {
 }
 
 bool ConstraintSystem::insertLower(SetVar A, const LowerBound &L) {
+  if (Outbox && (*ShardOf)[A] != ShardId) {
+    if (!Keys.insert(A, lowKey(L))) {
+      ++Stats.DedupHits;
+      return false;
+    }
+    (*Outbox)[(*ShardOf)[A]].push_back({A, true, L, {}});
+    ++Stats.BoundaryLowsSent;
+    return false; // the owner shard stores it next round
+  }
   SetVar R = find(A);
   if (!Keys.insert(R, lowKey(L))) {
     ++Stats.DedupHits;
@@ -135,6 +154,15 @@ bool ConstraintSystem::insertLower(SetVar A, const LowerBound &L) {
 }
 
 bool ConstraintSystem::insertUpper(SetVar A, const UpperBound &U) {
+  if (Outbox && (*ShardOf)[A] != ShardId) {
+    if (!Keys.insert(A, upKey(U))) {
+      ++Stats.DedupHits;
+      return false;
+    }
+    (*Outbox)[(*ShardOf)[A]].push_back({A, false, {}, U});
+    ++Stats.BoundaryUpsSent;
+    return false; // the owner shard stores it next round
+  }
   if (!Keys.insert(A, upKey(U))) {
     ++Stats.DedupHits;
     return false;
@@ -690,12 +718,23 @@ void ConstraintSystem::absorbMapped(const ConstraintSystem &Other,
 }
 
 std::string ConstraintSystem::str() const {
+  // Bounds print in canonical (key-sorted) order, not storage order, so
+  // the rendering depends only on the closed bound set — identical for
+  // the sequential and sharded engines (see lowerBoundLess).
   std::ostringstream OS;
   const SelectorTable &Sels = Ctx->Selectors;
+  std::vector<LowerBound> Lows;
+  std::vector<UpperBound> Ups;
   for (SetVar A = 0; A < Slots.size(); ++A) {
     if (Slots[A] == NoSlot)
       continue;
-    for (const LowerBound &L : lowerBounds(A)) {
+    const std::vector<LowerBound> &RawLows = lowerBounds(A);
+    Lows.assign(RawLows.begin(), RawLows.end());
+    std::sort(Lows.begin(), Lows.end(), lowerBoundLess);
+    const std::vector<UpperBound> &RawUps = upperBounds(A);
+    Ups.assign(RawUps.begin(), RawUps.end());
+    std::sort(Ups.begin(), Ups.end(), upperBoundLess);
+    for (const LowerBound &L : Lows) {
       if (L.K == LowerBound::Kind::ConstLB) {
         OS << "c" << L.C << " <= a" << A << "\n";
       } else if (Sels.isMonotone(L.Sel)) {
@@ -705,7 +744,7 @@ std::string ConstraintSystem::str() const {
         OS << Sels.name(L.Sel) << "(a" << A << ") <= a" << L.Other << "\n";
       }
     }
-    for (const UpperBound &U : upperBounds(A)) {
+    for (const UpperBound &U : Ups) {
       if (U.K == UpperBound::Kind::VarUB) {
         OS << "a" << A << " <= a" << U.Other << "\n";
       } else if (U.K == UpperBound::Kind::FilterUB) {

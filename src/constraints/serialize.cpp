@@ -2,6 +2,7 @@
 
 #include "constraints/serialize.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <sstream>
 #include <unordered_map>
@@ -70,11 +71,23 @@ std::string spidey::serializeConstraints(
     return It->second;
   };
 
-  // First pass over constraints to populate tables; collect lines.
+  // First pass over constraints to populate tables; collect lines. Each
+  // variable's bounds are emitted in canonical (key-sorted) order rather
+  // than storage order, so the file bytes are a pure function of the
+  // closed bound set: the sequential and sharded close engines discover
+  // bounds in different orders but serialize identically.
   std::ostringstream Body;
   size_t NumConstraints = 0;
+  std::vector<LowerBound> Lows;
+  std::vector<UpperBound> Ups;
   for (SetVar A : Vars) {
-    for (const LowerBound &L : S.lowerBounds(A)) {
+    const std::vector<LowerBound> &RawLows = S.lowerBounds(A);
+    Lows.assign(RawLows.begin(), RawLows.end());
+    std::sort(Lows.begin(), Lows.end(), ConstraintSystem::lowerBoundLess);
+    const std::vector<UpperBound> &RawUps = S.upperBounds(A);
+    Ups.assign(RawUps.begin(), RawUps.end());
+    std::sort(Ups.begin(), Ups.end(), ConstraintSystem::upperBoundLess);
+    for (const LowerBound &L : Lows) {
       if (L.K == LowerBound::Kind::ConstLB)
         Body << "cl " << LocalOf(A) << " " << ConstOf(L.C) << "\n";
       else
@@ -82,7 +95,7 @@ std::string spidey::serializeConstraints(
              << LocalOf(L.Other) << "\n";
       ++NumConstraints;
     }
-    for (const UpperBound &U : S.upperBounds(A)) {
+    for (const UpperBound &U : Ups) {
       if (U.K == UpperBound::Kind::VarUB)
         Body << "vu " << LocalOf(A) << " " << LocalOf(U.Other) << "\n";
       else if (U.K == UpperBound::Kind::FilterUB)

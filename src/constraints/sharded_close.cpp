@@ -1,0 +1,201 @@
+//===-- constraints/sharded_close.cpp - Sharded parallel close -*- C++ -*-===//
+///
+/// \file
+/// ConstraintSystem::closeSharded — the sharded parallel closure fixpoint
+/// (DESIGN.md §11 "Sharded closure").
+///
+/// The combined whole-program system's close() is the sequential tail of
+/// the componential pipeline. This engine partitions it:
+///
+///   1. Offline Tarjan pass collapses the raw system's ε-SCCs (exactly
+///      what close() does first), so ownership can be assigned per
+///      representative and no *initial* cycle straddles shards.
+///   2. Every variable is assigned an owner shard — the splitmix64 hash
+///      of its partition-time representative — and each shard is seeded
+///      with a private ConstraintSystem holding the lows of its
+///      representatives and the ups of its member variables.
+///   3. Each shard runs the ordinary worklist drain over its own
+///      variables. Rule products that target a remote variable divert
+///      into a per-(source, target) outbox instead of being stored
+///      (constraint_system.cpp insertLower/insertUpper). Intra-shard
+///      ε-cycles collapse locally just like the sequential engine;
+///      cross-shard cycles converge by plain propagation, which the
+///      sender-side dedup keeps finite.
+///   4. At each barrier the coordinator concatenates outboxes into
+///      inboxes in ascending source-shard order and starts the next
+///      round; the global fixpoint is reached when no shard has
+///      outbound traffic.
+///   5. New bounds write back into the main system in ascending-variable,
+///      canonical-key order.
+///
+/// Determinism: a shard's computation is a function of its seed and its
+/// inbox sequence only; inboxes are assembled in a fixed order at
+/// barriers, so thread count and scheduling cannot change any shard's
+/// result. Across *shard counts* the final bound set is the unique Θ
+/// fixpoint and the write-back order is canonical, so the closed main
+/// system is identical to close()'s — which the canonical serialization
+/// order turns into byte-identical output.
+///
+/// Cancellation: every shard polls the shared CancelToken during its
+/// drain (charge() is thread-safe; budget overshoot is bounded by one
+/// PollStride per shard), and the coordinator re-checks it at each
+/// barrier. On cancellation the rounds stop and the bounds discovered so
+/// far still write back — a partially closed system is internally
+/// consistent, and closureCancelled() reports the result as degraded
+/// exactly like a cancelled sequential close.
+///
+//===----------------------------------------------------------------------===//
+
+#include "constraints/constraint_system.h"
+
+#include <algorithm>
+
+using namespace spidey;
+
+void ConstraintSystem::closeSharded(unsigned NumShards,
+                                    ParallelRunner *Runner) {
+  if (NumShards <= 1) {
+    close();
+    return;
+  }
+
+  // Phase 1: collapse the ε-SCCs the raw system already has, so the
+  // ownership map below is per-representative and every initial cycle
+  // lives entirely inside one shard.
+  collapseAllSccs();
+  if (pollCancel(/*Force=*/true))
+    return;
+
+  // Frozen ownership map. close() never creates variables, so sizing it
+  // to the context covers every variable a rule product can mention.
+  std::vector<uint32_t> ShardOfVar(Ctx->numVars());
+  for (SetVar V = 0; V < ShardOfVar.size(); ++V)
+    ShardOfVar[V] = shardOfRep(findConst(V), NumShards);
+
+  // Phase 2: seed one private system per shard. Lower bounds live at
+  // representatives, upper bounds at their original variables — raw
+  // inserts, so no combining happens until the rounds start. The ε-edges
+  // among an initial SCC's members are part of the seeded ups, so each
+  // shard's own offline pass rebuilds exactly the collapsed classes it
+  // owns.
+  std::vector<ConstraintSystem> ShardSys;
+  ShardSys.reserve(NumShards);
+  std::vector<std::vector<std::vector<BoundaryMsg>>> Outboxes(NumShards);
+  for (uint32_t S = 0; S < NumShards; ++S) {
+    ShardSys.emplace_back(*Ctx);
+    Outboxes[S].resize(NumShards);
+    ShardSys[S].ShardOf = &ShardOfVar;
+    ShardSys[S].ShardId = S;
+    ShardSys[S].Outbox = &Outboxes[S];
+    ShardSys[S].setCancel(Cancel);
+    ShardSys[S].Keys.reserve(NumBounds / NumShards);
+  }
+  for (SetVar A = 0; A < Slots.size(); ++A) {
+    const uint32_t Slot = Slots[A];
+    if (Slot == NoSlot)
+      continue;
+    ConstraintSystem &Sys = ShardSys[ShardOfVar[A]];
+    for (const UpperBound &U : Storage[Slot].Ups)
+      Sys.insertUpperRaw(A, U);
+    if (findConst(A) == A)
+      for (const LowerBound &L : Storage[Slot].Lows)
+        Sys.insertLowerRaw(A, L);
+  }
+
+  // Phase 3: barrier rounds. Round 0 is each shard's close() (offline
+  // collapse + full drain); later rounds apply the inbox and re-drain.
+  // Inboxes are rebuilt at each barrier by concatenating outboxes in
+  // ascending source-shard order, so a shard's input sequence — and
+  // therefore its entire computation — is independent of thread count.
+  std::vector<std::vector<BoundaryMsg>> Inbox(NumShards);
+  uint64_t Rounds = 0;
+  bool First = true;
+  while (true) {
+    auto Work = [&](uint32_t S) {
+      ConstraintSystem &Sys = ShardSys[S];
+      if (First) {
+        Sys.close();
+        return;
+      }
+      for (const BoundaryMsg &M : Inbox[S]) {
+        if (M.IsLow)
+          Sys.insertLower(M.Target, M.Low);
+        else
+          Sys.insertUpper(M.Target, M.Up);
+      }
+      Sys.drain();
+    };
+    if (Runner)
+      Runner->run(NumShards, Work);
+    else
+      for (uint32_t S = 0; S < NumShards; ++S)
+        Work(S);
+    First = false;
+    ++Rounds;
+
+    bool AnyCancelled = Cancel && Cancel->cancelled();
+    for (ConstraintSystem &Sys : ShardSys)
+      AnyCancelled |= Sys.CancelLatched;
+    if (AnyCancelled) {
+      CancelLatched = true;
+      break;
+    }
+
+    bool AnyTraffic = false;
+    for (std::vector<BoundaryMsg> &I : Inbox)
+      I.clear();
+    for (uint32_t Src = 0; Src < NumShards; ++Src)
+      for (uint32_t Tgt = 0; Tgt < NumShards; ++Tgt) {
+        std::vector<BoundaryMsg> &Out = Outboxes[Src][Tgt];
+        if (Out.empty())
+          continue;
+        AnyTraffic = true;
+        Inbox[Tgt].insert(Inbox[Tgt].end(), Out.begin(), Out.end());
+        Out.clear();
+      }
+    if (!AnyTraffic)
+      break;
+  }
+
+  // Phase 4: deterministic write-back. Every bound a shard discovered
+  // enters the main system in ascending-variable order, each variable's
+  // new bounds sorted by canonical key — the stored lists end up
+  // identical for every shard count. Raw inserts: the main system's
+  // union-find was frozen after phase 1, queries keep presenting through
+  // it, and dedup drops everything the seed already had. On a cancelled
+  // run this writes back the partial closure, which is sound (every
+  // bound is real) just not a fixpoint.
+  std::vector<LowerBound> NewLows;
+  std::vector<UpperBound> NewUps;
+  for (SetVar A = 0; A < ShardOfVar.size(); ++A) {
+    ConstraintSystem &Sys = ShardSys[ShardOfVar[A]];
+    if (Sys.slotOf(A) == NoSlot)
+      continue;
+    const SetVar MainRep = find(A);
+    NewLows.clear();
+    for (const LowerBound &L : Sys.lowerBounds(A))
+      if (!Keys.contains(MainRep, lowKey(L)))
+        NewLows.push_back(L);
+    std::sort(NewLows.begin(), NewLows.end(), lowerBoundLess);
+    for (const LowerBound &L : NewLows)
+      insertLowerRaw(A, L);
+    NewUps.clear();
+    for (const UpperBound &U : Sys.upperBounds(A))
+      if (!Keys.contains(A, upKey(U)))
+        NewUps.push_back(U);
+    std::sort(NewUps.begin(), NewUps.end(), upperBoundLess);
+    for (const UpperBound &U : NewUps)
+      insertUpperRaw(A, U);
+  }
+
+  // Telemetry: fold the shard counters into this system's stats and
+  // record the round/boundary/per-shard numbers.
+  std::vector<uint64_t> Drains(NumShards, 0);
+  for (uint32_t S = 0; S < NumShards; ++S) {
+    Drains[S] = ShardSys[S].Stats.TasksDrained;
+    Stats.merge(ShardSys[S].Stats);
+  }
+  Stats.CloseRounds += Rounds;
+  Stats.ShardsUsed = NumShards;
+  Stats.ShardDrained = std::move(Drains);
+}

@@ -207,6 +207,8 @@ bool ServeSession::ensureAnalyzed(std::string &Error) {
   CO.Simplify = Opts.Simplify;
   CO.Derive = Opts.Derive;
   CO.Threads = Opts.Threads;
+  CO.ParallelClose = Opts.ParallelClose;
+  CO.CloseShards = Opts.CloseShards;
   CO.CacheDir = Opts.CacheDir;
   CO.MemStore = &Store;
   CO.MergeViaFiles = true;

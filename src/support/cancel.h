@@ -12,7 +12,15 @@
 /// session dirty so the next request re-analyzes from scratch.
 ///
 /// charge() is safe to call from multiple worker threads; the cancelled
-/// flag latches so mid-flight workers all see the same verdict.
+/// flag latches so mid-flight workers all see the same verdict. One
+/// token can therefore aggregate the work of a whole sharded close: the
+/// shards of ConstraintSystem::closeSharded all charge the same token,
+/// the budget counts their combined combine attempts, and the first
+/// shard to trip it cancels every other shard at its next poll (each
+/// shard polls per PollStride combines, so a budget can overshoot by at
+/// most shards × stride). A degraded answer produced this way is still
+/// exact-recoverable: the serve session stays dirty and the next
+/// in-budget pass reproduces the cold bytes.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -60,6 +68,12 @@ public:
 
   bool cancelled() const {
     return Cancelled.load(std::memory_order_relaxed);
+  }
+
+  /// True when a deadline or budget is armed (or the token was cancelled
+  /// outright); lets multi-shard drains skip polling on free runs.
+  bool armed() const {
+    return HasDeadline || Budget != 0 || cancelled();
   }
 
   /// Adds \p Units of completed work and re-checks budget and deadline.

@@ -338,6 +338,120 @@ TEST(ChaosDegrade, OverBudgetAnalyzeDegradesThenRecoversExactly) {
   EXPECT_EQ(S.combinedText(), Want);
 }
 
+// The sharded parallel close under a work budget: the shared token latches
+// across shards mid-round, the answer degrades with every component derived
+// (the budget fell in the close phase, not in step 1), the session stays
+// dirty, and the next in-budget pass reproduces the exact cold bytes — the
+// same bytes the sequential engine produces.
+TEST(ChaosDegrade, ShardedCloseBudgetTripsMidRoundThenRecovers) {
+  FaultScope Scope;
+  // One define per file: every chain link crosses a component boundary,
+  // so after per-component simplification the propagation work lives in
+  // the *combined* close — exactly the phase the budget must interrupt.
+  // (chainProgram's two fat components would spend the budget in derive.)
+  // 300 links keep every shard's per-round drain past the forced-poll
+  // stride, so the close phase actually charges the shared token.
+  std::vector<SourceFile> Files;
+  Files.push_back({"c000.ss", "(define c0 (cons 1 2))"});
+  for (int I = 1; I < 300; ++I) {
+    std::string N = std::to_string(I), P = std::to_string(I - 1);
+    Files.push_back({"c" + N + ".ss", "(define c" + N + " (cons c" + P +
+                                          " (car c" + P + ")))"});
+  }
+  Files.push_back({"top.ss", "(define top (car c299))"});
+
+  ServeOptions Base;
+  Base.Threads = 1; // shards run inline: deterministic charge counts
+  Base.ParallelClose = true;
+  Base.CloseShards = 4;
+
+  std::string Want;
+  {
+    ServeSession Cold(Base);
+    Cold.setFiles(Files);
+    Want = Cold.combinedText();
+    ASSERT_FALSE(Want.empty());
+  }
+  // Cross-engine identity: the sharded cold text is the sequential text.
+  {
+    ServeOptions Seq;
+    Seq.Threads = 1;
+    ServeSession SeqS(Seq);
+    SeqS.setFiles(Files);
+    EXPECT_EQ(Want, SeqS.combinedText());
+  }
+
+  // Classify a budget: where in the pass did it trip? The charge sequence
+  // is deterministic at Threads=1, so classification is monotone in the
+  // budget — binary-search the window where derive completes but the
+  // sharded close does not.
+  enum class Trip { Derive, Close, None };
+  auto classify = [&](uint64_t Budget, ServeSession *&Out) {
+    ServeOptions O = Base;
+    O.MaxConstraints = Budget;
+    Out = new ServeSession(O);
+    Out->setFiles(Files);
+    json::Value R = Out->handle(parsedResponse(R"({"cmd":"analyze"})"));
+    EXPECT_TRUE(R.find("ok")->asBool()) << R.dump();
+    const json::Value *Degraded = R.find("degraded");
+    if (!Degraded || !Degraded->asBool())
+      return Trip::None;
+    const json::Value *U = R.find("unconverged");
+    EXPECT_TRUE(U && U->isArray()) << R.dump();
+    if (U && !U->items().empty())
+      return Trip::Derive;
+    const json::Value *CC = R.find("close_converged");
+    EXPECT_TRUE(CC) << R.dump();
+    EXPECT_FALSE(CC && CC->asBool()) << R.dump();
+    return Trip::Close;
+  };
+
+  uint64_t Lo = 1, Hi = 1;
+  std::unique_ptr<ServeSession> MidClose;
+  // Grow Hi until the pass completes, then bisect.
+  for (; Hi < (uint64_t(1) << 30); Hi *= 2) {
+    ServeSession *S = nullptr;
+    Trip T = classify(Hi, S);
+    if (T == Trip::Close)
+      MidClose.reset(S);
+    else
+      delete S;
+    if (T == Trip::None)
+      break;
+    if (MidClose)
+      break;
+    Lo = Hi;
+  }
+  while (!MidClose && Lo + 1 < Hi) {
+    uint64_t Mid = Lo + (Hi - Lo) / 2;
+    ServeSession *S = nullptr;
+    Trip T = classify(Mid, S);
+    if (T == Trip::Close) {
+      MidClose.reset(S);
+      break;
+    }
+    delete S;
+    (T == Trip::Derive ? Lo : Hi) = Mid;
+  }
+  ASSERT_TRUE(MidClose)
+      << "no budget landed in the close phase (window empty?)";
+
+  // Degraded-by-close pass: the session must stay dirty.
+  json::Value Stats = MidClose->handle(parsedResponse(R"({"cmd":"stats"})"));
+  EXPECT_TRUE(Stats.find("dirty")->asBool());
+  EXPECT_GE(num(Stats, "degraded"), 1);
+
+  // Lift the budget; the next pass starts from scratch and produces the
+  // exact cold bytes.
+  json::Value Conf = MidClose->handle(
+      parsedResponse(R"({"cmd":"configure","max_constraints":0})"));
+  ASSERT_TRUE(Conf.find("ok")->asBool()) << Conf.dump();
+  json::Value Full = MidClose->handle(parsedResponse(R"({"cmd":"analyze"})"));
+  ASSERT_TRUE(Full.find("ok")->asBool()) << Full.dump();
+  EXPECT_EQ(Full.find("degraded"), nullptr) << Full.dump();
+  EXPECT_EQ(MidClose->combinedText(), Want);
+}
+
 // Regression: a check-summary sweep that blows its budget or deadline
 // latches the session token cancelled, and the partial path leaves the
 // session clean — nothing else ever mints a fresh token. The next sweep

@@ -1,0 +1,337 @@
+//===-- tests/parallel_close_test.cpp - Sharded close fixpoint -*- C++ -*-===//
+///
+/// \file
+/// Property suite for ConstraintSystem::closeSharded (DESIGN.md §11): the
+/// sharded parallel close must produce a combined system — and serialized
+/// .scf bytes — identical to the sequential engine for every shard and
+/// thread count, on the corpus programs, the fuzz-generator corpus, and
+/// table-driven micro systems engineered around the cross-shard edge
+/// cases (ε-cycles discovered mid-close, selector handoffs whose products
+/// target remote shards, filters across shard boundaries).
+///
+//===----------------------------------------------------------------------===//
+
+#include "componential/componential.h"
+#include "componential/parallel.h"
+#include "constraints/reference_closure.h"
+#include "constraints/serialize.h"
+#include "corpus/corpus.h"
+#include "fuzz/fuzzgen.h"
+#include "test_util.h"
+
+#include <functional>
+
+using namespace spidey;
+using namespace spidey::test;
+
+namespace {
+
+const unsigned ShardCounts[] = {1, 2, 4, 7};
+const unsigned ThreadCounts[] = {1, 2, 4};
+
+Parsed corpusProgramFor(const char *Name) {
+  Parsed R = parseFiles(generateProgram(benchmarkConfig(Name)));
+  EXPECT_TRUE(R.Ok) << R.Diags.str();
+  return R;
+}
+
+/// One componential run; returns the combined system's rendering and its
+/// serialized constraint-file bytes (the serve/cache output surface).
+struct RunOutput {
+  std::string Str;
+  std::string Scf;
+  size_t Size = 0;
+  ClosureStats Closure;
+};
+
+RunOutput runCombined(const Parsed &R, bool ParallelClose, unsigned Shards,
+                      unsigned Threads) {
+  ComponentialOptions Opts;
+  Opts.Threads = Threads;
+  Opts.ParallelClose = ParallelClose;
+  Opts.CloseShards = Shards;
+  ComponentialAnalyzer CA(*R.Prog, Opts);
+  CA.run();
+  RunOutput Out;
+  Out.Str = CA.combined().str();
+  Out.Scf = serializeConstraints(CA.combined(), {}, R.Prog->Syms, "testhash",
+                                 "testopts");
+  Out.Size = CA.combined().size();
+  Out.Closure = CA.combined().stats();
+  return Out;
+}
+
+void expectShardMatrixMatchesSequential(const Parsed &R, const char *Tag) {
+  const RunOutput Ref = runCombined(R, /*ParallelClose=*/false, 0, 1);
+  ASSERT_FALSE(Ref.Str.empty()) << Tag;
+  for (unsigned Shards : ShardCounts)
+    for (unsigned Threads : ThreadCounts) {
+      const RunOutput Got = runCombined(R, true, Shards, Threads);
+      EXPECT_EQ(Got.Str, Ref.Str)
+          << Tag << " shards=" << Shards << " threads=" << Threads;
+      EXPECT_EQ(Got.Scf, Ref.Scf)
+          << Tag << " shards=" << Shards << " threads=" << Threads;
+      EXPECT_EQ(Got.Size, Ref.Size)
+          << Tag << " shards=" << Shards << " threads=" << Threads;
+    }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===
+// Corpus programs: full shard × thread matrix against the sequential
+// engine, byte-for-byte on both the rendering and the serialized file.
+//===----------------------------------------------------------------------===
+
+TEST(ShardedClose, ByteIdenticalOnScanner) {
+  Parsed R = corpusProgramFor("scanner");
+  expectShardMatrixMatchesSequential(R, "scanner");
+}
+
+TEST(ShardedClose, ByteIdenticalOnZodiac) {
+  Parsed R = corpusProgramFor("zodiac");
+  expectShardMatrixMatchesSequential(R, "zodiac");
+}
+
+TEST(ShardedClose, ByteIdenticalOnFuzzCorpus) {
+  for (unsigned Seed : {1u, 7u, 23u, 101u}) {
+    FuzzGenConfig Cfg;
+    Cfg.Seed = Seed;
+    Cfg.MaxComponents = 3;
+    Parsed R = parseFiles(generateFuzzProgram(Cfg));
+    ASSERT_TRUE(R.Ok) << "fuzz seed " << Seed;
+    expectShardMatrixMatchesSequential(
+        R, ("fuzz-seed-" + std::to_string(Seed)).c_str());
+  }
+}
+
+/// The sharded telemetry must actually reflect a sharded run.
+TEST(ShardedClose, ReportsShardTelemetry) {
+  Parsed R = corpusProgramFor("scanner");
+  const RunOutput Got = runCombined(R, true, 4, 2);
+  EXPECT_EQ(Got.Closure.ShardsUsed, 4u);
+  EXPECT_GE(Got.Closure.CloseRounds, 1u);
+  EXPECT_EQ(Got.Closure.ShardDrained.size(), 4u);
+  EXPECT_GT(Got.Closure.BoundaryLowsSent + Got.Closure.BoundaryUpsSent, 0u)
+      << "scanner's combined system should have cross-shard constraints";
+  const RunOutput Seq = runCombined(R, false, 0, 1);
+  EXPECT_EQ(Seq.Closure.ShardsUsed, 0u);
+  EXPECT_EQ(Seq.Closure.CloseRounds, 0u);
+}
+
+//===----------------------------------------------------------------------===
+// Fixpoint property: re-closing a sharded-closed system under the naive
+// reference engine must add nothing (constantsOf agrees everywhere).
+//===----------------------------------------------------------------------===
+
+TEST(ShardedClose, ShardedResultIsAFixpointOfTheReference) {
+  for (unsigned Seed : {3u, 11u}) {
+    FuzzGenConfig Cfg;
+    Cfg.Seed = Seed;
+    Parsed R = parseFiles(generateFuzzProgram(Cfg));
+    ASSERT_TRUE(R.Ok) << "fuzz seed " << Seed;
+    ComponentialOptions Opts;
+    Opts.Threads = 2;
+    Opts.ParallelClose = true;
+    Opts.CloseShards = 5;
+    ComponentialAnalyzer CA(*R.Prog, Opts);
+    CA.run();
+    const ConstraintSystem &S = CA.combined();
+    ReferenceClosure Ref(S.context());
+    Ref.absorb(S);
+    Ref.close();
+    for (SetVar V : S.variables())
+      EXPECT_EQ(S.constantsOf(V), Ref.constantsOf(V))
+          << "seed " << Seed << " var a" << V;
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Table-driven micro systems: raw constraint graphs engineered around the
+// cross-shard edge cases. Each builds in a fresh context, closes once
+// sequentially and once per shard count (inline and over a real worker
+// pool), and must render byte-identically.
+//===----------------------------------------------------------------------===
+
+namespace {
+
+struct MicroCase {
+  const char *Name;
+  /// Builds the raw (unclosed) system; returns nothing. The var spread is
+  /// deliberately wide so the representative hash scatters across shards.
+  std::function<void(ConstraintContext &, ConstraintSystem &)> Build;
+};
+
+std::vector<SetVar> freshVars(ConstraintContext &Ctx, unsigned N) {
+  std::vector<SetVar> V(N);
+  for (unsigned I = 0; I < N; ++I)
+    V[I] = Ctx.freshVar();
+  return V;
+}
+
+const MicroCase MicroCases[] = {
+    {"eps-ring-with-sources",
+     [](ConstraintContext &Ctx, ConstraintSystem &S) {
+       // A 23-variable ε-ring (one big SCC, collapsed before partition)
+       // with constant sources at several points and a drain chain
+       // hanging off one member: every low must reach every member and
+       // the chain, whichever shard owns them.
+       std::vector<SetVar> V = freshVars(Ctx, 23);
+       for (unsigned I = 0; I < 23; ++I)
+         S.addVarUpperRaw(V[I], V[(I + 1) % 23]);
+       S.addConstLowerRaw(V[0], Ctx.Constants.basic(ConstKind::Num));
+       S.addConstLowerRaw(V[7], Ctx.Constants.basic(ConstKind::Nil));
+       S.addConstLowerRaw(V[15], Ctx.Constants.basic(ConstKind::True));
+       std::vector<SetVar> Chain = freshVars(Ctx, 6);
+       S.addVarUpperRaw(V[11], Chain[0]);
+       for (unsigned I = 0; I + 1 < 6; ++I)
+         S.addVarUpperRaw(Chain[I], Chain[I + 1]);
+     }},
+    {"cross-shard-derived-cycle",
+     [](ConstraintContext &Ctx, ConstraintSystem &S) {
+       // No raw ε-cycle exists: the cycles appear *mid-close* from rule
+       // s4 products (β ≤ s⁺(α), s⁺(α) ≤ γ ⟹ β ≤ γ), whose endpoints
+       // hash to arbitrary shards. The sequential engine collapses the
+       // derived cycles online; shards must converge to the same bounds
+       // by boundary propagation alone.
+       Selector Car = Ctx.Car;
+       std::vector<SetVar> B = freshVars(Ctx, 8);
+       std::vector<SetVar> Mid = freshVars(Ctx, 8);
+       for (unsigned I = 0; I < 8; ++I) {
+         unsigned J = (I + 1) % 8;
+         // B[I] ≤ car(Mid[I]) and car(Mid[I]) ≤ B[J]: derives B[I] ≤ B[J]
+         // — an 8-cycle of derived ε-edges.
+         S.addSelLowerRaw(Mid[I], Car, B[I]);
+         S.addSelUpperRaw(Mid[I], Car, B[J]);
+       }
+       S.addConstLowerRaw(B[2], Ctx.Constants.basic(ConstKind::Num));
+       S.addConstLowerRaw(B[5], Ctx.Constants.basic(ConstKind::Sym));
+     }},
+    {"anti-monotone-handoff",
+     [](ConstraintContext &Ctx, ConstraintSystem &S) {
+       // Rule s5 with the anti-monotone dom selector: s⁻(α) ≤ γ and
+       // β ≤ s⁻(α) imply β ≤ γ, where γ and β land on different shards.
+       Selector Dom = Ctx.dom(0);
+       std::vector<SetVar> A = freshVars(Ctx, 5);
+       std::vector<SetVar> G = freshVars(Ctx, 5);
+       std::vector<SetVar> Bv = freshVars(Ctx, 5);
+       for (unsigned I = 0; I < 5; ++I) {
+         S.addSelLowerRaw(A[I], Dom, G[I]);   // dom(A[I]) ≤ G[I]
+         S.addSelUpperRaw(A[I], Dom, Bv[I]);  // Bv[I] ≤ dom(A[I])
+         S.addConstLowerRaw(Bv[I], Ctx.Constants.basic(ConstKind::Num));
+       }
+       // Chain the γs so propagated bounds keep crossing shards.
+       for (unsigned I = 0; I + 1 < 5; ++I)
+         S.addVarUpperRaw(G[I], G[I + 1]);
+     }},
+    {"filter-across-shards",
+     [](ConstraintContext &Ctx, ConstraintSystem &S) {
+       // FilterUB masks applied to lows that arrive from remote shards:
+       // only the matching kinds may pass the boundary.
+       std::vector<SetVar> V = freshVars(Ctx, 12);
+       for (unsigned I = 0; I + 1 < 12; ++I)
+         S.addFilterUpperRaw(V[I],
+                             I % 2 ? kindBit(ConstKind::Num)
+                                   : kindBit(ConstKind::Num) |
+                                         kindBit(ConstKind::Nil),
+                             V[I + 1]);
+       S.addConstLowerRaw(V[0], Ctx.Constants.basic(ConstKind::Num));
+       S.addConstLowerRaw(V[0], Ctx.Constants.basic(ConstKind::Nil));
+       S.addConstLowerRaw(V[0], Ctx.Constants.basic(ConstKind::True));
+     }},
+    {"two-rings-bridged",
+     [](ConstraintContext &Ctx, ConstraintSystem &S) {
+       // Two ε-SCCs joined by a one-way bridge plus a derived edge back:
+       // the second ring's lows must not leak into the first through the
+       // forward bridge, while the derived back-edge merges them late.
+       Selector Car = Ctx.Car;
+       std::vector<SetVar> R1 = freshVars(Ctx, 9);
+       std::vector<SetVar> R2 = freshVars(Ctx, 9);
+       for (unsigned I = 0; I < 9; ++I) {
+         S.addVarUpperRaw(R1[I], R1[(I + 1) % 9]);
+         S.addVarUpperRaw(R2[I], R2[(I + 1) % 9]);
+       }
+       S.addConstLowerRaw(R1[3], Ctx.Constants.basic(ConstKind::Num));
+       S.addConstLowerRaw(R2[4], Ctx.Constants.basic(ConstKind::Sym));
+       S.addVarUpperRaw(R1[0], R2[0]); // forward bridge
+       // Derived back-edge R2[5] ≤ R1[5] via s4.
+       SetVar Mid = Ctx.freshVar();
+       S.addSelLowerRaw(Mid, Car, R2[5]);
+       S.addSelUpperRaw(Mid, Car, R1[5]);
+     }},
+};
+
+} // namespace
+
+TEST(ShardedCloseMicro, TableDrivenEdgeCases) {
+  for (const MicroCase &C : MicroCases) {
+    std::string Ref;
+    size_t RefSize = 0;
+    {
+      ConstraintContext Ctx;
+      ConstraintSystem S(Ctx);
+      C.Build(Ctx, S);
+      S.close();
+      Ref = S.str();
+      RefSize = S.size();
+      ASSERT_FALSE(Ref.empty()) << C.Name;
+    }
+    for (unsigned Shards : ShardCounts) {
+      ConstraintContext Ctx;
+      ConstraintSystem S(Ctx);
+      C.Build(Ctx, S);
+      S.closeSharded(Shards);
+      EXPECT_EQ(S.str(), Ref) << C.Name << " shards=" << Shards;
+      EXPECT_EQ(S.size(), RefSize) << C.Name << " shards=" << Shards;
+    }
+    // Once more over a real worker pool: determinism must not depend on
+    // the shards running inline.
+    {
+      ConstraintContext Ctx;
+      ConstraintSystem S(Ctx);
+      C.Build(Ctx, S);
+      WorkerPool Pool(3);
+      PoolRunner Runner(Pool);
+      S.closeSharded(4, &Runner);
+      EXPECT_EQ(S.str(), Ref) << C.Name << " (pooled)";
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Cancellation: a budget that trips mid-round leaves a degraded (partial
+// but sound) system; the same input without a token closes fully.
+//===----------------------------------------------------------------------===
+
+TEST(ShardedClose, CancellationMidRoundDegradesAndRecovers) {
+  auto Build = [](ConstraintContext &Ctx, ConstraintSystem &S) {
+    MicroCases[0].Build(Ctx, S); // the 23-ring generates plenty of work
+    MicroCases[1].Build(Ctx, S);
+  };
+  std::string FullStr;
+  {
+    ConstraintContext Ctx;
+    ConstraintSystem S(Ctx);
+    Build(Ctx, S);
+    S.closeSharded(4);
+    EXPECT_FALSE(S.closureCancelled());
+    FullStr = S.str();
+  }
+  {
+    ConstraintContext Ctx;
+    ConstraintSystem S(Ctx);
+    Build(Ctx, S);
+    CancelToken Tok;
+    Tok.cancel(); // latched before the close even starts
+    S.setCancel(&Tok);
+    S.closeSharded(4);
+    EXPECT_TRUE(S.closureCancelled());
+    // Degraded-then-rearmed: a fresh system over the same input closes
+    // to the full fixpoint, byte-identically.
+    ConstraintContext Ctx2;
+    ConstraintSystem S2(Ctx2);
+    Build(Ctx2, S2);
+    S2.closeSharded(4);
+    EXPECT_EQ(S2.str(), FullStr);
+  }
+}

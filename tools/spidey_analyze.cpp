@@ -39,6 +39,11 @@ usage: spidey-analyze [options] file.ss...
   --whole            whole-program analysis (default: componential)
   --threads N        worker threads for the componential step 1
                      (default 0 = hardware concurrency; 1 = sequential)
+  --parallel-close   close the merged system with the sharded parallel
+                     fixpoint (byte-identical output; shards default to
+                     the worker-thread count)
+  --close-shards N   shard count for the parallel close; implies
+                     --parallel-close (1 = sequential engine)
   --simplify ALG     per-component simplifier: none, empty, unreachable,
                      e-removal (default), hopcroft
   --cache-dir DIR    constraint-file cache directory (default: disabled)
@@ -96,6 +101,12 @@ int main(int Argc, char **Argv) {
       Stats = true;
     } else if (Arg == "--threads") {
       Opts.Threads = static_cast<unsigned>(std::strtoul(Next(), nullptr, 10));
+    } else if (Arg == "--parallel-close") {
+      Opts.ParallelClose = true;
+    } else if (Arg == "--close-shards") {
+      Opts.ParallelClose = true;
+      Opts.CloseShards =
+          static_cast<unsigned>(std::strtoul(Next(), nullptr, 10));
     } else if (Arg == "--simplify") {
       std::string Name = Next();
       if (!simplifyFromName(Name, Opts.Simplify)) {

@@ -3,7 +3,7 @@
 /// \file
 /// The `spidey-fuzz` command-line harness.
 ///
-///   spidey-fuzz --iters 500 --seed 42            # fuzz all five oracles
+///   spidey-fuzz --iters 500 --seed 42            # fuzz every oracle
 ///   spidey-fuzz --oracles soundness,threads ...  # a subset
 ///   spidey-fuzz --replay repro.ss                # replay a reproducer
 ///   spidey-fuzz --emit 123                       # print program for seed
@@ -35,7 +35,8 @@ usage: spidey-fuzz [options]
   --iters N          iterations (default 100)
   --seed N           base seed (default 1; per-iteration seeds derive from it)
   --oracles LIST     comma-separated subset of: soundness,simplify,
-                     componential,threads,closure,chaos (default: all six)
+                     componential,threads,closure,parclose,chaos
+                     (default: all seven)
   --fuel N           machine step budget for the soundness oracle
   --threads N        thread count compared against 1 (default 4)
   --depth N          selector-path probe depth (default 4)

@@ -77,6 +77,10 @@ void usage() {
 usage: spidey-serve [options] file.ss...
   --socket PATH        listen on a unix socket instead of stdin/stdout
   --threads N          worker threads for the componential step 1
+  --parallel-close     close the merged system with the sharded parallel
+                       fixpoint (byte-identical answers either way)
+  --close-shards N     shard count for the parallel close; implies
+                       --parallel-close (default 0 = one per thread)
   --simplify ALG       per-component simplifier: none, empty, unreachable,
                        e-removal (default), hopcroft
   --cache-dir DIR      on-disk constraint-file cache behind the in-memory
@@ -298,6 +302,12 @@ int main(int Argc, char **Argv) {
       SocketPath = Next();
     } else if (Arg == "--threads") {
       Opts.Threads = static_cast<unsigned>(std::strtoul(Next(), nullptr, 10));
+    } else if (Arg == "--parallel-close") {
+      Opts.ParallelClose = true;
+    } else if (Arg == "--close-shards") {
+      Opts.ParallelClose = true;
+      Opts.CloseShards =
+          static_cast<unsigned>(std::strtoul(Next(), nullptr, 10));
     } else if (Arg == "--simplify") {
       std::string Name = Next();
       if (!simplifyFromName(Name, Opts.Simplify)) {
