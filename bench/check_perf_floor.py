@@ -2,7 +2,8 @@
 """CI perf-smoke gate: compare bench_parallel --json output against the
 checked-in throughput floors in perf_floor.json.
 
-Usage: check_perf_floor.py <bench_parallel.json> <perf_floor.json>
+Usage: check_perf_floor.py <bench_parallel.json> <perf_floor.json> \
+           [bench_query.json]
 
 Fails (exit 1) when a program's derive throughput at the pinned thread
 count has regressed more than `regression_factor` times below its
@@ -11,14 +12,54 @@ floor entry carries `close_constraints_per_sec_floor` (gated against
 the `close` block's runs). The floor file deliberately sits far under a
 healthy run so the gate only trips on algorithmic regressions, not
 runner noise.
+
+When bench_query.json is given, the floor file's `query` block is also
+enforced: warm memoized flow must beat the FlowGraph-rebuild baseline by
+at least `flow_speedup_floor` (the acceptance bar — no extra allowance;
+healthy runs clear it by orders of magnitude), the edit-sweep must
+re-check exactly `rechecked_after_edit` components, and every payload
+must have matched the reference analyzer.
 """
 
 import json
 import sys
 
 
+def check_query(results: dict, floors: dict) -> bool:
+    """Gates bench_query output; returns True when something failed."""
+    failed = False
+    by_name = {p["name"]: p for p in results.get("programs", [])}
+    for name, floor in floors.get("query", {}).get("programs", {}).items():
+        prog = by_name.get(name)
+        if prog is None:
+            print(f"FAIL query {name}: missing from benchmark output")
+            failed = True
+            continue
+        speedup = prog.get("flow_speedup", 0.0)
+        speedup_floor = floor.get("flow_speedup_floor", 0.0)
+        verdict = "FAIL" if speedup < speedup_floor else "OK"
+        print(
+            f"{verdict} query {name}: warm flow {speedup:.0f}x faster than "
+            f"FlowGraph rebuild (floor {speedup_floor}x)"
+        )
+        failed = failed or speedup < speedup_floor
+        want = floor.get("rechecked_after_edit")
+        if want is not None:
+            got = prog.get("rechecked_after_edit")
+            rverdict = "FAIL" if got != want else "OK"
+            print(
+                f"{rverdict} query {name}: edit sweep re-checked {got} "
+                f"component(s) (must be exactly {want})"
+            )
+            failed = failed or got != want
+        if not prog.get("answers_match", False):
+            print(f"FAIL query {name}: payload diverged from reference")
+            failed = True
+    return failed
+
+
 def main() -> int:
-    if len(sys.argv) != 3:
+    if len(sys.argv) not in (3, 4):
         print(__doc__, file=sys.stderr)
         return 2
     with open(sys.argv[1]) as f:
@@ -74,6 +115,10 @@ def main() -> int:
         if not prog.get("deterministic_across_threads", True):
             print(f"FAIL {name}: combined system differed across threads")
             failed = True
+    if len(sys.argv) == 4:
+        with open(sys.argv[3]) as f:
+            query_results = json.load(f)
+        failed = check_query(query_results, floors) or failed
     return 1 if failed else 0
 
 

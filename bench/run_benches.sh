@@ -8,6 +8,8 @@
 #                            ClosureStats telemetry
 #   BENCH_serve.json         from bench_serve's JSON output (cold analyze
 #                            vs warm single-component edit latency)
+#   BENCH_query.json         from bench_query's JSON output (demand-driven
+#                            flow & check queries vs whole-system rebuild)
 #
 # Each emitted file has a "before" section (measured once on the
 # reference machine at the commit preceding the respective optimisation
@@ -25,13 +27,15 @@ BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build}"
 OUT="$REPO_ROOT/BENCH_componential.json"
 OUT_CLOSURE="$REPO_ROOT/BENCH_closure.json"
 OUT_SERVE="$REPO_ROOT/BENCH_serve.json"
+OUT_QUERY="$REPO_ROOT/BENCH_query.json"
 TMP_AFTER="$(mktemp)"
 TMP_CLOSURE="$(mktemp)"
 TMP_SERVE="$(mktemp)"
-trap 'rm -f "$TMP_AFTER" "$TMP_CLOSURE" "$TMP_SERVE"' EXIT
+TMP_QUERY="$(mktemp)"
+trap 'rm -f "$TMP_AFTER" "$TMP_CLOSURE" "$TMP_SERVE" "$TMP_QUERY"' EXIT
 
 BENCHES=(bench_simplify bench_componential bench_polymorphic bench_checks
-         bench_ablation bench_closure bench_parallel bench_serve)
+         bench_ablation bench_closure bench_parallel bench_serve bench_query)
 
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT" > /dev/null || exit 1
 cmake --build "$BUILD_DIR" -j --target "${BENCHES[@]}" > /dev/null || exit 1
@@ -46,6 +50,8 @@ for BENCH in "${BENCHES[@]}"; do
       --benchmark_min_time=0.2 > "$TMP_CLOSURE" || FAILED+=("$BENCH")
   elif [ "$BENCH" = bench_serve ]; then
     "$BUILD_DIR/bench/$BENCH" --json > "$TMP_SERVE" || FAILED+=("$BENCH")
+  elif [ "$BENCH" = bench_query ]; then
+    "$BUILD_DIR/bench/$BENCH" --json > "$TMP_QUERY" || FAILED+=("$BENCH")
   else
     "$BUILD_DIR/bench/$BENCH" || FAILED+=("$BENCH")
   fi
@@ -140,6 +146,29 @@ doc = {
                    "before (fa589e3) vs. after",
     "before": before,
     "after": {"micro": micro_rows, "componential": comp_rows},
+}
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"wrote {out}")
+EOF
+
+python3 - "$OUT_QUERY" "$TMP_QUERY" <<'EOF' || exit 1
+import json, sys
+
+out, query_path = sys.argv[1], sys.argv[2]
+after = json.load(open(query_path))
+
+doc = {
+    "description": "Demand-driven flow & check queries (DESIGN.md 12): "
+                   "per-request FlowGraph rebuild baseline vs the "
+                   "persistent FlowIndex (cold build, first-walk, and "
+                   "memoized warm flow latency) and the check-summary "
+                   "sweep cold vs after a one-component probe edit "
+                   "(rechecked/reused counts; payloads verified against "
+                   "a reference analyzer as they are timed; best of N "
+                   "repeats)",
+    "after": after,
 }
 with open(out, "w") as f:
     json.dump(doc, f, indent=2)

@@ -182,6 +182,11 @@ public:
     return Stats;
   }
 
+  /// The componentialFingerprint of this run's options — the same token
+  /// folded into every constraint-file header. The demand-driven query
+  /// layer keys its memoized per-component verdicts on it.
+  const std::string &optionsFingerprint() const { return OptionsFP; }
+
   /// The largest constraint system materialized during the run (the
   /// "maximum size" column of fig. 7.1).
   size_t maxConstraints() const { return MaxConstraints; }

@@ -668,6 +668,20 @@ std::vector<SetVar> ConstraintSystem::variables() const {
   return Merged;
 }
 
+void ConstraintSystem::forEachBoundSorted(
+    const std::function<void(SetVar, const std::vector<LowerBound> &,
+                             const std::vector<UpperBound> &)> &Fn) const {
+  std::vector<LowerBound> Lows;
+  std::vector<UpperBound> Ups;
+  for (SetVar A : variables()) {
+    Lows = lowerBounds(A);
+    Ups = upperBounds(A);
+    std::sort(Lows.begin(), Lows.end(), lowerBoundLess);
+    std::sort(Ups.begin(), Ups.end(), upperBoundLess);
+    Fn(A, Lows, Ups);
+  }
+}
+
 std::vector<Constant> ConstraintSystem::constantsOf(SetVar A) const {
   std::vector<Constant> Result;
   for (const LowerBound &L : lowerBounds(A))

@@ -439,6 +439,18 @@ public:
   /// const(LeastSoln(S)(α)) by Theorem 2.6.5.
   std::vector<Constant> constantsOf(SetVar A) const;
 
+  /// Canonical bound iteration: visits every variable the system mentions
+  /// in ascending order, presenting that variable's lower and upper
+  /// bounds sorted by the canonical keys (lowerBoundLess/upperBoundLess)
+  /// — the same presentation str() and the serializer use, so the visit
+  /// sequence is a pure function of the closed bound *set*, not of
+  /// discovery order. The vectors are scratch borrowed for the duration
+  /// of one callback. The demand-driven query layer builds its region
+  /// digests on top of this.
+  void forEachBoundSorted(
+      const std::function<void(SetVar, const std::vector<LowerBound> &,
+                               const std::vector<UpperBound> &)> &Fn) const;
+
   /// Total number of stored constraints, counting a collapsed cycle's
   /// shared lower bounds once per member (i.e. the size of the system a
   /// per-variable engine would store — each presented bound counted once).

@@ -70,24 +70,30 @@ DebugReport spidey::runChecks(const Program &P, const AnalysisMaps &Maps,
   return Report;
 }
 
-std::string DebugReport::summary(const Program &P) const {
+std::string DebugReport::unsafeLine(const CheckResult &R, const Program &P) {
+  uint32_t File = R.Loc.File < P.Components.size() ? R.Loc.File : 0;
   std::ostringstream OS;
-  OS << "CHECKS:\n";
-  for (const CheckResult &R : Results) {
-    if (R.Safe)
-      continue;
-    uint32_t File = R.Loc.File < P.Components.size() ? R.Loc.File : 0;
-    OS << R.What << " check in file \"" << P.Components[File].Name
-       << "\" line " << R.Loc.Line << "\n";
-  }
-  size_t Possible = numPossible(), Unsafe = numUnsafe();
+  OS << R.What << " check in file \"" << P.Components[File].Name
+     << "\" line " << R.Loc.Line << "\n";
+  return OS.str();
+}
+
+std::string DebugReport::totalLine(size_t Unsafe, size_t Possible) {
   double Pct = Possible == 0 ? 0.0 : 100.0 * Unsafe / Possible;
   char Buf[128];
   std::snprintf(Buf, sizeof(Buf),
                 "TOTAL CHECKS: %zu (of %zu possible checks is %.1f%%)\n",
                 Unsafe, Possible, Pct);
-  OS << Buf;
-  return OS.str();
+  return Buf;
+}
+
+std::string DebugReport::summary(const Program &P) const {
+  std::string Out = "CHECKS:\n";
+  for (const CheckResult &R : Results)
+    if (!R.Safe)
+      Out += unsafeLine(R, P);
+  Out += totalLine(numUnsafe(), numPossible());
+  return Out;
 }
 
 std::string DebugReport::perFileSummary(const Program &P) const {

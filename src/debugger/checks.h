@@ -50,6 +50,15 @@ struct DebugReport {
   ///   TOTAL CHECKS: 1 (of 10 possible checks is 10.0%)
   std::string summary(const Program &P) const;
 
+  /// One summary line for an unsafe result (including the trailing
+  /// newline). Split out so the demand-driven query engine can cache
+  /// per-component verdict lines and reassemble a summary byte-identical
+  /// to a monolithic render.
+  static std::string unsafeLine(const CheckResult &R, const Program &P);
+
+  /// The closing "TOTAL CHECKS: ..." line (including the newline).
+  static std::string totalLine(size_t Unsafe, size_t Possible);
+
   /// Per-file one-line summaries (the ch. 8.3 table).
   std::string perFileSummary(const Program &P) const;
 };

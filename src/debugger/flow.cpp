@@ -12,28 +12,27 @@ FlowGraph::FlowGraph(const ConstraintSystem &S) : S(S) {
   for (SetVar A : S.variables())
     for (const UpperBound &U : S.upperBounds(A))
       if (U.K == UpperBound::Kind::VarUB ||
-          U.K == UpperBound::Kind::FilterUB)
+          U.K == UpperBound::Kind::FilterUB) {
         Incoming[U.Other].push_back(A);
-  for (auto &[V, Ins] : Incoming) {
-    std::sort(Ins.begin(), Ins.end());
-    Ins.erase(std::unique(Ins.begin(), Ins.end()), Ins.end());
-  }
+        Outgoing[A].push_back(U.Other);
+      }
+  for (auto *Adj : {&Incoming, &Outgoing})
+    for (auto &[V, Edges] : *Adj) {
+      std::sort(Edges.begin(), Edges.end());
+      Edges.erase(std::unique(Edges.begin(), Edges.end()), Edges.end());
+    }
 }
 
-std::vector<SetVar> FlowGraph::parents(SetVar A) const {
+const std::vector<SetVar> &FlowGraph::parents(SetVar A) const {
+  static const std::vector<SetVar> Empty;
   auto It = Incoming.find(A);
-  return It == Incoming.end() ? std::vector<SetVar>() : It->second;
+  return It == Incoming.end() ? Empty : It->second;
 }
 
-std::vector<SetVar> FlowGraph::children(SetVar A) const {
-  std::vector<SetVar> Out;
-  for (const UpperBound &U : S.upperBounds(A))
-    if (U.K == UpperBound::Kind::VarUB ||
-        U.K == UpperBound::Kind::FilterUB)
-      Out.push_back(U.Other);
-  std::sort(Out.begin(), Out.end());
-  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
-  return Out;
+const std::vector<SetVar> &FlowGraph::children(SetVar A) const {
+  static const std::vector<SetVar> Empty;
+  auto It = Outgoing.find(A);
+  return It == Outgoing.end() ? Empty : It->second;
 }
 
 namespace {
@@ -59,11 +58,15 @@ std::vector<SetVar> transitive(SetVar A, NextFn &&Next) {
 } // namespace
 
 std::vector<SetVar> FlowGraph::ancestors(SetVar A) const {
-  return transitive(A, [&](SetVar V) { return parents(V); });
+  // The explicit reference return type keeps the lambda from deducing a
+  // by-value vector and copying the adjacency list per visited node.
+  return transitive(
+      A, [&](SetVar V) -> const std::vector<SetVar> & { return parents(V); });
 }
 
 std::vector<SetVar> FlowGraph::descendants(SetVar A) const {
-  return transitive(A, [&](SetVar V) { return children(V); });
+  return transitive(
+      A, [&](SetVar V) -> const std::vector<SetVar> & { return children(V); });
 }
 
 bool FlowGraph::carries(SetVar V, Constant C) const {

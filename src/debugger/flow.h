@@ -28,10 +28,15 @@ public:
   /// Builds the flow graph from the ε-edges of \p S (closed under Θ).
   explicit FlowGraph(const ConstraintSystem &S);
 
-  /// Direct sources: {β | [β ≤ α] ∈ S}.
-  std::vector<SetVar> parents(SetVar A) const;
-  /// Direct sinks: {β | [α ≤ β] ∈ S}.
-  std::vector<SetVar> children(SetVar A) const;
+  /// Direct sources: {β | [β ≤ α] ∈ S}. Borrowed, sorted, deduplicated;
+  /// valid as long as the graph is (returned by reference — the BFS in
+  /// ancestors/descendants calls this per visited node, and copying a
+  /// vector per node dominated the walk).
+  const std::vector<SetVar> &parents(SetVar A) const;
+  /// Direct sinks: {β | [α ≤ β] ∈ S}. Same contract as parents();
+  /// adjacency is materialized once at construction, not re-sorted per
+  /// call.
+  const std::vector<SetVar> &children(SetVar A) const;
   /// Transitive sources/sinks.
   std::vector<SetVar> ancestors(SetVar A) const;
   std::vector<SetVar> descendants(SetVar A) const;
@@ -54,6 +59,7 @@ private:
 
   const ConstraintSystem &S;
   std::unordered_map<SetVar, std::vector<SetVar>> Incoming;
+  std::unordered_map<SetVar, std::vector<SetVar>> Outgoing;
 };
 
 } // namespace spidey

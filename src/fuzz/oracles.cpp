@@ -5,10 +5,14 @@
 #include "componential/componential.h"
 #include "constraints/reference_closure.h"
 #include "debugger/checks.h"
+#include "debugger/flow.h"
 #include "interp/machine.h"
 #include "serve/serve.h"
 #include "simplify/simplify.h"
 #include "support/faultinject.h"
+
+#include <algorithm>
+#include <unordered_set>
 
 #include <map>
 #include <set>
@@ -32,6 +36,8 @@ const char *spidey::oracleName(Oracle O) {
     return "parclose";
   case Oracle::Chaos:
     return "chaos";
+  case Oracle::Query:
+    return "query";
   }
   return "?";
 }
@@ -491,6 +497,268 @@ OracleVerdict checkChaos(const std::vector<SourceFile> &Files,
   return V;
 }
 
+//===----------------------------------------------------------------------===
+// Oracle 8: query — demand-driven serve answers vs. the closed engine.
+//===----------------------------------------------------------------------===
+
+/// The ground-truth answers for one program state, computed the
+/// pre-demand-driven way: a reference analyzer (Threads=1, MergeViaFiles —
+/// the same deterministic numbering the serve session uses), a fresh
+/// FlowGraph for the flow counts, and a full reconstruct sweep for the
+/// summary. Variable ids are comparable raw because both sides number
+/// identically.
+struct QueryRefAnswers {
+  struct FlowRef {
+    SetVar Var = NoSetVar;
+    std::vector<std::string> Kinds;
+    size_t Parents = 0, Children = 0, Ancestors = 0, Descendants = 0;
+  };
+  bool Ok = false;
+  std::vector<std::pair<std::string, FlowRef>> Flows;
+  size_t Possible = 0, Unsafe = 0;
+  std::string Summary;
+};
+
+QueryRefAnswers queryReference(const std::vector<SourceFile> &Files) {
+  QueryRefAnswers R;
+  ParsedProgram PP = parseIt(Files);
+  if (!PP.Ok)
+    return R;
+  R.Ok = true;
+  const Program &P = PP.Prog;
+  ComponentialOptions CO;
+  CO.Threads = 1;
+  CO.MergeViaFiles = true;
+  ComponentialAnalyzer CA(P, CO);
+  CA.run();
+  const ConstraintSystem &S = CA.combined();
+  FlowGraph FG(S);
+  std::unordered_set<std::string> Seen;
+  for (VarId Vi = 0; Vi < P.numVars(); ++Vi) {
+    const VarInfo &Info = P.var(Vi);
+    if (!Info.TopLevel)
+      continue;
+    std::string Name = P.Syms.name(Info.Name);
+    if (!Seen.insert(Name).second)
+      continue; // first definition wins, matching the serve lookup
+    QueryRefAnswers::FlowRef F;
+    F.Var = CA.maps().varVar(Vi);
+    for (Constant C : S.constantsOf(F.Var))
+      F.Kinds.push_back(constKindName(S.context().Constants.kind(C)));
+    std::sort(F.Kinds.begin(), F.Kinds.end());
+    F.Kinds.erase(std::unique(F.Kinds.begin(), F.Kinds.end()),
+                  F.Kinds.end());
+    F.Parents = FG.parents(F.Var).size();
+    F.Children = FG.children(F.Var).size();
+    F.Ancestors = FG.ancestors(F.Var).size();
+    F.Descendants = FG.descendants(F.Var).size();
+    R.Flows.emplace_back(std::move(Name), F);
+  }
+  DebugReport Report;
+  for (uint32_t I = 0; I < P.Components.size(); ++I) {
+    std::unique_ptr<ConstraintSystem> Full = CA.reconstruct(I);
+    DebugReport Part = runChecks(P, CA.maps(), *Full);
+    for (CheckResult &CR : Part.Results)
+      if (CR.Loc.File == I)
+        Report.Results.push_back(std::move(CR));
+  }
+  R.Possible = Report.numPossible();
+  R.Unsafe = Report.numUnsafe();
+  R.Summary = Report.summary(P);
+  return R;
+}
+
+OracleVerdict checkQuery(const std::vector<SourceFile> &Files,
+                         const OracleOptions &Opts) {
+  (void)Opts;
+  OracleVerdict V;
+  ServeOptions SO;
+  SO.Threads = 1;
+  ServeSession S(SO);
+  std::vector<SourceFile> Cur = Files; // mirrors the session's edits
+  S.setFiles(Cur);
+
+  auto request = [&](const std::string &Line) -> std::optional<json::Value> {
+    std::string Resp = S.handleLine(Line);
+    std::string PErr;
+    std::optional<json::Value> R = json::Value::parse(Resp, &PErr);
+    if (!R) {
+      V.Violation = true;
+      V.Message = "malformed response to '" + Line + "': " + Resp;
+    }
+    return R;
+  };
+
+  auto compareFlow = [&](const std::string &Name,
+                         const QueryRefAnswers::FlowRef &F,
+                         const std::string &Phase) {
+    json::Value Req = json::Value::object();
+    Req.set("cmd", "flow");
+    Req.set("name", Name);
+    std::optional<json::Value> R = request(Req.dump());
+    if (!R)
+      return false;
+    auto fail = [&](const std::string &What) {
+      V.Violation = true;
+      V.Message = "[" + Phase + "] flow \"" + Name + "\": " + What +
+                  " -> " + R->dump();
+      return false;
+    };
+    const json::Value *Ok = R->find("ok");
+    if (!Ok || !Ok->asBool(false))
+      return fail("request failed");
+    if (R->find("degraded"))
+      return fail("degraded answer with no limits armed");
+    auto num = [&](const char *K) {
+      const json::Value *M = R->find(K);
+      return M && M->isNumber() ? M->asNumber() : -1.0;
+    };
+    std::vector<std::string> Kinds;
+    const json::Value *KV = R->find("kinds");
+    if (KV && KV->isArray())
+      for (const json::Value &K : KV->items())
+        Kinds.push_back(K.asString());
+    if (num("var") != double(F.Var))
+      return fail("var " + std::to_string(num("var")) + " vs reference " +
+                  std::to_string(F.Var));
+    if (Kinds != F.Kinds)
+      return fail("kinds diverge from the closed engine");
+    if (num("parents") != double(F.Parents) ||
+        num("children") != double(F.Children) ||
+        num("ancestors") != double(F.Ancestors) ||
+        num("descendants") != double(F.Descendants))
+      return fail("counts diverge: got " + std::to_string(num("parents")) +
+                  "/" + std::to_string(num("children")) + "/" +
+                  std::to_string(num("ancestors")) + "/" +
+                  std::to_string(num("descendants")) + " vs reference " +
+                  std::to_string(F.Parents) + "/" +
+                  std::to_string(F.Children) + "/" +
+                  std::to_string(F.Ancestors) + "/" +
+                  std::to_string(F.Descendants));
+    return true;
+  };
+
+  auto compareSummary = [&](const QueryRefAnswers &Ref,
+                            const std::string &Phase) {
+    std::optional<json::Value> R = request(R"({"cmd":"check-summary"})");
+    if (!R)
+      return false;
+    auto fail = [&](const std::string &What) {
+      V.Violation = true;
+      V.Message = "[" + Phase + "] check-summary: " + What + " -> " +
+                  R->dump();
+      return false;
+    };
+    const json::Value *Ok = R->find("ok");
+    if (!Ok || !Ok->asBool(false))
+      return fail("request failed");
+    if (R->find("degraded"))
+      return fail("degraded answer with no limits armed");
+    const json::Value *Pv = R->find("possible");
+    const json::Value *Uv = R->find("unsafe");
+    const json::Value *Sv = R->find("summary");
+    if (!Pv || Pv->asNumber(-1) != double(Ref.Possible) ||
+        !Uv || Uv->asNumber(-1) != double(Ref.Unsafe))
+      return fail("possible/unsafe diverge from the reconstruct sweep");
+    if (!Sv || !Sv->isString() || Sv->asString() != Ref.Summary)
+      return fail("summary bytes diverge from the reconstruct sweep");
+    return true;
+  };
+
+  // One full comparison of the demand-driven answers against the closed
+  // engine at the current program state. Each flow is queried twice (the
+  // repeat must hit the same answer through the memo path), and the
+  // summary twice (the repeat exercises verdict reuse).
+  auto compareCycle = [&](const std::string &Phase) {
+    QueryRefAnswers Ref = queryReference(Cur);
+    if (!Ref.Ok)
+      return true; // edited program no longer parses: nothing to compare
+    for (const auto &[Name, F] : Ref.Flows)
+      if (!compareFlow(Name, F, Phase) ||
+          !compareFlow(Name, F, Phase + "/warm"))
+        return false;
+    if (!compareSummary(Ref, Phase) ||
+        !compareSummary(Ref, Phase + "/warm"))
+      return false;
+    return true;
+  };
+
+  if (!compareCycle("cold"))
+    return V;
+
+  // An unknown name must answer the legacy structured error.
+  {
+    std::optional<json::Value> R = request(
+        R"({"cmd":"flow","name":"query-oracle-no-such-name"})");
+    if (!R)
+      return V;
+    const json::Value *Ok = R->find("ok");
+    if (!Ok || Ok->asBool(true) ||
+        R->str("code", "") != "unknown-name") {
+      V.Violation = true;
+      V.Message = "unknown-name flow lost its error contract: " + R->dump();
+      return V;
+    }
+  }
+
+  // Per-file edit cycles: appending a fresh define dirties exactly one
+  // component; every answer must still match a fresh reference (this is
+  // where stale memo reuse — a wrong region digest or verdict key —
+  // shows up as a divergence).
+  for (size_t I = 0; I < Cur.size(); ++I) {
+    Cur[I].Text +=
+        "\n(define query-oracle-probe-" + std::to_string(I) + " 42)\n";
+    json::Value Req = json::Value::object();
+    Req.set("cmd", "edit");
+    Req.set("file", Cur[I].Name);
+    Req.set("text", Cur[I].Text);
+    std::optional<json::Value> R = request(Req.dump());
+    if (!R)
+      return V;
+    if (!compareCycle("edit-" + std::to_string(I)))
+      return V;
+  }
+
+  // Degradation contract: a budget-starved query may answer degraded
+  // (never malformed, never ok:false), and once the budget is lifted the
+  // next query must answer exactly again.
+  if (!request(R"({"cmd":"configure","max_constraints":1})"))
+    return V;
+  if (!Cur.empty()) {
+    QueryRefAnswers Ref = queryReference(Cur);
+    if (Ref.Ok && !Ref.Flows.empty()) {
+      json::Value Req = json::Value::object();
+      Req.set("cmd", "flow");
+      Req.set("name", Ref.Flows.front().first);
+      std::optional<json::Value> R = request(Req.dump());
+      if (!R)
+        return V;
+      const json::Value *Ok = R->find("ok");
+      if (!Ok || !Ok->isBool() || !Ok->asBool()) {
+        V.Violation = true;
+        V.Message = "budget-starved flow answered ok:false: " + R->dump();
+        return V;
+      }
+      std::optional<json::Value> RS = request(R"({"cmd":"check-summary"})");
+      if (!RS)
+        return V;
+      const json::Value *OkS = RS->find("ok");
+      if (!OkS || !OkS->isBool() || !OkS->asBool()) {
+        V.Violation = true;
+        V.Message =
+            "budget-starved check-summary answered ok:false: " + RS->dump();
+        return V;
+      }
+    }
+  }
+  if (!request(R"({"cmd":"configure","max_constraints":0})"))
+    return V;
+  if (!compareCycle("recovered"))
+    return V;
+
+  return V;
+}
+
 } // namespace
 
 OracleVerdict spidey::checkOracle(Oracle O,
@@ -518,6 +786,8 @@ OracleVerdict spidey::checkOracle(Oracle O,
     return checkParClose(P.Prog, Opts);
   case Oracle::Chaos:
     return checkChaos(Files, Opts);
+  case Oracle::Query:
+    return checkQuery(Files, Opts);
   }
   return {};
 }

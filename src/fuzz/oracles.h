@@ -32,6 +32,14 @@
 ///    lost cache entries only cost re-derivation), and — once faults are
 ///    disarmed — hold a combined system byte-identical to a fault-free
 ///    cold run.
+///  - Query: the demand-driven serve answers (DESIGN.md §12) are
+///    identical to the closed engine's: every top-level name's flow
+///    response (var, kinds, parent/child/ancestor/descendant counts)
+///    matches a per-request FlowGraph over a reference analyzer, and
+///    check-summary (possible, unsafe, the summary bytes) matches a full
+///    reconstruct sweep — cold, warm-repeated, and across per-file edit
+///    cycles that exercise the memo invalidation. A budget-starved query
+///    must degrade cleanly and the next in-budget query answer exactly.
 ///
 /// Oracles never throw; a program that fails to parse is reported via
 /// Parsed=false (for generated programs that is a generator bug).
@@ -56,8 +64,9 @@ enum class Oracle : uint8_t {
   Closure,
   ParClose,
   Chaos,
+  Query,
 };
-inline constexpr unsigned NumOracles = 7;
+inline constexpr unsigned NumOracles = 8;
 
 const char *oracleName(Oracle O);
 /// Parses an oracle name; returns false if unknown.

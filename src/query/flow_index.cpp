@@ -1,0 +1,84 @@
+//===-- query/flow_index.cpp ----------------------------------*- C++ -*-===//
+
+#include "query/flow_index.h"
+
+#include <algorithm>
+
+using namespace spidey;
+
+void FlowIndex::clear() {
+  Fwd = Csr{};
+  Rev = Csr{};
+  NumVars = 0;
+  Built = false;
+}
+
+void FlowIndex::buildCsr(Csr &Out, std::vector<std::pair<SetVar, SetVar>> &E,
+                         size_t NumVars) {
+  std::sort(E.begin(), E.end());
+  E.erase(std::unique(E.begin(), E.end()), E.end());
+  Out.Offsets.assign(NumVars + 1, 0);
+  for (const auto &[From, To] : E)
+    ++Out.Offsets[From + 1];
+  for (size_t I = 1; I <= NumVars; ++I)
+    Out.Offsets[I] += Out.Offsets[I - 1];
+  Out.Edges.resize(E.size());
+  // E is sorted by (From, To), so each row lands sorted ascending — the
+  // same presentation FlowGraph's sort+unique produces.
+  for (size_t I = 0; I < E.size(); ++I)
+    Out.Edges[I] = E[I].second;
+}
+
+void FlowIndex::build(const ConstraintSystem &S) {
+  clear();
+  std::vector<std::pair<SetVar, SetVar>> Forward, Reverse;
+  SetVar MaxVar = 0;
+  for (SetVar A : S.variables()) {
+    MaxVar = std::max(MaxVar, A);
+    for (const UpperBound &U : S.upperBounds(A)) {
+      if (U.K != UpperBound::Kind::VarUB &&
+          U.K != UpperBound::Kind::FilterUB)
+        continue;
+      MaxVar = std::max(MaxVar, U.Other);
+      Forward.emplace_back(A, U.Other);
+      Reverse.emplace_back(U.Other, A);
+    }
+  }
+  NumVars = Forward.empty() && S.variables().empty()
+                ? 0
+                : static_cast<size_t>(MaxVar) + 1;
+  buildCsr(Fwd, Forward, NumVars);
+  buildCsr(Rev, Reverse, NumVars);
+  Built = true;
+}
+
+FlowIndex::Reach FlowIndex::reach(const Csr &Dir, SetVar A,
+                                  CancelToken *Tok) const {
+  Reach R;
+  R.Complete = true;
+  if (!Built || A >= NumVars)
+    return R;
+  if (VisitEpoch.size() < NumVars)
+    VisitEpoch.assign(NumVars, 0);
+  ++Epoch;
+  VisitEpoch[A] = Epoch;
+  Work.clear();
+  Work.push_back(A);
+  bool Armed = Tok && Tok->armed();
+  while (!Work.empty()) {
+    SetVar V = Work.back();
+    Work.pop_back();
+    if (Armed && Tok->charge(1)) {
+      R.Complete = false;
+      return R;
+    }
+    for (SetVar N : Dir.row(V)) {
+      if (VisitEpoch[N] == Epoch)
+        continue;
+      VisitEpoch[N] = Epoch;
+      ++R.Count;
+      Work.push_back(N);
+    }
+  }
+  return R;
+}

@@ -2,8 +2,6 @@
 
 #include "serve/serve.h"
 
-#include "constraints/const_kind.h"
-#include "debugger/flow.h"
 #include "support/faultinject.h"
 
 #include <algorithm>
@@ -168,7 +166,6 @@ bool ServeSession::loadFiles(const std::vector<std::string> &Paths,
 void ServeSession::setFiles(std::vector<SourceFile> NewFiles) {
   Files = std::move(NewFiles);
   Dirty = true;
-  Checks.reset();
 }
 
 void ServeSession::setLimits(uint64_t DeadlineMs, uint64_t MaxConstraints) {
@@ -273,7 +270,16 @@ bool ServeSession::ensureAnalyzed(std::string &Error) {
   // stays dirty for the same reason: its combined system is correct but
   // not byte-comparable, and the next healthy pass restores identity.
   Dirty = LastDegraded || Info.MergedOffText;
-  Checks.reset();
+
+  // Rebind the query engine to the new generation. A dirty (degraded or
+  // off-text) generation is volatile: queries answer over the partial
+  // system but never read or write the cross-edit memo caches. Verdict
+  // memoization is additionally gated off for polymorphic derivation,
+  // where reconstruction order feeds a shared schema table and
+  // per-component verdicts are not a pure function of the component.
+  Queries.rebind(*Prog, *CA, Token.get(), /*Volatile=*/Dirty,
+                 /*AllowVerdictCache=*/Opts.Derive.Poly == PolyMode::Mono,
+                 CA->optionsFingerprint());
   return true;
 }
 
@@ -351,7 +357,6 @@ json::Value ServeSession::cmdEdit(const json::Value &Request) {
     return errorResponse("cannot re-read " + File, "unknown-file");
   }
   Dirty = true;
-  Checks.reset();
   ++Totals.Edits;
 
   json::Value R = json::Value::object();
@@ -370,91 +375,65 @@ json::Value ServeSession::cmdFlow(const json::Value &Request) {
   if (!ensureAnalyzed(Error))
     return errorResponse(Error, "parse-error");
 
-  Symbol Sym = Prog->Syms.intern(Name);
-  for (VarId V = 0; V < Prog->numVars(); ++V) {
-    if (!Prog->var(V).TopLevel || Prog->var(V).Name != Sym)
-      continue;
-    SetVar A = CA->maps().varVar(V);
-    const ConstraintSystem &S = CA->combined();
-    std::vector<std::string> Kinds;
-    for (Constant C : S.constantsOf(A))
-      Kinds.push_back(constKindName(S.context().Constants.kind(C)));
-    std::sort(Kinds.begin(), Kinds.end());
-    Kinds.erase(std::unique(Kinds.begin(), Kinds.end()), Kinds.end());
+  // Demand-driven path (DESIGN.md §12): name resolution through the
+  // per-generation Name -> VarId index, counts through the persistent
+  // FlowIndex (or a memoized region summary on warm repeats) — no
+  // whole-program FlowGraph construction per request. Fresh limits per
+  // query: the reachability walk polls the token and degrades with
+  // partial counts instead of stalling the session.
+  Token->rearm(Opts.DeadlineMs, Opts.MaxConstraints);
+  QueryEngine::FlowAnswer Ans = Queries.flow(Name);
+  if (!Ans.Found)
+    return errorResponse("no top-level definition named " + Name,
+                         "unknown-name");
 
-    FlowGraph FG(S);
-    json::Value R = json::Value::object();
-    R.set("ok", true);
-    if (LastDegraded)
-      R.set("degraded", true);
-    R.set("name", Name);
-    R.set("var", A);
-    json::Value KindsV = json::Value::array();
-    for (const std::string &K : Kinds)
-      KindsV.push(K);
-    R.set("kinds", std::move(KindsV));
-    R.set("parents", FG.parents(A).size());
-    R.set("children", FG.children(A).size());
-    R.set("ancestors", FG.ancestors(A).size());
-    R.set("descendants", FG.descendants(A).size());
-    return R;
-  }
-  return errorResponse("no top-level definition named " + Name,
-                       "unknown-name");
+  json::Value R = json::Value::object();
+  R.set("ok", true);
+  if (LastDegraded || Ans.Degraded)
+    R.set("degraded", true);
+  R.set("name", Name);
+  R.set("var", Ans.Var);
+  json::Value KindsV = json::Value::array();
+  for (const std::string &K : Ans.Kinds)
+    KindsV.push(K);
+  R.set("kinds", std::move(KindsV));
+  R.set("parents", Ans.Parents);
+  R.set("children", Ans.Children);
+  R.set("ancestors", Ans.Ancestors);
+  R.set("descendants", Ans.Descendants);
+  if (Ans.FromSummary)
+    R.set("memoized", true);
+  return R;
 }
 
 json::Value ServeSession::cmdCheckSummary() {
   std::string Error;
   if (!ensureAnalyzed(Error))
     return errorResponse(Error, "parse-error");
-  bool Partial = false;
-  uint32_t Checked = 0;
-  if (!Checks) {
-    // Step 3 per component: reconstruct full precision and keep each
-    // component's own check verdicts. A fresh deadline and budget cover
-    // the whole reconstruct sweep; rearm() also clears any cancellation
-    // latched by the analyze pass or an earlier sweep, so one slow sweep
-    // cannot degrade every later summary. Overrunning yields a partial
-    // (degraded) summary that is not cached.
-    Token->rearm(Opts.DeadlineMs, Opts.MaxConstraints);
-    auto Report = std::make_unique<DebugReport>();
-    for (uint32_t I = 0; I < Prog->Components.size(); ++I) {
-      if (Token->cancelled()) {
-        Partial = true;
-        break;
-      }
-      std::unique_ptr<ConstraintSystem> Full = CA->reconstruct(I);
-      if (Full->closureCancelled()) {
-        Partial = true;
-        break;
-      }
-      DebugReport Part = runChecks(*Prog, CA->maps(), *Full);
-      for (CheckResult &CR : Part.Results)
-        if (CR.Loc.File == I)
-          Report->Results.push_back(std::move(CR));
-      ++Checked;
-    }
-    if (!Partial) {
-      Checks = std::move(Report);
-    } else {
-      ++Totals.Degraded;
-      json::Value R = json::Value::object();
-      R.set("ok", true);
-      R.set("degraded", true);
-      R.set("components_checked", Checked);
-      R.set("possible", Report->numPossible());
-      R.set("unsafe", Report->numUnsafe());
-      R.set("summary", Report->summary(*Prog));
-      return R;
-    }
-  }
+  // Step 3 per component through the incremental engine: components
+  // whose verdict key (source hash + options fingerprint + external
+  // region digests) is unchanged are served from memoized verdicts;
+  // only invalidated components reconstruct. A fresh deadline and budget
+  // cover the sweep; rearm() also clears any cancellation latched by the
+  // analyze pass or an earlier sweep, so one slow sweep cannot degrade
+  // every later summary. Overrunning yields a partial (degraded) summary
+  // whose completed per-component verdicts are still cached.
+  Token->rearm(Opts.DeadlineMs, Opts.MaxConstraints);
+  QueryEngine::SummaryAnswer Ans = Queries.checkSummary();
   json::Value R = json::Value::object();
   R.set("ok", true);
-  if (LastDegraded)
+  if (Ans.Partial) {
+    ++Totals.Degraded;
     R.set("degraded", true);
-  R.set("possible", Checks->numPossible());
-  R.set("unsafe", Checks->numUnsafe());
-  R.set("summary", Checks->summary(*Prog));
+    R.set("components_checked", Ans.Rechecked + Ans.Reused);
+  } else if (LastDegraded) {
+    R.set("degraded", true);
+  }
+  R.set("components_rechecked", Ans.Rechecked);
+  R.set("components_reused", Ans.Reused);
+  R.set("possible", Ans.Possible);
+  R.set("unsafe", Ans.Unsafe);
+  R.set("summary", Ans.Summary);
   return R;
 }
 
@@ -482,6 +461,15 @@ json::Value ServeSession::cmdStats() {
   R.set("deadline_ms", Opts.DeadlineMs);
   R.set("max_constraints", Opts.MaxConstraints);
   R.set("faults_injected", FaultInjector::instance().totalInjected());
+  const QueryStats &QS = Queries.stats();
+  R.set("flow_queries", QS.FlowQueries);
+  R.set("flow_memo_hits", QS.FlowMemoHits);
+  R.set("flow_index_builds", QS.IndexBuilds);
+  R.set("name_index_builds", QS.NameIndexBuilds);
+  R.set("region_sweeps", QS.RegionSweeps);
+  R.set("query_components_rechecked", QS.ComponentsRechecked);
+  R.set("query_verdicts_reused", QS.VerdictsReused);
+  R.set("query_degraded", QS.DegradedQueries);
   R.set("dirty", Dirty);
   if (CA && !Dirty)
     R.set("combined_constraints", CA->combined().size());
@@ -562,17 +550,18 @@ json::Value ServeSession::handle(const json::Value &Request) {
     // answers and keeps serving. The session may be mid-analysis when an
     // exception unwinds, so conservatively mark it dirty — the next
     // analyze rebuilds from sources.
+    // Dirty forces the next request through ensureAnalyzed, which rebinds
+    // the query engine before any query runs — so half-built per-
+    // generation query state left by the unwind is never observed.
     try {
       Response = dispatch(Request);
     } catch (const std::exception &E) {
       Dirty = true;
-      Checks.reset();
       ++Totals.InternalErrors;
       Response = errorResponse(std::string("internal error: ") + E.what(),
                                "internal");
     } catch (...) {
       Dirty = true;
-      Checks.reset();
       ++Totals.InternalErrors;
       Response = errorResponse("internal error", "internal");
     }

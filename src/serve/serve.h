@@ -15,6 +15,16 @@
 /// system after a warm edit is byte-identical to a cold whole-program run
 /// at the same options.
 ///
+/// "flow" and "check-summary" answer through the demand-driven query
+/// engine (query/query_engine.h, DESIGN.md §12): a persistent per-
+/// generation flow index plus cross-edit region/verdict memoization, so a
+/// warm flow query is answered without rebuilding any whole-program
+/// structure and a check summary after a 1-component edit re-checks
+/// exactly that component. Answers are identical to the whole-program
+/// paths (pinned by the `query` fuzz oracle); check-summary additionally
+/// reports components_rechecked / components_reused, and stats gains the
+/// engine's counters.
+///
 /// Protocol (one JSON object per line, "cmd" selects the operation):
 ///   {"cmd":"analyze"}
 ///   {"cmd":"edit","file":"main.ss","text":"..."}   text optional: re-read
@@ -49,8 +59,8 @@
 #define SPIDEY_SERVE_SERVE_H
 
 #include "componential/componential.h"
-#include "debugger/checks.h"
 #include "lang/parser.h"
+#include "query/query_engine.h"
 #include "serve/json.h"
 #include "support/cancel.h"
 
@@ -218,7 +228,11 @@ private:
   std::vector<SourceFile> Files;
   std::unique_ptr<Program> Prog;
   std::unique_ptr<ComponentialAnalyzer> CA;
-  std::unique_ptr<DebugReport> Checks; ///< lazy, invalidated by edits
+  /// The demand-driven query layer (DESIGN.md §12): persistent flow
+  /// index, region-digest memoization, incremental check verdicts.
+  /// Declared after CA — it borrows Prog/CA/Token between rebinds and
+  /// must be destroyed first.
+  QueryEngine Queries;
   bool Dirty = true;
   bool Shutdown = false;
   bool LastDegraded = false;

@@ -7,8 +7,13 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "componential/componential.h"
+#include "constraints/const_kind.h"
+#include "debugger/flow.h"
 #include "serve/serve.h"
 #include "test_util.h"
+
+#include <algorithm>
 
 using namespace spidey;
 using namespace spidey::test;
@@ -291,4 +296,230 @@ TEST(ServeHostile, DegradedFlagAbsentOnHealthyRuns) {
   ASSERT_TRUE(R.find("ok")->asBool());
   EXPECT_EQ(R.find("degraded"), nullptr);
   EXPECT_EQ(R.find("unconverged"), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// Demand-driven queries (DESIGN.md §12)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// What the pre-demand-driven flow path reported: a fresh reference
+/// analyzer (same deterministic numbering as the session) and a fresh
+/// FlowGraph per query.
+struct FlowRef {
+  SetVar Var = NoSetVar;
+  std::vector<std::string> Kinds;
+  size_t Parents = 0, Children = 0, Ancestors = 0, Descendants = 0;
+};
+
+FlowRef flowReference(const std::vector<SourceFile> &Files,
+                      const std::string &Name) {
+  FlowRef F;
+  Parsed PR = parseFiles(Files);
+  EXPECT_TRUE(PR.Ok) << PR.Diags.str();
+  if (!PR.Ok)
+    return F;
+  ComponentialOptions CO;
+  CO.Threads = 1;
+  CO.MergeViaFiles = true;
+  ComponentialAnalyzer CA(*PR.Prog, CO);
+  CA.run();
+  for (VarId V = 0; V < PR.Prog->numVars(); ++V) {
+    const VarInfo &Info = PR.Prog->var(V);
+    if (!Info.TopLevel || PR.Prog->Syms.name(Info.Name) != Name)
+      continue;
+    const ConstraintSystem &S = CA.combined();
+    F.Var = CA.maps().varVar(V);
+    for (Constant C : S.constantsOf(F.Var))
+      F.Kinds.push_back(constKindName(S.context().Constants.kind(C)));
+    std::sort(F.Kinds.begin(), F.Kinds.end());
+    F.Kinds.erase(std::unique(F.Kinds.begin(), F.Kinds.end()), F.Kinds.end());
+    FlowGraph FG(S);
+    F.Parents = FG.parents(F.Var).size();
+    F.Children = FG.children(F.Var).size();
+    F.Ancestors = FG.ancestors(F.Var).size();
+    F.Descendants = FG.descendants(F.Var).size();
+    break; // first definition wins, matching the serve lookup
+  }
+  return F;
+}
+
+/// Asserts one flow response carries exactly the reference payload.
+void expectFlowMatches(const json::Value &R, const FlowRef &F,
+                       const std::string &Name) {
+  ASSERT_TRUE(R.find("ok")->asBool()) << Name << ": " << R.dump();
+  EXPECT_EQ(R.find("degraded"), nullptr) << Name;
+  EXPECT_EQ(num(R, "var"), double(F.Var)) << Name;
+  EXPECT_EQ(num(R, "parents"), double(F.Parents)) << Name;
+  EXPECT_EQ(num(R, "children"), double(F.Children)) << Name;
+  EXPECT_EQ(num(R, "ancestors"), double(F.Ancestors)) << Name;
+  EXPECT_EQ(num(R, "descendants"), double(F.Descendants)) << Name;
+  const json::Value *Kinds = R.find("kinds");
+  ASSERT_TRUE(Kinds && Kinds->isArray()) << Name;
+  std::vector<std::string> Got;
+  for (const json::Value &K : Kinds->items())
+    Got.push_back(K.asString());
+  EXPECT_EQ(Got, F.Kinds) << Name;
+}
+
+} // namespace
+
+// Table-driven payloads: every top-level name of the three-file program,
+// cold and memoized-warm, against the per-request FlowGraph path the
+// query engine replaced.
+TEST(ServeQuery, FlowPayloadsMatchReferenceAnalyzer) {
+  const char *Names[] = {"first", "second", "good", "bad", "r1", "r2", "r3"};
+  ServeSession S({});
+  S.setFiles(ThreeFiles);
+  for (const char *Name : Names) {
+    FlowRef F = flowReference(ThreeFiles, std::string(Name));
+    json::Value Req = json::Value::object();
+    Req.set("cmd", "flow");
+    Req.set("name", std::string(Name));
+    json::Value Cold = S.handle(Req);
+    expectFlowMatches(Cold, F, Name);
+    EXPECT_EQ(Cold.find("memoized"), nullptr) << Name;
+    // The warm repeat is served from the region-summary memo — and must
+    // be payload-identical.
+    json::Value Warm = S.handle(Req);
+    expectFlowMatches(Warm, F, Name);
+    ASSERT_NE(Warm.find("memoized"), nullptr) << Name;
+    EXPECT_TRUE(Warm.find("memoized")->asBool()) << Name;
+  }
+}
+
+// The legacy path resolved a flow name by scanning every program variable
+// per request; the engine builds one Name -> VarId index per generation
+// and answers even the last-defined name through it. The stats counters
+// pin the regression: many queries, one name-index build, one flow-index
+// build.
+TEST(ServeQuery, LateBoundNameUsesOneNameIndexBuild) {
+  ServeSession S({});
+  S.setFiles(ThreeFiles);
+  // "r3" is the last top-level definition of the last file — the worst
+  // case for the old ascending scan.
+  for (int I = 0; I < 8; ++I) {
+    json::Value R = S.handle(request(R"js({"cmd":"flow","name":"r3"})js"));
+    ASSERT_TRUE(R.find("ok")->asBool()) << R.dump();
+  }
+  S.handle(request(R"js({"cmd":"flow","name":"first"})js"));
+  json::Value Stats = S.handle(request(R"js({"cmd":"stats"})js"));
+  EXPECT_EQ(num(Stats, "name_index_builds"), 1);
+  EXPECT_EQ(num(Stats, "flow_index_builds"), 1);
+  EXPECT_EQ(num(Stats, "flow_queries"), 9);
+  EXPECT_GE(num(Stats, "flow_memo_hits"), 7);
+}
+
+// The incremental summary: a self-contained edit to one component must
+// re-check exactly that component, and the reassembled summary must be
+// byte-identical to a cold session over the edited sources.
+TEST(ServeQuery, SummaryRechecksExactlyTheEditedComponent) {
+  ServeSession S({});
+  S.setFiles(ThreeFiles);
+  json::Value Cold = S.handle(request(R"js({"cmd":"check-summary"})js"));
+  ASSERT_TRUE(Cold.find("ok")->asBool()) << Cold.dump();
+  EXPECT_EQ(num(Cold, "components_rechecked"), 3);
+  EXPECT_EQ(num(Cold, "components_reused"), 0);
+
+  // Warm repeat: nothing changed, every verdict reused.
+  json::Value Warm = S.handle(request(R"js({"cmd":"check-summary"})js"));
+  EXPECT_EQ(num(Warm, "components_rechecked"), 0);
+  EXPECT_EQ(num(Warm, "components_reused"), 3);
+  EXPECT_EQ(Warm.str("summary"), Cold.str("summary"));
+
+  // Append a self-contained define to main.ss: one component dirtied,
+  // one component rechecked.
+  std::vector<SourceFile> Edited = ThreeFiles;
+  Edited[2].Text += "(define probe \"q\")";
+  json::Value Req = json::Value::object();
+  Req.set("cmd", "edit");
+  Req.set("file", Edited[2].Name);
+  Req.set("text", Edited[2].Text);
+  ASSERT_TRUE(S.handle(Req).find("ok")->asBool());
+  json::Value AfterEdit = S.handle(request(R"js({"cmd":"check-summary"})js"));
+  ASSERT_TRUE(AfterEdit.find("ok")->asBool()) << AfterEdit.dump();
+  EXPECT_EQ(num(AfterEdit, "components_rechecked"), 1);
+  EXPECT_EQ(num(AfterEdit, "components_reused"), 2);
+
+  ServeSession Fresh({});
+  Fresh.setFiles(Edited);
+  json::Value Ref = Fresh.handle(request(R"js({"cmd":"check-summary"})js"));
+  EXPECT_EQ(AfterEdit.str("summary"), Ref.str("summary"));
+  EXPECT_EQ(num(AfterEdit, "possible"), num(Ref, "possible"));
+  EXPECT_EQ(num(AfterEdit, "unsafe"), num(Ref, "unsafe"));
+}
+
+// A flow query against a generation whose analyze was cut short answers
+// over the partial system with degraded:true instead of failing; lifting
+// the budget recovers the exact payload. The program is a long cons
+// chain so a one-unit budget actually trips the closure's poll stride.
+TEST(ServeQuery, FlowAfterDegradedAnalyzeRecoversExactly) {
+  std::string Chain = "(define c0 (cons 1 2))";
+  for (int I = 1; I < 150; ++I)
+    Chain += "(define c" + std::to_string(I) + " (cons c" +
+             std::to_string(I - 1) + " c" + std::to_string(I - 1) + "))";
+  std::vector<SourceFile> Files = {{"chain.ss", Chain},
+                                   {"top.ss", "(define top (car c149))"}};
+  ServeOptions O;
+  O.Threads = 1;
+  ServeSession S(O);
+  S.setFiles(Files);
+  FlowRef F = flowReference(Files, "top");
+  json::Value Exact = S.handle(request(R"js({"cmd":"flow","name":"top"})js"));
+  expectFlowMatches(Exact, F, "top");
+
+  // Dirty the session, then strangle the analyze budget: the next flow
+  // rides a degraded generation. The volatile generation never reads the
+  // memo, so the stale exact answer cannot leak through.
+  std::vector<SourceFile> Edited = Files;
+  Edited[1].Text = "(define top (car c149))(define extra (cdr c149))";
+  json::Value EditReq = json::Value::object();
+  EditReq.set("cmd", "edit");
+  EditReq.set("file", Edited[1].Name);
+  EditReq.set("text", Edited[1].Text);
+  ASSERT_TRUE(S.handle(EditReq).find("ok")->asBool());
+  S.handle(request(R"js({"cmd":"configure","max_constraints":1})js"));
+  json::Value Degraded =
+      S.handle(request(R"js({"cmd":"flow","name":"top"})js"));
+  ASSERT_TRUE(Degraded.find("ok")->asBool()) << Degraded.dump();
+  ASSERT_NE(Degraded.find("degraded"), nullptr) << Degraded.dump();
+  EXPECT_TRUE(Degraded.find("degraded")->asBool());
+  EXPECT_EQ(Degraded.find("memoized"), nullptr) << Degraded.dump();
+
+  // Budget restored: clean re-analyze, exact answer over the edited
+  // program.
+  S.handle(request(R"js({"cmd":"configure","max_constraints":0})js"));
+  json::Value Recovered =
+      S.handle(request(R"js({"cmd":"flow","name":"top"})js"));
+  expectFlowMatches(Recovered, flowReference(Edited, "top"), "top");
+}
+
+// Mid-walk cancellation: the analyze is clean and in budget, but the
+// reachability walk itself trips the work budget. The response is still
+// well-formed and the next in-budget query is exact.
+TEST(ServeQuery, MidQueryCancellationDegradesThenRecovers) {
+  ServeSession S({});
+  S.setFiles(ThreeFiles);
+  // Analyze (and memoize "good") with no limits armed.
+  json::Value Exact = S.handle(request(R"js({"cmd":"flow","name":"good"})js"));
+  expectFlowMatches(Exact, flowReference(ThreeFiles, "good"), "good");
+
+  // A one-unit budget: the analyze is a no-op (session clean), so only
+  // the walk charges it. "r2" has not been queried yet — no memo to
+  // answer from — and its walk visits more than one variable, so it
+  // degrades with partial counts and is not memoized.
+  S.handle(request(R"js({"cmd":"configure","max_constraints":1})js"));
+  json::Value Degraded = S.handle(request(R"js({"cmd":"flow","name":"r2"})js"));
+  ASSERT_TRUE(Degraded.find("ok")->asBool()) << Degraded.dump();
+  ASSERT_NE(Degraded.find("degraded"), nullptr) << Degraded.dump();
+  EXPECT_EQ(Degraded.find("memoized"), nullptr);
+
+  S.handle(request(R"js({"cmd":"configure","max_constraints":0})js"));
+  json::Value Recovered =
+      S.handle(request(R"js({"cmd":"flow","name":"r2"})js"));
+  expectFlowMatches(Recovered, flowReference(ThreeFiles, "r2"), "r2");
+
+  json::Value Stats = S.handle(request(R"js({"cmd":"stats"})js"));
+  EXPECT_GE(num(Stats, "query_degraded"), 1);
 }
