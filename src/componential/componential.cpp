@@ -69,6 +69,19 @@ std::string spidey::componentCacheFileName(std::string_view ComponentName) {
   return Name + "-" + hashSource(ComponentName).substr(0, 8) + ".scf";
 }
 
+std::string spidey::componentStoreKey(std::string_view SourceHash,
+                                      std::string_view OptionsFingerprint,
+                                      uint32_t FileSlot) {
+  std::string Key;
+  Key.reserve(SourceHash.size() + OptionsFingerprint.size() + 16);
+  Key.append(SourceHash);
+  Key.push_back('@');
+  Key.append(OptionsFingerprint);
+  Key.push_back('#');
+  Key.append(std::to_string(FileSlot));
+  return Key;
+}
+
 /// One component's step-1 result. Derivation output lives in a private
 /// ConstraintContext (workers share no mutable state); merge() renumbers
 /// it into the analyzer's shared context.
@@ -322,13 +335,18 @@ ComponentialAnalyzer::deriveIsolated(uint32_t CompIdx,
   }
 
   if (AllowCache && CacheConfigured) {
-    const std::string Key = componentCacheFileName(C.Name);
+    // The disk cache stays keyed by component name (a readable warm-start
+    // directory); the in-memory store is content-addressed so concurrent
+    // sessions over different programs share identical library images.
+    const std::string DiskKey = componentCacheFileName(C.Name);
+    const std::string MemKey =
+        componentStoreKey(hashSource(C.SourceText), OptionsFP, CompIdx);
     std::optional<std::string> Text;
     bool FromDisk = false;
     if (Opts.MemStore)
-      Text = Opts.MemStore->load(Key);
+      Text = Opts.MemStore->load(MemKey);
     if (!Text && !Opts.CacheDir.empty() && !faultAt("cache.load")) {
-      std::ifstream In(Opts.CacheDir + "/" + Key, std::ios::binary);
+      std::ifstream In(Opts.CacheDir + "/" + DiskKey, std::ios::binary);
       if (In) {
         std::stringstream Buffer;
         Buffer << In.rdbuf();
@@ -364,7 +382,7 @@ ComponentialAnalyzer::deriveIsolated(uint32_t CompIdx,
         // (restart, eviction, injected fault) warms back up from
         // --cache-dir instead of re-deriving the world.
         if (FromDisk && Opts.MemStore)
-          Opts.MemStore->store(Key, W.CacheText);
+          Opts.MemStore->store(MemKey, W.CacheText);
         return W;
       }
     }
@@ -426,7 +444,9 @@ ComponentialAnalyzer::deriveIsolated(uint32_t CompIdx,
     if (!Opts.CacheDir.empty())
       writeFileAtomically(cachePathFor(C), W.FileText);
     if (Opts.MemStore)
-      Opts.MemStore->store(componentCacheFileName(C.Name), W.FileText);
+      Opts.MemStore->store(
+          componentStoreKey(hashSource(C.SourceText), OptionsFP, CompIdx),
+          W.FileText);
   }
   return W;
 }

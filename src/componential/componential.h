@@ -44,9 +44,12 @@ namespace spidey {
 
 /// A keyed store of constraint-file texts layered in front of the on-disk
 /// cache directory (the serve daemon keeps one in memory so warm edits
-/// never touch the filesystem). Keys are component cache file names
-/// (componentCacheFileName). Implementations must be thread-safe: the
-/// step-1 workers probe and fill the store concurrently.
+/// never touch the filesystem). Keys are content-addressed
+/// (componentStoreKey: source hash + options fingerprint + file slot), so
+/// one store can back many concurrent sessions over different programs —
+/// identical components share one entry. Implementations must be
+/// thread-safe: the step-1 workers of every session probe and fill the
+/// store concurrently.
 class ConstraintStore {
 public:
   virtual ~ConstraintStore();
@@ -132,6 +135,20 @@ std::string componentialFingerprint(SimplifyAlgorithm Simplify,
 /// names differ only in non-alphanumeric characters (`a-b` vs `a_b`) get
 /// distinct files.
 std::string componentCacheFileName(std::string_view ComponentName);
+
+/// The content-addressed key a component's serialized image is filed
+/// under in a ConstraintStore: source hash + options fingerprint + the
+/// component's file slot. The serialized text is a pure function of these
+/// three (plus the external set, which the loader validates from the
+/// header): variables are renumbered file-locally, but constant locations
+/// embed the component's file index, so the slot must be part of the
+/// identity. Keying on content rather than on the component *name* is
+/// what lets concurrent serve sessions analyzing different programs share
+/// one store — identical library files hit each other's derivations, and
+/// same-named files with different text never thrash one entry.
+std::string componentStoreKey(std::string_view SourceHash,
+                              std::string_view OptionsFingerprint,
+                              uint32_t FileSlot);
 
 /// Whole-run solver telemetry: ClosureStats aggregated across every
 /// per-component system, the simplifier's systems, the combined close, and

@@ -1,0 +1,51 @@
+//===-- serve/registry.cpp - Multi-tenant session registry ----------------===//
+
+#include "serve/registry.h"
+
+using namespace spidey;
+
+SessionRegistry::SessionRegistry(ServeOptions Base,
+                                 std::vector<SourceFile> DefaultFiles,
+                                 size_t MaxSessions)
+    : Base(std::move(Base)), DefaultFiles(std::move(DefaultFiles)),
+      MaxSessions(MaxSessions) {}
+
+// The daemon joins every connection thread before the registry dies, so
+// no ClientContext outlives us; asserting emptiness here would race a
+// handle destroyed on another thread, so the map simply drops any
+// sessions whose connections never drained.
+SessionRegistry::~SessionRegistry() = default;
+
+std::unique_ptr<ClientContext> SessionRegistry::connect(std::string &Error) {
+  std::lock_guard<std::mutex> Lock(M);
+  if (MaxSessions && Sessions.size() >= MaxSessions) {
+    Error = "session limit reached (" + std::to_string(MaxSessions) + ")";
+    return nullptr;
+  }
+  const uint64_t Id = NextId++;
+  ServeOptions O = Base;
+  O.SharedStore = &Store;
+  O.SessionId = Id;
+  auto S = std::make_unique<ServeSession>(std::move(O));
+  if (!DefaultFiles.empty())
+    S->setFiles(DefaultFiles);
+  ServeSession &Ref = *S;
+  Sessions.emplace(Id, std::move(S));
+  ++Opened;
+  return std::unique_ptr<ClientContext>(new ClientContext(*this, Id, Ref));
+}
+
+void SessionRegistry::disconnect(uint64_t Id) {
+  std::lock_guard<std::mutex> Lock(M);
+  Sessions.erase(Id);
+}
+
+size_t SessionRegistry::active() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Sessions.size();
+}
+
+uint64_t SessionRegistry::opened() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Opened;
+}

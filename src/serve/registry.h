@@ -1,0 +1,125 @@
+//===-- serve/registry.h - Multi-tenant session registry -------*- C++ -*-===//
+///
+/// \file
+/// The multi-tenant layer of spidey-serve (DESIGN.md §13): one process
+/// serves many concurrent client connections, each with its own
+/// ServeSession, over one shared content-addressed constraint store.
+///
+/// SessionRegistry owns the per-client sessions keyed by session id and
+/// the process-wide MemoryConstraintStore every session analyzes
+/// through. Because store keys are content-addressed (componentStoreKey:
+/// source hash + options fingerprint + file slot), two clients analyzing
+/// *different programs* that share a library file derive its summary
+/// once — the second session's analyze reports a store hit, attributed
+/// as a cross-session hit in its `stats`.
+///
+/// ClientContext is the RAII handle a connection thread drives: it
+/// borrows the session for the connection's lifetime and unregisters it
+/// on destruction. A session is single-threaded — exactly one connection
+/// thread calls handleLine() on it — while the registry and the shared
+/// store are thread-safe, so connection threads never contend except on
+/// open/close and store probes.
+///
+/// Isolation contract: every request a client sends is answered byte-
+/// identically to the same request sequence against a dedicated
+/// single-session daemon (pinned by multi_serve_test). Shared state is
+/// limited to (a) the constraint store, whose entries are immutable
+/// images keyed by content, and (b) the process-global FaultInjector —
+/// a chaos spec armed by any session applies daemon-wide, matching the
+/// single-tenant semantics of SPIDEY_FAULTS.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPIDEY_SERVE_REGISTRY_H
+#define SPIDEY_SERVE_REGISTRY_H
+
+#include "serve/serve.h"
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace spidey {
+
+class ClientContext;
+
+/// Owns the per-client ServeSessions and the shared constraint store.
+/// Thread-safe: connection threads connect()/disconnect concurrently.
+class SessionRegistry {
+public:
+  /// \p Base is the option template every session starts from (its
+  /// SharedStore/SessionId members are overwritten per session).
+  /// \p DefaultFiles is the program preloaded into each new session —
+  /// the implicit per-connection session of the daemon CLI; clients
+  /// switch programs with {"cmd":"open","files":[...]}. \p MaxSessions
+  /// bounds concurrent sessions (0 = unbounded).
+  SessionRegistry(ServeOptions Base, std::vector<SourceFile> DefaultFiles,
+                  size_t MaxSessions = 0);
+  ~SessionRegistry();
+
+  /// Opens a session and returns the connection's handle; null with
+  /// \p Error set when the session limit is reached. The handle must not
+  /// outlive the registry.
+  std::unique_ptr<ClientContext> connect(std::string &Error);
+
+  /// The process-wide store all sessions share.
+  MemoryConstraintStore &store() { return Store; }
+
+  size_t active() const;
+  uint64_t opened() const;
+  size_t maxSessions() const { return MaxSessions; }
+
+private:
+  friend class ClientContext;
+  void disconnect(uint64_t Id);
+
+  ServeOptions Base;
+  std::vector<SourceFile> DefaultFiles;
+  size_t MaxSessions;
+  /// Declared before Sessions: destroyed after every session that holds
+  /// a pointer to it.
+  MemoryConstraintStore Store;
+  mutable std::mutex M;
+  std::unordered_map<uint64_t, std::unique_ptr<ServeSession>> Sessions;
+  uint64_t NextId = 1;
+  uint64_t Opened = 0;
+};
+
+/// One connection's borrowed session. Drives the same line-in/line-out
+/// interface as a bare ServeSession (the tool's serve loop is generic
+/// over the two), and unregisters the session when destroyed — a client
+/// hanging up is the normal way a session ends.
+class ClientContext {
+public:
+  ~ClientContext() { Reg->disconnect(Id); }
+  ClientContext(const ClientContext &) = delete;
+  ClientContext &operator=(const ClientContext &) = delete;
+
+  std::string handleLine(const std::string &Line) {
+    return Session->handleLine(Line);
+  }
+  static std::string lineTooLongResponse(size_t Limit) {
+    return ServeSession::lineTooLongResponse(Limit);
+  }
+  /// The client asked the daemon to shut down (drain).
+  bool shutdownRequested() const { return Session->shutdownRequested(); }
+
+  uint64_t id() const { return Id; }
+  ServeSession &session() { return *Session; }
+
+private:
+  friend class SessionRegistry;
+  ClientContext(SessionRegistry &Reg, uint64_t Id, ServeSession &Session)
+      : Reg(&Reg), Id(Id), Session(&Session) {}
+
+  SessionRegistry *Reg;
+  uint64_t Id;
+  ServeSession *Session;
+};
+
+} // namespace spidey
+
+#endif // SPIDEY_SERVE_REGISTRY_H

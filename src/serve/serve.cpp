@@ -5,6 +5,7 @@
 #include "support/faultinject.h"
 
 #include <algorithm>
+#include <cmath>
 #include <exception>
 #include <fstream>
 #include <sstream>
@@ -17,18 +18,37 @@ using namespace spidey;
 
 std::optional<std::string>
 MemoryConstraintStore::load(const std::string &Key) {
+  return loadFor(Key, /*Session=*/0, /*CrossSession=*/nullptr);
+}
+
+std::optional<std::string>
+MemoryConstraintStore::loadFor(const std::string &Key, uint64_t Session,
+                               bool *CrossSession) {
+  if (CrossSession)
+    *CrossSession = false;
   if (faultAt("store.load"))
     return std::nullopt; // injected: the entry vanished
   std::lock_guard<std::mutex> Lock(M);
   auto It = Map.find(Key);
   if (It == Map.end())
     return std::nullopt;
+  if (It->second.Writer != Session) {
+    ++CrossSessionHits;
+    if (CrossSession)
+      *CrossSession = true;
+  }
   Recency.splice(Recency.begin(), Recency, It->second.Recency);
   return It->second.Text;
 }
 
 void MemoryConstraintStore::store(const std::string &Key,
                                   const std::string &Text) {
+  storeFor(Key, Text, /*Session=*/0);
+}
+
+void MemoryConstraintStore::storeFor(const std::string &Key,
+                                     const std::string &Text,
+                                     uint64_t Session) {
   if (faultAt("store.store"))
     return; // injected: the write is dropped
   std::lock_guard<std::mutex> Lock(M);
@@ -36,10 +56,11 @@ void MemoryConstraintStore::store(const std::string &Key,
   if (It != Map.end()) {
     TotalBytes -= It->second.Text.size();
     It->second.Text = Text;
+    It->second.Writer = Session;
     Recency.splice(Recency.begin(), Recency, It->second.Recency);
   } else {
     Recency.push_front(Key);
-    Map.emplace(Key, Entry{Text, Recency.begin()});
+    Map.emplace(Key, Entry{Text, Session, Recency.begin()});
   }
   TotalBytes += Text.size();
   if (MaxBytes)
@@ -90,6 +111,11 @@ uint64_t MemoryConstraintStore::evictions() const {
   return Evictions;
 }
 
+uint64_t MemoryConstraintStore::crossSessionHits() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return CrossSessionHits;
+}
+
 //===----------------------------------------------------------------------===//
 // ServeSession
 //===----------------------------------------------------------------------===//
@@ -115,9 +141,12 @@ json::Value errorResponse(std::string Message, std::string Code) {
 }
 
 /// Non-negative integer member, with \p Default when absent. False (bad
-/// field) when present but not a non-negative number that fits uint64_t
-/// — a double >= 2^64 (e.g. a hostile {"deadline_ms":1e300}) would make
-/// the conversion undefined behavior, not a big limit.
+/// field) when present but not an *integral* non-negative number that
+/// fits uint64_t — a double >= 2^64 (e.g. a hostile
+/// {"deadline_ms":1e300}) would make the conversion undefined behavior,
+/// not a big limit, and a fractional {"deadline_ms":1.5} must be
+/// rejected rather than silently truncated to a limit the client never
+/// asked for.
 bool uintField(const json::Value &Request, std::string_view Key,
                uint64_t Default, uint64_t &Out) {
   const json::Value *M = Request.find(Key);
@@ -125,22 +154,34 @@ bool uintField(const json::Value &Request, std::string_view Key,
     Out = Default;
     return true;
   }
-  if (!M->isNumber() || M->asNumber() < 0 ||
-      M->asNumber() >= 18446744073709551616.0 /* 2^64 */)
+  double N = M->isNumber() ? M->asNumber() : -1;
+  if (!M->isNumber() || N < 0 ||
+      N >= 18446744073709551616.0 /* 2^64 */ || N != std::floor(N))
     return false;
-  Out = static_cast<uint64_t>(M->asNumber());
+  Out = static_cast<uint64_t>(N);
   return true;
 }
 
 } // namespace
 
-ServeSession::ServeSession(ServeOptions Opts) : Opts(std::move(Opts)) {
+ServeSession::ServeSession(ServeOptions Opts)
+    : Opts(std::move(Opts)),
+      StoreView(this->Opts.SharedStore ? *this->Opts.SharedStore : OwnedStore,
+                this->Opts.SessionId) {
   Token = std::make_unique<CancelToken>();
-  Store.setMaxBytes(this->Opts.MaxStoreBytes);
+  // A session never *loosens* a shared store's byte cap at open: the
+  // registry (or an earlier session's configure) owns that knob, and a
+  // default-constructed options block carries MaxStoreBytes = 0.
+  if (!this->Opts.SharedStore)
+    OwnedStore.setMaxBytes(this->Opts.MaxStoreBytes);
+  else if (this->Opts.MaxStoreBytes)
+    this->Opts.SharedStore->setMaxBytes(this->Opts.MaxStoreBytes);
   if (!this->Opts.Faults.empty()) {
     std::string Error;
     // A bad spec is a configuration bug, not a serve-time fault; leave
-    // the injector disarmed rather than dying.
+    // the injector disarmed rather than dying. Callers that must fail
+    // loudly (the spidey-serve CLI, matching the SPIDEY_FAULTS path)
+    // validate the spec with configure() before building the session.
     FaultInjector::instance().configure(this->Opts.Faults, &Error);
   }
 }
@@ -181,7 +222,7 @@ bool ServeSession::ensureAnalyzed(std::string &Error) {
     return false;
   }
   if (faultAt("store.wipe"))
-    Store.clear(); // injected daemon restart: resident store gone
+    store().clear(); // injected daemon restart: resident store gone
 
   auto NewProg = std::make_unique<Program>();
   DiagnosticEngine Diags;
@@ -207,13 +248,17 @@ bool ServeSession::ensureAnalyzed(std::string &Error) {
   CO.ParallelClose = Opts.ParallelClose;
   CO.CloseShards = Opts.CloseShards;
   CO.CacheDir = Opts.CacheDir;
-  CO.MemStore = &Store;
+  CO.MemStore = &StoreView;
   CO.MergeViaFiles = true;
   CO.Cancel = Token.get();
+  const uint64_t HitsBefore = StoreView.hits();
+  const uint64_t CrossBefore = StoreView.crossSessionHits();
   CA = std::make_unique<ComponentialAnalyzer>(*Prog, CO);
   CA->run();
 
   LastRun = ServeMetrics{};
+  LastRun.StoreHits = StoreView.hits() - HitsBefore;
+  LastRun.StoreCrossHits = StoreView.crossSessionHits() - CrossBefore;
   LastUnconverged.clear();
   const std::vector<ComponentRunStats> &CompStats = CA->componentStats();
   for (size_t I = 0; I < CompStats.size(); ++I) {
@@ -256,6 +301,8 @@ bool ServeSession::ensureAnalyzed(std::string &Error) {
   Totals.CacheHits += LastRun.CacheHits;
   Totals.CacheMisses += LastRun.CacheMisses;
   Totals.CacheInvalidations += LastRun.CacheInvalidations;
+  Totals.StoreHits += LastRun.StoreHits;
+  Totals.StoreCrossHits += LastRun.StoreCrossHits;
   Totals.DeriveMs += LastRun.DeriveMs;
   Totals.MergeMs += LastRun.MergeMs;
   Totals.CloseMs += LastRun.CloseMs;
@@ -316,6 +363,8 @@ json::Value ServeSession::cmdAnalyze() {
   R.set("cache_hits", LastRun.CacheHits);
   R.set("cache_misses", LastRun.CacheMisses);
   R.set("cache_invalidations", LastRun.CacheInvalidations);
+  R.set("store_hits", LastRun.StoreHits);
+  R.set("store_cross_hits", LastRun.StoreCrossHits);
   R.set("combined_constraints", CA->combined().size());
   R.set("derive_ms", LastRun.DeriveMs);
   R.set("merge_ms", LastRun.MergeMs);
@@ -351,18 +400,48 @@ json::Value ServeSession::cmdEdit(const json::Value &Request) {
   const json::Value *Text = Request.find("text");
   if (Text && !Text->isString() && !Text->isNull())
     return errorResponse("edit \"text\" must be a string", "bad-field");
+  std::string NewText;
   if (Text && Text->isString()) {
-    It->Text = Text->asString();
-  } else if (!readWholeFile(File, It->Text)) {
+    NewText = Text->asString();
+  } else if (!readWholeFile(File, NewText)) {
     return errorResponse("cannot re-read " + File, "unknown-file");
   }
-  Dirty = true;
+  // A byte-identical edit is a no-op: the session stays clean, the next
+  // analyze answers "reanalyzed":false, and the query engine keeps its
+  // warm generation and memo caches instead of a volatile rebind.
+  const bool Changed = NewText != It->Text;
+  if (Changed) {
+    It->Text = std::move(NewText);
+    Dirty = true;
+  }
   ++Totals.Edits;
 
   json::Value R = json::Value::object();
   R.set("ok", true);
   R.set("file", File);
   R.set("bytes", It->Text.size());
+  R.set("changed", Changed);
+  return R;
+}
+
+json::Value ServeSession::cmdOpen(const json::Value &Request) {
+  const json::Value *FilesV = Request.find("files");
+  if (!FilesV || !FilesV->isArray())
+    return errorResponse("open needs a \"files\" array", "bad-field");
+  std::vector<std::string> Paths;
+  for (const json::Value &E : FilesV->items()) {
+    if (!E.isString())
+      return errorResponse("open \"files\" entries must be strings",
+                           "bad-field");
+    Paths.push_back(E.asString());
+  }
+  std::string Error;
+  if (!loadFiles(Paths, Error))
+    return errorResponse(Error, "unknown-file");
+  json::Value R = json::Value::object();
+  R.set("ok", true);
+  R.set("session", Opts.SessionId);
+  R.set("files", Paths.size());
   return R;
 }
 
@@ -454,10 +533,15 @@ json::Value ServeSession::cmdStats() {
   R.set("derive_ms", Totals.DeriveMs);
   R.set("merge_ms", Totals.MergeMs);
   R.set("close_ms", Totals.CloseMs);
-  R.set("store_entries", Store.entries());
-  R.set("store_bytes", Store.bytes());
-  R.set("store_max_bytes", Store.maxBytes());
-  R.set("store_evictions", Store.evictions());
+  R.set("session", Opts.SessionId);
+  R.set("store_shared", Opts.SharedStore != nullptr);
+  R.set("store_entries", store().entries());
+  R.set("store_bytes", store().bytes());
+  R.set("store_max_bytes", store().maxBytes());
+  R.set("store_evictions", store().evictions());
+  R.set("store_hits", StoreView.hits());
+  R.set("store_cross_session_hits", StoreView.crossSessionHits());
+  R.set("store_cross_session_hits_total", store().crossSessionHits());
   R.set("deadline_ms", Opts.DeadlineMs);
   R.set("max_constraints", Opts.MaxConstraints);
   R.set("faults_injected", FaultInjector::instance().totalInjected());
@@ -500,7 +584,7 @@ json::Value ServeSession::cmdConfigure(const json::Value &Request) {
   Opts.DeadlineMs = DeadlineMs;
   Opts.MaxConstraints = MaxConstraints;
   Opts.MaxStoreBytes = static_cast<size_t>(MaxStoreBytes);
-  Store.setMaxBytes(Opts.MaxStoreBytes);
+  store().setMaxBytes(Opts.MaxStoreBytes);
 
   json::Value R = json::Value::object();
   R.set("ok", true);
@@ -520,6 +604,8 @@ json::Value ServeSession::dispatch(const json::Value &Request) {
   const std::string &Cmd = CmdV->asString();
   if (Cmd == "analyze")
     return cmdAnalyze();
+  if (Cmd == "open")
+    return cmdOpen(Request);
   if (Cmd == "edit")
     return cmdEdit(Request);
   if (Cmd == "flow")

@@ -26,6 +26,7 @@
 /// engine's counters.
 ///
 /// Protocol (one JSON object per line, "cmd" selects the operation):
+///   {"cmd":"open","files":["a.ss",...]}            (re)load the program
 ///   {"cmd":"analyze"}
 ///   {"cmd":"edit","file":"main.ss","text":"..."}   text optional: re-read
 ///   {"cmd":"flow","name":"f"}                      from disk when absent
@@ -64,6 +65,7 @@
 #include "serve/json.h"
 #include "support/cancel.h"
 
+#include <atomic>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -77,10 +79,25 @@ namespace spidey {
 /// and fill it concurrently) with LRU eviction under an optional byte
 /// cap. Losing an entry is always safe: the analyzer falls back to the
 /// on-disk cache or a fresh derivation.
+///
+/// One store can back many concurrent serve sessions (DESIGN.md §13):
+/// keys are content-addressed (componentStoreKey), and each entry
+/// remembers which session wrote it, so loadFor() can report when a
+/// session is served by another session's derivation — the cross-program
+/// componential reuse the multi-tenant daemon exists for.
 class MemoryConstraintStore : public ConstraintStore {
 public:
   std::optional<std::string> load(const std::string &Key) override;
   void store(const std::string &Key, const std::string &Text) override;
+
+  /// load()/store() with the calling session attributed. On a hit,
+  /// \p CrossSession (when non-null) is set to whether the entry was last
+  /// written by a *different* session; such hits also bump the store-wide
+  /// crossSessionHits() counter.
+  std::optional<std::string> loadFor(const std::string &Key,
+                                     uint64_t Session, bool *CrossSession);
+  void storeFor(const std::string &Key, const std::string &Text,
+                uint64_t Session);
 
   /// Caps the store's total text bytes (0 = unlimited); evicts
   /// least-recently-used entries immediately if already over.
@@ -94,6 +111,9 @@ public:
   size_t bytes() const;
   size_t maxBytes() const;
   uint64_t evictions() const;
+  /// Hits across all sessions where the entry's writer was a different
+  /// session — the daemon-wide cross-program reuse counter.
+  uint64_t crossSessionHits() const;
 
 private:
   /// Evicts LRU entries until TotalBytes <= MaxBytes. Caller holds M.
@@ -101,6 +121,7 @@ private:
 
   struct Entry {
     std::string Text;
+    uint64_t Writer = 0; ///< session id of the last writer
     std::list<std::string>::iterator Recency;
   };
 
@@ -110,6 +131,47 @@ private:
   size_t TotalBytes = 0;
   size_t MaxBytes = 0; ///< 0 = unlimited
   uint64_t Evictions = 0;
+  uint64_t CrossSessionHits = 0;
+};
+
+/// A per-session lens over a (possibly shared) MemoryConstraintStore:
+/// fulfills the analyzer's ConstraintStore interface while attributing
+/// every probe and fill to the owning session, so `stats` can report how
+/// much of a session's work was served from other sessions' derivations.
+/// The counters are atomics — the session's step-1 workers drive them
+/// concurrently.
+class SessionStoreView final : public ConstraintStore {
+public:
+  SessionStoreView(MemoryConstraintStore &Backing, uint64_t Session)
+      : Backing(Backing), Session(Session) {}
+
+  std::optional<std::string> load(const std::string &Key) override {
+    bool Cross = false;
+    std::optional<std::string> Text = Backing.loadFor(Key, Session, &Cross);
+    if (Text) {
+      Hits.fetch_add(1, std::memory_order_relaxed);
+      if (Cross)
+        CrossHits.fetch_add(1, std::memory_order_relaxed);
+    }
+    return Text;
+  }
+  void store(const std::string &Key, const std::string &Text) override {
+    Stores.fetch_add(1, std::memory_order_relaxed);
+    Backing.storeFor(Key, Text, Session);
+  }
+
+  uint64_t hits() const { return Hits.load(std::memory_order_relaxed); }
+  uint64_t crossSessionHits() const {
+    return CrossHits.load(std::memory_order_relaxed);
+  }
+  uint64_t stores() const { return Stores.load(std::memory_order_relaxed); }
+
+private:
+  MemoryConstraintStore &Backing;
+  uint64_t Session;
+  std::atomic<uint64_t> Hits{0};
+  std::atomic<uint64_t> CrossHits{0};
+  std::atomic<uint64_t> Stores{0};
 };
 
 struct ServeOptions {
@@ -137,6 +199,15 @@ struct ServeOptions {
   /// Fault-injection spec installed at session construction (see
   /// support/faultinject.h); empty leaves the global injector untouched.
   std::string Faults;
+  /// Process-wide constraint store shared with other sessions (not
+  /// owned; the multi-tenant daemon's SessionRegistry provides it).
+  /// Null makes the session own a private store — the single-tenant
+  /// behavior. MaxStoreBytes and the "store.wipe" site act on whichever
+  /// store is in effect, so configure/chaos semantics are daemon-wide
+  /// under sharing.
+  MemoryConstraintStore *SharedStore = nullptr;
+  /// This session's id for store attribution (0 in single-tenant use).
+  uint64_t SessionId = 0;
 };
 
 /// Counters for one analyze pass and, accumulated, for the session.
@@ -159,6 +230,10 @@ struct ServeMetrics {
   uint64_t InternalErrors = 0;
   /// Analyze passes cut short by a deadline or budget.
   uint64_t Degraded = 0;
+  /// This session's in-memory store hits, and the subset served from an
+  /// entry last written by a *different* session (cross-program reuse).
+  uint64_t StoreHits = 0;
+  uint64_t StoreCrossHits = 0;
   double DeriveMs = 0;
   double MergeMs = 0;
   double CloseMs = 0;
@@ -203,10 +278,15 @@ public:
   /// True if the most recent analyze pass was cut short.
   bool lastDegraded() const { return LastDegraded; }
 
-  MemoryConstraintStore &store() { return Store; }
+  /// The store this session analyzes against: the registry's shared
+  /// store under multi-tenancy, the session's own otherwise.
+  MemoryConstraintStore &store() {
+    return Opts.SharedStore ? *Opts.SharedStore : OwnedStore;
+  }
 
 private:
   json::Value cmdAnalyze();
+  json::Value cmdOpen(const json::Value &Request);
   json::Value cmdEdit(const json::Value &Request);
   json::Value cmdFlow(const json::Value &Request);
   json::Value cmdCheckSummary();
@@ -221,7 +301,12 @@ private:
   bool ensureAnalyzed(std::string &Error);
 
   ServeOptions Opts;
-  MemoryConstraintStore Store;
+  /// The session's private store; idle when Opts.SharedStore is set.
+  MemoryConstraintStore OwnedStore;
+  /// The session-attributed lens the analyzer probes through (over the
+  /// shared store when one is configured, else OwnedStore). Declared
+  /// after the stores it references.
+  SessionStoreView StoreView;
   /// Owns the cancellation token the analyzer polls; declared before CA
   /// so it outlives the analyzer holding a pointer to it.
   std::unique_ptr<CancelToken> Token;

@@ -1,0 +1,252 @@
+//===-- tests/multi_serve_test.cpp - Multi-tenant serve tests --*- C++ -*-===//
+///
+/// \file
+/// The multi-tenant serve layer (DESIGN.md §13): SessionRegistry and
+/// concurrent per-client ServeSessions over one shared content-addressed
+/// constraint store.
+///
+/// The load-bearing properties, each pinned here and exercised under
+/// TSan in CI:
+///  - Isolation: every answer a concurrent client gets is byte-identical
+///    to the same request sequence against a dedicated single-session
+///    daemon.
+///  - Cross-program reuse: two sessions analyzing different programs
+///    that share a library file (at the same file slot) derive its
+///    summary once — the second session's analyze reports the store hit,
+///    attributed as a cross-session hit.
+///  - The FaultInjector contract holds daemon-wide: a chaos spec armed
+///    by any session injects into every session, and all of them keep
+///    answering.
+///
+//===----------------------------------------------------------------------===//
+
+#include "serve/registry.h"
+#include "support/faultinject.h"
+#include "test_util.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace spidey;
+using namespace spidey::test;
+
+namespace {
+
+struct FaultScope {
+  FaultScope() { FaultInjector::instance().reset(); }
+  ~FaultScope() { FaultInjector::instance().reset(); }
+};
+
+/// The shared library component. Every client program places it at file
+/// slot 0 and references the same defines, so its serialized image —
+/// a pure function of (source, options, externals, slot) — is identical
+/// across programs and shared through the content-addressed store.
+const SourceFile ListFile = {"list.ss",
+                             "(define (first p) (car p))"
+                             "(define (second p) (car (cdr p)))"};
+
+/// Client programs: same library, different mains (each references both
+/// library defines, keeping list.ss's external set identical).
+std::vector<SourceFile> clientProgram(unsigned Client) {
+  std::string Main = "(define data" + std::to_string(Client) + " (cons " +
+                     std::to_string(Client + 1) + " (cons 'tag '())))";
+  Main += "(define a (first data" + std::to_string(Client) + "))";
+  Main += "(define b (second data" + std::to_string(Client) + "))";
+  for (unsigned I = 0; I < Client; ++I)
+    Main += "(define extra" + std::to_string(I) + " (cons a b))";
+  return {ListFile, {"main.ss", Main}};
+}
+
+std::string req(const std::string &Line, ServeSession &S) {
+  return S.handleLine(Line);
+}
+
+/// The request sequence every client drives, and the answers we compare:
+/// flow, check-summary, and the combined text — the analysis results.
+/// (analyze/stats responses legitimately differ between a shared and a
+/// private store: the shared run reports the cross-session hits.)
+std::vector<std::string> driveSession(ServeSession &S) {
+  std::vector<std::string> Answers;
+  EXPECT_NE(req(R"({"cmd":"analyze"})", S).find("\"ok\":true"),
+            std::string::npos);
+  Answers.push_back(req(R"({"cmd":"flow","name":"first"})", S));
+  Answers.push_back(req(R"({"cmd":"flow","name":"a"})", S));
+  Answers.push_back(req(R"({"cmd":"flow","name":"b"})", S));
+  Answers.push_back(req(R"({"cmd":"check-summary"})", S));
+  Answers.push_back(S.combinedText());
+  EXPECT_FALSE(Answers.back().empty());
+  return Answers;
+}
+
+} // namespace
+
+TEST(MultiServe, ConcurrentClientsMatchIsolatedSessionsByteForByte) {
+  constexpr unsigned Clients = 4;
+
+  // Reference: each client's sequence against its own dedicated
+  // single-session daemon (private store, session id 0).
+  std::vector<std::vector<std::string>> Isolated(Clients);
+  for (unsigned C = 0; C < Clients; ++C) {
+    ServeSession Solo({});
+    Solo.setFiles(clientProgram(C));
+    Isolated[C] = driveSession(Solo);
+  }
+
+  // Multi-tenant: the same sequences, concurrently, over one registry.
+  SessionRegistry Reg({}, {}, /*MaxSessions=*/Clients);
+  std::vector<std::vector<std::string>> Shared(Clients);
+  {
+    std::vector<std::unique_ptr<ClientContext>> Handles;
+    for (unsigned C = 0; C < Clients; ++C) {
+      std::string Error;
+      Handles.push_back(Reg.connect(Error));
+      ASSERT_TRUE(Handles.back()) << Error;
+      Handles.back()->session().setFiles(clientProgram(C));
+    }
+    std::vector<std::thread> Threads;
+    for (unsigned C = 0; C < Clients; ++C)
+      Threads.emplace_back([&, C] {
+        Shared[C] = driveSession(Handles[C]->session());
+      });
+    for (std::thread &T : Threads)
+      T.join();
+  }
+
+  for (unsigned C = 0; C < Clients; ++C)
+    EXPECT_EQ(Shared[C], Isolated[C]) << "client " << C;
+  EXPECT_EQ(Reg.active(), 0u);
+  EXPECT_EQ(Reg.opened(), Clients);
+}
+
+TEST(MultiServe, SharedComponentDerivedOnceAcrossSessions) {
+  SessionRegistry Reg({}, {}, 0);
+  std::string Error;
+  std::unique_ptr<ClientContext> A = Reg.connect(Error);
+  std::unique_ptr<ClientContext> B = Reg.connect(Error);
+  ASSERT_TRUE(A && B) << Error;
+
+  A->session().setFiles(clientProgram(0));
+  std::string RespA = req(R"({"cmd":"analyze"})", A->session());
+  EXPECT_NE(RespA.find("\"rederived\":2"), std::string::npos) << RespA;
+  EXPECT_NE(RespA.find("\"store_cross_hits\":0"), std::string::npos) << RespA;
+
+  // B analyzes a *different program* sharing list.ss at the same slot:
+  // the library summary is served from A's derivation, so B rederives
+  // only its own main and sees a cross-session store hit.
+  B->session().setFiles(clientProgram(1));
+  std::string RespB = req(R"({"cmd":"analyze"})", B->session());
+  EXPECT_NE(RespB.find("\"rederived\":1"), std::string::npos) << RespB;
+  EXPECT_NE(RespB.find("\"reused\":1"), std::string::npos) << RespB;
+  EXPECT_NE(RespB.find("\"cache_hits\":1"), std::string::npos) << RespB;
+  EXPECT_NE(RespB.find("\"store_hits\":1"), std::string::npos) << RespB;
+  EXPECT_NE(RespB.find("\"store_cross_hits\":1"), std::string::npos) << RespB;
+  EXPECT_NE(RespB.find("\"name\":\"list.ss\",\"cache\":\"hit\""),
+            std::string::npos)
+      << RespB;
+
+  // Derived exactly once: one shared image for list.ss plus one main
+  // each — the store never holds two copies of the shared component.
+  EXPECT_EQ(Reg.store().entries(), 3u);
+  EXPECT_EQ(Reg.store().crossSessionHits(), 1u);
+
+  // The per-session attribution shows up in each tenant's stats.
+  std::string StatsA = req(R"({"cmd":"stats"})", A->session());
+  std::string StatsB = req(R"({"cmd":"stats"})", B->session());
+  EXPECT_NE(StatsA.find("\"store_cross_session_hits\":0"), std::string::npos)
+      << StatsA;
+  EXPECT_NE(StatsA.find("\"store_cross_session_hits_total\":1"),
+            std::string::npos)
+      << StatsA;
+  EXPECT_NE(StatsB.find("\"store_cross_session_hits\":1"), std::string::npos)
+      << StatsB;
+  EXPECT_NE(StatsB.find("\"store_shared\":true"), std::string::npos) << StatsB;
+}
+
+TEST(MultiServe, SessionLimitRefusesAndRecovers) {
+  SessionRegistry Reg({}, {}, /*MaxSessions=*/2);
+  std::string Error;
+  std::unique_ptr<ClientContext> A = Reg.connect(Error);
+  std::unique_ptr<ClientContext> B = Reg.connect(Error);
+  ASSERT_TRUE(A && B);
+  EXPECT_EQ(Reg.active(), 2u);
+
+  std::unique_ptr<ClientContext> C = Reg.connect(Error);
+  EXPECT_FALSE(C);
+  EXPECT_NE(Error.find("session limit"), std::string::npos) << Error;
+
+  // A client hanging up frees its slot; ids never repeat.
+  uint64_t IdA = A->id();
+  A.reset();
+  EXPECT_EQ(Reg.active(), 1u);
+  std::unique_ptr<ClientContext> D = Reg.connect(Error);
+  ASSERT_TRUE(D) << Error;
+  EXPECT_NE(D->id(), IdA);
+  EXPECT_EQ(Reg.opened(), 3u);
+}
+
+TEST(MultiServe, DefaultFilesPreloadedAndOpenSwitchesProgram) {
+  SessionRegistry Reg({}, clientProgram(0), 0);
+  std::string Error;
+  std::unique_ptr<ClientContext> A = Reg.connect(Error);
+  ASSERT_TRUE(A) << Error;
+
+  // The implicit per-connection session serves the daemon's program.
+  std::string Resp = A->handleLine(R"({"cmd":"analyze"})");
+  EXPECT_NE(Resp.find("\"ok\":true"), std::string::npos) << Resp;
+  EXPECT_NE(Resp.find("\"components\":2"), std::string::npos) << Resp;
+
+  // Hostile "open" answers structured errors without hurting the session.
+  EXPECT_NE(A->handleLine(R"({"cmd":"open"})").find("\"code\":\"bad-field\""),
+            std::string::npos);
+  EXPECT_NE(A->handleLine(R"({"cmd":"open","files":["/no/such.ss"]})")
+                .find("\"code\":\"unknown-file\""),
+            std::string::npos);
+  // A failed open keeps the previous program resident and clean.
+  EXPECT_NE(A->handleLine(R"({"cmd":"analyze"})")
+                .find("\"reanalyzed\":false"),
+            std::string::npos);
+}
+
+TEST(MultiServe, ChaosSpecArmedAcrossSessions) {
+  FaultScope Scope;
+  SessionRegistry Reg({}, {}, 0);
+  std::string Error;
+  std::unique_ptr<ClientContext> A = Reg.connect(Error);
+  ASSERT_TRUE(A) << Error;
+  A->session().setFiles(clientProgram(0));
+
+  // One tenant arms a store-chaos spec; the injector is process-global,
+  // so every session's probes and fills now flake — matching the
+  // single-tenant SPIDEY_FAULTS semantics.
+  std::string Conf = A->handleLine(
+      R"({"cmd":"configure","faults":"seed=11,store.load=0.5,store.store=0.5"})");
+  EXPECT_NE(Conf.find("\"faults_enabled\":true"), std::string::npos) << Conf;
+
+  constexpr unsigned Clients = 3;
+  std::vector<std::unique_ptr<ClientContext>> Handles;
+  for (unsigned C = 0; C < Clients; ++C) {
+    Handles.push_back(Reg.connect(Error));
+    ASSERT_TRUE(Handles.back()) << Error;
+    Handles.back()->session().setFiles(clientProgram(C));
+  }
+  std::vector<std::thread> Threads;
+  std::vector<std::string> Answers(Clients);
+  for (unsigned C = 0; C < Clients; ++C)
+    Threads.emplace_back([&, C] {
+      // Two passes each: edits force re-analysis through the flaky store.
+      Handles[C]->handleLine(R"({"cmd":"analyze"})");
+      Handles[C]->handleLine(
+          R"js({"cmd":"edit","file":"main.ss","text":"(define a (first (cons 1 '())))"})js");
+      Answers[C] = Handles[C]->handleLine(R"({"cmd":"analyze"})");
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  // Dropped loads/stores cost re-derivation, never correctness: every
+  // session still answers ok.
+  for (unsigned C = 0; C < Clients; ++C)
+    EXPECT_NE(Answers[C].find("\"ok\":true"), std::string::npos)
+        << "client " << C << ": " << Answers[C];
+  EXPECT_GT(FaultInjector::instance().totalInjected(), 0u);
+}

@@ -116,11 +116,44 @@ TEST(Serve, AnalyzeEditAnalyzeRederivesOnlyDirtied) {
   EXPECT_EQ(num(Warm, "rederived"), 1);
   EXPECT_EQ(num(Warm, "reused"), 2);
   EXPECT_EQ(num(Warm, "cache_hits"), 2);
-  EXPECT_EQ(num(Warm, "cache_invalidations"), 1);
+  // The store is content-addressed (componentStoreKey), so the edited
+  // component's probe simply misses — its new source hash forms a new
+  // key; the old image is never *found* and re-validated. Stale-hash
+  // invalidation still exists on the name-keyed disk-cache path.
+  EXPECT_EQ(num(Warm, "cache_invalidations"), 0);
+  EXPECT_EQ(num(Warm, "cache_misses"), 1);
   const json::Value *Per = Warm.find("per_component");
   ASSERT_TRUE(Per && Per->isArray());
   EXPECT_EQ(Per->items()[0].str("cache"), "hit");
-  EXPECT_EQ(Per->items()[2].str("cache"), "miss-stale-hash");
+  EXPECT_EQ(Per->items()[2].str("cache"), "miss-no-entry");
+}
+
+TEST(Serve, ByteIdenticalEditKeepsSessionClean) {
+  ServeSession S({});
+  S.setFiles(ThreeFiles);
+  ASSERT_TRUE(
+      S.handle(request(R"js({"cmd":"analyze"})js")).find("ok")->asBool());
+
+  // Re-sending the file's current text is a no-op: nothing to re-derive,
+  // the session stays clean, and the warm query generation survives.
+  json::Value NoOp = S.handle(request(
+      R"js({"cmd":"edit","file":"main.ss","text":"(define r1 (first good))(define r2 (second good))(define r3 (first bad))"})js"));
+  ASSERT_TRUE(NoOp.find("ok")->asBool()) << NoOp.dump();
+  ASSERT_TRUE(NoOp.find("changed"));
+  EXPECT_FALSE(NoOp.find("changed")->asBool(true));
+  EXPECT_EQ(S.totals().Edits, 1u);
+
+  json::Value After = S.handle(request(R"js({"cmd":"analyze"})js"));
+  EXPECT_TRUE(After.find("ok")->asBool());
+  EXPECT_FALSE(After.find("reanalyzed")->asBool(true));
+
+  // A real edit still dirties and reports so.
+  json::Value Real = S.handle(request(
+      R"js({"cmd":"edit","file":"main.ss","text":"(define r1 (first good))"})js"));
+  ASSERT_TRUE(Real.find("ok")->asBool());
+  EXPECT_TRUE(Real.find("changed")->asBool(false));
+  json::Value Again = S.handle(request(R"js({"cmd":"analyze"})js"));
+  EXPECT_TRUE(Again.find("reanalyzed")->asBool(false));
 }
 
 TEST(Serve, WarmEditMatchesColdRunByteForByte) {
@@ -255,8 +288,19 @@ TEST(ServeHostile, StructuredErrorCodesAreStable) {
       // Out of uint64 range: converting would be undefined behavior.
       {"{\"cmd\":\"configure\",\"deadline_ms\":1e300}", "bad-field"},
       {"{\"cmd\":\"configure\",\"max_constraints\":2e19}", "bad-field"},
+      // Fractional limits: silently truncating 1.5ms to 1ms would honor
+      // a deadline the client never asked for.
+      {"{\"cmd\":\"configure\",\"deadline_ms\":1.5}", "bad-field"},
+      {"{\"cmd\":\"configure\",\"max_constraints\":0.25}", "bad-field"},
+      {"{\"cmd\":\"configure\",\"max_store_bytes\":99.9}", "bad-field"},
       {"{\"cmd\":\"configure\",\"faults\":\"no-such-site=1\"}", "bad-field"},
       {"{\"cmd\":\"configure\",\"faults\":17}", "bad-field"},
+      // The multi-tenant "open" command's hostile shapes.
+      {"{\"cmd\":\"open\"}", "bad-field"},
+      {"{\"cmd\":\"open\",\"files\":\"main.ss\"}", "bad-field"},
+      {"{\"cmd\":\"open\",\"files\":[42]}", "bad-field"},
+      {"{\"cmd\":\"open\",\"files\":[\"/no/such/file.ss\"]}",
+       "unknown-file"},
   };
 
   ServeSession S({});

@@ -15,19 +15,151 @@ fault-tolerance contract: every request (hostile ones included) gets a
 structured answer, analysis results stay correct, and after disarming
 the faults through the protocol the incremental behavior is intact.
 
-Usage: serve_smoke.py path/to/spidey-serve [source dir] [--chaos SPEC]
+With --clients N the daemon runs multi-tenant on a unix socket and N
+concurrent clients drive it: a first client warms the shared store, the
+rest analyze the same program concurrently and must each be served
+entirely from it (cross-session store hits), with flow/check-summary
+answers byte-identical across every client; any client's shutdown then
+drains the daemon and unlinks the socket.
+
+Usage: serve_smoke.py path/to/spidey-serve [source dir]
+       [--chaos SPEC] [--clients N]
 Exit status 0 on success; 1 with a diagnostic on any violation.
 """
 
 import json
 import os
+import socket
 import subprocess
 import sys
+import tempfile
+import threading
+import time
+
+
+def cli_regressions(binary, files):
+    """Malformed CLI values must be usage errors (exit 2), not silent
+    zeros/disarmed injectors."""
+    failures = []
+    for argv in ([binary, "--threads", "abc"] + files,
+                 [binary, "--deadline-ms", "5x"] + files,
+                 [binary, "--max-sessions", "-1"] + files,
+                 [binary, "--faults", "no-such-site=1"] + files):
+        r = subprocess.run(argv, stdin=subprocess.DEVNULL,
+                           capture_output=True, text=True)
+        if r.returncode != 2:
+            failures.append(f"{' '.join(argv[1:3])!r} must exit 2, "
+                            f"got {r.returncode}")
+    return failures
+
+
+class Client:
+    """One connection to the multi-tenant daemon; requests get answers
+    in order over the socket."""
+
+    def __init__(self, sockpath):
+        self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self.sock.connect(sockpath)
+        self.reader = self.sock.makefile("r")
+
+    def request_raw(self, obj):
+        self.sock.sendall((json.dumps(obj) + "\n").encode())
+        line = self.reader.readline()
+        if not line:
+            raise SystemExit("serve_smoke: daemon closed a client stream")
+        return line.rstrip("\n")
+
+    def request(self, obj):
+        return json.loads(self.request_raw(obj))
+
+    def close(self):
+        self.reader.close()
+        self.sock.close()
+
+
+def multi_client_smoke(binary, files, clients):
+    """N concurrent clients over one daemon: the shared store serves all
+    but the first, answers are byte-identical across clients, and any
+    client's shutdown drains the daemon."""
+    failures = []
+
+    def check(cond, what):
+        if not cond:
+            failures.append(what)
+
+    sockpath = os.path.join(tempfile.mkdtemp(prefix="spidey-smoke-"),
+                            "serve.sock")
+    proc = subprocess.Popen([binary, "--socket", sockpath,
+                             "--max-sessions", str(clients + 1)] + files)
+    deadline = time.monotonic() + 10
+    while not os.path.exists(sockpath):
+        if time.monotonic() > deadline or proc.poll() is not None:
+            print("serve_smoke: daemon never bound its socket",
+                  file=sys.stderr)
+            return 1
+        time.sleep(0.05)
+
+    # Client 0 warms the shared store with a cold analyze.
+    warmup = Client(sockpath)
+    cold = warmup.request({"cmd": "analyze"})
+    check(cold.get("ok") and cold.get("rederived") == 3,
+          f"cold analyze must derive all: {cold}")
+    check(cold.get("store_cross_hits") == 0,
+          f"first session has nobody to share with: {cold}")
+
+    # N concurrent clients: every component is served from the warm
+    # shared store — derived once, reused by every later session.
+    answers = [None] * clients
+
+    def drive(idx):
+        c = Client(sockpath)
+        a = c.request({"cmd": "analyze"})
+        check(a.get("ok") and a.get("rederived") == 0
+              and a.get("reused") == 3,
+              f"client {idx} must be served from the shared store: {a}")
+        check(a.get("store_cross_hits", 0) >= 3,
+              f"client {idx} hits must be cross-session: {a}")
+        answers[idx] = [c.request_raw({"cmd": "flow", "name": "good"}),
+                        c.request_raw({"cmd": "check-summary"})]
+        c.close()
+
+    threads = [threading.Thread(target=drive, args=(i,))
+               for i in range(clients)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    for idx in range(1, clients):
+        check(answers[idx] == answers[0],
+              f"client {idx} answers diverge:"
+              f" {answers[idx]} vs {answers[0]}")
+
+    stats = warmup.request({"cmd": "stats"})
+    check(stats.get("store_cross_session_hits_total", 0) >= 3 * clients,
+          f"daemon-wide cross-session reuse must be visible: {stats}")
+    check(stats.get("store_entries") == 3, f"one image per component: {stats}")
+
+    # Any client's shutdown drains the whole daemon: socket unlinked,
+    # in-flight connections finished, clean exit.
+    bye = warmup.request({"cmd": "shutdown"})
+    check(bye.get("ok"), f"shutdown failed: {bye}")
+    warmup.close()
+    check(proc.wait(timeout=30) == 0, "daemon exited non-zero")
+    check(not os.path.exists(sockpath), "socket file must be unlinked")
+
+    if failures:
+        for f in failures:
+            print(f"serve_smoke: FAIL: {f}", file=sys.stderr)
+        return 1
+    print(f"serve_smoke: OK multi-tenant ({clients} concurrent clients"
+          " served from one shared store, byte-identical answers)")
+    return 0
 
 
 def main():
     args = sys.argv[1:]
     chaos = None
+    clients = 0
     if "--chaos" in args:
         at = args.index("--chaos")
         if at + 1 >= len(args):
@@ -35,9 +167,16 @@ def main():
             return 2
         chaos = args[at + 1]
         del args[at:at + 2]
+    if "--clients" in args:
+        at = args.index("--clients")
+        if at + 1 >= len(args):
+            print("serve_smoke: --clients needs a count", file=sys.stderr)
+            return 2
+        clients = int(args[at + 1])
+        del args[at:at + 2]
     if len(args) < 1:
         print("usage: serve_smoke.py path/to/spidey-serve [source dir]"
-              " [--chaos SPEC]", file=sys.stderr)
+              " [--chaos SPEC] [--clients N]", file=sys.stderr)
         return 2
     # A schedule in the environment reaches the daemon on its own; the
     # script just has to know to apply the chaos-mode assertions.
@@ -55,6 +194,15 @@ def main():
             print(f"serve_smoke: missing source file {path}",
                   file=sys.stderr)
             return 1
+
+    cli_failures = cli_regressions(binary, files)
+    if cli_failures:
+        for f in cli_failures:
+            print(f"serve_smoke: FAIL: {f}", file=sys.stderr)
+        return 1
+
+    if clients:
+        return multi_client_smoke(binary, files, clients)
 
     cmdline = [binary] + files
     if chaos:
@@ -108,8 +256,10 @@ def main():
               f"warm run must rederive exactly the edited component: {warm}")
         check(warm.get("reused") == 2, f"warm run must reuse the rest: {warm}")
         per = {c["name"]: c["cache"] for c in warm.get("per_component", [])}
-        check(per.get(main_path) == "miss-stale-hash",
-              f"edited component must miss on its hash: {per}")
+        # The store is content-addressed: the edited component's new
+        # source hash forms a new key, so its probe misses outright.
+        check(per.get(main_path) == "miss-no-entry",
+              f"edited component must miss under its new hash: {per}")
         check(all(outcome == "hit" for name, outcome in per.items()
                   if name != main_path),
               f"untouched components must hit the store: {per}")
@@ -166,8 +316,10 @@ def main():
               f"expected 3 cold + 1 warm rederivations: {stats}")
         check(stats.get("components_reused") == 2,
               f"expected 2 reuses: {stats}")
-        check(stats.get("store_entries") == 3,
-              f"expected 3 entries: {stats}")
+        # 4 entries under content-addressed keys: the edited component's
+        # pre-edit image lingers under its old hash until LRU eviction.
+        check(stats.get("store_entries") == 4,
+              f"expected 4 entries: {stats}")
 
     bye = request({"cmd": "shutdown"})
     check(bye.get("ok"), f"shutdown failed: {bye}")

@@ -20,6 +20,7 @@
 #include "debugger/checks.h"
 #include "lang/parser.h"
 
+#include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -74,6 +75,24 @@ bool simplifyFromName(const std::string &Name, SimplifyAlgorithm &Out) {
   return false;
 }
 
+/// Strict decimal parse: digits only, no sign, no trailing junk, no
+/// overflow — `--threads abc` must be a usage error, not thread count 0.
+bool parseUint(const char *Text, uint64_t &Out) {
+  if (!Text || !*Text)
+    return false;
+  uint64_t V = 0;
+  for (const char *P = Text; *P; ++P) {
+    if (*P < '0' || *P > '9')
+      return false;
+    uint64_t D = static_cast<uint64_t>(*P - '0');
+    if (V > (UINT64_MAX - D) / 10)
+      return false;
+    V = V * 10 + D;
+  }
+  Out = V;
+  return true;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -92,6 +111,16 @@ int main(int Argc, char **Argv) {
       }
       return Argv[++I];
     };
+    auto NextUint = [&]() -> uint64_t {
+      const char *Text = Next();
+      uint64_t V;
+      if (!parseUint(Text, V)) {
+        std::cerr << "spidey-analyze: " << Arg
+                  << " needs a non-negative integer, got '" << Text << "'\n";
+        std::exit(2);
+      }
+      return V;
+    };
     if (Arg == "--help" || Arg == "-h") {
       usage();
       return 0;
@@ -100,13 +129,12 @@ int main(int Argc, char **Argv) {
     } else if (Arg == "--stats") {
       Stats = true;
     } else if (Arg == "--threads") {
-      Opts.Threads = static_cast<unsigned>(std::strtoul(Next(), nullptr, 10));
+      Opts.Threads = static_cast<unsigned>(NextUint());
     } else if (Arg == "--parallel-close") {
       Opts.ParallelClose = true;
     } else if (Arg == "--close-shards") {
       Opts.ParallelClose = true;
-      Opts.CloseShards =
-          static_cast<unsigned>(std::strtoul(Next(), nullptr, 10));
+      Opts.CloseShards = static_cast<unsigned>(NextUint());
     } else if (Arg == "--simplify") {
       std::string Name = Next();
       if (!simplifyFromName(Name, Opts.Simplify)) {

@@ -1,43 +1,65 @@
 //===-- tools/spidey_serve.cpp - Incremental analysis daemon ---*- C++ -*-===//
 ///
 /// \file
-/// The `spidey-serve` daemon: keeps a program's componential analysis
-/// resident and answers newline-delimited JSON requests, re-deriving only
-/// the components an edit actually dirtied.
+/// The `spidey-serve` daemon: keeps componential analysis state resident
+/// and answers newline-delimited JSON requests, re-deriving only the
+/// components an edit actually dirtied.
 ///
 ///   spidey-serve a.ss b.ss main.ss        # serve requests on stdin/stdout
 ///   spidey-serve --socket /tmp/sp.sock *.ss   # serve on a unix socket
 ///
+/// Socket mode is multi-tenant (DESIGN.md §13): each connection gets its
+/// own session (thread-per-connection, bounded by --max-sessions, excess
+/// connections answered with a structured "busy" error), preloaded with
+/// the command-line program and switchable per client with
+/// {"cmd":"open","files":[...]}. All sessions analyze through one
+/// process-wide content-addressed constraint store, so clients working
+/// on different programs that share a library file derive its summary
+/// once. Stdio mode serves a single session, as before.
+///
 /// Requests (one JSON object per line):
-///   {"cmd":"analyze"} {"cmd":"edit","file":"f.ss","text":"..."}
+///   {"cmd":"open","files":[...]} {"cmd":"analyze"}
+///   {"cmd":"edit","file":"f.ss","text":"..."}
 ///   {"cmd":"flow","name":"f"} {"cmd":"check-summary"} {"cmd":"stats"}
 ///   {"cmd":"configure",...} {"cmd":"shutdown"}
 ///
 /// The transport is hardened for hostile or unlucky clients: request
 /// lines are capped (a line over the cap gets a structured
 /// "line-too-long" error and is discarded, not buffered), reads and
-/// writes retry on EINTR, writes never raise SIGPIPE, SIGTERM/SIGINT
-/// drain gracefully (current connection finishes, socket file unlinked),
-/// and a fault-injection spec from SPIDEY_FAULTS or --faults exercises
-/// the recovery paths deterministically.
+/// writes retry on EINTR, writes never raise SIGPIPE, and a
+/// fault-injection spec from SPIDEY_FAULTS or --faults exercises the
+/// recovery paths deterministically. SIGTERM/SIGINT — or any client's
+/// shutdown request — drain gracefully: the socket file is unlinked so
+/// no new clients connect, every open connection is woken from its read,
+/// in-flight responses still go out, and the daemon exits once all
+/// connection threads have finished.
 ///
 /// Exit code: 0 on a clean shutdown, end of input, or signal-drain; 2 on
-/// usage errors, 1 when a source file cannot be read or the socket cannot
-/// be bound.
+/// usage errors (including malformed numeric option values and a bad
+/// --faults spec), 1 when a source file cannot be read or the socket
+/// cannot be bound.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "serve/registry.h"
 #include "serve/serve.h"
 #include "support/faultinject.h"
 
+#include <atomic>
 #include <cerrno>
 #include <csignal>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <memory>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -51,7 +73,15 @@ namespace {
 /// sends.
 constexpr size_t MaxLineBytes = 1u << 20; // 1 MiB
 
+/// Connection threads above this many concurrent sessions are refused
+/// with a "busy" answer (overridable with --max-sessions).
+constexpr size_t DefaultMaxSessions = 64;
+
 volatile std::sig_atomic_t GotSignal = 0;
+
+/// Set when any client's shutdown request should drain the daemon; the
+/// accept loop polls it between accepts.
+std::atomic<bool> DrainRequested{false};
 
 void onSignal(int Sig) { GotSignal = Sig; }
 
@@ -75,7 +105,12 @@ void usage() {
       R"(spidey-serve — incremental set-based analysis daemon
 
 usage: spidey-serve [options] file.ss...
-  --socket PATH        listen on a unix socket instead of stdin/stdout
+  --socket PATH        listen on a unix socket instead of stdin/stdout;
+                       each connection gets its own session over one
+                       shared constraint store
+  --max-sessions N     refuse connections beyond N concurrent sessions
+                       with a "busy" answer (socket mode; default 64,
+                       0 = unbounded)
   --threads N          worker threads for the componential step 1
   --parallel-close     close the merged system with the sharded parallel
                        fixpoint (byte-identical answers either way)
@@ -107,6 +142,24 @@ bool simplifyFromName(const std::string &Name, SimplifyAlgorithm &Out) {
       return true;
     }
   return false;
+}
+
+/// Strict decimal parse: digits only, no sign, no trailing junk, no
+/// overflow — `--threads abc` must be a usage error, not thread count 0.
+bool parseUint(const char *Text, uint64_t &Out) {
+  if (!Text || !*Text)
+    return false;
+  uint64_t V = 0;
+  for (const char *P = Text; *P; ++P) {
+    if (*P < '0' || *P > '9')
+      return false;
+    uint64_t D = static_cast<uint64_t>(*P - '0');
+    if (V > (UINT64_MAX - D) / 10)
+      return false;
+    V = V * 10 + D;
+  }
+  Out = V;
+  return true;
 }
 
 /// read() with EINTR retry and the sock.read fault site (an injected
@@ -161,9 +214,11 @@ bool writeAll(int Fd, const std::string &Text) {
 /// discarded, never buffered — and answers each via \p Respond, which
 /// returns false when the peer is gone. Returns false when the daemon
 /// should stop (shutdown request or drain signal), true when this peer is
-/// done but serving should continue.
-template <typename RespondFn>
-bool serveLines(ServeSession &Session, int Fd, RespondFn Respond) {
+/// done but serving should continue. Generic over the session: a bare
+/// ServeSession (stdio mode) or a registry-backed ClientContext (one per
+/// socket connection).
+template <typename SessionT, typename RespondFn>
+bool serveLines(SessionT &Session, int Fd, RespondFn Respond) {
   std::string Buffer;
   bool Discarding = false; // inside an over-long line, eating to '\n'
   char Chunk[4096];
@@ -222,18 +277,40 @@ int serveStdio(ServeSession &Session) {
   return 0;
 }
 
-/// One connection: a stream of request lines answered in order. Returns
-/// false when the daemon should stop (shutdown request or drain signal).
-bool serveConnection(ServeSession &Session, int Conn) {
-  return serveLines(Session, Conn, [&](const std::string &Text) {
-    return writeAll(Conn, Text);
-  });
+/// One live connection of the multi-tenant accept loop. The worker
+/// thread owns the session handle and flags Done; the accept loop owns
+/// the fd (closed only after join, so draining can safely shutdown() it)
+/// and the Connection object itself.
+struct Connection {
+  std::thread T;
+  int Fd = -1;
+  std::atomic<bool> Done{false};
+};
+
+/// Joins and closes every finished connection; with \p All, first wakes
+/// the rest from their blocking reads (SHUT_RD: pending responses still
+/// flush, the reader then sees EOF) and waits for all of them.
+void reapConnections(std::vector<std::unique_ptr<Connection>> &Conns,
+                     bool All) {
+  if (All)
+    for (std::unique_ptr<Connection> &C : Conns)
+      ::shutdown(C->Fd, SHUT_RD);
+  for (auto It = Conns.begin(); It != Conns.end();) {
+    if (!All && !(*It)->Done.load(std::memory_order_acquire)) {
+      ++It;
+      continue;
+    }
+    (*It)->T.join();
+    ::close((*It)->Fd);
+    It = Conns.erase(It);
+  }
 }
 
-/// Accepts connections serially on a unix socket; each connection is a
-/// stream of request lines answered in order. A shutdown request or a
-/// drain signal stops the daemon after its connection finishes.
-int serveSocket(ServeSession &Session, const std::string &Path) {
+/// Accepts connections on a unix socket, one session thread per client
+/// (SessionRegistry bounds them and shares the constraint store). Any
+/// client's shutdown request — or a drain signal — stops the accept
+/// loop, unlinks the socket, and drains the live connections.
+int serveSocket(SessionRegistry &Registry, const std::string &Path) {
   int Listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (Listener < 0) {
     std::cerr << "spidey-serve: socket: " << std::strerror(errno) << "\n";
@@ -250,7 +327,7 @@ int serveSocket(ServeSession &Session, const std::string &Path) {
   ::unlink(Path.c_str());
   if (::bind(Listener, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
           0 ||
-      ::listen(Listener, 4) < 0) {
+      ::listen(Listener, 16) < 0) {
     std::cerr << "spidey-serve: bind " << Path << ": "
               << std::strerror(errno) << "\n";
     ::close(Listener);
@@ -258,9 +335,26 @@ int serveSocket(ServeSession &Session, const std::string &Path) {
   }
 
   int Exit = 0;
-  while (!Session.shutdownRequested() && !GotSignal) {
-    int Conn = ::accept(Listener, nullptr, nullptr);
-    if (Conn < 0) {
+  std::vector<std::unique_ptr<Connection>> Conns;
+  while (!DrainRequested.load(std::memory_order_acquire) && !GotSignal) {
+    // poll() instead of a blocking accept: a worker thread's shutdown
+    // request must stop the daemon even when no new client ever
+    // connects, and signals are only guaranteed to interrupt the thread
+    // they are delivered to.
+    pollfd P{Listener, POLLIN, 0};
+    int Ready = ::poll(&P, 1, /*timeout_ms=*/200);
+    if (Ready < 0) {
+      if (errno == EINTR)
+        continue; // the drain check at the top of the loop decides
+      std::cerr << "spidey-serve: poll: " << std::strerror(errno) << "\n";
+      Exit = 1;
+      break;
+    }
+    reapConnections(Conns, /*All=*/false);
+    if (Ready == 0)
+      continue;
+    int Fd = ::accept(Listener, nullptr, nullptr);
+    if (Fd < 0) {
       if (errno == EINTR || errno == ECONNABORTED)
         continue; // transient: a signal poke or a client that gave up
       // Anything else (EBADF, EINVAL, EMFILE...) would busy-loop forever;
@@ -269,13 +363,40 @@ int serveSocket(ServeSession &Session, const std::string &Path) {
       Exit = 1;
       break;
     }
-    bool KeepServing = serveConnection(Session, Conn);
-    ::close(Conn);
-    if (!KeepServing)
-      break;
+    std::string Error;
+    std::unique_ptr<ClientContext> Client = Registry.connect(Error);
+    if (!Client) {
+      // Refused at capacity: a structured, machine-readable last word so
+      // the client can back off and retry, then the connection closes.
+      json::Value R = json::Value::object();
+      R.set("ok", false);
+      R.set("error", Error);
+      R.set("code", "busy");
+      writeAll(Fd, R.dump() + "\n");
+      ::close(Fd);
+      continue;
+    }
+    auto Conn = std::make_unique<Connection>();
+    Conn->Fd = Fd;
+    Connection *C = Conn.get();
+    C->T = std::thread([C, Client = std::move(Client)]() mutable {
+      bool KeepServing = serveLines(*Client, C->Fd, [&](const std::string &T) {
+        return writeAll(C->Fd, T);
+      });
+      // Unregister the session before flagging Done: once the accept
+      // loop reaps this slot, the registry no longer counts it.
+      Client.reset();
+      if (!KeepServing)
+        DrainRequested.store(true, std::memory_order_release);
+      C->Done.store(true, std::memory_order_release);
+    });
+    Conns.push_back(std::move(Conn));
   }
+  // Drain: stop accepting first (unlink so no client half-connects to a
+  // dying daemon), then finish the in-flight connections.
   ::close(Listener);
   ::unlink(Path.c_str());
+  reapConnections(Conns, /*All=*/true);
   return Exit;
 }
 
@@ -284,6 +405,7 @@ int serveSocket(ServeSession &Session, const std::string &Path) {
 int main(int Argc, char **Argv) {
   ServeOptions Opts;
   std::string SocketPath;
+  size_t MaxSessions = DefaultMaxSessions;
   std::vector<std::string> Paths;
 
   for (int I = 1; I < Argc; ++I) {
@@ -295,19 +417,30 @@ int main(int Argc, char **Argv) {
       }
       return Argv[++I];
     };
+    auto NextUint = [&]() -> uint64_t {
+      const char *Text = Next();
+      uint64_t V;
+      if (!parseUint(Text, V)) {
+        std::cerr << "spidey-serve: " << Arg
+                  << " needs a non-negative integer, got '" << Text << "'\n";
+        std::exit(2);
+      }
+      return V;
+    };
     if (Arg == "--help" || Arg == "-h") {
       usage();
       return 0;
     } else if (Arg == "--socket") {
       SocketPath = Next();
+    } else if (Arg == "--max-sessions") {
+      MaxSessions = static_cast<size_t>(NextUint());
     } else if (Arg == "--threads") {
-      Opts.Threads = static_cast<unsigned>(std::strtoul(Next(), nullptr, 10));
+      Opts.Threads = static_cast<unsigned>(NextUint());
     } else if (Arg == "--parallel-close") {
       Opts.ParallelClose = true;
     } else if (Arg == "--close-shards") {
       Opts.ParallelClose = true;
-      Opts.CloseShards =
-          static_cast<unsigned>(std::strtoul(Next(), nullptr, 10));
+      Opts.CloseShards = static_cast<unsigned>(NextUint());
     } else if (Arg == "--simplify") {
       std::string Name = Next();
       if (!simplifyFromName(Name, Opts.Simplify)) {
@@ -318,12 +451,11 @@ int main(int Argc, char **Argv) {
     } else if (Arg == "--cache-dir") {
       Opts.CacheDir = Next();
     } else if (Arg == "--deadline-ms") {
-      Opts.DeadlineMs = std::strtoull(Next(), nullptr, 10);
+      Opts.DeadlineMs = NextUint();
     } else if (Arg == "--max-constraints") {
-      Opts.MaxConstraints = std::strtoull(Next(), nullptr, 10);
+      Opts.MaxConstraints = NextUint();
     } else if (Arg == "--max-store-bytes") {
-      Opts.MaxStoreBytes =
-          static_cast<size_t>(std::strtoull(Next(), nullptr, 10));
+      Opts.MaxStoreBytes = static_cast<size_t>(NextUint());
     } else if (Arg == "--faults") {
       Opts.Faults = Next();
     } else if (!Arg.empty() && Arg[0] == '-') {
@@ -341,7 +473,16 @@ int main(int Argc, char **Argv) {
 
   installSignalHandlers();
 
-  if (Opts.Faults.empty()) {
+  // Both fault-spec paths fail loudly before any session exists: a typo
+  // must exit 2, not silently serve with the injector disarmed. The
+  // session constructor re-applies an already-validated --faults spec.
+  if (!Opts.Faults.empty()) {
+    std::string Error;
+    if (!FaultInjector::instance().configure(Opts.Faults, &Error)) {
+      std::cerr << "spidey-serve: --faults: " << Error << "\n";
+      return 2;
+    }
+  } else {
     std::string Error;
     if (!FaultInjector::instance().configureFromEnv(&Error)) {
       std::cerr << "spidey-serve: SPIDEY_FAULTS: " << Error << "\n";
@@ -349,13 +490,32 @@ int main(int Argc, char **Argv) {
     }
   }
 
-  ServeSession Session(Opts);
-  std::string Error;
-  if (!Session.loadFiles(Paths, Error)) {
-    std::cerr << "spidey-serve: " << Error << "\n";
-    return 1;
+  if (SocketPath.empty()) {
+    ServeSession Session(Opts);
+    std::string Error;
+    if (!Session.loadFiles(Paths, Error)) {
+      std::cerr << "spidey-serve: " << Error << "\n";
+      return 1;
+    }
+    return serveStdio(Session);
   }
 
-  return SocketPath.empty() ? serveStdio(Session)
-                            : serveSocket(Session, SocketPath);
+  // Multi-tenant socket mode: read the default program once; every
+  // connection's session starts from it (and can switch with "open").
+  std::vector<SourceFile> Files;
+  for (const std::string &Path : Paths) {
+    SourceFile F;
+    F.Name = Path;
+    std::ifstream In(Path, std::ios::binary);
+    if (!In) {
+      std::cerr << "spidey-serve: cannot read " << Path << "\n";
+      return 1;
+    }
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    F.Text = SS.str();
+    Files.push_back(std::move(F));
+  }
+  SessionRegistry Registry(Opts, std::move(Files), MaxSessions);
+  return serveSocket(Registry, SocketPath);
 }
